@@ -1,0 +1,43 @@
+//! Criterion bench for A2: BSFS client cache enabled vs disabled for the
+//! 4 KiB-record sequential access pattern (paper §III-B's motivation for the
+//! cache).
+
+use blobseer::{BlobSeer, BlobSeerConfig};
+use bsfs::{Bsfs, BsfsConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn run_sequential_io(cache: bool) -> u64 {
+    let block = 256 * 1024u64;
+    let storage = BlobSeer::new(BlobSeerConfig::default().with_providers(4).with_page_size(block));
+    let fs = Bsfs::new(storage, BsfsConfig::default().with_block_size(block).with_cache(cache));
+    let record = vec![7u8; 4096];
+    let mut w = fs.create("/data").unwrap();
+    for _ in 0..512 {
+        w.write(&record).unwrap();
+    }
+    w.close().unwrap();
+    let mut r = fs.open("/data").unwrap();
+    let size = fs.len("/data").unwrap();
+    let mut offset = 0;
+    let mut total = 0u64;
+    while offset < size {
+        let n = 4096.min(size - offset);
+        total += r.read_at(offset, n).unwrap().len() as u64;
+        offset += n;
+    }
+    total
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("A2_client_cache");
+    group.sample_size(10);
+    for (label, enabled) in [("enabled", true), ("disabled", false)] {
+        group.bench_with_input(BenchmarkId::new(label, "4KiB-records"), &enabled, |b, &enabled| {
+            b.iter(|| run_sequential_io(enabled))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for A1: the provider-manager placement strategies under
+//! the concurrent-write pattern (flow-level simulation at a reduced scale so
+//! each iteration stays fast).
+
+use blobseer::PlacementStrategy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use workloads::simscale::{sim_write_with_strategy, SimScaleConfig};
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("A1_placement_strategies");
+    group.sample_size(10);
+    for (label, strategy) in [
+        ("load-balanced", PlacementStrategy::LoadBalanced),
+        ("random", PlacementStrategy::Random),
+        ("local-first", PlacementStrategy::LocalFirst),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, 32), &strategy, |b, strategy| {
+            b.iter(|| {
+                let config = SimScaleConfig {
+                    clients: 32,
+                    ..SimScaleConfig::small(32)
+                };
+                sim_write_with_strategy(*strategy, &config).aggregate_throughput()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

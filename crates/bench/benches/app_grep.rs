@@ -1,0 +1,46 @@
+//! Criterion bench for E5: the Distributed Grep MapReduce job, BSFS vs HDFS
+//! (real execution, laptop scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapreduce::fs::DistFs;
+use workloads::TextGenerator;
+
+fn input_text() -> String {
+    let mut generator = TextGenerator::new(5);
+    let mut text = String::new();
+    for i in 0..2_000 {
+        if i % 11 == 0 {
+            text.push_str("a line with the corbel token\n");
+        } else {
+            text.push_str(&generator.sentence());
+            text.push('\n');
+        }
+    }
+    text
+}
+
+fn bench_grep(c: &mut Criterion) {
+    let text = input_text();
+    let mut group = c.benchmark_group("E5_distributed_grep");
+    group.sample_size(10);
+    group.bench_function("BSFS", |b| {
+        b.iter(|| {
+            let (bsfs, _) = bench::app_backends(64 * 1024);
+            bsfs.write_file("/in/huge.txt", text.as_bytes()).unwrap();
+            let job = workloads::distributed_grep_job(vec!["/in/huge.txt".into()], "/out", "corbel token", 64 * 1024);
+            bench::run_job_on(&bsfs as &dyn DistFs, &bench::app_topology(), &job)
+        })
+    });
+    group.bench_function("HDFS", |b| {
+        b.iter(|| {
+            let (_, hdfs) = bench::app_backends(64 * 1024);
+            hdfs.write_file("/in/huge.txt", text.as_bytes()).unwrap();
+            let job = workloads::distributed_grep_job(vec!["/in/huge.txt".into()], "/out", "corbel token", 64 * 1024);
+            bench::run_job_on(&hdfs as &dyn DistFs, &bench::app_topology(), &job)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_grep);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for E4: the Random Text Writer MapReduce job, BSFS vs
+//! HDFS (real execution, laptop scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapreduce::fs::DistFs;
+
+fn bench_random_text(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4_random_text_writer");
+    group.sample_size(10);
+    group.bench_function("BSFS", |b| {
+        b.iter(|| {
+            let (bsfs, _) = bench::app_backends(256 * 1024);
+            let job = workloads::random_text_writer_job("/rtw", 8, 32, 4096, 1);
+            bench::run_job_on(&bsfs as &dyn DistFs, &bench::app_topology(), &job)
+        })
+    });
+    group.bench_function("HDFS", |b| {
+        b.iter(|| {
+            let (_, hdfs) = bench::app_backends(256 * 1024);
+            let job = workloads::random_text_writer_job("/rtw", 8, 32, 4096, 1);
+            bench::run_job_on(&hdfs as &dyn DistFs, &bench::app_topology(), &job)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_random_text);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench for F1 (paper §V future work): concurrent appends to one
+//! shared blob versus one blob per writer.
+
+use blobseer::{BlobSeer, BlobSeerConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn shared_blob_appends(clients: usize) {
+    let block = 64 * 1024u64;
+    let sys = BlobSeer::new(BlobSeerConfig::default().with_providers(8).with_page_size(block));
+    let blob = sys.client().create(Some(block)).unwrap();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let client = sys.client_on(sys.topology().node((c % 8) as u32));
+            s.spawn(move || {
+                let payload = vec![c as u8; block as usize];
+                for _ in 0..16 {
+                    client.append(blob, &payload).unwrap();
+                }
+            });
+        }
+    });
+}
+
+fn separate_blob_appends(clients: usize) {
+    let block = 64 * 1024u64;
+    let sys = BlobSeer::new(BlobSeerConfig::default().with_providers(8).with_page_size(block));
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let client = sys.client_on(sys.topology().node((c % 8) as u32));
+            s.spawn(move || {
+                let blob = client.create(Some(block)).unwrap();
+                let payload = vec![c as u8; block as usize];
+                for _ in 0..16 {
+                    client.append(blob, &payload).unwrap();
+                }
+            });
+        }
+    });
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("F1_concurrent_append");
+    group.sample_size(10);
+    for &clients in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("shared-blob", clients), &clients, |b, &n| {
+            b.iter(|| shared_blob_appends(n))
+        });
+        group.bench_with_input(BenchmarkId::new("separate-blobs", clients), &clients, |b, &n| {
+            b.iter(|| separate_blob_appends(n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_append);
+criterion_main!(benches);

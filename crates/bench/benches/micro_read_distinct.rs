@@ -1,0 +1,29 @@
+//! Criterion bench for E1: concurrent reads from different files, BSFS vs
+//! HDFS, laptop scale (real threads and bytes). The paper-scale sweep lives
+//! in the `e1_read_distinct` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapreduce::fs::DistFs;
+use workloads::microbench::{prepare_distinct_files, read_distinct_files, MicrobenchConfig};
+
+fn bench_read_distinct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_read_distinct_files");
+    group.sample_size(10);
+    for &clients in bench::SMALL_CLIENT_COUNTS {
+        let config = MicrobenchConfig { clients, bytes_per_client: 1 << 20, record_size: 4096 };
+        let bsfs = bench::small_bsfs(4, 256 * 1024);
+        prepare_distinct_files(&bsfs, &config).unwrap();
+        group.bench_with_input(BenchmarkId::new("BSFS", clients), &clients, |b, _| {
+            b.iter(|| read_distinct_files(&bsfs as &dyn DistFs, &config).unwrap())
+        });
+        let hdfs = bench::small_hdfs(4, 256 * 1024);
+        prepare_distinct_files(&hdfs, &config).unwrap();
+        group.bench_with_input(BenchmarkId::new("HDFS", clients), &clients, |b, _| {
+            b.iter(|| read_distinct_files(&hdfs as &dyn DistFs, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_read_distinct);
+criterion_main!(benches);

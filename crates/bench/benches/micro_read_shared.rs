@@ -1,0 +1,28 @@
+//! Criterion bench for E2: concurrent reads of non-overlapping parts of one
+//! shared file, BSFS vs HDFS, laptop scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapreduce::fs::DistFs;
+use workloads::microbench::{prepare_shared_file, read_shared_file, MicrobenchConfig};
+
+fn bench_read_shared(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2_read_shared_file");
+    group.sample_size(10);
+    for &clients in bench::SMALL_CLIENT_COUNTS {
+        let config = MicrobenchConfig { clients, bytes_per_client: 1 << 20, record_size: 4096 };
+        let bsfs = bench::small_bsfs(4, 256 * 1024);
+        prepare_shared_file(&bsfs, &config).unwrap();
+        group.bench_with_input(BenchmarkId::new("BSFS", clients), &clients, |b, _| {
+            b.iter(|| read_shared_file(&bsfs as &dyn DistFs, &config).unwrap())
+        });
+        let hdfs = bench::small_hdfs(4, 256 * 1024);
+        prepare_shared_file(&hdfs, &config).unwrap();
+        group.bench_with_input(BenchmarkId::new("HDFS", clients), &clients, |b, _| {
+            b.iter(|| read_shared_file(&hdfs as &dyn DistFs, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_read_shared);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for E3: concurrent writes to different files, BSFS vs
+//! HDFS, laptop scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapreduce::fs::DistFs;
+use workloads::microbench::{write_distinct_files, MicrobenchConfig};
+
+fn bench_write_distinct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_write_distinct_files");
+    group.sample_size(10);
+    for &clients in bench::SMALL_CLIENT_COUNTS {
+        let config = MicrobenchConfig { clients, bytes_per_client: 1 << 20, record_size: 4096 };
+        let bsfs = bench::small_bsfs(4, 256 * 1024);
+        group.bench_with_input(BenchmarkId::new("BSFS", clients), &clients, |b, _| {
+            b.iter(|| write_distinct_files(&bsfs as &dyn DistFs, &config).unwrap())
+        });
+        let hdfs = bench::small_hdfs(4, 256 * 1024);
+        group.bench_with_input(BenchmarkId::new("HDFS", clients), &clients, |b, _| {
+            b.iter(|| write_distinct_files(&hdfs as &dyn DistFs, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_write_distinct);
+criterion_main!(benches);

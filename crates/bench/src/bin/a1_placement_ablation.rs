@@ -1,0 +1,29 @@
+//! A1 — ablation: how much of BSFS's advantage comes from the provider
+//! manager's load-balanced placement? The write microbenchmark is replayed
+//! with the three placement strategies the provider manager supports.
+
+use blobseer::PlacementStrategy;
+use workloads::simscale::{sim_write_with_strategy, SimScaleConfig};
+
+fn main() {
+    println!("== A1: placement-strategy ablation (write pattern, paper scale) ==");
+    println!();
+    println!("{:<16} {:>8} {:>22} {:>22}", "strategy", "clients", "aggregate MiB/s", "per-client MiB/s");
+    for &clients in &[50usize, 150, 250] {
+        let config = SimScaleConfig::paper(clients);
+        for (label, strategy) in [
+            ("load-balanced", PlacementStrategy::LoadBalanced),
+            ("random", PlacementStrategy::Random),
+            ("local-first", PlacementStrategy::LocalFirst),
+        ] {
+            let report = sim_write_with_strategy(strategy, &config);
+            println!(
+                "{:<16} {:>8} {:>22.1} {:>22.1}",
+                label,
+                clients,
+                report.aggregate_throughput() / (1024.0 * 1024.0),
+                report.mean_client_throughput() / (1024.0 * 1024.0)
+            );
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! E1 — microbenchmark: concurrent clients reading from *different files*
+//! (the access pattern of a map phase over per-task input files, paper §IV-B).
+//!
+//! Runs the paper-scale sweep (1..250 clients on 270 simulated Grid'5000
+//! nodes, 1 GiB per client) for BSFS and HDFS and prints the throughput
+//! series the paper plots.
+
+use workloads::microbench::AccessPattern;
+
+fn main() {
+    let (bsfs, hdfs, records) =
+        bench::paper_sweep("E1", AccessPattern::ReadDistinctFiles, bench::PAPER_CLIENT_COUNTS);
+    bench::print_sweep("E1", "concurrent reads from different files", &bsfs, &hdfs, &records);
+}

@@ -1,0 +1,16 @@
+//! E2 — microbenchmark: concurrent clients reading *non-overlapping parts of
+//! the same huge file* (map phase over one shared input, paper §IV-B).
+
+use workloads::microbench::AccessPattern;
+
+fn main() {
+    let (bsfs, hdfs, records) =
+        bench::paper_sweep("E2", AccessPattern::ReadSharedFile, bench::PAPER_CLIENT_COUNTS);
+    bench::print_sweep(
+        "E2",
+        "concurrent reads of non-overlapping parts of one huge file",
+        &bsfs,
+        &hdfs,
+        &records,
+    );
+}

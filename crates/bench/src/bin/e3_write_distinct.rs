@@ -1,0 +1,10 @@
+//! E3 — microbenchmark: concurrent clients writing to *different files*
+//! (the access pattern of a reduce phase writing per-task outputs, §IV-B).
+
+use workloads::microbench::AccessPattern;
+
+fn main() {
+    let (bsfs, hdfs, records) =
+        bench::paper_sweep("E3", AccessPattern::WriteDistinctFiles, bench::PAPER_CLIENT_COUNTS);
+    bench::print_sweep("E3", "concurrent writes to different files", &bsfs, &hdfs, &records);
+}

@@ -1,0 +1,53 @@
+//! E4 — application experiment: Random Text Writer job completion time,
+//! BSFS vs HDFS (paper §IV-C).
+//!
+//! Two views are reported:
+//!  * a real execution of the MapReduce job (threads, real bytes) at laptop
+//!    scale on both backends, and
+//!  * the paper-scale estimate derived from the job's access pattern —
+//!    "concurrent massively parallel writes to different files" — replayed
+//!    through the flow-level simulator (the paper itself equates the two).
+
+use simcluster::metrics::completion_table;
+use workloads::microbench::AccessPattern;
+use workloads::simscale::{run_pattern, SimScaleConfig, StorageSystem};
+
+fn main() {
+    // Real execution, laptop scale.
+    let block = 1u64 << 20;
+    let (bsfs, hdfs) = bench::app_backends(block);
+    let maps = 16;
+    let records_per_map = 64;
+    let bytes_per_record = 4096;
+
+    let mut records = Vec::new();
+    let job = workloads::random_text_writer_job("/rtw-out", maps, records_per_map, bytes_per_record, 42);
+    let (_r, rec) = bench::run_job_on(&bsfs, &bench::app_topology(), &job);
+    records.push(rec);
+    let job = workloads::random_text_writer_job("/rtw-out", maps, records_per_map, bytes_per_record, 42);
+    let (_r, rec) = bench::run_job_on(&hdfs, &bench::app_topology(), &job);
+    records.push(rec);
+
+    println!("== E4: Random Text Writer, real execution (laptop scale) ==");
+    println!("({maps} map-only tasks x {records_per_map} records x {bytes_per_record} B, 8 nodes)");
+    println!();
+    print!("{}", completion_table(&records));
+    println!();
+
+    // Paper-scale estimate from the job's access pattern.
+    println!("== E4: Random Text Writer, paper-scale estimate (write pattern) ==");
+    println!("(each of 100 writers emits 1 GiB of generated text: job time ~ slowest writer)");
+    println!();
+    println!("{:<8} {:>22} {:>22}", "system", "agg throughput MiB/s", "est. completion (s)");
+    for system in [StorageSystem::Bsfs, StorageSystem::Hdfs] {
+        let config = SimScaleConfig::paper(100);
+        let (agg, per_client) = run_pattern(system, AccessPattern::WriteDistinctFiles, &config);
+        let est_secs = config.bytes_per_client as f64 / per_client;
+        println!(
+            "{:<8} {:>22.1} {:>22.1}",
+            system.name(),
+            agg / (1024.0 * 1024.0),
+            est_secs
+        );
+    }
+}

@@ -1,0 +1,859 @@
+//! The BlobSeer deployment handle and client library.
+//!
+//! [`BlobSeer`] wires the entities together (providers, provider manager,
+//! metadata DHT, version manager); [`BlobSeerClient`] is the per-user handle
+//! implementing the interface the paper describes: "create a blob, read/write
+//! a range of bytes given by offset and size from/to a blob and append a
+//! number of bytes to an existing blob" (§III-A), plus the extra primitive
+//! added for Hadoop integration: exposing the page-to-provider distribution
+//! so the MapReduce scheduler can place computation close to the data
+//! (§III-B).
+//!
+//! ## Write protocol
+//!
+//! 1. the client reserves a version from the version manager (for appends,
+//!    this also fixes the offset, so concurrent appenders never collide);
+//! 2. it obtains page placements from the provider manager and pushes the
+//!    page contents to the chosen providers — the bulk of the work, fully
+//!    parallel across concurrent writers;
+//! 3. it waits for its predecessor version to be published, builds the new
+//!    segment tree (sharing unchanged subtrees with the predecessor), and
+//!    commits the ticket, which publishes the version.
+//!
+//! Only step 3's metadata work is serialized per blob; its cost is a handful
+//! of small DHT records per write, which is what lets BlobSeer sustain
+//! throughput under heavy write concurrency.
+
+use crate::config::BlobSeerConfig;
+use crate::error::{BlobResult, BlobSeerError};
+use crate::metadata::segment_tree::{build_version, lookup_range, PrevTree};
+use crate::metadata::store::MetadataStore;
+use crate::provider::page_key;
+use crate::provider_manager::ProviderManager;
+use crate::types::{next_power_of_two, BlobId, ByteRange, PageMath, ProviderId, Version};
+use crate::version_manager::{VersionInfo, VersionManager, WriteIntent};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use simcluster::topology::ClusterTopology;
+use simcluster::NodeId;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Location information for one page of a blob version, as returned by the
+/// locality primitive [`BlobSeerClient::locate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageLocation {
+    /// Page index within the blob.
+    pub page: u64,
+    /// The byte range of the blob covered by this page, clamped to the
+    /// requested range.
+    pub range: ByteRange,
+    /// Providers holding replicas of the page, in preference order. Empty for
+    /// holes (never-written regions).
+    pub providers: Vec<ProviderId>,
+    /// Cluster nodes those providers run on (same order).
+    pub nodes: Vec<NodeId>,
+}
+
+/// Aggregate I/O counters for a BlobSeer deployment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlobSeerStats {
+    /// Total bytes written by clients (before replication).
+    pub bytes_written: u64,
+    /// Total bytes read by clients.
+    pub bytes_read: u64,
+    /// Number of write/append operations.
+    pub write_ops: u64,
+    /// Number of read operations.
+    pub read_ops: u64,
+}
+
+/// A complete in-process BlobSeer deployment.
+pub struct BlobSeer {
+    config: BlobSeerConfig,
+    topology: ClusterTopology,
+    version_manager: Arc<VersionManager>,
+    provider_manager: Arc<ProviderManager>,
+    metadata: Arc<MetadataStore>,
+    /// Per-blob page size (configurable per blob, as in the paper).
+    page_sizes: RwLock<HashMap<BlobId, u64>>,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+    write_ops: AtomicU64,
+    read_ops: AtomicU64,
+}
+
+impl BlobSeer {
+    /// Create a deployment on a flat (single-rack) topology with one provider
+    /// per node, sized from the configuration.
+    pub fn new(config: BlobSeerConfig) -> Arc<Self> {
+        config.validate();
+        let topology = ClusterTopology::flat(config.providers as u32);
+        let provider_nodes: Vec<NodeId> = topology.all_nodes().collect();
+        Self::with_topology(config, &topology, &provider_nodes)
+    }
+
+    /// Create a deployment whose providers run on the given nodes of an
+    /// existing cluster topology (used by the cluster-scale experiments and by
+    /// BSFS when co-deployed with a MapReduce cluster).
+    pub fn with_topology(
+        config: BlobSeerConfig,
+        topology: &ClusterTopology,
+        provider_nodes: &[NodeId],
+    ) -> Arc<Self> {
+        config.validate();
+        assert!(
+            !provider_nodes.is_empty(),
+            "at least one provider node is required to deploy BlobSeer"
+        );
+        let provider_manager = Arc::new(ProviderManager::new_in_memory(
+            topology,
+            provider_nodes,
+            config.placement,
+        ));
+        let metadata =
+            Arc::new(MetadataStore::new(config.metadata_providers, config.metadata_replication));
+        Arc::new(BlobSeer {
+            config,
+            topology: topology.clone(),
+            version_manager: Arc::new(VersionManager::new()),
+            provider_manager,
+            metadata,
+            page_sizes: RwLock::new(HashMap::new()),
+            bytes_written: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            write_ops: AtomicU64::new(0),
+            read_ops: AtomicU64::new(0),
+        })
+    }
+
+    /// A client attached to the first node of the topology.
+    pub fn client(self: &Arc<Self>) -> BlobSeerClient {
+        self.client_on(self.topology.node(0))
+    }
+
+    /// A client running on a specific cluster node (placement strategies that
+    /// care about locality use this).
+    pub fn client_on(self: &Arc<Self>, node: NodeId) -> BlobSeerClient {
+        BlobSeerClient { system: Arc::clone(self), node }
+    }
+
+    /// The deployment's configuration.
+    pub fn config(&self) -> &BlobSeerConfig {
+        &self.config
+    }
+
+    /// The cluster topology the deployment runs on.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
+    }
+
+    /// The version manager (tests and tools).
+    pub fn version_manager(&self) -> &Arc<VersionManager> {
+        &self.version_manager
+    }
+
+    /// The provider manager (failure injection, load inspection).
+    pub fn provider_manager(&self) -> &Arc<ProviderManager> {
+        &self.provider_manager
+    }
+
+    /// The metadata store (failure injection, traffic counters).
+    pub fn metadata(&self) -> &Arc<MetadataStore> {
+        &self.metadata
+    }
+
+    /// Aggregate I/O counters.
+    pub fn stats(&self) -> BlobSeerStats {
+        BlobSeerStats {
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            write_ops: self.write_ops.load(Ordering::Relaxed),
+            read_ops: self.read_ops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The page size of a blob.
+    pub fn page_size_of(&self, blob: BlobId) -> BlobResult<u64> {
+        self.page_sizes
+            .read()
+            .get(&blob)
+            .copied()
+            .ok_or(BlobSeerError::UnknownBlob(blob))
+    }
+}
+
+/// A client handle; cheap to clone and safe to move across threads.
+#[derive(Clone)]
+pub struct BlobSeerClient {
+    system: Arc<BlobSeer>,
+    node: NodeId,
+}
+
+impl BlobSeerClient {
+    /// The cluster node this client runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The deployment this client talks to.
+    pub fn system(&self) -> &Arc<BlobSeer> {
+        &self.system
+    }
+
+    /// Create a new blob. `page_size` overrides the deployment default
+    /// ("its size can be configured for each blob", §III-A).
+    pub fn create(&self, page_size: Option<u64>) -> BlobResult<BlobId> {
+        let page_size = page_size.unwrap_or(self.system.config.default_page_size);
+        if page_size == 0 {
+            return Err(BlobSeerError::InvalidArgument("page size must be non-zero".into()));
+        }
+        let blob = self.system.version_manager.create_blob();
+        self.system.page_sizes.write().insert(blob, page_size);
+        Ok(blob)
+    }
+
+    /// Delete a blob and all its versions' metadata bookkeeping.
+    pub fn delete(&self, blob: BlobId) -> BlobResult<()> {
+        self.system.version_manager.delete_blob(blob)?;
+        self.system.page_sizes.write().remove(&blob);
+        Ok(())
+    }
+
+    /// The latest published version of a blob.
+    pub fn latest_version(&self, blob: BlobId) -> BlobResult<VersionInfo> {
+        self.system.version_manager.latest(blob)
+    }
+
+    /// Descriptor of a specific version.
+    pub fn version_info(&self, blob: BlobId, version: Version) -> BlobResult<VersionInfo> {
+        self.system.version_manager.get_version(blob, version)
+    }
+
+    /// Size (bytes) of the blob at its latest version.
+    pub fn size(&self, blob: BlobId) -> BlobResult<u64> {
+        Ok(self.latest_version(blob)?.size)
+    }
+
+    /// Write `data` at `offset`, producing (and returning) a new version.
+    pub fn write(&self, blob: BlobId, offset: u64, data: &[u8]) -> BlobResult<Version> {
+        self.do_write(blob, WriteIntent::WriteAt { offset, len: data.len() as u64 }, data)
+    }
+
+    /// Append `data` at the end of the blob, producing a new version. The
+    /// append offset is assigned by the version manager, so concurrent
+    /// appenders each get their own, non-overlapping region.
+    pub fn append(&self, blob: BlobId, data: &[u8]) -> BlobResult<Version> {
+        self.do_write(blob, WriteIntent::Append { len: data.len() as u64 }, data)
+    }
+
+    fn do_write(&self, blob: BlobId, intent: WriteIntent, data: &[u8]) -> BlobResult<Version> {
+        if data.is_empty() {
+            return Err(BlobSeerError::InvalidArgument("zero-length write".into()));
+        }
+        let sys = &self.system;
+        let page_size = sys.page_size_of(blob)?;
+        let pm = PageMath::new(page_size);
+
+        // Step 1: reserve a version (and the offset, for appends).
+        let ticket = sys.version_manager.reserve(blob, intent)?;
+        let range = ticket.range;
+        let (first_page, last_page) =
+            pm.pages_touched(range).expect("non-empty write touches at least one page");
+        let num_pages = last_page - first_page + 1;
+
+        // Step 2a: figure out boundary merges. If the write starts or ends in
+        // the middle of a page that already holds data, the old bytes of that
+        // page must be carried into the new page image. Concurrent unaligned
+        // writers to the same page race (as in the original system); aligned
+        // writes — the only kind BSFS and the benchmarks issue — never merge.
+        let needs_head_merge =
+            range.offset % page_size != 0 && ticket.prev_size > pm.page_start(first_page);
+        let tail_unaligned = range.end() % page_size != 0;
+        let needs_tail_merge = tail_unaligned && range.end() < ticket.prev_size;
+        let latest = sys.version_manager.latest(blob)?;
+        let head_old = if needs_head_merge {
+            self.read_page_image(blob, &latest, &pm, first_page)?
+        } else {
+            Vec::new()
+        };
+        let tail_old = if needs_tail_merge && last_page != first_page {
+            self.read_page_image(blob, &latest, &pm, last_page)?
+        } else if needs_tail_merge {
+            // Same page as the head; reuse what we already fetched (or fetch
+            // it now if the head did not need merging).
+            if needs_head_merge {
+                head_old.clone()
+            } else {
+                self.read_page_image(blob, &latest, &pm, first_page)?
+            }
+        } else {
+            Vec::new()
+        };
+
+        // Step 2b: allocate providers and push the page images.
+        let placements =
+            sys.provider_manager.allocate(num_pages, sys.config.page_replication, self.node);
+        if placements.is_empty() {
+            return Err(BlobSeerError::NoProviders);
+        }
+
+        let mut written: BTreeMap<u64, Vec<ProviderId>> = BTreeMap::new();
+        for (i, page) in (first_page..=last_page).enumerate() {
+            let page_start = pm.page_start(page);
+            let page_end_limit = (page_start + page_size).min(ticket.new_size);
+            let image_len = (page_end_limit - page_start) as usize;
+            let mut image = vec![0u8; image_len];
+
+            // Old bytes carried over on the boundaries.
+            if page == first_page && needs_head_merge {
+                let keep = ((range.offset - page_start) as usize).min(image_len).min(head_old.len());
+                image[..keep].copy_from_slice(&head_old[..keep]);
+            }
+            if page == last_page && needs_tail_merge {
+                let from = (range.end() - page_start) as usize;
+                if from < tail_old.len() {
+                    let n = (tail_old.len() - from).min(image_len.saturating_sub(from));
+                    image[from..from + n].copy_from_slice(&tail_old[from..from + n]);
+                }
+            }
+
+            // New bytes from the write itself.
+            let copy_start_in_blob = range.offset.max(page_start);
+            let copy_end_in_blob = range.end().min(page_start + page_size);
+            let dst_from = (copy_start_in_blob - page_start) as usize;
+            let dst_to = (copy_end_in_blob - page_start) as usize;
+            let src_from = (copy_start_in_blob - range.offset) as usize;
+            let src_to = (copy_end_in_blob - range.offset) as usize;
+            image[dst_from..dst_to].copy_from_slice(&data[src_from..src_to]);
+
+            // Push to every replica provider.
+            let replicas = &placements[i];
+            let key = page_key(blob, ticket.version, page);
+            let image = Bytes::from(image);
+            let mut stored: Vec<ProviderId> = Vec::with_capacity(replicas.len());
+            for pid in replicas {
+                let provider =
+                    sys.provider_manager.provider(*pid).ok_or(BlobSeerError::NoProviders)?;
+                match provider.put_page(&key, image.clone()) {
+                    Ok(()) => stored.push(*pid),
+                    Err(_) => continue, // dead provider: skip, rely on the rest
+                }
+            }
+            if stored.is_empty() {
+                return Err(BlobSeerError::NoProviders);
+            }
+            written.insert(page, stored);
+        }
+
+        // Step 3: wait for the predecessor, build the new tree, publish.
+        let prev = sys.version_manager.wait_for_predecessor(&ticket)?;
+        let prev_tree = PrevTree {
+            root: prev.root,
+            span: if prev.size == 0 { 0 } else { next_power_of_two(pm.pages_for(prev.size)) },
+        };
+        let new_span = next_power_of_two(pm.pages_for(ticket.new_size));
+        let root =
+            build_version(&sys.metadata, blob, ticket.version, prev_tree, new_span, &written)?;
+        let info = sys.version_manager.commit(&ticket, Some(root))?;
+
+        sys.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        sys.write_ops.fetch_add(1, Ordering::Relaxed);
+        Ok(info.version)
+    }
+
+    /// Read the current image of one page at a given (usually latest) version,
+    /// zero-padded to the page's valid length. Used for boundary merges.
+    fn read_page_image(
+        &self,
+        blob: BlobId,
+        version: &VersionInfo,
+        pm: &PageMath,
+        page: u64,
+    ) -> BlobResult<Vec<u8>> {
+        let page_start = pm.page_start(page);
+        if page_start >= version.size {
+            return Ok(Vec::new());
+        }
+        let len = (version.size - page_start).min(pm.page_size());
+        let data = self.read(blob, version.version, page_start, len)?;
+        Ok(data.to_vec())
+    }
+
+    /// Read `len` bytes at `offset` from a specific published version.
+    pub fn read(&self, blob: BlobId, version: Version, offset: u64, len: u64) -> BlobResult<Bytes> {
+        let info = self.system.version_manager.get_version(blob, version)?;
+        self.read_at_version(blob, &info, offset, len)
+    }
+
+    /// Read from the latest published version.
+    pub fn read_latest(&self, blob: BlobId, offset: u64, len: u64) -> BlobResult<Bytes> {
+        let info = self.system.version_manager.latest(blob)?;
+        self.read_at_version(blob, &info, offset, len)
+    }
+
+    fn read_at_version(
+        &self,
+        blob: BlobId,
+        info: &VersionInfo,
+        offset: u64,
+        len: u64,
+    ) -> BlobResult<Bytes> {
+        if len == 0 {
+            return Ok(Bytes::new());
+        }
+        let sys = &self.system;
+        if offset + len > info.size {
+            return Err(BlobSeerError::OutOfBounds {
+                blob,
+                version: info.version,
+                requested_end: offset + len,
+                size: info.size,
+            });
+        }
+        let page_size = sys.page_size_of(blob)?;
+        let pm = PageMath::new(page_size);
+        let range = ByteRange::new(offset, len);
+        let (first_page, last_page) = pm.pages_touched(range).expect("non-empty read");
+        let span = next_power_of_two(pm.pages_for(info.size));
+
+        let locations = lookup_range(&sys.metadata, info.root, span, first_page, last_page)?;
+
+        let mut out = Vec::with_capacity(len as usize);
+        for meta in locations {
+            let page = meta.page;
+            let page_start = pm.page_start(page);
+            let valid_len = ((info.size - page_start).min(page_size)) as usize;
+            let image = self.fetch_page(blob, &meta, valid_len)?;
+
+            // Slice the requested sub-range out of the page image.
+            let from = offset.max(page_start) - page_start;
+            let to = (range.end().min(page_start + page_size)) - page_start;
+            out.extend_from_slice(&image[from as usize..to as usize]);
+        }
+
+        sys.bytes_read.fetch_add(len, Ordering::Relaxed);
+        sys.read_ops.fetch_add(1, Ordering::Relaxed);
+        Ok(Bytes::from(out))
+    }
+
+    /// Fetch one page from its replicas, failing over across dead providers,
+    /// and zero-pad (or zero-fill for holes) to `valid_len`. Pages are stored
+    /// on providers under the version of the write that *created* them, which
+    /// the metadata lookup reports in [`PageMeta::created`].
+    fn fetch_page(
+        &self,
+        blob: BlobId,
+        meta: &crate::metadata::segment_tree::PageMeta,
+        valid_len: usize,
+    ) -> BlobResult<Vec<u8>> {
+        let created = match meta.created {
+            // A hole: never written, reads as zeroes.
+            None => return Ok(vec![0u8; valid_len]),
+            Some(v) => v,
+        };
+        let sys = &self.system;
+        let key = page_key(blob, created, meta.page);
+        let mut last_err: Option<BlobSeerError> = None;
+        for pid in &meta.providers {
+            let provider = match sys.provider_manager.provider(*pid) {
+                Some(p) => p,
+                None => continue,
+            };
+            match provider.get_page(&key) {
+                Ok(Some(data)) => {
+                    // The stored image can be shorter than the valid length
+                    // (the blob grew past this page's last write through a
+                    // hole); pad with zeroes.
+                    let mut image = data.to_vec();
+                    if image.len() < valid_len {
+                        image.resize(valid_len, 0);
+                    } else {
+                        image.truncate(valid_len);
+                    }
+                    return Ok(image);
+                }
+                Ok(None) => continue,
+                Err(e) => {
+                    last_err = Some(e);
+                    continue;
+                }
+            }
+        }
+        let _ = last_err;
+        Err(BlobSeerError::PageUnavailable {
+            blob,
+            version: created,
+            page: meta.page,
+            tried: meta.providers.clone(),
+        })
+    }
+
+    /// Expose the page-to-provider distribution of a byte range, so that a
+    /// MapReduce scheduler can ship computation to the data (§III-B: "we
+    /// extended BlobSeer with a new primitive, that exposes the pages
+    /// distribution to providers").
+    pub fn locate(
+        &self,
+        blob: BlobId,
+        version: Version,
+        offset: u64,
+        len: u64,
+    ) -> BlobResult<Vec<PageLocation>> {
+        let sys = &self.system;
+        let info = sys.version_manager.get_version(blob, version)?;
+        if len == 0 || info.size == 0 {
+            return Ok(Vec::new());
+        }
+        let end = (offset + len).min(info.size);
+        if offset >= end {
+            return Ok(Vec::new());
+        }
+        let page_size = sys.page_size_of(blob)?;
+        let pm = PageMath::new(page_size);
+        let range = ByteRange::new(offset, end - offset);
+        let (first_page, last_page) = pm.pages_touched(range).expect("non-empty range");
+        let span = next_power_of_two(pm.pages_for(info.size));
+        let locations = lookup_range(&sys.metadata, info.root, span, first_page, last_page)?;
+
+        Ok(locations
+            .into_iter()
+            .map(|meta| {
+                let page_range = pm.page_range(meta.page);
+                let clamped = page_range.intersection(&range).unwrap_or(ByteRange::new(0, 0));
+                let nodes = meta
+                    .providers
+                    .iter()
+                    .filter_map(|p| sys.provider_manager.node_of(*p))
+                    .collect();
+                PageLocation { page: meta.page, range: clamped, providers: meta.providers, nodes }
+            })
+            .collect())
+    }
+
+    /// Locate on the latest version.
+    pub fn locate_latest(&self, blob: BlobId, offset: u64, len: u64) -> BlobResult<Vec<PageLocation>> {
+        let info = self.latest_version(blob)?;
+        self.locate(blob, info.version, offset, len)
+    }
+
+    /// All published versions of a blob (snapshot history).
+    pub fn versions(&self, blob: BlobId) -> BlobResult<Vec<VersionInfo>> {
+        self.system.version_manager.published_versions(blob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider_manager::PlacementStrategy;
+
+    fn small_system() -> Arc<BlobSeer> {
+        BlobSeer::new(BlobSeerConfig::for_tests())
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let sys = small_system();
+        let client = sys.client();
+        let blob = client.create(Some(16)).unwrap();
+        assert_eq!(sys.page_size_of(blob).unwrap(), 16);
+
+        let v1 = client.write(blob, 0, b"hello, blobseer!").unwrap();
+        assert_eq!(v1, Version(1));
+        assert_eq!(client.size(blob).unwrap(), 16);
+        assert_eq!(&client.read_latest(blob, 0, 16).unwrap()[..], b"hello, blobseer!");
+        assert_eq!(&client.read_latest(blob, 7, 8).unwrap()[..], b"blobseer");
+    }
+
+    #[test]
+    fn multi_page_write_and_subrange_reads() {
+        let sys = small_system();
+        let client = sys.client();
+        let blob = client.create(Some(8)).unwrap();
+        // 50 bytes over 8-byte pages: 7 pages, last partial.
+        let data: Vec<u8> = (0..50u8).collect();
+        client.write(blob, 0, &data).unwrap();
+        assert_eq!(client.size(blob).unwrap(), 50);
+        assert_eq!(client.read_latest(blob, 0, 50).unwrap().to_vec(), data);
+        // Unaligned sub-range crossing page boundaries.
+        assert_eq!(client.read_latest(blob, 5, 20).unwrap().to_vec(), data[5..25].to_vec());
+        assert_eq!(client.read_latest(blob, 47, 3).unwrap().to_vec(), data[47..50].to_vec());
+    }
+
+    #[test]
+    fn versions_are_immutable_snapshots() {
+        let sys = small_system();
+        let client = sys.client();
+        let blob = client.create(Some(4)).unwrap();
+        let v1 = client.write(blob, 0, b"AAAAAAAA").unwrap();
+        let v2 = client.write(blob, 4, b"BBBB").unwrap();
+        let v3 = client.write(blob, 0, b"CC").unwrap();
+
+        assert_eq!(&client.read(blob, v1, 0, 8).unwrap()[..], b"AAAAAAAA");
+        assert_eq!(&client.read(blob, v2, 0, 8).unwrap()[..], b"AAAABBBB");
+        assert_eq!(&client.read(blob, v3, 0, 8).unwrap()[..], b"CCAABBBB");
+        // History is listed oldest-first.
+        let versions = client.versions(blob).unwrap();
+        assert_eq!(versions.len(), 4); // v0..v3
+        assert_eq!(versions[3].version, v3);
+    }
+
+    #[test]
+    fn appends_extend_the_blob() {
+        let sys = small_system();
+        let client = sys.client();
+        let blob = client.create(Some(8)).unwrap();
+        client.append(blob, b"0123456789").unwrap();
+        client.append(blob, b"abcde").unwrap();
+        assert_eq!(client.size(blob).unwrap(), 15);
+        assert_eq!(&client.read_latest(blob, 0, 15).unwrap()[..], b"0123456789abcde");
+        // The second append started mid-page (offset 10 with 8-byte pages):
+        // boundary merge must have preserved the first append's tail.
+        assert_eq!(&client.read_latest(blob, 8, 4).unwrap()[..], b"89ab");
+    }
+
+    #[test]
+    fn sparse_write_reads_zeroes_in_the_hole() {
+        let sys = small_system();
+        let client = sys.client();
+        let blob = client.create(Some(8)).unwrap();
+        client.write(blob, 0, b"head").unwrap();
+        client.write(blob, 32, b"tail").unwrap();
+        assert_eq!(client.size(blob).unwrap(), 36);
+        let all = client.read_latest(blob, 0, 36).unwrap();
+        assert_eq!(&all[0..4], b"head");
+        assert!(all[4..32].iter().all(|b| *b == 0), "hole must read as zeroes");
+        assert_eq!(&all[32..36], b"tail");
+    }
+
+    #[test]
+    fn out_of_bounds_read_is_rejected() {
+        let sys = small_system();
+        let client = sys.client();
+        let blob = client.create(Some(8)).unwrap();
+        client.write(blob, 0, b"12345").unwrap();
+        assert!(matches!(
+            client.read_latest(blob, 0, 6),
+            Err(BlobSeerError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            client.read_latest(blob, 10, 1),
+            Err(BlobSeerError::OutOfBounds { .. })
+        ));
+        // Zero-length read anywhere is fine and returns empty bytes.
+        assert!(client.read_latest(blob, 0, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_write_and_unknown_blob_errors() {
+        let sys = small_system();
+        let client = sys.client();
+        let blob = client.create(None).unwrap();
+        assert!(matches!(
+            client.write(blob, 0, b""),
+            Err(BlobSeerError::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            client.read_latest(BlobId(999), 0, 1),
+            Err(BlobSeerError::UnknownBlob(_))
+        ));
+        assert!(matches!(client.create(Some(0)), Err(BlobSeerError::InvalidArgument(_))));
+    }
+
+    #[test]
+    fn delete_blob_removes_it() {
+        let sys = small_system();
+        let client = sys.client();
+        let blob = client.create(None).unwrap();
+        client.append(blob, b"x").unwrap();
+        client.delete(blob).unwrap();
+        assert!(client.size(blob).is_err());
+        assert!(sys.page_size_of(blob).is_err());
+    }
+
+    #[test]
+    fn locate_exposes_page_distribution() {
+        let sys = small_system();
+        let client = sys.client();
+        let blob = client.create(Some(8)).unwrap();
+        let v = client.write(blob, 0, &[7u8; 32]).unwrap();
+        let locs = client.locate(blob, v, 0, 32).unwrap();
+        assert_eq!(locs.len(), 4);
+        for (i, loc) in locs.iter().enumerate() {
+            assert_eq!(loc.page, i as u64);
+            assert_eq!(loc.range.len, 8);
+            assert_eq!(loc.providers.len(), 1);
+            assert_eq!(loc.nodes.len(), 1);
+        }
+        // With load-balanced placement over 4 providers, the 4 pages land on
+        // 4 distinct providers.
+        let unique: std::collections::HashSet<_> =
+            locs.iter().map(|l| l.providers[0]).collect();
+        assert_eq!(unique.len(), 4);
+        // A sub-range only reports the pages it touches, clamped.
+        let locs = client.locate_latest(blob, 10, 10).unwrap();
+        assert_eq!(locs.len(), 2);
+        assert_eq!(locs[0].range, ByteRange::new(10, 6));
+        assert_eq!(locs[1].range, ByteRange::new(16, 4));
+        // Empty range locates nothing.
+        assert!(client.locate_latest(blob, 0, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn page_replication_survives_provider_failure() {
+        let config = BlobSeerConfig::for_tests().with_providers(4).with_page_replication(2);
+        let sys = BlobSeer::new(config);
+        let client = sys.client();
+        let blob = client.create(Some(16)).unwrap();
+        let data: Vec<u8> = (0..64u8).collect();
+        let v = client.write(blob, 0, &data).unwrap();
+
+        // Kill the primary replica of every page; reads must fail over.
+        let locs = client.locate(blob, v, 0, 64).unwrap();
+        for loc in &locs {
+            sys.provider_manager().kill(loc.providers[0]);
+        }
+        assert_eq!(client.read(blob, v, 0, 64).unwrap().to_vec(), data);
+    }
+
+    #[test]
+    fn read_fails_cleanly_when_all_replicas_are_dead() {
+        let sys = small_system();
+        let client = sys.client();
+        let blob = client.create(Some(16)).unwrap();
+        let v = client.write(blob, 0, &[1u8; 16]).unwrap();
+        for p in sys.provider_manager().providers() {
+            p.kill();
+        }
+        assert!(matches!(
+            client.read(blob, v, 0, 16),
+            Err(BlobSeerError::PageUnavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn write_fails_when_no_provider_is_alive() {
+        let sys = small_system();
+        let client = sys.client();
+        let blob = client.create(Some(16)).unwrap();
+        for p in sys.provider_manager().providers() {
+            p.kill();
+        }
+        assert!(matches!(client.write(blob, 0, b"data"), Err(BlobSeerError::NoProviders)));
+    }
+
+    #[test]
+    fn concurrent_writers_to_distinct_blobs() {
+        let sys = BlobSeer::new(BlobSeerConfig::for_tests().with_providers(8));
+        let mut handles = Vec::new();
+        for t in 0..8u8 {
+            let client = sys.client_on(sys.topology().node(t as u32 % 8));
+            handles.push(std::thread::spawn(move || {
+                let blob = client.create(Some(64)).unwrap();
+                let data = vec![t; 1024];
+                client.write(blob, 0, &data).unwrap();
+                assert_eq!(client.read_latest(blob, 0, 1024).unwrap().to_vec(), data);
+                blob
+            }));
+        }
+        let blobs: Vec<BlobId> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let unique: std::collections::HashSet<_> = blobs.iter().collect();
+        assert_eq!(unique.len(), 8, "each thread gets its own blob id");
+        assert_eq!(sys.stats().write_ops, 8);
+    }
+
+    #[test]
+    fn concurrent_appenders_to_the_same_blob_never_lose_data() {
+        let sys = BlobSeer::new(BlobSeerConfig::for_tests().with_providers(8));
+        let client0 = sys.client();
+        // Page size 64, records of 64 bytes: appends are page-aligned.
+        let blob = client0.create(Some(64)).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..6u8 {
+            let client = sys.client_on(sys.topology().node(t as u32));
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10 {
+                    client.append(blob, &[t; 64]).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 60 appends of 64 bytes each.
+        assert_eq!(client0.size(blob).unwrap(), 60 * 64);
+        let all = client0.read_latest(blob, 0, 60 * 64).unwrap();
+        // Every 64-byte record is uniform (no torn appends) and each writer's
+        // records appear exactly 10 times.
+        let mut counts = [0usize; 6];
+        for rec in all.chunks(64) {
+            let tag = rec[0];
+            assert!(rec.iter().all(|b| *b == tag), "torn append detected");
+            counts[tag as usize] += 1;
+        }
+        assert!(counts.iter().all(|c| *c == 10), "lost or duplicated appends: {counts:?}");
+        // Version history is gap-free.
+        assert_eq!(client0.latest_version(blob).unwrap().version, Version(60));
+    }
+
+    #[test]
+    fn load_balanced_placement_spreads_pages_of_one_writer() {
+        let sys = BlobSeer::new(
+            BlobSeerConfig::for_tests()
+                .with_providers(8)
+                .with_placement(PlacementStrategy::LoadBalanced),
+        );
+        let client = sys.client();
+        let blob = client.create(Some(128)).unwrap();
+        client.write(blob, 0, &vec![1u8; 128 * 16]).unwrap();
+        let load = sys.provider_manager().allocation_load();
+        assert_eq!(load.len(), 8, "all providers should receive pages");
+        assert!(load.values().all(|c| *c == 2));
+    }
+
+    #[test]
+    fn local_first_placement_keeps_pages_on_the_writer_node() {
+        let sys = BlobSeer::new(
+            BlobSeerConfig::for_tests()
+                .with_providers(4)
+                .with_placement(PlacementStrategy::LocalFirst),
+        );
+        let client = sys.client_on(sys.topology().node(2));
+        let blob = client.create(Some(128)).unwrap();
+        let v = client.write(blob, 0, &vec![1u8; 128 * 8]).unwrap();
+        let locs = client.locate(blob, v, 0, 128 * 8).unwrap();
+        for loc in locs {
+            assert_eq!(loc.nodes[0], sys.topology().node(2));
+        }
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let sys = small_system();
+        let client = sys.client();
+        let blob = client.create(Some(32)).unwrap();
+        client.write(blob, 0, &[0u8; 100]).unwrap();
+        client.read_latest(blob, 0, 100).unwrap();
+        let stats = sys.stats();
+        assert_eq!(stats.bytes_written, 100);
+        assert_eq!(stats.bytes_read, 100);
+        assert_eq!(stats.write_ops, 1);
+        assert_eq!(stats.read_ops, 1);
+    }
+
+    #[test]
+    fn doc_example_from_lib_rs() {
+        // Mirror of the lib.rs doctest, kept as a unit test so failures are
+        // easier to localise.
+        let system = BlobSeer::new(BlobSeerConfig::for_tests());
+        let client = system.client();
+        let blob = client.create(None).unwrap();
+        let v1 = client.append(blob, b"hello ").unwrap();
+        let v2 = client.append(blob, b"world").unwrap();
+        assert_eq!(&client.read_latest(blob, 0, 11).unwrap()[..], b"hello world");
+        assert_eq!(&client.read(blob, v1, 0, 6).unwrap()[..], b"hello ");
+        assert!(v2 > v1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Error type for BlobSeer operations.
+
+use crate::types::{BlobId, ProviderId, Version};
+use std::fmt;
+
+/// Result alias used across the crate.
+pub type BlobResult<T> = Result<T, BlobSeerError>;
+
+/// Errors surfaced by the BlobSeer client API and internal components.
+#[derive(Debug)]
+pub enum BlobSeerError {
+    /// The blob id is not known to the version manager.
+    UnknownBlob(BlobId),
+    /// The requested version has not been published (or never will be).
+    UnknownVersion { blob: BlobId, version: Version },
+    /// A read extends past the end of the blob at the requested version.
+    OutOfBounds { blob: BlobId, version: Version, requested_end: u64, size: u64 },
+    /// No providers are available to accept pages.
+    NoProviders,
+    /// A page could not be read from any of its replica providers.
+    PageUnavailable { blob: BlobId, version: Version, page: u64, tried: Vec<ProviderId> },
+    /// The metadata DHT failed.
+    Metadata(dht::DhtError),
+    /// The underlying page store failed.
+    Storage(kvstore::KvError),
+    /// A write ticket was used twice, or a commit referenced an unknown ticket.
+    InvalidTicket { blob: BlobId, version: Version },
+    /// The operation's arguments were invalid (e.g. zero-length write).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for BlobSeerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlobSeerError::UnknownBlob(b) => write!(f, "unknown blob {b}"),
+            BlobSeerError::UnknownVersion { blob, version } => {
+                write!(f, "unknown version {version} of {blob}")
+            }
+            BlobSeerError::OutOfBounds { blob, version, requested_end, size } => write!(
+                f,
+                "read past end of {blob} at {version}: requested up to byte {requested_end} but size is {size}"
+            ),
+            BlobSeerError::NoProviders => write!(f, "no data providers are available"),
+            BlobSeerError::PageUnavailable { blob, version, page, tried } => write!(
+                f,
+                "page {page} of {blob} at {version} unavailable from any replica ({} tried)",
+                tried.len()
+            ),
+            BlobSeerError::Metadata(e) => write!(f, "metadata error: {e}"),
+            BlobSeerError::Storage(e) => write!(f, "storage error: {e}"),
+            BlobSeerError::InvalidTicket { blob, version } => {
+                write!(f, "invalid or already-used write ticket for {blob} {version}")
+            }
+            BlobSeerError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BlobSeerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BlobSeerError::Metadata(e) => Some(e),
+            BlobSeerError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dht::DhtError> for BlobSeerError {
+    fn from(e: dht::DhtError) -> Self {
+        BlobSeerError::Metadata(e)
+    }
+}
+
+impl From<kvstore::KvError> for BlobSeerError {
+    fn from(e: kvstore::KvError) -> Self {
+        BlobSeerError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = BlobSeerError::UnknownBlob(BlobId(4));
+        assert!(e.to_string().contains("blob-4"));
+        let e = BlobSeerError::OutOfBounds {
+            blob: BlobId(1),
+            version: Version(2),
+            requested_end: 100,
+            size: 50,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("50"));
+        let e = BlobSeerError::PageUnavailable {
+            blob: BlobId(1),
+            version: Version(1),
+            page: 9,
+            tried: vec![ProviderId(0), ProviderId(1)],
+        };
+        assert!(e.to_string().contains("page 9"));
+        assert!(e.to_string().contains("2 tried"));
+        assert!(BlobSeerError::NoProviders.to_string().contains("providers"));
+        assert!(BlobSeerError::InvalidArgument("bad".into()).to_string().contains("bad"));
+    }
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let e: BlobSeerError = dht::DhtError::Empty.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: BlobSeerError = kvstore::KvError::Closed.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e = BlobSeerError::NoProviders;
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,209 @@
+//! Versioned, DHT-backed metadata: the distributed segment tree.
+//!
+//! BlobSeer keeps "the information concerning the location of the pages for
+//! each blob version [...] in a Distributed HashTable, managed by several
+//! metadata providers" (paper §III-A). The data structure stored in that DHT
+//! is a *segment tree per blob version*, organised so that consecutive
+//! versions share the subtrees they have in common — writing a range creates
+//! only the leaves for the written pages plus the inner nodes on the paths
+//! from those leaves to the new root (path copying, as in any persistent
+//! balanced structure). Old versions therefore remain readable forever at no
+//! extra space cost beyond the nodes that actually changed.
+//!
+//! * [`NodeKey`] names a tree node: `(blob, version-created, offset, span)` in
+//!   page units. The key doubles as the DHT key.
+//! * [`TreeNode`] is the stored payload: an inner node holding the keys of its
+//!   two children (either may be absent, representing a hole of zeroes), or a
+//!   leaf holding the replica providers of one page.
+//! * [`store::MetadataStore`] is the thin typed wrapper around the DHT.
+//! * [`segment_tree`] holds the build (write path) and lookup (read path)
+//!   algorithms.
+
+pub mod segment_tree;
+pub mod store;
+
+use crate::types::{BlobId, ProviderId, Version};
+
+/// Identity of one segment-tree node. Also its DHT key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeKey {
+    /// Blob the node belongs to.
+    pub blob: BlobId,
+    /// Version that *created* this node (shared subtrees keep the version of
+    /// the write that created them).
+    pub version: Version,
+    /// First page covered by the node.
+    pub offset: u64,
+    /// Number of pages covered (a power of two; 1 for leaves).
+    pub span: u64,
+}
+
+impl NodeKey {
+    /// Render the DHT key for this node.
+    pub fn dht_key(&self) -> Vec<u8> {
+        format!("meta/{}/{}/{}/{}", self.blob.0, self.version.0, self.offset, self.span)
+            .into_bytes()
+    }
+}
+
+/// Payload of a segment-tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeNode {
+    /// An inner node covering `span` pages, split into two halves. A `None`
+    /// child means that half has never been written (reads return zeroes).
+    Inner { left: Option<NodeKey>, right: Option<NodeKey> },
+    /// A leaf describing one page: the providers holding its replicas, in
+    /// preference order. An empty provider list also denotes a hole.
+    Leaf { page: u64, providers: Vec<ProviderId> },
+}
+
+impl TreeNode {
+    /// Serialize to a compact binary representation for the DHT.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(80);
+        match self {
+            TreeNode::Inner { left, right } => {
+                out.push(0u8);
+                encode_opt_key(&mut out, left);
+                encode_opt_key(&mut out, right);
+            }
+            TreeNode::Leaf { page, providers } => {
+                out.push(1u8);
+                out.extend_from_slice(&page.to_le_bytes());
+                out.extend_from_slice(&(providers.len() as u32).to_le_bytes());
+                for p in providers {
+                    out.extend_from_slice(&p.0.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode a node previously produced by [`TreeNode::encode`]. Returns
+    /// `None` when the bytes are malformed.
+    pub fn decode(data: &[u8]) -> Option<TreeNode> {
+        let (&tag, rest) = data.split_first()?;
+        match tag {
+            0 => {
+                let (left, rest) = decode_opt_key(rest)?;
+                let (right, rest) = decode_opt_key(rest)?;
+                if !rest.is_empty() {
+                    return None;
+                }
+                Some(TreeNode::Inner { left, right })
+            }
+            1 => {
+                if rest.len() < 12 {
+                    return None;
+                }
+                let page = u64::from_le_bytes(rest[0..8].try_into().ok()?);
+                let count = u32::from_le_bytes(rest[8..12].try_into().ok()?) as usize;
+                let rest = &rest[12..];
+                if rest.len() != count * 4 {
+                    return None;
+                }
+                let providers = rest
+                    .chunks_exact(4)
+                    .map(|c| ProviderId(u32::from_le_bytes(c.try_into().unwrap())))
+                    .collect();
+                Some(TreeNode::Leaf { page, providers })
+            }
+            _ => None,
+        }
+    }
+}
+
+fn encode_opt_key(out: &mut Vec<u8>, key: &Option<NodeKey>) {
+    match key {
+        Some(k) => {
+            out.push(1u8);
+            out.extend_from_slice(&k.blob.0.to_le_bytes());
+            out.extend_from_slice(&k.version.0.to_le_bytes());
+            out.extend_from_slice(&k.offset.to_le_bytes());
+            out.extend_from_slice(&k.span.to_le_bytes());
+        }
+        None => out.push(0u8),
+    }
+}
+
+fn decode_opt_key(data: &[u8]) -> Option<(Option<NodeKey>, &[u8])> {
+    let (&tag, rest) = data.split_first()?;
+    match tag {
+        0 => Some((None, rest)),
+        1 => {
+            if rest.len() < 32 {
+                return None;
+            }
+            let blob = BlobId(u64::from_le_bytes(rest[0..8].try_into().ok()?));
+            let version = Version(u64::from_le_bytes(rest[8..16].try_into().ok()?));
+            let offset = u64::from_le_bytes(rest[16..24].try_into().ok()?);
+            let span = u64::from_le_bytes(rest[24..32].try_into().ok()?);
+            Some((Some(NodeKey { blob, version, offset, span }), &rest[32..]))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(v: u64, o: u64, s: u64) -> NodeKey {
+        NodeKey { blob: BlobId(7), version: Version(v), offset: o, span: s }
+    }
+
+    #[test]
+    fn dht_key_is_unique() {
+        assert_ne!(key(1, 0, 4).dht_key(), key(1, 0, 2).dht_key());
+        assert_ne!(key(1, 0, 4).dht_key(), key(2, 0, 4).dht_key());
+        assert_eq!(
+            String::from_utf8(key(3, 8, 4).dht_key()).unwrap(),
+            "meta/7/3/8/4"
+        );
+    }
+
+    #[test]
+    fn inner_node_roundtrip() {
+        let cases = vec![
+            TreeNode::Inner { left: Some(key(1, 0, 2)), right: Some(key(2, 2, 2)) },
+            TreeNode::Inner { left: None, right: Some(key(5, 4, 4)) },
+            TreeNode::Inner { left: Some(key(9, 0, 1)), right: None },
+            TreeNode::Inner { left: None, right: None },
+        ];
+        for node in cases {
+            let decoded = TreeNode::decode(&node.encode()).unwrap();
+            assert_eq!(decoded, node);
+        }
+    }
+
+    #[test]
+    fn leaf_node_roundtrip() {
+        let cases = vec![
+            TreeNode::Leaf { page: 0, providers: vec![] },
+            TreeNode::Leaf { page: 42, providers: vec![ProviderId(3)] },
+            TreeNode::Leaf { page: 7, providers: vec![ProviderId(0), ProviderId(5), ProviderId(9)] },
+        ];
+        for node in cases {
+            let decoded = TreeNode::decode(&node.encode()).unwrap();
+            assert_eq!(decoded, node);
+        }
+    }
+
+    #[test]
+    fn malformed_data_is_rejected() {
+        assert!(TreeNode::decode(&[]).is_none());
+        assert!(TreeNode::decode(&[9]).is_none());
+        assert!(TreeNode::decode(&[1, 0, 0]).is_none());
+        // Truncated inner node.
+        let good = TreeNode::Inner { left: Some(key(1, 0, 2)), right: None }.encode();
+        assert!(TreeNode::decode(&good[..good.len() - 1]).is_none());
+        // Trailing garbage.
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(TreeNode::decode(&padded).is_none());
+        // Leaf with inconsistent provider count.
+        let mut leaf = TreeNode::Leaf { page: 1, providers: vec![ProviderId(1)] }.encode();
+        leaf.truncate(leaf.len() - 2);
+        assert!(TreeNode::decode(&leaf).is_none());
+    }
+}

@@ -1,0 +1,424 @@
+//! Build (write path) and lookup (read path) of the versioned segment tree.
+//!
+//! The tree for a version covers `span` pages, where `span` is the number of
+//! pages of the blob at that version rounded up to a power of two. Writing a
+//! range of pages creates new leaves for exactly those pages and new inner
+//! nodes on the paths from them to the root; every other subtree is *shared*
+//! with the previous version by storing the previous node's key in the new
+//! parent. This is what makes BlobSeer's snapshots cheap and is the mechanism
+//! behind "data is never overwritten: each write or append operation
+//! generates a new version of the blob" (paper §III-A).
+
+use crate::error::BlobResult;
+use crate::metadata::store::MetadataStore;
+use crate::metadata::{NodeKey, TreeNode};
+use crate::types::{BlobId, ProviderId, Version};
+use std::collections::BTreeMap;
+
+/// Description of a previously published tree that a new version builds upon.
+#[derive(Debug, Clone, Copy)]
+pub struct PrevTree {
+    /// Root of the previous version's tree (`None` when the blob was empty).
+    pub root: Option<NodeKey>,
+    /// Span (in pages, power of two) of the previous tree; 0 when empty.
+    pub span: u64,
+}
+
+impl PrevTree {
+    /// The tree of an empty blob.
+    pub fn empty() -> Self {
+        PrevTree { root: None, span: 0 }
+    }
+}
+
+/// Build the segment tree for `version` of `blob`.
+///
+/// * `prev` — the previous version's tree (for subtree sharing).
+/// * `new_span` — span in pages of the new tree (power of two, large enough
+///   to cover the blob's new size).
+/// * `written` — for every page index modified by this write, the ordered
+///   list of providers holding its replicas.
+///
+/// Returns the key of the new root. Panics if `written` is empty (a write
+/// always touches at least one page) or if `new_span` is not a power of two.
+pub fn build_version(
+    store: &MetadataStore,
+    blob: BlobId,
+    version: Version,
+    prev: PrevTree,
+    new_span: u64,
+    written: &BTreeMap<u64, Vec<ProviderId>>,
+) -> BlobResult<NodeKey> {
+    assert!(!written.is_empty(), "a write must touch at least one page");
+    assert!(new_span.is_power_of_two(), "tree span must be a power of two");
+    let wfirst = *written.keys().next().unwrap();
+    let wlast = *written.keys().next_back().unwrap();
+    assert!(wlast < new_span, "written pages must fit in the new tree span");
+    assert!(prev.span <= new_span, "a tree never shrinks");
+
+    // When the blob grows, pre-extend the previous tree to the new span by
+    // wrapping its root in inner nodes whose right halves are holes. The
+    // recursion below can then always find "the previous node covering the
+    // same (offset, span)" by simple structural descent, even for subtrees
+    // that the write does not touch. Wrapper nodes carry the new version; if
+    // the recursion later creates a node at the same coordinates it simply
+    // overwrites the wrapper, which at that point is no longer referenced.
+    let mut prev = prev;
+    if prev.root.is_some() {
+        while prev.span < new_span {
+            let span = prev.span * 2;
+            let key = NodeKey { blob, version, offset: 0, span };
+            store.put_node(key, &TreeNode::Inner { left: prev.root, right: None })?;
+            prev = PrevTree { root: Some(key), span };
+        }
+    }
+
+    let ctx = BuildCtx { store, blob, version, prev, wfirst, wlast, written };
+    let root = build_node(&ctx, 0, new_span, None)?
+        .expect("the root always overlaps the written range");
+    Ok(root)
+}
+
+struct BuildCtx<'a> {
+    store: &'a MetadataStore,
+    blob: BlobId,
+    version: Version,
+    prev: PrevTree,
+    wfirst: u64,
+    wlast: u64,
+    written: &'a BTreeMap<u64, Vec<ProviderId>>,
+}
+
+/// Recursive path-copying build. `prev_here` is the previous version's node
+/// covering exactly `(offset, span)`, when known from the parent.
+fn build_node(
+    ctx: &BuildCtx<'_>,
+    offset: u64,
+    span: u64,
+    prev_here: Option<NodeKey>,
+) -> BlobResult<Option<NodeKey>> {
+    // When the new tree is taller than the previous one, the previous root
+    // reappears as the node covering (0, prev.span) somewhere down the left
+    // spine; graft it in when we reach that position.
+    let prev_here = if prev_here.is_none() && offset == 0 && span == ctx.prev.span {
+        ctx.prev.root
+    } else {
+        prev_here
+    };
+
+    let overlaps = ctx.wfirst < offset + span && ctx.wlast >= offset;
+    if !overlaps {
+        // Untouched subtree: share the previous node (or keep the hole).
+        return Ok(prev_here);
+    }
+
+    if span == 1 {
+        // This page is inside the written range; `written` may still not
+        // contain it if the caller wrote a sparse set, in which case the page
+        // keeps its previous contents (or stays a hole).
+        return match ctx.written.get(&offset) {
+            Some(providers) => {
+                let key =
+                    NodeKey { blob: ctx.blob, version: ctx.version, offset, span: 1 };
+                ctx.store
+                    .put_node(key, &TreeNode::Leaf { page: offset, providers: providers.clone() })?;
+                Ok(Some(key))
+            }
+            None => Ok(prev_here),
+        };
+    }
+
+    let half = span / 2;
+    let (prev_left, prev_right) = match prev_here {
+        Some(pk) => match ctx.store.get_node(pk)? {
+            TreeNode::Inner { left, right } => (left, right),
+            // A leaf cannot cover more than one page; treat defensively.
+            TreeNode::Leaf { .. } => (None, None),
+        },
+        None => (None, None),
+    };
+
+    let left = build_node(ctx, offset, half, prev_left)?;
+    let right = build_node(ctx, offset + half, half, prev_right)?;
+
+    let key = NodeKey { blob: ctx.blob, version: ctx.version, offset, span };
+    ctx.store.put_node(key, &TreeNode::Inner { left, right })?;
+    Ok(Some(key))
+}
+
+/// Location metadata for one page, as resolved by [`lookup_range`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageMeta {
+    /// Page index within the blob.
+    pub page: u64,
+    /// The version whose write created this page image. Pages are stored on
+    /// providers under `(blob, created, page)`, so readers need this to build
+    /// the storage key. `None` for holes.
+    pub created: Option<Version>,
+    /// Providers holding replicas of the page, in preference order. Empty for
+    /// holes (never-written regions, which read as zeroes).
+    pub providers: Vec<ProviderId>,
+}
+
+/// Resolve the location of every page in `[first_page, last_page]` under the
+/// tree rooted at `root` (with span `span`). Pages falling in holes are
+/// reported with an empty provider list; the client materialises them as
+/// zeroes.
+pub fn lookup_range(
+    store: &MetadataStore,
+    root: Option<NodeKey>,
+    span: u64,
+    first_page: u64,
+    last_page: u64,
+) -> BlobResult<Vec<PageMeta>> {
+    assert!(first_page <= last_page, "page range must be non-empty");
+    let mut out = Vec::with_capacity((last_page - first_page + 1) as usize);
+    let covered_span = span.max(1);
+    collect(store, root, 0, covered_span, first_page, last_page, &mut out)?;
+    // Pages requested beyond the tree span (possible when the caller rounds
+    // generously) are holes too.
+    for p in first_page.max(covered_span)..=last_page {
+        out.push(PageMeta { page: p, created: None, providers: Vec::new() });
+    }
+    out.sort_by_key(|m| m.page);
+    Ok(out)
+}
+
+fn collect(
+    store: &MetadataStore,
+    node: Option<NodeKey>,
+    offset: u64,
+    span: u64,
+    first: u64,
+    last: u64,
+    out: &mut Vec<PageMeta>,
+) -> BlobResult<()> {
+    // No overlap with the requested page interval.
+    if last < offset || first >= offset + span {
+        return Ok(());
+    }
+    match node {
+        None => {
+            let lo = first.max(offset);
+            let hi = last.min(offset + span - 1);
+            for p in lo..=hi {
+                out.push(PageMeta { page: p, created: None, providers: Vec::new() });
+            }
+        }
+        Some(key) => match store.get_node(key)? {
+            TreeNode::Leaf { page, providers } => {
+                if page >= first && page <= last {
+                    let created = if providers.is_empty() { None } else { Some(key.version) };
+                    out.push(PageMeta { page, created, providers });
+                }
+            }
+            TreeNode::Inner { left, right } => {
+                let half = span / 2;
+                collect(store, left, offset, half, first, last, out)?;
+                collect(store, right, offset + half, half, first, last, out)?;
+            }
+        },
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::next_power_of_two;
+
+    fn store() -> MetadataStore {
+        MetadataStore::new(3, 1)
+    }
+
+    fn providers(ids: &[u32]) -> Vec<ProviderId> {
+        ids.iter().map(|i| ProviderId(*i)).collect()
+    }
+
+    fn written(pages: &[(u64, &[u32])]) -> BTreeMap<u64, Vec<ProviderId>> {
+        pages.iter().map(|(p, ids)| (*p, providers(ids))).collect()
+    }
+
+    /// Brute-force reference model: page index -> providers, per version.
+    fn check_matches(
+        store: &MetadataStore,
+        root: NodeKey,
+        span: u64,
+        expected: &BTreeMap<u64, Vec<ProviderId>>,
+        num_pages: u64,
+    ) {
+        let got = lookup_range(store, Some(root), span, 0, num_pages.saturating_sub(1).max(0))
+            .unwrap();
+        assert_eq!(got.len() as u64, num_pages);
+        for meta in got {
+            let exp = expected.get(&meta.page).cloned().unwrap_or_default();
+            assert_eq!(meta.providers, exp, "page {} providers mismatch", meta.page);
+        }
+    }
+
+    #[test]
+    fn single_page_blob() {
+        let s = store();
+        let w = written(&[(0, &[1, 2])]);
+        let root = build_version(&s, BlobId(0), Version(1), PrevTree::empty(), 1, &w).unwrap();
+        let got = lookup_range(&s, Some(root), 1, 0, 0).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].page, 0);
+        assert_eq!(got[0].providers, providers(&[1, 2]));
+        assert_eq!(got[0].created, Some(Version(1)));
+    }
+
+    #[test]
+    fn full_write_then_partial_overwrite_shares_subtrees() {
+        let s = store();
+        // v1: pages 0..8 all written to provider 0.
+        let w1: BTreeMap<_, _> = (0..8).map(|p| (p, providers(&[0]))).collect();
+        let root1 = build_version(&s, BlobId(1), Version(1), PrevTree::empty(), 8, &w1).unwrap();
+        let after_v1 = s.stats().nodes_written;
+        // 8 leaves + 7 inner nodes.
+        assert_eq!(after_v1, 15);
+
+        // v2: overwrite pages 2..4 with provider 1.
+        let w2 = written(&[(2, &[1]), (3, &[1])]);
+        let prev = PrevTree { root: Some(root1), span: 8 };
+        let root2 = build_version(&s, BlobId(1), Version(2), prev, 8, &w2).unwrap();
+        let v2_new_nodes = s.stats().nodes_written - after_v1;
+        // Only 2 leaves + the path to the root (inner nodes covering spans
+        // 2, 4, 8) are new: 5 nodes. Everything else is shared.
+        assert_eq!(v2_new_nodes, 5, "path copying should create only the changed path");
+
+        // Both versions read correctly.
+        let mut expected1: BTreeMap<u64, Vec<ProviderId>> =
+            (0..8).map(|p| (p, providers(&[0]))).collect();
+        check_matches(&s, root1, 8, &expected1, 8);
+        expected1.insert(2, providers(&[1]));
+        expected1.insert(3, providers(&[1]));
+        check_matches(&s, root2, 8, &expected1, 8);
+    }
+
+    #[test]
+    fn append_grows_the_tree_and_shares_the_old_root() {
+        let s = store();
+        // v1: 4 pages.
+        let w1: BTreeMap<_, _> = (0..4).map(|p| (p, providers(&[0]))).collect();
+        let root1 = build_version(&s, BlobId(2), Version(1), PrevTree::empty(), 4, &w1).unwrap();
+        let after_v1 = s.stats().nodes_written;
+
+        // v2: append 4 more pages; span grows 4 -> 8.
+        let w2: BTreeMap<_, _> = (4..8).map(|p| (p, providers(&[1]))).collect();
+        let prev = PrevTree { root: Some(root1), span: 4 };
+        let root2 = build_version(&s, BlobId(2), Version(2), prev, 8, &w2).unwrap();
+        let v2_new = s.stats().nodes_written - after_v1;
+        // New metadata records: 1 wrapper extending the old root to span 8,
+        // 4 leaves for pages 4..8, inner nodes covering (4,2), (6,2), (4,4),
+        // and the new root (0,8) which overwrites the wrapper = 9 puts. The
+        // old subtree (0,4) is shared untouched.
+        assert_eq!(v2_new, 9);
+
+        let expected1: BTreeMap<_, _> = (0..4).map(|p| (p, providers(&[0]))).collect();
+        check_matches(&s, root1, 4, &expected1, 4);
+        let mut expected2 = expected1;
+        for p in 4..8 {
+            expected2.insert(p, providers(&[1]));
+        }
+        check_matches(&s, root2, 8, &expected2, 8);
+    }
+
+    #[test]
+    fn sparse_write_leaves_holes() {
+        let s = store();
+        // First write lands at pages 5..7 of an empty blob: pages 0..5 are holes.
+        let w = written(&[(5, &[3]), (6, &[3])]);
+        let span = next_power_of_two(7);
+        let root = build_version(&s, BlobId(3), Version(1), PrevTree::empty(), span, &w).unwrap();
+        let got = lookup_range(&s, Some(root), span, 0, 6).unwrap();
+        assert_eq!(got.len(), 7);
+        for meta in got {
+            if meta.page == 5 || meta.page == 6 {
+                assert_eq!(meta.providers, providers(&[3]));
+                assert_eq!(meta.created, Some(Version(1)));
+            } else {
+                assert!(meta.providers.is_empty(), "page {} should be a hole", meta.page);
+                assert_eq!(meta.created, None);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_subrange_only_returns_requested_pages() {
+        let s = store();
+        let w: BTreeMap<_, _> = (0..16).map(|p| (p, providers(&[p as u32]))).collect();
+        let root = build_version(&s, BlobId(4), Version(1), PrevTree::empty(), 16, &w).unwrap();
+        let got = lookup_range(&s, Some(root), 16, 5, 9).unwrap();
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[0].page, 5);
+        assert_eq!(got[4].page, 9);
+        for meta in got {
+            assert_eq!(meta.providers, providers(&[meta.page as u32]));
+        }
+    }
+
+    #[test]
+    fn empty_tree_lookup_is_all_holes() {
+        let s = store();
+        let got = lookup_range(&s, None, 0, 0, 3).unwrap();
+        assert_eq!(got.len(), 4);
+        assert!(got.iter().all(|m| m.providers.is_empty() && m.created.is_none()));
+    }
+
+    #[test]
+    fn created_version_tracks_the_writing_version_across_snapshots() {
+        let s = store();
+        // v1 writes pages 0..4; v2 rewrites page 2 only.
+        let w1: BTreeMap<_, _> = (0..4).map(|p| (p, providers(&[0]))).collect();
+        let root1 = build_version(&s, BlobId(6), Version(1), PrevTree::empty(), 4, &w1).unwrap();
+        let w2 = written(&[(2, &[1])]);
+        let prev = PrevTree { root: Some(root1), span: 4 };
+        let root2 = build_version(&s, BlobId(6), Version(2), prev, 4, &w2).unwrap();
+        let got = lookup_range(&s, Some(root2), 4, 0, 3).unwrap();
+        assert_eq!(got[0].created, Some(Version(1)), "page 0 still carries the v1 image");
+        assert_eq!(got[2].created, Some(Version(2)), "page 2 was replaced by v2");
+        assert_eq!(got[3].created, Some(Version(1)));
+    }
+
+    #[test]
+    fn many_versions_remain_readable() {
+        let s = store();
+        let blob = BlobId(9);
+        let span = 8u64;
+        let mut roots = Vec::new();
+        let mut model: Vec<BTreeMap<u64, Vec<ProviderId>>> = Vec::new();
+        let mut prev = PrevTree::empty();
+        let mut current: BTreeMap<u64, Vec<ProviderId>> = BTreeMap::new();
+        // 10 successive single-page writes, each a new version.
+        for v in 1..=10u64 {
+            let page = (v * 3) % 8;
+            let w = written(&[(page, &[v as u32])]);
+            let root = build_version(&s, blob, Version(v), prev, span, &w).unwrap();
+            current.insert(page, providers(&[v as u32]));
+            roots.push(root);
+            model.push(current.clone());
+            prev = PrevTree { root: Some(root), span };
+        }
+        // Every historical version still reads exactly as it was.
+        for (i, root) in roots.iter().enumerate() {
+            check_matches(&s, *root, span, &model[i], 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn empty_write_is_rejected() {
+        let s = store();
+        let w = BTreeMap::new();
+        let _ = build_version(&s, BlobId(0), Version(1), PrevTree::empty(), 4, &w);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_span_is_rejected() {
+        let s = store();
+        let w = written(&[(0, &[1])]);
+        let _ = build_version(&s, BlobId(0), Version(1), PrevTree::empty(), 6, &w);
+    }
+}

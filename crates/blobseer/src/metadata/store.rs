@@ -1,0 +1,129 @@
+//! Typed wrapper around the metadata DHT.
+
+use crate::error::{BlobResult, BlobSeerError};
+use crate::metadata::{NodeKey, TreeNode};
+use bytes::Bytes;
+use dht::{Dht, DhtConfig, DhtError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters describing metadata traffic (useful for the metadata-overhead
+/// ablation and for sanity checks in tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetadataStats {
+    /// Tree nodes written.
+    pub nodes_written: u64,
+    /// Tree nodes read.
+    pub nodes_read: u64,
+}
+
+/// The metadata store: segment-tree nodes in a DHT of metadata providers.
+pub struct MetadataStore {
+    dht: Arc<Dht>,
+    nodes_written: AtomicU64,
+    nodes_read: AtomicU64,
+}
+
+impl MetadataStore {
+    /// Create a store with a fresh DHT of `metadata_providers` nodes.
+    pub fn new(metadata_providers: usize, replication: usize) -> Self {
+        let dht = Dht::new(DhtConfig {
+            nodes: metadata_providers,
+            replication,
+            virtual_nodes: 64,
+        });
+        Self::with_dht(Arc::new(dht))
+    }
+
+    /// Wrap an existing DHT (lets tests inject failures from outside).
+    pub fn with_dht(dht: Arc<Dht>) -> Self {
+        MetadataStore { dht, nodes_written: AtomicU64::new(0), nodes_read: AtomicU64::new(0) }
+    }
+
+    /// Access the underlying DHT (failure injection in tests).
+    pub fn dht(&self) -> &Arc<Dht> {
+        &self.dht
+    }
+
+    /// Persist a tree node.
+    pub fn put_node(&self, key: NodeKey, node: &TreeNode) -> BlobResult<()> {
+        self.nodes_written.fetch_add(1, Ordering::Relaxed);
+        self.dht.put(&key.dht_key(), Bytes::from(node.encode()))?;
+        Ok(())
+    }
+
+    /// Fetch a tree node. A missing node is an error at this layer: callers
+    /// pass `None` keys for holes, so a dangling key means corruption or a
+    /// dead metadata provider quorum.
+    pub fn get_node(&self, key: NodeKey) -> BlobResult<TreeNode> {
+        self.nodes_read.fetch_add(1, Ordering::Relaxed);
+        let raw = self.dht.get(&key.dht_key())?;
+        TreeNode::decode(&raw).ok_or_else(|| {
+            BlobSeerError::Metadata(DhtError::NotFound {
+                key: format!("undecodable metadata node {key:?}"),
+            })
+        })
+    }
+
+    /// Remove a tree node (used by version garbage collection).
+    pub fn remove_node(&self, key: NodeKey) -> BlobResult<bool> {
+        Ok(self.dht.remove(&key.dht_key())?)
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> MetadataStats {
+        MetadataStats {
+            nodes_written: self.nodes_written.load(Ordering::Relaxed),
+            nodes_read: self.nodes_read.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{BlobId, ProviderId, Version};
+
+    fn key(v: u64, o: u64, s: u64) -> NodeKey {
+        NodeKey { blob: BlobId(1), version: Version(v), offset: o, span: s }
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_stats() {
+        let store = MetadataStore::new(3, 2);
+        let leaf = TreeNode::Leaf { page: 5, providers: vec![ProviderId(2)] };
+        store.put_node(key(1, 5, 1), &leaf).unwrap();
+        let got = store.get_node(key(1, 5, 1)).unwrap();
+        assert_eq!(got, leaf);
+        let stats = store.stats();
+        assert_eq!(stats.nodes_written, 1);
+        assert_eq!(stats.nodes_read, 1);
+    }
+
+    #[test]
+    fn missing_node_is_an_error() {
+        let store = MetadataStore::new(2, 1);
+        assert!(store.get_node(key(9, 0, 1)).is_err());
+    }
+
+    #[test]
+    fn remove_node() {
+        let store = MetadataStore::new(2, 1);
+        let n = TreeNode::Inner { left: None, right: None };
+        store.put_node(key(1, 0, 2), &n).unwrap();
+        assert!(store.remove_node(key(1, 0, 2)).unwrap());
+        assert!(store.get_node(key(1, 0, 2)).is_err());
+        assert!(!store.remove_node(key(1, 0, 2)).unwrap());
+    }
+
+    #[test]
+    fn metadata_survives_one_dht_node_failure() {
+        let store = MetadataStore::new(4, 2);
+        let leaf = TreeNode::Leaf { page: 0, providers: vec![ProviderId(0)] };
+        store.put_node(key(1, 0, 1), &leaf).unwrap();
+        // Kill one of the replicas of that key.
+        let replicas = store.dht().replicas_for(&key(1, 0, 1).dht_key());
+        store.dht().kill(replicas[0]).unwrap();
+        assert_eq!(store.get_node(key(1, 0, 1)).unwrap(), leaf);
+    }
+}

@@ -1,0 +1,210 @@
+//! Data providers: the nodes that store pages.
+//!
+//! "The providers store the pages, as assigned by the provider manager"
+//! (paper §III-A). A provider wraps a [`PageStore`] backend (in-memory or the
+//! durable log-structured store), knows which cluster node it runs on (for
+//! locality-aware scheduling and the network model), counts its traffic, and
+//! can be killed/revived for fault-tolerance experiments.
+
+use crate::error::{BlobResult, BlobSeerError};
+use crate::types::{BlobId, ProviderId, Version};
+use bytes::Bytes;
+use kvstore::{MemStore, PageStore};
+use simcluster::NodeId;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Build the storage key under which a page is kept on a provider.
+///
+/// Pages are immutable once written (BlobSeer never overwrites data), so the
+/// key embeds the version that created the page.
+pub fn page_key(blob: BlobId, version: Version, page_index: u64) -> Vec<u8> {
+    format!("{}/{}/page-{}", blob, version, page_index).into_bytes()
+}
+
+/// Traffic and storage counters for one provider.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProviderStats {
+    /// Number of pages currently stored.
+    pub pages: usize,
+    /// Bytes currently stored.
+    pub stored_bytes: u64,
+    /// Total pages written since start (monotonic).
+    pub writes: u64,
+    /// Total pages served since start (monotonic).
+    pub reads: u64,
+    /// Total bytes written since start (monotonic).
+    pub bytes_written: u64,
+    /// Total bytes served since start (monotonic).
+    pub bytes_read: u64,
+}
+
+/// One data provider.
+pub struct Provider {
+    id: ProviderId,
+    node: NodeId,
+    store: Arc<dyn PageStore>,
+    alive: AtomicBool,
+    writes: AtomicU64,
+    reads: AtomicU64,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+}
+
+impl Provider {
+    /// Create a provider backed by an in-memory store.
+    pub fn in_memory(id: ProviderId, node: NodeId) -> Self {
+        Self::with_store(id, node, Arc::new(MemStore::new()))
+    }
+
+    /// Create a provider backed by an arbitrary page store (e.g. a
+    /// [`kvstore::LogStore`] for durability).
+    pub fn with_store(id: ProviderId, node: NodeId, store: Arc<dyn PageStore>) -> Self {
+        Provider {
+            id,
+            node,
+            store,
+            alive: AtomicBool::new(true),
+            writes: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+        }
+    }
+
+    /// This provider's id.
+    pub fn id(&self) -> ProviderId {
+        self.id
+    }
+
+    /// The cluster node this provider runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Is the provider serving requests?
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Simulate a crash. The underlying store keeps its data so that a
+    /// revive models a restart from persistent storage.
+    pub fn kill(&self) {
+        self.alive.store(false, Ordering::Release);
+    }
+
+    /// Bring the provider back online.
+    pub fn revive(&self) {
+        self.alive.store(true, Ordering::Release);
+    }
+
+    /// Store a page. Fails if the provider is down.
+    pub fn put_page(&self, key: &[u8], data: Bytes) -> BlobResult<()> {
+        if !self.is_alive() {
+            return Err(BlobSeerError::Storage(kvstore::KvError::Closed));
+        }
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.store.put(key, data)?;
+        Ok(())
+    }
+
+    /// Fetch a page. Returns `Ok(None)` when the provider is up but does not
+    /// hold the page, and an error when the provider is down.
+    pub fn get_page(&self, key: &[u8]) -> BlobResult<Option<Bytes>> {
+        if !self.is_alive() {
+            return Err(BlobSeerError::Storage(kvstore::KvError::Closed));
+        }
+        let page = self.store.get(key)?;
+        if let Some(p) = &page {
+            self.reads.fetch_add(1, Ordering::Relaxed);
+            self.bytes_read.fetch_add(p.len() as u64, Ordering::Relaxed);
+        }
+        Ok(page)
+    }
+
+    /// Delete a page (used by version garbage collection).
+    pub fn delete_page(&self, key: &[u8]) -> BlobResult<bool> {
+        if !self.is_alive() {
+            return Err(BlobSeerError::Storage(kvstore::KvError::Closed));
+        }
+        Ok(self.store.delete(key)?)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ProviderStats {
+        ProviderStats {
+            pages: self.store.len(),
+            stored_bytes: self.store.data_bytes(),
+            writes: self.writes.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn provider() -> Provider {
+        Provider::in_memory(ProviderId(0), NodeId(0))
+    }
+
+    #[test]
+    fn page_key_is_unique_per_blob_version_page() {
+        let a = page_key(BlobId(1), Version(2), 3);
+        let b = page_key(BlobId(1), Version(2), 4);
+        let c = page_key(BlobId(1), Version(3), 3);
+        let d = page_key(BlobId(2), Version(2), 3);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(String::from_utf8(a).unwrap(), "blob-1/v2/page-3");
+    }
+
+    #[test]
+    fn put_get_delete_and_stats() {
+        let p = provider();
+        assert_eq!(p.id(), ProviderId(0));
+        assert_eq!(p.node(), NodeId(0));
+        let key = page_key(BlobId(0), Version(1), 0);
+        p.put_page(&key, Bytes::from(vec![7u8; 100])).unwrap();
+        let got = p.get_page(&key).unwrap().unwrap();
+        assert_eq!(got.len(), 100);
+        assert!(p.get_page(b"missing").unwrap().is_none());
+
+        let s = p.stats();
+        assert_eq!(s.pages, 1);
+        assert_eq!(s.stored_bytes, 100);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.bytes_written, 100);
+        assert_eq!(s.bytes_read, 100);
+
+        assert!(p.delete_page(&key).unwrap());
+        assert_eq!(p.stats().pages, 0);
+    }
+
+    #[test]
+    fn dead_provider_rejects_all_operations() {
+        let p = provider();
+        let key = page_key(BlobId(0), Version(1), 0);
+        p.put_page(&key, Bytes::from_static(b"data")).unwrap();
+        p.kill();
+        assert!(!p.is_alive());
+        assert!(p.put_page(&key, Bytes::from_static(b"x")).is_err());
+        assert!(p.get_page(&key).is_err());
+        assert!(p.delete_page(&key).is_err());
+        p.revive();
+        assert_eq!(p.get_page(&key).unwrap().unwrap(), Bytes::from_static(b"data"));
+    }
+
+    #[test]
+    fn missing_page_read_does_not_count_as_served() {
+        let p = provider();
+        let _ = p.get_page(b"nope").unwrap();
+        assert_eq!(p.stats().reads, 0);
+    }
+}

@@ -1,0 +1,443 @@
+//! The provider manager: decides which providers store which pages.
+//!
+//! "The providers store the pages, as assigned by the provider manager; the
+//! distribution of pages to providers aims at achieving load-balancing"
+//! (paper §III-A). The evaluation section credits exactly this load-balancing
+//! allocation for BSFS's throughput advantage over HDFS, whose policy always
+//! writes the first replica locally. To make that comparison (and the A1
+//! ablation) possible, the manager supports several interchangeable
+//! strategies.
+
+use crate::provider::Provider;
+use crate::types::ProviderId;
+use kvstore::PageStore;
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use simcluster::topology::{ClusterTopology, Proximity};
+use simcluster::NodeId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How the provider manager spreads pages over providers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementStrategy {
+    /// BlobSeer's strategy: pick the provider with the fewest allocated
+    /// pages, breaking ties round-robin. Spreads load evenly over the whole
+    /// deployment regardless of where the writer runs.
+    LoadBalanced,
+    /// The HDFS-style strategy used as the ablation baseline: the first
+    /// replica goes to a provider co-located with the writing client (or the
+    /// closest one), the second to a provider in the same rack, further
+    /// replicas to providers outside the rack.
+    LocalFirst,
+    /// Uniformly random placement (a second ablation point: load-balancing
+    /// without the least-loaded feedback loop).
+    Random,
+}
+
+/// A registry of providers plus the placement logic.
+pub struct ProviderManager {
+    providers: RwLock<Vec<Arc<Provider>>>,
+    topology: ClusterTopology,
+    strategy: PlacementStrategy,
+    /// Pages allocated to each provider so far (allocation-time accounting,
+    /// maintained even before the data lands, so that concurrent writers
+    /// spread out immediately).
+    allocated: Mutex<HashMap<ProviderId, u64>>,
+    /// Round-robin cursor used to break ties deterministically.
+    cursor: Mutex<usize>,
+    /// Deterministic pseudo-random state for [`PlacementStrategy::Random`].
+    rng_state: Mutex<u64>,
+}
+
+impl ProviderManager {
+    /// Create a manager over in-memory providers, one per entry of `nodes`.
+    pub fn new_in_memory(
+        topology: &ClusterTopology,
+        nodes: &[NodeId],
+        strategy: PlacementStrategy,
+    ) -> Self {
+        let providers = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| Arc::new(Provider::in_memory(ProviderId(i as u32), *n)))
+            .collect();
+        Self::with_providers(topology, providers, strategy)
+    }
+
+    /// Create a manager over providers with custom storage backends. The
+    /// `backends` iterator supplies one [`PageStore`] per node.
+    pub fn new_with_backends(
+        topology: &ClusterTopology,
+        nodes: &[NodeId],
+        strategy: PlacementStrategy,
+        mut backends: impl FnMut(usize) -> Arc<dyn PageStore>,
+    ) -> Self {
+        let providers = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| Arc::new(Provider::with_store(ProviderId(i as u32), *n, backends(i))))
+            .collect();
+        Self::with_providers(topology, providers, strategy)
+    }
+
+    /// Wrap an existing set of providers.
+    pub fn with_providers(
+        topology: &ClusterTopology,
+        providers: Vec<Arc<Provider>>,
+        strategy: PlacementStrategy,
+    ) -> Self {
+        assert!(!providers.is_empty(), "at least one provider is required");
+        ProviderManager {
+            providers: RwLock::new(providers),
+            topology: topology.clone(),
+            strategy,
+            allocated: Mutex::new(HashMap::new()),
+            cursor: Mutex::new(0),
+            rng_state: Mutex::new(0x1234_5678_9ABC_DEF0),
+        }
+    }
+
+    /// The strategy in use.
+    pub fn strategy(&self) -> PlacementStrategy {
+        self.strategy
+    }
+
+    /// Number of providers (live and dead).
+    pub fn len(&self) -> usize {
+        self.providers.read().len()
+    }
+
+    /// True when no providers exist (never the case after construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetch a provider by id.
+    pub fn provider(&self, id: ProviderId) -> Option<Arc<Provider>> {
+        self.providers.read().get(id.0 as usize).cloned()
+    }
+
+    /// All providers.
+    pub fn providers(&self) -> Vec<Arc<Provider>> {
+        self.providers.read().clone()
+    }
+
+    /// The cluster node a provider runs on (used by the locality primitive).
+    pub fn node_of(&self, id: ProviderId) -> Option<NodeId> {
+        self.provider(id).map(|p| p.node())
+    }
+
+    /// Kill a provider (failure injection).
+    pub fn kill(&self, id: ProviderId) {
+        if let Some(p) = self.provider(id) {
+            p.kill();
+        }
+    }
+
+    /// Revive a provider.
+    pub fn revive(&self, id: ProviderId) {
+        if let Some(p) = self.provider(id) {
+            p.revive();
+        }
+    }
+
+    /// Allocate storage for `pages` consecutive pages written by a client on
+    /// `client_node`, with `replication` copies each. Returns, for each page,
+    /// the ordered list of providers that should receive a copy (first entry
+    /// is the primary).
+    ///
+    /// Only live providers are considered. Fails (empty result) if no live
+    /// provider exists; callers translate that into
+    /// [`crate::BlobSeerError::NoProviders`].
+    pub fn allocate(
+        &self,
+        pages: u64,
+        replication: usize,
+        client_node: NodeId,
+    ) -> Vec<Vec<ProviderId>> {
+        let providers = self.providers.read();
+        let live: Vec<&Arc<Provider>> = providers.iter().filter(|p| p.is_alive()).collect();
+        if live.is_empty() {
+            return Vec::new();
+        }
+        let replication = replication.min(live.len());
+
+        let mut result = Vec::with_capacity(pages as usize);
+        let mut allocated = self.allocated.lock();
+        for _ in 0..pages {
+            let chosen = match self.strategy {
+                PlacementStrategy::LoadBalanced => {
+                    self.pick_load_balanced(&live, replication, &allocated)
+                }
+                PlacementStrategy::LocalFirst => {
+                    self.pick_local_first(&live, replication, client_node, &allocated)
+                }
+                PlacementStrategy::Random => self.pick_random(&live, replication),
+            };
+            for id in &chosen {
+                *allocated.entry(*id).or_insert(0) += 1;
+            }
+            result.push(chosen);
+        }
+        result
+    }
+
+    /// Least-loaded selection with a round-robin tiebreak.
+    fn pick_load_balanced(
+        &self,
+        live: &[&Arc<Provider>],
+        replication: usize,
+        allocated: &HashMap<ProviderId, u64>,
+    ) -> Vec<ProviderId> {
+        let mut cursor = self.cursor.lock();
+        // Sort candidates by (allocated pages, distance from cursor) so that
+        // equally-loaded providers are used in rotation.
+        let n = live.len();
+        let start = *cursor % n;
+        let mut candidates: Vec<(u64, usize, ProviderId)> = live
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let load = allocated.get(&p.id()).copied().unwrap_or(0);
+                let rotation = (i + n - start) % n;
+                (load, rotation, p.id())
+            })
+            .collect();
+        candidates.sort();
+        *cursor = (*cursor + 1) % n;
+        candidates.into_iter().take(replication).map(|(_, _, id)| id).collect()
+    }
+
+    /// HDFS-style: closest provider to the writer first, then same rack, then
+    /// outside the rack.
+    fn pick_local_first(
+        &self,
+        live: &[&Arc<Provider>],
+        replication: usize,
+        client_node: NodeId,
+        allocated: &HashMap<ProviderId, u64>,
+    ) -> Vec<ProviderId> {
+        // Rank by proximity class, then by load within a class so that a rack
+        // does not funnel everything to one provider.
+        let mut candidates: Vec<(Proximity, u64, ProviderId)> = live
+            .iter()
+            .map(|p| {
+                let prox = self.topology.proximity(client_node, p.node());
+                let load = allocated.get(&p.id()).copied().unwrap_or(0);
+                (prox, load, p.id())
+            })
+            .collect();
+        candidates.sort();
+
+        let mut chosen: Vec<ProviderId> = Vec::with_capacity(replication);
+        // First replica: the closest provider (local if one exists).
+        if let Some((_, _, id)) = candidates.first() {
+            chosen.push(*id);
+        }
+        // Second replica: same rack as the writer but a different provider.
+        if replication >= 2 {
+            if let Some((_, _, id)) = candidates
+                .iter()
+                .find(|(prox, _, id)| !chosen.contains(id) && *prox <= Proximity::SameRack)
+            {
+                chosen.push(*id);
+            }
+        }
+        // Remaining replicas: prefer providers outside the writer's rack.
+        while chosen.len() < replication {
+            let next = candidates
+                .iter()
+                .find(|(prox, _, id)| !chosen.contains(id) && *prox > Proximity::SameRack)
+                .or_else(|| candidates.iter().find(|(_, _, id)| !chosen.contains(id)));
+            match next {
+                Some((_, _, id)) => chosen.push(*id),
+                None => break,
+            }
+        }
+        chosen
+    }
+
+    /// Uniformly random selection without replacement (xorshift, seeded
+    /// deterministically so experiments are reproducible).
+    fn pick_random(&self, live: &[&Arc<Provider>], replication: usize) -> Vec<ProviderId> {
+        let mut state = self.rng_state.lock();
+        let mut pool: Vec<ProviderId> = live.iter().map(|p| p.id()).collect();
+        let mut chosen = Vec::with_capacity(replication);
+        for _ in 0..replication.min(pool.len()) {
+            *state ^= *state << 13;
+            *state ^= *state >> 7;
+            *state ^= *state << 17;
+            let idx = (*state as usize) % pool.len();
+            chosen.push(pool.swap_remove(idx));
+        }
+        chosen
+    }
+
+    /// Allocation-time load per provider (pages assigned so far).
+    pub fn allocation_load(&self) -> HashMap<ProviderId, u64> {
+        self.allocated.lock().clone()
+    }
+
+    /// Reset the allocation counters (between benchmark phases).
+    pub fn reset_allocation_counters(&self) {
+        self.allocated.lock().clear();
+        *self.cursor.lock() = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> ClusterTopology {
+        // 2 racks of 4 nodes.
+        ClusterTopology::builder().sites(1).racks_per_site(2).nodes_per_rack(4).build()
+    }
+
+    fn manager(strategy: PlacementStrategy) -> ProviderManager {
+        let t = topo();
+        let nodes: Vec<NodeId> = t.all_nodes().collect();
+        ProviderManager::new_in_memory(&t, &nodes, strategy)
+    }
+
+    #[test]
+    fn load_balanced_spreads_pages_evenly() {
+        let m = manager(PlacementStrategy::LoadBalanced);
+        // One client writes 80 pages: each of the 8 providers should get 10.
+        let placement = m.allocate(80, 1, NodeId(0));
+        assert_eq!(placement.len(), 80);
+        let load = m.allocation_load();
+        assert_eq!(load.len(), 8);
+        for (_, count) in load {
+            assert_eq!(count, 10, "load-balanced placement should be perfectly even");
+        }
+    }
+
+    #[test]
+    fn load_balanced_spreads_across_concurrent_writers() {
+        let m = manager(PlacementStrategy::LoadBalanced);
+        // Interleave allocations from different client nodes.
+        for client in 0..4u32 {
+            m.allocate(20, 1, NodeId(client));
+        }
+        let load = m.allocation_load();
+        let min = load.values().min().copied().unwrap();
+        let max = load.values().max().copied().unwrap();
+        assert!(max - min <= 1, "imbalance should be at most one page, got min={min} max={max}");
+    }
+
+    #[test]
+    fn local_first_places_first_replica_on_writer_node() {
+        let m = manager(PlacementStrategy::LocalFirst);
+        let placement = m.allocate(10, 3, NodeId(2));
+        for replicas in &placement {
+            assert_eq!(replicas.len(), 3);
+            // First replica is the provider on the writer's node.
+            assert_eq!(m.node_of(replicas[0]).unwrap(), NodeId(2));
+            // Second replica is in the same rack (nodes 0-3 are rack 0).
+            let second_node = m.node_of(replicas[1]).unwrap();
+            assert!(second_node.0 < 4, "second replica should stay in the writer's rack");
+            assert_ne!(replicas[0], replicas[1]);
+            // Third replica is outside the rack.
+            let third_node = m.node_of(replicas[2]).unwrap();
+            assert!(third_node.0 >= 4, "third replica should leave the writer's rack");
+        }
+    }
+
+    #[test]
+    fn local_first_concentrates_load_on_writer_nodes() {
+        // This is the behaviour the paper blames for HDFS's poor write
+        // scalability: every writer's pages land on its own node.
+        let m = manager(PlacementStrategy::LocalFirst);
+        m.allocate(50, 1, NodeId(1));
+        let load = m.allocation_load();
+        assert_eq!(load.len(), 1, "all pages should go to the single local provider");
+        let (only_id, count) = load.iter().next().unwrap();
+        assert_eq!(m.node_of(*only_id).unwrap(), NodeId(1));
+        assert_eq!(*count, 50);
+    }
+
+    #[test]
+    fn random_placement_uses_many_providers() {
+        let m = manager(PlacementStrategy::Random);
+        m.allocate(200, 1, NodeId(0));
+        let load = m.allocation_load();
+        assert!(load.len() >= 6, "random placement should touch most providers");
+        // Deterministic: a second manager produces the same placement.
+        let m2 = manager(PlacementStrategy::Random);
+        let p2 = m2.allocate(5, 2, NodeId(0));
+        let m3 = manager(PlacementStrategy::Random);
+        let p3 = m3.allocate(5, 2, NodeId(0));
+        assert_eq!(p2, p3);
+    }
+
+    #[test]
+    fn replication_never_repeats_a_provider_for_one_page() {
+        for strategy in [
+            PlacementStrategy::LoadBalanced,
+            PlacementStrategy::LocalFirst,
+            PlacementStrategy::Random,
+        ] {
+            let m = manager(strategy);
+            let placement = m.allocate(30, 3, NodeId(5));
+            for replicas in placement {
+                let unique: std::collections::HashSet<_> = replicas.iter().collect();
+                assert_eq!(unique.len(), replicas.len(), "strategy {strategy:?} repeated a provider");
+            }
+        }
+    }
+
+    #[test]
+    fn dead_providers_are_skipped() {
+        let m = manager(PlacementStrategy::LoadBalanced);
+        // Kill half the providers.
+        for i in 0..4 {
+            m.kill(ProviderId(i));
+        }
+        let placement = m.allocate(40, 2, NodeId(0));
+        for replicas in &placement {
+            for id in replicas {
+                assert!(id.0 >= 4, "dead provider {id:?} was allocated");
+            }
+        }
+        // Revive and confirm they participate again.
+        for i in 0..4 {
+            m.revive(ProviderId(i));
+        }
+        m.reset_allocation_counters();
+        m.allocate(80, 1, NodeId(0));
+        assert_eq!(m.allocation_load().len(), 8);
+    }
+
+    #[test]
+    fn no_live_providers_returns_empty() {
+        let m = manager(PlacementStrategy::LoadBalanced);
+        for i in 0..8 {
+            m.kill(ProviderId(i));
+        }
+        assert!(m.allocate(5, 1, NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn replication_is_capped_at_live_provider_count() {
+        let t = ClusterTopology::flat(2);
+        let nodes: Vec<NodeId> = t.all_nodes().collect();
+        let m = ProviderManager::new_in_memory(&t, &nodes, PlacementStrategy::LoadBalanced);
+        let placement = m.allocate(3, 5, NodeId(0));
+        for replicas in placement {
+            assert_eq!(replicas.len(), 2);
+        }
+    }
+
+    #[test]
+    fn provider_lookup_and_registry() {
+        let m = manager(PlacementStrategy::LoadBalanced);
+        assert_eq!(m.len(), 8);
+        assert!(!m.is_empty());
+        assert!(m.provider(ProviderId(0)).is_some());
+        assert!(m.provider(ProviderId(99)).is_none());
+        assert_eq!(m.providers().len(), 8);
+        assert_eq!(m.strategy(), PlacementStrategy::LoadBalanced);
+    }
+}

@@ -1,0 +1,478 @@
+//! The centralized version manager.
+//!
+//! "Versions are assigned by a centralized version manager, which is also
+//! responsible for ensuring consistency when concurrent writes to the same
+//! blob are issued" (paper §III-A). This module implements that entity:
+//!
+//! * it creates blobs and hands out their ids,
+//! * it *reserves* a version number (and, for appends, the offset at which
+//!   the append will land) before the writer starts pushing pages, so that
+//!   concurrent writers to the same blob never collide,
+//! * it *commits* versions in order: a version becomes visible (published)
+//!   only after every earlier version of the same blob has been published,
+//!   which gives readers a totally ordered, gap-free version history,
+//! * it answers "what is the latest published version?" and "what are the
+//!   root/size of version v?" queries for readers.
+//!
+//! Only the version-number assignment and the publication step are
+//! centralized and serialized — the bulk data transfer to providers happens
+//! entirely outside this component, which is exactly the property that lets
+//! BlobSeer sustain throughput under write concurrency.
+
+use crate::error::{BlobResult, BlobSeerError};
+use crate::metadata::NodeKey;
+use crate::types::{BlobId, ByteRange, Version};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What a writer intends to do; used by [`VersionManager::reserve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteIntent {
+    /// Overwrite (or sparsely extend) the blob at a fixed offset.
+    WriteAt { offset: u64, len: u64 },
+    /// Append `len` bytes at the current end of the blob; the actual offset is
+    /// chosen at reservation time so concurrent appends serialize correctly.
+    Append { len: u64 },
+}
+
+/// A reservation handed to a writer. The writer pushes its pages to
+/// providers, builds the metadata tree, and then commits the ticket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteTicket {
+    /// Blob being written.
+    pub blob: BlobId,
+    /// The version this write will become.
+    pub version: Version,
+    /// Byte range the write covers (offset is resolved for appends).
+    pub range: ByteRange,
+    /// Size of the blob once this version is published.
+    pub new_size: u64,
+    /// Size of the blob at the predecessor version (used for boundary
+    /// read-modify-write decisions).
+    pub prev_size: u64,
+}
+
+/// Descriptor of a published version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VersionInfo {
+    /// The version number.
+    pub version: Version,
+    /// Root of its segment tree (`None` for the empty version 0).
+    pub root: Option<NodeKey>,
+    /// Blob size in bytes at this version.
+    pub size: u64,
+}
+
+/// Per-blob bookkeeping.
+struct BlobState {
+    /// Next version number to hand out.
+    next_version: u64,
+    /// Size the blob will have once all reserved writes commit (used to place
+    /// concurrent appends one after another).
+    reserved_size: u64,
+    /// Published versions: version -> (root, size). Version 0 is always here.
+    published: BTreeMap<u64, (Option<NodeKey>, u64)>,
+    /// Highest version v such that every version <= v is published.
+    published_up_to: u64,
+    /// Committed but not yet publishable versions (a predecessor is missing).
+    pending: BTreeMap<u64, (Option<NodeKey>, u64)>,
+    /// Tickets that have been reserved but not yet committed/aborted.
+    outstanding: HashMap<u64, WriteTicket>,
+}
+
+impl BlobState {
+    fn new() -> Self {
+        let mut published = BTreeMap::new();
+        published.insert(0, (None, 0));
+        BlobState {
+            next_version: 1,
+            reserved_size: 0,
+            published,
+            published_up_to: 0,
+            pending: BTreeMap::new(),
+            outstanding: HashMap::new(),
+        }
+    }
+
+    /// Move consecutive pending versions into the published map.
+    fn advance(&mut self) {
+        while let Some(entry) = self.pending.remove(&(self.published_up_to + 1)) {
+            self.published_up_to += 1;
+            self.published.insert(self.published_up_to, entry);
+        }
+    }
+}
+
+/// The centralized version manager.
+pub struct VersionManager {
+    blobs: Mutex<HashMap<BlobId, BlobState>>,
+    /// Notified whenever a version is published, so that readers/committers
+    /// waiting for a predecessor can re-check.
+    published_cond: Condvar,
+    next_blob_id: AtomicU64,
+    /// Monotonic counters for instrumentation.
+    reservations: AtomicU64,
+    commits: AtomicU64,
+}
+
+impl Default for VersionManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VersionManager {
+    /// Create an empty version manager.
+    pub fn new() -> Self {
+        VersionManager {
+            blobs: Mutex::new(HashMap::new()),
+            published_cond: Condvar::new(),
+            next_blob_id: AtomicU64::new(0),
+            reservations: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+        }
+    }
+
+    /// Create a new blob and return its id. The blob starts at version 0 with
+    /// size 0.
+    pub fn create_blob(&self) -> BlobId {
+        let id = BlobId(self.next_blob_id.fetch_add(1, Ordering::Relaxed));
+        self.blobs.lock().insert(id, BlobState::new());
+        id
+    }
+
+    /// Does the blob exist?
+    pub fn blob_exists(&self, blob: BlobId) -> bool {
+        self.blobs.lock().contains_key(&blob)
+    }
+
+    /// All blob ids currently known, sorted.
+    pub fn blob_ids(&self) -> Vec<BlobId> {
+        let mut ids: Vec<BlobId> = self.blobs.lock().keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Delete a blob entirely (BSFS uses this for file deletion). Outstanding
+    /// tickets are invalidated.
+    pub fn delete_blob(&self, blob: BlobId) -> BlobResult<()> {
+        match self.blobs.lock().remove(&blob) {
+            Some(_) => Ok(()),
+            None => Err(BlobSeerError::UnknownBlob(blob)),
+        }
+    }
+
+    /// Reserve a version (and offset, for appends) for an upcoming write.
+    pub fn reserve(&self, blob: BlobId, intent: WriteIntent) -> BlobResult<WriteTicket> {
+        let mut blobs = self.blobs.lock();
+        let state = blobs.get_mut(&blob).ok_or(BlobSeerError::UnknownBlob(blob))?;
+
+        let (offset, len) = match intent {
+            WriteIntent::WriteAt { offset, len } => (offset, len),
+            WriteIntent::Append { len } => (state.reserved_size, len),
+        };
+        if len == 0 {
+            return Err(BlobSeerError::InvalidArgument("zero-length write".into()));
+        }
+
+        let version = Version(state.next_version);
+        state.next_version += 1;
+        let prev_size = state.reserved_size;
+        let new_size = state.reserved_size.max(offset + len);
+        state.reserved_size = new_size;
+
+        let ticket = WriteTicket {
+            blob,
+            version,
+            range: ByteRange::new(offset, len),
+            new_size,
+            prev_size,
+        };
+        state.outstanding.insert(version.0, ticket);
+        self.reservations.fetch_add(1, Ordering::Relaxed);
+        Ok(ticket)
+    }
+
+    /// Wait until version `ticket.version - 1` of the blob is published, and
+    /// return its descriptor. Writers call this before building their
+    /// metadata tree so they can share subtrees with their predecessor.
+    pub fn wait_for_predecessor(&self, ticket: &WriteTicket) -> BlobResult<VersionInfo> {
+        let prev = ticket.version.0 - 1;
+        let mut blobs = self.blobs.lock();
+        loop {
+            let state = blobs.get(&ticket.blob).ok_or(BlobSeerError::UnknownBlob(ticket.blob))?;
+            if let Some((root, size)) = state.published.get(&prev) {
+                return Ok(VersionInfo { version: Version(prev), root: *root, size: *size });
+            }
+            self.published_cond.wait(&mut blobs);
+        }
+    }
+
+    /// Publish a committed version: record its tree root and size, and make
+    /// it (and any consecutive successors already committed) visible.
+    pub fn commit(
+        &self,
+        ticket: &WriteTicket,
+        root: Option<NodeKey>,
+    ) -> BlobResult<VersionInfo> {
+        let mut blobs = self.blobs.lock();
+        let state = blobs.get_mut(&ticket.blob).ok_or(BlobSeerError::UnknownBlob(ticket.blob))?;
+        if state.outstanding.remove(&ticket.version.0).is_none() {
+            return Err(BlobSeerError::InvalidTicket { blob: ticket.blob, version: ticket.version });
+        }
+        state.pending.insert(ticket.version.0, (root, ticket.new_size));
+        state.advance();
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.published_cond.notify_all();
+        Ok(VersionInfo { version: ticket.version, root, size: ticket.new_size })
+    }
+
+    /// Abandon a reservation. The version still needs to exist so that later
+    /// versions can publish; it becomes an alias of its predecessor (same
+    /// root, same size).
+    pub fn abort(&self, ticket: &WriteTicket) -> BlobResult<()> {
+        // Wait for the predecessor so we can alias it.
+        let prev = self.wait_for_predecessor(ticket)?;
+        let mut blobs = self.blobs.lock();
+        let state = blobs.get_mut(&ticket.blob).ok_or(BlobSeerError::UnknownBlob(ticket.blob))?;
+        if state.outstanding.remove(&ticket.version.0).is_none() {
+            return Err(BlobSeerError::InvalidTicket { blob: ticket.blob, version: ticket.version });
+        }
+        state.pending.insert(ticket.version.0, (prev.root, prev.size));
+        state.advance();
+        self.published_cond.notify_all();
+        Ok(())
+    }
+
+    /// Latest published version of a blob.
+    pub fn latest(&self, blob: BlobId) -> BlobResult<VersionInfo> {
+        let blobs = self.blobs.lock();
+        let state = blobs.get(&blob).ok_or(BlobSeerError::UnknownBlob(blob))?;
+        let v = state.published_up_to;
+        let (root, size) = state.published[&v];
+        Ok(VersionInfo { version: Version(v), root, size })
+    }
+
+    /// Descriptor of a specific published version.
+    pub fn get_version(&self, blob: BlobId, version: Version) -> BlobResult<VersionInfo> {
+        let blobs = self.blobs.lock();
+        let state = blobs.get(&blob).ok_or(BlobSeerError::UnknownBlob(blob))?;
+        match state.published.get(&version.0) {
+            Some((root, size)) if version.0 <= state.published_up_to => {
+                Ok(VersionInfo { version, root: *root, size: *size })
+            }
+            _ => Err(BlobSeerError::UnknownVersion { blob, version }),
+        }
+    }
+
+    /// All published versions of a blob, oldest first.
+    pub fn published_versions(&self, blob: BlobId) -> BlobResult<Vec<VersionInfo>> {
+        let blobs = self.blobs.lock();
+        let state = blobs.get(&blob).ok_or(BlobSeerError::UnknownBlob(blob))?;
+        Ok(state
+            .published
+            .iter()
+            .filter(|(v, _)| **v <= state.published_up_to)
+            .map(|(v, (root, size))| VersionInfo { version: Version(*v), root: *root, size: *size })
+            .collect())
+    }
+
+    /// Number of reservations handed out (instrumentation).
+    pub fn reservation_count(&self) -> u64 {
+        self.reservations.load(Ordering::Relaxed)
+    }
+
+    /// Number of commits performed (instrumentation).
+    pub fn commit_count(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn leaf_key(blob: BlobId, v: u64) -> NodeKey {
+        NodeKey { blob, version: Version(v), offset: 0, span: 1 }
+    }
+
+    #[test]
+    fn create_blob_starts_at_version_zero() {
+        let vm = VersionManager::new();
+        let blob = vm.create_blob();
+        assert!(vm.blob_exists(blob));
+        let latest = vm.latest(blob).unwrap();
+        assert_eq!(latest.version, Version::ZERO);
+        assert_eq!(latest.size, 0);
+        assert!(latest.root.is_none());
+        assert_eq!(vm.blob_ids(), vec![blob]);
+    }
+
+    #[test]
+    fn unknown_blob_errors() {
+        let vm = VersionManager::new();
+        let bogus = BlobId(77);
+        assert!(matches!(vm.latest(bogus), Err(BlobSeerError::UnknownBlob(_))));
+        assert!(matches!(
+            vm.reserve(bogus, WriteIntent::Append { len: 1 }),
+            Err(BlobSeerError::UnknownBlob(_))
+        ));
+        assert!(matches!(vm.delete_blob(bogus), Err(BlobSeerError::UnknownBlob(_))));
+    }
+
+    #[test]
+    fn write_reserve_and_commit_publishes_in_order() {
+        let vm = VersionManager::new();
+        let blob = vm.create_blob();
+        let t1 = vm.reserve(blob, WriteIntent::WriteAt { offset: 0, len: 100 }).unwrap();
+        assert_eq!(t1.version, Version(1));
+        assert_eq!(t1.new_size, 100);
+        let info = vm.commit(&t1, Some(leaf_key(blob, 1))).unwrap();
+        assert_eq!(info.version, Version(1));
+        assert_eq!(vm.latest(blob).unwrap().size, 100);
+        assert_eq!(vm.commit_count(), 1);
+        assert_eq!(vm.reservation_count(), 1);
+    }
+
+    #[test]
+    fn appends_are_placed_back_to_back() {
+        let vm = VersionManager::new();
+        let blob = vm.create_blob();
+        let t1 = vm.reserve(blob, WriteIntent::Append { len: 50 }).unwrap();
+        let t2 = vm.reserve(blob, WriteIntent::Append { len: 30 }).unwrap();
+        // The second append is placed after the first even though neither has
+        // committed yet.
+        assert_eq!(t1.range.offset, 0);
+        assert_eq!(t2.range.offset, 50);
+        assert_eq!(t2.new_size, 80);
+    }
+
+    #[test]
+    fn out_of_order_commits_become_visible_in_order() {
+        let vm = VersionManager::new();
+        let blob = vm.create_blob();
+        let t1 = vm.reserve(blob, WriteIntent::Append { len: 10 }).unwrap();
+        let t2 = vm.reserve(blob, WriteIntent::Append { len: 10 }).unwrap();
+        // Commit v2 first: it must NOT become visible yet.
+        vm.commit(&t2, Some(leaf_key(blob, 2))).unwrap();
+        assert_eq!(vm.latest(blob).unwrap().version, Version::ZERO);
+        assert!(vm.get_version(blob, Version(2)).is_err());
+        // Now commit v1: both become visible, v2 is the latest.
+        vm.commit(&t1, Some(leaf_key(blob, 1))).unwrap();
+        let latest = vm.latest(blob).unwrap();
+        assert_eq!(latest.version, Version(2));
+        assert_eq!(latest.size, 20);
+        assert!(vm.get_version(blob, Version(1)).is_ok());
+    }
+
+    #[test]
+    fn double_commit_is_rejected() {
+        let vm = VersionManager::new();
+        let blob = vm.create_blob();
+        let t = vm.reserve(blob, WriteIntent::Append { len: 10 }).unwrap();
+        vm.commit(&t, None).unwrap();
+        assert!(matches!(vm.commit(&t, None), Err(BlobSeerError::InvalidTicket { .. })));
+    }
+
+    #[test]
+    fn zero_length_write_is_rejected() {
+        let vm = VersionManager::new();
+        let blob = vm.create_blob();
+        assert!(matches!(
+            vm.reserve(blob, WriteIntent::Append { len: 0 }),
+            Err(BlobSeerError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn abort_aliases_the_predecessor() {
+        let vm = VersionManager::new();
+        let blob = vm.create_blob();
+        let t1 = vm.reserve(blob, WriteIntent::Append { len: 10 }).unwrap();
+        let t2 = vm.reserve(blob, WriteIntent::Append { len: 10 }).unwrap();
+        let root1 = Some(leaf_key(blob, 1));
+        vm.commit(&t1, root1).unwrap();
+        vm.abort(&t2).unwrap();
+        // Version 2 exists but is identical to version 1.
+        let v2 = vm.get_version(blob, Version(2)).unwrap();
+        assert_eq!(v2.root, root1);
+        assert_eq!(v2.size, 10);
+        assert_eq!(vm.latest(blob).unwrap().version, Version(2));
+    }
+
+    #[test]
+    fn published_versions_lists_full_history() {
+        let vm = VersionManager::new();
+        let blob = vm.create_blob();
+        for i in 0..5 {
+            let t = vm.reserve(blob, WriteIntent::Append { len: 10 }).unwrap();
+            vm.commit(&t, Some(leaf_key(blob, i + 1))).unwrap();
+        }
+        let versions = vm.published_versions(blob).unwrap();
+        assert_eq!(versions.len(), 6); // v0 .. v5
+        assert_eq!(versions[0].version, Version::ZERO);
+        assert_eq!(versions[5].size, 50);
+    }
+
+    #[test]
+    fn wait_for_predecessor_blocks_until_commit() {
+        let vm = Arc::new(VersionManager::new());
+        let blob = vm.create_blob();
+        let t1 = vm.reserve(blob, WriteIntent::Append { len: 10 }).unwrap();
+        let t2 = vm.reserve(blob, WriteIntent::Append { len: 10 }).unwrap();
+
+        let vm2 = Arc::clone(&vm);
+        let waiter = std::thread::spawn(move || {
+            // This blocks until t1 commits.
+            let prev = vm2.wait_for_predecessor(&t2).unwrap();
+            assert_eq!(prev.version, Version(1));
+            assert_eq!(prev.size, 10);
+        });
+        // Give the waiter a moment to block, then commit v1.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        vm.commit(&t1, Some(leaf_key(blob, 1))).unwrap();
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_appends_from_many_threads_serialize_correctly() {
+        let vm = Arc::new(VersionManager::new());
+        let blob = vm.create_blob();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let vm = Arc::clone(&vm);
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        let t = vm.reserve(blob, WriteIntent::Append { len: 4 }).unwrap();
+                        // Simulate data transfer latency out of order.
+                        std::thread::yield_now();
+                        vm.commit(&t, None).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let latest = vm.latest(blob).unwrap();
+        assert_eq!(latest.version, Version(8 * 25));
+        assert_eq!(latest.size, 8 * 25 * 4);
+        // Every intermediate version is published and has a monotone size.
+        let versions = vm.published_versions(blob).unwrap();
+        assert_eq!(versions.len(), 8 * 25 + 1);
+        for pair in versions.windows(2) {
+            assert!(pair[1].size >= pair[0].size);
+        }
+    }
+
+    #[test]
+    fn delete_blob_removes_state() {
+        let vm = VersionManager::new();
+        let blob = vm.create_blob();
+        vm.delete_blob(blob).unwrap();
+        assert!(!vm.blob_exists(blob));
+        assert!(vm.latest(blob).is_err());
+    }
+}

@@ -1,0 +1,339 @@
+//! Client-side caching: prefetch-on-read and write-back-on-full-block.
+//!
+//! "We also implemented a caching mechanism for read/write operations, as
+//! MapReduce applications usually process data in small records (4KB, whereas
+//! Hadoop is concerned). This mechanism prefetches a whole block when the
+//! requested data is not already cached, and delays committing writes until a
+//! whole block has been filled in the cache." (paper §III-B)
+//!
+//! Two small, single-owner helpers implement exactly that:
+//!
+//! * [`ReadCache`] — holds up to `capacity` most-recently-used whole blocks;
+//!   a miss triggers a whole-block fetch through the supplied loader.
+//! * [`WriteBuffer`] — accumulates sequential writes and hands back a full
+//!   block every time one fills up; the owner commits it as a single
+//!   BlobSeer append.
+//!
+//! Both are deliberately *not* thread-safe: each MapReduce task owns its own
+//! reader/writer, matching how the Hadoop client library behaves.
+
+use bytes::Bytes;
+use std::collections::VecDeque;
+
+/// Statistics kept by [`ReadCache`] (exposed for the A2 cache ablation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served entirely from cached blocks.
+    pub hits: u64,
+    /// Requests that had to load at least one block.
+    pub misses: u64,
+    /// Whole blocks fetched from storage.
+    pub blocks_loaded: u64,
+    /// Bytes fetched from storage (block granularity).
+    pub bytes_loaded: u64,
+}
+
+/// A most-recently-used cache of whole blocks of one file.
+#[derive(Debug)]
+pub struct ReadCache {
+    block_size: u64,
+    capacity: usize,
+    /// (block index, block contents), most recently used last.
+    blocks: VecDeque<(u64, Bytes)>,
+    stats: CacheStats,
+}
+
+impl ReadCache {
+    /// Create a cache holding up to `capacity` blocks of `block_size` bytes.
+    pub fn new(block_size: u64, capacity: usize) -> Self {
+        assert!(block_size > 0, "block size must be non-zero");
+        assert!(capacity > 0, "cache capacity must be at least one block");
+        ReadCache { block_size, capacity, blocks: VecDeque::new(), stats: CacheStats::default() }
+    }
+
+    /// The configured block size.
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Read `len` bytes at `offset` of a file of `file_size` bytes, loading
+    /// whole blocks through `load` on misses. `load(block_index, block_len)`
+    /// must return exactly `block_len` bytes.
+    pub fn read<E>(
+        &mut self,
+        offset: u64,
+        len: u64,
+        file_size: u64,
+        mut load: impl FnMut(u64, u64) -> Result<Bytes, E>,
+    ) -> Result<Bytes, E> {
+        if len == 0 {
+            return Ok(Bytes::new());
+        }
+        debug_assert!(offset + len <= file_size, "caller enforces bounds");
+        let mut out = Vec::with_capacity(len as usize);
+        let mut pos = offset;
+        let end = offset + len;
+        let mut any_miss = false;
+        while pos < end {
+            let block = pos / self.block_size;
+            let block_start = block * self.block_size;
+            let block_len = (file_size - block_start).min(self.block_size);
+            let data = match self.lookup(block) {
+                Some(b) => b,
+                None => {
+                    any_miss = true;
+                    let loaded = load(block, block_len)?;
+                    debug_assert_eq!(loaded.len() as u64, block_len);
+                    self.stats.blocks_loaded += 1;
+                    self.stats.bytes_loaded += loaded.len() as u64;
+                    self.insert(block, loaded.clone());
+                    loaded
+                }
+            };
+            let from = (pos - block_start) as usize;
+            let to = ((end.min(block_start + block_len)) - block_start) as usize;
+            out.extend_from_slice(&data[from..to]);
+            pos = block_start + to as u64;
+        }
+        if any_miss {
+            self.stats.misses += 1;
+        } else {
+            self.stats.hits += 1;
+        }
+        Ok(Bytes::from(out))
+    }
+
+    fn lookup(&mut self, block: u64) -> Option<Bytes> {
+        if let Some(idx) = self.blocks.iter().position(|(b, _)| *b == block) {
+            // Move to the back (most recently used).
+            let entry = self.blocks.remove(idx).expect("index valid");
+            let data = entry.1.clone();
+            self.blocks.push_back(entry);
+            Some(data)
+        } else {
+            None
+        }
+    }
+
+    fn insert(&mut self, block: u64, data: Bytes) {
+        if self.blocks.len() == self.capacity {
+            self.blocks.pop_front();
+        }
+        self.blocks.push_back((block, data));
+    }
+
+    /// Drop all cached blocks (e.g. after the file grew).
+    pub fn invalidate(&mut self) {
+        self.blocks.clear();
+    }
+}
+
+/// A write-back buffer that releases full blocks.
+#[derive(Debug)]
+pub struct WriteBuffer {
+    block_size: usize,
+    buffer: Vec<u8>,
+    /// Total bytes accepted (buffered + already released).
+    total: u64,
+}
+
+impl WriteBuffer {
+    /// Create a buffer that releases blocks of `block_size` bytes.
+    pub fn new(block_size: u64) -> Self {
+        assert!(block_size > 0, "block size must be non-zero");
+        let block_size = block_size as usize;
+        WriteBuffer { block_size, buffer: Vec::with_capacity(block_size), total: 0 }
+    }
+
+    /// Append `data`, returning every full block that became available (in
+    /// order). The caller commits each returned block as one storage write.
+    pub fn push(&mut self, data: &[u8]) -> Vec<Bytes> {
+        self.total += data.len() as u64;
+        self.buffer.extend_from_slice(data);
+        let mut out = Vec::new();
+        while self.buffer.len() >= self.block_size {
+            let rest = self.buffer.split_off(self.block_size);
+            let full = std::mem::replace(&mut self.buffer, rest);
+            out.push(Bytes::from(full));
+        }
+        out
+    }
+
+    /// Take whatever partial block remains (used on close/flush). Returns
+    /// `None` when nothing is buffered.
+    pub fn flush(&mut self) -> Option<Bytes> {
+        if self.buffer.is_empty() {
+            None
+        } else {
+            Some(Bytes::from(std::mem::take(&mut self.buffer)))
+        }
+    }
+
+    /// Bytes currently sitting in the buffer.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Total bytes pushed through the buffer so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::convert::Infallible;
+    use std::rc::Rc;
+
+    /// A loader that serves from a backing vector and records which blocks it
+    /// was asked for.
+    fn loader(
+        backing: &[u8],
+        block_size: u64,
+        calls: Rc<RefCell<Vec<u64>>>,
+    ) -> impl FnMut(u64, u64) -> Result<Bytes, Infallible> {
+        let backing = backing.to_vec();
+        move |block, block_len| {
+            calls.borrow_mut().push(block);
+            let start = (block * block_size) as usize;
+            Ok(Bytes::from(backing[start..start + block_len as usize].to_vec()))
+        }
+    }
+
+    #[test]
+    fn small_reads_within_one_block_hit_after_first_miss() {
+        let data: Vec<u8> = (0..200u8).collect();
+        let calls = Rc::new(RefCell::new(Vec::new()));
+        let mut cache = ReadCache::new(64, 2);
+        {
+            let mut load = loader(&data, 64, Rc::clone(&calls));
+            // 16 sequential 4-byte reads inside block 0: one load only.
+            for i in 0..16u64 {
+                let got = cache.read(i * 4, 4, 200, &mut load).unwrap();
+                assert_eq!(&got[..], &data[(i * 4) as usize..(i * 4 + 4) as usize]);
+            }
+        }
+        assert_eq!(*calls.borrow(), vec![0]);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 15);
+        assert_eq!(stats.blocks_loaded, 1);
+        assert_eq!(stats.bytes_loaded, 64);
+    }
+
+    #[test]
+    fn read_crossing_blocks_loads_both() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let calls = Rc::new(RefCell::new(Vec::new()));
+        let mut cache = ReadCache::new(100, 4);
+        {
+            let mut load = loader(&data, 100, Rc::clone(&calls));
+            let got = cache.read(90, 20, 256, &mut load).unwrap();
+            assert_eq!(&got[..], &data[90..110]);
+        }
+        assert_eq!(*calls.borrow(), vec![0, 1]);
+    }
+
+    #[test]
+    fn last_partial_block_is_loaded_with_its_true_length() {
+        let data: Vec<u8> = (0..130u8).collect();
+        let calls = Rc::new(RefCell::new(Vec::new()));
+        let mut cache = ReadCache::new(100, 2);
+        {
+            let mut load = loader(&data, 100, Rc::clone(&calls));
+            let got = cache.read(100, 30, 130, &mut load).unwrap();
+            assert_eq!(&got[..], &data[100..130]);
+        }
+        assert_eq!(*calls.borrow(), vec![1]);
+        assert_eq!(cache.stats().bytes_loaded, 30);
+    }
+
+    #[test]
+    fn lru_eviction_refetches_oldest_block() {
+        let data = vec![7u8; 400];
+        let calls = Rc::new(RefCell::new(Vec::new()));
+        let mut cache = ReadCache::new(100, 2);
+        {
+            let mut load = loader(&data, 100, Rc::clone(&calls));
+            cache.read(0, 10, 400, &mut load).unwrap(); // block 0
+            cache.read(100, 10, 400, &mut load).unwrap(); // block 1
+            cache.read(200, 10, 400, &mut load).unwrap(); // block 2 evicts 0
+            cache.read(0, 10, 400, &mut load).unwrap(); // block 0 again: refetch
+        }
+        assert_eq!(*calls.borrow(), vec![0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn invalidate_clears_cached_blocks() {
+        let data = vec![1u8; 100];
+        let calls = Rc::new(RefCell::new(Vec::new()));
+        let mut cache = ReadCache::new(100, 2);
+        {
+            let mut load = loader(&data, 100, Rc::clone(&calls));
+            cache.read(0, 10, 100, &mut load).unwrap();
+            cache.invalidate();
+            cache.read(0, 10, 100, &mut load).unwrap();
+        }
+        assert_eq!(*calls.borrow(), vec![0, 0]);
+    }
+
+    #[test]
+    fn zero_length_read_is_free() {
+        let mut cache = ReadCache::new(100, 1);
+        let got = cache
+            .read(0, 0, 100, |_, _| -> Result<Bytes, Infallible> { panic!("must not load") })
+            .unwrap();
+        assert!(got.is_empty());
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be non-zero")]
+    fn zero_block_size_rejected() {
+        let _ = ReadCache::new(0, 1);
+    }
+
+    #[test]
+    fn write_buffer_releases_full_blocks_in_order() {
+        let mut buf = WriteBuffer::new(10);
+        assert!(buf.push(b"12345").is_empty());
+        assert_eq!(buf.buffered(), 5);
+        let blocks = buf.push(b"6789012345678");
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(&blocks[0][..], b"1234567890");
+        assert_eq!(buf.buffered(), 8);
+        // A huge push can release several blocks at once.
+        let blocks = buf.push(&[b'x'; 32]);
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(buf.total_bytes(), 5 + 13 + 32);
+    }
+
+    #[test]
+    fn write_buffer_flush_returns_partial_tail() {
+        let mut buf = WriteBuffer::new(8);
+        buf.push(b"abcdefgh");
+        buf.push(b"ij");
+        let blocks = buf.push(b"");
+        assert!(blocks.is_empty());
+        let tail = buf.flush().unwrap();
+        assert_eq!(&tail[..], b"ij");
+        assert!(buf.flush().is_none());
+        assert_eq!(buf.buffered(), 0);
+    }
+
+    #[test]
+    fn write_buffer_exact_multiple_leaves_nothing() {
+        let mut buf = WriteBuffer::new(4);
+        let blocks = buf.push(b"abcdefgh");
+        assert_eq!(blocks.len(), 2);
+        assert!(buf.flush().is_none());
+    }
+}

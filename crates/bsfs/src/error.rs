@@ -1,0 +1,84 @@
+//! Error type for BSFS file-system operations.
+
+use std::fmt;
+
+/// Result alias for BSFS operations.
+pub type FsResult<T> = Result<T, FsError>;
+
+/// Errors surfaced by the BSFS layer.
+#[derive(Debug)]
+pub enum FsError {
+    /// The path does not name an existing file.
+    FileNotFound(String),
+    /// The path already names a file or directory.
+    AlreadyExists(String),
+    /// The path is not a directory (for list operations) or is a directory
+    /// where a file was expected.
+    NotADirectory(String),
+    /// The path names a directory where a file was expected.
+    IsADirectory(String),
+    /// The parent directory of the path does not exist.
+    ParentMissing(String),
+    /// A path was syntactically invalid (empty, not absolute, ...).
+    InvalidPath(String),
+    /// A read past the end of a file.
+    OutOfBounds { path: String, requested_end: u64, size: u64 },
+    /// The writer was already closed.
+    WriterClosed,
+    /// The directory is not empty and recursive deletion was not requested.
+    DirectoryNotEmpty(String),
+    /// An error bubbled up from the BlobSeer storage layer.
+    Storage(blobseer::BlobSeerError),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::FileNotFound(p) => write!(f, "file not found: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "path already exists: {p}"),
+            FsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            FsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            FsError::ParentMissing(p) => write!(f, "parent directory does not exist: {p}"),
+            FsError::InvalidPath(p) => write!(f, "invalid path: {p}"),
+            FsError::OutOfBounds { path, requested_end, size } => {
+                write!(f, "read past end of {path}: requested byte {requested_end}, size {size}")
+            }
+            FsError::WriterClosed => write!(f, "writer already closed"),
+            FsError::DirectoryNotEmpty(p) => write!(f, "directory not empty: {p}"),
+            FsError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FsError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<blobseer::BlobSeerError> for FsError {
+    fn from(e: blobseer::BlobSeerError) -> Self {
+        FsError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(FsError::FileNotFound("/a".into()).to_string().contains("/a"));
+        assert!(FsError::AlreadyExists("/b".into()).to_string().contains("exists"));
+        assert!(FsError::InvalidPath("".into()).to_string().contains("invalid"));
+        assert!(FsError::WriterClosed.to_string().contains("closed"));
+        assert!(FsError::DirectoryNotEmpty("/d".into()).to_string().contains("not empty"));
+        let e = FsError::OutOfBounds { path: "/f".into(), requested_end: 10, size: 5 };
+        assert!(e.to_string().contains("10"));
+        let e: FsError = blobseer::BlobSeerError::NoProviders.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,628 @@
+//! # bsfs — the BlobSeer File System
+//!
+//! BSFS is the paper's contribution: "In order to enable BlobSeer to be used
+//! as a file system within the Hadoop framework, we added an additional layer
+//! on top of the BlobSeer service, layer that we called the BlobSeer File
+//! System - BSFS" (§III-B). It consists of:
+//!
+//! * a **centralized namespace manager** ([`namespace::NamespaceManager`])
+//!   mapping a hierarchical file namespace onto BlobSeer blobs;
+//! * **client-side caching** ([`cache`]) — reads prefetch a whole block,
+//!   writes are buffered and committed one block at a time — so that the
+//!   4 KB-record access pattern of MapReduce applications does not translate
+//!   into millions of tiny storage operations;
+//! * a **data-layout exposure** primitive ([`Bsfs::locate`]) so the MapReduce
+//!   scheduler can ship computation to the nodes holding the data.
+//!
+//! The API mirrors what the Hadoop `FileSystem` abstraction needs: create,
+//! sequential write, positioned read, list, rename, delete, and locality
+//! queries.
+//!
+//! ```
+//! use blobseer::{BlobSeer, BlobSeerConfig};
+//! use bsfs::{Bsfs, BsfsConfig};
+//!
+//! let storage = BlobSeer::new(BlobSeerConfig::for_tests());
+//! let fs = Bsfs::new(storage, BsfsConfig::for_tests());
+//!
+//! let mut w = fs.create("/data/input.txt").unwrap();
+//! w.write(b"one record\n").unwrap();
+//! w.write(b"another record\n").unwrap();
+//! w.close().unwrap();
+//!
+//! assert_eq!(fs.len("/data/input.txt").unwrap(), 26);
+//! let mut r = fs.open("/data/input.txt").unwrap();
+//! assert_eq!(&r.read_at(0, 10).unwrap()[..], b"one record");
+//! ```
+
+pub mod cache;
+pub mod error;
+pub mod namespace;
+
+pub use cache::{CacheStats, ReadCache, WriteBuffer};
+pub use error::{FsError, FsResult};
+pub use namespace::{NamespaceManager, PathStatus};
+
+use blobseer::{BlobId, BlobSeer, BlobSeerClient, ByteRange};
+use bytes::Bytes;
+use simcluster::NodeId;
+use std::sync::Arc;
+
+/// Configuration of the BSFS layer.
+#[derive(Debug, Clone)]
+pub struct BsfsConfig {
+    /// Block size used for both the client cache and the underlying blob page
+    /// size (Hadoop-style 64 MiB by default, so one Hadoop chunk is one
+    /// BlobSeer page).
+    pub block_size: u64,
+    /// Number of blocks a reader caches (per open file handle).
+    pub read_cache_blocks: usize,
+    /// Whether the client cache is enabled. Disabling it sends every read and
+    /// write straight to BlobSeer — the configuration used by the A2 ablation.
+    pub cache_enabled: bool,
+}
+
+impl Default for BsfsConfig {
+    fn default() -> Self {
+        BsfsConfig { block_size: 64 * 1024 * 1024, read_cache_blocks: 2, cache_enabled: true }
+    }
+}
+
+impl BsfsConfig {
+    /// A configuration sized for unit tests (small blocks).
+    pub fn for_tests() -> Self {
+        BsfsConfig { block_size: 256, read_cache_blocks: 2, cache_enabled: true }
+    }
+
+    /// Builder-style override of the block size.
+    pub fn with_block_size(mut self, block_size: u64) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// Builder-style toggle of the client cache.
+    pub fn with_cache(mut self, enabled: bool) -> Self {
+        self.cache_enabled = enabled;
+        self
+    }
+}
+
+/// Block-level location of part of a file, for locality-aware scheduling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockLocation {
+    /// Byte range of the file covered by this entry.
+    pub range: ByteRange,
+    /// Cluster nodes holding a copy of that range, in preference order.
+    pub nodes: Vec<NodeId>,
+}
+
+/// The BSFS file-system client.
+///
+/// Cloning is cheap; all clones share the same namespace manager and BlobSeer
+/// deployment. A clone can be attached to a different cluster node with
+/// [`Bsfs::on_node`], which matters for placement strategies that favour
+/// locality.
+#[derive(Clone)]
+pub struct Bsfs {
+    storage: Arc<BlobSeer>,
+    client: BlobSeerClient,
+    namespace: Arc<NamespaceManager>,
+    config: BsfsConfig,
+}
+
+impl Bsfs {
+    /// Create a BSFS instance over a BlobSeer deployment.
+    pub fn new(storage: Arc<BlobSeer>, config: BsfsConfig) -> Self {
+        assert!(config.block_size > 0, "block size must be non-zero");
+        let client = storage.client();
+        Bsfs { storage, client, namespace: Arc::new(NamespaceManager::new()), config }
+    }
+
+    /// A handle whose operations originate from the given cluster node.
+    pub fn on_node(&self, node: NodeId) -> Self {
+        let mut clone = self.clone();
+        clone.client = self.storage.client_on(node);
+        clone
+    }
+
+    /// The BlobSeer deployment underneath.
+    pub fn storage(&self) -> &Arc<BlobSeer> {
+        &self.storage
+    }
+
+    /// The namespace manager (tests, tooling).
+    pub fn namespace(&self) -> &Arc<NamespaceManager> {
+        &self.namespace
+    }
+
+    /// This instance's configuration.
+    pub fn config(&self) -> &BsfsConfig {
+        &self.config
+    }
+
+    /// Create a file and return a writer. The parent directory is created
+    /// implicitly (like Hadoop's `FileSystem.create`).
+    pub fn create(&self, path: &str) -> FsResult<BsfsWriter> {
+        let normalized = namespace::normalize(path)?;
+        let parent = namespace::parent_of(&normalized);
+        self.namespace.mkdirs(&parent)?;
+        let blob = self.client.create(Some(self.config.block_size))?;
+        self.namespace.create_file(&normalized, blob)?;
+        Ok(BsfsWriter {
+            client: self.client.clone(),
+            blob,
+            buffer: WriteBuffer::new(self.config.block_size),
+            cache_enabled: self.config.cache_enabled,
+            closed: false,
+            path: normalized,
+        })
+    }
+
+    /// Open a file for positioned reads.
+    pub fn open(&self, path: &str) -> FsResult<BsfsReader> {
+        let normalized = namespace::normalize(path)?;
+        let entry = self.namespace.lookup(&normalized)?;
+        Ok(BsfsReader {
+            client: self.client.clone(),
+            blob: entry.blob,
+            cache: ReadCache::new(self.config.block_size, self.config.read_cache_blocks),
+            cache_enabled: self.config.cache_enabled,
+            path: normalized,
+            position: 0,
+        })
+    }
+
+    /// Length of a file in bytes.
+    pub fn len(&self, path: &str) -> FsResult<u64> {
+        let entry = self.namespace.lookup(path)?;
+        Ok(self.client.size(entry.blob)?)
+    }
+
+    /// True when the namespace is completely empty (no files).
+    pub fn is_empty(&self) -> bool {
+        self.namespace.file_count() == 0
+    }
+
+    /// Does the path exist (file or directory)?
+    pub fn exists(&self, path: &str) -> bool {
+        self.namespace.exists(path)
+    }
+
+    /// Create a directory and its ancestors.
+    pub fn mkdirs(&self, path: &str) -> FsResult<()> {
+        self.namespace.mkdirs(path)
+    }
+
+    /// List the children of a directory.
+    pub fn list(&self, path: &str) -> FsResult<Vec<String>> {
+        self.namespace.list(path)
+    }
+
+    /// Delete a file (releasing its blob) or, with `recursive`, a directory
+    /// tree.
+    pub fn delete(&self, path: &str, recursive: bool) -> FsResult<()> {
+        match self.namespace.status(path)? {
+            PathStatus::File(_) => {
+                let entry = self.namespace.remove_file(path)?;
+                self.client.delete(entry.blob)?;
+                Ok(())
+            }
+            PathStatus::Directory => {
+                let removed = self.namespace.remove_dir(path, recursive)?;
+                for entry in removed {
+                    self.client.delete(entry.blob)?;
+                }
+                Ok(())
+            }
+            PathStatus::Missing => Err(FsError::FileNotFound(path.to_string())),
+        }
+    }
+
+    /// Rename a file or directory.
+    pub fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        self.namespace.rename(from, to)
+    }
+
+    /// Expose the data layout of a byte range of a file: which cluster nodes
+    /// hold each block. This is the primitive the MapReduce jobtracker uses
+    /// for locality-aware task placement (paper §III-B).
+    pub fn locate(&self, path: &str, offset: u64, len: u64) -> FsResult<Vec<BlockLocation>> {
+        let entry = self.namespace.lookup(path)?;
+        let locations = self.client.locate_latest(entry.blob, offset, len)?;
+        Ok(locations
+            .into_iter()
+            .map(|l| BlockLocation { range: l.range, nodes: l.nodes })
+            .collect())
+    }
+
+    /// Convenience: write an entire file in one call.
+    pub fn write_file(&self, path: &str, data: &[u8]) -> FsResult<()> {
+        let mut w = self.create(path)?;
+        w.write(data)?;
+        w.close()
+    }
+
+    /// Convenience: read an entire file in one call.
+    pub fn read_file(&self, path: &str) -> FsResult<Bytes> {
+        let size = self.len(path)?;
+        if size == 0 {
+            return Ok(Bytes::new());
+        }
+        let mut r = self.open(path)?;
+        r.read_at(0, size)
+    }
+}
+
+/// Sequential writer for one file. Writes are buffered into whole blocks and
+/// committed to BlobSeer as appends; `close` flushes the tail and must be
+/// called (dropping an unclosed writer loses the buffered tail, mirroring
+/// Hadoop semantics where an unclosed file has undefined visible length).
+pub struct BsfsWriter {
+    client: BlobSeerClient,
+    blob: BlobId,
+    buffer: WriteBuffer,
+    cache_enabled: bool,
+    closed: bool,
+    path: String,
+}
+
+impl BsfsWriter {
+    /// The path this writer writes to.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The blob backing the file (tests, tooling).
+    pub fn blob(&self) -> BlobId {
+        self.blob
+    }
+
+    /// Append `data` to the file.
+    pub fn write(&mut self, data: &[u8]) -> FsResult<()> {
+        if self.closed {
+            return Err(FsError::WriterClosed);
+        }
+        if data.is_empty() {
+            return Ok(());
+        }
+        if !self.cache_enabled {
+            // Ablation mode: every write is an individual BlobSeer append.
+            self.client.append(self.blob, data)?;
+            return Ok(());
+        }
+        for block in self.buffer.push(data) {
+            self.client.append(self.blob, &block)?;
+        }
+        Ok(())
+    }
+
+    /// Bytes accepted so far (buffered or committed).
+    pub fn bytes_written(&self) -> u64 {
+        self.buffer.total_bytes()
+    }
+
+    /// Flush the partial tail block and mark the writer closed.
+    pub fn close(&mut self) -> FsResult<()> {
+        if self.closed {
+            return Ok(());
+        }
+        if let Some(tail) = self.buffer.flush() {
+            self.client.append(self.blob, &tail)?;
+        }
+        self.closed = true;
+        Ok(())
+    }
+}
+
+/// Positioned/sequential reader for one file, with whole-block prefetching.
+pub struct BsfsReader {
+    client: BlobSeerClient,
+    blob: BlobId,
+    cache: ReadCache,
+    cache_enabled: bool,
+    path: String,
+    position: u64,
+}
+
+impl BsfsReader {
+    /// The path this reader reads from.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Current length of the file.
+    pub fn len(&self) -> FsResult<u64> {
+        Ok(self.client.size(self.blob)?)
+    }
+
+    /// True when the file currently holds no bytes.
+    pub fn is_empty(&self) -> FsResult<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Cache statistics for this reader (A2 ablation instrumentation).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Read `len` bytes at an explicit offset.
+    pub fn read_at(&mut self, offset: u64, len: u64) -> FsResult<Bytes> {
+        let size = self.len()?;
+        if offset + len > size {
+            return Err(FsError::OutOfBounds {
+                path: self.path.clone(),
+                requested_end: offset + len,
+                size,
+            });
+        }
+        if len == 0 {
+            return Ok(Bytes::new());
+        }
+        if !self.cache_enabled {
+            return Ok(self.client.read_latest(self.blob, offset, len)?);
+        }
+        let client = &self.client;
+        let blob = self.blob;
+        let block_size = self.cache.block_size();
+        self.cache
+            .read(offset, len, size, |block, block_len| {
+                client.read_latest(blob, block * block_size, block_len)
+            })
+            .map_err(FsError::from)
+    }
+
+    /// Sequential read from the current position; advances the position.
+    pub fn read(&mut self, len: u64) -> FsResult<Bytes> {
+        let size = self.len()?;
+        let remaining = size.saturating_sub(self.position);
+        let n = len.min(remaining);
+        let data = self.read_at(self.position, n)?;
+        self.position += data.len() as u64;
+        Ok(data)
+    }
+
+    /// Move the sequential-read position.
+    pub fn seek(&mut self, position: u64) {
+        self.position = position;
+    }
+
+    /// Current sequential-read position.
+    pub fn position(&self) -> u64 {
+        self.position
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer::BlobSeerConfig;
+
+    fn fs() -> Bsfs {
+        let storage = BlobSeer::new(BlobSeerConfig::for_tests().with_page_size(256));
+        Bsfs::new(storage, BsfsConfig::for_tests())
+    }
+
+    #[test]
+    fn write_then_read_whole_file() {
+        let fs = fs();
+        let data: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
+        fs.write_file("/dir/file.bin", &data).unwrap();
+        assert_eq!(fs.len("/dir/file.bin").unwrap(), 1000);
+        assert_eq!(fs.read_file("/dir/file.bin").unwrap().to_vec(), data);
+        assert!(fs.exists("/dir"));
+        assert!(fs.exists("/dir/file.bin"));
+        assert!(!fs.is_empty());
+    }
+
+    #[test]
+    fn small_record_writes_are_batched_into_blocks() {
+        let fs = fs();
+        let mut w = fs.create("/records").unwrap();
+        // 100 records of 11 bytes with a 256-byte block: the writer should
+        // commit ceil(1100/256) = 5 appends (4 full blocks + the flushed
+        // tail), not 100.
+        for i in 0..100u32 {
+            w.write(format!("rec{i:06}#\n").as_bytes()).unwrap();
+        }
+        w.close().unwrap();
+        assert_eq!(fs.len("/records").unwrap(), 1100);
+        let versions = fs.storage().version_manager().latest(w.blob()).unwrap();
+        assert_eq!(versions.version.0, 5, "expected 5 block appends, got {}", versions.version.0);
+    }
+
+    #[test]
+    fn unbuffered_writer_commits_every_record() {
+        let storage = BlobSeer::new(BlobSeerConfig::for_tests().with_page_size(256));
+        let fs = Bsfs::new(storage, BsfsConfig::for_tests().with_cache(false));
+        let mut w = fs.create("/records").unwrap();
+        for i in 0..20u32 {
+            w.write(format!("rec{i:06}#\n").as_bytes()).unwrap();
+        }
+        w.close().unwrap();
+        let versions = fs.storage().version_manager().latest(w.blob()).unwrap();
+        assert_eq!(versions.version.0, 20, "without the cache every record is one append");
+        assert_eq!(fs.len("/records").unwrap(), 220);
+    }
+
+    #[test]
+    fn sequential_small_reads_prefetch_blocks() {
+        let fs = fs();
+        let data: Vec<u8> = (0..2048u32).map(|i| (i % 256) as u8).collect();
+        fs.write_file("/input", &data).unwrap();
+        let mut r = fs.open("/input").unwrap();
+        let mut assembled = Vec::new();
+        loop {
+            let chunk = r.read(32).unwrap();
+            if chunk.is_empty() {
+                break;
+            }
+            assembled.extend_from_slice(&chunk);
+        }
+        assert_eq!(assembled, data);
+        let stats = r.cache_stats();
+        // 2048/256 = 8 blocks loaded, not 64 small reads.
+        assert_eq!(stats.blocks_loaded, 8);
+        assert!(stats.hits > stats.misses);
+    }
+
+    #[test]
+    fn read_at_random_offsets() {
+        let fs = fs();
+        let data: Vec<u8> = (0..3000u32).map(|i| (i * 7 % 256) as u8).collect();
+        fs.write_file("/random", &data).unwrap();
+        let mut r = fs.open("/random").unwrap();
+        for &(off, len) in &[(0u64, 10u64), (2990, 10), (250, 20), (1023, 2), (0, 3000)] {
+            let got = r.read_at(off, len).unwrap();
+            assert_eq!(got.to_vec(), data[off as usize..(off + len) as usize].to_vec());
+        }
+        assert!(matches!(r.read_at(2995, 10), Err(FsError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn reader_seek_and_position() {
+        let fs = fs();
+        fs.write_file("/seek", b"0123456789").unwrap();
+        let mut r = fs.open("/seek").unwrap();
+        r.seek(5);
+        assert_eq!(r.position(), 5);
+        assert_eq!(&r.read(3).unwrap()[..], b"567");
+        assert_eq!(r.position(), 8);
+        assert_eq!(&r.read(100).unwrap()[..], b"89");
+        assert!(r.read(10).unwrap().is_empty());
+        assert!(!r.is_empty().unwrap());
+    }
+
+    #[test]
+    fn open_missing_file_fails() {
+        let fs = fs();
+        assert!(matches!(fs.open("/nope"), Err(FsError::FileNotFound(_))));
+        assert!(matches!(fs.len("/nope"), Err(FsError::FileNotFound(_))));
+        assert!(matches!(fs.read_file("/nope"), Err(FsError::FileNotFound(_))));
+        assert!(matches!(fs.delete("/nope", false), Err(FsError::FileNotFound(_))));
+    }
+
+    #[test]
+    fn create_existing_file_fails() {
+        let fs = fs();
+        fs.write_file("/dup", b"x").unwrap();
+        assert!(matches!(fs.create("/dup"), Err(FsError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn writer_close_is_idempotent_and_write_after_close_fails() {
+        let fs = fs();
+        let mut w = fs.create("/f").unwrap();
+        w.write(b"abc").unwrap();
+        w.close().unwrap();
+        w.close().unwrap();
+        assert!(matches!(w.write(b"more"), Err(FsError::WriterClosed)));
+        assert_eq!(w.bytes_written(), 3);
+        assert_eq!(fs.len("/f").unwrap(), 3);
+    }
+
+    #[test]
+    fn empty_file_reads_empty() {
+        let fs = fs();
+        let mut w = fs.create("/empty").unwrap();
+        w.close().unwrap();
+        assert_eq!(fs.len("/empty").unwrap(), 0);
+        assert!(fs.read_file("/empty").unwrap().is_empty());
+        let mut r = fs.open("/empty").unwrap();
+        assert!(r.is_empty().unwrap());
+        assert!(r.read(10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn delete_file_and_directory_tree() {
+        let fs = fs();
+        fs.write_file("/out/part-0", b"a").unwrap();
+        fs.write_file("/out/part-1", b"b").unwrap();
+        fs.write_file("/keep/other", b"c").unwrap();
+        fs.delete("/out/part-0", false).unwrap();
+        assert!(!fs.exists("/out/part-0"));
+        fs.delete("/out", true).unwrap();
+        assert!(!fs.exists("/out"));
+        assert!(fs.exists("/keep/other"));
+        // The blobs backing deleted files are gone from BlobSeer too.
+        assert_eq!(fs.storage().version_manager().blob_ids().len(), 1);
+    }
+
+    #[test]
+    fn rename_keeps_contents() {
+        let fs = fs();
+        fs.write_file("/tmp/part", b"payload").unwrap();
+        fs.mkdirs("/final").unwrap();
+        fs.rename("/tmp/part", "/final/part").unwrap();
+        assert_eq!(&fs.read_file("/final/part").unwrap()[..], b"payload");
+        assert!(!fs.exists("/tmp/part"));
+    }
+
+    #[test]
+    fn list_directory_contents() {
+        let fs = fs();
+        fs.write_file("/job/input/a", b"1").unwrap();
+        fs.write_file("/job/input/b", b"2").unwrap();
+        fs.mkdirs("/job/output").unwrap();
+        let listing = fs.list("/job").unwrap();
+        assert_eq!(listing, vec!["/job/input", "/job/output"]);
+        assert_eq!(fs.list("/job/input").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn locate_reports_block_nodes() {
+        let fs = fs();
+        let data = vec![9u8; 1024]; // 4 blocks of 256
+        fs.write_file("/located", &data).unwrap();
+        let locations = fs.locate("/located", 0, 1024).unwrap();
+        assert_eq!(locations.len(), 4);
+        for loc in &locations {
+            assert_eq!(loc.range.len, 256);
+            assert!(!loc.nodes.is_empty());
+        }
+        // With load-balanced placement the blocks spread over several nodes.
+        let unique: std::collections::HashSet<_> =
+            locations.iter().map(|l| l.nodes[0]).collect();
+        assert!(unique.len() > 1, "blocks should not all be on one node");
+        // A sub-range only reports its blocks.
+        let partial = fs.locate("/located", 300, 10).unwrap();
+        assert_eq!(partial.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_writers_to_different_files() {
+        let storage =
+            BlobSeer::new(BlobSeerConfig::for_tests().with_providers(8).with_page_size(1024));
+        let fs = Bsfs::new(storage, BsfsConfig::for_tests().with_block_size(1024));
+        let handles: Vec<_> = (0..8u8)
+            .map(|t| {
+                let fs = fs.clone();
+                std::thread::spawn(move || {
+                    let path = format!("/out/part-{t}");
+                    let mut w = fs.create(&path).unwrap();
+                    for _ in 0..64 {
+                        w.write(&[t; 64]).unwrap();
+                    }
+                    w.close().unwrap();
+                    path
+                })
+            })
+            .collect();
+        for h in handles {
+            let path = h.join().unwrap();
+            let data = fs.read_file(&path).unwrap();
+            assert_eq!(data.len(), 64 * 64);
+        }
+        assert_eq!(fs.namespace().file_count(), 8);
+    }
+
+    #[test]
+    fn on_node_changes_the_io_origin() {
+        let storage = BlobSeer::new(BlobSeerConfig::for_tests().with_providers(4));
+        let fs = Bsfs::new(storage, BsfsConfig::for_tests());
+        let node3 = fs.storage().topology().node(3);
+        let fs3 = fs.on_node(node3);
+        fs3.write_file("/from-node-3", b"x").unwrap();
+        // Both handles share the namespace.
+        assert!(fs.exists("/from-node-3"));
+    }
+}

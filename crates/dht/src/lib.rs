@@ -1,0 +1,478 @@
+//! # dht — the metadata providers' distributed hash table
+//!
+//! BlobSeer keeps the information about which provider stores each page of
+//! each blob version "in a Distributed HashTable, managed by several metadata
+//! providers" (paper §III-A). This crate implements that substrate:
+//!
+//! * [`ring::HashRing`] — consistent hashing with virtual nodes, so that keys
+//!   spread evenly and adding/removing a metadata provider only moves a small
+//!   fraction of the keys;
+//! * [`node::DhtNode`] — one metadata provider: a thread-safe key-value store
+//!   plus a liveness flag for failure injection;
+//! * [`Dht`] — the client view: replicated `put`/`get`/`remove` across the
+//!   ring, fail-over on dead replicas, node join/leave with rebalancing.
+//!
+//! The DHT is *in-process*: nodes are objects, not sockets. This is
+//! deliberate — the paper's experiments never stress the metadata network
+//! path (metadata records are tiny compared to 64 MB data blocks); what
+//! matters is the concurrency behaviour (many clients publishing segment-tree
+//! nodes at once) and the decentralised failure model, both of which are
+//! preserved.
+//!
+//! ```
+//! use dht::{Dht, DhtConfig};
+//! use bytes::Bytes;
+//!
+//! let dht = Dht::new(DhtConfig { nodes: 4, replication: 2, ..Default::default() });
+//! dht.put(b"blob-1/v3/root", Bytes::from_static(b"tree-node")).unwrap();
+//! assert_eq!(dht.get(b"blob-1/v3/root").unwrap(), Bytes::from_static(b"tree-node"));
+//! ```
+
+pub mod node;
+pub mod ring;
+
+pub use node::{DhtNode, DhtNodeId};
+pub use ring::HashRing;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors surfaced by DHT operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DhtError {
+    /// No replica holding the key could be reached (all dead or none had it).
+    NotFound { key: String },
+    /// Fewer live nodes than the replication factor; the operation could not
+    /// reach its durability target.
+    NotEnoughReplicas { wanted: usize, available: usize },
+    /// The DHT has no nodes at all.
+    Empty,
+    /// The referenced node id does not exist.
+    UnknownNode(DhtNodeId),
+}
+
+impl fmt::Display for DhtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DhtError::NotFound { key } => write!(f, "key not found in DHT: {key}"),
+            DhtError::NotEnoughReplicas { wanted, available } => {
+                write!(f, "not enough live replicas: wanted {wanted}, available {available}")
+            }
+            DhtError::Empty => write!(f, "the DHT has no nodes"),
+            DhtError::UnknownNode(id) => write!(f, "unknown DHT node {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DhtError {}
+
+/// Result alias for DHT operations.
+pub type DhtResult<T> = Result<T, DhtError>;
+
+/// Configuration of a [`Dht`].
+#[derive(Debug, Clone)]
+pub struct DhtConfig {
+    /// Number of metadata provider nodes to create initially.
+    pub nodes: usize,
+    /// Number of replicas kept for every key (1 = no redundancy).
+    pub replication: usize,
+    /// Virtual nodes per physical node on the hash ring.
+    pub virtual_nodes: usize,
+}
+
+impl Default for DhtConfig {
+    fn default() -> Self {
+        DhtConfig { nodes: 4, replication: 2, virtual_nodes: 64 }
+    }
+}
+
+/// Aggregate statistics over the DHT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DhtStats {
+    /// Number of nodes (live and dead).
+    pub nodes: usize,
+    /// Number of live nodes.
+    pub live_nodes: usize,
+    /// Total key replicas stored across all nodes.
+    pub total_entries: usize,
+    /// Total bytes stored across all nodes (counting replication).
+    pub total_bytes: u64,
+}
+
+struct DhtInner {
+    ring: HashRing,
+    nodes: HashMap<DhtNodeId, Arc<DhtNode>>,
+    next_id: u64,
+    replication: usize,
+    virtual_nodes: usize,
+}
+
+/// The distributed hash table used by BlobSeer's metadata layer.
+///
+/// All methods are safe to call from many threads concurrently; the ring is
+/// only write-locked by membership changes (join/leave/rebalance), never by
+/// data operations.
+pub struct Dht {
+    inner: RwLock<DhtInner>,
+}
+
+impl Dht {
+    /// Build a DHT with `config.nodes` initial nodes.
+    pub fn new(config: DhtConfig) -> Self {
+        assert!(config.replication >= 1, "replication factor must be at least 1");
+        let mut inner = DhtInner {
+            ring: HashRing::new(config.virtual_nodes),
+            nodes: HashMap::new(),
+            next_id: 0,
+            replication: config.replication,
+            virtual_nodes: config.virtual_nodes,
+        };
+        for _ in 0..config.nodes {
+            let id = DhtNodeId(inner.next_id);
+            inner.next_id += 1;
+            inner.ring.add_node(id);
+            inner.nodes.insert(id, Arc::new(DhtNode::new(id)));
+        }
+        Dht { inner: RwLock::new(inner) }
+    }
+
+    /// The replication factor this DHT was configured with.
+    pub fn replication(&self) -> usize {
+        self.inner.read().replication
+    }
+
+    /// Ids of all member nodes, sorted.
+    pub fn node_ids(&self) -> Vec<DhtNodeId> {
+        let mut ids: Vec<DhtNodeId> = self.inner.read().nodes.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Store `value` under `key` on the `replication` successor nodes of the
+    /// key. Dead nodes are skipped; the write succeeds if at least one live
+    /// replica accepted it, and reports [`DhtError::NotEnoughReplicas`] if
+    /// none did.
+    pub fn put(&self, key: &[u8], value: Bytes) -> DhtResult<()> {
+        let inner = self.inner.read();
+        if inner.nodes.is_empty() {
+            return Err(DhtError::Empty);
+        }
+        let replicas = inner.ring.successors(key, inner.replication);
+        let mut stored = 0;
+        for id in &replicas {
+            let node = &inner.nodes[id];
+            if node.is_alive() {
+                node.put(key, value.clone());
+                stored += 1;
+            }
+        }
+        if stored == 0 {
+            return Err(DhtError::NotEnoughReplicas { wanted: inner.replication, available: 0 });
+        }
+        Ok(())
+    }
+
+    /// Fetch the value for `key`, trying each replica in ring order and
+    /// failing over past dead nodes.
+    pub fn get(&self, key: &[u8]) -> DhtResult<Bytes> {
+        let inner = self.inner.read();
+        if inner.nodes.is_empty() {
+            return Err(DhtError::Empty);
+        }
+        let replicas = inner.ring.successors(key, inner.replication);
+        for id in &replicas {
+            let node = &inner.nodes[id];
+            if !node.is_alive() {
+                continue;
+            }
+            if let Some(v) = node.get(key) {
+                return Ok(v);
+            }
+        }
+        Err(DhtError::NotFound { key: String::from_utf8_lossy(key).into_owned() })
+    }
+
+    /// Remove `key` from every replica that holds it. Returns true if at
+    /// least one replica removed a value.
+    pub fn remove(&self, key: &[u8]) -> DhtResult<bool> {
+        let inner = self.inner.read();
+        if inner.nodes.is_empty() {
+            return Err(DhtError::Empty);
+        }
+        let replicas = inner.ring.successors(key, inner.replication);
+        let mut removed = false;
+        for id in &replicas {
+            let node = &inner.nodes[id];
+            if node.is_alive() {
+                removed |= node.remove(key);
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Does any live replica hold `key`?
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.get(key).is_ok()
+    }
+
+    /// Add a new node to the ring and return its id. Call
+    /// [`Dht::rebalance`] afterwards to move keys onto it.
+    pub fn join(&self) -> DhtNodeId {
+        let mut inner = self.inner.write();
+        let id = DhtNodeId(inner.next_id);
+        inner.next_id += 1;
+        inner.ring.add_node(id);
+        inner.nodes.insert(id, Arc::new(DhtNode::new(id)));
+        id
+    }
+
+    /// Remove a node from the ring. Its keys remain on other replicas; call
+    /// [`Dht::rebalance`] to restore the replication factor.
+    pub fn leave(&self, id: DhtNodeId) -> DhtResult<()> {
+        let mut inner = self.inner.write();
+        if inner.nodes.remove(&id).is_none() {
+            return Err(DhtError::UnknownNode(id));
+        }
+        inner.ring.remove_node(id);
+        Ok(())
+    }
+
+    /// Mark a node dead (failure injection). Data operations skip it.
+    pub fn kill(&self, id: DhtNodeId) -> DhtResult<()> {
+        let inner = self.inner.read();
+        match inner.nodes.get(&id) {
+            Some(n) => {
+                n.kill();
+                Ok(())
+            }
+            None => Err(DhtError::UnknownNode(id)),
+        }
+    }
+
+    /// Revive a previously killed node.
+    pub fn revive(&self, id: DhtNodeId) -> DhtResult<()> {
+        let inner = self.inner.read();
+        match inner.nodes.get(&id) {
+            Some(n) => {
+                n.revive();
+                Ok(())
+            }
+            None => Err(DhtError::UnknownNode(id)),
+        }
+    }
+
+    /// Re-distribute every key so that it lives exactly on its `replication`
+    /// successors under the current ring. Used after joins/leaves. Dead nodes
+    /// are skipped both as sources and as destinations.
+    pub fn rebalance(&self) {
+        let inner = self.inner.write();
+        // Collect the union of all keys with one representative value.
+        let mut all: HashMap<Vec<u8>, Bytes> = HashMap::new();
+        for node in inner.nodes.values() {
+            if !node.is_alive() {
+                continue;
+            }
+            for (k, v) in node.entries() {
+                all.entry(k).or_insert(v);
+            }
+        }
+        // Re-place every key.
+        for (key, value) in &all {
+            let targets = inner.ring.successors(key, inner.replication);
+            for (id, node) in &inner.nodes {
+                if !node.is_alive() {
+                    continue;
+                }
+                if targets.contains(id) {
+                    node.put(key, value.clone());
+                } else {
+                    node.remove(key);
+                }
+            }
+        }
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> DhtStats {
+        let inner = self.inner.read();
+        let mut s = DhtStats { nodes: inner.nodes.len(), ..Default::default() };
+        for node in inner.nodes.values() {
+            if node.is_alive() {
+                s.live_nodes += 1;
+            }
+            s.total_entries += node.len();
+            s.total_bytes += node.data_bytes();
+        }
+        s
+    }
+
+    /// The nodes that would hold `key` (for tests and load inspection).
+    pub fn replicas_for(&self, key: &[u8]) -> Vec<DhtNodeId> {
+        let inner = self.inner.read();
+        inner.ring.successors(key, inner.replication)
+    }
+
+    /// Per-node entry counts, for load-balance inspection.
+    pub fn load_per_node(&self) -> HashMap<DhtNodeId, usize> {
+        let inner = self.inner.read();
+        inner.nodes.iter().map(|(id, n)| (*id, n.len())).collect()
+    }
+
+    /// The number of virtual nodes per physical node on the ring.
+    pub fn virtual_nodes(&self) -> usize {
+        self.inner.read().virtual_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_remove_roundtrip() {
+        let dht = Dht::new(DhtConfig::default());
+        dht.put(b"k1", Bytes::from_static(b"v1")).unwrap();
+        assert_eq!(dht.get(b"k1").unwrap(), Bytes::from_static(b"v1"));
+        assert!(dht.contains(b"k1"));
+        assert!(dht.remove(b"k1").unwrap());
+        assert!(!dht.contains(b"k1"));
+        assert!(matches!(dht.get(b"k1"), Err(DhtError::NotFound { .. })));
+    }
+
+    #[test]
+    fn replication_places_copies_on_distinct_nodes() {
+        let dht = Dht::new(DhtConfig { nodes: 5, replication: 3, ..Default::default() });
+        dht.put(b"key", Bytes::from_static(b"value")).unwrap();
+        let replicas = dht.replicas_for(b"key");
+        assert_eq!(replicas.len(), 3);
+        let unique: std::collections::HashSet<_> = replicas.iter().collect();
+        assert_eq!(unique.len(), 3, "replicas must be on distinct nodes");
+        // Exactly the replica nodes hold the key.
+        let load = dht.load_per_node();
+        let holders: usize = load.values().sum();
+        assert_eq!(holders, 3);
+    }
+
+    #[test]
+    fn survives_killing_one_replica() {
+        let dht = Dht::new(DhtConfig { nodes: 5, replication: 3, ..Default::default() });
+        dht.put(b"key", Bytes::from_static(b"value")).unwrap();
+        let replicas = dht.replicas_for(b"key");
+        dht.kill(replicas[0]).unwrap();
+        assert_eq!(dht.get(b"key").unwrap(), Bytes::from_static(b"value"));
+        dht.revive(replicas[0]).unwrap();
+        assert_eq!(dht.get(b"key").unwrap(), Bytes::from_static(b"value"));
+    }
+
+    #[test]
+    fn fails_when_all_replicas_dead() {
+        let dht = Dht::new(DhtConfig { nodes: 3, replication: 2, ..Default::default() });
+        dht.put(b"key", Bytes::from_static(b"value")).unwrap();
+        for id in dht.replicas_for(b"key") {
+            dht.kill(id).unwrap();
+        }
+        assert!(matches!(dht.get(b"key"), Err(DhtError::NotFound { .. })));
+        // A put whose replicas are all dead reports the replica shortfall.
+        let err = dht.put(b"key", Bytes::from_static(b"value2"));
+        assert!(matches!(err, Err(DhtError::NotEnoughReplicas { .. })));
+    }
+
+    #[test]
+    fn join_and_rebalance_preserve_all_keys() {
+        let dht = Dht::new(DhtConfig { nodes: 3, replication: 2, ..Default::default() });
+        for i in 0..200u32 {
+            dht.put(format!("key-{i}").as_bytes(), Bytes::from(format!("value-{i}"))).unwrap();
+        }
+        let new_node = dht.join();
+        dht.rebalance();
+        // All keys still readable.
+        for i in 0..200u32 {
+            assert_eq!(
+                dht.get(format!("key-{i}").as_bytes()).unwrap(),
+                Bytes::from(format!("value-{i}"))
+            );
+        }
+        // The new node received some share of the keys.
+        let load = dht.load_per_node();
+        assert!(load[&new_node] > 0, "new node should hold keys after rebalance");
+    }
+
+    #[test]
+    fn leave_and_rebalance_restore_replication() {
+        let dht = Dht::new(DhtConfig { nodes: 4, replication: 2, ..Default::default() });
+        for i in 0..100u32 {
+            dht.put(format!("key-{i}").as_bytes(), Bytes::from(vec![1u8; 10])).unwrap();
+        }
+        let victim = dht.node_ids()[0];
+        dht.leave(victim).unwrap();
+        dht.rebalance();
+        for i in 0..100u32 {
+            assert!(dht.contains(format!("key-{i}").as_bytes()));
+        }
+        // Every key is now on exactly `replication` live nodes.
+        let stats = dht.stats();
+        assert_eq!(stats.total_entries, 100 * 2);
+    }
+
+    #[test]
+    fn keys_spread_over_nodes() {
+        let dht = Dht::new(DhtConfig { nodes: 8, replication: 1, virtual_nodes: 128 });
+        for i in 0..2000u32 {
+            dht.put(format!("page-{i}").as_bytes(), Bytes::from_static(b"x")).unwrap();
+        }
+        let load = dht.load_per_node();
+        let min = load.values().min().copied().unwrap();
+        let max = load.values().max().copied().unwrap();
+        // With 128 vnodes the imbalance should be modest.
+        assert!(min > 0, "every node should hold at least one key");
+        assert!(
+            (max as f64) < (min as f64) * 4.0,
+            "load imbalance too high: min={min}, max={max}"
+        );
+    }
+
+    #[test]
+    fn unknown_node_operations_error() {
+        let dht = Dht::new(DhtConfig::default());
+        let bogus = DhtNodeId(9999);
+        assert!(matches!(dht.kill(bogus), Err(DhtError::UnknownNode(_))));
+        assert!(matches!(dht.revive(bogus), Err(DhtError::UnknownNode(_))));
+        assert!(matches!(dht.leave(bogus), Err(DhtError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DhtError::NotFound { key: "abc".into() }.to_string().contains("abc"));
+        assert!(DhtError::NotEnoughReplicas { wanted: 3, available: 1 }.to_string().contains('3'));
+        assert!(DhtError::Empty.to_string().contains("no nodes"));
+    }
+
+    #[test]
+    fn concurrent_clients_publish_metadata() {
+        let dht = std::sync::Arc::new(Dht::new(DhtConfig {
+            nodes: 6,
+            replication: 2,
+            virtual_nodes: 64,
+        }));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let dht = std::sync::Arc::clone(&dht);
+                std::thread::spawn(move || {
+                    for i in 0..250 {
+                        let key = format!("blob-{t}/v{i}/node");
+                        dht.put(key.as_bytes(), Bytes::from(vec![t as u8; 32])).unwrap();
+                        assert_eq!(dht.get(key.as_bytes()).unwrap()[0], t as u8);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = dht.stats();
+        assert_eq!(stats.total_entries, 8 * 250 * 2);
+    }
+}

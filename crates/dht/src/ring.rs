@@ -1,0 +1,212 @@
+//! Consistent hashing ring with virtual nodes.
+//!
+//! Keys and node replicas are hashed onto a 64-bit circle; a key is owned by
+//! the first node replica found walking clockwise from the key's position.
+//! Virtual nodes (many ring positions per physical node) smooth out the load
+//! distribution, and `successors` walks further around the circle to find the
+//! `n` *distinct* physical nodes that hold a key's replicas — the standard
+//! Dynamo/Chord construction.
+
+use crate::node::DhtNodeId;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+/// Hash an arbitrary byte string (or hashable value) onto the ring.
+fn hash_bytes(data: &[u8]) -> u64 {
+    let mut h = DefaultHasher::new();
+    data.hash(&mut h);
+    h.finish()
+}
+
+fn hash_vnode(node: DhtNodeId, replica: usize) -> u64 {
+    let mut h = DefaultHasher::new();
+    node.0.hash(&mut h);
+    replica.hash(&mut h);
+    // Mix in a constant so vnode hashes don't collide with raw key hashes in
+    // pathological cases.
+    0x9E37_79B9_7F4A_7C15u64.hash(&mut h);
+    h.finish()
+}
+
+/// The consistent-hashing ring.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    virtual_nodes: usize,
+    /// position on the circle -> physical node
+    ring: BTreeMap<u64, DhtNodeId>,
+}
+
+impl HashRing {
+    /// Create an empty ring; each node added will occupy `virtual_nodes`
+    /// positions.
+    pub fn new(virtual_nodes: usize) -> Self {
+        assert!(virtual_nodes >= 1, "at least one virtual node per node is required");
+        HashRing { virtual_nodes, ring: BTreeMap::new() }
+    }
+
+    /// Number of physical nodes on the ring.
+    pub fn len(&self) -> usize {
+        // Each physical node occupies exactly `virtual_nodes` positions, but
+        // hash collisions could in principle merge two; count distinct ids.
+        let mut ids: Vec<DhtNodeId> = self.ring.values().copied().collect();
+        ids.sort();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// True when the ring has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Add a physical node (idempotent).
+    pub fn add_node(&mut self, node: DhtNodeId) {
+        for r in 0..self.virtual_nodes {
+            self.ring.insert(hash_vnode(node, r), node);
+        }
+    }
+
+    /// Remove a physical node (idempotent).
+    pub fn remove_node(&mut self, node: DhtNodeId) {
+        self.ring.retain(|_, v| *v != node);
+    }
+
+    /// The primary owner of `key`, or `None` if the ring is empty.
+    pub fn primary(&self, key: &[u8]) -> Option<DhtNodeId> {
+        self.successors(key, 1).into_iter().next()
+    }
+
+    /// The first `n` *distinct* physical nodes encountered walking clockwise
+    /// from the key's position. Returns fewer than `n` if the ring has fewer
+    /// distinct nodes.
+    pub fn successors(&self, key: &[u8], n: usize) -> Vec<DhtNodeId> {
+        if self.ring.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let start = hash_bytes(key);
+        let mut out: Vec<DhtNodeId> = Vec::with_capacity(n);
+        // Walk from `start` to the end of the circle, then wrap around.
+        for (_, node) in self.ring.range(start..).chain(self.ring.range(..start)) {
+            if !out.contains(node) {
+                out.push(*node);
+                if out.len() == n {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn empty_ring_has_no_owners() {
+        let ring = HashRing::new(8);
+        assert!(ring.is_empty());
+        assert_eq!(ring.primary(b"key"), None);
+        assert!(ring.successors(b"key", 3).is_empty());
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let mut ring = HashRing::new(8);
+        ring.add_node(DhtNodeId(0));
+        assert_eq!(ring.len(), 1);
+        for i in 0..100 {
+            assert_eq!(ring.primary(format!("key-{i}").as_bytes()), Some(DhtNodeId(0)));
+        }
+    }
+
+    #[test]
+    fn successors_are_distinct_physical_nodes() {
+        let mut ring = HashRing::new(32);
+        for i in 0..5 {
+            ring.add_node(DhtNodeId(i));
+        }
+        for i in 0..50 {
+            let succ = ring.successors(format!("k{i}").as_bytes(), 3);
+            assert_eq!(succ.len(), 3);
+            let unique: std::collections::HashSet<_> = succ.iter().collect();
+            assert_eq!(unique.len(), 3);
+        }
+        // Asking for more replicas than nodes returns all nodes.
+        assert_eq!(ring.successors(b"x", 10).len(), 5);
+    }
+
+    #[test]
+    fn lookups_are_stable() {
+        let mut ring = HashRing::new(16);
+        for i in 0..4 {
+            ring.add_node(DhtNodeId(i));
+        }
+        let first: Vec<_> = (0..100).map(|i| ring.primary(format!("k{i}").as_bytes())).collect();
+        let second: Vec<_> = (0..100).map(|i| ring.primary(format!("k{i}").as_bytes())).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn removing_a_node_only_moves_its_keys() {
+        let mut ring = HashRing::new(64);
+        for i in 0..6 {
+            ring.add_node(DhtNodeId(i));
+        }
+        let keys: Vec<String> = (0..500).map(|i| format!("key-{i}")).collect();
+        let before: HashMap<&String, DhtNodeId> =
+            keys.iter().map(|k| (k, ring.primary(k.as_bytes()).unwrap())).collect();
+        ring.remove_node(DhtNodeId(2));
+        let mut moved = 0;
+        for k in &keys {
+            let after = ring.primary(k.as_bytes()).unwrap();
+            if before[k] != after {
+                moved += 1;
+                // A key only moves if its previous owner was the removed node.
+                assert_eq!(before[k], DhtNodeId(2), "key {k} moved although its owner survived");
+            }
+            assert_ne!(after, DhtNodeId(2), "removed node still owns key {k}");
+        }
+        assert!(moved > 0, "some keys should have been owned by the removed node");
+    }
+
+    #[test]
+    fn adding_nodes_is_idempotent() {
+        let mut ring = HashRing::new(8);
+        ring.add_node(DhtNodeId(7));
+        ring.add_node(DhtNodeId(7));
+        assert_eq!(ring.len(), 1);
+        ring.remove_node(DhtNodeId(7));
+        assert!(ring.is_empty());
+        ring.remove_node(DhtNodeId(7)); // removing twice is fine
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn virtual_nodes_balance_load() {
+        let mut ring = HashRing::new(128);
+        for i in 0..8 {
+            ring.add_node(DhtNodeId(i));
+        }
+        let mut counts: HashMap<DhtNodeId, usize> = HashMap::new();
+        for i in 0..4000 {
+            let owner = ring.primary(format!("object-{i}").as_bytes()).unwrap();
+            *counts.entry(owner).or_insert(0) += 1;
+        }
+        let min = counts.values().min().copied().unwrap_or(0);
+        let max = counts.values().max().copied().unwrap_or(0);
+        assert_eq!(counts.len(), 8, "every node should own some keys");
+        assert!(
+            (max as f64) < (min as f64) * 3.0,
+            "virtual nodes should balance load: min={min}, max={max}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one virtual node")]
+    fn zero_virtual_nodes_rejected() {
+        let _ = HashRing::new(0);
+    }
+}

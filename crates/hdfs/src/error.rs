@@ -1,0 +1,82 @@
+//! Error type for the HDFS-like baseline file system.
+
+use std::fmt;
+
+/// Result alias for HDFS operations.
+pub type HdfsResult<T> = Result<T, HdfsError>;
+
+/// Errors surfaced by the HDFS baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HdfsError {
+    /// The path does not name an existing file.
+    FileNotFound(String),
+    /// The path already exists.
+    AlreadyExists(String),
+    /// The path is a directory where a file was expected.
+    IsADirectory(String),
+    /// The path is a file where a directory was expected.
+    NotADirectory(String),
+    /// The parent directory does not exist.
+    ParentMissing(String),
+    /// A path was syntactically invalid.
+    InvalidPath(String),
+    /// HDFS files are write-once: the file is still being written (not yet
+    /// closed) and cannot be read, or it is closed and cannot be written.
+    WrongFileState { path: String, expected: &'static str },
+    /// A read past the end of a file.
+    OutOfBounds { path: String, requested_end: u64, size: u64 },
+    /// The directory is not empty and recursive deletion was not requested.
+    DirectoryNotEmpty(String),
+    /// No datanode is available to hold a chunk replica.
+    NoDatanodes,
+    /// A chunk could not be read from any replica.
+    ChunkUnavailable { path: String, chunk_index: usize },
+    /// The writer was already closed.
+    WriterClosed,
+}
+
+impl fmt::Display for HdfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdfsError::FileNotFound(p) => write!(f, "file not found: {p}"),
+            HdfsError::AlreadyExists(p) => write!(f, "path already exists: {p}"),
+            HdfsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            HdfsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            HdfsError::ParentMissing(p) => write!(f, "parent directory does not exist: {p}"),
+            HdfsError::InvalidPath(p) => write!(f, "invalid path: {p}"),
+            HdfsError::WrongFileState { path, expected } => {
+                write!(f, "file {path} is not in the required state ({expected})")
+            }
+            HdfsError::OutOfBounds { path, requested_end, size } => {
+                write!(f, "read past end of {path}: requested byte {requested_end}, size {size}")
+            }
+            HdfsError::DirectoryNotEmpty(p) => write!(f, "directory not empty: {p}"),
+            HdfsError::NoDatanodes => write!(f, "no datanodes available"),
+            HdfsError::ChunkUnavailable { path, chunk_index } => {
+                write!(f, "chunk {chunk_index} of {path} unavailable from any replica")
+            }
+            HdfsError::WriterClosed => write!(f, "writer already closed"),
+        }
+    }
+}
+
+impl std::error::Error for HdfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(HdfsError::FileNotFound("/x".into()).to_string().contains("/x"));
+        assert!(HdfsError::NoDatanodes.to_string().contains("datanodes"));
+        assert!(HdfsError::WrongFileState { path: "/f".into(), expected: "closed" }
+            .to_string()
+            .contains("closed"));
+        assert!(HdfsError::ChunkUnavailable { path: "/f".into(), chunk_index: 3 }
+            .to_string()
+            .contains("chunk 3"));
+        let e = HdfsError::OutOfBounds { path: "/f".into(), requested_end: 9, size: 4 };
+        assert!(e.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,582 @@
+//! # hdfs-sim — the HDFS-like baseline file system
+//!
+//! The paper measures BSFS against the Hadoop Distributed File System. This
+//! crate reproduces the HDFS design points the comparison depends on
+//! (§II-C and §IV-B of the paper):
+//!
+//! * a single **namenode** holding the namespace and chunk locations
+//!   ([`namenode::Namenode`]);
+//! * **datanodes** storing fixed-size chunks (64 MiB by default)
+//!   ([`datanode::Datanode`]);
+//! * **write-once semantics** — a file is created, written by one client,
+//!   closed, and from then on can only be read;
+//! * the **rack-aware replica placement policy** — first replica local to the
+//!   writer, second in the same rack, third in another rack
+//!   ([`placement::PlacementPolicy`]) — which is precisely the behaviour the
+//!   paper credits for HDFS's inferior write throughput under concurrency;
+//! * clients read from the **closest replica**.
+//!
+//! The public API mirrors the `bsfs` crate so that the MapReduce framework
+//! can swap one for the other, exactly as the paper swaps HDFS for BSFS under
+//! an unchanged Hadoop.
+//!
+//! ```
+//! use hdfs_sim::{Hdfs, HdfsConfig};
+//!
+//! let fs = Hdfs::new(HdfsConfig::for_tests());
+//! let mut w = fs.create("/logs/part-0").unwrap();
+//! w.write(b"line one\n").unwrap();
+//! w.close().unwrap();
+//! assert_eq!(&fs.read_file("/logs/part-0").unwrap()[..], b"line one\n");
+//! ```
+
+pub mod datanode;
+pub mod error;
+pub mod namenode;
+pub mod placement;
+
+pub use datanode::{ChunkId, Datanode, DatanodeId, DatanodeStats};
+pub use error::{HdfsError, HdfsResult};
+pub use namenode::{ChunkInfo, ChunkLocation, FileMeta, FileState, Namenode};
+pub use placement::PlacementPolicy;
+
+use bytes::Bytes;
+use simcluster::topology::ClusterTopology;
+use simcluster::NodeId;
+use std::sync::Arc;
+
+/// Configuration of an HDFS deployment.
+#[derive(Debug, Clone)]
+pub struct HdfsConfig {
+    /// Chunk ("block") size in bytes; Hadoop's default is 64 MiB.
+    pub chunk_size: u64,
+    /// Number of datanodes when deploying on a flat topology.
+    pub datanodes: usize,
+    /// Replication factor for every chunk.
+    pub replication: usize,
+    /// Seed for the placement policy's deterministic randomness.
+    pub seed: u64,
+}
+
+impl Default for HdfsConfig {
+    fn default() -> Self {
+        HdfsConfig { chunk_size: 64 * 1024 * 1024, datanodes: 8, replication: 3, seed: 1 }
+    }
+}
+
+impl HdfsConfig {
+    /// A configuration sized for unit tests.
+    pub fn for_tests() -> Self {
+        HdfsConfig { chunk_size: 256, datanodes: 4, replication: 2, seed: 42 }
+    }
+
+    /// Builder-style override of the chunk size.
+    pub fn with_chunk_size(mut self, chunk_size: u64) -> Self {
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Builder-style override of the replication factor.
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        self.replication = replication;
+        self
+    }
+
+    /// Builder-style override of the datanode count.
+    pub fn with_datanodes(mut self, datanodes: usize) -> Self {
+        self.datanodes = datanodes;
+        self
+    }
+}
+
+/// The HDFS client / deployment handle. Clones share the namenode and the
+/// datanodes; [`Hdfs::on_node`] rebinds the client to another cluster node,
+/// which changes where the local-first placement puts first replicas and
+/// which replica reads prefer.
+#[derive(Clone)]
+pub struct Hdfs {
+    namenode: Arc<Namenode>,
+    topology: ClusterTopology,
+    node: NodeId,
+}
+
+impl Hdfs {
+    /// Deploy on a flat topology with one datanode per node.
+    pub fn new(config: HdfsConfig) -> Self {
+        let topology = ClusterTopology::flat(config.datanodes as u32);
+        let nodes: Vec<NodeId> = topology.all_nodes().collect();
+        Self::with_topology(config, &topology, &nodes)
+    }
+
+    /// Deploy datanodes on specific nodes of an existing topology.
+    pub fn with_topology(
+        config: HdfsConfig,
+        topology: &ClusterTopology,
+        datanode_nodes: &[NodeId],
+    ) -> Self {
+        assert!(!datanode_nodes.is_empty(), "at least one datanode node is required");
+        let datanodes: Vec<Arc<Datanode>> = datanode_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| Arc::new(Datanode::in_memory(DatanodeId(i as u32), *n)))
+            .collect();
+        let namenode = Arc::new(Namenode::new(
+            topology,
+            datanodes,
+            config.chunk_size,
+            config.replication,
+            config.seed,
+        ));
+        Hdfs { namenode, topology: topology.clone(), node: topology.node(0) }
+    }
+
+    /// A handle whose operations originate from the given cluster node.
+    pub fn on_node(&self, node: NodeId) -> Self {
+        let mut clone = self.clone();
+        clone.node = node;
+        clone
+    }
+
+    /// The namenode (tests, failure injection).
+    pub fn namenode(&self) -> &Arc<Namenode> {
+        &self.namenode
+    }
+
+    /// The cluster topology.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
+    }
+
+    /// The node this client runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Create a file and return its writer (write-once: the file becomes
+    /// readable only after the writer is closed).
+    pub fn create(&self, path: &str) -> HdfsResult<HdfsWriter> {
+        let normalized = self.namenode.create_file(path)?;
+        Ok(HdfsWriter {
+            namenode: Arc::clone(&self.namenode),
+            path: normalized,
+            node: self.node,
+            buffer: Vec::with_capacity(self.namenode.chunk_size() as usize),
+            closed: false,
+        })
+    }
+
+    /// Open a closed file for reads.
+    pub fn open(&self, path: &str) -> HdfsResult<HdfsReader> {
+        let meta = self.namenode.get_file(path)?;
+        Ok(HdfsReader {
+            namenode: Arc::clone(&self.namenode),
+            meta,
+            path: namenode::normalize(path)?,
+            node: self.node,
+            position: 0,
+        })
+    }
+
+    /// Length of a closed file.
+    pub fn len(&self, path: &str) -> HdfsResult<u64> {
+        self.namenode.file_size(path)
+    }
+
+    /// True when the namespace holds no files.
+    pub fn is_empty(&self) -> bool {
+        self.namenode.file_count() == 0
+    }
+
+    /// Does the path exist?
+    pub fn exists(&self, path: &str) -> bool {
+        self.namenode.exists(path)
+    }
+
+    /// Create a directory and its ancestors.
+    pub fn mkdirs(&self, path: &str) -> HdfsResult<()> {
+        self.namenode.mkdirs(path)
+    }
+
+    /// List the children of a directory.
+    pub fn list(&self, path: &str) -> HdfsResult<Vec<String>> {
+        self.namenode.list(path)
+    }
+
+    /// Delete a file or (recursively) a directory, releasing chunk replicas.
+    pub fn delete(&self, path: &str, recursive: bool) -> HdfsResult<()> {
+        let chunks = if self.namenode.exists(path) && self.namenode.list(path).is_ok() {
+            self.namenode.remove_dir(path, recursive)?
+        } else {
+            self.namenode.remove_file(path)?
+        };
+        for chunk in chunks {
+            for replica in chunk.replicas {
+                if let Some(dn) = self.namenode.datanode(replica) {
+                    dn.delete_chunk(chunk.id);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rename a file or directory.
+    pub fn rename(&self, from: &str, to: &str) -> HdfsResult<()> {
+        self.namenode.rename(from, to)
+    }
+
+    /// Locality query (chunk piece -> nodes), for the MapReduce scheduler.
+    pub fn locate(&self, path: &str, offset: u64, len: u64) -> HdfsResult<Vec<ChunkLocation>> {
+        self.namenode.locate(path, offset, len)
+    }
+
+    /// Convenience: write an entire file in one call.
+    pub fn write_file(&self, path: &str, data: &[u8]) -> HdfsResult<()> {
+        let mut w = self.create(path)?;
+        w.write(data)?;
+        w.close()
+    }
+
+    /// Convenience: read an entire file in one call.
+    pub fn read_file(&self, path: &str) -> HdfsResult<Bytes> {
+        let size = self.len(path)?;
+        if size == 0 {
+            return Ok(Bytes::new());
+        }
+        let mut r = self.open(path)?;
+        r.read_at(0, size)
+    }
+}
+
+/// Sequential writer for one file. Data is buffered into whole chunks; each
+/// full chunk is allocated by the namenode and pushed to every replica
+/// datanode (the "pipeline"). `close` flushes the last partial chunk and
+/// seals the file.
+pub struct HdfsWriter {
+    namenode: Arc<Namenode>,
+    path: String,
+    node: NodeId,
+    buffer: Vec<u8>,
+    closed: bool,
+}
+
+impl HdfsWriter {
+    /// The path this writer writes to.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Append data to the file.
+    pub fn write(&mut self, data: &[u8]) -> HdfsResult<()> {
+        if self.closed {
+            return Err(HdfsError::WriterClosed);
+        }
+        self.buffer.extend_from_slice(data);
+        let chunk_size = self.namenode.chunk_size() as usize;
+        while self.buffer.len() >= chunk_size {
+            let rest = self.buffer.split_off(chunk_size);
+            let full = std::mem::replace(&mut self.buffer, rest);
+            self.commit_chunk(Bytes::from(full))?;
+        }
+        Ok(())
+    }
+
+    fn commit_chunk(&mut self, data: Bytes) -> HdfsResult<()> {
+        let info = self.namenode.allocate_chunk(&self.path, data.len() as u64, self.node)?;
+        let mut stored = 0;
+        for replica in &info.replicas {
+            if let Some(dn) = self.namenode.datanode(*replica) {
+                if dn.put_chunk(info.id, data.clone()) {
+                    stored += 1;
+                }
+            }
+        }
+        if stored == 0 {
+            return Err(HdfsError::NoDatanodes);
+        }
+        Ok(())
+    }
+
+    /// Flush the final partial chunk and seal the file.
+    pub fn close(&mut self) -> HdfsResult<()> {
+        if self.closed {
+            return Ok(());
+        }
+        if !self.buffer.is_empty() {
+            let tail = Bytes::from(std::mem::take(&mut self.buffer));
+            self.commit_chunk(tail)?;
+        }
+        self.namenode.complete_file(&self.path)?;
+        self.closed = true;
+        Ok(())
+    }
+}
+
+/// Reader for a closed file. Reads fetch whole chunks from the closest live
+/// replica.
+pub struct HdfsReader {
+    namenode: Arc<Namenode>,
+    meta: FileMeta,
+    path: String,
+    node: NodeId,
+    position: u64,
+}
+
+impl HdfsReader {
+    /// The path this reader reads from.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Size of the file.
+    pub fn len(&self) -> u64 {
+        self.meta.size()
+    }
+
+    /// True when the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read `len` bytes at `offset`.
+    pub fn read_at(&mut self, offset: u64, len: u64) -> HdfsResult<Bytes> {
+        let size = self.len();
+        if offset + len > size {
+            return Err(HdfsError::OutOfBounds {
+                path: self.path.clone(),
+                requested_end: offset + len,
+                size,
+            });
+        }
+        if len == 0 {
+            return Ok(Bytes::new());
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        let end = offset + len;
+        let mut chunk_start = 0u64;
+        for (idx, chunk) in self.meta.chunks.clone().iter().enumerate() {
+            let chunk_end = chunk_start + chunk.size;
+            if chunk_end > offset && chunk_start < end {
+                let data = self.fetch_chunk(idx, chunk)?;
+                let from = (offset.max(chunk_start) - chunk_start) as usize;
+                let to = (end.min(chunk_end) - chunk_start) as usize;
+                out.extend_from_slice(&data[from..to]);
+            }
+            chunk_start = chunk_end;
+        }
+        Ok(Bytes::from(out))
+    }
+
+    fn fetch_chunk(&self, idx: usize, chunk: &ChunkInfo) -> HdfsResult<Bytes> {
+        // Prefer the replica closest to this reader, as HDFS does.
+        let holders: Vec<(DatanodeId, NodeId)> = chunk
+            .replicas
+            .iter()
+            .filter_map(|d| self.namenode.datanode(*d).map(|dn| (*d, dn.node())))
+            .collect();
+        let ordered = self.namenode.placement().order_by_proximity(self.node, holders);
+        for replica in ordered {
+            if let Some(dn) = self.namenode.datanode(replica) {
+                if let Some(data) = dn.get_chunk(chunk.id) {
+                    return Ok(data);
+                }
+            }
+        }
+        Err(HdfsError::ChunkUnavailable { path: self.path.clone(), chunk_index: idx })
+    }
+
+    /// Sequential read from the current position.
+    pub fn read(&mut self, len: u64) -> HdfsResult<Bytes> {
+        let remaining = self.len().saturating_sub(self.position);
+        let n = len.min(remaining);
+        let data = self.read_at(self.position, n)?;
+        self.position += data.len() as u64;
+        Ok(data)
+    }
+
+    /// Move the sequential-read position.
+    pub fn seek(&mut self, position: u64) {
+        self.position = position;
+    }
+
+    /// Current sequential-read position.
+    pub fn position(&self) -> u64 {
+        self.position
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> Hdfs {
+        Hdfs::new(HdfsConfig::for_tests())
+    }
+
+    #[test]
+    fn write_close_read_roundtrip() {
+        let fs = fs();
+        let data: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
+        fs.write_file("/d/file", &data).unwrap();
+        assert_eq!(fs.len("/d/file").unwrap(), 1000);
+        assert_eq!(fs.read_file("/d/file").unwrap().to_vec(), data);
+        // 1000 bytes over 256-byte chunks = 4 chunks.
+        assert_eq!(fs.namenode().get_file("/d/file").unwrap().chunks.len(), 4);
+    }
+
+    #[test]
+    fn file_is_unreadable_until_closed_and_immutable_after() {
+        let fs = fs();
+        let mut w = fs.create("/wip").unwrap();
+        w.write(b"partial").unwrap();
+        assert!(matches!(fs.open("/wip"), Err(HdfsError::WrongFileState { .. })));
+        assert!(matches!(fs.len("/wip"), Err(HdfsError::WrongFileState { .. })));
+        w.close().unwrap();
+        assert_eq!(&fs.read_file("/wip").unwrap()[..], b"partial");
+        // Write-once: writing after close fails, re-creating fails.
+        assert!(matches!(w.write(b"more"), Err(HdfsError::WriterClosed)));
+        assert!(matches!(fs.create("/wip"), Err(HdfsError::AlreadyExists(_))));
+        // Closing twice is harmless.
+        w.close().unwrap();
+    }
+
+    #[test]
+    fn positioned_and_sequential_reads() {
+        let fs = fs();
+        let data: Vec<u8> = (0..700u32).map(|i| (i % 256) as u8).collect();
+        fs.write_file("/seq", &data).unwrap();
+        let mut r = fs.open("/seq").unwrap();
+        assert_eq!(r.read_at(250, 20).unwrap().to_vec(), data[250..270].to_vec());
+        assert_eq!(r.read_at(0, 700).unwrap().to_vec(), data);
+        assert!(matches!(r.read_at(695, 10), Err(HdfsError::OutOfBounds { .. })));
+        r.seek(690);
+        assert_eq!(r.read(100).unwrap().len(), 10);
+        assert!(r.read(10).unwrap().is_empty());
+        assert_eq!(r.position(), 700);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn empty_file() {
+        let fs = fs();
+        let mut w = fs.create("/empty").unwrap();
+        w.close().unwrap();
+        assert_eq!(fs.len("/empty").unwrap(), 0);
+        assert!(fs.read_file("/empty").unwrap().is_empty());
+        assert!(fs.open("/empty").unwrap().is_empty());
+    }
+
+    #[test]
+    fn replicas_are_placed_local_first() {
+        let topo = ClusterTopology::builder().sites(1).racks_per_site(2).nodes_per_rack(2).build();
+        let nodes: Vec<NodeId> = topo.all_nodes().collect();
+        let fs = Hdfs::with_topology(HdfsConfig::for_tests().with_replication(3), &topo, &nodes);
+        let writer_node = topo.node(1);
+        let fs_on_1 = fs.on_node(writer_node);
+        fs_on_1.write_file("/local", &[1u8; 600]).unwrap();
+        let meta = fs.namenode().get_file("/local").unwrap();
+        for chunk in &meta.chunks {
+            let first = fs.namenode().datanode(chunk.replicas[0]).unwrap();
+            assert_eq!(first.node(), writer_node, "first replica must be on the writer's node");
+        }
+        // The writer's datanode therefore stores every chunk — the hot-spot
+        // behaviour the paper describes.
+        let dn1 = fs.namenode().datanode(DatanodeId(1)).unwrap();
+        assert_eq!(dn1.stats().chunks, meta.chunks.len());
+    }
+
+    #[test]
+    fn reads_survive_replica_failure() {
+        let fs = Hdfs::new(HdfsConfig::for_tests().with_replication(2));
+        let data = vec![5u8; 512];
+        fs.write_file("/replicated", &data).unwrap();
+        // Kill the first replica of every chunk.
+        let meta = fs.namenode().get_file("/replicated").unwrap();
+        for chunk in &meta.chunks {
+            fs.namenode().datanode(chunk.replicas[0]).unwrap().kill();
+        }
+        assert_eq!(fs.read_file("/replicated").unwrap().to_vec(), data);
+    }
+
+    #[test]
+    fn read_fails_when_all_replicas_are_dead() {
+        let fs = Hdfs::new(HdfsConfig::for_tests().with_replication(2));
+        fs.write_file("/doomed", &[1u8; 100]).unwrap();
+        for dn in fs.namenode().datanodes() {
+            dn.kill();
+        }
+        assert!(matches!(fs.read_file("/doomed"), Err(HdfsError::ChunkUnavailable { .. })));
+    }
+
+    #[test]
+    fn write_fails_without_datanodes() {
+        let fs = fs();
+        for dn in fs.namenode().datanodes() {
+            dn.kill();
+        }
+        let mut w = fs.create("/nowhere").unwrap();
+        assert!(matches!(w.write(&[0u8; 300]), Err(HdfsError::NoDatanodes)));
+    }
+
+    #[test]
+    fn namespace_operations() {
+        let fs = fs();
+        fs.write_file("/in/a", b"1").unwrap();
+        fs.write_file("/in/b", b"2").unwrap();
+        fs.mkdirs("/out").unwrap();
+        assert_eq!(fs.list("/in").unwrap().len(), 2);
+        assert_eq!(fs.list("/").unwrap(), vec!["/in", "/out"]);
+        fs.rename("/in/a", "/out/a").unwrap();
+        assert!(fs.exists("/out/a"));
+        fs.delete("/out/a", false).unwrap();
+        assert!(!fs.exists("/out/a"));
+        fs.delete("/in", true).unwrap();
+        assert!(!fs.exists("/in/b"));
+        assert!(!fs.is_empty() == fs.exists("/in/b"));
+    }
+
+    #[test]
+    fn delete_releases_datanode_space() {
+        let fs = fs();
+        fs.write_file("/payload", &[9u8; 1024]).unwrap();
+        let before: u64 = fs.namenode().datanodes().iter().map(|d| d.stats().stored_bytes).sum();
+        assert!(before >= 1024);
+        fs.delete("/payload", false).unwrap();
+        let after: u64 = fs.namenode().datanodes().iter().map(|d| d.stats().stored_bytes).sum();
+        assert_eq!(after, 0);
+    }
+
+    #[test]
+    fn locate_matches_chunk_layout() {
+        let fs = fs();
+        fs.write_file("/loc", &[3u8; 600]).unwrap();
+        let locations = fs.locate("/loc", 0, 600).unwrap();
+        assert_eq!(locations.len(), 3);
+        assert_eq!(locations[0].len, 256);
+        assert_eq!(locations[2].len, 88);
+        assert!(locations.iter().all(|l| l.nodes.len() == 2));
+    }
+
+    #[test]
+    fn concurrent_writers_to_different_files() {
+        let fs = Hdfs::new(HdfsConfig::for_tests().with_datanodes(8));
+        let handles: Vec<_> = (0..8u8)
+            .map(|t| {
+                let fs = fs.on_node(fs.topology().node(t as u32));
+                std::thread::spawn(move || {
+                    let path = format!("/out/part-{t}");
+                    let mut w = fs.create(&path).unwrap();
+                    for _ in 0..16 {
+                        w.write(&[t; 64]).unwrap();
+                    }
+                    w.close().unwrap();
+                    (path, fs)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (path, fs) = h.join().unwrap();
+            assert_eq!(fs.read_file(&path).unwrap().len(), 16 * 64);
+        }
+        assert_eq!(fs.namenode().file_count(), 8);
+    }
+}

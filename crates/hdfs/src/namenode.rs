@@ -1,0 +1,556 @@
+//! The namenode: namespace, chunk allocation and data location.
+//!
+//! "HDFS uses the same design concepts as GFS: servers called datanodes are
+//! responsible for storing data, while the namenode takes care of the file
+//! system namespace and the data location. [...] HDFS does not support
+//! concurrent writes to the same file; moreover, once a file is created,
+//! written and closed, the data cannot be overwritten or appended to"
+//! (paper §II-C). The namenode below enforces exactly those semantics:
+//!
+//! * files go through a two-state lifecycle — *under construction* (a single
+//!   writer appends chunks) and *closed* (immutable, readable);
+//! * every chunk allocation picks replicas through the rack-aware
+//!   [`crate::placement::PlacementPolicy`];
+//! * the namenode answers locality queries (`locate`) so the MapReduce
+//!   scheduler can place tasks near the data.
+
+use crate::datanode::{ChunkId, Datanode, DatanodeId};
+use crate::error::{HdfsError, HdfsResult};
+use crate::placement::PlacementPolicy;
+use parking_lot::Mutex;
+use simcluster::topology::ClusterTopology;
+use simcluster::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Lifecycle state of a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileState {
+    /// Created but not yet closed; a single writer is appending chunks.
+    UnderConstruction,
+    /// Closed; immutable and readable.
+    Closed,
+}
+
+/// Metadata of one chunk of a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkInfo {
+    /// Globally unique chunk id.
+    pub id: ChunkId,
+    /// Number of bytes in the chunk (the last chunk of a file may be short).
+    pub size: u64,
+    /// Datanodes holding replicas, in pipeline order.
+    pub replicas: Vec<DatanodeId>,
+}
+
+/// Metadata of one file.
+#[derive(Debug, Clone)]
+pub struct FileMeta {
+    /// Lifecycle state.
+    pub state: FileState,
+    /// Chunks in file order.
+    pub chunks: Vec<ChunkInfo>,
+}
+
+impl FileMeta {
+    /// Total size of the file in bytes.
+    pub fn size(&self) -> u64 {
+        self.chunks.iter().map(|c| c.size).sum()
+    }
+}
+
+/// Location of a contiguous piece of a file, for locality queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkLocation {
+    /// Offset of this piece within the file.
+    pub offset: u64,
+    /// Length of this piece.
+    pub len: u64,
+    /// Cluster nodes holding replicas of the piece, in placement order.
+    pub nodes: Vec<NodeId>,
+}
+
+/// Normalise an absolute path (leading '/', no duplicate or trailing slashes).
+pub fn normalize(path: &str) -> HdfsResult<String> {
+    if path.is_empty() || !path.starts_with('/') {
+        return Err(HdfsError::InvalidPath(path.to_string()));
+    }
+    let mut parts = Vec::new();
+    for part in path.split('/') {
+        match part {
+            "" | "." => continue,
+            ".." => return Err(HdfsError::InvalidPath(path.to_string())),
+            p => parts.push(p),
+        }
+    }
+    if parts.is_empty() {
+        Ok("/".to_string())
+    } else {
+        Ok(format!("/{}", parts.join("/")))
+    }
+}
+
+/// Parent directory of a normalised path.
+pub fn parent_of(path: &str) -> String {
+    match path.rfind('/') {
+        Some(0) | None => "/".to_string(),
+        Some(idx) => path[..idx].to_string(),
+    }
+}
+
+struct Inner {
+    files: BTreeMap<String, FileMeta>,
+    directories: BTreeSet<String>,
+}
+
+/// The centralized namenode.
+pub struct Namenode {
+    chunk_size: u64,
+    replication: usize,
+    inner: Mutex<Inner>,
+    datanodes: Vec<Arc<Datanode>>,
+    placement: PlacementPolicy,
+    next_chunk: AtomicU64,
+}
+
+impl Namenode {
+    /// Create a namenode over the given datanodes.
+    pub fn new(
+        topology: &ClusterTopology,
+        datanodes: Vec<Arc<Datanode>>,
+        chunk_size: u64,
+        replication: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        assert!(replication >= 1, "replication must be at least 1");
+        assert!(!datanodes.is_empty(), "at least one datanode is required");
+        let mut directories = BTreeSet::new();
+        directories.insert("/".to_string());
+        Namenode {
+            chunk_size,
+            replication,
+            inner: Mutex::new(Inner { files: BTreeMap::new(), directories }),
+            datanodes,
+            placement: PlacementPolicy::new(topology, seed),
+            next_chunk: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured chunk size.
+    pub fn chunk_size(&self) -> u64 {
+        self.chunk_size
+    }
+
+    /// The configured replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// All datanodes (tests, failure injection).
+    pub fn datanodes(&self) -> &[Arc<Datanode>] {
+        &self.datanodes
+    }
+
+    /// A datanode by id.
+    pub fn datanode(&self, id: DatanodeId) -> Option<&Arc<Datanode>> {
+        self.datanodes.get(id.0 as usize)
+    }
+
+    /// The placement policy (used by readers to order replicas by proximity).
+    pub fn placement(&self) -> &PlacementPolicy {
+        &self.placement
+    }
+
+    /// Register a new file in the under-construction state. The parent
+    /// directory is created implicitly (Hadoop's `create` behaviour).
+    pub fn create_file(&self, path: &str) -> HdfsResult<String> {
+        let path = normalize(path)?;
+        if path == "/" {
+            return Err(HdfsError::IsADirectory(path));
+        }
+        let mut inner = self.inner.lock();
+        if inner.files.contains_key(&path) || inner.directories.contains(&path) {
+            return Err(HdfsError::AlreadyExists(path));
+        }
+        // Implicitly create ancestors.
+        let mut current = String::new();
+        let parent = parent_of(&path);
+        for part in parent.split('/').filter(|p| !p.is_empty()) {
+            current.push('/');
+            current.push_str(part);
+            if inner.files.contains_key(&current) {
+                return Err(HdfsError::NotADirectory(current));
+            }
+            inner.directories.insert(current.clone());
+        }
+        inner
+            .files
+            .insert(path.clone(), FileMeta { state: FileState::UnderConstruction, chunks: Vec::new() });
+        Ok(path)
+    }
+
+    /// Allocate a chunk of `size` bytes for a file under construction,
+    /// choosing replica datanodes for a writer running on `writer_node`.
+    pub fn allocate_chunk(
+        &self,
+        path: &str,
+        size: u64,
+        writer_node: NodeId,
+    ) -> HdfsResult<ChunkInfo> {
+        let path = normalize(path)?;
+        let replicas = self.placement.choose(&self.datanodes, self.replication, writer_node);
+        if replicas.is_empty() {
+            return Err(HdfsError::NoDatanodes);
+        }
+        let mut inner = self.inner.lock();
+        let meta = inner.files.get_mut(&path).ok_or(HdfsError::FileNotFound(path.clone()))?;
+        if meta.state != FileState::UnderConstruction {
+            return Err(HdfsError::WrongFileState { path, expected: "under construction" });
+        }
+        let id = ChunkId(self.next_chunk.fetch_add(1, Ordering::Relaxed));
+        let info = ChunkInfo { id, size, replicas };
+        meta.chunks.push(info.clone());
+        Ok(info)
+    }
+
+    /// Close a file, making it immutable and readable.
+    pub fn complete_file(&self, path: &str) -> HdfsResult<()> {
+        let path = normalize(path)?;
+        let mut inner = self.inner.lock();
+        let meta = inner.files.get_mut(&path).ok_or(HdfsError::FileNotFound(path.clone()))?;
+        if meta.state != FileState::UnderConstruction {
+            return Err(HdfsError::WrongFileState { path, expected: "under construction" });
+        }
+        meta.state = FileState::Closed;
+        Ok(())
+    }
+
+    /// Metadata of a closed file (readers use this).
+    pub fn get_file(&self, path: &str) -> HdfsResult<FileMeta> {
+        let path = normalize(path)?;
+        let inner = self.inner.lock();
+        if inner.directories.contains(&path) {
+            return Err(HdfsError::IsADirectory(path));
+        }
+        let meta = inner.files.get(&path).ok_or(HdfsError::FileNotFound(path.clone()))?;
+        if meta.state != FileState::Closed {
+            return Err(HdfsError::WrongFileState { path, expected: "closed" });
+        }
+        Ok(meta.clone())
+    }
+
+    /// Size of a closed file.
+    pub fn file_size(&self, path: &str) -> HdfsResult<u64> {
+        Ok(self.get_file(path)?.size())
+    }
+
+    /// Does the path exist (file or directory)?
+    pub fn exists(&self, path: &str) -> bool {
+        match normalize(path) {
+            Ok(p) => {
+                let inner = self.inner.lock();
+                inner.files.contains_key(&p) || inner.directories.contains(&p)
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Create a directory and its ancestors.
+    pub fn mkdirs(&self, path: &str) -> HdfsResult<()> {
+        let path = normalize(path)?;
+        let mut inner = self.inner.lock();
+        if inner.files.contains_key(&path) {
+            return Err(HdfsError::AlreadyExists(path));
+        }
+        let mut current = String::new();
+        for part in path.split('/').filter(|p| !p.is_empty()) {
+            current.push('/');
+            current.push_str(part);
+            if inner.files.contains_key(&current) {
+                return Err(HdfsError::NotADirectory(current));
+            }
+            inner.directories.insert(current.clone());
+        }
+        Ok(())
+    }
+
+    /// List the immediate children of a directory.
+    pub fn list(&self, path: &str) -> HdfsResult<Vec<String>> {
+        let path = normalize(path)?;
+        let inner = self.inner.lock();
+        if inner.files.contains_key(&path) {
+            return Err(HdfsError::NotADirectory(path));
+        }
+        if !inner.directories.contains(&path) {
+            return Err(HdfsError::FileNotFound(path));
+        }
+        let prefix = if path == "/" { "/".to_string() } else { format!("{path}/") };
+        let mut children = BTreeSet::new();
+        for candidate in inner.files.keys().chain(inner.directories.iter()) {
+            if candidate == &path {
+                continue;
+            }
+            if let Some(rest) = candidate.strip_prefix(&prefix) {
+                if let Some(first) = rest.split('/').next() {
+                    if !first.is_empty() {
+                        children.insert(format!("{prefix}{first}"));
+                    }
+                }
+            }
+        }
+        Ok(children.into_iter().collect())
+    }
+
+    /// Remove a file, returning its chunks so the caller can release them on
+    /// the datanodes.
+    pub fn remove_file(&self, path: &str) -> HdfsResult<Vec<ChunkInfo>> {
+        let path = normalize(path)?;
+        let mut inner = self.inner.lock();
+        if inner.directories.contains(&path) {
+            return Err(HdfsError::IsADirectory(path));
+        }
+        match inner.files.remove(&path) {
+            Some(meta) => Ok(meta.chunks),
+            None => Err(HdfsError::FileNotFound(path)),
+        }
+    }
+
+    /// Remove a directory (recursively if asked); returns the chunks of every
+    /// removed file.
+    pub fn remove_dir(&self, path: &str, recursive: bool) -> HdfsResult<Vec<ChunkInfo>> {
+        let path = normalize(path)?;
+        if path == "/" {
+            return Err(HdfsError::InvalidPath("cannot remove the root directory".into()));
+        }
+        let mut inner = self.inner.lock();
+        if inner.files.contains_key(&path) {
+            return Err(HdfsError::NotADirectory(path));
+        }
+        if !inner.directories.contains(&path) {
+            return Err(HdfsError::FileNotFound(path));
+        }
+        let prefix = format!("{path}/");
+        let child_files: Vec<String> =
+            inner.files.keys().filter(|k| k.starts_with(&prefix)).cloned().collect();
+        let child_dirs: Vec<String> =
+            inner.directories.iter().filter(|k| k.starts_with(&prefix)).cloned().collect();
+        if !recursive && (!child_files.is_empty() || !child_dirs.is_empty()) {
+            return Err(HdfsError::DirectoryNotEmpty(path));
+        }
+        let mut chunks = Vec::new();
+        for f in child_files {
+            if let Some(meta) = inner.files.remove(&f) {
+                chunks.extend(meta.chunks);
+            }
+        }
+        for d in child_dirs {
+            inner.directories.remove(&d);
+        }
+        inner.directories.remove(&path);
+        Ok(chunks)
+    }
+
+    /// Rename a file or directory (directories move their whole subtree).
+    pub fn rename(&self, from: &str, to: &str) -> HdfsResult<()> {
+        let from = normalize(from)?;
+        let to = normalize(to)?;
+        if from == "/" || to == "/" {
+            return Err(HdfsError::InvalidPath("cannot rename the root directory".into()));
+        }
+        let mut inner = self.inner.lock();
+        if inner.files.contains_key(&to) || inner.directories.contains(&to) {
+            return Err(HdfsError::AlreadyExists(to));
+        }
+        let to_parent = parent_of(&to);
+        if !inner.directories.contains(&to_parent) {
+            return Err(HdfsError::ParentMissing(to_parent));
+        }
+        if let Some(meta) = inner.files.remove(&from) {
+            inner.files.insert(to, meta);
+            return Ok(());
+        }
+        if inner.directories.contains(&from) {
+            let prefix = format!("{from}/");
+            let moved: Vec<(String, FileMeta)> = inner
+                .files
+                .iter()
+                .filter(|(k, _)| k.starts_with(&prefix))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            for (k, v) in moved {
+                inner.files.remove(&k);
+                inner.files.insert(format!("{to}/{}", &k[prefix.len()..]), v);
+            }
+            let moved_dirs: Vec<String> = inner
+                .directories
+                .iter()
+                .filter(|k| k.starts_with(&prefix) || **k == from)
+                .cloned()
+                .collect();
+            for d in moved_dirs {
+                inner.directories.remove(&d);
+                let new_key =
+                    if d == from { to.clone() } else { format!("{to}/{}", &d[prefix.len()..]) };
+                inner.directories.insert(new_key);
+            }
+            return Ok(());
+        }
+        Err(HdfsError::FileNotFound(from))
+    }
+
+    /// Locality query: which cluster nodes hold each chunk overlapping
+    /// `[offset, offset+len)` of a closed file.
+    pub fn locate(&self, path: &str, offset: u64, len: u64) -> HdfsResult<Vec<ChunkLocation>> {
+        let meta = self.get_file(path)?;
+        let mut out = Vec::new();
+        let mut chunk_start = 0u64;
+        let end = offset + len;
+        for chunk in &meta.chunks {
+            let chunk_end = chunk_start + chunk.size;
+            if chunk_end > offset && chunk_start < end {
+                let piece_start = chunk_start.max(offset);
+                let piece_end = chunk_end.min(end);
+                let nodes = chunk
+                    .replicas
+                    .iter()
+                    .filter_map(|d| self.datanode(*d).map(|dn| dn.node()))
+                    .collect();
+                out.push(ChunkLocation {
+                    offset: piece_start,
+                    len: piece_end - piece_start,
+                    nodes,
+                });
+            }
+            chunk_start = chunk_end;
+        }
+        Ok(out)
+    }
+
+    /// Number of files in the namespace.
+    pub fn file_count(&self) -> usize {
+        self.inner.lock().files.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn namenode() -> Namenode {
+        let topo = ClusterTopology::builder().sites(1).racks_per_site(2).nodes_per_rack(2).build();
+        let datanodes: Vec<Arc<Datanode>> = topo
+            .all_nodes()
+            .enumerate()
+            .map(|(i, n)| Arc::new(Datanode::in_memory(DatanodeId(i as u32), n)))
+            .collect();
+        Namenode::new(&topo, datanodes, 128, 2, 17)
+    }
+
+    #[test]
+    fn file_lifecycle_create_allocate_complete_read() {
+        let nn = namenode();
+        nn.create_file("/data/file").unwrap();
+        // Cannot read a file under construction.
+        assert!(matches!(nn.get_file("/data/file"), Err(HdfsError::WrongFileState { .. })));
+        let c1 = nn.allocate_chunk("/data/file", 128, NodeId(0)).unwrap();
+        let c2 = nn.allocate_chunk("/data/file", 60, NodeId(0)).unwrap();
+        assert_ne!(c1.id, c2.id);
+        assert_eq!(c1.replicas.len(), 2);
+        nn.complete_file("/data/file").unwrap();
+        let meta = nn.get_file("/data/file").unwrap();
+        assert_eq!(meta.size(), 188);
+        assert_eq!(meta.chunks.len(), 2);
+        assert_eq!(nn.file_size("/data/file").unwrap(), 188);
+        // Write-once: no more chunks, no second close.
+        assert!(matches!(
+            nn.allocate_chunk("/data/file", 10, NodeId(0)),
+            Err(HdfsError::WrongFileState { .. })
+        ));
+        assert!(matches!(nn.complete_file("/data/file"), Err(HdfsError::WrongFileState { .. })));
+    }
+
+    #[test]
+    fn duplicate_create_and_missing_files() {
+        let nn = namenode();
+        nn.create_file("/f").unwrap();
+        assert!(matches!(nn.create_file("/f"), Err(HdfsError::AlreadyExists(_))));
+        assert!(matches!(nn.get_file("/ghost"), Err(HdfsError::FileNotFound(_))));
+        assert!(matches!(
+            nn.allocate_chunk("/ghost", 1, NodeId(0)),
+            Err(HdfsError::FileNotFound(_))
+        ));
+        assert!(matches!(nn.remove_file("/ghost"), Err(HdfsError::FileNotFound(_))));
+    }
+
+    #[test]
+    fn listing_and_directories() {
+        let nn = namenode();
+        nn.create_file("/a/b/file1").unwrap();
+        nn.create_file("/a/file2").unwrap();
+        nn.mkdirs("/a/empty").unwrap();
+        assert!(nn.exists("/a/b"));
+        let children = nn.list("/a").unwrap();
+        assert_eq!(children, vec!["/a/b", "/a/empty", "/a/file2"]);
+        assert!(matches!(nn.list("/a/file2"), Err(HdfsError::NotADirectory(_))));
+        assert_eq!(nn.file_count(), 2);
+    }
+
+    #[test]
+    fn delete_and_rename() {
+        let nn = namenode();
+        nn.create_file("/tmp/out").unwrap();
+        nn.allocate_chunk("/tmp/out", 50, NodeId(1)).unwrap();
+        nn.complete_file("/tmp/out").unwrap();
+        nn.mkdirs("/final").unwrap();
+        nn.rename("/tmp/out", "/final/out").unwrap();
+        assert!(!nn.exists("/tmp/out"));
+        assert_eq!(nn.file_size("/final/out").unwrap(), 50);
+        let chunks = nn.remove_file("/final/out").unwrap();
+        assert_eq!(chunks.len(), 1);
+        // Directory deletion collects chunks of all files below it.
+        nn.create_file("/job/o1").unwrap();
+        nn.allocate_chunk("/job/o1", 10, NodeId(0)).unwrap();
+        nn.create_file("/job/sub/o2").unwrap();
+        nn.allocate_chunk("/job/sub/o2", 10, NodeId(0)).unwrap();
+        assert!(matches!(nn.remove_dir("/job", false), Err(HdfsError::DirectoryNotEmpty(_))));
+        let chunks = nn.remove_dir("/job", true).unwrap();
+        assert_eq!(chunks.len(), 2);
+        assert!(!nn.exists("/job"));
+    }
+
+    #[test]
+    fn locate_reports_chunk_pieces() {
+        let nn = namenode();
+        nn.create_file("/big").unwrap();
+        nn.allocate_chunk("/big", 128, NodeId(0)).unwrap();
+        nn.allocate_chunk("/big", 128, NodeId(0)).unwrap();
+        nn.allocate_chunk("/big", 44, NodeId(0)).unwrap();
+        nn.complete_file("/big").unwrap();
+        let all = nn.locate("/big", 0, 300).unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].offset, 0);
+        assert_eq!(all[0].len, 128);
+        assert_eq!(all[2].len, 44);
+        assert!(all.iter().all(|l| !l.nodes.is_empty()));
+        // A sub-range crossing one boundary returns two clamped pieces.
+        let partial = nn.locate("/big", 100, 60).unwrap();
+        assert_eq!(partial.len(), 2);
+        assert_eq!(partial[0].offset, 100);
+        assert_eq!(partial[0].len, 28);
+        assert_eq!(partial[1].offset, 128);
+        assert_eq!(partial[1].len, 32);
+    }
+
+    #[test]
+    fn first_replica_is_local_to_the_writer() {
+        let nn = namenode();
+        let chunk = nn
+            .create_file("/local")
+            .and_then(|_| nn.allocate_chunk("/local", 10, NodeId(3)))
+            .unwrap();
+        let first = nn.datanode(chunk.replicas[0]).unwrap();
+        assert_eq!(first.node(), NodeId(3));
+    }
+}

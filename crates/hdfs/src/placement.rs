@@ -1,0 +1,241 @@
+//! HDFS's rack-aware replica placement policy.
+//!
+//! The paper contrasts BlobSeer's load-balancing page distribution with HDFS's
+//! policy: "the first replica of a chunk is always written locally; for fault
+//! tolerance, the second replica is stored on a datanode in the same rack as
+//! the first replica, and the third copy is sent to a datanode belonging to a
+//! different rack (randomly chosen)" (§IV-B). This module implements exactly
+//! that policy (plus a uniform-random fallback used when the cluster is too
+//! small to satisfy a constraint), so the baseline reproduces the write
+//! hot-spot behaviour the paper measures.
+
+use crate::datanode::{Datanode, DatanodeId};
+use parking_lot::Mutex;
+use simcluster::topology::ClusterTopology;
+use simcluster::NodeId;
+use std::sync::Arc;
+
+/// Deterministic xorshift generator so that experiment runs are reproducible.
+#[derive(Debug)]
+pub struct DeterministicRng {
+    state: Mutex<u64>,
+}
+
+impl DeterministicRng {
+    /// Seeded constructor.
+    pub fn new(seed: u64) -> Self {
+        DeterministicRng { state: Mutex::new(seed.max(1)) }
+    }
+
+    /// Next pseudo-random value.
+    pub fn next(&self) -> u64 {
+        let mut s = self.state.lock();
+        *s ^= *s << 13;
+        *s ^= *s >> 7;
+        *s ^= *s << 17;
+        *s
+    }
+
+    /// A pseudo-random index below `bound` (bound must be non-zero).
+    pub fn below(&self, bound: usize) -> usize {
+        (self.next() as usize) % bound
+    }
+}
+
+/// The replica placement engine used by the namenode.
+pub struct PlacementPolicy {
+    topology: ClusterTopology,
+    rng: DeterministicRng,
+}
+
+impl PlacementPolicy {
+    /// Create a policy over the given topology.
+    pub fn new(topology: &ClusterTopology, seed: u64) -> Self {
+        PlacementPolicy { topology: topology.clone(), rng: DeterministicRng::new(seed) }
+    }
+
+    /// Choose `replication` datanodes for a chunk written by a client on
+    /// `writer_node`:
+    ///
+    /// 1. a datanode co-located with the writer (or, failing that, the first
+    ///    live datanode),
+    /// 2. a different datanode in the same rack,
+    /// 3. a datanode in a different rack, chosen at random,
+    /// 4. further replicas: random live datanodes not yet chosen.
+    pub fn choose(
+        &self,
+        datanodes: &[Arc<Datanode>],
+        replication: usize,
+        writer_node: NodeId,
+    ) -> Vec<DatanodeId> {
+        let live: Vec<&Arc<Datanode>> = datanodes.iter().filter(|d| d.is_alive()).collect();
+        if live.is_empty() {
+            return Vec::new();
+        }
+        let replication = replication.min(live.len());
+        let writer_rack = self.topology.rack_of(writer_node);
+        let mut chosen: Vec<DatanodeId> = Vec::with_capacity(replication);
+
+        // First replica: local to the writer if possible.
+        let local = live.iter().find(|d| d.node() == writer_node);
+        match local {
+            Some(d) => chosen.push(d.id()),
+            None => {
+                // No datanode on the writer's machine: HDFS picks a random
+                // one; stay deterministic by using the seeded RNG.
+                let idx = self.rng.below(live.len());
+                chosen.push(live[idx].id());
+            }
+        }
+
+        // Second replica: same rack as the writer, different datanode.
+        if replication >= 2 {
+            let same_rack: Vec<&&Arc<Datanode>> = live
+                .iter()
+                .filter(|d| {
+                    !chosen.contains(&d.id()) && self.topology.rack_of(d.node()) == writer_rack
+                })
+                .collect();
+            if let Some(d) = pick(&self.rng, &same_rack) {
+                chosen.push(d.id());
+            }
+        }
+
+        // Third replica: a different rack, randomly chosen.
+        if replication >= 3 && chosen.len() < replication {
+            let other_rack: Vec<&&Arc<Datanode>> = live
+                .iter()
+                .filter(|d| {
+                    !chosen.contains(&d.id()) && self.topology.rack_of(d.node()) != writer_rack
+                })
+                .collect();
+            if let Some(d) = pick(&self.rng, &other_rack) {
+                chosen.push(d.id());
+            }
+        }
+
+        // Fill any remaining slots with random live datanodes.
+        while chosen.len() < replication {
+            let remaining: Vec<&&Arc<Datanode>> =
+                live.iter().filter(|d| !chosen.contains(&d.id())).collect();
+            match pick(&self.rng, &remaining) {
+                Some(d) => chosen.push(d.id()),
+                None => break,
+            }
+        }
+        chosen
+    }
+
+    /// Order replica holders by proximity to a reader (closest first) — HDFS
+    /// clients read from the nearest replica.
+    pub fn order_by_proximity(&self, reader: NodeId, mut nodes: Vec<(DatanodeId, NodeId)>) -> Vec<DatanodeId> {
+        nodes.sort_by_key(|(_, n)| self.topology.proximity(reader, *n));
+        nodes.into_iter().map(|(d, _)| d).collect()
+    }
+}
+
+fn pick<'a>(rng: &DeterministicRng, candidates: &[&'a &Arc<Datanode>]) -> Option<&'a Arc<Datanode>> {
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(candidates[rng.below(candidates.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2 racks x 4 nodes, one datanode per node.
+    fn setup() -> (ClusterTopology, Vec<Arc<Datanode>>) {
+        let topo = ClusterTopology::builder().sites(1).racks_per_site(2).nodes_per_rack(4).build();
+        let datanodes: Vec<Arc<Datanode>> = topo
+            .all_nodes()
+            .enumerate()
+            .map(|(i, n)| Arc::new(Datanode::in_memory(DatanodeId(i as u32), n)))
+            .collect();
+        (topo, datanodes)
+    }
+
+    #[test]
+    fn first_replica_is_local() {
+        let (topo, datanodes) = setup();
+        let policy = PlacementPolicy::new(&topo, 42);
+        for writer in 0..8u32 {
+            let replicas = policy.choose(&datanodes, 3, NodeId(writer));
+            assert_eq!(replicas.len(), 3);
+            assert_eq!(replicas[0], DatanodeId(writer), "first replica must be local");
+        }
+    }
+
+    #[test]
+    fn second_replica_same_rack_third_other_rack() {
+        let (topo, datanodes) = setup();
+        let policy = PlacementPolicy::new(&topo, 7);
+        let writer = NodeId(1); // rack 0 holds nodes 0..4
+        for _ in 0..20 {
+            let replicas = policy.choose(&datanodes, 3, writer);
+            let rack_of = |d: DatanodeId| topo.rack_of(datanodes[d.0 as usize].node());
+            assert_eq!(rack_of(replicas[0]), topo.rack_of(writer));
+            assert_eq!(rack_of(replicas[1]), topo.rack_of(writer), "second replica stays in rack");
+            assert_ne!(rack_of(replicas[2]), topo.rack_of(writer), "third replica leaves the rack");
+            // All replicas distinct.
+            let unique: std::collections::HashSet<_> = replicas.iter().collect();
+            assert_eq!(unique.len(), 3);
+        }
+    }
+
+    #[test]
+    fn replication_capped_by_live_datanodes() {
+        let (topo, datanodes) = setup();
+        let policy = PlacementPolicy::new(&topo, 3);
+        let replicas = policy.choose(&datanodes[..2].to_vec(), 5, NodeId(0));
+        assert_eq!(replicas.len(), 2);
+    }
+
+    #[test]
+    fn dead_datanodes_are_skipped() {
+        let (topo, datanodes) = setup();
+        let policy = PlacementPolicy::new(&topo, 11);
+        datanodes[0].kill();
+        let replicas = policy.choose(&datanodes, 3, NodeId(0));
+        assert!(!replicas.contains(&DatanodeId(0)), "dead local datanode must be skipped");
+        assert_eq!(replicas.len(), 3);
+    }
+
+    #[test]
+    fn no_live_datanodes_returns_empty() {
+        let (topo, datanodes) = setup();
+        for d in &datanodes {
+            d.kill();
+        }
+        let policy = PlacementPolicy::new(&topo, 1);
+        assert!(policy.choose(&datanodes, 3, NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn reads_prefer_the_closest_replica() {
+        let (topo, datanodes) = setup();
+        let policy = PlacementPolicy::new(&topo, 5);
+        let holders: Vec<(DatanodeId, NodeId)> =
+            vec![(DatanodeId(7), NodeId(7)), (DatanodeId(0), NodeId(0)), (DatanodeId(2), NodeId(2))];
+        // Reader on node 0: its own datanode first, then same-rack node 2,
+        // then remote-rack node 7.
+        let ordered = policy.order_by_proximity(NodeId(0), holders);
+        assert_eq!(ordered, vec![DatanodeId(0), DatanodeId(2), DatanodeId(7)]);
+        let _ = datanodes;
+    }
+
+    #[test]
+    fn deterministic_rng_is_reproducible() {
+        let a = DeterministicRng::new(99);
+        let b = DeterministicRng::new(99);
+        let seq_a: Vec<u64> = (0..10).map(|_| a.next()).collect();
+        let seq_b: Vec<u64> = (0..10).map(|_| b.next()).collect();
+        assert_eq!(seq_a, seq_b);
+        // below() respects its bound.
+        for _ in 0..100 {
+            assert!(a.below(7) < 7);
+        }
+    }
+}

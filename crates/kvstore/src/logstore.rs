@@ -1,0 +1,715 @@
+//! Append-only, log-structured on-disk store.
+//!
+//! This is the durable backend a BlobSeer provider uses for its pages, in the
+//! role BerkeleyDB plays in the original system. The design follows the
+//! classic log-structured hash-table recipe (Bitcask-style), which suits the
+//! provider workload perfectly: pages are written once (BlobSeer never
+//! overwrites data), read many times, and only removed by garbage collection
+//! of obsolete versions.
+//!
+//! * Every `put` appends one framed record to the *active segment* file and
+//!   updates an in-memory index mapping the key to `(segment, offset, len)`.
+//! * Every record carries a CRC-32 over its header and payload, so torn or
+//!   corrupted tails are detected and discarded at recovery time.
+//! * `delete` appends a tombstone record.
+//! * When the active segment outgrows `segment_max_bytes` it is sealed and a
+//!   new one is started.
+//! * `compact` rewrites the live records into fresh segments and removes the
+//!   old files, reclaiming space held by superseded records and tombstones.
+//! * `open` rebuilds the index by scanning all segments in order, giving
+//!   crash recovery for free.
+
+use crate::crc32::crc32;
+use crate::error::{KvError, KvResult};
+use crate::PageStore;
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+/// Record header layout (little-endian):
+/// `crc32(u32) | flags(u8) | key_len(u32) | val_len(u32)` followed by the key
+/// and the value. The CRC covers everything after the CRC field itself.
+const HEADER_LEN: usize = 4 + 1 + 4 + 4;
+
+/// Flag value for a normal put record.
+const FLAG_PUT: u8 = 0;
+/// Flag value for a tombstone (deletion) record.
+const FLAG_TOMBSTONE: u8 = 1;
+
+/// Tuning knobs for [`LogStore`].
+#[derive(Debug, Clone)]
+pub struct LogStoreConfig {
+    /// Maximum size of a segment file before rotation.
+    pub segment_max_bytes: u64,
+    /// Maximum key length accepted.
+    pub max_key_len: usize,
+    /// Maximum value length accepted.
+    pub max_value_len: usize,
+    /// When true, every put is fsync'd; when false, data is flushed to the OS
+    /// but fsync happens only on [`PageStore::sync`] and rotation.
+    pub sync_on_put: bool,
+}
+
+impl Default for LogStoreConfig {
+    fn default() -> Self {
+        LogStoreConfig {
+            segment_max_bytes: 256 * 1024 * 1024,
+            max_key_len: 4096,
+            max_value_len: 256 * 1024 * 1024,
+            sync_on_put: false,
+        }
+    }
+}
+
+/// Counters describing the state of a [`LogStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LogStoreStats {
+    /// Number of segment files currently on disk.
+    pub segments: usize,
+    /// Number of live (visible) keys.
+    pub live_keys: usize,
+    /// Bytes of live values.
+    pub live_value_bytes: u64,
+    /// Bytes occupied on disk by all segments (live + garbage).
+    pub disk_bytes: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RecordLocation {
+    segment: u64,
+    /// Offset of the value within the segment file.
+    value_offset: u64,
+    value_len: u32,
+}
+
+struct Segment {
+    #[allow(dead_code)] // kept for diagnostics / future segment-level GC policies
+    id: u64,
+    path: PathBuf,
+    /// Read handle (positioned reads, no seeking needed).
+    reader: File,
+    size: u64,
+}
+
+struct Inner {
+    dir: PathBuf,
+    config: LogStoreConfig,
+    index: HashMap<Vec<u8>, RecordLocation>,
+    segments: HashMap<u64, Segment>,
+    active_id: u64,
+    active_writer: File,
+    live_value_bytes: u64,
+    closed: bool,
+}
+
+/// Durable log-structured key-value store. Cloneable handles are not provided;
+/// wrap in `Arc` to share between threads.
+pub struct LogStore {
+    inner: RwLock<Inner>,
+}
+
+impl LogStore {
+    /// Open (or create) a store rooted at `dir`, scanning existing segments to
+    /// rebuild the index.
+    pub fn open(dir: impl AsRef<Path>, config: LogStoreConfig) -> KvResult<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+
+        // Discover existing segments, ordered by id.
+        let mut ids: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(rest) = name.strip_prefix("seg-") {
+                if let Some(num) = rest.strip_suffix(".log") {
+                    if let Ok(id) = num.parse::<u64>() {
+                        ids.push(id);
+                    }
+                }
+            }
+        }
+        ids.sort_unstable();
+
+        let mut index = HashMap::new();
+        let mut segments = HashMap::new();
+        let mut live_value_bytes: u64 = 0;
+
+        for id in &ids {
+            let path = segment_path(&dir, *id);
+            let size = Self::scan_segment(&path, *id, &mut index, &mut live_value_bytes)?;
+            let reader = File::open(&path)?;
+            segments.insert(*id, Segment { id: *id, path, reader, size });
+        }
+
+        let active_id = ids.last().copied().unwrap_or(0);
+        let active_path = segment_path(&dir, active_id);
+        let active_writer =
+            OpenOptions::new().create(true).append(true).open(&active_path)?;
+        if !segments.contains_key(&active_id) {
+            let reader = File::open(&active_path)?;
+            segments.insert(
+                active_id,
+                Segment { id: active_id, path: active_path, reader, size: 0 },
+            );
+        }
+
+        Ok(LogStore {
+            inner: RwLock::new(Inner {
+                dir,
+                config,
+                index,
+                segments,
+                active_id,
+                active_writer,
+                live_value_bytes,
+                closed: false,
+            }),
+        })
+    }
+
+    /// Scan one segment, updating the index with every valid record found.
+    /// Returns the number of valid bytes in the segment (a corrupted tail is
+    /// ignored, implementing torn-write recovery).
+    fn scan_segment(
+        path: &Path,
+        segment_id: u64,
+        index: &mut HashMap<Vec<u8>, RecordLocation>,
+        live_value_bytes: &mut u64,
+    ) -> KvResult<u64> {
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut offset: u64 = 0;
+        let mut header = [0u8; HEADER_LEN];
+
+        while offset + HEADER_LEN as u64 <= file_len {
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(&mut header)?;
+            let stored_crc = u32::from_le_bytes(header[0..4].try_into().unwrap());
+            let flags = header[4];
+            let key_len = u32::from_le_bytes(header[5..9].try_into().unwrap()) as usize;
+            let val_len = u32::from_le_bytes(header[9..13].try_into().unwrap()) as usize;
+
+            let record_end = offset + HEADER_LEN as u64 + key_len as u64 + val_len as u64;
+            if record_end > file_len {
+                // Torn tail: the crash happened mid-record. Everything before
+                // this point is valid; stop here.
+                break;
+            }
+
+            let mut payload = vec![0u8; key_len + val_len];
+            file.read_exact(&mut payload)?;
+
+            let mut crc_input = Vec::with_capacity(1 + 8 + payload.len());
+            crc_input.push(flags);
+            crc_input.extend_from_slice(&header[5..13]);
+            crc_input.extend_from_slice(&payload);
+            if crc32(&crc_input) != stored_crc {
+                // Corrupted record: treat it and everything after as garbage.
+                break;
+            }
+
+            let key = payload[..key_len].to_vec();
+            match flags {
+                FLAG_PUT => {
+                    if let Some(old) = index.insert(
+                        key,
+                        RecordLocation {
+                            segment: segment_id,
+                            value_offset: offset + HEADER_LEN as u64 + key_len as u64,
+                            value_len: val_len as u32,
+                        },
+                    ) {
+                        *live_value_bytes -= old.value_len as u64;
+                    }
+                    *live_value_bytes += val_len as u64;
+                }
+                FLAG_TOMBSTONE => {
+                    if let Some(old) = index.remove(&key) {
+                        *live_value_bytes -= old.value_len as u64;
+                    }
+                }
+                other => {
+                    return Err(KvError::Corrupt {
+                        segment: path.display().to_string(),
+                        detail: format!("unknown record flag {other}"),
+                    });
+                }
+            }
+            offset = record_end;
+        }
+        Ok(offset)
+    }
+
+    /// Append a framed record to the active segment. Returns the offset at
+    /// which the *value* starts.
+    fn append_record(inner: &mut Inner, flags: u8, key: &[u8], value: &[u8]) -> KvResult<u64> {
+        // Rotate if the active segment is full.
+        let active = inner.segments.get(&inner.active_id).expect("active segment exists");
+        if active.size >= inner.config.segment_max_bytes {
+            Self::rotate(inner)?;
+        }
+
+        let key_len = key.len() as u32;
+        let val_len = value.len() as u32;
+        let mut crc_input = Vec::with_capacity(1 + 8 + key.len() + value.len());
+        crc_input.push(flags);
+        crc_input.extend_from_slice(&key_len.to_le_bytes());
+        crc_input.extend_from_slice(&val_len.to_le_bytes());
+        crc_input.extend_from_slice(key);
+        crc_input.extend_from_slice(value);
+        let crc = crc32(&crc_input);
+
+        let mut frame = Vec::with_capacity(HEADER_LEN + key.len() + value.len());
+        frame.extend_from_slice(&crc.to_le_bytes());
+        frame.push(flags);
+        frame.extend_from_slice(&key_len.to_le_bytes());
+        frame.extend_from_slice(&val_len.to_le_bytes());
+        frame.extend_from_slice(key);
+        frame.extend_from_slice(value);
+
+        let segment = inner.segments.get_mut(&inner.active_id).expect("active segment exists");
+        let record_offset = segment.size;
+        inner.active_writer.write_all(&frame)?;
+        if inner.config.sync_on_put {
+            inner.active_writer.sync_data()?;
+        }
+        segment.size += frame.len() as u64;
+        Ok(record_offset + HEADER_LEN as u64 + key.len() as u64)
+    }
+
+    /// Seal the active segment and start a new one.
+    fn rotate(inner: &mut Inner) -> KvResult<()> {
+        inner.active_writer.sync_data()?;
+        let new_id = inner.active_id + 1;
+        let path = segment_path(&inner.dir, new_id);
+        let writer = OpenOptions::new().create(true).append(true).open(&path)?;
+        let reader = File::open(&path)?;
+        inner.segments.insert(new_id, Segment { id: new_id, path, reader, size: 0 });
+        inner.active_id = new_id;
+        inner.active_writer = writer;
+        Ok(())
+    }
+
+    /// Rewrite all live records into fresh segments and delete the old files.
+    /// Returns the number of bytes reclaimed on disk.
+    pub fn compact(&self) -> KvResult<u64> {
+        let mut inner = self.inner.write();
+        if inner.closed {
+            return Err(KvError::Closed);
+        }
+        let before: u64 = inner.segments.values().map(|s| s.size).sum();
+
+        // Snapshot the live records (key -> value bytes).
+        let mut live: Vec<(Vec<u8>, Bytes)> = Vec::with_capacity(inner.index.len());
+        let keys: Vec<Vec<u8>> = inner.index.keys().cloned().collect();
+        for key in keys {
+            let loc = inner.index[&key];
+            let value = Self::read_value(&inner, loc)?;
+            live.push((key, value));
+        }
+
+        // Start a brand-new generation of segments beyond all current ids.
+        let new_base = inner.active_id + 1;
+        let old_ids: Vec<u64> = inner.segments.keys().copied().collect();
+
+        let path = segment_path(&inner.dir, new_base);
+        let writer = OpenOptions::new().create(true).append(true).open(&path)?;
+        let reader = File::open(&path)?;
+        inner.segments.insert(new_base, Segment { id: new_base, path, reader, size: 0 });
+        inner.active_id = new_base;
+        inner.active_writer = writer;
+
+        inner.index.clear();
+        inner.live_value_bytes = 0;
+        for (key, value) in live {
+            let value_offset = Self::append_record(&mut inner, FLAG_PUT, &key, &value)?;
+            inner.live_value_bytes += value.len() as u64;
+            let segment = inner.active_id;
+            inner.index.insert(
+                key,
+                RecordLocation { segment, value_offset, value_len: value.len() as u32 },
+            );
+        }
+        inner.active_writer.sync_data()?;
+
+        // Remove the old segments.
+        for id in old_ids {
+            if id == inner.active_id {
+                continue;
+            }
+            if let Some(seg) = inner.segments.remove(&id) {
+                let _ = fs::remove_file(&seg.path);
+            }
+        }
+
+        let after: u64 = inner.segments.values().map(|s| s.size).sum();
+        Ok(before.saturating_sub(after))
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> LogStoreStats {
+        let inner = self.inner.read();
+        LogStoreStats {
+            segments: inner.segments.len(),
+            live_keys: inner.index.len(),
+            live_value_bytes: inner.live_value_bytes,
+            disk_bytes: inner.segments.values().map(|s| s.size).sum(),
+        }
+    }
+
+    /// Mark the store closed; further operations fail with [`KvError::Closed`].
+    pub fn close(&self) -> KvResult<()> {
+        let mut inner = self.inner.write();
+        inner.active_writer.sync_data()?;
+        inner.closed = true;
+        Ok(())
+    }
+
+    fn read_value(inner: &Inner, loc: RecordLocation) -> KvResult<Bytes> {
+        let segment = inner.segments.get(&loc.segment).ok_or_else(|| KvError::Corrupt {
+            segment: format!("seg-{:08}.log", loc.segment),
+            detail: "index references a missing segment".into(),
+        })?;
+        let mut buf = vec![0u8; loc.value_len as usize];
+        // The active segment's reader may lag behind buffered writes; flush
+        // is performed by append (write_all goes straight to the fd), so
+        // positioned reads see the data.
+        segment.reader.read_exact_at(&mut buf, loc.value_offset)?;
+        Ok(Bytes::from(buf))
+    }
+}
+
+impl PageStore for LogStore {
+    fn put(&self, key: &[u8], value: Bytes) -> KvResult<()> {
+        let mut inner = self.inner.write();
+        if inner.closed {
+            return Err(KvError::Closed);
+        }
+        if key.len() > inner.config.max_key_len {
+            return Err(KvError::TooLarge {
+                what: "key",
+                len: key.len(),
+                max: inner.config.max_key_len,
+            });
+        }
+        if value.len() > inner.config.max_value_len {
+            return Err(KvError::TooLarge {
+                what: "value",
+                len: value.len(),
+                max: inner.config.max_value_len,
+            });
+        }
+        let value_offset = Self::append_record(&mut inner, FLAG_PUT, key, &value)?;
+        let segment = inner.active_id;
+        if let Some(old) = inner.index.insert(
+            key.to_vec(),
+            RecordLocation { segment, value_offset, value_len: value.len() as u32 },
+        ) {
+            inner.live_value_bytes -= old.value_len as u64;
+        }
+        inner.live_value_bytes += value.len() as u64;
+        Ok(())
+    }
+
+    fn get(&self, key: &[u8]) -> KvResult<Option<Bytes>> {
+        let inner = self.inner.read();
+        if inner.closed {
+            return Err(KvError::Closed);
+        }
+        match inner.index.get(key) {
+            Some(loc) => Ok(Some(Self::read_value(&inner, *loc)?)),
+            None => Ok(None),
+        }
+    }
+
+    fn delete(&self, key: &[u8]) -> KvResult<bool> {
+        let mut inner = self.inner.write();
+        if inner.closed {
+            return Err(KvError::Closed);
+        }
+        if inner.index.contains_key(key) {
+            Self::append_record(&mut inner, FLAG_TOMBSTONE, key, &[])?;
+            if let Some(old) = inner.index.remove(key) {
+                inner.live_value_bytes -= old.value_len as u64;
+            }
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inner.read().index.len()
+    }
+
+    fn data_bytes(&self) -> u64 {
+        self.inner.read().live_value_bytes
+    }
+
+    fn sync(&self) -> KvResult<()> {
+        let inner = self.inner.write();
+        if inner.closed {
+            return Err(KvError::Closed);
+        }
+        inner.active_writer.sync_data()?;
+        Ok(())
+    }
+}
+
+fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("seg-{id:08}.log"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Fresh temp dir per test.
+    fn tmpdir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("logstore-test-{}-{}-{}", std::process::id(), tag, n));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn basic_roundtrip_and_overwrite() {
+        let dir = tmpdir("roundtrip");
+        let s = LogStore::open(&dir, LogStoreConfig::default()).unwrap();
+        s.put(b"page-0", Bytes::from_static(b"hello")).unwrap();
+        s.put(b"page-1", Bytes::from_static(b"world")).unwrap();
+        assert_eq!(s.get(b"page-0").unwrap().unwrap(), Bytes::from_static(b"hello"));
+        s.put(b"page-0", Bytes::from_static(b"HELLO AGAIN")).unwrap();
+        assert_eq!(s.get(b"page-0").unwrap().unwrap(), Bytes::from_static(b"HELLO AGAIN"));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.data_bytes(), 11 + 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delete_appends_tombstone() {
+        let dir = tmpdir("delete");
+        let s = LogStore::open(&dir, LogStoreConfig::default()).unwrap();
+        s.put(b"k", Bytes::from_static(b"v")).unwrap();
+        assert!(s.delete(b"k").unwrap());
+        assert!(!s.delete(b"k").unwrap());
+        assert!(s.get(b"k").unwrap().is_none());
+        assert_eq!(s.len(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_rebuilds_index() {
+        let dir = tmpdir("recovery");
+        {
+            let s = LogStore::open(&dir, LogStoreConfig::default()).unwrap();
+            for i in 0..50u32 {
+                s.put(format!("key-{i}").as_bytes(), Bytes::from(format!("value-{i}"))).unwrap();
+            }
+            s.put(b"key-7", Bytes::from_static(b"updated")).unwrap();
+            s.delete(b"key-9").unwrap();
+            s.sync().unwrap();
+        }
+        // Re-open: the index must reflect the final state.
+        let s = LogStore::open(&dir, LogStoreConfig::default()).unwrap();
+        assert_eq!(s.len(), 49);
+        assert_eq!(s.get(b"key-7").unwrap().unwrap(), Bytes::from_static(b"updated"));
+        assert!(s.get(b"key-9").unwrap().is_none());
+        assert_eq!(s.get(b"key-11").unwrap().unwrap(), Bytes::from_static(b"value-11"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_rotation_spreads_data_over_files() {
+        let dir = tmpdir("rotation");
+        let config = LogStoreConfig { segment_max_bytes: 1024, ..Default::default() };
+        let s = LogStore::open(&dir, config).unwrap();
+        for i in 0..100u32 {
+            s.put(format!("key-{i}").as_bytes(), Bytes::from(vec![i as u8; 100])).unwrap();
+        }
+        let stats = s.stats();
+        assert!(stats.segments > 1, "expected multiple segments, got {}", stats.segments);
+        assert_eq!(stats.live_keys, 100);
+        // Every key must still be readable across segments.
+        for i in 0..100u32 {
+            let v = s.get(format!("key-{i}").as_bytes()).unwrap().unwrap();
+            assert_eq!(v.len(), 100);
+            assert_eq!(v[0], i as u8);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_across_rotated_segments() {
+        let dir = tmpdir("multi-seg-recovery");
+        let config = LogStoreConfig { segment_max_bytes: 512, ..Default::default() };
+        {
+            let s = LogStore::open(&dir, config.clone()).unwrap();
+            for i in 0..60u32 {
+                s.put(format!("k{i}").as_bytes(), Bytes::from(vec![0xAB; 64])).unwrap();
+            }
+            s.sync().unwrap();
+        }
+        let s = LogStore::open(&dir, config).unwrap();
+        assert_eq!(s.len(), 60);
+        assert_eq!(s.get(b"k59").unwrap().unwrap().len(), 64);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_reclaims_space_and_preserves_data() {
+        let dir = tmpdir("compaction");
+        let config = LogStoreConfig { segment_max_bytes: 2048, ..Default::default() };
+        let s = LogStore::open(&dir, config).unwrap();
+        // Write each key several times so most records are garbage.
+        for round in 0..5u32 {
+            for i in 0..20u32 {
+                s.put(format!("k{i}").as_bytes(), Bytes::from(format!("round-{round}-value-{i}")))
+                    .unwrap();
+            }
+        }
+        for i in 0..5u32 {
+            s.delete(format!("k{i}").as_bytes()).unwrap();
+        }
+        let before = s.stats();
+        let reclaimed = s.compact().unwrap();
+        let after = s.stats();
+        assert!(reclaimed > 0, "compaction should reclaim bytes");
+        assert!(after.disk_bytes < before.disk_bytes);
+        assert_eq!(after.live_keys, 15);
+        for i in 5..20u32 {
+            let v = s.get(format!("k{i}").as_bytes()).unwrap().unwrap();
+            assert_eq!(v, Bytes::from(format!("round-4-value-{i}")));
+        }
+        for i in 0..5u32 {
+            assert!(s.get(format!("k{i}").as_bytes()).unwrap().is_none());
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn data_survives_compaction_then_reopen() {
+        let dir = tmpdir("compact-reopen");
+        {
+            let s = LogStore::open(&dir, LogStoreConfig::default()).unwrap();
+            for i in 0..30u32 {
+                s.put(format!("k{i}").as_bytes(), Bytes::from(format!("v{i}"))).unwrap();
+                s.put(format!("k{i}").as_bytes(), Bytes::from(format!("v{i}-final"))).unwrap();
+            }
+            s.compact().unwrap();
+        }
+        let s = LogStore::open(&dir, LogStoreConfig::default()).unwrap();
+        assert_eq!(s.len(), 30);
+        assert_eq!(s.get(b"k12").unwrap().unwrap(), Bytes::from_static(b"v12-final"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_on_recovery() {
+        let dir = tmpdir("torn");
+        {
+            let s = LogStore::open(&dir, LogStoreConfig::default()).unwrap();
+            s.put(b"good", Bytes::from_static(b"data")).unwrap();
+            s.sync().unwrap();
+        }
+        // Append garbage simulating a torn write.
+        let seg = segment_path(&dir, 0);
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&[0xDE, 0xAD, 0xBE]).unwrap();
+        drop(f);
+
+        let s = LogStore::open(&dir, LogStoreConfig::default()).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(b"good").unwrap().unwrap(), Bytes::from_static(b"data"));
+        // The store keeps working after recovery.
+        s.put(b"more", Bytes::from_static(b"stuff")).unwrap();
+        assert_eq!(s.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_record_truncates_recovery_at_that_point() {
+        let dir = tmpdir("corrupt");
+        {
+            let s = LogStore::open(&dir, LogStoreConfig::default()).unwrap();
+            s.put(b"a", Bytes::from_static(b"111")).unwrap();
+            s.put(b"b", Bytes::from_static(b"222")).unwrap();
+            s.sync().unwrap();
+        }
+        // Flip a byte in the middle of the second record's value.
+        let seg = segment_path(&dir, 0);
+        let data = fs::read(&seg).unwrap();
+        let mut corrupted = data.clone();
+        let last = corrupted.len() - 1;
+        corrupted[last] ^= 0xFF;
+        fs::write(&seg, corrupted).unwrap();
+
+        let s = LogStore::open(&dir, LogStoreConfig::default()).unwrap();
+        // The first record survives; the corrupted one is dropped.
+        assert_eq!(s.get(b"a").unwrap().unwrap(), Bytes::from_static(b"111"));
+        assert!(s.get(b"b").unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_key_and_value_are_rejected() {
+        let dir = tmpdir("limits");
+        let config = LogStoreConfig { max_key_len: 8, max_value_len: 16, ..Default::default() };
+        let s = LogStore::open(&dir, config).unwrap();
+        let err = s.put(b"a-key-that-is-too-long", Bytes::from_static(b"v")).unwrap_err();
+        assert!(matches!(err, KvError::TooLarge { what: "key", .. }));
+        let err = s.put(b"k", Bytes::from(vec![0u8; 64])).unwrap_err();
+        assert!(matches!(err, KvError::TooLarge { what: "value", .. }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn closed_store_rejects_operations() {
+        let dir = tmpdir("closed");
+        let s = LogStore::open(&dir, LogStoreConfig::default()).unwrap();
+        s.put(b"k", Bytes::from_static(b"v")).unwrap();
+        s.close().unwrap();
+        assert!(matches!(s.put(b"k2", Bytes::from_static(b"v")), Err(KvError::Closed)));
+        assert!(matches!(s.get(b"k"), Err(KvError::Closed)));
+        assert!(matches!(s.delete(b"k"), Err(KvError::Closed)));
+        assert!(matches!(s.sync(), Err(KvError::Closed)));
+        assert!(matches!(s.compact(), Err(KvError::Closed)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_puts_and_gets() {
+        let dir = tmpdir("concurrent");
+        let s = std::sync::Arc::new(LogStore::open(&dir, LogStoreConfig::default()).unwrap());
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        s.put(format!("t{t}-k{i}").as_bytes(), Bytes::from(vec![t as u8; 128]))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(s.len(), 400);
+        for t in 0..4u8 {
+            for i in 0..100 {
+                let v = s.get(format!("t{t}-k{i}").as_bytes()).unwrap().unwrap();
+                assert_eq!(v[0], t);
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

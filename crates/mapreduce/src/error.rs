@@ -1,0 +1,66 @@
+//! Error type for the MapReduce framework.
+
+use std::fmt;
+
+/// Result alias for framework operations.
+pub type MrResult<T> = Result<T, MrError>;
+
+/// Errors surfaced by the MapReduce framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrError {
+    /// The underlying distributed file system reported an error. The string
+    /// carries the storage system's own message; keeping it opaque lets the
+    /// framework work identically over BSFS and HDFS.
+    Storage(String),
+    /// The job configuration was invalid (no input files, zero reducers, ...).
+    InvalidJob(String),
+    /// A task failed more times than the configured retry limit.
+    TaskFailed { task: String, attempts: usize, last_error: String },
+    /// The job referenced an input path that does not exist.
+    InputNotFound(String),
+    /// The output directory already exists (Hadoop refuses to clobber output).
+    OutputExists(String),
+}
+
+impl fmt::Display for MrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrError::Storage(msg) => write!(f, "storage error: {msg}"),
+            MrError::InvalidJob(msg) => write!(f, "invalid job: {msg}"),
+            MrError::TaskFailed { task, attempts, last_error } => {
+                write!(f, "task {task} failed after {attempts} attempts: {last_error}")
+            }
+            MrError::InputNotFound(p) => write!(f, "input path not found: {p}"),
+            MrError::OutputExists(p) => write!(f, "output path already exists: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for MrError {}
+
+/// Convert any displayable storage error into an [`MrError`].
+pub fn storage_err(e: impl fmt::Display) -> MrError {
+    MrError::Storage(e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MrError::Storage("boom".into()).to_string().contains("boom"));
+        assert!(MrError::InvalidJob("no input".into()).to_string().contains("no input"));
+        assert!(MrError::InputNotFound("/x".into()).to_string().contains("/x"));
+        assert!(MrError::OutputExists("/out".into()).to_string().contains("/out"));
+        let e = MrError::TaskFailed { task: "map-3".into(), attempts: 4, last_error: "io".into() };
+        assert!(e.to_string().contains("map-3"));
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn storage_err_wraps_any_error() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire");
+        assert!(storage_err(io).to_string().contains("disk on fire"));
+    }
+}

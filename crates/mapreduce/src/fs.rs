@@ -1,0 +1,357 @@
+//! The pluggable storage abstraction and its BSFS / HDFS adapters.
+//!
+//! The paper's methodology is to keep the Hadoop framework unchanged and swap
+//! the storage layer underneath it ("We substituted the original data storage
+//! layer of Hadoop, the Hadoop Distributed File System - HDFS with our
+//! BlobSeer-based file system - BSFS", §IV). The [`DistFs`] trait is the Rust
+//! equivalent of Hadoop's `FileSystem` abstraction: the jobtracker,
+//! tasktrackers and applications are written against it, and the two adapters
+//! below plug in the `bsfs` and `hdfs-sim` crates without either of those
+//! crates knowing about MapReduce.
+
+use crate::error::{storage_err, MrResult};
+use bytes::Bytes;
+use simcluster::NodeId;
+
+/// Location hint for a piece of a file: which nodes hold bytes
+/// `[offset, offset+len)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockHint {
+    /// Offset of the piece within the file.
+    pub offset: u64,
+    /// Length of the piece.
+    pub len: u64,
+    /// Nodes holding a copy, in preference order.
+    pub nodes: Vec<NodeId>,
+}
+
+/// A sequential writer handle.
+pub trait FileWriter: Send {
+    /// Append bytes to the file.
+    fn write(&mut self, data: &[u8]) -> MrResult<()>;
+    /// Flush buffered data and seal the file.
+    fn close(&mut self) -> MrResult<()>;
+}
+
+/// A positioned reader handle.
+pub trait FileReader: Send {
+    /// Read `len` bytes at `offset`.
+    fn read_at(&mut self, offset: u64, len: u64) -> MrResult<Bytes>;
+    /// Current file size.
+    fn len(&mut self) -> MrResult<u64>;
+    /// True when the file holds no bytes.
+    fn is_empty(&mut self) -> MrResult<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// The storage abstraction the MapReduce framework runs over — the Rust
+/// counterpart of Hadoop's `FileSystem` class.
+pub trait DistFs: Send + Sync {
+    /// Short human-readable name of the backend ("BSFS", "HDFS").
+    fn name(&self) -> &'static str;
+
+    /// Create a file for writing.
+    fn create(&self, path: &str) -> MrResult<Box<dyn FileWriter>>;
+
+    /// Open a file for reading.
+    fn open(&self, path: &str) -> MrResult<Box<dyn FileReader>>;
+
+    /// Size of a file.
+    fn len(&self, path: &str) -> MrResult<u64>;
+
+    /// Does the path exist?
+    fn exists(&self, path: &str) -> bool;
+
+    /// List the children of a directory.
+    fn list(&self, path: &str) -> MrResult<Vec<String>>;
+
+    /// Create a directory and its ancestors.
+    fn mkdirs(&self, path: &str) -> MrResult<()>;
+
+    /// Delete a file or directory tree.
+    fn delete(&self, path: &str, recursive: bool) -> MrResult<()>;
+
+    /// Rename a file or directory.
+    fn rename(&self, from: &str, to: &str) -> MrResult<()>;
+
+    /// Data-layout query used by the locality-aware scheduler.
+    fn locate(&self, path: &str, offset: u64, len: u64) -> MrResult<Vec<BlockHint>>;
+
+    /// A handle whose I/O originates from `node` (the tasktracker's node).
+    fn on_node(&self, node: NodeId) -> Box<dyn DistFs>;
+
+    /// Convenience: read a whole file.
+    fn read_file(&self, path: &str) -> MrResult<Bytes> {
+        let size = self.len(path)?;
+        if size == 0 {
+            return Ok(Bytes::new());
+        }
+        let mut r = self.open(path)?;
+        r.read_at(0, size)
+    }
+
+    /// Convenience: write a whole file.
+    fn write_file(&self, path: &str, data: &[u8]) -> MrResult<()> {
+        let mut w = self.create(path)?;
+        w.write(data)?;
+        w.close()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BSFS adapter
+// ---------------------------------------------------------------------------
+
+/// [`DistFs`] implementation backed by the BlobSeer File System.
+#[derive(Clone)]
+pub struct BsfsFs {
+    inner: bsfs::Bsfs,
+}
+
+impl BsfsFs {
+    /// Wrap a BSFS instance.
+    pub fn new(inner: bsfs::Bsfs) -> Self {
+        BsfsFs { inner }
+    }
+
+    /// Access the wrapped BSFS instance.
+    pub fn inner(&self) -> &bsfs::Bsfs {
+        &self.inner
+    }
+}
+
+struct BsfsWriterAdapter(bsfs::BsfsWriter);
+
+impl FileWriter for BsfsWriterAdapter {
+    fn write(&mut self, data: &[u8]) -> MrResult<()> {
+        self.0.write(data).map_err(storage_err)
+    }
+    fn close(&mut self) -> MrResult<()> {
+        self.0.close().map_err(storage_err)
+    }
+}
+
+struct BsfsReaderAdapter(bsfs::BsfsReader);
+
+impl FileReader for BsfsReaderAdapter {
+    fn read_at(&mut self, offset: u64, len: u64) -> MrResult<Bytes> {
+        self.0.read_at(offset, len).map_err(storage_err)
+    }
+    fn len(&mut self) -> MrResult<u64> {
+        self.0.len().map_err(storage_err)
+    }
+}
+
+impl DistFs for BsfsFs {
+    fn name(&self) -> &'static str {
+        "BSFS"
+    }
+    fn create(&self, path: &str) -> MrResult<Box<dyn FileWriter>> {
+        Ok(Box::new(BsfsWriterAdapter(self.inner.create(path).map_err(storage_err)?)))
+    }
+    fn open(&self, path: &str) -> MrResult<Box<dyn FileReader>> {
+        Ok(Box::new(BsfsReaderAdapter(self.inner.open(path).map_err(storage_err)?)))
+    }
+    fn len(&self, path: &str) -> MrResult<u64> {
+        self.inner.len(path).map_err(storage_err)
+    }
+    fn exists(&self, path: &str) -> bool {
+        self.inner.exists(path)
+    }
+    fn list(&self, path: &str) -> MrResult<Vec<String>> {
+        self.inner.list(path).map_err(storage_err)
+    }
+    fn mkdirs(&self, path: &str) -> MrResult<()> {
+        self.inner.mkdirs(path).map_err(storage_err)
+    }
+    fn delete(&self, path: &str, recursive: bool) -> MrResult<()> {
+        self.inner.delete(path, recursive).map_err(storage_err)
+    }
+    fn rename(&self, from: &str, to: &str) -> MrResult<()> {
+        self.inner.rename(from, to).map_err(storage_err)
+    }
+    fn locate(&self, path: &str, offset: u64, len: u64) -> MrResult<Vec<BlockHint>> {
+        Ok(self
+            .inner
+            .locate(path, offset, len)
+            .map_err(storage_err)?
+            .into_iter()
+            .map(|l| BlockHint { offset: l.range.offset, len: l.range.len, nodes: l.nodes })
+            .collect())
+    }
+    fn on_node(&self, node: NodeId) -> Box<dyn DistFs> {
+        Box::new(BsfsFs { inner: self.inner.on_node(node) })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HDFS adapter
+// ---------------------------------------------------------------------------
+
+/// [`DistFs`] implementation backed by the HDFS-like baseline.
+#[derive(Clone)]
+pub struct HdfsFs {
+    inner: hdfs_sim::Hdfs,
+}
+
+impl HdfsFs {
+    /// Wrap an HDFS instance.
+    pub fn new(inner: hdfs_sim::Hdfs) -> Self {
+        HdfsFs { inner }
+    }
+
+    /// Access the wrapped HDFS instance.
+    pub fn inner(&self) -> &hdfs_sim::Hdfs {
+        &self.inner
+    }
+}
+
+struct HdfsWriterAdapter(hdfs_sim::HdfsWriter);
+
+impl FileWriter for HdfsWriterAdapter {
+    fn write(&mut self, data: &[u8]) -> MrResult<()> {
+        self.0.write(data).map_err(storage_err)
+    }
+    fn close(&mut self) -> MrResult<()> {
+        self.0.close().map_err(storage_err)
+    }
+}
+
+struct HdfsReaderAdapter(hdfs_sim::HdfsReader);
+
+impl FileReader for HdfsReaderAdapter {
+    fn read_at(&mut self, offset: u64, len: u64) -> MrResult<Bytes> {
+        self.0.read_at(offset, len).map_err(storage_err)
+    }
+    fn len(&mut self) -> MrResult<u64> {
+        Ok(self.0.len())
+    }
+}
+
+impl DistFs for HdfsFs {
+    fn name(&self) -> &'static str {
+        "HDFS"
+    }
+    fn create(&self, path: &str) -> MrResult<Box<dyn FileWriter>> {
+        Ok(Box::new(HdfsWriterAdapter(self.inner.create(path).map_err(storage_err)?)))
+    }
+    fn open(&self, path: &str) -> MrResult<Box<dyn FileReader>> {
+        Ok(Box::new(HdfsReaderAdapter(self.inner.open(path).map_err(storage_err)?)))
+    }
+    fn len(&self, path: &str) -> MrResult<u64> {
+        self.inner.len(path).map_err(storage_err)
+    }
+    fn exists(&self, path: &str) -> bool {
+        self.inner.exists(path)
+    }
+    fn list(&self, path: &str) -> MrResult<Vec<String>> {
+        self.inner.list(path).map_err(storage_err)
+    }
+    fn mkdirs(&self, path: &str) -> MrResult<()> {
+        self.inner.mkdirs(path).map_err(storage_err)
+    }
+    fn delete(&self, path: &str, recursive: bool) -> MrResult<()> {
+        self.inner.delete(path, recursive).map_err(storage_err)
+    }
+    fn rename(&self, from: &str, to: &str) -> MrResult<()> {
+        self.inner.rename(from, to).map_err(storage_err)
+    }
+    fn locate(&self, path: &str, offset: u64, len: u64) -> MrResult<Vec<BlockHint>> {
+        Ok(self
+            .inner
+            .locate(path, offset, len)
+            .map_err(storage_err)?
+            .into_iter()
+            .map(|l| BlockHint { offset: l.offset, len: l.len, nodes: l.nodes })
+            .collect())
+    }
+    fn on_node(&self, node: NodeId) -> Box<dyn DistFs> {
+        Box::new(HdfsFs { inner: self.inner.on_node(node) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer::{BlobSeer, BlobSeerConfig};
+    use bsfs::{Bsfs, BsfsConfig};
+    use hdfs_sim::{Hdfs, HdfsConfig};
+
+    fn bsfs_fs() -> BsfsFs {
+        let storage = BlobSeer::new(BlobSeerConfig::for_tests().with_page_size(256));
+        BsfsFs::new(Bsfs::new(storage, BsfsConfig::for_tests()))
+    }
+
+    fn hdfs_fs() -> HdfsFs {
+        HdfsFs::new(Hdfs::new(HdfsConfig::for_tests()))
+    }
+
+    /// The same behavioural checks run against both adapters, through the
+    /// trait object — this is the property the whole methodology rests on.
+    fn exercise(fs: &dyn DistFs) {
+        assert!(!fs.exists("/data/input.txt"));
+        fs.write_file("/data/input.txt", b"hello mapreduce\n").unwrap();
+        assert!(fs.exists("/data/input.txt"));
+        assert_eq!(fs.len("/data/input.txt").unwrap(), 16);
+        assert_eq!(&fs.read_file("/data/input.txt").unwrap()[..], b"hello mapreduce\n");
+
+        let mut reader = fs.open("/data/input.txt").unwrap();
+        assert_eq!(&reader.read_at(6, 3).unwrap()[..], b"map");
+        assert_eq!(reader.len().unwrap(), 16);
+        assert!(!reader.is_empty().unwrap());
+
+        let hints = fs.locate("/data/input.txt", 0, 16).unwrap();
+        assert!(!hints.is_empty());
+        assert!(hints.iter().all(|h| !h.nodes.is_empty()));
+
+        fs.mkdirs("/out").unwrap();
+        assert_eq!(fs.list("/data").unwrap(), vec!["/data/input.txt"]);
+        fs.rename("/data/input.txt", "/out/renamed").unwrap();
+        assert!(fs.exists("/out/renamed"));
+        fs.delete("/out", true).unwrap();
+        assert!(!fs.exists("/out/renamed"));
+
+        assert!(fs.open("/missing").is_err());
+        assert!(fs.len("/missing").is_err());
+    }
+
+    #[test]
+    fn bsfs_adapter_full_contract() {
+        let fs = bsfs_fs();
+        assert_eq!(fs.name(), "BSFS");
+        exercise(&fs);
+    }
+
+    #[test]
+    fn hdfs_adapter_full_contract() {
+        let fs = hdfs_fs();
+        assert_eq!(fs.name(), "HDFS");
+        exercise(&fs);
+    }
+
+    #[test]
+    fn on_node_returns_a_working_handle() {
+        let fs = bsfs_fs();
+        let node = fs.inner().storage().topology().node(2);
+        let moved = fs.on_node(node);
+        moved.write_file("/from-node", b"x").unwrap();
+        assert!(fs.exists("/from-node"));
+
+        let hfs = hdfs_fs();
+        let node = hfs.inner().topology().node(1);
+        let moved = hfs.on_node(node);
+        moved.write_file("/from-node", b"x").unwrap();
+        assert!(hfs.exists("/from-node"));
+    }
+
+    #[test]
+    fn both_backends_produce_identical_file_contents() {
+        let b = bsfs_fs();
+        let h = hdfs_fs();
+        let payload: Vec<u8> = (0..2000u32).map(|i| (i * 13 % 251) as u8).collect();
+        b.write_file("/same", &payload).unwrap();
+        h.write_file("/same", &payload).unwrap();
+        assert_eq!(b.read_file("/same").unwrap(), h.read_file("/same").unwrap());
+    }
+}

@@ -1,0 +1,241 @@
+//! Job definitions: mappers, reducers and job configuration.
+//!
+//! The programming model follows the paper's description of MapReduce (§II-A):
+//! "the user of the MapReduce library expresses the computation as two
+//! functions: map, that processes a key-value pair to generate a set of
+//! intermediate key-value pairs, and reduce, that merges all intermediate
+//! values associated with the same intermediate key." Input records are text
+//! lines keyed by their byte offset (Hadoop's `TextInputFormat`), which is
+//! what both applications in the paper's evaluation consume.
+
+use crate::error::MrResult;
+use std::sync::Arc;
+
+/// A user-supplied map function.
+pub trait Mapper: Send + Sync {
+    /// Process one input record. `offset` is the byte offset of the line in
+    /// its file (the "key" of Hadoop's text input format); `line` is the line
+    /// without its trailing newline. Emitted pairs go to the shuffle.
+    fn map(
+        &self,
+        offset: u64,
+        line: &str,
+        emit: &mut dyn FnMut(String, String),
+    ) -> MrResult<()>;
+}
+
+/// A user-supplied reduce function.
+pub trait Reducer: Send + Sync {
+    /// Merge all values of one intermediate key. Emitted pairs are written to
+    /// the task's output file.
+    fn reduce(
+        &self,
+        key: &str,
+        values: &[String],
+        emit: &mut dyn FnMut(String, String),
+    ) -> MrResult<()>;
+}
+
+/// A reducer that forwards every (key, value) pair unchanged.
+pub struct IdentityReducer;
+
+impl Reducer for IdentityReducer {
+    fn reduce(
+        &self,
+        key: &str,
+        values: &[String],
+        emit: &mut dyn FnMut(String, String),
+    ) -> MrResult<()> {
+        for v in values {
+            emit(key.to_string(), v.clone());
+        }
+        Ok(())
+    }
+}
+
+/// A reducer that sums integer values per key (the word-count/grep reducer).
+pub struct SumReducer;
+
+impl Reducer for SumReducer {
+    fn reduce(
+        &self,
+        key: &str,
+        values: &[String],
+        emit: &mut dyn FnMut(String, String),
+    ) -> MrResult<()> {
+        let total: u64 = values.iter().filter_map(|v| v.parse::<u64>().ok()).sum();
+        emit(key.to_string(), total.to_string());
+        Ok(())
+    }
+}
+
+/// Where a job's input records come from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InputSpec {
+    /// Read text records from these files (directories are expanded).
+    Files(Vec<String>),
+    /// Generate `splits` synthetic splits of `records_per_split` empty
+    /// records each. Used by generator jobs such as Random Text Writer, which
+    /// have no input data (the Hadoop original uses the same trick).
+    Synthetic { splits: usize, records_per_split: u64 },
+}
+
+/// Configuration of one MapReduce job.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Human-readable job name (used in reports).
+    pub name: String,
+    /// Input description.
+    pub input: InputSpec,
+    /// Directory the output `part-*` files are written to. Must not exist.
+    pub output_dir: String,
+    /// Number of reduce tasks. Zero makes the job map-only: each map task
+    /// writes its own `part-m-*` file directly, as Hadoop does.
+    pub num_reducers: usize,
+    /// Split size in bytes for file inputs (Hadoop uses the chunk size).
+    pub split_size: u64,
+    /// How many times a failed task is retried before the job fails.
+    pub max_task_attempts: usize,
+}
+
+impl JobConfig {
+    /// A configuration with sensible defaults for the given name, input and
+    /// output.
+    pub fn new(name: impl Into<String>, input: InputSpec, output_dir: impl Into<String>) -> Self {
+        JobConfig {
+            name: name.into(),
+            input,
+            output_dir: output_dir.into(),
+            num_reducers: 1,
+            split_size: 64 * 1024 * 1024,
+            max_task_attempts: 4,
+        }
+    }
+
+    /// Builder-style override of the reducer count.
+    pub fn with_reducers(mut self, n: usize) -> Self {
+        self.num_reducers = n;
+        self
+    }
+
+    /// Builder-style override of the split size.
+    pub fn with_split_size(mut self, split_size: u64) -> Self {
+        self.split_size = split_size;
+        self
+    }
+
+    /// Builder-style override of the retry limit.
+    pub fn with_max_attempts(mut self, attempts: usize) -> Self {
+        self.max_task_attempts = attempts.max(1);
+        self
+    }
+}
+
+/// A runnable job: configuration plus user code.
+pub struct Job {
+    /// Job configuration.
+    pub config: JobConfig,
+    /// The map function.
+    pub mapper: Arc<dyn Mapper>,
+    /// The reduce function (ignored for map-only jobs).
+    pub reducer: Arc<dyn Reducer>,
+}
+
+impl Job {
+    /// Build a job from its parts.
+    pub fn new(config: JobConfig, mapper: Arc<dyn Mapper>, reducer: Arc<dyn Reducer>) -> Self {
+        Job { config, mapper, reducer }
+    }
+
+    /// Build a map-only job (no reduce phase).
+    pub fn map_only(config: JobConfig, mapper: Arc<dyn Mapper>) -> Self {
+        let config = JobConfig { num_reducers: 0, ..config };
+        Job { config, mapper, reducer: Arc::new(IdentityReducer) }
+    }
+}
+
+/// Format an emitted pair the way Hadoop's `TextOutputFormat` does:
+/// `key<TAB>value`, with the tab omitted when the value is empty.
+pub fn format_output_record(key: &str, value: &str) -> String {
+    if value.is_empty() {
+        format!("{key}\n")
+    } else {
+        format!("{key}\t{value}\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct UpperMapper;
+    impl Mapper for UpperMapper {
+        fn map(
+            &self,
+            offset: u64,
+            line: &str,
+            emit: &mut dyn FnMut(String, String),
+        ) -> MrResult<()> {
+            emit(line.to_uppercase(), offset.to_string());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn mapper_trait_objects_work() {
+        let m: Arc<dyn Mapper> = Arc::new(UpperMapper);
+        let mut out = Vec::new();
+        m.map(7, "hello", &mut |k, v| out.push((k, v))).unwrap();
+        assert_eq!(out, vec![("HELLO".to_string(), "7".to_string())]);
+    }
+
+    #[test]
+    fn identity_reducer_passes_through() {
+        let r = IdentityReducer;
+        let mut out = Vec::new();
+        r.reduce("k", &["a".into(), "b".into()], &mut |k, v| out.push((k, v))).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].1, "b");
+    }
+
+    #[test]
+    fn sum_reducer_adds_counts() {
+        let r = SumReducer;
+        let mut out = Vec::new();
+        r.reduce("word", &["1".into(), "2".into(), "bad".into(), "4".into()], &mut |k, v| {
+            out.push((k, v))
+        })
+        .unwrap();
+        assert_eq!(out, vec![("word".to_string(), "7".to_string())]);
+    }
+
+    #[test]
+    fn job_config_builders() {
+        let c = JobConfig::new("grep", InputSpec::Files(vec!["/in".into()]), "/out")
+            .with_reducers(4)
+            .with_split_size(1024)
+            .with_max_attempts(0);
+        assert_eq!(c.num_reducers, 4);
+        assert_eq!(c.split_size, 1024);
+        assert_eq!(c.max_task_attempts, 1, "attempts are clamped to at least one");
+        assert_eq!(c.name, "grep");
+    }
+
+    #[test]
+    fn map_only_forces_zero_reducers() {
+        let c = JobConfig::new(
+            "writer",
+            InputSpec::Synthetic { splits: 3, records_per_split: 10 },
+            "/out",
+        )
+        .with_reducers(5);
+        let job = Job::map_only(c, Arc::new(UpperMapper));
+        assert_eq!(job.config.num_reducers, 0);
+    }
+
+    #[test]
+    fn output_record_formatting() {
+        assert_eq!(format_output_record("k", "v"), "k\tv\n");
+        assert_eq!(format_output_record("only-key", ""), "only-key\n");
+    }
+}

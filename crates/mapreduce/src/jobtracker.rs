@@ -1,0 +1,459 @@
+//! The jobtracker: job orchestration over the tasktrackers.
+//!
+//! The jobtracker is the "single master" of the Hadoop architecture the paper
+//! describes (§II-A): it splits the input, hands map tasks to tasktrackers
+//! (preferring trackers whose node holds the split's data), re-executes
+//! failed tasks, runs the shuffle, schedules the reduce tasks, and reports
+//! job-level counters. Tasktrackers are executed as real threads — one per
+//! slot — so concurrent access to the storage layer is genuinely concurrent.
+
+use crate::error::{MrError, MrResult};
+use crate::fs::DistFs;
+use crate::job::Job;
+use crate::scheduler::{pick_map_task, Locality, LocalityCounters};
+use crate::split::{compute_splits, InputSplit};
+use crate::tasktracker::{
+    group_by_key, run_map_task, run_reduce_task, write_output_file, MapTaskOutput, TaskTracker,
+};
+use parking_lot::Mutex;
+use simcluster::topology::ClusterTopology;
+use std::time::{Duration, Instant};
+
+/// Job-level counters and outcome, the analogue of Hadoop's job report.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Name of the job.
+    pub job_name: String,
+    /// Name of the storage backend the job ran over ("BSFS" / "HDFS").
+    pub fs_name: String,
+    /// Number of map tasks executed.
+    pub map_tasks: usize,
+    /// Number of reduce tasks executed.
+    pub reduce_tasks: usize,
+    /// Map-task locality breakdown.
+    pub locality: LocalityCounters,
+    /// Task attempts that failed and were retried.
+    pub task_retries: usize,
+    /// Input records consumed by the map phase.
+    pub input_records: u64,
+    /// Records produced by the reduce phase (or the map phase for map-only
+    /// jobs).
+    pub output_records: u64,
+    /// Bytes read from the storage layer by map tasks.
+    pub input_bytes: u64,
+    /// Bytes written to the storage layer by output tasks.
+    pub output_bytes: u64,
+    /// Wall-clock duration of the job.
+    pub elapsed: Duration,
+    /// Paths of the `part-*` output files.
+    pub output_files: Vec<String>,
+}
+
+impl JobResult {
+    /// Completion time in seconds (the metric the paper reports for the
+    /// application experiments).
+    pub fn completion_secs(&self) -> f64 {
+        self.elapsed.as_secs_f64()
+    }
+}
+
+/// The framework master.
+pub struct JobTracker {
+    topology: ClusterTopology,
+    trackers: Vec<TaskTracker>,
+}
+
+/// Shared map-phase state guarded by one mutex.
+struct MapPhase {
+    pending: Vec<usize>,
+    attempts: Vec<usize>,
+    results: Vec<Option<MapTaskOutput>>,
+    outstanding: usize,
+    failure: Option<MrError>,
+    locality: LocalityCounters,
+    retries: usize,
+    /// Output bytes written directly by map tasks (map-only jobs).
+    map_output_bytes: u64,
+    map_output_records: u64,
+    output_files: Vec<String>,
+}
+
+/// Shared reduce-phase state.
+struct ReducePhase {
+    pending: Vec<usize>,
+    attempts: Vec<usize>,
+    done: usize,
+    failure: Option<MrError>,
+    retries: usize,
+    output_bytes: u64,
+    output_records: u64,
+    output_files: Vec<String>,
+}
+
+impl JobTracker {
+    /// Create a jobtracker over one tasktracker per node of the topology,
+    /// with default slot counts.
+    pub fn new(topology: &ClusterTopology) -> Self {
+        let trackers = topology.all_nodes().map(TaskTracker::new).collect();
+        JobTracker { topology: topology.clone(), trackers }
+    }
+
+    /// Create a jobtracker over an explicit set of tasktrackers.
+    pub fn with_trackers(topology: &ClusterTopology, trackers: Vec<TaskTracker>) -> Self {
+        assert!(!trackers.is_empty(), "at least one tasktracker is required");
+        JobTracker { topology: topology.clone(), trackers }
+    }
+
+    /// The tasktrackers this jobtracker drives.
+    pub fn trackers(&self) -> &[TaskTracker] {
+        &self.trackers
+    }
+
+    /// The cluster topology.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
+    }
+
+    /// Run a job over the given storage backend and return its report.
+    pub fn run(&self, fs: &dyn DistFs, job: &Job) -> MrResult<JobResult> {
+        let start = Instant::now();
+        let config = &job.config;
+        if config.output_dir.is_empty() {
+            return Err(MrError::InvalidJob("output directory must not be empty".into()));
+        }
+        if fs.exists(&config.output_dir) {
+            return Err(MrError::OutputExists(config.output_dir.clone()));
+        }
+        fs.mkdirs(&config.output_dir)?;
+
+        let splits = compute_splits(fs, &config.input, config.split_size)?;
+        let num_maps = splits.len();
+        let map_only = config.num_reducers == 0;
+        let partitions = if map_only { 1 } else { config.num_reducers };
+
+        // ------------------------------------------------------------------
+        // Map phase.
+        // ------------------------------------------------------------------
+        let map_state = Mutex::new(MapPhase {
+            pending: (0..num_maps).collect(),
+            attempts: vec![0; num_maps],
+            results: (0..num_maps).map(|_| None).collect(),
+            outstanding: 0,
+            failure: None,
+            locality: LocalityCounters::default(),
+            retries: 0,
+            map_output_bytes: 0,
+            map_output_records: 0,
+            output_files: Vec::new(),
+        });
+
+        std::thread::scope(|scope| {
+            for tracker in &self.trackers {
+                for _slot in 0..tracker.map_slots {
+                    let map_state = &map_state;
+                    let splits = &splits;
+                    let topology = &self.topology;
+                    let tracker = *tracker;
+                    let job = &*job;
+                    let output_dir = config.output_dir.clone();
+                    let max_attempts = config.max_task_attempts;
+                    // Each slot gets a storage handle bound to the tracker's
+                    // node, so its I/O originates there.
+                    let local_fs = fs.on_node(tracker.node);
+                    scope.spawn(move || {
+                        map_worker_loop(
+                            &*local_fs,
+                            topology,
+                            tracker,
+                            splits,
+                            job,
+                            partitions,
+                            map_only,
+                            &output_dir,
+                            max_attempts,
+                            map_state,
+                        );
+                    });
+                }
+            }
+        });
+
+        let mut map_state = map_state.into_inner();
+        if let Some(err) = map_state.failure.take() {
+            return Err(err);
+        }
+        let map_outputs: Vec<MapTaskOutput> =
+            map_state.results.into_iter().map(|r| r.expect("all map tasks finished")).collect();
+        let input_records: u64 = map_outputs.iter().map(|o| o.records_read).sum();
+        let input_bytes: u64 = map_outputs.iter().map(|o| o.bytes_read).sum();
+
+        if map_only {
+            let mut output_files = map_state.output_files;
+            output_files.sort();
+            return Ok(JobResult {
+                job_name: config.name.clone(),
+                fs_name: fs.name().to_string(),
+                map_tasks: num_maps,
+                reduce_tasks: 0,
+                locality: map_state.locality,
+                task_retries: map_state.retries,
+                input_records,
+                output_records: map_state.map_output_records,
+                input_bytes,
+                output_bytes: map_state.map_output_bytes,
+                elapsed: start.elapsed(),
+                output_files,
+            });
+        }
+
+        // ------------------------------------------------------------------
+        // Shuffle: regroup the map outputs by reduce partition, then by key.
+        // ------------------------------------------------------------------
+        let mut partition_data: Vec<Vec<(String, String)>> = vec![Vec::new(); partitions];
+        for output in map_outputs {
+            for (p, pairs) in output.partitions.into_iter().enumerate() {
+                partition_data[p].extend(pairs);
+            }
+        }
+        let grouped: Vec<_> = partition_data.into_iter().map(group_by_key).collect();
+
+        // ------------------------------------------------------------------
+        // Reduce phase.
+        // ------------------------------------------------------------------
+        let reduce_state = Mutex::new(ReducePhase {
+            pending: (0..partitions).collect(),
+            attempts: vec![0; partitions],
+            done: 0,
+            failure: None,
+            retries: 0,
+            output_bytes: 0,
+            output_records: 0,
+            output_files: Vec::new(),
+        });
+
+        std::thread::scope(|scope| {
+            for tracker in &self.trackers {
+                for _slot in 0..tracker.reduce_slots {
+                    let reduce_state = &reduce_state;
+                    let grouped = &grouped;
+                    let job = &*job;
+                    let output_dir = config.output_dir.clone();
+                    let max_attempts = config.max_task_attempts;
+                    let local_fs = fs.on_node(tracker.node);
+                    scope.spawn(move || {
+                        reduce_worker_loop(
+                            &*local_fs,
+                            grouped,
+                            job,
+                            &output_dir,
+                            max_attempts,
+                            reduce_state,
+                        );
+                    });
+                }
+            }
+        });
+
+        let mut reduce_state = reduce_state.into_inner();
+        if let Some(err) = reduce_state.failure.take() {
+            return Err(err);
+        }
+        let mut output_files = reduce_state.output_files;
+        output_files.sort();
+
+        Ok(JobResult {
+            job_name: config.name.clone(),
+            fs_name: fs.name().to_string(),
+            map_tasks: num_maps,
+            reduce_tasks: partitions,
+            locality: map_state.locality,
+            task_retries: map_state.retries + reduce_state.retries,
+            input_records,
+            output_records: reduce_state.output_records,
+            input_bytes,
+            output_bytes: reduce_state.output_bytes,
+            elapsed: start.elapsed(),
+            output_files,
+        })
+    }
+}
+
+/// Worker loop executed by every map slot.
+#[allow(clippy::too_many_arguments)]
+fn map_worker_loop(
+    fs: &dyn DistFs,
+    topology: &ClusterTopology,
+    tracker: TaskTracker,
+    splits: &[InputSplit],
+    job: &Job,
+    partitions: usize,
+    map_only: bool,
+    output_dir: &str,
+    max_attempts: usize,
+    state: &Mutex<MapPhase>,
+) {
+    loop {
+        // Claim a task (or decide to wait / exit).
+        let claimed: Option<(usize, Locality)> = {
+            let mut s = state.lock();
+            if s.failure.is_some() {
+                return;
+            }
+            match pick_map_task(topology, tracker.node, &s.pending, splits) {
+                Some((pos, locality)) => {
+                    let split_idx = s.pending.swap_remove(pos);
+                    s.outstanding += 1;
+                    Some((split_idx, locality))
+                }
+                None => {
+                    // Nothing pending. If other workers are still running
+                    // tasks, one of those could fail and requeue, so wait;
+                    // if nothing is outstanding either, the phase is over.
+                    if s.outstanding == 0 {
+                        return;
+                    }
+                    None
+                }
+            }
+        };
+
+        let (split_idx, locality) = match claimed {
+            Some(c) => c,
+            None => {
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+        };
+
+        // Execute the task outside the lock.
+        let outcome = run_map_task(fs, &splits[split_idx], &*job.mapper, partitions).and_then(
+            |mut output| {
+                if map_only {
+                    // Map-only jobs write their bucket straight to the output
+                    // directory, one part file per map task, as Hadoop does.
+                    let path = format!("{output_dir}/part-m-{split_idx:05}");
+                    let records = std::mem::take(&mut output.partitions[0]);
+                    let bytes = write_output_file(fs, &path, &records)?;
+                    Ok((output, Some((path, bytes, records.len() as u64))))
+                } else {
+                    Ok((output, None))
+                }
+            },
+        );
+
+        let mut s = state.lock();
+        s.outstanding -= 1;
+        match outcome {
+            Ok((output, map_written)) => {
+                s.locality.record(locality);
+                if let Some((path, bytes, records)) = map_written {
+                    s.output_files.push(path);
+                    s.map_output_bytes += bytes;
+                    s.map_output_records += records;
+                }
+                s.results[split_idx] = Some(output);
+            }
+            Err(err) => {
+                s.attempts[split_idx] += 1;
+                s.retries += 1;
+                if s.attempts[split_idx] >= max_attempts {
+                    s.failure = Some(MrError::TaskFailed {
+                        task: format!("map-{split_idx}"),
+                        attempts: s.attempts[split_idx],
+                        last_error: err.to_string(),
+                    });
+                } else {
+                    if map_only {
+                        // A failed attempt may have left a partial part file
+                        // behind; remove it so the retry can recreate it.
+                        let path = format!("{output_dir}/part-m-{split_idx:05}");
+                        let _ = fs.delete(&path, false);
+                    }
+                    s.pending.push(split_idx);
+                }
+            }
+        }
+    }
+}
+
+/// Worker loop executed by every reduce slot.
+fn reduce_worker_loop(
+    fs: &dyn DistFs,
+    grouped: &[std::collections::BTreeMap<String, Vec<String>>],
+    job: &Job,
+    output_dir: &str,
+    max_attempts: usize,
+    state: &Mutex<ReducePhase>,
+) {
+    loop {
+        let claimed = {
+            let mut s = state.lock();
+            if s.failure.is_some() {
+                return;
+            }
+            match s.pending.pop() {
+                Some(p) => Some(p),
+                None => {
+                    if s.done + s.pending.len() >= grouped.len() && s.pending.is_empty() {
+                        // All partitions either done or running elsewhere;
+                        // if something requeues we will be woken by the loop.
+                        if s.done == grouped.len() {
+                            return;
+                        }
+                        None
+                    } else {
+                        None
+                    }
+                }
+            }
+        };
+
+        let partition = match claimed {
+            Some(p) => p,
+            None => {
+                // Check for completion before sleeping.
+                {
+                    let s = state.lock();
+                    if s.failure.is_some() || s.done == grouped.len() {
+                        return;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+        };
+
+        let outcome = run_reduce_task(&grouped[partition], &*job.reducer).and_then(|records| {
+            let path = format!("{output_dir}/part-r-{partition:05}");
+            let bytes = write_output_file(fs, &path, &records)?;
+            Ok((path, bytes, records.len() as u64))
+        });
+
+        let mut s = state.lock();
+        match outcome {
+            Ok((path, bytes, records)) => {
+                s.done += 1;
+                s.output_bytes += bytes;
+                s.output_records += records;
+                s.output_files.push(path);
+            }
+            Err(err) => {
+                s.attempts[partition] += 1;
+                s.retries += 1;
+                if s.attempts[partition] >= max_attempts {
+                    s.failure = Some(MrError::TaskFailed {
+                        task: format!("reduce-{partition}"),
+                        attempts: s.attempts[partition],
+                        last_error: err.to_string(),
+                    });
+                } else {
+                    // The part file may exist from the failed attempt; remove
+                    // it so the retry can recreate it.
+                    let path = format!("{output_dir}/part-r-{partition:05}");
+                    let _ = fs.delete(&path, false);
+                    s.pending.push(partition);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! # mapreduce — a Hadoop-style MapReduce framework over pluggable storage
+//!
+//! The paper evaluates its storage layer by running it *under an unchanged
+//! Hadoop*: "we substituted the original data storage layer of Hadoop [...]
+//! with our BlobSeer-based file system" (§IV). This crate is the Rust stand-in
+//! for that framework, faithful to the architecture the paper describes
+//! (§II-A):
+//!
+//! * a single master **jobtracker** ([`jobtracker::JobTracker`]) that splits
+//!   the input, assigns tasks and re-executes failed ones;
+//! * **tasktrackers**, one per node with a configurable number of slots
+//!   ([`tasktracker::TaskTracker`]), executed as real threads;
+//! * the **map / shuffle / reduce** execution model with text-line records,
+//!   hash partitioning and sorted reduce keys;
+//! * **locality-aware scheduling** ([`scheduler`]) driven by the storage
+//!   layer's data-layout queries;
+//! * a pluggable storage abstraction ([`fs::DistFs`]) with adapters for both
+//!   BSFS and the HDFS baseline, so experiments can swap the storage layer
+//!   and nothing else — exactly the paper's methodology.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use blobseer::{BlobSeer, BlobSeerConfig};
+//! use bsfs::{Bsfs, BsfsConfig};
+//! use mapreduce::fs::{BsfsFs, DistFs};
+//! use mapreduce::job::{InputSpec, Job, JobConfig, Mapper, SumReducer};
+//! use mapreduce::jobtracker::JobTracker;
+//! use mapreduce::MrResult;
+//!
+//! struct WordCount;
+//! impl Mapper for WordCount {
+//!     fn map(&self, _o: u64, line: &str, emit: &mut dyn FnMut(String, String)) -> MrResult<()> {
+//!         for w in line.split_whitespace() { emit(w.to_string(), "1".to_string()); }
+//!         Ok(())
+//!     }
+//! }
+//!
+//! let storage = BlobSeer::new(BlobSeerConfig::for_tests().with_page_size(256));
+//! let fs = BsfsFs::new(Bsfs::new(storage, BsfsConfig::for_tests()));
+//! fs.write_file("/in/text", b"to be or not to be\n").unwrap();
+//!
+//! let job = Job::new(
+//!     JobConfig::new("wordcount", InputSpec::Files(vec!["/in".into()]), "/out")
+//!         .with_split_size(256),
+//!     Arc::new(WordCount),
+//!     Arc::new(SumReducer),
+//! );
+//! let tracker = JobTracker::new(fs.inner().storage().topology());
+//! let result = tracker.run(&fs, &job).unwrap();
+//! assert_eq!(result.map_tasks, 1);
+//! assert!(fs.read_file(&result.output_files[0]).unwrap().starts_with(b"be\t2"));
+//! ```
+
+pub mod error;
+pub mod fs;
+pub mod job;
+pub mod jobtracker;
+pub mod scheduler;
+pub mod split;
+pub mod tasktracker;
+
+pub use error::{MrError, MrResult};
+pub use fs::{BlockHint, BsfsFs, DistFs, FileReader, FileWriter, HdfsFs};
+pub use job::{InputSpec, Job, JobConfig, Mapper, Reducer};
+pub use jobtracker::{JobResult, JobTracker};
+pub use scheduler::{Locality, LocalityCounters};
+pub use split::{InputSplit, SplitSource};
+pub use tasktracker::TaskTracker;
+
+#[cfg(test)]
+mod tests {
+    use super::fs::{BsfsFs, DistFs, HdfsFs};
+    use super::job::{InputSpec, Job, JobConfig, Mapper, Reducer, SumReducer};
+    use super::jobtracker::JobTracker;
+    use super::*;
+    use blobseer::{BlobSeer, BlobSeerConfig};
+    use bsfs::{Bsfs, BsfsConfig};
+    use hdfs_sim::{Hdfs, HdfsConfig};
+    use simcluster::topology::ClusterTopology;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn bsfs_cluster(nodes: u32) -> (ClusterTopology, BsfsFs) {
+        let topo = ClusterTopology::flat(nodes);
+        let provider_nodes: Vec<_> = topo.all_nodes().collect();
+        let storage = BlobSeer::with_topology(
+            BlobSeerConfig::for_tests().with_providers(nodes as usize).with_page_size(512),
+            &topo,
+            &provider_nodes,
+        );
+        let fs = BsfsFs::new(Bsfs::new(storage, BsfsConfig::for_tests().with_block_size(512)));
+        (topo, fs)
+    }
+
+    fn hdfs_cluster(nodes: u32) -> (ClusterTopology, HdfsFs) {
+        let topo = ClusterTopology::flat(nodes);
+        let dn_nodes: Vec<_> = topo.all_nodes().collect();
+        let fs = HdfsFs::new(Hdfs::with_topology(
+            HdfsConfig::for_tests().with_chunk_size(512),
+            &topo,
+            &dn_nodes,
+        ));
+        (topo, fs)
+    }
+
+    struct WordCountMapper;
+    impl Mapper for WordCountMapper {
+        fn map(
+            &self,
+            _offset: u64,
+            line: &str,
+            emit: &mut dyn FnMut(String, String),
+        ) -> MrResult<()> {
+            for w in line.split_whitespace() {
+                emit(w.to_string(), "1".to_string());
+            }
+            Ok(())
+        }
+    }
+
+    struct GrepMapper {
+        pattern: String,
+    }
+    impl Mapper for GrepMapper {
+        fn map(
+            &self,
+            _offset: u64,
+            line: &str,
+            emit: &mut dyn FnMut(String, String),
+        ) -> MrResult<()> {
+            if line.contains(&self.pattern) {
+                emit(self.pattern.clone(), "1".to_string());
+            }
+            Ok(())
+        }
+    }
+
+    fn wordcount_input() -> &'static str {
+        "the quick brown fox\njumps over the lazy dog\nthe dog barks\n"
+    }
+
+    fn run_wordcount(topo: &ClusterTopology, fs: &dyn DistFs) -> (JobResult, Vec<(String, u64)>) {
+        fs.write_file("/in/words.txt", wordcount_input().as_bytes()).unwrap();
+        let job = Job::new(
+            JobConfig::new("wordcount", InputSpec::Files(vec!["/in".into()]), "/out")
+                .with_split_size(20)
+                .with_reducers(3),
+            Arc::new(WordCountMapper),
+            Arc::new(SumReducer),
+        );
+        let jt = JobTracker::new(topo);
+        let result = jt.run(fs, &job).unwrap();
+        // Collect and parse all output records.
+        let mut counts = Vec::new();
+        for part in &result.output_files {
+            let content = fs.read_file(part).unwrap();
+            for line in String::from_utf8_lossy(&content).lines() {
+                let mut it = line.split('\t');
+                let word = it.next().unwrap().to_string();
+                let count: u64 = it.next().unwrap().parse().unwrap();
+                counts.push((word, count));
+            }
+        }
+        counts.sort();
+        (result, counts)
+    }
+
+    fn expected_wordcount() -> Vec<(String, u64)> {
+        let mut map = std::collections::BTreeMap::new();
+        for w in wordcount_input().split_whitespace() {
+            *map.entry(w.to_string()).or_insert(0u64) += 1;
+        }
+        map.into_iter().collect()
+    }
+
+    #[test]
+    fn wordcount_on_bsfs_matches_reference() {
+        let (topo, fs) = bsfs_cluster(4);
+        let (result, counts) = run_wordcount(&topo, &fs);
+        assert_eq!(counts, expected_wordcount());
+        assert!(result.map_tasks >= 2, "a 56-byte file with 20-byte splits needs several maps");
+        assert_eq!(result.reduce_tasks, 3);
+        assert_eq!(result.input_records, 3);
+        assert!(result.output_records >= 8);
+        assert_eq!(result.fs_name, "BSFS");
+        assert!(result.completion_secs() > 0.0);
+    }
+
+    #[test]
+    fn wordcount_on_hdfs_matches_reference() {
+        let (topo, fs) = hdfs_cluster(4);
+        let (result, counts) = run_wordcount(&topo, &fs);
+        assert_eq!(counts, expected_wordcount());
+        assert_eq!(result.fs_name, "HDFS");
+    }
+
+    #[test]
+    fn both_backends_produce_identical_results() {
+        let (topo_b, fs_b) = bsfs_cluster(4);
+        let (topo_h, fs_h) = hdfs_cluster(4);
+        let (_, counts_b) = run_wordcount(&topo_b, &fs_b);
+        let (_, counts_h) = run_wordcount(&topo_h, &fs_h);
+        assert_eq!(counts_b, counts_h, "the framework must behave identically over both backends");
+    }
+
+    #[test]
+    fn grep_counts_matching_lines() {
+        let (topo, fs) = bsfs_cluster(4);
+        let mut text = String::new();
+        for i in 0..200 {
+            if i % 7 == 0 {
+                text.push_str(&format!("line {i} contains the needle pattern\n"));
+            } else {
+                text.push_str(&format!("line {i} is ordinary hay\n"));
+            }
+        }
+        fs.write_file("/in/haystack.txt", text.as_bytes()).unwrap();
+        let job = Job::new(
+            JobConfig::new("grep", InputSpec::Files(vec!["/in/haystack.txt".into()]), "/grep-out")
+                .with_split_size(512)
+                .with_reducers(1),
+            Arc::new(GrepMapper { pattern: "needle".into() }),
+            Arc::new(SumReducer),
+        );
+        let jt = JobTracker::new(&topo);
+        let result = jt.run(&fs, &job).unwrap();
+        let out = fs.read_file(&result.output_files[0]).unwrap();
+        let expected = (0..200).filter(|i| i % 7 == 0).count();
+        assert_eq!(String::from_utf8_lossy(&out), format!("needle\t{expected}\n"));
+        assert!(result.input_records >= 200);
+    }
+
+    #[test]
+    fn map_only_job_writes_one_file_per_map() {
+        let (topo, fs) = bsfs_cluster(3);
+        struct Generator;
+        impl Mapper for Generator {
+            fn map(
+                &self,
+                offset: u64,
+                _line: &str,
+                emit: &mut dyn FnMut(String, String),
+            ) -> MrResult<()> {
+                emit(format!("generated-record-{offset}"), String::new());
+                Ok(())
+            }
+        }
+        let job = Job::map_only(
+            JobConfig::new(
+                "generator",
+                InputSpec::Synthetic { splits: 5, records_per_split: 10 },
+                "/gen-out",
+            ),
+            Arc::new(Generator),
+        );
+        let jt = JobTracker::new(&topo);
+        let result = jt.run(&fs, &job).unwrap();
+        assert_eq!(result.map_tasks, 5);
+        assert_eq!(result.reduce_tasks, 0);
+        assert_eq!(result.output_files.len(), 5);
+        assert_eq!(result.output_records, 50);
+        assert!(result.output_bytes > 0);
+        for part in &result.output_files {
+            let content = fs.read_file(part).unwrap();
+            assert_eq!(String::from_utf8_lossy(&content).lines().count(), 10);
+        }
+    }
+
+    #[test]
+    fn output_directory_must_not_exist() {
+        let (topo, fs) = bsfs_cluster(2);
+        fs.mkdirs("/out").unwrap();
+        fs.write_file("/in/x", b"data\n").unwrap();
+        let job = Job::new(
+            JobConfig::new("clobber", InputSpec::Files(vec!["/in".into()]), "/out"),
+            Arc::new(WordCountMapper),
+            Arc::new(SumReducer),
+        );
+        let jt = JobTracker::new(&topo);
+        assert!(matches!(jt.run(&fs, &job), Err(MrError::OutputExists(_))));
+    }
+
+    #[test]
+    fn missing_input_fails_the_job() {
+        let (topo, fs) = bsfs_cluster(2);
+        let job = Job::new(
+            JobConfig::new("ghost", InputSpec::Files(vec!["/nope".into()]), "/out"),
+            Arc::new(WordCountMapper),
+            Arc::new(SumReducer),
+        );
+        let jt = JobTracker::new(&topo);
+        assert!(matches!(jt.run(&fs, &job), Err(MrError::InputNotFound(_))));
+    }
+
+    #[test]
+    fn flaky_map_tasks_are_retried_and_the_job_succeeds() {
+        let (topo, fs) = bsfs_cluster(2);
+        fs.write_file("/in/data", b"alpha\nbeta\ngamma\n").unwrap();
+
+        /// Fails the first two executions, then succeeds.
+        struct FlakyMapper {
+            failures_left: AtomicUsize,
+        }
+        impl Mapper for FlakyMapper {
+            fn map(
+                &self,
+                _offset: u64,
+                line: &str,
+                emit: &mut dyn FnMut(String, String),
+            ) -> MrResult<()> {
+                if self
+                    .failures_left
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                    .is_ok()
+                {
+                    return Err(MrError::Storage("transient failure".into()));
+                }
+                emit(line.to_string(), "1".to_string());
+                Ok(())
+            }
+        }
+
+        let job = Job::new(
+            JobConfig::new("flaky", InputSpec::Files(vec!["/in/data".into()]), "/out")
+                .with_reducers(1)
+                .with_max_attempts(5),
+            Arc::new(FlakyMapper { failures_left: AtomicUsize::new(2) }),
+            Arc::new(SumReducer),
+        );
+        let jt = JobTracker::new(&topo);
+        let result = jt.run(&fs, &job).unwrap();
+        assert!(result.task_retries >= 1, "the flaky task must have been retried");
+        let out = fs.read_file(&result.output_files[0]).unwrap();
+        assert_eq!(String::from_utf8_lossy(&out).lines().count(), 3);
+    }
+
+    #[test]
+    fn permanently_failing_task_fails_the_job() {
+        let (topo, fs) = bsfs_cluster(2);
+        fs.write_file("/in/data", b"x\n").unwrap();
+        struct AlwaysFails;
+        impl Mapper for AlwaysFails {
+            fn map(
+                &self,
+                _offset: u64,
+                _line: &str,
+                _emit: &mut dyn FnMut(String, String),
+            ) -> MrResult<()> {
+                Err(MrError::Storage("permanent".into()))
+            }
+        }
+        let job = Job::new(
+            JobConfig::new("doomed", InputSpec::Files(vec!["/in/data".into()]), "/out")
+                .with_max_attempts(3),
+            Arc::new(AlwaysFails),
+            Arc::new(SumReducer),
+        );
+        let jt = JobTracker::new(&topo);
+        match jt.run(&fs, &job) {
+            Err(MrError::TaskFailed { attempts, .. }) => assert_eq!(attempts, 3),
+            other => panic!("expected TaskFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failing_reducer_fails_the_job() {
+        let (topo, fs) = bsfs_cluster(2);
+        fs.write_file("/in/data", b"k\n").unwrap();
+        struct BadReducer;
+        impl Reducer for BadReducer {
+            fn reduce(
+                &self,
+                _key: &str,
+                _values: &[String],
+                _emit: &mut dyn FnMut(String, String),
+            ) -> MrResult<()> {
+                Err(MrError::Storage("reduce broke".into()))
+            }
+        }
+        let job = Job::new(
+            JobConfig::new("bad-reduce", InputSpec::Files(vec!["/in/data".into()]), "/out")
+                .with_max_attempts(2),
+            Arc::new(WordCountMapper),
+            Arc::new(BadReducer),
+        );
+        let jt = JobTracker::new(&topo);
+        assert!(matches!(jt.run(&fs, &job), Err(MrError::TaskFailed { .. })));
+    }
+
+    #[test]
+    fn locality_counters_cover_all_map_tasks() {
+        let (topo, fs) = bsfs_cluster(6);
+        // Write a file large enough for several splits.
+        let data = vec![b'a'; 4096];
+        let mut text = Vec::new();
+        for chunk in data.chunks(63) {
+            text.extend_from_slice(chunk);
+            text.push(b'\n');
+        }
+        fs.write_file("/in/big", &text).unwrap();
+        let job = Job::new(
+            JobConfig::new("locality", InputSpec::Files(vec!["/in/big".into()]), "/out")
+                .with_split_size(512)
+                .with_reducers(1),
+            Arc::new(WordCountMapper),
+            Arc::new(SumReducer),
+        );
+        let jt = JobTracker::new(&topo);
+        let result = jt.run(&fs, &job).unwrap();
+        assert_eq!(result.locality.total(), result.map_tasks);
+        // With one tasktracker per node and load-balanced placement, at least
+        // some tasks should run data-local.
+        assert!(
+            result.locality.data_local > 0,
+            "expected some data-local tasks, got {:?}",
+            result.locality
+        );
+    }
+
+    #[test]
+    fn doc_example_compiles_and_runs() {
+        // Mirror of the crate-level doctest.
+        let storage = BlobSeer::new(BlobSeerConfig::for_tests().with_page_size(256));
+        let fs = BsfsFs::new(Bsfs::new(storage, BsfsConfig::for_tests()));
+        fs.write_file("/in/text", b"to be or not to be\n").unwrap();
+        let job = Job::new(
+            JobConfig::new("wordcount", InputSpec::Files(vec!["/in".into()]), "/out")
+                .with_split_size(256),
+            Arc::new(WordCountMapper),
+            Arc::new(SumReducer),
+        );
+        let tracker = JobTracker::new(fs.inner().storage().topology());
+        let result = tracker.run(&fs, &job).unwrap();
+        assert_eq!(result.map_tasks, 1);
+        assert!(fs.read_file(&result.output_files[0]).unwrap().starts_with(b"be\t2"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Locality-aware task scheduling.
+//!
+//! "One of the optimization techniques the MapReduce framework employs, is to
+//! ship the computation to nodes that store the input data; the goal is to
+//! minimize data transfers between nodes. For this reason, the storage layer
+//! must be able to provide the information about the location of the data"
+//! (paper §II-B). The jobtracker uses the functions below to hand each free
+//! map slot the *closest* pending split: one whose data lives on the
+//! tasktracker's own node if possible, else in its rack, else anywhere.
+
+use crate::split::InputSplit;
+use simcluster::topology::ClusterTopology;
+use simcluster::NodeId;
+
+/// How close a task's data is to the node that will execute it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Locality {
+    /// The data (one of its replicas) is on the executing node itself.
+    DataLocal,
+    /// The data is in the same rack as the executing node.
+    RackLocal,
+    /// The data is somewhere else in the cluster (or the split has no
+    /// location information, e.g. synthetic splits).
+    Remote,
+}
+
+/// Counters of how many map tasks ran at each locality level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocalityCounters {
+    /// Tasks whose data was on the executing node.
+    pub data_local: usize,
+    /// Tasks whose data was in the executing node's rack.
+    pub rack_local: usize,
+    /// Tasks that had to read across racks (or had no location info).
+    pub remote: usize,
+}
+
+impl LocalityCounters {
+    /// Record one task execution at the given locality.
+    pub fn record(&mut self, locality: Locality) {
+        match locality {
+            Locality::DataLocal => self.data_local += 1,
+            Locality::RackLocal => self.rack_local += 1,
+            Locality::Remote => self.remote += 1,
+        }
+    }
+
+    /// Total tasks recorded.
+    pub fn total(&self) -> usize {
+        self.data_local + self.rack_local + self.remote
+    }
+}
+
+/// Classify how close a split's data is to `node`.
+pub fn classify(topology: &ClusterTopology, node: NodeId, split: &InputSplit) -> Locality {
+    if split.preferred_nodes.is_empty() {
+        return Locality::Remote;
+    }
+    if split.preferred_nodes.contains(&node) {
+        return Locality::DataLocal;
+    }
+    let rack = topology.rack_of(node);
+    if split.preferred_nodes.iter().any(|n| topology.rack_of(*n) == rack) {
+        Locality::RackLocal
+    } else {
+        Locality::Remote
+    }
+}
+
+/// Pick the best pending split for a tasktracker on `node`: data-local first,
+/// then rack-local, then anything. Returns the position *within `pending`* of
+/// the chosen entry and its locality class, or `None` when `pending` is empty.
+pub fn pick_map_task(
+    topology: &ClusterTopology,
+    node: NodeId,
+    pending: &[usize],
+    splits: &[InputSplit],
+) -> Option<(usize, Locality)> {
+    if pending.is_empty() {
+        return None;
+    }
+    let mut best: Option<(usize, Locality)> = None;
+    for (pos, &split_idx) in pending.iter().enumerate() {
+        let locality = classify(topology, node, &splits[split_idx]);
+        match best {
+            None => best = Some((pos, locality)),
+            Some((_, current)) if locality < current => best = Some((pos, locality)),
+            _ => {}
+        }
+        if locality == Locality::DataLocal {
+            break; // cannot do better
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::SplitSource;
+
+    fn split(id: usize, nodes: Vec<NodeId>) -> InputSplit {
+        InputSplit {
+            id,
+            source: SplitSource::File { path: "/f".into(), offset: 0, len: 1 },
+            preferred_nodes: nodes,
+        }
+    }
+
+    fn topo() -> ClusterTopology {
+        // 2 racks of 3 nodes: rack 0 = nodes 0..3, rack 1 = nodes 3..6.
+        ClusterTopology::builder().sites(1).racks_per_site(2).nodes_per_rack(3).build()
+    }
+
+    #[test]
+    fn classification_levels() {
+        let t = topo();
+        let s_local = split(0, vec![NodeId(1)]);
+        let s_rack = split(1, vec![NodeId(2)]);
+        let s_remote = split(2, vec![NodeId(5)]);
+        let s_unknown = split(3, vec![]);
+        assert_eq!(classify(&t, NodeId(1), &s_local), Locality::DataLocal);
+        assert_eq!(classify(&t, NodeId(1), &s_rack), Locality::RackLocal);
+        assert_eq!(classify(&t, NodeId(1), &s_remote), Locality::Remote);
+        assert_eq!(classify(&t, NodeId(1), &s_unknown), Locality::Remote);
+        // Ordering backs the scheduler's preference.
+        assert!(Locality::DataLocal < Locality::RackLocal);
+        assert!(Locality::RackLocal < Locality::Remote);
+    }
+
+    #[test]
+    fn picker_prefers_data_local_then_rack_local() {
+        let t = topo();
+        let splits = vec![
+            split(0, vec![NodeId(5)]), // remote for node 0
+            split(1, vec![NodeId(2)]), // rack-local for node 0
+            split(2, vec![NodeId(0)]), // data-local for node 0
+        ];
+        let pending = vec![0, 1, 2];
+        let (pos, loc) = pick_map_task(&t, NodeId(0), &pending, &splits).unwrap();
+        assert_eq!(pending[pos], 2);
+        assert_eq!(loc, Locality::DataLocal);
+
+        // Without the data-local option, the rack-local one wins.
+        let pending = vec![0, 1];
+        let (pos, loc) = pick_map_task(&t, NodeId(0), &pending, &splits).unwrap();
+        assert_eq!(pending[pos], 1);
+        assert_eq!(loc, Locality::RackLocal);
+
+        // Only the remote split left.
+        let pending = vec![0];
+        let (pos, loc) = pick_map_task(&t, NodeId(0), &pending, &splits).unwrap();
+        assert_eq!(pending[pos], 0);
+        assert_eq!(loc, Locality::Remote);
+
+        assert!(pick_map_task(&t, NodeId(0), &[], &splits).is_none());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = LocalityCounters::default();
+        c.record(Locality::DataLocal);
+        c.record(Locality::DataLocal);
+        c.record(Locality::RackLocal);
+        c.record(Locality::Remote);
+        assert_eq!(c.data_local, 2);
+        assert_eq!(c.rack_local, 1);
+        assert_eq!(c.remote, 1);
+        assert_eq!(c.total(), 4);
+    }
+}

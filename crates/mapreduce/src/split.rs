@@ -1,0 +1,354 @@
+//! Input splits and record extraction.
+//!
+//! "The input data is also split into chunks of equal size, that are stored
+//! in a distributed file system across the cluster. First, the map tasks are
+//! run, each processing a chunk of the input file" (paper §II-A). A split is
+//! the unit of map-task work: a contiguous byte range of one input file (or a
+//! synthetic split for generator jobs), annotated with the nodes that hold
+//! the underlying data so the scheduler can place the task next to it.
+//!
+//! Record extraction follows Hadoop's text-input convention: records are
+//! newline-terminated lines; a split that does not start at offset 0 skips
+//! the partial line at its head (it belongs to the previous split), and the
+//! line that begins inside a split is processed entirely by that split even
+//! if it continues past the split's end.
+
+use crate::error::{MrError, MrResult};
+use crate::fs::DistFs;
+use crate::job::InputSpec;
+use simcluster::NodeId;
+
+/// What a split reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SplitSource {
+    /// A byte range of a file.
+    File {
+        /// Path of the input file.
+        path: String,
+        /// First byte of the split.
+        offset: u64,
+        /// Length of the split in bytes.
+        len: u64,
+    },
+    /// A synthetic split: `records` empty records, keyed 0..records.
+    Synthetic {
+        /// Index of the split within the job.
+        index: usize,
+        /// Number of records to generate.
+        records: u64,
+    },
+}
+
+/// One unit of map-task work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputSplit {
+    /// Dense id of the split within the job.
+    pub id: usize,
+    /// The data the split covers.
+    pub source: SplitSource,
+    /// Nodes that hold the split's data (empty for synthetic splits).
+    pub preferred_nodes: Vec<NodeId>,
+}
+
+impl InputSplit {
+    /// Number of input bytes this split covers.
+    pub fn byte_len(&self) -> u64 {
+        match &self.source {
+            SplitSource::File { len, .. } => *len,
+            SplitSource::Synthetic { .. } => 0,
+        }
+    }
+}
+
+/// Expand an input specification into splits, querying the file system for
+/// sizes and data locations.
+pub fn compute_splits(
+    fs: &dyn DistFs,
+    input: &InputSpec,
+    split_size: u64,
+) -> MrResult<Vec<InputSplit>> {
+    assert!(split_size > 0, "split size must be non-zero");
+    match input {
+        InputSpec::Synthetic { splits, records_per_split } => Ok((0..*splits)
+            .map(|i| InputSplit {
+                id: i,
+                source: SplitSource::Synthetic { index: i, records: *records_per_split },
+                preferred_nodes: Vec::new(),
+            })
+            .collect()),
+        InputSpec::Files(paths) => {
+            let mut files = Vec::new();
+            for path in paths {
+                expand_path(fs, path, &mut files)?;
+            }
+            if files.is_empty() {
+                return Err(MrError::InvalidJob("input matched no files".into()));
+            }
+            let mut splits = Vec::new();
+            for file in files {
+                let size = fs.len(&file)?;
+                if size == 0 {
+                    continue;
+                }
+                let mut offset = 0u64;
+                while offset < size {
+                    let len = split_size.min(size - offset);
+                    let preferred_nodes = fs
+                        .locate(&file, offset, len)
+                        .unwrap_or_default()
+                        .into_iter()
+                        .flat_map(|hint| hint.nodes)
+                        .fold(Vec::new(), |mut acc, n| {
+                            if !acc.contains(&n) {
+                                acc.push(n);
+                            }
+                            acc
+                        });
+                    splits.push(InputSplit {
+                        id: splits.len(),
+                        source: SplitSource::File { path: file.clone(), offset, len },
+                        preferred_nodes,
+                    });
+                    offset += len;
+                }
+            }
+            if splits.is_empty() {
+                return Err(MrError::InvalidJob("all input files are empty".into()));
+            }
+            Ok(splits)
+        }
+    }
+}
+
+/// Recursively expand a path into the files below it.
+fn expand_path(fs: &dyn DistFs, path: &str, out: &mut Vec<String>) -> MrResult<()> {
+    if !fs.exists(path) {
+        return Err(MrError::InputNotFound(path.to_string()));
+    }
+    match fs.list(path) {
+        Ok(children) => {
+            for child in children {
+                expand_path(fs, &child, out)?;
+            }
+            Ok(())
+        }
+        Err(_) => {
+            // Not a directory: it is a file.
+            out.push(path.to_string());
+            Ok(())
+        }
+    }
+}
+
+/// Read the text records belonging to a file split, following the Hadoop
+/// convention for records that straddle split boundaries. Returns
+/// `(byte offset of the line, line without trailing newline)` pairs, plus the
+/// number of bytes actually read from storage (for the job counters).
+pub fn read_records(
+    fs: &dyn DistFs,
+    path: &str,
+    offset: u64,
+    len: u64,
+) -> MrResult<(Vec<(u64, String)>, u64)> {
+    let mut reader = fs.open(path)?;
+    let file_size = reader.len()?;
+    let split_end = (offset + len).min(file_size);
+    if offset >= file_size {
+        return Ok((Vec::new(), 0));
+    }
+
+    // Read the split itself.
+    let mut data = reader.read_at(offset, split_end - offset)?.to_vec();
+    let mut bytes_read = data.len() as u64;
+
+    // If the split does not end exactly at EOF or on a newline, keep reading
+    // until the line that started inside the split is complete.
+    let mut tail_pos = split_end;
+    while tail_pos < file_size && !data.ends_with(b"\n") {
+        let chunk_len = 4096.min(file_size - tail_pos);
+        let chunk = reader.read_at(tail_pos, chunk_len)?;
+        bytes_read += chunk.len() as u64;
+        tail_pos += chunk.len() as u64;
+        if let Some(nl) = chunk.iter().position(|b| *b == b'\n') {
+            data.extend_from_slice(&chunk[..=nl]);
+            break;
+        }
+        data.extend_from_slice(&chunk);
+    }
+
+    // Skip the partial line at the head of a non-initial split: it belongs to
+    // the previous split (a line is owned by the split containing its first
+    // byte). The split starts on a fresh line exactly when the byte before it
+    // is a newline, which costs one extra one-byte read to find out.
+    let mut start_in_data = 0usize;
+    if offset > 0 {
+        let prev_byte = reader.read_at(offset - 1, 1)?;
+        bytes_read += 1;
+        if prev_byte.first() != Some(&b'\n') {
+            match data.iter().position(|b| *b == b'\n') {
+                Some(nl) => start_in_data = nl + 1,
+                None => return Ok((Vec::new(), bytes_read)),
+            }
+        }
+    }
+
+    let mut records = Vec::new();
+    let mut line_start = start_in_data;
+    for (i, b) in data.iter().enumerate().skip(start_in_data) {
+        if *b == b'\n' {
+            let line_offset = offset + line_start as u64;
+            // Only lines that *start* inside the split belong to it.
+            if line_offset < split_end {
+                let line = String::from_utf8_lossy(&data[line_start..i]).into_owned();
+                records.push((line_offset, line));
+            }
+            line_start = i + 1;
+        }
+    }
+    // A final line without a trailing newline (end of file).
+    if line_start < data.len() {
+        let line_offset = offset + line_start as u64;
+        if line_offset < split_end && tail_pos >= file_size {
+            let line = String::from_utf8_lossy(&data[line_start..]).into_owned();
+            records.push((line_offset, line));
+        }
+    }
+    Ok((records, bytes_read))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::BsfsFs;
+    use blobseer::{BlobSeer, BlobSeerConfig};
+    use bsfs::{Bsfs, BsfsConfig};
+
+    fn fs() -> BsfsFs {
+        let storage = BlobSeer::new(BlobSeerConfig::for_tests().with_page_size(256));
+        BsfsFs::new(Bsfs::new(storage, BsfsConfig::for_tests()))
+    }
+
+    #[test]
+    fn synthetic_splits() {
+        let fs = fs();
+        let splits = compute_splits(
+            &fs,
+            &InputSpec::Synthetic { splits: 4, records_per_split: 100 },
+            1024,
+        )
+        .unwrap();
+        assert_eq!(splits.len(), 4);
+        assert_eq!(splits[2].id, 2);
+        assert_eq!(splits[2].byte_len(), 0);
+        assert!(matches!(splits[3].source, SplitSource::Synthetic { index: 3, records: 100 }));
+    }
+
+    #[test]
+    fn file_splits_cover_the_whole_file() {
+        let fs = fs();
+        let data = vec![b'x'; 1000];
+        fs.write_file("/in/big", &data).unwrap();
+        let splits =
+            compute_splits(&fs, &InputSpec::Files(vec!["/in/big".into()]), 300).unwrap();
+        assert_eq!(splits.len(), 4);
+        let total: u64 = splits.iter().map(InputSplit::byte_len).sum();
+        assert_eq!(total, 1000);
+        assert!(splits.iter().all(|s| !s.preferred_nodes.is_empty()));
+        // Last split is the remainder.
+        assert_eq!(splits[3].byte_len(), 100);
+    }
+
+    #[test]
+    fn directory_inputs_are_expanded_recursively() {
+        let fs = fs();
+        fs.write_file("/in/a.txt", b"aaa\n").unwrap();
+        fs.write_file("/in/sub/b.txt", b"bbb\n").unwrap();
+        fs.write_file("/in/sub/deeper/c.txt", b"ccc\n").unwrap();
+        let splits = compute_splits(&fs, &InputSpec::Files(vec!["/in".into()]), 1024).unwrap();
+        assert_eq!(splits.len(), 3);
+    }
+
+    #[test]
+    fn empty_files_are_skipped_and_all_empty_is_an_error() {
+        let fs = fs();
+        fs.write_file("/in/empty", b"").unwrap();
+        fs.write_file("/in/full", b"data\n").unwrap();
+        let splits = compute_splits(&fs, &InputSpec::Files(vec!["/in".into()]), 64).unwrap();
+        assert_eq!(splits.len(), 1);
+
+        let fs2 = self::fs();
+        fs2.write_file("/only/empty", b"").unwrap();
+        assert!(matches!(
+            compute_splits(&fs2, &InputSpec::Files(vec!["/only".into()]), 64),
+            Err(MrError::InvalidJob(_))
+        ));
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let fs = fs();
+        assert!(matches!(
+            compute_splits(&fs, &InputSpec::Files(vec!["/ghost".into()]), 64),
+            Err(MrError::InputNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn records_split_on_line_boundaries() {
+        let fs = fs();
+        let text = "alpha\nbeta\ngamma\ndelta\nepsilon\n";
+        fs.write_file("/lines", text.as_bytes()).unwrap();
+        let (records, _) = read_records(&fs, "/lines", 0, text.len() as u64).unwrap();
+        let lines: Vec<&str> = records.iter().map(|(_, l)| l.as_str()).collect();
+        assert_eq!(lines, vec!["alpha", "beta", "gamma", "delta", "epsilon"]);
+        // Offsets point at the start of each line.
+        assert_eq!(records[0].0, 0);
+        assert_eq!(records[1].0, 6);
+    }
+
+    #[test]
+    fn split_boundaries_never_lose_or_duplicate_records() {
+        let fs = fs();
+        // Lines of varying lengths, total 1000+ bytes.
+        let mut text = String::new();
+        for i in 0..100 {
+            text.push_str(&format!("record-{i:03}-{}\n", "x".repeat(i % 17)));
+        }
+        fs.write_file("/boundary", text.as_bytes()).unwrap();
+        let size = text.len() as u64;
+
+        // For several split sizes, the union of all splits' records must be
+        // exactly the file's lines, in order, with no duplicates.
+        for split_size in [64u64, 100, 128, 333, 1000, size] {
+            let mut all: Vec<(u64, String)> = Vec::new();
+            let mut offset = 0;
+            while offset < size {
+                let len = split_size.min(size - offset);
+                let (mut records, _) = read_records(&fs, "/boundary", offset, len).unwrap();
+                all.append(&mut records);
+                offset += len;
+            }
+            let expected: Vec<&str> = text.lines().collect();
+            let got: Vec<&str> = all.iter().map(|(_, l)| l.as_str()).collect();
+            assert_eq!(got, expected, "split_size={split_size}");
+        }
+    }
+
+    #[test]
+    fn file_without_trailing_newline_keeps_last_record() {
+        let fs = fs();
+        fs.write_file("/no-newline", b"first\nsecond\nlast-no-nl").unwrap();
+        let (records, _) = read_records(&fs, "/no-newline", 0, 23).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[2].1, "last-no-nl");
+    }
+
+    #[test]
+    fn read_records_beyond_eof_is_empty() {
+        let fs = fs();
+        fs.write_file("/short", b"only\n").unwrap();
+        let (records, bytes) = read_records(&fs, "/short", 100, 50).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(bytes, 0);
+    }
+}

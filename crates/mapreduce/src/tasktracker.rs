@@ -1,0 +1,315 @@
+//! Tasktrackers and the execution of individual map/reduce tasks.
+//!
+//! "The framework consists of a single master jobtracker, and multiple slave
+//! tasktrackers, one per node. A MapReduce job is split into a set of tasks,
+//! which are executed by the tasktrackers, as assigned by the jobtracker"
+//! (paper §II-A). A [`TaskTracker`] here is the per-node executor descriptor
+//! (which node, how many concurrent slots); the actual task bodies —
+//! reading a split, applying the user's map function, partitioning the
+//! intermediate pairs, applying reduce and writing output files — live in the
+//! free functions of this module so the jobtracker's worker threads and the
+//! tests can call them directly.
+
+use crate::error::MrResult;
+use crate::fs::DistFs;
+use crate::job::{format_output_record, Mapper, Reducer};
+use crate::split::{read_records, InputSplit, SplitSource};
+use simcluster::NodeId;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+/// A per-node task executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskTracker {
+    /// The cluster node the tracker runs on.
+    pub node: NodeId,
+    /// Concurrent map tasks the tracker can execute.
+    pub map_slots: usize,
+    /// Concurrent reduce tasks the tracker can execute.
+    pub reduce_slots: usize,
+}
+
+impl TaskTracker {
+    /// A tracker with Hadoop's classic defaults (2 map slots, 1 reduce slot).
+    pub fn new(node: NodeId) -> Self {
+        TaskTracker { node, map_slots: 2, reduce_slots: 1 }
+    }
+
+    /// Override the slot counts.
+    pub fn with_slots(mut self, map_slots: usize, reduce_slots: usize) -> Self {
+        self.map_slots = map_slots.max(1);
+        self.reduce_slots = reduce_slots.max(1);
+        self
+    }
+}
+
+/// The output of one map task.
+#[derive(Debug, Default, Clone)]
+pub struct MapTaskOutput {
+    /// Intermediate pairs, one bucket per reduce partition. Map-only jobs use
+    /// a single bucket.
+    pub partitions: Vec<Vec<(String, String)>>,
+    /// Input records processed.
+    pub records_read: u64,
+    /// Intermediate pairs emitted.
+    pub records_emitted: u64,
+    /// Bytes read from the storage layer.
+    pub bytes_read: u64,
+}
+
+/// Hash-partition an intermediate key across `num_partitions` reducers
+/// (Hadoop's default `HashPartitioner`).
+pub fn partition_for(key: &str, num_partitions: usize) -> usize {
+    if num_partitions <= 1 {
+        return 0;
+    }
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % num_partitions
+}
+
+/// Execute one map task: read the split's records, run the user's map
+/// function on each, and partition the emitted pairs.
+pub fn run_map_task(
+    fs: &dyn DistFs,
+    split: &InputSplit,
+    mapper: &dyn Mapper,
+    num_partitions: usize,
+) -> MrResult<MapTaskOutput> {
+    let buckets = num_partitions.max(1);
+    let mut out = MapTaskOutput {
+        partitions: vec![Vec::new(); buckets],
+        ..Default::default()
+    };
+
+    // Materialise the records for this split.
+    let records: Vec<(u64, String)> = match &split.source {
+        SplitSource::File { path, offset, len } => {
+            let (records, bytes_read) = read_records(fs, path, *offset, *len)?;
+            out.bytes_read = bytes_read;
+            records
+        }
+        SplitSource::Synthetic { records, .. } => {
+            (0..*records).map(|i| (i, String::new())).collect()
+        }
+    };
+
+    for (offset, line) in &records {
+        out.records_read += 1;
+        let partitions = &mut out.partitions;
+        let mut emitted = 0u64;
+        mapper.map(*offset, line, &mut |k, v| {
+            let p = partition_for(&k, buckets);
+            partitions[p].push((k, v));
+            emitted += 1;
+        })?;
+        out.records_emitted += emitted;
+    }
+    Ok(out)
+}
+
+/// Group one reduce partition's pairs by key, preserving the per-key value
+/// arrival order (Hadoop sorts keys; values keep shuffle order).
+pub fn group_by_key(pairs: Vec<(String, String)>) -> BTreeMap<String, Vec<String>> {
+    let mut groups: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (k, v) in pairs {
+        groups.entry(k).or_default().push(v);
+    }
+    groups
+}
+
+/// Execute one reduce task over its grouped input and return the output
+/// records (already formatted ordering: ascending key).
+pub fn run_reduce_task(
+    groups: &BTreeMap<String, Vec<String>>,
+    reducer: &dyn Reducer,
+) -> MrResult<Vec<(String, String)>> {
+    let mut output = Vec::new();
+    for (key, values) in groups {
+        reducer.reduce(key, values, &mut |k, v| output.push((k, v)))?;
+    }
+    Ok(output)
+}
+
+/// Write a task's output records to `path` through the storage layer, in
+/// Hadoop's text output format. Returns the number of bytes written.
+pub fn write_output_file(
+    fs: &dyn DistFs,
+    path: &str,
+    records: &[(String, String)],
+) -> MrResult<u64> {
+    let mut writer = fs.create(path)?;
+    let mut bytes = 0u64;
+    for (k, v) in records {
+        let line = format_output_record(k, v);
+        bytes += line.len() as u64;
+        writer.write(line.as_bytes())?;
+    }
+    writer.close()?;
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::MrError;
+    use crate::fs::BsfsFs;
+    use crate::job::SumReducer;
+    use blobseer::{BlobSeer, BlobSeerConfig};
+    use bsfs::{Bsfs, BsfsConfig};
+
+    fn fs() -> BsfsFs {
+        let storage = BlobSeer::new(BlobSeerConfig::for_tests().with_page_size(256));
+        BsfsFs::new(Bsfs::new(storage, BsfsConfig::for_tests()))
+    }
+
+    struct WordCountMapper;
+    impl Mapper for WordCountMapper {
+        fn map(
+            &self,
+            _offset: u64,
+            line: &str,
+            emit: &mut dyn FnMut(String, String),
+        ) -> MrResult<()> {
+            for word in line.split_whitespace() {
+                emit(word.to_string(), "1".to_string());
+            }
+            Ok(())
+        }
+    }
+
+    struct FailingMapper;
+    impl Mapper for FailingMapper {
+        fn map(
+            &self,
+            _offset: u64,
+            _line: &str,
+            _emit: &mut dyn FnMut(String, String),
+        ) -> MrResult<()> {
+            Err(MrError::Storage("synthetic failure".into()))
+        }
+    }
+
+    #[test]
+    fn tracker_defaults_and_overrides() {
+        let t = TaskTracker::new(NodeId(3));
+        assert_eq!(t.map_slots, 2);
+        assert_eq!(t.reduce_slots, 1);
+        let t = t.with_slots(0, 0);
+        assert_eq!(t.map_slots, 1, "slot counts are clamped to at least one");
+        assert_eq!(t.reduce_slots, 1);
+    }
+
+    #[test]
+    fn partitioner_is_stable_and_in_range() {
+        for key in ["a", "b", "the", "quick", "fox"] {
+            let p = partition_for(key, 4);
+            assert!(p < 4);
+            assert_eq!(p, partition_for(key, 4), "same key must always map to the same partition");
+        }
+        assert_eq!(partition_for("anything", 1), 0);
+        assert_eq!(partition_for("anything", 0), 0);
+    }
+
+    #[test]
+    fn map_task_reads_split_and_partitions_output() {
+        let fs = fs();
+        fs.write_file("/in", b"the quick fox\nthe lazy dog\n").unwrap();
+        let split = InputSplit {
+            id: 0,
+            source: SplitSource::File { path: "/in".into(), offset: 0, len: 27 },
+            preferred_nodes: vec![],
+        };
+        let out = run_map_task(&fs, &split, &WordCountMapper, 3).unwrap();
+        assert_eq!(out.records_read, 2);
+        assert_eq!(out.records_emitted, 6);
+        assert_eq!(out.partitions.len(), 3);
+        let all: Vec<&(String, String)> = out.partitions.iter().flatten().collect();
+        assert_eq!(all.len(), 6);
+        assert!(out.bytes_read >= 27);
+        // Identical keys land in identical partitions.
+        let the_parts: std::collections::HashSet<usize> = out
+            .partitions
+            .iter()
+            .enumerate()
+            .filter(|(_, bucket)| bucket.iter().any(|(k, _)| k == "the"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(the_parts.len(), 1);
+    }
+
+    #[test]
+    fn synthetic_split_generates_empty_records() {
+        let fs = fs();
+        let split = InputSplit {
+            id: 0,
+            source: SplitSource::Synthetic { index: 0, records: 5 },
+            preferred_nodes: vec![],
+        };
+        struct CountingMapper;
+        impl Mapper for CountingMapper {
+            fn map(
+                &self,
+                offset: u64,
+                line: &str,
+                emit: &mut dyn FnMut(String, String),
+            ) -> MrResult<()> {
+                assert!(line.is_empty());
+                emit(format!("record-{offset}"), String::new());
+                Ok(())
+            }
+        }
+        let out = run_map_task(&fs, &split, &CountingMapper, 0).unwrap();
+        assert_eq!(out.records_read, 5);
+        assert_eq!(out.records_emitted, 5);
+        assert_eq!(out.partitions.len(), 1);
+        assert_eq!(out.bytes_read, 0);
+    }
+
+    #[test]
+    fn failing_mapper_propagates_the_error() {
+        let fs = fs();
+        fs.write_file("/in", b"line\n").unwrap();
+        let split = InputSplit {
+            id: 0,
+            source: SplitSource::File { path: "/in".into(), offset: 0, len: 5 },
+            preferred_nodes: vec![],
+        };
+        assert!(run_map_task(&fs, &split, &FailingMapper, 1).is_err());
+    }
+
+    #[test]
+    fn grouping_and_reducing() {
+        let pairs = vec![
+            ("b".to_string(), "1".to_string()),
+            ("a".to_string(), "1".to_string()),
+            ("b".to_string(), "1".to_string()),
+            ("c".to_string(), "2".to_string()),
+        ];
+        let groups = group_by_key(pairs);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups["b"], vec!["1", "1"]);
+        let out = run_reduce_task(&groups, &SumReducer).unwrap();
+        // BTreeMap iteration gives ascending key order.
+        assert_eq!(
+            out,
+            vec![
+                ("a".to_string(), "1".to_string()),
+                ("b".to_string(), "2".to_string()),
+                ("c".to_string(), "2".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn output_file_is_written_in_text_format() {
+        let fs = fs();
+        let records =
+            vec![("alpha".to_string(), "1".to_string()), ("beta".to_string(), String::new())];
+        let bytes = write_output_file(&fs, "/out/part-r-00000", &records).unwrap();
+        let content = fs.read_file("/out/part-r-00000").unwrap();
+        assert_eq!(&content[..], b"alpha\t1\nbeta\n");
+        assert_eq!(bytes, content.len() as u64);
+    }
+}

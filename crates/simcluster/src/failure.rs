@@ -1,0 +1,126 @@
+//! Failure injection schedules.
+//!
+//! BlobSeer tolerates provider failures through page-level replication and
+//! HDFS through chunk replication; the integration tests and some ablation
+//! benches need a way to declare "node X dies at virtual time T" and query
+//! liveness. The schedule is immutable during a run so that experiments stay
+//! deterministic and reproducible.
+
+use crate::time::SimTime;
+use crate::topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A set of node failures planned at fixed virtual times.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FailureSchedule {
+    failures: HashMap<NodeId, SimTime>,
+}
+
+impl FailureSchedule {
+    /// A schedule with no failures.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `node` to fail at `when`. If the node was already scheduled,
+    /// the earlier time wins (a node cannot fail twice).
+    pub fn fail_at(mut self, node: NodeId, when: SimTime) -> Self {
+        self.failures
+            .entry(node)
+            .and_modify(|t| {
+                if when < *t {
+                    *t = when;
+                }
+            })
+            .or_insert(when);
+        self
+    }
+
+    /// Schedule several nodes to fail at the same time.
+    pub fn fail_all_at(mut self, nodes: impl IntoIterator<Item = NodeId>, when: SimTime) -> Self {
+        for n in nodes {
+            self = self.fail_at(n, when);
+        }
+        self
+    }
+
+    /// Is `node` alive at virtual time `t`? A node is alive strictly before
+    /// its failure time.
+    pub fn is_alive(&self, node: NodeId, t: SimTime) -> bool {
+        match self.failures.get(&node) {
+            Some(fail_time) => t < *fail_time,
+            None => true,
+        }
+    }
+
+    /// The failure time of `node`, if any.
+    pub fn failure_time(&self, node: NodeId) -> Option<SimTime> {
+        self.failures.get(&node).copied()
+    }
+
+    /// Nodes that are dead at time `t`.
+    pub fn dead_at(&self, t: SimTime) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .failures
+            .iter()
+            .filter(|(_, when)| **when <= t)
+            .map(|(n, _)| *n)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Number of scheduled failures.
+    pub fn len(&self) -> usize {
+        self.failures.len()
+    }
+
+    /// True when no failures are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_schedule_keeps_everything_alive() {
+        let s = FailureSchedule::none();
+        assert!(s.is_empty());
+        assert!(s.is_alive(NodeId(0), SimTime::from_secs(1_000_000)));
+        assert!(s.dead_at(SimTime::from_secs(10)).is_empty());
+    }
+
+    #[test]
+    fn node_dies_at_its_time() {
+        let s = FailureSchedule::none().fail_at(NodeId(3), SimTime::from_secs(10));
+        assert!(s.is_alive(NodeId(3), SimTime::from_secs(9)));
+        assert!(!s.is_alive(NodeId(3), SimTime::from_secs(10)));
+        assert!(!s.is_alive(NodeId(3), SimTime::from_secs(11)));
+        assert_eq!(s.failure_time(NodeId(3)), Some(SimTime::from_secs(10)));
+        assert_eq!(s.failure_time(NodeId(4)), None);
+    }
+
+    #[test]
+    fn earlier_failure_time_wins() {
+        let s = FailureSchedule::none()
+            .fail_at(NodeId(1), SimTime::from_secs(20))
+            .fail_at(NodeId(1), SimTime::from_secs(5))
+            .fail_at(NodeId(1), SimTime::from_secs(50));
+        assert_eq!(s.failure_time(NodeId(1)), Some(SimTime::from_secs(5)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn group_failure_and_dead_listing() {
+        let s = FailureSchedule::none()
+            .fail_all_at(vec![NodeId(2), NodeId(0)], SimTime::from_secs(7))
+            .fail_at(NodeId(5), SimTime::from_secs(100));
+        let dead = s.dead_at(SimTime::from_secs(8));
+        assert_eq!(dead, vec![NodeId(0), NodeId(2)]);
+        assert_eq!(s.dead_at(SimTime::from_secs(200)).len(), 3);
+    }
+}

@@ -1,0 +1,836 @@
+//! Deterministic flow-level network simulation.
+//!
+//! The paper's evaluation measures the aggregate throughput achieved by 1–250
+//! concurrent clients reading or writing through BSFS and HDFS on a 270-node
+//! deployment. At that scale the interesting dynamics are *not* per-packet:
+//! they are how the storage system's placement decisions spread (or
+//! concentrate) flows over node NICs and rack uplinks. A flow-level model with
+//! max-min fair bandwidth sharing captures exactly that, is deterministic, and
+//! simulates hundreds of gigabytes of traffic in milliseconds of real time.
+//!
+//! ## Model
+//!
+//! * A **flow** moves `bytes` from a source node to a destination node along
+//!   the links given by [`NetworkModel::path`]; it first pays a fixed latency
+//!   (during which it consumes no bandwidth) and then receives a data rate.
+//! * A **step** is a set of flows issued in parallel plus an optional compute
+//!   time; the step completes when all its flows have completed *and* the
+//!   compute time has elapsed. This models a client writing a block to `r`
+//!   replicas in parallel, or a map task reading its split and then spending
+//!   CPU time on it.
+//! * A **client process** executes its steps strictly in order, starting at
+//!   its `start_at` time.
+//! * At every instant the simulator assigns each active flow a rate by
+//!   **progressive filling**: repeatedly find the most congested link, give
+//!   every unfrozen flow crossing it an equal share of the remaining
+//!   capacity, freeze those flows, and continue until all flows are frozen.
+//!   This yields the classic max-min fair allocation.
+//! * The event loop advances virtual time to the next flow completion, step
+//!   completion, or process start, recomputing rates at each event.
+
+use crate::netmodel::{LinkId, NetworkModel};
+use crate::time::{SimDuration, SimTime, MICROS_PER_SEC};
+use crate::topology::{ClusterTopology, NodeId};
+use std::collections::HashMap;
+
+/// A single point-to-point transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flow {
+    /// Node the bytes leave from.
+    pub src: NodeId,
+    /// Node the bytes arrive at.
+    pub dst: NodeId,
+    /// Number of bytes to move.
+    pub bytes: u64,
+    /// When set, the flow also traverses this node's storage device
+    /// ([`LinkId::Disk`]): the destination's disk for a durable write, the
+    /// source's disk for a read of durable data. Disks are usually slower
+    /// than NICs, so a storage server receiving many chunks becomes a
+    /// bottleneck even if its network link has headroom.
+    pub storage_end: Option<NodeId>,
+}
+
+impl Flow {
+    /// A pure network transfer (no storage device on either end).
+    pub fn new(src: NodeId, dst: NodeId, bytes: u64) -> Self {
+        Flow { src, dst, bytes, storage_end: None }
+    }
+
+    /// A durable write: the destination's disk is part of the path.
+    pub fn write_to_storage(src: NodeId, dst: NodeId, bytes: u64) -> Self {
+        Flow { src, dst, bytes, storage_end: Some(dst) }
+    }
+
+    /// A read of durable data: the source's disk is part of the path.
+    pub fn read_from_storage(src: NodeId, dst: NodeId, bytes: u64) -> Self {
+        Flow { src, dst, bytes, storage_end: Some(src) }
+    }
+}
+
+/// One step of a client process: a set of parallel flows and/or a compute
+/// phase. The step finishes when every flow has finished and the compute time
+/// has elapsed (flows and compute overlap, modelling pipelined I/O + CPU).
+#[derive(Debug, Clone, Default)]
+pub struct Step {
+    /// Flows issued in parallel at the start of the step.
+    pub flows: Vec<Flow>,
+    /// CPU/disk time that must elapse before the step can complete.
+    pub compute: SimDuration,
+}
+
+impl Step {
+    /// A step consisting of a single transfer.
+    pub fn transfer(src: NodeId, dst: NodeId, bytes: u64) -> Self {
+        Step { flows: vec![Flow::new(src, dst, bytes)], compute: SimDuration::ZERO }
+    }
+
+    /// A step consisting of several parallel transfers.
+    pub fn parallel(flows: Vec<Flow>) -> Self {
+        Step { flows, compute: SimDuration::ZERO }
+    }
+
+    /// A pure compute step (no network traffic).
+    pub fn compute(duration: SimDuration) -> Self {
+        Step { flows: Vec::new(), compute: duration }
+    }
+
+    /// Attach a compute phase to this step.
+    pub fn with_compute(mut self, duration: SimDuration) -> Self {
+        self.compute = duration;
+        self
+    }
+
+    /// Total bytes moved by this step.
+    pub fn bytes(&self) -> u64 {
+        self.flows.iter().map(|f| f.bytes).sum()
+    }
+}
+
+/// A sequential program of steps executed by one simulated client (or task).
+#[derive(Debug, Clone)]
+pub struct ClientProcess {
+    /// Node the client runs on (informational; flows name their endpoints
+    /// explicitly).
+    pub home: NodeId,
+    /// Virtual time at which the process starts executing its first step.
+    pub start_at: SimTime,
+    /// Ordered steps.
+    pub steps: Vec<Step>,
+    /// Optional label used in reports (e.g. "map-17" or "client-3").
+    pub label: String,
+}
+
+impl ClientProcess {
+    /// A process with no steps, starting at time zero.
+    pub fn new(home: NodeId) -> Self {
+        ClientProcess { home, start_at: SimTime::ZERO, steps: Vec::new(), label: String::new() }
+    }
+
+    /// Set a human-readable label.
+    pub fn labelled(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Delay the start of the process.
+    pub fn starting_at(mut self, t: SimTime) -> Self {
+        self.start_at = t;
+        self
+    }
+
+    /// Append a step.
+    pub fn then(mut self, step: Step) -> Self {
+        self.steps.push(step);
+        self
+    }
+
+    /// Append many steps.
+    pub fn then_all(mut self, steps: impl IntoIterator<Item = Step>) -> Self {
+        self.steps.extend(steps);
+        self
+    }
+
+    /// Total bytes transferred by the whole process.
+    pub fn total_bytes(&self) -> u64 {
+        self.steps.iter().map(Step::bytes).sum()
+    }
+}
+
+/// Completion record for one process.
+#[derive(Debug, Clone)]
+pub struct ProcessOutcome {
+    /// Label copied from the process.
+    pub label: String,
+    /// Node the process ran on.
+    pub home: NodeId,
+    /// When the process started.
+    pub started: SimTime,
+    /// When its last step completed.
+    pub finished: SimTime,
+    /// Total bytes it transferred.
+    pub bytes: u64,
+}
+
+impl ProcessOutcome {
+    /// Wall-clock (virtual) duration of the process.
+    pub fn duration(&self) -> SimDuration {
+        self.finished - self.started
+    }
+
+    /// Average throughput of this process in bytes per second of virtual time.
+    pub fn throughput(&self) -> f64 {
+        let d = self.duration().as_secs_f64();
+        if d <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / d
+        }
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Per-process outcomes, in the order the processes were supplied.
+    pub processes: Vec<ProcessOutcome>,
+}
+
+impl SimReport {
+    /// Virtual time at which the last process finished.
+    pub fn makespan(&self) -> SimDuration {
+        let end = self.processes.iter().map(|p| p.finished).max().unwrap_or(SimTime::ZERO);
+        let start = self.processes.iter().map(|p| p.started).min().unwrap_or(SimTime::ZERO);
+        end - start
+    }
+
+    /// Total bytes moved by all processes.
+    pub fn total_bytes(&self) -> u64 {
+        self.processes.iter().map(|p| p.bytes).sum()
+    }
+
+    /// Aggregate throughput: total bytes divided by the makespan.
+    pub fn aggregate_throughput(&self) -> f64 {
+        let m = self.makespan().as_secs_f64();
+        if m <= 0.0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / m
+        }
+    }
+
+    /// Mean of the per-process throughputs (the metric the paper plots:
+    /// average throughput seen by each individual client).
+    pub fn mean_client_throughput(&self) -> f64 {
+        if self.processes.is_empty() {
+            return 0.0;
+        }
+        self.processes.iter().map(ProcessOutcome::throughput).sum::<f64>()
+            / self.processes.len() as f64
+    }
+}
+
+/// Internal per-flow simulation state.
+#[derive(Debug, Clone)]
+struct ActiveFlow {
+    process: usize,
+    path: Vec<LinkId>,
+    /// Latency still to pay before bytes start moving (µs).
+    latency_left: u64,
+    /// Bytes still to move, scaled by `BYTE_SCALE` for sub-byte precision.
+    remaining: f64,
+    /// Current max-min fair rate in bytes/s (recomputed at every event).
+    rate: f64,
+}
+
+/// Internal per-process simulation state.
+#[derive(Debug)]
+struct ProcState {
+    steps: Vec<Step>,
+    current_step: usize,
+    /// Flows of the current step still in progress (indices into `flows`).
+    outstanding_flows: usize,
+    /// Virtual time at which the current step's compute phase finishes.
+    compute_done_at: SimTime,
+    started: SimTime,
+    finished: Option<SimTime>,
+    bytes: u64,
+    label: String,
+    home: NodeId,
+    /// True once the process's start time has been reached and its first step
+    /// has been issued.
+    launched: bool,
+}
+
+/// The flow-level simulator. Construct one per experiment; `run` consumes a
+/// set of processes and returns their outcomes.
+pub struct FlowSimulator {
+    topo: ClusterTopology,
+    net: NetworkModel,
+}
+
+impl FlowSimulator {
+    /// Create a simulator over the given topology and network parameters.
+    pub fn new(topo: &ClusterTopology, net: NetworkModel) -> Self {
+        FlowSimulator { topo: topo.clone(), net }
+    }
+
+    /// Access the topology (used by harnesses to map logical servers to nodes).
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topo
+    }
+
+    /// Access the network model.
+    pub fn network(&self) -> &NetworkModel {
+        &self.net
+    }
+
+    /// Run the processes to completion and report their outcomes.
+    ///
+    /// The simulation is deterministic: the same inputs always produce the
+    /// same report.
+    pub fn run(&mut self, processes: Vec<ClientProcess>) -> SimReport {
+        let mut procs: Vec<ProcState> = processes
+            .iter()
+            .map(|p| ProcState {
+                steps: p.steps.clone(),
+                current_step: 0,
+                outstanding_flows: 0,
+                compute_done_at: SimTime::ZERO,
+                started: p.start_at,
+                finished: None,
+                bytes: 0,
+                label: p.label.clone(),
+                home: p.home,
+                launched: false,
+            })
+            .collect();
+
+        let mut flows: Vec<ActiveFlow> = Vec::new();
+        let mut now = SimTime::ZERO;
+
+        // Processes with no steps finish instantly at their start time.
+        for p in procs.iter_mut() {
+            if p.steps.is_empty() {
+                p.finished = Some(p.started);
+                p.launched = true;
+            }
+        }
+
+        loop {
+            // Launch processes whose start time has arrived.
+            for (idx, p) in procs.iter_mut().enumerate() {
+                if !p.launched && p.started <= now {
+                    p.launched = true;
+                    Self::issue_step(&self.topo, &self.net, idx, p, now, &mut flows);
+                }
+            }
+
+            // Check whether any step completed (all flows done and compute
+            // elapsed) and issue the next one. Loop because issuing a step
+            // with zero flows and zero compute completes immediately.
+            loop {
+                let mut progressed = false;
+                for idx in 0..procs.len() {
+                    let p = &mut procs[idx];
+                    if p.finished.is_some() || !p.launched {
+                        continue;
+                    }
+                    if p.current_step < p.steps.len()
+                        && p.outstanding_flows == 0
+                        && p.compute_done_at <= now
+                    {
+                        p.current_step += 1;
+                        if p.current_step >= p.steps.len() {
+                            p.finished = Some(now);
+                        } else {
+                            Self::issue_step(&self.topo, &self.net, idx, p, now, &mut flows);
+                        }
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+
+            if procs.iter().all(|p| p.finished.is_some()) {
+                break;
+            }
+
+            // Recompute max-min fair rates for flows past their latency phase.
+            self.assign_rates(&mut flows);
+
+            // Find the next event time.
+            let mut next_delta_us: u64 = u64::MAX;
+
+            // Future process launches.
+            for p in &procs {
+                if !p.launched && p.started > now {
+                    next_delta_us = next_delta_us.min((p.started - now).as_micros().max(1));
+                }
+            }
+            // Compute completions.
+            for p in &procs {
+                if p.finished.is_none() && p.launched && p.compute_done_at > now {
+                    next_delta_us = next_delta_us.min((p.compute_done_at - now).as_micros().max(1));
+                }
+            }
+            // Flow latency expirations and completions.
+            for f in &flows {
+                if f.latency_left > 0 {
+                    next_delta_us = next_delta_us.min(f.latency_left.max(1));
+                } else if f.remaining > 0.0 && f.rate > 0.0 {
+                    let secs = f.remaining / f.rate;
+                    let us = (secs * MICROS_PER_SEC as f64).ceil() as u64;
+                    next_delta_us = next_delta_us.min(us.max(1));
+                }
+            }
+
+            assert!(
+                next_delta_us != u64::MAX,
+                "flow simulator stalled: no runnable event but processes unfinished \
+                 (this indicates a flow with zero rate on a zero-capacity path)"
+            );
+
+            let delta = SimDuration::from_micros(next_delta_us);
+            now += delta;
+
+            // Progress flows by `delta`.
+            let delta_secs = delta.as_secs_f64();
+            let mut completed: Vec<usize> = Vec::new();
+            for (i, f) in flows.iter_mut().enumerate() {
+                if f.latency_left > 0 {
+                    let consumed = f.latency_left.min(next_delta_us);
+                    f.latency_left -= consumed;
+                    // Any time left in the delta after the latency phase is
+                    // ignored; rates are recomputed next iteration, which is a
+                    // conservative (slightly pessimistic) approximation.
+                    continue;
+                }
+                if f.remaining > 0.0 {
+                    f.remaining -= f.rate * delta_secs;
+                    if f.remaining <= 1e-6 {
+                        f.remaining = 0.0;
+                        completed.push(i);
+                    }
+                }
+            }
+
+            // Remove completed flows (highest index first to keep indices valid).
+            for &i in completed.iter().rev() {
+                let f = flows.swap_remove(i);
+                let p = &mut procs[f.process];
+                p.outstanding_flows = p.outstanding_flows.saturating_sub(1);
+            }
+        }
+
+        SimReport {
+            processes: procs
+                .into_iter()
+                .map(|p| ProcessOutcome {
+                    label: p.label,
+                    home: p.home,
+                    started: p.started,
+                    finished: p.finished.expect("all processes finished"),
+                    bytes: p.bytes,
+                })
+                .collect(),
+        }
+    }
+
+    /// Issue the current step of process `idx`: create its flows and set its
+    /// compute deadline.
+    fn issue_step(
+        topo: &ClusterTopology,
+        net: &NetworkModel,
+        idx: usize,
+        p: &mut ProcState,
+        now: SimTime,
+        flows: &mut Vec<ActiveFlow>,
+    ) {
+        let step = &p.steps[p.current_step];
+        p.compute_done_at = now + step.compute;
+        p.outstanding_flows = 0;
+        for flow in &step.flows {
+            p.bytes += flow.bytes;
+            if flow.bytes == 0 {
+                continue;
+            }
+            let mut path = net.path(topo, flow.src, flow.dst);
+            if let Some(storage_node) = flow.storage_end {
+                path.push(crate::netmodel::LinkId::Disk(storage_node.0));
+            }
+            let latency = net.latency(topo.proximity(flow.src, flow.dst));
+            flows.push(ActiveFlow {
+                process: idx,
+                path,
+                latency_left: latency.as_micros(),
+                remaining: flow.bytes as f64,
+                rate: 0.0,
+            });
+            p.outstanding_flows += 1;
+        }
+    }
+
+    /// Progressive-filling max-min fair rate allocation.
+    ///
+    /// Links and flows are mapped to dense indices so that each filling round
+    /// touches plain vectors: per-link remaining capacity and unfrozen-flow
+    /// counts are maintained incrementally as flows freeze, which keeps the
+    /// allocation fast enough to re-run at every event even with hundreds of
+    /// concurrent flows (the 250-client paper-scale sweeps).
+    fn assign_rates(&self, flows: &mut [ActiveFlow]) {
+        // Only flows past their latency phase and with bytes left compete.
+        let active: Vec<usize> = flows
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.latency_left == 0 && f.remaining > 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        for f in flows.iter_mut() {
+            f.rate = 0.0;
+        }
+        if active.is_empty() {
+            return;
+        }
+
+        // Dense link index.
+        let mut link_index: HashMap<LinkId, usize> = HashMap::new();
+        let mut capacity: Vec<f64> = Vec::new();
+        let mut unfrozen_on_link: Vec<usize> = Vec::new();
+        // Per active flow (dense position): its link indices.
+        let mut flow_links: Vec<Vec<usize>> = Vec::with_capacity(active.len());
+        // Per link: dense positions of the active flows crossing it.
+        let mut link_members: Vec<Vec<usize>> = Vec::new();
+
+        for (pos, &flow_idx) in active.iter().enumerate() {
+            let mut links = Vec::with_capacity(flows[flow_idx].path.len());
+            for &l in &flows[flow_idx].path {
+                let li = *link_index.entry(l).or_insert_with(|| {
+                    capacity.push(self.net.capacity(l));
+                    unfrozen_on_link.push(0);
+                    link_members.push(Vec::new());
+                    capacity.len() - 1
+                });
+                capacity[li] = capacity[li].min(self.net.capacity(l));
+                unfrozen_on_link[li] += 1;
+                link_members[li].push(pos);
+                links.push(li);
+            }
+            flow_links.push(links);
+        }
+
+        let num_flows = active.len();
+        let mut frozen = vec![false; num_flows];
+        let mut rates = vec![0.0f64; num_flows];
+        let mut frozen_count = 0usize;
+
+        while frozen_count < num_flows {
+            // Bottleneck link: minimal fair share among links with unfrozen
+            // flows.
+            let mut best_link = usize::MAX;
+            let mut best_share = f64::INFINITY;
+            for li in 0..capacity.len() {
+                if unfrozen_on_link[li] == 0 {
+                    continue;
+                }
+                let share = capacity[li] / unfrozen_on_link[li] as f64;
+                if share < best_share {
+                    best_share = share;
+                    best_link = li;
+                }
+            }
+            if best_link == usize::MAX {
+                break; // defensive: every flow crosses at least one link
+            }
+
+            // Freeze every unfrozen flow on the bottleneck at the fair share,
+            // updating the remaining capacity and counts of all its links.
+            let members = std::mem::take(&mut link_members[best_link]);
+            for &pos in &members {
+                if frozen[pos] {
+                    continue;
+                }
+                frozen[pos] = true;
+                frozen_count += 1;
+                rates[pos] = best_share;
+                for &li in &flow_links[pos] {
+                    capacity[li] = (capacity[li] - best_share).max(0.0);
+                    unfrozen_on_link[li] -= 1;
+                }
+            }
+        }
+
+        for (pos, &flow_idx) in active.iter().enumerate() {
+            flows[flow_idx].rate = rates[pos];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netmodel::NetworkModel;
+    use crate::topology::ClusterTopology;
+
+    fn topo() -> ClusterTopology {
+        ClusterTopology::builder().sites(1).racks_per_site(2).nodes_per_rack(4).build()
+    }
+
+    fn net() -> NetworkModel {
+        // 100 MB/s NICs, no latency, to make arithmetic easy.
+        NetworkModel {
+            nic_bw: 100.0e6,
+            rack_uplink_bw: 1000.0e6,
+            backbone_bw: 1000.0e6,
+            loopback_bw: 10_000.0e6,
+            disk_bw: 60.0e6,
+            local_latency: SimDuration::ZERO,
+            rack_latency: SimDuration::ZERO,
+            site_latency: SimDuration::ZERO,
+            wan_latency: SimDuration::ZERO,
+        }
+    }
+
+    #[test]
+    fn single_flow_takes_bottleneck_time() {
+        let t = topo();
+        let mut sim = FlowSimulator::new(&t, net());
+        // 100 MB over a 100 MB/s NIC: one second.
+        let p = ClientProcess::new(t.node(0)).then(Step::transfer(t.node(0), t.node(1), 100_000_000));
+        let report = sim.run(vec![p]);
+        let d = report.processes[0].duration().as_secs_f64();
+        assert!((d - 1.0).abs() < 0.01, "expected ~1s, got {d}");
+        assert_eq!(report.total_bytes(), 100_000_000);
+    }
+
+    #[test]
+    fn two_flows_sharing_one_destination_halve_throughput() {
+        let t = topo();
+        let mut sim = FlowSimulator::new(&t, net());
+        // Two sources push 100 MB each to the same destination: its downlink
+        // (100 MB/s) is the bottleneck, so the makespan is ~2 s.
+        let p1 = ClientProcess::new(t.node(0)).then(Step::transfer(t.node(0), t.node(2), 100_000_000));
+        let p2 = ClientProcess::new(t.node(1)).then(Step::transfer(t.node(1), t.node(2), 100_000_000));
+        let report = sim.run(vec![p1, p2]);
+        let m = report.makespan().as_secs_f64();
+        assert!((m - 2.0).abs() < 0.05, "expected ~2s, got {m}");
+    }
+
+    #[test]
+    fn two_flows_to_distinct_destinations_run_at_full_rate() {
+        let t = topo();
+        let mut sim = FlowSimulator::new(&t, net());
+        let p1 = ClientProcess::new(t.node(0)).then(Step::transfer(t.node(0), t.node(2), 100_000_000));
+        let p2 = ClientProcess::new(t.node(1)).then(Step::transfer(t.node(1), t.node(3), 100_000_000));
+        let report = sim.run(vec![p1, p2]);
+        let m = report.makespan().as_secs_f64();
+        assert!((m - 1.0).abs() < 0.05, "expected ~1s, got {m}");
+        // Aggregate throughput is ~200 MB/s.
+        assert!(report.aggregate_throughput() > 150.0e6);
+    }
+
+    #[test]
+    fn sequential_steps_accumulate() {
+        let t = topo();
+        let mut sim = FlowSimulator::new(&t, net());
+        let p = ClientProcess::new(t.node(0))
+            .then(Step::transfer(t.node(0), t.node(1), 50_000_000))
+            .then(Step::transfer(t.node(0), t.node(2), 50_000_000));
+        let report = sim.run(vec![p]);
+        let d = report.processes[0].duration().as_secs_f64();
+        assert!((d - 1.0).abs() < 0.02, "expected ~1s total, got {d}");
+        assert_eq!(report.processes[0].bytes, 100_000_000);
+    }
+
+    #[test]
+    fn parallel_replica_writes_bottleneck_on_source_uplink() {
+        let t = topo();
+        let mut sim = FlowSimulator::new(&t, net());
+        // One client pushes the same 100 MB to two replicas in parallel:
+        // 200 MB must leave its single 100 MB/s uplink, so ~2 s.
+        let p = ClientProcess::new(t.node(0)).then(Step::parallel(vec![
+            Flow::new(t.node(0), t.node(1), 100_000_000),
+            Flow::new(t.node(0), t.node(2), 100_000_000),
+        ]));
+        let report = sim.run(vec![p]);
+        let d = report.processes[0].duration().as_secs_f64();
+        assert!((d - 2.0).abs() < 0.05, "expected ~2s, got {d}");
+    }
+
+    #[test]
+    fn compute_steps_take_their_time() {
+        let t = topo();
+        let mut sim = FlowSimulator::new(&t, net());
+        let p = ClientProcess::new(t.node(0))
+            .then(Step::compute(SimDuration::from_secs(3)))
+            .then(Step::transfer(t.node(0), t.node(1), 100_000_000));
+        let report = sim.run(vec![p]);
+        let d = report.processes[0].duration().as_secs_f64();
+        assert!((d - 4.0).abs() < 0.05, "expected ~4s, got {d}");
+    }
+
+    #[test]
+    fn compute_overlaps_flows_within_a_step() {
+        let t = topo();
+        let mut sim = FlowSimulator::new(&t, net());
+        // 1 s of network + 1 s of compute in the same step: they overlap, so
+        // the step takes ~1 s, not 2.
+        let p = ClientProcess::new(t.node(0)).then(
+            Step::transfer(t.node(0), t.node(1), 100_000_000)
+                .with_compute(SimDuration::from_secs(1)),
+        );
+        let report = sim.run(vec![p]);
+        let d = report.processes[0].duration().as_secs_f64();
+        assert!((d - 1.0).abs() < 0.05, "expected ~1s, got {d}");
+    }
+
+    #[test]
+    fn delayed_start_is_respected() {
+        let t = topo();
+        let mut sim = FlowSimulator::new(&t, net());
+        let p = ClientProcess::new(t.node(0))
+            .starting_at(SimTime::from_secs(5))
+            .then(Step::transfer(t.node(0), t.node(1), 100_000_000));
+        let report = sim.run(vec![p]);
+        assert_eq!(report.processes[0].started, SimTime::from_secs(5));
+        let finished = report.processes[0].finished.as_secs_f64();
+        assert!((finished - 6.0).abs() < 0.05, "expected finish ~6s, got {finished}");
+    }
+
+    #[test]
+    fn empty_processes_finish_immediately() {
+        let t = topo();
+        let mut sim = FlowSimulator::new(&t, net());
+        let report = sim.run(vec![ClientProcess::new(t.node(0)).labelled("noop")]);
+        assert_eq!(report.processes[0].finished, SimTime::ZERO);
+        assert_eq!(report.processes[0].label, "noop");
+        assert_eq!(report.aggregate_throughput(), 0.0);
+    }
+
+    #[test]
+    fn zero_byte_transfers_complete() {
+        let t = topo();
+        let mut sim = FlowSimulator::new(&t, net());
+        let p = ClientProcess::new(t.node(0)).then(Step::transfer(t.node(0), t.node(1), 0));
+        let report = sim.run(vec![p]);
+        assert_eq!(report.processes[0].bytes, 0);
+    }
+
+    #[test]
+    fn latency_is_added_to_small_transfers() {
+        let t = topo();
+        let mut latency_net = net();
+        latency_net.rack_latency = SimDuration::from_millis(100);
+        let mut sim = FlowSimulator::new(&t, latency_net);
+        // A tiny transfer is dominated by the 100 ms latency.
+        let p = ClientProcess::new(t.node(0)).then(Step::transfer(t.node(0), t.node(1), 1000));
+        let report = sim.run(vec![p]);
+        let d = report.processes[0].duration().as_secs_f64();
+        assert!(d >= 0.1, "expected at least 100ms, got {d}");
+        assert!(d < 0.2, "expected roughly 100ms, got {d}");
+    }
+
+    #[test]
+    fn mean_client_throughput_matches_single_client() {
+        let t = topo();
+        let mut sim = FlowSimulator::new(&t, net());
+        let p = ClientProcess::new(t.node(0)).then(Step::transfer(t.node(0), t.node(1), 100_000_000));
+        let report = sim.run(vec![p]);
+        let thr = report.mean_client_throughput();
+        assert!((thr - 100.0e6).abs() / 100.0e6 < 0.05, "expected ~100 MB/s, got {thr}");
+    }
+
+    #[test]
+    fn many_clients_hitting_one_server_scale_down() {
+        let t = ClusterTopology::flat(20);
+        let mut sim = FlowSimulator::new(&t, net());
+        // 10 clients all read from node 0: aggregate limited by node 0's
+        // 100 MB/s uplink.
+        let procs: Vec<ClientProcess> = (1..=10)
+            .map(|i| {
+                ClientProcess::new(t.node(i))
+                    .then(Step::transfer(t.node(0), t.node(i), 10_000_000))
+            })
+            .collect();
+        let report = sim.run(procs);
+        let agg = report.aggregate_throughput();
+        assert!(agg <= 105.0e6, "aggregate {agg} should not exceed the server uplink");
+        assert!(agg >= 80.0e6, "aggregate {agg} should approach the server uplink");
+    }
+}
+
+#[cfg(test)]
+mod disk_tests {
+    use super::*;
+    use crate::netmodel::NetworkModel;
+    use crate::topology::ClusterTopology;
+
+    fn net_with_slow_disk() -> NetworkModel {
+        NetworkModel {
+            nic_bw: 100.0e6,
+            rack_uplink_bw: 1000.0e6,
+            backbone_bw: 1000.0e6,
+            loopback_bw: 10_000.0e6,
+            disk_bw: 50.0e6,
+            local_latency: SimDuration::ZERO,
+            rack_latency: SimDuration::ZERO,
+            site_latency: SimDuration::ZERO,
+            wan_latency: SimDuration::ZERO,
+        }
+    }
+
+    #[test]
+    fn durable_write_is_limited_by_the_destination_disk() {
+        let t = ClusterTopology::flat(4);
+        let mut sim = FlowSimulator::new(&t, net_with_slow_disk());
+        // 100 MB to storage: the 50 MB/s disk (not the 100 MB/s NIC) bounds it.
+        let p = ClientProcess::new(t.node(0))
+            .then(Step::parallel(vec![Flow::write_to_storage(t.node(0), t.node(1), 100_000_000)]));
+        let report = sim.run(vec![p]);
+        let d = report.processes[0].duration().as_secs_f64();
+        assert!((d - 2.0).abs() < 0.05, "expected ~2s (disk-bound), got {d}");
+    }
+
+    #[test]
+    fn local_durable_write_still_pays_the_disk() {
+        let t = ClusterTopology::flat(2);
+        let mut sim = FlowSimulator::new(&t, net_with_slow_disk());
+        // Writing locally avoids the network but not the disk.
+        let p = ClientProcess::new(t.node(0))
+            .then(Step::parallel(vec![Flow::write_to_storage(t.node(0), t.node(0), 100_000_000)]));
+        let report = sim.run(vec![p]);
+        let d = report.processes[0].duration().as_secs_f64();
+        assert!((d - 2.0).abs() < 0.05, "expected ~2s (disk-bound), got {d}");
+    }
+
+    #[test]
+    fn striped_writes_over_many_disks_are_nic_bound() {
+        let t = ClusterTopology::flat(8);
+        let mut sim = FlowSimulator::new(&t, net_with_slow_disk());
+        // 100 MB striped over 4 storage nodes: each disk gets 25 MB, so the
+        // client's 100 MB/s NIC is the bottleneck (~1 s), not any disk.
+        let flows = (1..=4)
+            .map(|i| Flow::write_to_storage(t.node(0), t.node(i), 25_000_000))
+            .collect();
+        let p = ClientProcess::new(t.node(0)).then(Step::parallel(flows));
+        let report = sim.run(vec![p]);
+        let d = report.processes[0].duration().as_secs_f64();
+        assert!((d - 1.0).abs() < 0.05, "expected ~1s (NIC-bound), got {d}");
+    }
+
+    #[test]
+    fn two_readers_of_one_storage_node_share_its_disk() {
+        let t = ClusterTopology::flat(4);
+        let mut sim = FlowSimulator::new(&t, net_with_slow_disk());
+        let mk = |reader: u32| {
+            ClientProcess::new(t.node(reader)).then(Step::parallel(vec![
+                Flow::read_from_storage(t.node(0), t.node(reader), 50_000_000),
+            ]))
+        };
+        let report = sim.run(vec![mk(1), mk(2)]);
+        // 100 MB total from one 50 MB/s disk: ~2 s makespan.
+        let m = report.makespan().as_secs_f64();
+        assert!((m - 2.0).abs() < 0.1, "expected ~2s, got {m}");
+    }
+}

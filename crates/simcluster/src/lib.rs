@@ -1,0 +1,63 @@
+//! # simcluster — a Grid'5000 stand-in
+//!
+//! The paper evaluates BSFS and HDFS on the Grid'5000 experimental testbed:
+//! 270 physical nodes spread over racks and sites, with up to 250 concurrent
+//! clients each moving about 1 GB of data. We obviously cannot requisition a
+//! grid from a test suite, so this crate provides the pieces needed to run the
+//! *same experiments* at the *same scale* on a single machine:
+//!
+//! * [`topology`] — a declarative description of nodes, racks and sites with a
+//!   convenience builder for Grid'5000-like deployments,
+//! * [`time`] — a virtual clock ([`time::SimTime`], [`time::SimDuration`])
+//!   with microsecond resolution,
+//! * [`netmodel`] — per-link bandwidth/latency parameters and path
+//!   computation between any two nodes,
+//! * [`flowsim`] — a deterministic flow-level network simulator using
+//!   progressive-filling max-min fair bandwidth sharing; client processes are
+//!   sequences of transfers and compute phases, and the simulator reports
+//!   per-process completion times and aggregate throughput,
+//! * [`failure`] — failure schedules for killing nodes at chosen virtual
+//!   times,
+//! * [`metrics`] — small helpers to aggregate throughput series.
+//!
+//! The storage systems themselves (`blobseer`, `hdfs-sim`, `bsfs`) are real
+//! implementations that move real bytes; this crate is only consulted when an
+//! experiment wants *paper-scale* numbers: the experiment harness asks the
+//! storage system where each block would be placed (using its real placement
+//! logic) and feeds the resulting transfers into [`flowsim::FlowSimulator`].
+//!
+//! ## Quick example
+//!
+//! ```
+//! use simcluster::topology::ClusterTopology;
+//! use simcluster::netmodel::NetworkModel;
+//! use simcluster::flowsim::{ClientProcess, FlowSimulator, Step};
+//!
+//! // 2 sites x 2 racks x 4 nodes = 16 nodes.
+//! let topo = ClusterTopology::builder()
+//!     .sites(2)
+//!     .racks_per_site(2)
+//!     .nodes_per_rack(4)
+//!     .build();
+//! let net = NetworkModel::grid5000_like();
+//! let mut sim = FlowSimulator::new(&topo, net);
+//!
+//! // One client on node 0 pushes 64 MiB to node 5.
+//! let p = ClientProcess::new(topo.node(0))
+//!     .then(Step::transfer(topo.node(0), topo.node(5), 64 << 20));
+//! let report = sim.run(vec![p]);
+//! assert!(report.makespan().as_secs_f64() > 0.0);
+//! ```
+
+pub mod failure;
+pub mod flowsim;
+pub mod metrics;
+pub mod netmodel;
+pub mod time;
+pub mod topology;
+
+pub use failure::FailureSchedule;
+pub use flowsim::{ClientProcess, FlowSimulator, SimReport, Step};
+pub use netmodel::NetworkModel;
+pub use time::{SimDuration, SimTime};
+pub use topology::{ClusterTopology, NodeId, RackId, SiteId};

@@ -1,0 +1,293 @@
+//! Network cost model: links, capacities, latencies and path computation.
+//!
+//! The model is deliberately simple but captures the effects that matter for
+//! the paper's experiments:
+//!
+//! * every node has a NIC with separate uplink (egress) and downlink (ingress)
+//!   capacity — a storage node serving many concurrent readers saturates its
+//!   *uplink*, which is exactly the bottleneck the BlobSeer load-balancing
+//!   placement avoids and the HDFS local-first placement runs into;
+//! * every rack has a top-of-rack switch whose uplink to the site aggregation
+//!   layer is shared by all nodes in the rack (over-subscription);
+//! * sites are connected by a backbone link pair (in/out), much slower per
+//!   byte than the local network — crossing sites is expensive, as on
+//!   Grid'5000.
+//!
+//! A transfer between two nodes uses the sequence of [`LinkId`]s returned by
+//! [`NetworkModel::path`]; the flow simulator then shares each link's capacity
+//! between all flows traversing it (max-min fairness, progressive filling).
+
+use crate::topology::{ClusterTopology, NodeId, Proximity};
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifies a directed link in the modelled network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LinkId {
+    /// Egress NIC of a node (node -> top-of-rack switch).
+    NodeUp(u32),
+    /// Ingress NIC of a node (top-of-rack switch -> node).
+    NodeDown(u32),
+    /// Rack uplink (top-of-rack switch -> site aggregation).
+    RackUp(u32),
+    /// Rack downlink (site aggregation -> top-of-rack switch).
+    RackDown(u32),
+    /// Site egress to the backbone.
+    SiteUp(u32),
+    /// Site ingress from the backbone.
+    SiteDown(u32),
+    /// The loopback / memory path inside a single node. Modelled with a very
+    /// high capacity so that local transfers are effectively free compared to
+    /// network transfers, but still take non-zero time.
+    Loopback(u32),
+    /// The storage device of a node. Flows that persist data on (or read
+    /// durable data from) a storage server traverse this link in addition to
+    /// the network path, so a node's disk becomes a shared bottleneck when
+    /// many chunks land on it — the effect behind HDFS's local-first write
+    /// penalty in the paper's §IV-B comparison.
+    Disk(u32),
+}
+
+/// Bandwidth/latency parameters of the modelled hardware.
+///
+/// All bandwidths are bytes per second; latency is the fixed per-transfer
+/// setup cost along the path (one latency per proximity class, not per hop,
+/// which is enough for the coarse-grained transfers of MapReduce workloads).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Node NIC bandwidth (each direction), bytes/s.
+    pub nic_bw: f64,
+    /// Rack uplink/downlink bandwidth, bytes/s.
+    pub rack_uplink_bw: f64,
+    /// Site backbone bandwidth (each direction), bytes/s.
+    pub backbone_bw: f64,
+    /// Intra-node (loopback/memory) bandwidth, bytes/s.
+    pub loopback_bw: f64,
+    /// Disk bandwidth of a storage node, bytes/s. Applied as an additional
+    /// per-endpoint cost term by higher layers when persistence is enabled.
+    pub disk_bw: f64,
+    /// Latency for a transfer that stays within one node.
+    pub local_latency: SimDuration,
+    /// Latency for a transfer within one rack.
+    pub rack_latency: SimDuration,
+    /// Latency for a transfer within one site.
+    pub site_latency: SimDuration,
+    /// Latency for a transfer crossing sites.
+    pub wan_latency: SimDuration,
+}
+
+impl NetworkModel {
+    /// Parameters resembling the Grid'5000 clusters used in the paper's era:
+    /// GbE NICs (~117 MiB/s usable) behind effectively non-blocking cluster
+    /// switching (the large per-site switches of the time), a 10 Gb/s
+    /// inter-site interconnect, fast local memory path and ~60 MB/s commodity
+    /// disks.
+    pub fn grid5000_like() -> Self {
+        NetworkModel {
+            nic_bw: 117.0 * 1024.0 * 1024.0,
+            rack_uplink_bw: 2400.0 * 1024.0 * 1024.0,
+            backbone_bw: 1170.0 * 1024.0 * 1024.0,
+            loopback_bw: 4.0 * 1024.0 * 1024.0 * 1024.0,
+            disk_bw: 60.0 * 1024.0 * 1024.0,
+            local_latency: SimDuration::from_micros(20),
+            rack_latency: SimDuration::from_micros(120),
+            site_latency: SimDuration::from_micros(300),
+            wan_latency: SimDuration::from_millis(10),
+        }
+    }
+
+    /// A uniform model where every path has the same bandwidth and latency.
+    /// Useful in unit tests where topology effects would be noise.
+    pub fn uniform(bw: f64, latency: SimDuration) -> Self {
+        NetworkModel {
+            nic_bw: bw,
+            rack_uplink_bw: bw * 1e3,
+            backbone_bw: bw * 1e3,
+            loopback_bw: bw,
+            disk_bw: bw,
+            local_latency: latency,
+            rack_latency: latency,
+            site_latency: latency,
+            wan_latency: latency,
+        }
+    }
+
+    /// Capacity of a link in bytes/s.
+    pub fn capacity(&self, link: LinkId) -> f64 {
+        match link {
+            LinkId::NodeUp(_) | LinkId::NodeDown(_) => self.nic_bw,
+            LinkId::RackUp(_) | LinkId::RackDown(_) => self.rack_uplink_bw,
+            LinkId::SiteUp(_) | LinkId::SiteDown(_) => self.backbone_bw,
+            LinkId::Loopback(_) => self.loopback_bw,
+            LinkId::Disk(_) => self.disk_bw,
+        }
+    }
+
+    /// Fixed latency for a transfer between two nodes of the given proximity.
+    pub fn latency(&self, prox: Proximity) -> SimDuration {
+        match prox {
+            Proximity::SameNode => self.local_latency,
+            Proximity::SameRack => self.rack_latency,
+            Proximity::SameSite => self.site_latency,
+            Proximity::Remote => self.wan_latency,
+        }
+    }
+
+    /// The ordered list of links a transfer from `src` to `dst` traverses.
+    pub fn path(&self, topo: &ClusterTopology, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+        match topo.proximity(src, dst) {
+            Proximity::SameNode => vec![LinkId::Loopback(src.0)],
+            Proximity::SameRack => vec![LinkId::NodeUp(src.0), LinkId::NodeDown(dst.0)],
+            Proximity::SameSite => vec![
+                LinkId::NodeUp(src.0),
+                LinkId::RackUp(topo.rack_of(src).0),
+                LinkId::RackDown(topo.rack_of(dst).0),
+                LinkId::NodeDown(dst.0),
+            ],
+            Proximity::Remote => vec![
+                LinkId::NodeUp(src.0),
+                LinkId::RackUp(topo.rack_of(src).0),
+                LinkId::SiteUp(topo.site_of(src).0),
+                LinkId::SiteDown(topo.site_of(dst).0),
+                LinkId::RackDown(topo.rack_of(dst).0),
+                LinkId::NodeDown(dst.0),
+            ],
+        }
+    }
+
+    /// Lower bound on the time to move `bytes` between two nodes with *no*
+    /// competing traffic: path bottleneck bandwidth plus the proximity
+    /// latency. The flow simulator produces larger values under contention.
+    pub fn isolated_transfer_time(
+        &self,
+        topo: &ClusterTopology,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) -> SimDuration {
+        let bottleneck = self
+            .path(topo, src, dst)
+            .into_iter()
+            .map(|l| self.capacity(l))
+            .fold(f64::INFINITY, f64::min);
+        self.latency(topo.proximity(src, dst)) + crate::time::transfer_time(bytes, bottleneck)
+    }
+}
+
+/// A mutable view of per-link utilisation, used by schedulers that want to
+/// estimate load (for example when choosing the least-loaded provider).
+#[derive(Debug, Default, Clone)]
+pub struct LinkLoadTracker {
+    active_flows: HashMap<LinkId, usize>,
+}
+
+impl LinkLoadTracker {
+    /// Create an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that a flow now traverses each link of `path`.
+    pub fn add_path(&mut self, path: &[LinkId]) {
+        for l in path {
+            *self.active_flows.entry(*l).or_insert(0) += 1;
+        }
+    }
+
+    /// Record that a flow finished on each link of `path`.
+    pub fn remove_path(&mut self, path: &[LinkId]) {
+        for l in path {
+            if let Some(c) = self.active_flows.get_mut(l) {
+                *c = c.saturating_sub(1);
+                if *c == 0 {
+                    self.active_flows.remove(l);
+                }
+            }
+        }
+    }
+
+    /// Number of flows currently traversing `link`.
+    pub fn flows_on(&self, link: LinkId) -> usize {
+        self.active_flows.get(&link).copied().unwrap_or(0)
+    }
+
+    /// The maximum flow count along a path — a cheap congestion estimate.
+    pub fn max_flows_on_path(&self, path: &[LinkId]) -> usize {
+        path.iter().map(|l| self.flows_on(*l)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::ClusterTopology;
+
+    fn two_site_topo() -> ClusterTopology {
+        ClusterTopology::builder().sites(2).racks_per_site(2).nodes_per_rack(2).build()
+    }
+
+    #[test]
+    fn path_lengths_grow_with_distance() {
+        let t = two_site_topo();
+        let m = NetworkModel::grid5000_like();
+        assert_eq!(m.path(&t, t.node(0), t.node(0)).len(), 1);
+        assert_eq!(m.path(&t, t.node(0), t.node(1)).len(), 2);
+        assert_eq!(m.path(&t, t.node(0), t.node(2)).len(), 4);
+        assert_eq!(m.path(&t, t.node(0), t.node(4)).len(), 6);
+    }
+
+    #[test]
+    fn isolated_transfer_time_ordering() {
+        let t = two_site_topo();
+        let m = NetworkModel::grid5000_like();
+        let bytes = 64 << 20;
+        let local = m.isolated_transfer_time(&t, t.node(0), t.node(0), bytes);
+        let rack = m.isolated_transfer_time(&t, t.node(0), t.node(1), bytes);
+        let site = m.isolated_transfer_time(&t, t.node(0), t.node(2), bytes);
+        let wan = m.isolated_transfer_time(&t, t.node(0), t.node(4), bytes);
+        assert!(local < rack, "local {local} should beat same-rack {rack}");
+        assert!(rack <= site);
+        assert!(site < wan, "same-site {site} should beat cross-site {wan}");
+    }
+
+    #[test]
+    fn capacity_lookup_matches_parameters() {
+        let m = NetworkModel::grid5000_like();
+        assert_eq!(m.capacity(LinkId::NodeUp(3)), m.nic_bw);
+        assert_eq!(m.capacity(LinkId::RackDown(1)), m.rack_uplink_bw);
+        assert_eq!(m.capacity(LinkId::SiteUp(0)), m.backbone_bw);
+        assert_eq!(m.capacity(LinkId::Loopback(9)), m.loopback_bw);
+    }
+
+    #[test]
+    fn uniform_model_is_flat() {
+        let t = two_site_topo();
+        let m = NetworkModel::uniform(1e8, SimDuration::ZERO);
+        let a = m.isolated_transfer_time(&t, t.node(0), t.node(1), 1 << 20);
+        let b = m.isolated_transfer_time(&t, t.node(0), t.node(4), 1 << 20);
+        // Bottleneck is the NIC in both cases; latency identical.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn load_tracker_counts_flows() {
+        let t = two_site_topo();
+        let m = NetworkModel::grid5000_like();
+        let p1 = m.path(&t, t.node(0), t.node(2));
+        let p2 = m.path(&t, t.node(1), t.node(2));
+        let mut tracker = LinkLoadTracker::new();
+        tracker.add_path(&p1);
+        tracker.add_path(&p2);
+        // Both flows end at node 2, so its downlink carries 2 flows.
+        assert_eq!(tracker.flows_on(LinkId::NodeDown(2)), 2);
+        assert_eq!(tracker.max_flows_on_path(&p1), 2);
+        tracker.remove_path(&p1);
+        assert_eq!(tracker.flows_on(LinkId::NodeDown(2)), 1);
+        tracker.remove_path(&p2);
+        assert_eq!(tracker.flows_on(LinkId::NodeDown(2)), 0);
+        // Removing again is harmless.
+        tracker.remove_path(&p2);
+        assert_eq!(tracker.max_flows_on_path(&p2), 0);
+    }
+}

@@ -1,0 +1,349 @@
+//! Cluster topology: sites, racks, nodes.
+//!
+//! Grid'5000 (the paper's testbed) is organised as geographically distributed
+//! *sites*, each containing one or more *racks* of commodity *nodes*. The
+//! relative position of two nodes (same node / same rack / same site /
+//! different sites) determines the network path between them, which is what
+//! the HDFS replica-placement policy and the network cost model care about.
+//!
+//! A [`ClusterTopology`] is immutable once built; experiments that need to
+//! kill nodes track liveness separately (see [`crate::failure`]).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a node within a [`ClusterTopology`]. Indices are dense: nodes
+/// are numbered `0..topology.num_nodes()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifies a rack within a [`ClusterTopology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RackId(pub u32);
+
+/// Identifies a site (a Grid'5000 site, i.e. a datacenter-like location).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SiteId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+impl fmt::Display for RackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rack-{}", self.0)
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site-{}", self.0)
+    }
+}
+
+/// How two nodes relate to each other in the topology. Ordered from closest
+/// to farthest; the ordering is used by locality-aware schedulers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Proximity {
+    /// The two node ids are the same physical node.
+    SameNode,
+    /// Different nodes in the same rack.
+    SameRack,
+    /// Different racks in the same site.
+    SameSite,
+    /// Different sites.
+    Remote,
+}
+
+/// Static description of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeInfo {
+    /// Dense id of the node.
+    pub id: NodeId,
+    /// Rack containing the node.
+    pub rack: RackId,
+    /// Site containing the rack.
+    pub site: SiteId,
+}
+
+/// Immutable description of a cluster: which nodes exist and how they are
+/// grouped into racks and sites.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterTopology {
+    nodes: Vec<NodeInfo>,
+    racks: Vec<Vec<NodeId>>,
+    sites: Vec<Vec<RackId>>,
+}
+
+impl ClusterTopology {
+    /// Start building a topology.
+    pub fn builder() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    /// A single-site, single-rack cluster of `n` nodes. Convenient for unit
+    /// tests and laptop-scale runs where rack effects are irrelevant.
+    pub fn flat(n: u32) -> Self {
+        Self::builder().sites(1).racks_per_site(1).nodes_per_rack(n).build()
+    }
+
+    /// A topology shaped like the paper's Grid'5000 deployment: 270 nodes
+    /// spread over 9 sites (the number of Grid'5000 sites at the time), each
+    /// site holding 2 racks of 15 nodes.
+    pub fn grid5000_270() -> Self {
+        Self::builder().sites(9).racks_per_site(2).nodes_per_rack(15).build()
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of racks in the cluster.
+    pub fn num_racks(&self) -> usize {
+        self.racks.len()
+    }
+
+    /// Number of sites in the cluster.
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The `idx`-th node id (panics if out of range).
+    pub fn node(&self, idx: u32) -> NodeId {
+        assert!((idx as usize) < self.nodes.len(), "node index {idx} out of range");
+        NodeId(idx)
+    }
+
+    /// All node ids, in dense order.
+    pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Static info for a node.
+    pub fn info(&self, node: NodeId) -> &NodeInfo {
+        &self.nodes[node.0 as usize]
+    }
+
+    /// Rack of a node.
+    pub fn rack_of(&self, node: NodeId) -> RackId {
+        self.info(node).rack
+    }
+
+    /// Site of a node.
+    pub fn site_of(&self, node: NodeId) -> SiteId {
+        self.info(node).site
+    }
+
+    /// Nodes in a rack, in dense order.
+    pub fn nodes_in_rack(&self, rack: RackId) -> &[NodeId] {
+        &self.racks[rack.0 as usize]
+    }
+
+    /// Racks in a site, in dense order.
+    pub fn racks_in_site(&self, site: SiteId) -> &[RackId] {
+        &self.sites[site.0 as usize]
+    }
+
+    /// Proximity class of two nodes.
+    pub fn proximity(&self, a: NodeId, b: NodeId) -> Proximity {
+        if a == b {
+            Proximity::SameNode
+        } else if self.rack_of(a) == self.rack_of(b) {
+            Proximity::SameRack
+        } else if self.site_of(a) == self.site_of(b) {
+            Proximity::SameSite
+        } else {
+            Proximity::Remote
+        }
+    }
+
+    /// Nodes that are *not* in the given rack. Used by rack-aware replica
+    /// placement ("third copy on a different rack").
+    pub fn nodes_outside_rack(&self, rack: RackId) -> Vec<NodeId> {
+        self.all_nodes().filter(|n| self.rack_of(*n) != rack).collect()
+    }
+
+    /// Nodes in the same rack as `node`, excluding `node` itself.
+    pub fn rack_peers(&self, node: NodeId) -> Vec<NodeId> {
+        self.nodes_in_rack(self.rack_of(node))
+            .iter()
+            .copied()
+            .filter(|n| *n != node)
+            .collect()
+    }
+}
+
+/// Builder for regular topologies (same number of racks per site and nodes per
+/// rack). Irregular clusters can be described with [`TopologyBuilder::add_site`].
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    sites: u32,
+    racks_per_site: u32,
+    nodes_per_rack: u32,
+    explicit_sites: Vec<Vec<u32>>, // nodes per rack, per site
+}
+
+impl TopologyBuilder {
+    /// Number of sites for the regular layout.
+    pub fn sites(mut self, n: u32) -> Self {
+        self.sites = n;
+        self
+    }
+
+    /// Number of racks per site for the regular layout.
+    pub fn racks_per_site(mut self, n: u32) -> Self {
+        self.racks_per_site = n;
+        self
+    }
+
+    /// Number of nodes per rack for the regular layout.
+    pub fn nodes_per_rack(mut self, n: u32) -> Self {
+        self.nodes_per_rack = n;
+        self
+    }
+
+    /// Add an explicitly described site: one entry per rack giving its node
+    /// count. Using this switches the builder to irregular mode and the
+    /// regular-layout parameters are ignored.
+    pub fn add_site(mut self, racks: Vec<u32>) -> Self {
+        self.explicit_sites.push(racks);
+        self
+    }
+
+    /// Materialise the topology.
+    ///
+    /// Panics if the description is empty (a cluster needs at least one node).
+    pub fn build(self) -> ClusterTopology {
+        let site_descriptions: Vec<Vec<u32>> = if !self.explicit_sites.is_empty() {
+            self.explicit_sites
+        } else {
+            (0..self.sites)
+                .map(|_| vec![self.nodes_per_rack; self.racks_per_site as usize])
+                .collect()
+        };
+
+        let mut nodes = Vec::new();
+        let mut racks: Vec<Vec<NodeId>> = Vec::new();
+        let mut sites: Vec<Vec<RackId>> = Vec::new();
+
+        for rack_counts in site_descriptions {
+            let site_id = SiteId(sites.len() as u32);
+            let mut site_racks = Vec::new();
+            for count in rack_counts {
+                let rack_id = RackId(racks.len() as u32);
+                let mut rack_nodes = Vec::new();
+                for _ in 0..count {
+                    let node_id = NodeId(nodes.len() as u32);
+                    nodes.push(NodeInfo { id: node_id, rack: rack_id, site: site_id });
+                    rack_nodes.push(node_id);
+                }
+                racks.push(rack_nodes);
+                site_racks.push(rack_id);
+            }
+            sites.push(site_racks);
+        }
+
+        assert!(!nodes.is_empty(), "a cluster topology must contain at least one node");
+        ClusterTopology { nodes, racks, sites }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_topology_has_expected_counts() {
+        let t = ClusterTopology::builder().sites(3).racks_per_site(2).nodes_per_rack(5).build();
+        assert_eq!(t.num_sites(), 3);
+        assert_eq!(t.num_racks(), 6);
+        assert_eq!(t.num_nodes(), 30);
+    }
+
+    #[test]
+    fn grid5000_preset_matches_paper_scale() {
+        let t = ClusterTopology::grid5000_270();
+        assert_eq!(t.num_nodes(), 270);
+        assert_eq!(t.num_sites(), 9);
+    }
+
+    #[test]
+    fn flat_topology() {
+        let t = ClusterTopology::flat(7);
+        assert_eq!(t.num_nodes(), 7);
+        assert_eq!(t.num_racks(), 1);
+        assert_eq!(t.num_sites(), 1);
+        let a = t.node(0);
+        let b = t.node(6);
+        assert_eq!(t.proximity(a, b), Proximity::SameRack);
+    }
+
+    #[test]
+    fn proximity_classes() {
+        // 2 sites, 2 racks each, 2 nodes each: nodes 0..8.
+        let t = ClusterTopology::builder().sites(2).racks_per_site(2).nodes_per_rack(2).build();
+        let n0 = t.node(0);
+        let n1 = t.node(1); // same rack as 0
+        let n2 = t.node(2); // same site, other rack
+        let n4 = t.node(4); // other site
+        assert_eq!(t.proximity(n0, n0), Proximity::SameNode);
+        assert_eq!(t.proximity(n0, n1), Proximity::SameRack);
+        assert_eq!(t.proximity(n0, n2), Proximity::SameSite);
+        assert_eq!(t.proximity(n0, n4), Proximity::Remote);
+        // Proximity is symmetric.
+        assert_eq!(t.proximity(n4, n0), Proximity::Remote);
+        // And ordered closest-first.
+        assert!(Proximity::SameNode < Proximity::SameRack);
+        assert!(Proximity::SameRack < Proximity::SameSite);
+        assert!(Proximity::SameSite < Proximity::Remote);
+    }
+
+    #[test]
+    fn rack_membership_queries() {
+        let t = ClusterTopology::builder().sites(1).racks_per_site(2).nodes_per_rack(3).build();
+        let n0 = t.node(0);
+        let rack = t.rack_of(n0);
+        assert_eq!(t.nodes_in_rack(rack).len(), 3);
+        assert_eq!(t.rack_peers(n0).len(), 2);
+        assert!(!t.rack_peers(n0).contains(&n0));
+        let outside = t.nodes_outside_rack(rack);
+        assert_eq!(outside.len(), 3);
+        assert!(outside.iter().all(|n| t.rack_of(*n) != rack));
+    }
+
+    #[test]
+    fn irregular_topology() {
+        let t = ClusterTopology::builder()
+            .add_site(vec![2, 3])
+            .add_site(vec![1])
+            .build();
+        assert_eq!(t.num_sites(), 2);
+        assert_eq!(t.num_racks(), 3);
+        assert_eq!(t.num_nodes(), 6);
+        assert_eq!(t.racks_in_site(SiteId(0)).len(), 2);
+        assert_eq!(t.racks_in_site(SiteId(1)).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_topology_panics() {
+        let _ = ClusterTopology::builder().build();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_index_out_of_range_panics() {
+        let t = ClusterTopology::flat(2);
+        let _ = t.node(5);
+    }
+
+    #[test]
+    fn all_nodes_is_dense_and_ordered() {
+        let t = ClusterTopology::flat(4);
+        let ids: Vec<u32> = t.all_nodes().map(|n| n.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+}

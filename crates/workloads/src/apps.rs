@@ -1,0 +1,315 @@
+//! The MapReduce applications of the paper's evaluation (§IV-C), plus word
+//! count as a third, commonly expected example.
+//!
+//! * **Random Text Writer** — a map-only job that "generates a huge sequence
+//!   of random sentences formed from a list of predefined words"; its access
+//!   pattern is "concurrent massively parallel writes to different files".
+//! * **Distributed Grep** — "scans huge input data to find occurrences of
+//!   particular expressions"; its access pattern is "concurrent reads from
+//!   the same huge file".
+//! * **Word Count** — the canonical MapReduce example, used by the extra
+//!   integration tests and the quickstart example.
+//!
+//! Each application is provided both as mapper/reducer types and as a
+//! convenience `*_job` constructor returning a ready-to-run
+//! [`mapreduce::Job`].
+
+use crate::textgen::TextGenerator;
+use mapreduce::job::{InputSpec, Job, JobConfig, Mapper, Reducer, SumReducer};
+use mapreduce::MrResult;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Random Text Writer
+// ---------------------------------------------------------------------------
+
+/// Mapper of the Random Text Writer job: every synthetic input record becomes
+/// one randomly generated sentence. Each map task seeds its generator from
+/// the record offset so output is deterministic yet different per record.
+pub struct RandomTextMapper {
+    /// Base seed mixed into every record's generator.
+    pub seed: u64,
+    /// Approximate bytes of text to emit per record.
+    pub bytes_per_record: usize,
+}
+
+impl Mapper for RandomTextMapper {
+    fn map(
+        &self,
+        offset: u64,
+        _line: &str,
+        emit: &mut dyn FnMut(String, String),
+    ) -> MrResult<()> {
+        let mut generator = TextGenerator::new(self.seed ^ (offset.wrapping_mul(0x9E3779B97F4A7C15)));
+        let mut produced = 0usize;
+        while produced < self.bytes_per_record {
+            let sentence = generator.sentence();
+            produced += sentence.len() + 1;
+            emit(sentence, String::new());
+        }
+        Ok(())
+    }
+}
+
+/// Build the Random Text Writer job: `maps` map tasks, each generating
+/// `records_per_map` records of roughly `bytes_per_record` bytes, written as
+/// one output file per map task (map-only, like Hadoop's `randomtextwriter`).
+pub fn random_text_writer_job(
+    output_dir: &str,
+    maps: usize,
+    records_per_map: u64,
+    bytes_per_record: usize,
+    seed: u64,
+) -> Job {
+    let config = JobConfig::new(
+        "random-text-writer",
+        InputSpec::Synthetic { splits: maps, records_per_split: records_per_map },
+        output_dir,
+    );
+    Job::map_only(config, Arc::new(RandomTextMapper { seed, bytes_per_record }))
+}
+
+// ---------------------------------------------------------------------------
+// Distributed Grep
+// ---------------------------------------------------------------------------
+
+/// Mapper of the Distributed Grep job: emits `(pattern, 1)` for every line
+/// containing the pattern (substring match, as in Hadoop's `grep` example
+/// when given a literal expression).
+pub struct GrepMapper {
+    /// The expression being searched for.
+    pub pattern: String,
+}
+
+impl Mapper for GrepMapper {
+    fn map(
+        &self,
+        _offset: u64,
+        line: &str,
+        emit: &mut dyn FnMut(String, String),
+    ) -> MrResult<()> {
+        if line.contains(&self.pattern) {
+            emit(self.pattern.clone(), "1".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Build the Distributed Grep job over `input_paths`, counting lines that
+/// contain `pattern`.
+pub fn distributed_grep_job(
+    input_paths: Vec<String>,
+    output_dir: &str,
+    pattern: &str,
+    split_size: u64,
+) -> Job {
+    let config = JobConfig::new("distributed-grep", InputSpec::Files(input_paths), output_dir)
+        .with_split_size(split_size)
+        .with_reducers(1);
+    Job::new(config, Arc::new(GrepMapper { pattern: pattern.to_string() }), Arc::new(SumReducer))
+}
+
+// ---------------------------------------------------------------------------
+// Word Count
+// ---------------------------------------------------------------------------
+
+/// Mapper of the Word Count job: emits `(word, 1)` for every whitespace-
+/// separated token.
+pub struct WordCountMapper;
+
+impl Mapper for WordCountMapper {
+    fn map(
+        &self,
+        _offset: u64,
+        line: &str,
+        emit: &mut dyn FnMut(String, String),
+    ) -> MrResult<()> {
+        for word in line.split_whitespace() {
+            emit(word.to_string(), "1".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Reducer alias used by word count (sums the per-word ones).
+pub type WordCountReducer = SumReducer;
+
+/// Build a Word Count job.
+pub fn word_count_job(
+    input_paths: Vec<String>,
+    output_dir: &str,
+    reducers: usize,
+    split_size: u64,
+) -> Job {
+    let config = JobConfig::new("word-count", InputSpec::Files(input_paths), output_dir)
+        .with_split_size(split_size)
+        .with_reducers(reducers);
+    Job::new(config, Arc::new(WordCountMapper), Arc::new(SumReducer))
+}
+
+/// A reducer that merely forwards pairs — used by tests that want grep output
+/// per matching line rather than aggregated counts.
+pub struct PassThroughReducer;
+
+impl Reducer for PassThroughReducer {
+    fn reduce(
+        &self,
+        key: &str,
+        values: &[String],
+        emit: &mut dyn FnMut(String, String),
+    ) -> MrResult<()> {
+        for v in values {
+            emit(key.to_string(), v.clone());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blobseer::{BlobSeer, BlobSeerConfig};
+    use bsfs::{Bsfs, BsfsConfig};
+    use mapreduce::fs::{BsfsFs, DistFs, HdfsFs};
+    use mapreduce::jobtracker::JobTracker;
+    use simcluster::ClusterTopology;
+
+    fn bsfs_fs(nodes: u32) -> (ClusterTopology, BsfsFs) {
+        let topo = ClusterTopology::flat(nodes);
+        let provider_nodes: Vec<_> = topo.all_nodes().collect();
+        let storage = BlobSeer::with_topology(
+            BlobSeerConfig::for_tests().with_providers(nodes as usize).with_page_size(1024),
+            &topo,
+            &provider_nodes,
+        );
+        (topo.clone(), BsfsFs::new(Bsfs::new(storage, BsfsConfig::for_tests().with_block_size(1024))))
+    }
+
+    #[test]
+    fn random_text_writer_generates_expected_volume() {
+        let (topo, fs) = bsfs_fs(4);
+        let job = random_text_writer_job("/rtw-out", 4, 8, 256, 11);
+        let jt = JobTracker::new(&topo);
+        let result = jt.run(&fs, &job).unwrap();
+        assert_eq!(result.map_tasks, 4);
+        assert_eq!(result.reduce_tasks, 0);
+        assert_eq!(result.output_files.len(), 4);
+        // 4 maps x 8 records x >=256 bytes each.
+        assert!(result.output_bytes >= 4 * 8 * 256);
+        // Output is actual text from the vocabulary.
+        let sample = fs.read_file(&result.output_files[0]).unwrap();
+        let text = String::from_utf8_lossy(&sample);
+        let first_word = text.split_whitespace().next().unwrap();
+        assert!(crate::textgen::WORDS.contains(&first_word));
+    }
+
+    #[test]
+    fn random_text_writer_is_deterministic_per_seed() {
+        let (topo_a, fs_a) = bsfs_fs(2);
+        let (topo_b, fs_b) = bsfs_fs(2);
+        let job_a = random_text_writer_job("/out", 2, 4, 128, 99);
+        let job_b = random_text_writer_job("/out", 2, 4, 128, 99);
+        let ra = JobTracker::new(&topo_a).run(&fs_a, &job_a).unwrap();
+        let rb = JobTracker::new(&topo_b).run(&fs_b, &job_b).unwrap();
+        for (a, b) in ra.output_files.iter().zip(&rb.output_files) {
+            assert_eq!(fs_a.read_file(a).unwrap(), fs_b.read_file(b).unwrap());
+        }
+    }
+
+    #[test]
+    fn distributed_grep_counts_occurrences() {
+        let (topo, fs) = bsfs_fs(4);
+        // Build an input with a known number of matching lines.
+        let mut generator = TextGenerator::new(3);
+        let mut text = String::new();
+        let mut expected = 0u64;
+        for i in 0..300 {
+            if i % 9 == 0 {
+                text.push_str("the stradametrical needle is here\n");
+                expected += 1;
+            } else {
+                text.push_str(&generator.sentence());
+                text.push('\n');
+            }
+        }
+        fs.write_file("/input/huge.txt", text.as_bytes()).unwrap();
+        let job = distributed_grep_job(vec!["/input/huge.txt".into()], "/grep-out", "needle", 2048);
+        let result = JobTracker::new(&topo).run(&fs, &job).unwrap();
+        let out = fs.read_file(&result.output_files[0]).unwrap();
+        assert_eq!(String::from_utf8_lossy(&out), format!("needle\t{expected}\n"));
+        assert!(result.map_tasks > 1, "the huge file should be processed by several maps");
+    }
+
+    #[test]
+    fn grep_with_no_matches_produces_empty_output() {
+        let (topo, fs) = bsfs_fs(2);
+        fs.write_file("/input/plain.txt", b"nothing interesting here\nat all\n").unwrap();
+        let job = distributed_grep_job(vec!["/input/plain.txt".into()], "/out", "unfindable", 1024);
+        let result = JobTracker::new(&topo).run(&fs, &job).unwrap();
+        assert_eq!(result.output_records, 0);
+        let out = fs.read_file(&result.output_files[0]).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn word_count_over_generated_text_matches_reference() {
+        let (topo, fs) = bsfs_fs(4);
+        let mut generator = TextGenerator::new(5);
+        let text = generator.sentences(200);
+        fs.write_file("/input/words.txt", text.as_bytes()).unwrap();
+        let job = word_count_job(vec!["/input/words.txt".into()], "/wc-out", 3, 1500);
+        let result = JobTracker::new(&topo).run(&fs, &job).unwrap();
+
+        // Reference counts computed directly.
+        let mut expected = std::collections::BTreeMap::new();
+        for w in text.split_whitespace() {
+            *expected.entry(w.to_string()).or_insert(0u64) += 1;
+        }
+        let mut got = std::collections::BTreeMap::new();
+        for part in &result.output_files {
+            let content = fs.read_file(part).unwrap();
+            for line in String::from_utf8_lossy(&content).lines() {
+                let mut it = line.split('\t');
+                let w = it.next().unwrap().to_string();
+                let c: u64 = it.next().unwrap().parse().unwrap();
+                got.insert(w, c);
+            }
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn apps_run_identically_on_hdfs() {
+        let topo = ClusterTopology::flat(4);
+        let nodes: Vec<_> = topo.all_nodes().collect();
+        let fs = HdfsFs::new(hdfs_sim::Hdfs::with_topology(
+            hdfs_sim::HdfsConfig::for_tests().with_chunk_size(1024),
+            &topo,
+            &nodes,
+        ));
+        let mut generator = TextGenerator::new(3);
+        let mut text = String::new();
+        for i in 0..100 {
+            if i % 10 == 0 {
+                text.push_str("needle line\n");
+            } else {
+                text.push_str(&generator.sentence());
+                text.push('\n');
+            }
+        }
+        fs.write_file("/input/huge.txt", text.as_bytes()).unwrap();
+        let job = distributed_grep_job(vec!["/input/huge.txt".into()], "/out", "needle", 1024);
+        let result = JobTracker::new(&topo).run(&fs, &job).unwrap();
+        let out = fs.read_file(&result.output_files[0]).unwrap();
+        assert_eq!(String::from_utf8_lossy(&out), "needle\t10\n");
+        assert_eq!(result.fs_name, "HDFS");
+    }
+
+    #[test]
+    fn pass_through_reducer_forwards_pairs() {
+        let r = PassThroughReducer;
+        let mut out = Vec::new();
+        r.reduce("k", &["v1".into(), "v2".into()], &mut |k, v| out.push((k, v))).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+}

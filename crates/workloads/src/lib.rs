@@ -1,0 +1,34 @@
+//! # workloads — the paper's evaluation workloads
+//!
+//! Everything §IV of the paper runs against the storage layer, reproduced as
+//! reusable library code:
+//!
+//! * [`textgen`] — the deterministic random-sentence generator behind the
+//!   Random Text Writer application;
+//! * [`apps`] — the two applications of §IV-C (Random Text Writer,
+//!   Distributed Grep) plus word count, as ready-to-run [`mapreduce::Job`]s;
+//! * [`microbench`] — the three §IV-B access patterns (reads from different
+//!   files, reads from one shared file, writes to different files) executed
+//!   for real with threads against any [`mapreduce::fs::DistFs`] backend;
+//! * [`simscale`] — the same three patterns replayed at paper scale
+//!   (270 nodes, up to 250 clients, 1 GiB each) through the flow-level
+//!   network simulator, using the storage systems' real placement logic.
+
+pub mod apps;
+pub mod microbench;
+pub mod simscale;
+pub mod textgen;
+
+pub use apps::{
+    distributed_grep_job, random_text_writer_job, word_count_job, GrepMapper, RandomTextMapper,
+    WordCountMapper,
+};
+pub use microbench::{
+    prepare_distinct_files, prepare_shared_file, read_distinct_files, read_shared_file,
+    write_distinct_files, AccessPattern, MicrobenchConfig, MicrobenchReport,
+};
+pub use simscale::{
+    sim_write_with_strategy,
+    sim_read_distinct, sim_read_shared, sim_write_distinct, SimScaleConfig, StorageSystem,
+};
+pub use textgen::TextGenerator;

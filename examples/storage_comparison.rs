@@ -1,0 +1,78 @@
+//! Run the paper's three microbenchmark access patterns (§IV-B) at laptop
+//! scale against both storage systems and print a small comparison — a
+//! miniature of experiments E1–E3 with real threads and real bytes.
+//!
+//! ```bash
+//! cargo run --release --example storage_comparison
+//! ```
+
+use mapreduce::fs::DistFs;
+use workloads::microbench::{
+    prepare_distinct_files, prepare_shared_file, read_distinct_files, read_shared_file,
+    write_distinct_files, MicrobenchConfig,
+};
+
+fn mibps(bytes_per_sec: f64) -> f64 {
+    bytes_per_sec / (1024.0 * 1024.0)
+}
+
+fn main() {
+    let clients = 8;
+    let config = MicrobenchConfig { clients, bytes_per_client: 4 << 20, record_size: 4096 };
+    println!("{clients} concurrent clients, {} MiB each, 4 KiB records\n", 4);
+    println!("{:<32} {:>14} {:>14}", "pattern", "BSFS (MiB/s)", "HDFS (MiB/s)");
+
+    for pattern in ["write distinct files", "read distinct files", "read shared file"] {
+        let bsfs = bench_harness::small_bsfs(8, 1 << 20);
+        let hdfs = bench_harness::small_hdfs(8, 1 << 20);
+        let mut row = Vec::new();
+        for fs in [&bsfs as &dyn DistFs, &hdfs as &dyn DistFs] {
+            let report = match pattern {
+                "write distinct files" => write_distinct_files(fs, &config).unwrap(),
+                "read distinct files" => {
+                    prepare_distinct_files(fs, &config).unwrap();
+                    read_distinct_files(fs, &config).unwrap()
+                }
+                _ => {
+                    prepare_shared_file(fs, &config).unwrap();
+                    read_shared_file(fs, &config).unwrap()
+                }
+            };
+            row.push(mibps(report.aggregate_bps()));
+        }
+        println!("{:<32} {:>14.1} {:>14.1}", pattern, row[0], row[1]);
+    }
+    println!("\n(in-process run: both systems move real bytes through memory; the paper-scale");
+    println!(" network-level comparison is produced by the bench crate's e1/e2/e3 binaries)");
+}
+
+/// Minimal local copies of the bench-crate deployment builders (examples of
+/// the root crate cannot depend on the internal bench harness crate).
+mod bench_harness {
+    use blobseer::{BlobSeer, BlobSeerConfig};
+    use bsfs::{Bsfs, BsfsConfig};
+    use hdfs_sim::{Hdfs, HdfsConfig};
+    use mapreduce::fs::{BsfsFs, HdfsFs};
+    use simcluster::ClusterTopology;
+
+    pub fn small_bsfs(nodes: u32, block: u64) -> BsfsFs {
+        let topo = ClusterTopology::flat(nodes);
+        let provider_nodes: Vec<_> = topo.all_nodes().collect();
+        let storage = BlobSeer::with_topology(
+            BlobSeerConfig::default().with_providers(nodes as usize).with_page_size(block),
+            &topo,
+            &provider_nodes,
+        );
+        BsfsFs::new(Bsfs::new(storage, BsfsConfig::default().with_block_size(block)))
+    }
+
+    pub fn small_hdfs(nodes: u32, block: u64) -> HdfsFs {
+        let topo = ClusterTopology::flat(nodes);
+        let dn_nodes: Vec<_> = topo.all_nodes().collect();
+        HdfsFs::new(Hdfs::with_topology(
+            HdfsConfig { chunk_size: block, datanodes: nodes as usize, replication: 1, seed: 7 },
+            &topo,
+            &dn_nodes,
+        ))
+    }
+}

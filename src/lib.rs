@@ -1,0 +1,14 @@
+//! Umbrella crate for the BlobSeer/BSFS reproduction workspace.
+//!
+//! This crate exists so that the repository root can host `examples/` and
+//! `tests/` that exercise the public API of every workspace member. It simply
+//! re-exports the member crates under stable names.
+
+pub use blobseer;
+pub use bsfs;
+pub use dht;
+pub use hdfs_sim as hdfs;
+pub use kvstore;
+pub use mapreduce;
+pub use simcluster;
+pub use workloads;

@@ -1,0 +1,103 @@
+//! Property-based tests for the DHT and the durable page store: both must
+//! behave exactly like an in-memory map under arbitrary operation sequences,
+//! and the log store must additionally survive a close/reopen cycle.
+
+use bytes::Bytes;
+use dht::{Dht, DhtConfig};
+use kvstore::{LogStore, LogStoreConfig, PageStore};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, Vec<u8>),
+    Delete(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), prop::collection::vec(any::<u8>(), 0..64)).prop_map(|(k, v)| Op::Put(k, v)),
+        any::<u8>().prop_map(Op::Delete),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The DHT agrees with a plain HashMap for any operation sequence, even
+    /// with a node killed halfway through (replication covers it).
+    #[test]
+    fn dht_matches_hashmap_model(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+        kill_at in 0usize..60,
+    ) {
+        let dht = Dht::new(DhtConfig { nodes: 5, replication: 3, virtual_nodes: 32 });
+        let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            if i == kill_at {
+                dht.kill(dht.node_ids()[0]).unwrap();
+            }
+            match op {
+                Op::Put(k, v) => {
+                    dht.put(&[*k], Bytes::from(v.clone())).unwrap();
+                    model.insert(*k, v.clone());
+                }
+                Op::Delete(k) => {
+                    dht.remove(&[*k]).unwrap();
+                    model.remove(k);
+                }
+            }
+        }
+        for k in 0u8..=255 {
+            match model.get(&k) {
+                Some(v) => prop_assert_eq!(dht.get(&[k]).unwrap().to_vec(), v.clone()),
+                None => prop_assert!(dht.get(&[k]).is_err()),
+            }
+        }
+    }
+
+    /// The log-structured store agrees with a HashMap model, both live and
+    /// after a crash-recovery style reopen (optionally with a compaction in
+    /// between).
+    #[test]
+    fn logstore_matches_hashmap_model_across_reopen(
+        ops in prop::collection::vec(op_strategy(), 1..80),
+        segment_max in 128u64..2_048,
+        compact in any::<bool>(),
+    ) {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let id = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("logstore-prop-{}-{id}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let config = LogStoreConfig { segment_max_bytes: segment_max, ..Default::default() };
+        let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+        {
+            let store = LogStore::open(&dir, config.clone()).unwrap();
+            for op in &ops {
+                match op {
+                    Op::Put(k, v) => {
+                        store.put(&[*k], Bytes::from(v.clone())).unwrap();
+                        model.insert(*k, v.clone());
+                    }
+                    Op::Delete(k) => {
+                        store.delete(&[*k]).unwrap();
+                        model.remove(k);
+                    }
+                }
+            }
+            if compact {
+                store.compact().unwrap();
+            }
+            prop_assert_eq!(store.len(), model.len());
+            store.sync().unwrap();
+        }
+        // Reopen from disk and compare against the model.
+        let store = LogStore::open(&dir, config).unwrap();
+        prop_assert_eq!(store.len(), model.len());
+        for (k, v) in &model {
+            prop_assert_eq!(store.get(&[*k]).unwrap().unwrap().to_vec(), v.clone());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests of the MapReduce framework: for arbitrary generated
+//! inputs, the distributed execution must agree with a sequential reference
+//! computation, over both storage backends and any split size.
+
+use blobseer::{BlobSeer, BlobSeerConfig};
+use bsfs::{Bsfs, BsfsConfig};
+use hdfs_sim::{Hdfs, HdfsConfig};
+use mapreduce::fs::{BsfsFs, DistFs, HdfsFs};
+use mapreduce::jobtracker::JobTracker;
+use proptest::prelude::*;
+use simcluster::ClusterTopology;
+use std::collections::BTreeMap;
+use workloads::word_count_job;
+
+fn reference_word_count(text: &str) -> BTreeMap<String, u64> {
+    let mut counts = BTreeMap::new();
+    for w in text.split_whitespace() {
+        *counts.entry(w.to_string()).or_insert(0) += 1;
+    }
+    counts
+}
+
+fn parse_output(fs: &dyn DistFs, files: &[String]) -> BTreeMap<String, u64> {
+    let mut counts = BTreeMap::new();
+    for f in files {
+        let content = fs.read_file(f).unwrap();
+        for line in String::from_utf8_lossy(&content).lines() {
+            let mut parts = line.split('\t');
+            let word = parts.next().unwrap().to_string();
+            let count: u64 = parts.next().unwrap().parse().unwrap();
+            counts.insert(word, count);
+        }
+    }
+    counts
+}
+
+/// Arbitrary lowercase words of 1..8 chars.
+fn word_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::char::range('a', 'f'), 1..8).prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn wordcount_agrees_with_sequential_reference(
+        words in prop::collection::vec(word_strategy(), 1..400),
+        words_per_line in 1usize..12,
+        split_size in 64u64..2_000,
+        reducers in 1usize..5,
+        use_hdfs in any::<bool>(),
+    ) {
+        let mut text = String::new();
+        for line in words.chunks(words_per_line) {
+            text.push_str(&line.join(" "));
+            text.push('\n');
+        }
+
+        let topo = ClusterTopology::flat(4);
+        let nodes: Vec<_> = topo.all_nodes().collect();
+        let fs: Box<dyn DistFs> = if use_hdfs {
+            Box::new(HdfsFs::new(Hdfs::with_topology(
+                HdfsConfig { chunk_size: 512, datanodes: 4, replication: 1, seed: 1 },
+                &topo,
+                &nodes,
+            )))
+        } else {
+            let storage = BlobSeer::with_topology(
+                BlobSeerConfig::default().with_providers(4).with_page_size(512),
+                &topo,
+                &nodes,
+            );
+            Box::new(BsfsFs::new(Bsfs::new(storage, BsfsConfig::default().with_block_size(512))))
+        };
+
+        fs.write_file("/in/text.txt", text.as_bytes()).unwrap();
+        let job = word_count_job(vec!["/in/text.txt".into()], "/out", reducers, split_size);
+        let result = JobTracker::new(&topo).run(&*fs, &job).unwrap();
+
+        let got = parse_output(&*fs, &result.output_files);
+        prop_assert_eq!(got, reference_word_count(&text));
+        prop_assert_eq!(result.input_records, text.lines().count() as u64);
+    }
+}
