@@ -8,8 +8,17 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn run_sequential_io(cache: bool) -> u64 {
     let block = 256 * 1024u64;
-    let storage = BlobSeer::new(BlobSeerConfig::default().with_providers(4).with_page_size(block));
-    let fs = Bsfs::new(storage, BsfsConfig::default().with_block_size(block).with_cache(cache));
+    let storage = BlobSeer::new(
+        BlobSeerConfig::default()
+            .with_providers(4)
+            .with_page_size(block),
+    );
+    let fs = Bsfs::new(
+        storage,
+        BsfsConfig::default()
+            .with_block_size(block)
+            .with_cache(cache),
+    );
     let record = vec![7u8; 4096];
     let mut w = fs.create("/data").unwrap();
     for _ in 0..512 {
@@ -32,9 +41,11 @@ fn bench_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("A2_client_cache");
     group.sample_size(10);
     for (label, enabled) in [("enabled", true), ("disabled", false)] {
-        group.bench_with_input(BenchmarkId::new(label, "4KiB-records"), &enabled, |b, &enabled| {
-            b.iter(|| run_sequential_io(enabled))
-        });
+        group.bench_with_input(
+            BenchmarkId::new(label, "4KiB-records"),
+            &enabled,
+            |b, &enabled| b.iter(|| run_sequential_io(enabled)),
+        );
     }
     group.finish();
 }

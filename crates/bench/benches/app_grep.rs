@@ -27,7 +27,12 @@ fn bench_grep(c: &mut Criterion) {
         b.iter(|| {
             let (bsfs, _) = bench::app_backends(64 * 1024);
             bsfs.write_file("/in/huge.txt", text.as_bytes()).unwrap();
-            let job = workloads::distributed_grep_job(vec!["/in/huge.txt".into()], "/out", "corbel token", 64 * 1024);
+            let job = workloads::distributed_grep_job(
+                vec!["/in/huge.txt".into()],
+                "/out",
+                "corbel token",
+                64 * 1024,
+            );
             bench::run_job_on(&bsfs as &dyn DistFs, &bench::app_topology(), &job)
         })
     });
@@ -35,7 +40,12 @@ fn bench_grep(c: &mut Criterion) {
         b.iter(|| {
             let (_, hdfs) = bench::app_backends(64 * 1024);
             hdfs.write_file("/in/huge.txt", text.as_bytes()).unwrap();
-            let job = workloads::distributed_grep_job(vec!["/in/huge.txt".into()], "/out", "corbel token", 64 * 1024);
+            let job = workloads::distributed_grep_job(
+                vec!["/in/huge.txt".into()],
+                "/out",
+                "corbel token",
+                64 * 1024,
+            );
             bench::run_job_on(&hdfs as &dyn DistFs, &bench::app_topology(), &job)
         })
     });

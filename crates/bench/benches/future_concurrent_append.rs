@@ -6,7 +6,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn shared_blob_appends(clients: usize) {
     let block = 64 * 1024u64;
-    let sys = BlobSeer::new(BlobSeerConfig::default().with_providers(8).with_page_size(block));
+    let sys = BlobSeer::new(
+        BlobSeerConfig::default()
+            .with_providers(8)
+            .with_page_size(block),
+    );
     let blob = sys.client().create(Some(block)).unwrap();
     std::thread::scope(|s| {
         for c in 0..clients {
@@ -23,7 +27,11 @@ fn shared_blob_appends(clients: usize) {
 
 fn separate_blob_appends(clients: usize) {
     let block = 64 * 1024u64;
-    let sys = BlobSeer::new(BlobSeerConfig::default().with_providers(8).with_page_size(block));
+    let sys = BlobSeer::new(
+        BlobSeerConfig::default()
+            .with_providers(8)
+            .with_page_size(block),
+    );
     std::thread::scope(|s| {
         for c in 0..clients {
             let client = sys.client_on(sys.topology().node((c % 8) as u32));
@@ -42,12 +50,16 @@ fn bench_append(c: &mut Criterion) {
     let mut group = c.benchmark_group("F1_concurrent_append");
     group.sample_size(10);
     for &clients in &[2usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("shared-blob", clients), &clients, |b, &n| {
-            b.iter(|| shared_blob_appends(n))
-        });
-        group.bench_with_input(BenchmarkId::new("separate-blobs", clients), &clients, |b, &n| {
-            b.iter(|| separate_blob_appends(n))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("shared-blob", clients),
+            &clients,
+            |b, &n| b.iter(|| shared_blob_appends(n)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("separate-blobs", clients),
+            &clients,
+            |b, &n| b.iter(|| separate_blob_appends(n)),
+        );
     }
     group.finish();
 }

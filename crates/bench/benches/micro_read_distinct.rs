@@ -10,7 +10,11 @@ fn bench_read_distinct(c: &mut Criterion) {
     let mut group = c.benchmark_group("E1_read_distinct_files");
     group.sample_size(10);
     for &clients in bench::SMALL_CLIENT_COUNTS {
-        let config = MicrobenchConfig { clients, bytes_per_client: 1 << 20, record_size: 4096 };
+        let config = MicrobenchConfig {
+            clients,
+            bytes_per_client: 1 << 20,
+            record_size: 4096,
+        };
         let bsfs = bench::small_bsfs(4, 256 * 1024);
         prepare_distinct_files(&bsfs, &config).unwrap();
         group.bench_with_input(BenchmarkId::new("BSFS", clients), &clients, |b, _| {

@@ -9,7 +9,11 @@ fn bench_read_shared(c: &mut Criterion) {
     let mut group = c.benchmark_group("E2_read_shared_file");
     group.sample_size(10);
     for &clients in bench::SMALL_CLIENT_COUNTS {
-        let config = MicrobenchConfig { clients, bytes_per_client: 1 << 20, record_size: 4096 };
+        let config = MicrobenchConfig {
+            clients,
+            bytes_per_client: 1 << 20,
+            record_size: 4096,
+        };
         let bsfs = bench::small_bsfs(4, 256 * 1024);
         prepare_shared_file(&bsfs, &config).unwrap();
         group.bench_with_input(BenchmarkId::new("BSFS", clients), &clients, |b, _| {

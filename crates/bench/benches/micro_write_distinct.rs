@@ -9,7 +9,11 @@ fn bench_write_distinct(c: &mut Criterion) {
     let mut group = c.benchmark_group("E3_write_distinct_files");
     group.sample_size(10);
     for &clients in bench::SMALL_CLIENT_COUNTS {
-        let config = MicrobenchConfig { clients, bytes_per_client: 1 << 20, record_size: 4096 };
+        let config = MicrobenchConfig {
+            clients,
+            bytes_per_client: 1 << 20,
+            record_size: 4096,
+        };
         let bsfs = bench::small_bsfs(4, 256 * 1024);
         group.bench_with_input(BenchmarkId::new("BSFS", clients), &clients, |b, _| {
             b.iter(|| write_distinct_files(&bsfs as &dyn DistFs, &config).unwrap())

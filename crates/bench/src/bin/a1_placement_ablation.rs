@@ -8,7 +8,10 @@ use workloads::simscale::{sim_write_with_strategy, SimScaleConfig};
 fn main() {
     println!("== A1: placement-strategy ablation (write pattern, paper scale) ==");
     println!();
-    println!("{:<16} {:>8} {:>22} {:>22}", "strategy", "clients", "aggregate MiB/s", "per-client MiB/s");
+    println!(
+        "{:<16} {:>8} {:>22} {:>22}",
+        "strategy", "clients", "aggregate MiB/s", "per-client MiB/s"
+    );
     for &clients in &[50usize, 150, 250] {
         let config = SimScaleConfig::paper(clients);
         for (label, strategy) in [

@@ -9,8 +9,17 @@ use std::time::Instant;
 
 fn run_case(cache_enabled: bool) -> (f64, f64, u64, u64) {
     let block = 256 * 1024u64;
-    let storage = BlobSeer::new(BlobSeerConfig::default().with_providers(4).with_page_size(block));
-    let fs = Bsfs::new(storage, BsfsConfig::default().with_block_size(block).with_cache(cache_enabled));
+    let storage = BlobSeer::new(
+        BlobSeerConfig::default()
+            .with_providers(4)
+            .with_page_size(block),
+    );
+    let fs = Bsfs::new(
+        storage,
+        BsfsConfig::default()
+            .with_block_size(block)
+            .with_cache(cache_enabled),
+    );
 
     let record = vec![0x42u8; 4096];
     let records = 2048; // 8 MiB of 4 KiB records
@@ -22,7 +31,13 @@ fn run_case(cache_enabled: bool) -> (f64, f64, u64, u64) {
     }
     w.close().unwrap();
     let write_secs = t0.elapsed().as_secs_f64();
-    let appends = fs.storage().version_manager().latest(w.blob()).unwrap().version.0;
+    let appends = fs
+        .storage()
+        .version_manager()
+        .latest(w.blob())
+        .unwrap()
+        .version
+        .0;
 
     let t0 = Instant::now();
     let mut r = fs.open("/data").unwrap();

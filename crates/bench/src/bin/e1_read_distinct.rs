@@ -8,7 +8,16 @@
 use workloads::microbench::AccessPattern;
 
 fn main() {
-    let (bsfs, hdfs, records) =
-        bench::paper_sweep("E1", AccessPattern::ReadDistinctFiles, bench::PAPER_CLIENT_COUNTS);
-    bench::print_sweep("E1", "concurrent reads from different files", &bsfs, &hdfs, &records);
+    let (bsfs, hdfs, records) = bench::paper_sweep(
+        "E1",
+        AccessPattern::ReadDistinctFiles,
+        bench::PAPER_CLIENT_COUNTS,
+    );
+    bench::print_sweep(
+        "E1",
+        "concurrent reads from different files",
+        &bsfs,
+        &hdfs,
+        &records,
+    );
 }

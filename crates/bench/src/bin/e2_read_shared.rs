@@ -4,8 +4,11 @@
 use workloads::microbench::AccessPattern;
 
 fn main() {
-    let (bsfs, hdfs, records) =
-        bench::paper_sweep("E2", AccessPattern::ReadSharedFile, bench::PAPER_CLIENT_COUNTS);
+    let (bsfs, hdfs, records) = bench::paper_sweep(
+        "E2",
+        AccessPattern::ReadSharedFile,
+        bench::PAPER_CLIENT_COUNTS,
+    );
     bench::print_sweep(
         "E2",
         "concurrent reads of non-overlapping parts of one huge file",

@@ -4,7 +4,16 @@
 use workloads::microbench::AccessPattern;
 
 fn main() {
-    let (bsfs, hdfs, records) =
-        bench::paper_sweep("E3", AccessPattern::WriteDistinctFiles, bench::PAPER_CLIENT_COUNTS);
-    bench::print_sweep("E3", "concurrent writes to different files", &bsfs, &hdfs, &records);
+    let (bsfs, hdfs, records) = bench::paper_sweep(
+        "E3",
+        AccessPattern::WriteDistinctFiles,
+        bench::PAPER_CLIENT_COUNTS,
+    );
+    bench::print_sweep(
+        "E3",
+        "concurrent writes to different files",
+        &bsfs,
+        &hdfs,
+        &records,
+    );
 }

@@ -21,10 +21,12 @@ fn main() {
     let bytes_per_record = 4096;
 
     let mut records = Vec::new();
-    let job = workloads::random_text_writer_job("/rtw-out", maps, records_per_map, bytes_per_record, 42);
+    let job =
+        workloads::random_text_writer_job("/rtw-out", maps, records_per_map, bytes_per_record, 42);
     let (_r, rec) = bench::run_job_on(&bsfs, &bench::app_topology(), &job);
     records.push(rec);
-    let job = workloads::random_text_writer_job("/rtw-out", maps, records_per_map, bytes_per_record, 42);
+    let job =
+        workloads::random_text_writer_job("/rtw-out", maps, records_per_map, bytes_per_record, 42);
     let (_r, rec) = bench::run_job_on(&hdfs, &bench::app_topology(), &job);
     records.push(rec);
 
@@ -38,7 +40,10 @@ fn main() {
     println!("== E4: Random Text Writer, paper-scale estimate (write pattern) ==");
     println!("(each of 100 writers emits 1 GiB of generated text: job time ~ slowest writer)");
     println!();
-    println!("{:<8} {:>22} {:>22}", "system", "agg throughput MiB/s", "est. completion (s)");
+    println!(
+        "{:<8} {:>22} {:>22}",
+        "system", "agg throughput MiB/s", "est. completion (s)"
+    );
     for system in [StorageSystem::Bsfs, StorageSystem::Hdfs] {
         let config = SimScaleConfig::paper(100);
         let (agg, per_client) = run_pattern(system, AccessPattern::WriteDistinctFiles, &config);

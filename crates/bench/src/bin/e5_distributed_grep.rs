@@ -25,7 +25,10 @@ fn main() {
         }
     }
     let mut records = Vec::new();
-    for fs in [&bsfs as &dyn mapreduce::DistFs, &hdfs as &dyn mapreduce::DistFs] {
+    for fs in [
+        &bsfs as &dyn mapreduce::DistFs,
+        &hdfs as &dyn mapreduce::DistFs,
+    ] {
         fs.write_file("/input/huge.txt", text.as_bytes()).unwrap();
         let job = workloads::distributed_grep_job(
             vec!["/input/huge.txt".into()],
@@ -35,7 +38,11 @@ fn main() {
         );
         let (result, rec) = bench::run_job_on(fs, &bench::app_topology(), &job);
         let out = fs.read_file(&result.output_files[0]).unwrap();
-        println!("{} output: {}", rec.system, String::from_utf8_lossy(&out).trim());
+        println!(
+            "{} output: {}",
+            rec.system,
+            String::from_utf8_lossy(&out).trim()
+        );
         records.push(rec);
     }
 
@@ -47,7 +54,10 @@ fn main() {
     println!("== E5: Distributed Grep, paper-scale estimate (shared-file read pattern) ==");
     println!("(100 map waves each read 1 GiB of the shared input: job time ~ slowest reader)");
     println!();
-    println!("{:<8} {:>22} {:>22}", "system", "agg throughput MiB/s", "est. completion (s)");
+    println!(
+        "{:<8} {:>22} {:>22}",
+        "system", "agg throughput MiB/s", "est. completion (s)"
+    );
     for system in [StorageSystem::Bsfs, StorageSystem::Hdfs] {
         let config = SimScaleConfig::paper(100);
         let (agg, per_client) = run_pattern(system, AccessPattern::ReadSharedFile, &config);

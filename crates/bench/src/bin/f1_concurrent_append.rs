@@ -12,12 +12,19 @@ fn main() {
     let appends_per_client = 64usize;
     println!("== F1: concurrent appends to one shared blob vs one blob per client ==");
     println!();
-    println!("{:<10} {:>22} {:>22}", "clients", "shared blob (MiB/s)", "per-client blobs (MiB/s)");
+    println!(
+        "{:<10} {:>22} {:>22}",
+        "clients", "shared blob (MiB/s)", "per-client blobs (MiB/s)"
+    );
     for &clients in &[2usize, 4, 8] {
         let total_bytes = (clients * appends_per_client) as u64 * block;
 
         // Shared blob: everyone appends to the same blob.
-        let sys = BlobSeer::new(BlobSeerConfig::default().with_providers(8).with_page_size(block));
+        let sys = BlobSeer::new(
+            BlobSeerConfig::default()
+                .with_providers(8)
+                .with_page_size(block),
+        );
         let client0 = sys.client();
         let blob = client0.create(Some(block)).unwrap();
         let t0 = Instant::now();
@@ -33,10 +40,18 @@ fn main() {
             }
         });
         let shared_secs = t0.elapsed().as_secs_f64();
-        assert_eq!(client0.size(blob).unwrap(), total_bytes, "no append may be lost");
+        assert_eq!(
+            client0.size(blob).unwrap(),
+            total_bytes,
+            "no append may be lost"
+        );
 
         // Separate blobs: the current Hadoop-style one-output-per-reducer.
-        let sys = BlobSeer::new(BlobSeerConfig::default().with_providers(8).with_page_size(block));
+        let sys = BlobSeer::new(
+            BlobSeerConfig::default()
+                .with_providers(8)
+                .with_page_size(block),
+        );
         let t0 = Instant::now();
         std::thread::scope(|s| {
             for c in 0..clients {

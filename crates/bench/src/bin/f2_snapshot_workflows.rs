@@ -8,12 +8,19 @@ use blobseer::{BlobSeer, BlobSeerConfig, Version};
 use workloads::TextGenerator;
 
 fn count_matches(data: &[u8], pattern: &str) -> usize {
-    String::from_utf8_lossy(data).lines().filter(|l| l.contains(pattern)).count()
+    String::from_utf8_lossy(data)
+        .lines()
+        .filter(|l| l.contains(pattern))
+        .count()
 }
 
 fn main() {
     let block = 64 * 1024u64;
-    let sys = BlobSeer::new(BlobSeerConfig::default().with_providers(8).with_page_size(block));
+    let sys = BlobSeer::new(
+        BlobSeerConfig::default()
+            .with_providers(8)
+            .with_page_size(block),
+    );
     let client = sys.client();
     let blob = client.create(Some(block)).unwrap();
 
@@ -32,7 +39,10 @@ fn main() {
     }
     let v1 = client.append(blob, original.as_bytes()).unwrap();
     let v1_size = client.size(blob).unwrap();
-    println!("snapshot v1 written: {} bytes, {} marker lines", v1_size, expected_v1);
+    println!(
+        "snapshot v1 written: {} bytes, {} marker lines",
+        v1_size, expected_v1
+    );
 
     // Concurrently: a writer keeps appending (new versions), while a scan
     // runs over snapshot v1.
@@ -67,11 +77,17 @@ fn main() {
     println!("concurrent writer advanced the blob to {appended_versions}");
     println!("scan over snapshot v1 found {snapshot_count} marker lines (expected ~{expected_v1})");
     let latest = client.latest_version(blob).unwrap();
-    println!("latest version is now {} with {} bytes", latest.version, latest.size);
+    println!(
+        "latest version is now {} with {} bytes",
+        latest.version, latest.size
+    );
     // Count on line boundaries can differ by the block-split lines; a scan on
     // whole data confirms the exact number.
     let all_v1 = client.read(blob, v1, 0, v1_size).unwrap();
-    assert_eq!(count_matches(&all_v1, "marker line for snapshot one"), expected_v1);
+    assert_eq!(
+        count_matches(&all_v1, "marker line for snapshot one"),
+        expected_v1
+    );
     assert!(latest.size > v1_size);
     println!("snapshot isolation holds: the v1 scan was unaffected by 20 concurrent appends");
 }

@@ -112,8 +112,10 @@ impl BlobSeer {
             provider_nodes,
             config.placement,
         ));
-        let metadata =
-            Arc::new(MetadataStore::new(config.metadata_providers, config.metadata_replication));
+        let metadata = Arc::new(MetadataStore::new(
+            config.metadata_providers,
+            config.metadata_replication,
+        ));
         Arc::new(BlobSeer {
             config,
             topology: topology.clone(),
@@ -136,7 +138,10 @@ impl BlobSeer {
     /// A client running on a specific cluster node (placement strategies that
     /// care about locality use this).
     pub fn client_on(self: &Arc<Self>, node: NodeId) -> BlobSeerClient {
-        BlobSeerClient { system: Arc::clone(self), node }
+        BlobSeerClient {
+            system: Arc::clone(self),
+            node,
+        }
     }
 
     /// The deployment's configuration.
@@ -207,7 +212,9 @@ impl BlobSeerClient {
     pub fn create(&self, page_size: Option<u64>) -> BlobResult<BlobId> {
         let page_size = page_size.unwrap_or(self.system.config.default_page_size);
         if page_size == 0 {
-            return Err(BlobSeerError::InvalidArgument("page size must be non-zero".into()));
+            return Err(BlobSeerError::InvalidArgument(
+                "page size must be non-zero".into(),
+            ));
         }
         let blob = self.system.version_manager.create_blob();
         self.system.page_sizes.write().insert(blob, page_size);
@@ -238,14 +245,27 @@ impl BlobSeerClient {
 
     /// Write `data` at `offset`, producing (and returning) a new version.
     pub fn write(&self, blob: BlobId, offset: u64, data: &[u8]) -> BlobResult<Version> {
-        self.do_write(blob, WriteIntent::WriteAt { offset, len: data.len() as u64 }, data)
+        self.do_write(
+            blob,
+            WriteIntent::WriteAt {
+                offset,
+                len: data.len() as u64,
+            },
+            data,
+        )
     }
 
     /// Append `data` at the end of the blob, producing a new version. The
     /// append offset is assigned by the version manager, so concurrent
     /// appenders each get their own, non-overlapping region.
     pub fn append(&self, blob: BlobId, data: &[u8]) -> BlobResult<Version> {
-        self.do_write(blob, WriteIntent::Append { len: data.len() as u64 }, data)
+        self.do_write(
+            blob,
+            WriteIntent::Append {
+                len: data.len() as u64,
+            },
+            data,
+        )
     }
 
     fn do_write(&self, blob: BlobId, intent: WriteIntent, data: &[u8]) -> BlobResult<Version> {
@@ -259,8 +279,9 @@ impl BlobSeerClient {
         // Step 1: reserve a version (and the offset, for appends).
         let ticket = sys.version_manager.reserve(blob, intent)?;
         let range = ticket.range;
-        let (first_page, last_page) =
-            pm.pages_touched(range).expect("non-empty write touches at least one page");
+        let (first_page, last_page) = pm
+            .pages_touched(range)
+            .expect("non-empty write touches at least one page");
         let num_pages = last_page - first_page + 1;
 
         // Step 2a: figure out boundary merges. If the write starts or ends in
@@ -294,7 +315,8 @@ impl BlobSeerClient {
 
         // Step 2b: allocate providers and push the page images.
         let placements =
-            sys.provider_manager.allocate(num_pages, sys.config.page_replication, self.node);
+            sys.provider_manager
+                .allocate(num_pages, sys.config.page_replication, self.node);
         if placements.is_empty() {
             return Err(BlobSeerError::NoProviders);
         }
@@ -308,7 +330,9 @@ impl BlobSeerClient {
 
             // Old bytes carried over on the boundaries.
             if page == first_page && needs_head_merge {
-                let keep = ((range.offset - page_start) as usize).min(image_len).min(head_old.len());
+                let keep = ((range.offset - page_start) as usize)
+                    .min(image_len)
+                    .min(head_old.len());
                 image[..keep].copy_from_slice(&head_old[..keep]);
             }
             if page == last_page && needs_tail_merge {
@@ -334,8 +358,10 @@ impl BlobSeerClient {
             let image = Bytes::from(image);
             let mut stored: Vec<ProviderId> = Vec::with_capacity(replicas.len());
             for pid in replicas {
-                let provider =
-                    sys.provider_manager.provider(*pid).ok_or(BlobSeerError::NoProviders)?;
+                let provider = sys
+                    .provider_manager
+                    .provider(*pid)
+                    .ok_or(BlobSeerError::NoProviders)?;
                 match provider.put_page(&key, image.clone()) {
                     Ok(()) => stored.push(*pid),
                     Err(_) => continue, // dead provider: skip, rely on the rest
@@ -351,14 +377,25 @@ impl BlobSeerClient {
         let prev = sys.version_manager.wait_for_predecessor(&ticket)?;
         let prev_tree = PrevTree {
             root: prev.root,
-            span: if prev.size == 0 { 0 } else { next_power_of_two(pm.pages_for(prev.size)) },
+            span: if prev.size == 0 {
+                0
+            } else {
+                next_power_of_two(pm.pages_for(prev.size))
+            },
         };
         let new_span = next_power_of_two(pm.pages_for(ticket.new_size));
-        let root =
-            build_version(&sys.metadata, blob, ticket.version, prev_tree, new_span, &written)?;
+        let root = build_version(
+            &sys.metadata,
+            blob,
+            ticket.version,
+            prev_tree,
+            new_span,
+            &written,
+        )?;
         let info = sys.version_manager.commit(&ticket, Some(root))?;
 
-        sys.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        sys.bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         sys.write_ops.fetch_add(1, Ordering::Relaxed);
         Ok(info.version)
     }
@@ -521,19 +558,31 @@ impl BlobSeerClient {
             .into_iter()
             .map(|meta| {
                 let page_range = pm.page_range(meta.page);
-                let clamped = page_range.intersection(&range).unwrap_or(ByteRange::new(0, 0));
+                let clamped = page_range
+                    .intersection(&range)
+                    .unwrap_or(ByteRange::new(0, 0));
                 let nodes = meta
                     .providers
                     .iter()
                     .filter_map(|p| sys.provider_manager.node_of(*p))
                     .collect();
-                PageLocation { page: meta.page, range: clamped, providers: meta.providers, nodes }
+                PageLocation {
+                    page: meta.page,
+                    range: clamped,
+                    providers: meta.providers,
+                    nodes,
+                }
             })
             .collect())
     }
 
     /// Locate on the latest version.
-    pub fn locate_latest(&self, blob: BlobId, offset: u64, len: u64) -> BlobResult<Vec<PageLocation>> {
+    pub fn locate_latest(
+        &self,
+        blob: BlobId,
+        offset: u64,
+        len: u64,
+    ) -> BlobResult<Vec<PageLocation>> {
         let info = self.latest_version(blob)?;
         self.locate(blob, info.version, offset, len)
     }
@@ -563,7 +612,10 @@ mod tests {
         let v1 = client.write(blob, 0, b"hello, blobseer!").unwrap();
         assert_eq!(v1, Version(1));
         assert_eq!(client.size(blob).unwrap(), 16);
-        assert_eq!(&client.read_latest(blob, 0, 16).unwrap()[..], b"hello, blobseer!");
+        assert_eq!(
+            &client.read_latest(blob, 0, 16).unwrap()[..],
+            b"hello, blobseer!"
+        );
         assert_eq!(&client.read_latest(blob, 7, 8).unwrap()[..], b"blobseer");
     }
 
@@ -578,8 +630,14 @@ mod tests {
         assert_eq!(client.size(blob).unwrap(), 50);
         assert_eq!(client.read_latest(blob, 0, 50).unwrap().to_vec(), data);
         // Unaligned sub-range crossing page boundaries.
-        assert_eq!(client.read_latest(blob, 5, 20).unwrap().to_vec(), data[5..25].to_vec());
-        assert_eq!(client.read_latest(blob, 47, 3).unwrap().to_vec(), data[47..50].to_vec());
+        assert_eq!(
+            client.read_latest(blob, 5, 20).unwrap().to_vec(),
+            data[5..25].to_vec()
+        );
+        assert_eq!(
+            client.read_latest(blob, 47, 3).unwrap().to_vec(),
+            data[47..50].to_vec()
+        );
     }
 
     #[test]
@@ -608,7 +666,10 @@ mod tests {
         client.append(blob, b"0123456789").unwrap();
         client.append(blob, b"abcde").unwrap();
         assert_eq!(client.size(blob).unwrap(), 15);
-        assert_eq!(&client.read_latest(blob, 0, 15).unwrap()[..], b"0123456789abcde");
+        assert_eq!(
+            &client.read_latest(blob, 0, 15).unwrap()[..],
+            b"0123456789abcde"
+        );
         // The second append started mid-page (offset 10 with 8-byte pages):
         // boundary merge must have preserved the first append's tail.
         assert_eq!(&client.read_latest(blob, 8, 4).unwrap()[..], b"89ab");
@@ -624,7 +685,10 @@ mod tests {
         assert_eq!(client.size(blob).unwrap(), 36);
         let all = client.read_latest(blob, 0, 36).unwrap();
         assert_eq!(&all[0..4], b"head");
-        assert!(all[4..32].iter().all(|b| *b == 0), "hole must read as zeroes");
+        assert!(
+            all[4..32].iter().all(|b| *b == 0),
+            "hole must read as zeroes"
+        );
         assert_eq!(&all[32..36], b"tail");
     }
 
@@ -659,7 +723,10 @@ mod tests {
             client.read_latest(BlobId(999), 0, 1),
             Err(BlobSeerError::UnknownBlob(_))
         ));
-        assert!(matches!(client.create(Some(0)), Err(BlobSeerError::InvalidArgument(_))));
+        assert!(matches!(
+            client.create(Some(0)),
+            Err(BlobSeerError::InvalidArgument(_))
+        ));
     }
 
     #[test]
@@ -689,8 +756,7 @@ mod tests {
         }
         // With load-balanced placement over 4 providers, the 4 pages land on
         // 4 distinct providers.
-        let unique: std::collections::HashSet<_> =
-            locs.iter().map(|l| l.providers[0]).collect();
+        let unique: std::collections::HashSet<_> = locs.iter().map(|l| l.providers[0]).collect();
         assert_eq!(unique.len(), 4);
         // A sub-range only reports the pages it touches, clamped.
         let locs = client.locate_latest(blob, 10, 10).unwrap();
@@ -703,7 +769,9 @@ mod tests {
 
     #[test]
     fn page_replication_survives_provider_failure() {
-        let config = BlobSeerConfig::for_tests().with_providers(4).with_page_replication(2);
+        let config = BlobSeerConfig::for_tests()
+            .with_providers(4)
+            .with_page_replication(2);
         let sys = BlobSeer::new(config);
         let client = sys.client();
         let blob = client.create(Some(16)).unwrap();
@@ -741,7 +809,10 @@ mod tests {
         for p in sys.provider_manager().providers() {
             p.kill();
         }
-        assert!(matches!(client.write(blob, 0, b"data"), Err(BlobSeerError::NoProviders)));
+        assert!(matches!(
+            client.write(blob, 0, b"data"),
+            Err(BlobSeerError::NoProviders)
+        ));
     }
 
     #[test]
@@ -793,7 +864,10 @@ mod tests {
             assert!(rec.iter().all(|b| *b == tag), "torn append detected");
             counts[tag as usize] += 1;
         }
-        assert!(counts.iter().all(|c| *c == 10), "lost or duplicated appends: {counts:?}");
+        assert!(
+            counts.iter().all(|c| *c == 10),
+            "lost or duplicated appends: {counts:?}"
+        );
         // Version history is gap-free.
         assert_eq!(client0.latest_version(blob).unwrap().version, Version(60));
     }
@@ -852,7 +926,10 @@ mod tests {
         let blob = client.create(None).unwrap();
         let v1 = client.append(blob, b"hello ").unwrap();
         let v2 = client.append(blob, b"world").unwrap();
-        assert_eq!(&client.read_latest(blob, 0, 11).unwrap()[..], b"hello world");
+        assert_eq!(
+            &client.read_latest(blob, 0, 11).unwrap()[..],
+            b"hello world"
+        );
         assert_eq!(&client.read(blob, v1, 0, 6).unwrap()[..], b"hello ");
         assert!(v2 > v1);
     }

@@ -81,8 +81,14 @@ impl BlobSeerConfig {
     pub fn validate(&self) {
         assert!(self.default_page_size > 0, "page size must be non-zero");
         assert!(self.providers > 0, "at least one data provider is required");
-        assert!(self.metadata_providers > 0, "at least one metadata provider is required");
-        assert!(self.metadata_replication >= 1, "metadata replication must be >= 1");
+        assert!(
+            self.metadata_providers > 0,
+            "at least one metadata provider is required"
+        );
+        assert!(
+            self.metadata_replication >= 1,
+            "metadata replication must be >= 1"
+        );
         assert!(self.page_replication >= 1, "page replication must be >= 1");
         assert!(
             self.page_replication <= self.providers,
@@ -120,7 +126,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot exceed the number of providers")]
     fn replication_beyond_providers_is_rejected() {
-        BlobSeerConfig::for_tests().with_providers(2).with_page_replication(3).validate();
+        BlobSeerConfig::for_tests()
+            .with_providers(2)
+            .with_page_replication(3)
+            .validate();
     }
 
     #[test]

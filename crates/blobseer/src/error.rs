@@ -14,11 +14,21 @@ pub enum BlobSeerError {
     /// The requested version has not been published (or never will be).
     UnknownVersion { blob: BlobId, version: Version },
     /// A read extends past the end of the blob at the requested version.
-    OutOfBounds { blob: BlobId, version: Version, requested_end: u64, size: u64 },
+    OutOfBounds {
+        blob: BlobId,
+        version: Version,
+        requested_end: u64,
+        size: u64,
+    },
     /// No providers are available to accept pages.
     NoProviders,
     /// A page could not be read from any of its replica providers.
-    PageUnavailable { blob: BlobId, version: Version, page: u64, tried: Vec<ProviderId> },
+    PageUnavailable {
+        blob: BlobId,
+        version: Version,
+        page: u64,
+        tried: Vec<ProviderId>,
+    },
     /// The metadata DHT failed.
     Metadata(dht::DhtError),
     /// The underlying page store failed.
@@ -103,7 +113,9 @@ mod tests {
         assert!(e.to_string().contains("page 9"));
         assert!(e.to_string().contains("2 tried"));
         assert!(BlobSeerError::NoProviders.to_string().contains("providers"));
-        assert!(BlobSeerError::InvalidArgument("bad".into()).to_string().contains("bad"));
+        assert!(BlobSeerError::InvalidArgument("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 
     #[test]

@@ -41,8 +41,11 @@ pub struct NodeKey {
 impl NodeKey {
     /// Render the DHT key for this node.
     pub fn dht_key(&self) -> Vec<u8> {
-        format!("meta/{}/{}/{}/{}", self.blob.0, self.version.0, self.offset, self.span)
-            .into_bytes()
+        format!(
+            "meta/{}/{}/{}/{}",
+            self.blob.0, self.version.0, self.offset, self.span
+        )
+        .into_bytes()
     }
 }
 
@@ -51,10 +54,16 @@ impl NodeKey {
 pub enum TreeNode {
     /// An inner node covering `span` pages, split into two halves. A `None`
     /// child means that half has never been written (reads return zeroes).
-    Inner { left: Option<NodeKey>, right: Option<NodeKey> },
+    Inner {
+        left: Option<NodeKey>,
+        right: Option<NodeKey>,
+    },
     /// A leaf describing one page: the providers holding its replicas, in
     /// preference order. An empty provider list also denotes a hole.
-    Leaf { page: u64, providers: Vec<ProviderId> },
+    Leaf {
+        page: u64,
+        providers: Vec<ProviderId>,
+    },
 }
 
 impl TreeNode {
@@ -138,7 +147,15 @@ fn decode_opt_key(data: &[u8]) -> Option<(Option<NodeKey>, &[u8])> {
             let version = Version(u64::from_le_bytes(rest[8..16].try_into().ok()?));
             let offset = u64::from_le_bytes(rest[16..24].try_into().ok()?);
             let span = u64::from_le_bytes(rest[24..32].try_into().ok()?);
-            Some((Some(NodeKey { blob, version, offset, span }), &rest[32..]))
+            Some((
+                Some(NodeKey {
+                    blob,
+                    version,
+                    offset,
+                    span,
+                }),
+                &rest[32..],
+            ))
         }
         _ => None,
     }
@@ -149,7 +166,12 @@ mod tests {
     use super::*;
 
     fn key(v: u64, o: u64, s: u64) -> NodeKey {
-        NodeKey { blob: BlobId(7), version: Version(v), offset: o, span: s }
+        NodeKey {
+            blob: BlobId(7),
+            version: Version(v),
+            offset: o,
+            span: s,
+        }
     }
 
     #[test]
@@ -165,10 +187,22 @@ mod tests {
     #[test]
     fn inner_node_roundtrip() {
         let cases = vec![
-            TreeNode::Inner { left: Some(key(1, 0, 2)), right: Some(key(2, 2, 2)) },
-            TreeNode::Inner { left: None, right: Some(key(5, 4, 4)) },
-            TreeNode::Inner { left: Some(key(9, 0, 1)), right: None },
-            TreeNode::Inner { left: None, right: None },
+            TreeNode::Inner {
+                left: Some(key(1, 0, 2)),
+                right: Some(key(2, 2, 2)),
+            },
+            TreeNode::Inner {
+                left: None,
+                right: Some(key(5, 4, 4)),
+            },
+            TreeNode::Inner {
+                left: Some(key(9, 0, 1)),
+                right: None,
+            },
+            TreeNode::Inner {
+                left: None,
+                right: None,
+            },
         ];
         for node in cases {
             let decoded = TreeNode::decode(&node.encode()).unwrap();
@@ -179,9 +213,18 @@ mod tests {
     #[test]
     fn leaf_node_roundtrip() {
         let cases = vec![
-            TreeNode::Leaf { page: 0, providers: vec![] },
-            TreeNode::Leaf { page: 42, providers: vec![ProviderId(3)] },
-            TreeNode::Leaf { page: 7, providers: vec![ProviderId(0), ProviderId(5), ProviderId(9)] },
+            TreeNode::Leaf {
+                page: 0,
+                providers: vec![],
+            },
+            TreeNode::Leaf {
+                page: 42,
+                providers: vec![ProviderId(3)],
+            },
+            TreeNode::Leaf {
+                page: 7,
+                providers: vec![ProviderId(0), ProviderId(5), ProviderId(9)],
+            },
         ];
         for node in cases {
             let decoded = TreeNode::decode(&node.encode()).unwrap();
@@ -195,14 +238,22 @@ mod tests {
         assert!(TreeNode::decode(&[9]).is_none());
         assert!(TreeNode::decode(&[1, 0, 0]).is_none());
         // Truncated inner node.
-        let good = TreeNode::Inner { left: Some(key(1, 0, 2)), right: None }.encode();
+        let good = TreeNode::Inner {
+            left: Some(key(1, 0, 2)),
+            right: None,
+        }
+        .encode();
         assert!(TreeNode::decode(&good[..good.len() - 1]).is_none());
         // Trailing garbage.
         let mut padded = good.clone();
         padded.push(0);
         assert!(TreeNode::decode(&padded).is_none());
         // Leaf with inconsistent provider count.
-        let mut leaf = TreeNode::Leaf { page: 1, providers: vec![ProviderId(1)] }.encode();
+        let mut leaf = TreeNode::Leaf {
+            page: 1,
+            providers: vec![ProviderId(1)],
+        }
+        .encode();
         leaf.truncate(leaf.len() - 2);
         assert!(TreeNode::decode(&leaf).is_none());
     }

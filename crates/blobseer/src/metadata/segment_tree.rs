@@ -27,7 +27,10 @@ pub struct PrevTree {
 impl PrevTree {
     /// The tree of an empty blob.
     pub fn empty() -> Self {
-        PrevTree { root: None, span: 0 }
+        PrevTree {
+            root: None,
+            span: 0,
+        }
     }
 }
 
@@ -50,10 +53,16 @@ pub fn build_version(
     written: &BTreeMap<u64, Vec<ProviderId>>,
 ) -> BlobResult<NodeKey> {
     assert!(!written.is_empty(), "a write must touch at least one page");
-    assert!(new_span.is_power_of_two(), "tree span must be a power of two");
+    assert!(
+        new_span.is_power_of_two(),
+        "tree span must be a power of two"
+    );
     let wfirst = *written.keys().next().unwrap();
     let wlast = *written.keys().next_back().unwrap();
-    assert!(wlast < new_span, "written pages must fit in the new tree span");
+    assert!(
+        wlast < new_span,
+        "written pages must fit in the new tree span"
+    );
     assert!(prev.span <= new_span, "a tree never shrinks");
 
     // When the blob grows, pre-extend the previous tree to the new span by
@@ -67,15 +76,37 @@ pub fn build_version(
     if prev.root.is_some() {
         while prev.span < new_span {
             let span = prev.span * 2;
-            let key = NodeKey { blob, version, offset: 0, span };
-            store.put_node(key, &TreeNode::Inner { left: prev.root, right: None })?;
-            prev = PrevTree { root: Some(key), span };
+            let key = NodeKey {
+                blob,
+                version,
+                offset: 0,
+                span,
+            };
+            store.put_node(
+                key,
+                &TreeNode::Inner {
+                    left: prev.root,
+                    right: None,
+                },
+            )?;
+            prev = PrevTree {
+                root: Some(key),
+                span,
+            };
         }
     }
 
-    let ctx = BuildCtx { store, blob, version, prev, wfirst, wlast, written };
-    let root = build_node(&ctx, 0, new_span, None)?
-        .expect("the root always overlaps the written range");
+    let ctx = BuildCtx {
+        store,
+        blob,
+        version,
+        prev,
+        wfirst,
+        wlast,
+        written,
+    };
+    let root =
+        build_node(&ctx, 0, new_span, None)?.expect("the root always overlaps the written range");
     Ok(root)
 }
 
@@ -118,10 +149,19 @@ fn build_node(
         // keeps its previous contents (or stays a hole).
         return match ctx.written.get(&offset) {
             Some(providers) => {
-                let key =
-                    NodeKey { blob: ctx.blob, version: ctx.version, offset, span: 1 };
-                ctx.store
-                    .put_node(key, &TreeNode::Leaf { page: offset, providers: providers.clone() })?;
+                let key = NodeKey {
+                    blob: ctx.blob,
+                    version: ctx.version,
+                    offset,
+                    span: 1,
+                };
+                ctx.store.put_node(
+                    key,
+                    &TreeNode::Leaf {
+                        page: offset,
+                        providers: providers.clone(),
+                    },
+                )?;
                 Ok(Some(key))
             }
             None => Ok(prev_here),
@@ -141,7 +181,12 @@ fn build_node(
     let left = build_node(ctx, offset, half, prev_left)?;
     let right = build_node(ctx, offset + half, half, prev_right)?;
 
-    let key = NodeKey { blob: ctx.blob, version: ctx.version, offset, span };
+    let key = NodeKey {
+        blob: ctx.blob,
+        version: ctx.version,
+        offset,
+        span,
+    };
     ctx.store.put_node(key, &TreeNode::Inner { left, right })?;
     Ok(Some(key))
 }
@@ -174,11 +219,23 @@ pub fn lookup_range(
     assert!(first_page <= last_page, "page range must be non-empty");
     let mut out = Vec::with_capacity((last_page - first_page + 1) as usize);
     let covered_span = span.max(1);
-    collect(store, root, 0, covered_span, first_page, last_page, &mut out)?;
+    collect(
+        store,
+        root,
+        0,
+        covered_span,
+        first_page,
+        last_page,
+        &mut out,
+    )?;
     // Pages requested beyond the tree span (possible when the caller rounds
     // generously) are holes too.
     for p in first_page.max(covered_span)..=last_page {
-        out.push(PageMeta { page: p, created: None, providers: Vec::new() });
+        out.push(PageMeta {
+            page: p,
+            created: None,
+            providers: Vec::new(),
+        });
     }
     out.sort_by_key(|m| m.page);
     Ok(out)
@@ -202,14 +259,26 @@ fn collect(
             let lo = first.max(offset);
             let hi = last.min(offset + span - 1);
             for p in lo..=hi {
-                out.push(PageMeta { page: p, created: None, providers: Vec::new() });
+                out.push(PageMeta {
+                    page: p,
+                    created: None,
+                    providers: Vec::new(),
+                });
             }
         }
         Some(key) => match store.get_node(key)? {
             TreeNode::Leaf { page, providers } => {
                 if page >= first && page <= last {
-                    let created = if providers.is_empty() { None } else { Some(key.version) };
-                    out.push(PageMeta { page, created, providers });
+                    let created = if providers.is_empty() {
+                        None
+                    } else {
+                        Some(key.version)
+                    };
+                    out.push(PageMeta {
+                        page,
+                        created,
+                        providers,
+                    });
                 }
             }
             TreeNode::Inner { left, right } => {
@@ -247,8 +316,7 @@ mod tests {
         expected: &BTreeMap<u64, Vec<ProviderId>>,
         num_pages: u64,
     ) {
-        let got = lookup_range(store, Some(root), span, 0, num_pages.saturating_sub(1).max(0))
-            .unwrap();
+        let got = lookup_range(store, Some(root), span, 0, num_pages.saturating_sub(1)).unwrap();
         assert_eq!(got.len() as u64, num_pages);
         for meta in got {
             let exp = expected.get(&meta.page).cloned().unwrap_or_default();
@@ -280,12 +348,18 @@ mod tests {
 
         // v2: overwrite pages 2..4 with provider 1.
         let w2 = written(&[(2, &[1]), (3, &[1])]);
-        let prev = PrevTree { root: Some(root1), span: 8 };
+        let prev = PrevTree {
+            root: Some(root1),
+            span: 8,
+        };
         let root2 = build_version(&s, BlobId(1), Version(2), prev, 8, &w2).unwrap();
         let v2_new_nodes = s.stats().nodes_written - after_v1;
         // Only 2 leaves + the path to the root (inner nodes covering spans
         // 2, 4, 8) are new: 5 nodes. Everything else is shared.
-        assert_eq!(v2_new_nodes, 5, "path copying should create only the changed path");
+        assert_eq!(
+            v2_new_nodes, 5,
+            "path copying should create only the changed path"
+        );
 
         // Both versions read correctly.
         let mut expected1: BTreeMap<u64, Vec<ProviderId>> =
@@ -306,7 +380,10 @@ mod tests {
 
         // v2: append 4 more pages; span grows 4 -> 8.
         let w2: BTreeMap<_, _> = (4..8).map(|p| (p, providers(&[1]))).collect();
-        let prev = PrevTree { root: Some(root1), span: 4 };
+        let prev = PrevTree {
+            root: Some(root1),
+            span: 4,
+        };
         let root2 = build_version(&s, BlobId(2), Version(2), prev, 8, &w2).unwrap();
         let v2_new = s.stats().nodes_written - after_v1;
         // New metadata records: 1 wrapper extending the old root to span 8,
@@ -338,7 +415,11 @@ mod tests {
                 assert_eq!(meta.providers, providers(&[3]));
                 assert_eq!(meta.created, Some(Version(1)));
             } else {
-                assert!(meta.providers.is_empty(), "page {} should be a hole", meta.page);
+                assert!(
+                    meta.providers.is_empty(),
+                    "page {} should be a hole",
+                    meta.page
+                );
                 assert_eq!(meta.created, None);
             }
         }
@@ -363,7 +444,9 @@ mod tests {
         let s = store();
         let got = lookup_range(&s, None, 0, 0, 3).unwrap();
         assert_eq!(got.len(), 4);
-        assert!(got.iter().all(|m| m.providers.is_empty() && m.created.is_none()));
+        assert!(got
+            .iter()
+            .all(|m| m.providers.is_empty() && m.created.is_none()));
     }
 
     #[test]
@@ -373,11 +456,22 @@ mod tests {
         let w1: BTreeMap<_, _> = (0..4).map(|p| (p, providers(&[0]))).collect();
         let root1 = build_version(&s, BlobId(6), Version(1), PrevTree::empty(), 4, &w1).unwrap();
         let w2 = written(&[(2, &[1])]);
-        let prev = PrevTree { root: Some(root1), span: 4 };
+        let prev = PrevTree {
+            root: Some(root1),
+            span: 4,
+        };
         let root2 = build_version(&s, BlobId(6), Version(2), prev, 4, &w2).unwrap();
         let got = lookup_range(&s, Some(root2), 4, 0, 3).unwrap();
-        assert_eq!(got[0].created, Some(Version(1)), "page 0 still carries the v1 image");
-        assert_eq!(got[2].created, Some(Version(2)), "page 2 was replaced by v2");
+        assert_eq!(
+            got[0].created,
+            Some(Version(1)),
+            "page 0 still carries the v1 image"
+        );
+        assert_eq!(
+            got[2].created,
+            Some(Version(2)),
+            "page 2 was replaced by v2"
+        );
         assert_eq!(got[3].created, Some(Version(1)));
     }
 
@@ -398,7 +492,10 @@ mod tests {
             current.insert(page, providers(&[v as u32]));
             roots.push(root);
             model.push(current.clone());
-            prev = PrevTree { root: Some(root), span };
+            prev = PrevTree {
+                root: Some(root),
+                span,
+            };
         }
         // Every historical version still reads exactly as it was.
         for (i, root) in roots.iter().enumerate() {

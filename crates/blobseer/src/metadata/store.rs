@@ -37,7 +37,11 @@ impl MetadataStore {
 
     /// Wrap an existing DHT (lets tests inject failures from outside).
     pub fn with_dht(dht: Arc<Dht>) -> Self {
-        MetadataStore { dht, nodes_written: AtomicU64::new(0), nodes_read: AtomicU64::new(0) }
+        MetadataStore {
+            dht,
+            nodes_written: AtomicU64::new(0),
+            nodes_read: AtomicU64::new(0),
+        }
     }
 
     /// Access the underlying DHT (failure injection in tests).
@@ -85,13 +89,21 @@ mod tests {
     use crate::types::{BlobId, ProviderId, Version};
 
     fn key(v: u64, o: u64, s: u64) -> NodeKey {
-        NodeKey { blob: BlobId(1), version: Version(v), offset: o, span: s }
+        NodeKey {
+            blob: BlobId(1),
+            version: Version(v),
+            offset: o,
+            span: s,
+        }
     }
 
     #[test]
     fn put_get_roundtrip_and_stats() {
         let store = MetadataStore::new(3, 2);
-        let leaf = TreeNode::Leaf { page: 5, providers: vec![ProviderId(2)] };
+        let leaf = TreeNode::Leaf {
+            page: 5,
+            providers: vec![ProviderId(2)],
+        };
         store.put_node(key(1, 5, 1), &leaf).unwrap();
         let got = store.get_node(key(1, 5, 1)).unwrap();
         assert_eq!(got, leaf);
@@ -109,7 +121,10 @@ mod tests {
     #[test]
     fn remove_node() {
         let store = MetadataStore::new(2, 1);
-        let n = TreeNode::Inner { left: None, right: None };
+        let n = TreeNode::Inner {
+            left: None,
+            right: None,
+        };
         store.put_node(key(1, 0, 2), &n).unwrap();
         assert!(store.remove_node(key(1, 0, 2)).unwrap());
         assert!(store.get_node(key(1, 0, 2)).is_err());
@@ -119,7 +134,10 @@ mod tests {
     #[test]
     fn metadata_survives_one_dht_node_failure() {
         let store = MetadataStore::new(4, 2);
-        let leaf = TreeNode::Leaf { page: 0, providers: vec![ProviderId(0)] };
+        let leaf = TreeNode::Leaf {
+            page: 0,
+            providers: vec![ProviderId(0)],
+        };
         store.put_node(key(1, 0, 1), &leaf).unwrap();
         // Kill one of the replicas of that key.
         let replicas = store.dht().replicas_for(&key(1, 0, 1).dht_key());

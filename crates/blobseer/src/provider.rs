@@ -104,7 +104,8 @@ impl Provider {
             return Err(BlobSeerError::Storage(kvstore::KvError::Closed));
         }
         self.writes.fetch_add(1, Ordering::Relaxed);
-        self.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.store.put(key, data)?;
         Ok(())
     }
@@ -198,7 +199,10 @@ mod tests {
         assert!(p.get_page(&key).is_err());
         assert!(p.delete_page(&key).is_err());
         p.revive();
-        assert_eq!(p.get_page(&key).unwrap().unwrap(), Bytes::from_static(b"data"));
+        assert_eq!(
+            p.get_page(&key).unwrap().unwrap(),
+            Bytes::from_static(b"data")
+        );
     }
 
     #[test]

@@ -206,7 +206,11 @@ impl ProviderManager {
             .collect();
         candidates.sort();
         *cursor = (*cursor + 1) % n;
-        candidates.into_iter().take(replication).map(|(_, _, id)| id).collect()
+        candidates
+            .into_iter()
+            .take(replication)
+            .map(|(_, _, id)| id)
+            .collect()
     }
 
     /// HDFS-style: closest provider to the writer first, then same rack, then
@@ -292,7 +296,11 @@ mod tests {
 
     fn topo() -> ClusterTopology {
         // 2 racks of 4 nodes.
-        ClusterTopology::builder().sites(1).racks_per_site(2).nodes_per_rack(4).build()
+        ClusterTopology::builder()
+            .sites(1)
+            .racks_per_site(2)
+            .nodes_per_rack(4)
+            .build()
     }
 
     fn manager(strategy: PlacementStrategy) -> ProviderManager {
@@ -310,7 +318,10 @@ mod tests {
         let load = m.allocation_load();
         assert_eq!(load.len(), 8);
         for (_, count) in load {
-            assert_eq!(count, 10, "load-balanced placement should be perfectly even");
+            assert_eq!(
+                count, 10,
+                "load-balanced placement should be perfectly even"
+            );
         }
     }
 
@@ -324,7 +335,10 @@ mod tests {
         let load = m.allocation_load();
         let min = load.values().min().copied().unwrap();
         let max = load.values().max().copied().unwrap();
-        assert!(max - min <= 1, "imbalance should be at most one page, got min={min} max={max}");
+        assert!(
+            max - min <= 1,
+            "imbalance should be at most one page, got min={min} max={max}"
+        );
     }
 
     #[test]
@@ -337,11 +351,17 @@ mod tests {
             assert_eq!(m.node_of(replicas[0]).unwrap(), NodeId(2));
             // Second replica is in the same rack (nodes 0-3 are rack 0).
             let second_node = m.node_of(replicas[1]).unwrap();
-            assert!(second_node.0 < 4, "second replica should stay in the writer's rack");
+            assert!(
+                second_node.0 < 4,
+                "second replica should stay in the writer's rack"
+            );
             assert_ne!(replicas[0], replicas[1]);
             // Third replica is outside the rack.
             let third_node = m.node_of(replicas[2]).unwrap();
-            assert!(third_node.0 >= 4, "third replica should leave the writer's rack");
+            assert!(
+                third_node.0 >= 4,
+                "third replica should leave the writer's rack"
+            );
         }
     }
 
@@ -352,7 +372,11 @@ mod tests {
         let m = manager(PlacementStrategy::LocalFirst);
         m.allocate(50, 1, NodeId(1));
         let load = m.allocation_load();
-        assert_eq!(load.len(), 1, "all pages should go to the single local provider");
+        assert_eq!(
+            load.len(),
+            1,
+            "all pages should go to the single local provider"
+        );
         let (only_id, count) = load.iter().next().unwrap();
         assert_eq!(m.node_of(*only_id).unwrap(), NodeId(1));
         assert_eq!(*count, 50);
@@ -363,7 +387,10 @@ mod tests {
         let m = manager(PlacementStrategy::Random);
         m.allocate(200, 1, NodeId(0));
         let load = m.allocation_load();
-        assert!(load.len() >= 6, "random placement should touch most providers");
+        assert!(
+            load.len() >= 6,
+            "random placement should touch most providers"
+        );
         // Deterministic: a second manager produces the same placement.
         let m2 = manager(PlacementStrategy::Random);
         let p2 = m2.allocate(5, 2, NodeId(0));
@@ -383,7 +410,11 @@ mod tests {
             let placement = m.allocate(30, 3, NodeId(5));
             for replicas in placement {
                 let unique: std::collections::HashSet<_> = replicas.iter().collect();
-                assert_eq!(unique.len(), replicas.len(), "strategy {strategy:?} repeated a provider");
+                assert_eq!(
+                    unique.len(),
+                    replicas.len(),
+                    "strategy {strategy:?} repeated a provider"
+                );
             }
         }
     }

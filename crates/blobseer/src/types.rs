@@ -80,7 +80,10 @@ impl ByteRange {
 
     /// Do two ranges share at least one byte?
     pub fn overlaps(&self, other: &ByteRange) -> bool {
-        !self.is_empty() && !other.is_empty() && self.offset < other.end() && other.offset < self.end()
+        !self.is_empty()
+            && !other.is_empty()
+            && self.offset < other.end()
+            && other.offset < self.end()
     }
 
     /// The intersection of two ranges, if non-empty.
@@ -152,7 +155,7 @@ impl PageMath {
     /// also be unaligned if it coincides with `blob_size`, which callers check
     /// separately; this predicate is purely geometric.)
     pub fn is_aligned(&self, range: ByteRange) -> bool {
-        range.offset % self.page_size == 0 && range.end() % self.page_size == 0
+        range.offset.is_multiple_of(self.page_size) && range.end().is_multiple_of(self.page_size)
     }
 
     /// The byte range covered by page `index`.
@@ -198,7 +201,10 @@ mod tests {
         let c = ByteRange::new(100, 10);
         assert!(a.overlaps(&b));
         assert!(b.overlaps(&a));
-        assert!(!a.overlaps(&c), "half-open ranges: [0,100) and [100,110) do not overlap");
+        assert!(
+            !a.overlaps(&c),
+            "half-open ranges: [0,100) and [100,110) do not overlap"
+        );
         assert_eq!(a.intersection(&b), Some(ByteRange::new(50, 50)));
         assert_eq!(a.intersection(&c), None);
         assert!(!ByteRange::new(5, 0).overlaps(&a));

@@ -166,7 +166,9 @@ impl VersionManager {
     /// Reserve a version (and offset, for appends) for an upcoming write.
     pub fn reserve(&self, blob: BlobId, intent: WriteIntent) -> BlobResult<WriteTicket> {
         let mut blobs = self.blobs.lock();
-        let state = blobs.get_mut(&blob).ok_or(BlobSeerError::UnknownBlob(blob))?;
+        let state = blobs
+            .get_mut(&blob)
+            .ok_or(BlobSeerError::UnknownBlob(blob))?;
 
         let (offset, len) = match intent {
             WriteIntent::WriteAt { offset, len } => (offset, len),
@@ -201,9 +203,15 @@ impl VersionManager {
         let prev = ticket.version.0 - 1;
         let mut blobs = self.blobs.lock();
         loop {
-            let state = blobs.get(&ticket.blob).ok_or(BlobSeerError::UnknownBlob(ticket.blob))?;
+            let state = blobs
+                .get(&ticket.blob)
+                .ok_or(BlobSeerError::UnknownBlob(ticket.blob))?;
             if let Some((root, size)) = state.published.get(&prev) {
-                return Ok(VersionInfo { version: Version(prev), root: *root, size: *size });
+                return Ok(VersionInfo {
+                    version: Version(prev),
+                    root: *root,
+                    size: *size,
+                });
             }
             self.published_cond.wait(&mut blobs);
         }
@@ -211,21 +219,28 @@ impl VersionManager {
 
     /// Publish a committed version: record its tree root and size, and make
     /// it (and any consecutive successors already committed) visible.
-    pub fn commit(
-        &self,
-        ticket: &WriteTicket,
-        root: Option<NodeKey>,
-    ) -> BlobResult<VersionInfo> {
+    pub fn commit(&self, ticket: &WriteTicket, root: Option<NodeKey>) -> BlobResult<VersionInfo> {
         let mut blobs = self.blobs.lock();
-        let state = blobs.get_mut(&ticket.blob).ok_or(BlobSeerError::UnknownBlob(ticket.blob))?;
+        let state = blobs
+            .get_mut(&ticket.blob)
+            .ok_or(BlobSeerError::UnknownBlob(ticket.blob))?;
         if state.outstanding.remove(&ticket.version.0).is_none() {
-            return Err(BlobSeerError::InvalidTicket { blob: ticket.blob, version: ticket.version });
+            return Err(BlobSeerError::InvalidTicket {
+                blob: ticket.blob,
+                version: ticket.version,
+            });
         }
-        state.pending.insert(ticket.version.0, (root, ticket.new_size));
+        state
+            .pending
+            .insert(ticket.version.0, (root, ticket.new_size));
         state.advance();
         self.commits.fetch_add(1, Ordering::Relaxed);
         self.published_cond.notify_all();
-        Ok(VersionInfo { version: ticket.version, root, size: ticket.new_size })
+        Ok(VersionInfo {
+            version: ticket.version,
+            root,
+            size: ticket.new_size,
+        })
     }
 
     /// Abandon a reservation. The version still needs to exist so that later
@@ -235,11 +250,18 @@ impl VersionManager {
         // Wait for the predecessor so we can alias it.
         let prev = self.wait_for_predecessor(ticket)?;
         let mut blobs = self.blobs.lock();
-        let state = blobs.get_mut(&ticket.blob).ok_or(BlobSeerError::UnknownBlob(ticket.blob))?;
+        let state = blobs
+            .get_mut(&ticket.blob)
+            .ok_or(BlobSeerError::UnknownBlob(ticket.blob))?;
         if state.outstanding.remove(&ticket.version.0).is_none() {
-            return Err(BlobSeerError::InvalidTicket { blob: ticket.blob, version: ticket.version });
+            return Err(BlobSeerError::InvalidTicket {
+                blob: ticket.blob,
+                version: ticket.version,
+            });
         }
-        state.pending.insert(ticket.version.0, (prev.root, prev.size));
+        state
+            .pending
+            .insert(ticket.version.0, (prev.root, prev.size));
         state.advance();
         self.published_cond.notify_all();
         Ok(())
@@ -251,7 +273,11 @@ impl VersionManager {
         let state = blobs.get(&blob).ok_or(BlobSeerError::UnknownBlob(blob))?;
         let v = state.published_up_to;
         let (root, size) = state.published[&v];
-        Ok(VersionInfo { version: Version(v), root, size })
+        Ok(VersionInfo {
+            version: Version(v),
+            root,
+            size,
+        })
     }
 
     /// Descriptor of a specific published version.
@@ -259,9 +285,11 @@ impl VersionManager {
         let blobs = self.blobs.lock();
         let state = blobs.get(&blob).ok_or(BlobSeerError::UnknownBlob(blob))?;
         match state.published.get(&version.0) {
-            Some((root, size)) if version.0 <= state.published_up_to => {
-                Ok(VersionInfo { version, root: *root, size: *size })
-            }
+            Some((root, size)) if version.0 <= state.published_up_to => Ok(VersionInfo {
+                version,
+                root: *root,
+                size: *size,
+            }),
             _ => Err(BlobSeerError::UnknownVersion { blob, version }),
         }
     }
@@ -274,7 +302,11 @@ impl VersionManager {
             .published
             .iter()
             .filter(|(v, _)| **v <= state.published_up_to)
-            .map(|(v, (root, size))| VersionInfo { version: Version(*v), root: *root, size: *size })
+            .map(|(v, (root, size))| VersionInfo {
+                version: Version(*v),
+                root: *root,
+                size: *size,
+            })
             .collect())
     }
 
@@ -295,7 +327,12 @@ mod tests {
     use std::sync::Arc;
 
     fn leaf_key(blob: BlobId, v: u64) -> NodeKey {
-        NodeKey { blob, version: Version(v), offset: 0, span: 1 }
+        NodeKey {
+            blob,
+            version: Version(v),
+            offset: 0,
+            span: 1,
+        }
     }
 
     #[test]
@@ -314,19 +351,33 @@ mod tests {
     fn unknown_blob_errors() {
         let vm = VersionManager::new();
         let bogus = BlobId(77);
-        assert!(matches!(vm.latest(bogus), Err(BlobSeerError::UnknownBlob(_))));
+        assert!(matches!(
+            vm.latest(bogus),
+            Err(BlobSeerError::UnknownBlob(_))
+        ));
         assert!(matches!(
             vm.reserve(bogus, WriteIntent::Append { len: 1 }),
             Err(BlobSeerError::UnknownBlob(_))
         ));
-        assert!(matches!(vm.delete_blob(bogus), Err(BlobSeerError::UnknownBlob(_))));
+        assert!(matches!(
+            vm.delete_blob(bogus),
+            Err(BlobSeerError::UnknownBlob(_))
+        ));
     }
 
     #[test]
     fn write_reserve_and_commit_publishes_in_order() {
         let vm = VersionManager::new();
         let blob = vm.create_blob();
-        let t1 = vm.reserve(blob, WriteIntent::WriteAt { offset: 0, len: 100 }).unwrap();
+        let t1 = vm
+            .reserve(
+                blob,
+                WriteIntent::WriteAt {
+                    offset: 0,
+                    len: 100,
+                },
+            )
+            .unwrap();
         assert_eq!(t1.version, Version(1));
         assert_eq!(t1.new_size, 100);
         let info = vm.commit(&t1, Some(leaf_key(blob, 1))).unwrap();
@@ -373,7 +424,10 @@ mod tests {
         let blob = vm.create_blob();
         let t = vm.reserve(blob, WriteIntent::Append { len: 10 }).unwrap();
         vm.commit(&t, None).unwrap();
-        assert!(matches!(vm.commit(&t, None), Err(BlobSeerError::InvalidTicket { .. })));
+        assert!(matches!(
+            vm.commit(&t, None),
+            Err(BlobSeerError::InvalidTicket { .. })
+        ));
     }
 
     #[test]

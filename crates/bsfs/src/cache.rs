@@ -48,7 +48,12 @@ impl ReadCache {
     pub fn new(block_size: u64, capacity: usize) -> Self {
         assert!(block_size > 0, "block size must be non-zero");
         assert!(capacity > 0, "cache capacity must be at least one block");
-        ReadCache { block_size, capacity, blocks: VecDeque::new(), stats: CacheStats::default() }
+        ReadCache {
+            block_size,
+            capacity,
+            blocks: VecDeque::new(),
+            stats: CacheStats::default(),
+        }
     }
 
     /// The configured block size.
@@ -147,7 +152,11 @@ impl WriteBuffer {
     pub fn new(block_size: u64) -> Self {
         assert!(block_size > 0, "block size must be non-zero");
         let block_size = block_size as usize;
-        WriteBuffer { block_size, buffer: Vec::with_capacity(block_size), total: 0 }
+        WriteBuffer {
+            block_size,
+            buffer: Vec::with_capacity(block_size),
+            total: 0,
+        }
     }
 
     /// Append `data`, returning every full block that became available (in
@@ -203,7 +212,9 @@ mod tests {
         move |block, block_len| {
             calls.borrow_mut().push(block);
             let start = (block * block_size) as usize;
-            Ok(Bytes::from(backing[start..start + block_len as usize].to_vec()))
+            Ok(Bytes::from(
+                backing[start..start + block_len as usize].to_vec(),
+            ))
         }
     }
 
@@ -288,7 +299,9 @@ mod tests {
     fn zero_length_read_is_free() {
         let mut cache = ReadCache::new(100, 1);
         let got = cache
-            .read(0, 0, 100, |_, _| -> Result<Bytes, Infallible> { panic!("must not load") })
+            .read(0, 0, 100, |_, _| -> Result<Bytes, Infallible> {
+                panic!("must not load")
+            })
             .unwrap();
         assert!(got.is_empty());
         assert_eq!(cache.stats().hits, 0);

@@ -22,7 +22,11 @@ pub enum FsError {
     /// A path was syntactically invalid (empty, not absolute, ...).
     InvalidPath(String),
     /// A read past the end of a file.
-    OutOfBounds { path: String, requested_end: u64, size: u64 },
+    OutOfBounds {
+        path: String,
+        requested_end: u64,
+        size: u64,
+    },
     /// The writer was already closed.
     WriterClosed,
     /// The directory is not empty and recursive deletion was not requested.
@@ -40,8 +44,15 @@ impl fmt::Display for FsError {
             FsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
             FsError::ParentMissing(p) => write!(f, "parent directory does not exist: {p}"),
             FsError::InvalidPath(p) => write!(f, "invalid path: {p}"),
-            FsError::OutOfBounds { path, requested_end, size } => {
-                write!(f, "read past end of {path}: requested byte {requested_end}, size {size}")
+            FsError::OutOfBounds {
+                path,
+                requested_end,
+                size,
+            } => {
+                write!(
+                    f,
+                    "read past end of {path}: requested byte {requested_end}, size {size}"
+                )
             }
             FsError::WriterClosed => write!(f, "writer already closed"),
             FsError::DirectoryNotEmpty(p) => write!(f, "directory not empty: {p}"),
@@ -71,12 +82,24 @@ mod tests {
 
     #[test]
     fn display_covers_variants() {
-        assert!(FsError::FileNotFound("/a".into()).to_string().contains("/a"));
-        assert!(FsError::AlreadyExists("/b".into()).to_string().contains("exists"));
-        assert!(FsError::InvalidPath("".into()).to_string().contains("invalid"));
+        assert!(FsError::FileNotFound("/a".into())
+            .to_string()
+            .contains("/a"));
+        assert!(FsError::AlreadyExists("/b".into())
+            .to_string()
+            .contains("exists"));
+        assert!(FsError::InvalidPath("".into())
+            .to_string()
+            .contains("invalid"));
         assert!(FsError::WriterClosed.to_string().contains("closed"));
-        assert!(FsError::DirectoryNotEmpty("/d".into()).to_string().contains("not empty"));
-        let e = FsError::OutOfBounds { path: "/f".into(), requested_end: 10, size: 5 };
+        assert!(FsError::DirectoryNotEmpty("/d".into())
+            .to_string()
+            .contains("not empty"));
+        let e = FsError::OutOfBounds {
+            path: "/f".into(),
+            requested_end: 10,
+            size: 5,
+        };
         assert!(e.to_string().contains("10"));
         let e: FsError = blobseer::BlobSeerError::NoProviders.into();
         assert!(std::error::Error::source(&e).is_some());

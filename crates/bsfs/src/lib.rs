@@ -64,14 +64,22 @@ pub struct BsfsConfig {
 
 impl Default for BsfsConfig {
     fn default() -> Self {
-        BsfsConfig { block_size: 64 * 1024 * 1024, read_cache_blocks: 2, cache_enabled: true }
+        BsfsConfig {
+            block_size: 64 * 1024 * 1024,
+            read_cache_blocks: 2,
+            cache_enabled: true,
+        }
     }
 }
 
 impl BsfsConfig {
     /// A configuration sized for unit tests (small blocks).
     pub fn for_tests() -> Self {
-        BsfsConfig { block_size: 256, read_cache_blocks: 2, cache_enabled: true }
+        BsfsConfig {
+            block_size: 256,
+            read_cache_blocks: 2,
+            cache_enabled: true,
+        }
     }
 
     /// Builder-style override of the block size.
@@ -115,7 +123,12 @@ impl Bsfs {
     pub fn new(storage: Arc<BlobSeer>, config: BsfsConfig) -> Self {
         assert!(config.block_size > 0, "block size must be non-zero");
         let client = storage.client();
-        Bsfs { storage, client, namespace: Arc::new(NamespaceManager::new()), config }
+        Bsfs {
+            storage,
+            client,
+            namespace: Arc::new(NamespaceManager::new()),
+            config,
+        }
     }
 
     /// A handle whose operations originate from the given cluster node.
@@ -231,7 +244,10 @@ impl Bsfs {
         let locations = self.client.locate_latest(entry.blob, offset, len)?;
         Ok(locations
             .into_iter()
-            .map(|l| BlockLocation { range: l.range, nodes: l.nodes })
+            .map(|l| BlockLocation {
+                range: l.range,
+                nodes: l.nodes,
+            })
             .collect())
     }
 
@@ -427,7 +443,11 @@ mod tests {
         w.close().unwrap();
         assert_eq!(fs.len("/records").unwrap(), 1100);
         let versions = fs.storage().version_manager().latest(w.blob()).unwrap();
-        assert_eq!(versions.version.0, 5, "expected 5 block appends, got {}", versions.version.0);
+        assert_eq!(
+            versions.version.0, 5,
+            "expected 5 block appends, got {}",
+            versions.version.0
+        );
     }
 
     #[test]
@@ -440,7 +460,10 @@ mod tests {
         }
         w.close().unwrap();
         let versions = fs.storage().version_manager().latest(w.blob()).unwrap();
-        assert_eq!(versions.version.0, 20, "without the cache every record is one append");
+        assert_eq!(
+            versions.version.0, 20,
+            "without the cache every record is one append"
+        );
         assert_eq!(fs.len("/records").unwrap(), 220);
     }
 
@@ -473,9 +496,15 @@ mod tests {
         let mut r = fs.open("/random").unwrap();
         for &(off, len) in &[(0u64, 10u64), (2990, 10), (250, 20), (1023, 2), (0, 3000)] {
             let got = r.read_at(off, len).unwrap();
-            assert_eq!(got.to_vec(), data[off as usize..(off + len) as usize].to_vec());
+            assert_eq!(
+                got.to_vec(),
+                data[off as usize..(off + len) as usize].to_vec()
+            );
         }
-        assert!(matches!(r.read_at(2995, 10), Err(FsError::OutOfBounds { .. })));
+        assert!(matches!(
+            r.read_at(2995, 10),
+            Err(FsError::OutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -497,8 +526,14 @@ mod tests {
         let fs = fs();
         assert!(matches!(fs.open("/nope"), Err(FsError::FileNotFound(_))));
         assert!(matches!(fs.len("/nope"), Err(FsError::FileNotFound(_))));
-        assert!(matches!(fs.read_file("/nope"), Err(FsError::FileNotFound(_))));
-        assert!(matches!(fs.delete("/nope", false), Err(FsError::FileNotFound(_))));
+        assert!(matches!(
+            fs.read_file("/nope"),
+            Err(FsError::FileNotFound(_))
+        ));
+        assert!(matches!(
+            fs.delete("/nope", false),
+            Err(FsError::FileNotFound(_))
+        ));
     }
 
     #[test]
@@ -580,8 +615,7 @@ mod tests {
             assert!(!loc.nodes.is_empty());
         }
         // With load-balanced placement the blocks spread over several nodes.
-        let unique: std::collections::HashSet<_> =
-            locations.iter().map(|l| l.nodes[0]).collect();
+        let unique: std::collections::HashSet<_> = locations.iter().map(|l| l.nodes[0]).collect();
         assert!(unique.len() > 1, "blocks should not all be on one node");
         // A sub-range only reports its blocks.
         let partial = fs.locate("/located", 300, 10).unwrap();
@@ -590,8 +624,11 @@ mod tests {
 
     #[test]
     fn concurrent_writers_to_different_files() {
-        let storage =
-            BlobSeer::new(BlobSeerConfig::for_tests().with_providers(8).with_page_size(1024));
+        let storage = BlobSeer::new(
+            BlobSeerConfig::for_tests()
+                .with_providers(8)
+                .with_page_size(1024),
+        );
         let fs = Bsfs::new(storage, BsfsConfig::for_tests().with_block_size(1024));
         let handles: Vec<_> = (0..8u8)
             .map(|t| {

@@ -86,7 +86,11 @@ impl NamespaceManager {
         let mut directories = BTreeSet::new();
         directories.insert("/".to_string());
         NamespaceManager {
-            inner: Mutex::new(Inner { files: BTreeMap::new(), directories, next_seq: 0 }),
+            inner: Mutex::new(Inner {
+                files: BTreeMap::new(),
+                directories,
+                next_seq: 0,
+            }),
         }
     }
 
@@ -108,7 +112,13 @@ impl NamespaceManager {
         }
         let seq = inner.next_seq;
         inner.next_seq += 1;
-        inner.files.insert(path, FileEntry { blob, created_seq: seq });
+        inner.files.insert(
+            path,
+            FileEntry {
+                blob,
+                created_seq: seq,
+            },
+        );
         Ok(())
     }
 
@@ -139,7 +149,11 @@ impl NamespaceManager {
         if inner.directories.contains(&path) {
             return Err(FsError::IsADirectory(path));
         }
-        inner.files.get(&path).cloned().ok_or(FsError::FileNotFound(path))
+        inner
+            .files
+            .get(&path)
+            .cloned()
+            .ok_or(FsError::FileNotFound(path))
     }
 
     /// Status of a path.
@@ -157,7 +171,10 @@ impl NamespaceManager {
 
     /// Does the path exist (as a file or a directory)?
     pub fn exists(&self, path: &str) -> bool {
-        matches!(self.status(path), Ok(PathStatus::File(_)) | Ok(PathStatus::Directory))
+        matches!(
+            self.status(path),
+            Ok(PathStatus::File(_)) | Ok(PathStatus::Directory)
+        )
     }
 
     /// List the immediate children of a directory (file and directory names,
@@ -171,7 +188,11 @@ impl NamespaceManager {
         if !inner.directories.contains(&path) {
             return Err(FsError::FileNotFound(path));
         }
-        let prefix = if path == "/" { "/".to_string() } else { format!("{path}/") };
+        let prefix = if path == "/" {
+            "/".to_string()
+        } else {
+            format!("{path}/")
+        };
         let mut children = BTreeSet::new();
         for candidate in inner.files.keys().chain(inner.directories.iter()) {
             if candidate == &path {
@@ -205,7 +226,9 @@ impl NamespaceManager {
     pub fn remove_dir(&self, path: &str, recursive: bool) -> FsResult<Vec<FileEntry>> {
         let path = normalize(path)?;
         if path == "/" {
-            return Err(FsError::InvalidPath("cannot remove the root directory".into()));
+            return Err(FsError::InvalidPath(
+                "cannot remove the root directory".into(),
+            ));
         }
         let mut inner = self.inner.lock();
         if inner.files.contains_key(&path) {
@@ -215,10 +238,18 @@ impl NamespaceManager {
             return Err(FsError::FileNotFound(path));
         }
         let prefix = format!("{path}/");
-        let child_files: Vec<String> =
-            inner.files.keys().filter(|k| k.starts_with(&prefix)).cloned().collect();
-        let child_dirs: Vec<String> =
-            inner.directories.iter().filter(|k| k.starts_with(&prefix)).cloned().collect();
+        let child_files: Vec<String> = inner
+            .files
+            .keys()
+            .filter(|k| k.starts_with(&prefix))
+            .cloned()
+            .collect();
+        let child_dirs: Vec<String> = inner
+            .directories
+            .iter()
+            .filter(|k| k.starts_with(&prefix))
+            .cloned()
+            .collect();
         if !recursive && (!child_files.is_empty() || !child_dirs.is_empty()) {
             return Err(FsError::DirectoryNotEmpty(path));
         }
@@ -240,7 +271,9 @@ impl NamespaceManager {
         let from = normalize(from)?;
         let to = normalize(to)?;
         if from == "/" || to == "/" {
-            return Err(FsError::InvalidPath("cannot rename the root directory".into()));
+            return Err(FsError::InvalidPath(
+                "cannot rename the root directory".into(),
+            ));
         }
         let mut inner = self.inner.lock();
         if inner.files.contains_key(&to) || inner.directories.contains(&to) {
@@ -331,16 +364,25 @@ mod tests {
         let removed = ns.remove_file("/data.txt").unwrap();
         assert_eq!(removed.blob, BlobId(1));
         assert!(!ns.exists("/data.txt"));
-        assert!(matches!(ns.lookup("/data.txt"), Err(FsError::FileNotFound(_))));
+        assert!(matches!(
+            ns.lookup("/data.txt"),
+            Err(FsError::FileNotFound(_))
+        ));
     }
 
     #[test]
     fn duplicate_creation_fails() {
         let ns = NamespaceManager::new();
         ns.create_file("/f", BlobId(0)).unwrap();
-        assert!(matches!(ns.create_file("/f", BlobId(1)), Err(FsError::AlreadyExists(_))));
+        assert!(matches!(
+            ns.create_file("/f", BlobId(1)),
+            Err(FsError::AlreadyExists(_))
+        ));
         ns.mkdirs("/d").unwrap();
-        assert!(matches!(ns.create_file("/d", BlobId(1)), Err(FsError::AlreadyExists(_))));
+        assert!(matches!(
+            ns.create_file("/d", BlobId(1)),
+            Err(FsError::AlreadyExists(_))
+        ));
     }
 
     #[test]
@@ -367,7 +409,10 @@ mod tests {
         assert_eq!(children, vec!["/a/b/c", "/a/b/file1", "/a/b/file2"]);
         let top = ns.list("/").unwrap();
         assert_eq!(top, vec!["/a"]);
-        assert!(matches!(ns.list("/a/b/file1"), Err(FsError::NotADirectory(_))));
+        assert!(matches!(
+            ns.list("/a/b/file1"),
+            Err(FsError::NotADirectory(_))
+        ));
         assert!(matches!(ns.list("/nope"), Err(FsError::FileNotFound(_))));
     }
 
@@ -388,13 +433,19 @@ mod tests {
         ns.mkdirs("/out/logs").unwrap();
         ns.create_file("/out/part-0", BlobId(1)).unwrap();
         ns.create_file("/out/logs/l0", BlobId(2)).unwrap();
-        assert!(matches!(ns.remove_dir("/out", false), Err(FsError::DirectoryNotEmpty(_))));
+        assert!(matches!(
+            ns.remove_dir("/out", false),
+            Err(FsError::DirectoryNotEmpty(_))
+        ));
         let removed = ns.remove_dir("/out", true).unwrap();
         assert_eq!(removed.len(), 2);
         assert!(!ns.exists("/out"));
         assert!(!ns.exists("/out/logs"));
         assert_eq!(ns.file_count(), 0);
-        assert!(matches!(ns.remove_dir("/", true), Err(FsError::InvalidPath(_))));
+        assert!(matches!(
+            ns.remove_dir("/", true),
+            Err(FsError::InvalidPath(_))
+        ));
     }
 
     #[test]
@@ -415,9 +466,18 @@ mod tests {
         assert_eq!(ns.lookup("/c/nested").unwrap().blob, BlobId(2));
 
         // Destination collisions and missing parents are rejected.
-        assert!(matches!(ns.rename("/c/nested", "/b/g"), Err(FsError::AlreadyExists(_))));
-        assert!(matches!(ns.rename("/c/nested", "/zz/x"), Err(FsError::ParentMissing(_))));
-        assert!(matches!(ns.rename("/ghost", "/b/h"), Err(FsError::FileNotFound(_))));
+        assert!(matches!(
+            ns.rename("/c/nested", "/b/g"),
+            Err(FsError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            ns.rename("/c/nested", "/zz/x"),
+            Err(FsError::ParentMissing(_))
+        ));
+        assert!(matches!(
+            ns.rename("/ghost", "/b/h"),
+            Err(FsError::FileNotFound(_))
+        ));
     }
 
     #[test]
@@ -436,7 +496,8 @@ mod tests {
                 let ns = std::sync::Arc::clone(&ns);
                 std::thread::spawn(move || {
                     for i in 0..50 {
-                        ns.create_file(&format!("/t{t}-f{i}"), BlobId(t * 1000 + i)).unwrap();
+                        ns.create_file(&format!("/t{t}-f{i}"), BlobId(t * 1000 + i))
+                            .unwrap();
                     }
                 })
             })

@@ -59,7 +59,10 @@ impl fmt::Display for DhtError {
         match self {
             DhtError::NotFound { key } => write!(f, "key not found in DHT: {key}"),
             DhtError::NotEnoughReplicas { wanted, available } => {
-                write!(f, "not enough live replicas: wanted {wanted}, available {available}")
+                write!(
+                    f,
+                    "not enough live replicas: wanted {wanted}, available {available}"
+                )
             }
             DhtError::Empty => write!(f, "the DHT has no nodes"),
             DhtError::UnknownNode(id) => write!(f, "unknown DHT node {id:?}"),
@@ -85,7 +88,11 @@ pub struct DhtConfig {
 
 impl Default for DhtConfig {
     fn default() -> Self {
-        DhtConfig { nodes: 4, replication: 2, virtual_nodes: 64 }
+        DhtConfig {
+            nodes: 4,
+            replication: 2,
+            virtual_nodes: 64,
+        }
     }
 }
 
@@ -122,7 +129,10 @@ pub struct Dht {
 impl Dht {
     /// Build a DHT with `config.nodes` initial nodes.
     pub fn new(config: DhtConfig) -> Self {
-        assert!(config.replication >= 1, "replication factor must be at least 1");
+        assert!(
+            config.replication >= 1,
+            "replication factor must be at least 1"
+        );
         let mut inner = DhtInner {
             ring: HashRing::new(config.virtual_nodes),
             nodes: HashMap::new(),
@@ -136,7 +146,9 @@ impl Dht {
             inner.ring.add_node(id);
             inner.nodes.insert(id, Arc::new(DhtNode::new(id)));
         }
-        Dht { inner: RwLock::new(inner) }
+        Dht {
+            inner: RwLock::new(inner),
+        }
     }
 
     /// The replication factor this DHT was configured with.
@@ -170,7 +182,10 @@ impl Dht {
             }
         }
         if stored == 0 {
-            return Err(DhtError::NotEnoughReplicas { wanted: inner.replication, available: 0 });
+            return Err(DhtError::NotEnoughReplicas {
+                wanted: inner.replication,
+                available: 0,
+            });
         }
         Ok(())
     }
@@ -192,7 +207,9 @@ impl Dht {
                 return Ok(v);
             }
         }
-        Err(DhtError::NotFound { key: String::from_utf8_lossy(key).into_owned() })
+        Err(DhtError::NotFound {
+            key: String::from_utf8_lossy(key).into_owned(),
+        })
     }
 
     /// Remove `key` from every replica that holds it. Returns true if at
@@ -298,7 +315,10 @@ impl Dht {
     /// Aggregate statistics.
     pub fn stats(&self) -> DhtStats {
         let inner = self.inner.read();
-        let mut s = DhtStats { nodes: inner.nodes.len(), ..Default::default() };
+        let mut s = DhtStats {
+            nodes: inner.nodes.len(),
+            ..Default::default()
+        };
         for node in inner.nodes.values() {
             if node.is_alive() {
                 s.live_nodes += 1;
@@ -344,7 +364,11 @@ mod tests {
 
     #[test]
     fn replication_places_copies_on_distinct_nodes() {
-        let dht = Dht::new(DhtConfig { nodes: 5, replication: 3, ..Default::default() });
+        let dht = Dht::new(DhtConfig {
+            nodes: 5,
+            replication: 3,
+            ..Default::default()
+        });
         dht.put(b"key", Bytes::from_static(b"value")).unwrap();
         let replicas = dht.replicas_for(b"key");
         assert_eq!(replicas.len(), 3);
@@ -358,7 +382,11 @@ mod tests {
 
     #[test]
     fn survives_killing_one_replica() {
-        let dht = Dht::new(DhtConfig { nodes: 5, replication: 3, ..Default::default() });
+        let dht = Dht::new(DhtConfig {
+            nodes: 5,
+            replication: 3,
+            ..Default::default()
+        });
         dht.put(b"key", Bytes::from_static(b"value")).unwrap();
         let replicas = dht.replicas_for(b"key");
         dht.kill(replicas[0]).unwrap();
@@ -369,7 +397,11 @@ mod tests {
 
     #[test]
     fn fails_when_all_replicas_dead() {
-        let dht = Dht::new(DhtConfig { nodes: 3, replication: 2, ..Default::default() });
+        let dht = Dht::new(DhtConfig {
+            nodes: 3,
+            replication: 2,
+            ..Default::default()
+        });
         dht.put(b"key", Bytes::from_static(b"value")).unwrap();
         for id in dht.replicas_for(b"key") {
             dht.kill(id).unwrap();
@@ -382,9 +414,17 @@ mod tests {
 
     #[test]
     fn join_and_rebalance_preserve_all_keys() {
-        let dht = Dht::new(DhtConfig { nodes: 3, replication: 2, ..Default::default() });
+        let dht = Dht::new(DhtConfig {
+            nodes: 3,
+            replication: 2,
+            ..Default::default()
+        });
         for i in 0..200u32 {
-            dht.put(format!("key-{i}").as_bytes(), Bytes::from(format!("value-{i}"))).unwrap();
+            dht.put(
+                format!("key-{i}").as_bytes(),
+                Bytes::from(format!("value-{i}")),
+            )
+            .unwrap();
         }
         let new_node = dht.join();
         dht.rebalance();
@@ -397,14 +437,22 @@ mod tests {
         }
         // The new node received some share of the keys.
         let load = dht.load_per_node();
-        assert!(load[&new_node] > 0, "new node should hold keys after rebalance");
+        assert!(
+            load[&new_node] > 0,
+            "new node should hold keys after rebalance"
+        );
     }
 
     #[test]
     fn leave_and_rebalance_restore_replication() {
-        let dht = Dht::new(DhtConfig { nodes: 4, replication: 2, ..Default::default() });
+        let dht = Dht::new(DhtConfig {
+            nodes: 4,
+            replication: 2,
+            ..Default::default()
+        });
         for i in 0..100u32 {
-            dht.put(format!("key-{i}").as_bytes(), Bytes::from(vec![1u8; 10])).unwrap();
+            dht.put(format!("key-{i}").as_bytes(), Bytes::from(vec![1u8; 10]))
+                .unwrap();
         }
         let victim = dht.node_ids()[0];
         dht.leave(victim).unwrap();
@@ -419,9 +467,14 @@ mod tests {
 
     #[test]
     fn keys_spread_over_nodes() {
-        let dht = Dht::new(DhtConfig { nodes: 8, replication: 1, virtual_nodes: 128 });
+        let dht = Dht::new(DhtConfig {
+            nodes: 8,
+            replication: 1,
+            virtual_nodes: 128,
+        });
         for i in 0..2000u32 {
-            dht.put(format!("page-{i}").as_bytes(), Bytes::from_static(b"x")).unwrap();
+            dht.put(format!("page-{i}").as_bytes(), Bytes::from_static(b"x"))
+                .unwrap();
         }
         let load = dht.load_per_node();
         let min = load.values().min().copied().unwrap();
@@ -445,8 +498,15 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(DhtError::NotFound { key: "abc".into() }.to_string().contains("abc"));
-        assert!(DhtError::NotEnoughReplicas { wanted: 3, available: 1 }.to_string().contains('3'));
+        assert!(DhtError::NotFound { key: "abc".into() }
+            .to_string()
+            .contains("abc"));
+        assert!(DhtError::NotEnoughReplicas {
+            wanted: 3,
+            available: 1
+        }
+        .to_string()
+        .contains('3'));
         assert!(DhtError::Empty.to_string().contains("no nodes"));
     }
 
@@ -463,7 +523,8 @@ mod tests {
                 std::thread::spawn(move || {
                     for i in 0..250 {
                         let key = format!("blob-{t}/v{i}/node");
-                        dht.put(key.as_bytes(), Bytes::from(vec![t as u8; 32])).unwrap();
+                        dht.put(key.as_bytes(), Bytes::from(vec![t as u8; 32]))
+                            .unwrap();
                         assert_eq!(dht.get(key.as_bytes()).unwrap()[0], t as u8);
                     }
                 })

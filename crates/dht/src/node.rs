@@ -46,9 +46,11 @@ impl DhtNode {
             Some(old) => {
                 let old_len = old.len() as u64;
                 if new_len >= old_len {
-                    self.data_bytes.fetch_add(new_len - old_len, Ordering::Relaxed);
+                    self.data_bytes
+                        .fetch_add(new_len - old_len, Ordering::Relaxed);
                 } else {
-                    self.data_bytes.fetch_sub(old_len - new_len, Ordering::Relaxed);
+                    self.data_bytes
+                        .fetch_sub(old_len - new_len, Ordering::Relaxed);
                 }
             }
             None => {
@@ -66,7 +68,8 @@ impl DhtNode {
     pub fn remove(&self, key: &[u8]) -> bool {
         match self.data.write().remove(key) {
             Some(old) => {
-                self.data_bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
+                self.data_bytes
+                    .fetch_sub(old.len() as u64, Ordering::Relaxed);
                 true
             }
             None => false,
@@ -90,7 +93,11 @@ impl DhtNode {
 
     /// Snapshot of all entries (used by rebalancing).
     pub fn entries(&self) -> Vec<(Vec<u8>, Bytes)> {
-        self.data.read().iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        self.data
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
     }
 
     /// Is the node currently serving requests?

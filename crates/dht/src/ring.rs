@@ -41,8 +41,14 @@ impl HashRing {
     /// Create an empty ring; each node added will occupy `virtual_nodes`
     /// positions.
     pub fn new(virtual_nodes: usize) -> Self {
-        assert!(virtual_nodes >= 1, "at least one virtual node per node is required");
-        HashRing { virtual_nodes, ring: BTreeMap::new() }
+        assert!(
+            virtual_nodes >= 1,
+            "at least one virtual node per node is required"
+        );
+        HashRing {
+            virtual_nodes,
+            ring: BTreeMap::new(),
+        }
     }
 
     /// Number of physical nodes on the ring.
@@ -118,7 +124,10 @@ mod tests {
         ring.add_node(DhtNodeId(0));
         assert_eq!(ring.len(), 1);
         for i in 0..100 {
-            assert_eq!(ring.primary(format!("key-{i}").as_bytes()), Some(DhtNodeId(0)));
+            assert_eq!(
+                ring.primary(format!("key-{i}").as_bytes()),
+                Some(DhtNodeId(0))
+            );
         }
     }
 
@@ -144,8 +153,12 @@ mod tests {
         for i in 0..4 {
             ring.add_node(DhtNodeId(i));
         }
-        let first: Vec<_> = (0..100).map(|i| ring.primary(format!("k{i}").as_bytes())).collect();
-        let second: Vec<_> = (0..100).map(|i| ring.primary(format!("k{i}").as_bytes())).collect();
+        let first: Vec<_> = (0..100)
+            .map(|i| ring.primary(format!("k{i}").as_bytes()))
+            .collect();
+        let second: Vec<_> = (0..100)
+            .map(|i| ring.primary(format!("k{i}").as_bytes()))
+            .collect();
         assert_eq!(first, second);
     }
 
@@ -156,8 +169,10 @@ mod tests {
             ring.add_node(DhtNodeId(i));
         }
         let keys: Vec<String> = (0..500).map(|i| format!("key-{i}")).collect();
-        let before: HashMap<&String, DhtNodeId> =
-            keys.iter().map(|k| (k, ring.primary(k.as_bytes()).unwrap())).collect();
+        let before: HashMap<&String, DhtNodeId> = keys
+            .iter()
+            .map(|k| (k, ring.primary(k.as_bytes()).unwrap()))
+            .collect();
         ring.remove_node(DhtNodeId(2));
         let mut moved = 0;
         for k in &keys {
@@ -165,11 +180,18 @@ mod tests {
             if before[k] != after {
                 moved += 1;
                 // A key only moves if its previous owner was the removed node.
-                assert_eq!(before[k], DhtNodeId(2), "key {k} moved although its owner survived");
+                assert_eq!(
+                    before[k],
+                    DhtNodeId(2),
+                    "key {k} moved although its owner survived"
+                );
             }
             assert_ne!(after, DhtNodeId(2), "removed node still owns key {k}");
         }
-        assert!(moved > 0, "some keys should have been owned by the removed node");
+        assert!(
+            moved > 0,
+            "some keys should have been owned by the removed node"
+        );
     }
 
     #[test]

@@ -146,7 +146,10 @@ mod tests {
         assert_eq!(dn.id(), DatanodeId(0));
         assert_eq!(dn.node(), NodeId(3));
         assert!(dn.put_chunk(ChunkId(1), Bytes::from_static(b"chunk data")));
-        assert_eq!(dn.get_chunk(ChunkId(1)).unwrap(), Bytes::from_static(b"chunk data"));
+        assert_eq!(
+            dn.get_chunk(ChunkId(1)).unwrap(),
+            Bytes::from_static(b"chunk data")
+        );
         assert!(dn.get_chunk(ChunkId(2)).is_none());
         let stats = dn.stats();
         assert_eq!(stats.chunks, 1);

@@ -22,9 +22,16 @@ pub enum HdfsError {
     InvalidPath(String),
     /// HDFS files are write-once: the file is still being written (not yet
     /// closed) and cannot be read, or it is closed and cannot be written.
-    WrongFileState { path: String, expected: &'static str },
+    WrongFileState {
+        path: String,
+        expected: &'static str,
+    },
     /// A read past the end of a file.
-    OutOfBounds { path: String, requested_end: u64, size: u64 },
+    OutOfBounds {
+        path: String,
+        requested_end: u64,
+        size: u64,
+    },
     /// The directory is not empty and recursive deletion was not requested.
     DirectoryNotEmpty(String),
     /// No datanode is available to hold a chunk replica.
@@ -47,13 +54,23 @@ impl fmt::Display for HdfsError {
             HdfsError::WrongFileState { path, expected } => {
                 write!(f, "file {path} is not in the required state ({expected})")
             }
-            HdfsError::OutOfBounds { path, requested_end, size } => {
-                write!(f, "read past end of {path}: requested byte {requested_end}, size {size}")
+            HdfsError::OutOfBounds {
+                path,
+                requested_end,
+                size,
+            } => {
+                write!(
+                    f,
+                    "read past end of {path}: requested byte {requested_end}, size {size}"
+                )
             }
             HdfsError::DirectoryNotEmpty(p) => write!(f, "directory not empty: {p}"),
             HdfsError::NoDatanodes => write!(f, "no datanodes available"),
             HdfsError::ChunkUnavailable { path, chunk_index } => {
-                write!(f, "chunk {chunk_index} of {path} unavailable from any replica")
+                write!(
+                    f,
+                    "chunk {chunk_index} of {path} unavailable from any replica"
+                )
             }
             HdfsError::WriterClosed => write!(f, "writer already closed"),
         }
@@ -68,15 +85,27 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(HdfsError::FileNotFound("/x".into()).to_string().contains("/x"));
+        assert!(HdfsError::FileNotFound("/x".into())
+            .to_string()
+            .contains("/x"));
         assert!(HdfsError::NoDatanodes.to_string().contains("datanodes"));
-        assert!(HdfsError::WrongFileState { path: "/f".into(), expected: "closed" }
-            .to_string()
-            .contains("closed"));
-        assert!(HdfsError::ChunkUnavailable { path: "/f".into(), chunk_index: 3 }
-            .to_string()
-            .contains("chunk 3"));
-        let e = HdfsError::OutOfBounds { path: "/f".into(), requested_end: 9, size: 4 };
+        assert!(HdfsError::WrongFileState {
+            path: "/f".into(),
+            expected: "closed"
+        }
+        .to_string()
+        .contains("closed"));
+        assert!(HdfsError::ChunkUnavailable {
+            path: "/f".into(),
+            chunk_index: 3
+        }
+        .to_string()
+        .contains("chunk 3"));
+        let e = HdfsError::OutOfBounds {
+            path: "/f".into(),
+            requested_end: 9,
+            size: 4,
+        };
         assert!(e.to_string().contains('9'));
     }
 }

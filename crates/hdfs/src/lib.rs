@@ -60,14 +60,24 @@ pub struct HdfsConfig {
 
 impl Default for HdfsConfig {
     fn default() -> Self {
-        HdfsConfig { chunk_size: 64 * 1024 * 1024, datanodes: 8, replication: 3, seed: 1 }
+        HdfsConfig {
+            chunk_size: 64 * 1024 * 1024,
+            datanodes: 8,
+            replication: 3,
+            seed: 1,
+        }
     }
 }
 
 impl HdfsConfig {
     /// A configuration sized for unit tests.
     pub fn for_tests() -> Self {
-        HdfsConfig { chunk_size: 256, datanodes: 4, replication: 2, seed: 42 }
+        HdfsConfig {
+            chunk_size: 256,
+            datanodes: 4,
+            replication: 2,
+            seed: 42,
+        }
     }
 
     /// Builder-style override of the chunk size.
@@ -114,7 +124,10 @@ impl Hdfs {
         topology: &ClusterTopology,
         datanode_nodes: &[NodeId],
     ) -> Self {
-        assert!(!datanode_nodes.is_empty(), "at least one datanode node is required");
+        assert!(
+            !datanode_nodes.is_empty(),
+            "at least one datanode node is required"
+        );
         let datanodes: Vec<Arc<Datanode>> = datanode_nodes
             .iter()
             .enumerate()
@@ -127,7 +140,11 @@ impl Hdfs {
             config.replication,
             config.seed,
         ));
-        Hdfs { namenode, topology: topology.clone(), node: topology.node(0) }
+        Hdfs {
+            namenode,
+            topology: topology.clone(),
+            node: topology.node(0),
+        }
     }
 
     /// A handle whose operations originate from the given cluster node.
@@ -281,7 +298,9 @@ impl HdfsWriter {
     }
 
     fn commit_chunk(&mut self, data: Bytes) -> HdfsResult<()> {
-        let info = self.namenode.allocate_chunk(&self.path, data.len() as u64, self.node)?;
+        let info = self
+            .namenode
+            .allocate_chunk(&self.path, data.len() as u64, self.node)?;
         let mut stored = 0;
         for replica in &info.replicas {
             if let Some(dn) = self.namenode.datanode(*replica) {
@@ -373,7 +392,10 @@ impl HdfsReader {
             .iter()
             .filter_map(|d| self.namenode.datanode(*d).map(|dn| (*d, dn.node())))
             .collect();
-        let ordered = self.namenode.placement().order_by_proximity(self.node, holders);
+        let ordered = self
+            .namenode
+            .placement()
+            .order_by_proximity(self.node, holders);
         for replica in ordered {
             if let Some(dn) = self.namenode.datanode(replica) {
                 if let Some(data) = dn.get_chunk(chunk.id) {
@@ -381,7 +403,10 @@ impl HdfsReader {
                 }
             }
         }
-        Err(HdfsError::ChunkUnavailable { path: self.path.clone(), chunk_index: idx })
+        Err(HdfsError::ChunkUnavailable {
+            path: self.path.clone(),
+            chunk_index: idx,
+        })
     }
 
     /// Sequential read from the current position.
@@ -428,13 +453,22 @@ mod tests {
         let fs = fs();
         let mut w = fs.create("/wip").unwrap();
         w.write(b"partial").unwrap();
-        assert!(matches!(fs.open("/wip"), Err(HdfsError::WrongFileState { .. })));
-        assert!(matches!(fs.len("/wip"), Err(HdfsError::WrongFileState { .. })));
+        assert!(matches!(
+            fs.open("/wip"),
+            Err(HdfsError::WrongFileState { .. })
+        ));
+        assert!(matches!(
+            fs.len("/wip"),
+            Err(HdfsError::WrongFileState { .. })
+        ));
         w.close().unwrap();
         assert_eq!(&fs.read_file("/wip").unwrap()[..], b"partial");
         // Write-once: writing after close fails, re-creating fails.
         assert!(matches!(w.write(b"more"), Err(HdfsError::WriterClosed)));
-        assert!(matches!(fs.create("/wip"), Err(HdfsError::AlreadyExists(_))));
+        assert!(matches!(
+            fs.create("/wip"),
+            Err(HdfsError::AlreadyExists(_))
+        ));
         // Closing twice is harmless.
         w.close().unwrap();
     }
@@ -445,9 +479,15 @@ mod tests {
         let data: Vec<u8> = (0..700u32).map(|i| (i % 256) as u8).collect();
         fs.write_file("/seq", &data).unwrap();
         let mut r = fs.open("/seq").unwrap();
-        assert_eq!(r.read_at(250, 20).unwrap().to_vec(), data[250..270].to_vec());
+        assert_eq!(
+            r.read_at(250, 20).unwrap().to_vec(),
+            data[250..270].to_vec()
+        );
         assert_eq!(r.read_at(0, 700).unwrap().to_vec(), data);
-        assert!(matches!(r.read_at(695, 10), Err(HdfsError::OutOfBounds { .. })));
+        assert!(matches!(
+            r.read_at(695, 10),
+            Err(HdfsError::OutOfBounds { .. })
+        ));
         r.seek(690);
         assert_eq!(r.read(100).unwrap().len(), 10);
         assert!(r.read(10).unwrap().is_empty());
@@ -467,7 +507,11 @@ mod tests {
 
     #[test]
     fn replicas_are_placed_local_first() {
-        let topo = ClusterTopology::builder().sites(1).racks_per_site(2).nodes_per_rack(2).build();
+        let topo = ClusterTopology::builder()
+            .sites(1)
+            .racks_per_site(2)
+            .nodes_per_rack(2)
+            .build();
         let nodes: Vec<NodeId> = topo.all_nodes().collect();
         let fs = Hdfs::with_topology(HdfsConfig::for_tests().with_replication(3), &topo, &nodes);
         let writer_node = topo.node(1);
@@ -476,7 +520,11 @@ mod tests {
         let meta = fs.namenode().get_file("/local").unwrap();
         for chunk in &meta.chunks {
             let first = fs.namenode().datanode(chunk.replicas[0]).unwrap();
-            assert_eq!(first.node(), writer_node, "first replica must be on the writer's node");
+            assert_eq!(
+                first.node(),
+                writer_node,
+                "first replica must be on the writer's node"
+            );
         }
         // The writer's datanode therefore stores every chunk — the hot-spot
         // behaviour the paper describes.
@@ -504,7 +552,10 @@ mod tests {
         for dn in fs.namenode().datanodes() {
             dn.kill();
         }
-        assert!(matches!(fs.read_file("/doomed"), Err(HdfsError::ChunkUnavailable { .. })));
+        assert!(matches!(
+            fs.read_file("/doomed"),
+            Err(HdfsError::ChunkUnavailable { .. })
+        ));
     }
 
     #[test]
@@ -531,17 +582,27 @@ mod tests {
         assert!(!fs.exists("/out/a"));
         fs.delete("/in", true).unwrap();
         assert!(!fs.exists("/in/b"));
-        assert!(!fs.is_empty() == fs.exists("/in/b"));
+        assert!(fs.is_empty() != fs.exists("/in/b"));
     }
 
     #[test]
     fn delete_releases_datanode_space() {
         let fs = fs();
         fs.write_file("/payload", &[9u8; 1024]).unwrap();
-        let before: u64 = fs.namenode().datanodes().iter().map(|d| d.stats().stored_bytes).sum();
+        let before: u64 = fs
+            .namenode()
+            .datanodes()
+            .iter()
+            .map(|d| d.stats().stored_bytes)
+            .sum();
         assert!(before >= 1024);
         fs.delete("/payload", false).unwrap();
-        let after: u64 = fs.namenode().datanodes().iter().map(|d| d.stats().stored_bytes).sum();
+        let after: u64 = fs
+            .namenode()
+            .datanodes()
+            .iter()
+            .map(|d| d.stats().stored_bytes)
+            .sum();
         assert_eq!(after, 0);
     }
 

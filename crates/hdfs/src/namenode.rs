@@ -131,7 +131,10 @@ impl Namenode {
         Namenode {
             chunk_size,
             replication,
-            inner: Mutex::new(Inner { files: BTreeMap::new(), directories }),
+            inner: Mutex::new(Inner {
+                files: BTreeMap::new(),
+                directories,
+            }),
             datanodes,
             placement: PlacementPolicy::new(topology, seed),
             next_chunk: AtomicU64::new(0),
@@ -185,9 +188,13 @@ impl Namenode {
             }
             inner.directories.insert(current.clone());
         }
-        inner
-            .files
-            .insert(path.clone(), FileMeta { state: FileState::UnderConstruction, chunks: Vec::new() });
+        inner.files.insert(
+            path.clone(),
+            FileMeta {
+                state: FileState::UnderConstruction,
+                chunks: Vec::new(),
+            },
+        );
         Ok(path)
     }
 
@@ -200,14 +207,22 @@ impl Namenode {
         writer_node: NodeId,
     ) -> HdfsResult<ChunkInfo> {
         let path = normalize(path)?;
-        let replicas = self.placement.choose(&self.datanodes, self.replication, writer_node);
+        let replicas = self
+            .placement
+            .choose(&self.datanodes, self.replication, writer_node);
         if replicas.is_empty() {
             return Err(HdfsError::NoDatanodes);
         }
         let mut inner = self.inner.lock();
-        let meta = inner.files.get_mut(&path).ok_or(HdfsError::FileNotFound(path.clone()))?;
+        let meta = inner
+            .files
+            .get_mut(&path)
+            .ok_or(HdfsError::FileNotFound(path.clone()))?;
         if meta.state != FileState::UnderConstruction {
-            return Err(HdfsError::WrongFileState { path, expected: "under construction" });
+            return Err(HdfsError::WrongFileState {
+                path,
+                expected: "under construction",
+            });
         }
         let id = ChunkId(self.next_chunk.fetch_add(1, Ordering::Relaxed));
         let info = ChunkInfo { id, size, replicas };
@@ -219,9 +234,15 @@ impl Namenode {
     pub fn complete_file(&self, path: &str) -> HdfsResult<()> {
         let path = normalize(path)?;
         let mut inner = self.inner.lock();
-        let meta = inner.files.get_mut(&path).ok_or(HdfsError::FileNotFound(path.clone()))?;
+        let meta = inner
+            .files
+            .get_mut(&path)
+            .ok_or(HdfsError::FileNotFound(path.clone()))?;
         if meta.state != FileState::UnderConstruction {
-            return Err(HdfsError::WrongFileState { path, expected: "under construction" });
+            return Err(HdfsError::WrongFileState {
+                path,
+                expected: "under construction",
+            });
         }
         meta.state = FileState::Closed;
         Ok(())
@@ -234,9 +255,15 @@ impl Namenode {
         if inner.directories.contains(&path) {
             return Err(HdfsError::IsADirectory(path));
         }
-        let meta = inner.files.get(&path).ok_or(HdfsError::FileNotFound(path.clone()))?;
+        let meta = inner
+            .files
+            .get(&path)
+            .ok_or(HdfsError::FileNotFound(path.clone()))?;
         if meta.state != FileState::Closed {
-            return Err(HdfsError::WrongFileState { path, expected: "closed" });
+            return Err(HdfsError::WrongFileState {
+                path,
+                expected: "closed",
+            });
         }
         Ok(meta.clone())
     }
@@ -286,7 +313,11 @@ impl Namenode {
         if !inner.directories.contains(&path) {
             return Err(HdfsError::FileNotFound(path));
         }
-        let prefix = if path == "/" { "/".to_string() } else { format!("{path}/") };
+        let prefix = if path == "/" {
+            "/".to_string()
+        } else {
+            format!("{path}/")
+        };
         let mut children = BTreeSet::new();
         for candidate in inner.files.keys().chain(inner.directories.iter()) {
             if candidate == &path {
@@ -322,7 +353,9 @@ impl Namenode {
     pub fn remove_dir(&self, path: &str, recursive: bool) -> HdfsResult<Vec<ChunkInfo>> {
         let path = normalize(path)?;
         if path == "/" {
-            return Err(HdfsError::InvalidPath("cannot remove the root directory".into()));
+            return Err(HdfsError::InvalidPath(
+                "cannot remove the root directory".into(),
+            ));
         }
         let mut inner = self.inner.lock();
         if inner.files.contains_key(&path) {
@@ -332,10 +365,18 @@ impl Namenode {
             return Err(HdfsError::FileNotFound(path));
         }
         let prefix = format!("{path}/");
-        let child_files: Vec<String> =
-            inner.files.keys().filter(|k| k.starts_with(&prefix)).cloned().collect();
-        let child_dirs: Vec<String> =
-            inner.directories.iter().filter(|k| k.starts_with(&prefix)).cloned().collect();
+        let child_files: Vec<String> = inner
+            .files
+            .keys()
+            .filter(|k| k.starts_with(&prefix))
+            .cloned()
+            .collect();
+        let child_dirs: Vec<String> = inner
+            .directories
+            .iter()
+            .filter(|k| k.starts_with(&prefix))
+            .cloned()
+            .collect();
         if !recursive && (!child_files.is_empty() || !child_dirs.is_empty()) {
             return Err(HdfsError::DirectoryNotEmpty(path));
         }
@@ -357,7 +398,9 @@ impl Namenode {
         let from = normalize(from)?;
         let to = normalize(to)?;
         if from == "/" || to == "/" {
-            return Err(HdfsError::InvalidPath("cannot rename the root directory".into()));
+            return Err(HdfsError::InvalidPath(
+                "cannot rename the root directory".into(),
+            ));
         }
         let mut inner = self.inner.lock();
         if inner.files.contains_key(&to) || inner.directories.contains(&to) {
@@ -381,7 +424,9 @@ impl Namenode {
                 .collect();
             for (k, v) in moved {
                 inner.files.remove(&k);
-                inner.files.insert(format!("{to}/{}", &k[prefix.len()..]), v);
+                inner
+                    .files
+                    .insert(format!("{to}/{}", &k[prefix.len()..]), v);
             }
             let moved_dirs: Vec<String> = inner
                 .directories
@@ -391,8 +436,11 @@ impl Namenode {
                 .collect();
             for d in moved_dirs {
                 inner.directories.remove(&d);
-                let new_key =
-                    if d == from { to.clone() } else { format!("{to}/{}", &d[prefix.len()..]) };
+                let new_key = if d == from {
+                    to.clone()
+                } else {
+                    format!("{to}/{}", &d[prefix.len()..])
+                };
                 inner.directories.insert(new_key);
             }
             return Ok(());
@@ -439,7 +487,11 @@ mod tests {
     use super::*;
 
     fn namenode() -> Namenode {
-        let topo = ClusterTopology::builder().sites(1).racks_per_site(2).nodes_per_rack(2).build();
+        let topo = ClusterTopology::builder()
+            .sites(1)
+            .racks_per_site(2)
+            .nodes_per_rack(2)
+            .build();
         let datanodes: Vec<Arc<Datanode>> = topo
             .all_nodes()
             .enumerate()
@@ -453,7 +505,10 @@ mod tests {
         let nn = namenode();
         nn.create_file("/data/file").unwrap();
         // Cannot read a file under construction.
-        assert!(matches!(nn.get_file("/data/file"), Err(HdfsError::WrongFileState { .. })));
+        assert!(matches!(
+            nn.get_file("/data/file"),
+            Err(HdfsError::WrongFileState { .. })
+        ));
         let c1 = nn.allocate_chunk("/data/file", 128, NodeId(0)).unwrap();
         let c2 = nn.allocate_chunk("/data/file", 60, NodeId(0)).unwrap();
         assert_ne!(c1.id, c2.id);
@@ -468,20 +523,32 @@ mod tests {
             nn.allocate_chunk("/data/file", 10, NodeId(0)),
             Err(HdfsError::WrongFileState { .. })
         ));
-        assert!(matches!(nn.complete_file("/data/file"), Err(HdfsError::WrongFileState { .. })));
+        assert!(matches!(
+            nn.complete_file("/data/file"),
+            Err(HdfsError::WrongFileState { .. })
+        ));
     }
 
     #[test]
     fn duplicate_create_and_missing_files() {
         let nn = namenode();
         nn.create_file("/f").unwrap();
-        assert!(matches!(nn.create_file("/f"), Err(HdfsError::AlreadyExists(_))));
-        assert!(matches!(nn.get_file("/ghost"), Err(HdfsError::FileNotFound(_))));
+        assert!(matches!(
+            nn.create_file("/f"),
+            Err(HdfsError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            nn.get_file("/ghost"),
+            Err(HdfsError::FileNotFound(_))
+        ));
         assert!(matches!(
             nn.allocate_chunk("/ghost", 1, NodeId(0)),
             Err(HdfsError::FileNotFound(_))
         ));
-        assert!(matches!(nn.remove_file("/ghost"), Err(HdfsError::FileNotFound(_))));
+        assert!(matches!(
+            nn.remove_file("/ghost"),
+            Err(HdfsError::FileNotFound(_))
+        ));
     }
 
     #[test]
@@ -493,7 +560,10 @@ mod tests {
         assert!(nn.exists("/a/b"));
         let children = nn.list("/a").unwrap();
         assert_eq!(children, vec!["/a/b", "/a/empty", "/a/file2"]);
-        assert!(matches!(nn.list("/a/file2"), Err(HdfsError::NotADirectory(_))));
+        assert!(matches!(
+            nn.list("/a/file2"),
+            Err(HdfsError::NotADirectory(_))
+        ));
         assert_eq!(nn.file_count(), 2);
     }
 
@@ -514,7 +584,10 @@ mod tests {
         nn.allocate_chunk("/job/o1", 10, NodeId(0)).unwrap();
         nn.create_file("/job/sub/o2").unwrap();
         nn.allocate_chunk("/job/sub/o2", 10, NodeId(0)).unwrap();
-        assert!(matches!(nn.remove_dir("/job", false), Err(HdfsError::DirectoryNotEmpty(_))));
+        assert!(matches!(
+            nn.remove_dir("/job", false),
+            Err(HdfsError::DirectoryNotEmpty(_))
+        ));
         let chunks = nn.remove_dir("/job", true).unwrap();
         assert_eq!(chunks.len(), 2);
         assert!(!nn.exists("/job"));

@@ -24,7 +24,9 @@ pub struct DeterministicRng {
 impl DeterministicRng {
     /// Seeded constructor.
     pub fn new(seed: u64) -> Self {
-        DeterministicRng { state: Mutex::new(seed.max(1)) }
+        DeterministicRng {
+            state: Mutex::new(seed.max(1)),
+        }
     }
 
     /// Next pseudo-random value.
@@ -51,7 +53,10 @@ pub struct PlacementPolicy {
 impl PlacementPolicy {
     /// Create a policy over the given topology.
     pub fn new(topology: &ClusterTopology, seed: u64) -> Self {
-        PlacementPolicy { topology: topology.clone(), rng: DeterministicRng::new(seed) }
+        PlacementPolicy {
+            topology: topology.clone(),
+            rng: DeterministicRng::new(seed),
+        }
     }
 
     /// Choose `replication` datanodes for a chunk written by a client on
@@ -128,13 +133,20 @@ impl PlacementPolicy {
 
     /// Order replica holders by proximity to a reader (closest first) — HDFS
     /// clients read from the nearest replica.
-    pub fn order_by_proximity(&self, reader: NodeId, mut nodes: Vec<(DatanodeId, NodeId)>) -> Vec<DatanodeId> {
+    pub fn order_by_proximity(
+        &self,
+        reader: NodeId,
+        mut nodes: Vec<(DatanodeId, NodeId)>,
+    ) -> Vec<DatanodeId> {
         nodes.sort_by_key(|(_, n)| self.topology.proximity(reader, *n));
         nodes.into_iter().map(|(d, _)| d).collect()
     }
 }
 
-fn pick<'a>(rng: &DeterministicRng, candidates: &[&'a &Arc<Datanode>]) -> Option<&'a Arc<Datanode>> {
+fn pick<'a>(
+    rng: &DeterministicRng,
+    candidates: &[&'a &Arc<Datanode>],
+) -> Option<&'a Arc<Datanode>> {
     if candidates.is_empty() {
         None
     } else {
@@ -148,7 +160,11 @@ mod tests {
 
     /// 2 racks x 4 nodes, one datanode per node.
     fn setup() -> (ClusterTopology, Vec<Arc<Datanode>>) {
-        let topo = ClusterTopology::builder().sites(1).racks_per_site(2).nodes_per_rack(4).build();
+        let topo = ClusterTopology::builder()
+            .sites(1)
+            .racks_per_site(2)
+            .nodes_per_rack(4)
+            .build();
         let datanodes: Vec<Arc<Datanode>> = topo
             .all_nodes()
             .enumerate()
@@ -164,7 +180,11 @@ mod tests {
         for writer in 0..8u32 {
             let replicas = policy.choose(&datanodes, 3, NodeId(writer));
             assert_eq!(replicas.len(), 3);
-            assert_eq!(replicas[0], DatanodeId(writer), "first replica must be local");
+            assert_eq!(
+                replicas[0],
+                DatanodeId(writer),
+                "first replica must be local"
+            );
         }
     }
 
@@ -177,8 +197,16 @@ mod tests {
             let replicas = policy.choose(&datanodes, 3, writer);
             let rack_of = |d: DatanodeId| topo.rack_of(datanodes[d.0 as usize].node());
             assert_eq!(rack_of(replicas[0]), topo.rack_of(writer));
-            assert_eq!(rack_of(replicas[1]), topo.rack_of(writer), "second replica stays in rack");
-            assert_ne!(rack_of(replicas[2]), topo.rack_of(writer), "third replica leaves the rack");
+            assert_eq!(
+                rack_of(replicas[1]),
+                topo.rack_of(writer),
+                "second replica stays in rack"
+            );
+            assert_ne!(
+                rack_of(replicas[2]),
+                topo.rack_of(writer),
+                "third replica leaves the rack"
+            );
             // All replicas distinct.
             let unique: std::collections::HashSet<_> = replicas.iter().collect();
             assert_eq!(unique.len(), 3);
@@ -189,7 +217,7 @@ mod tests {
     fn replication_capped_by_live_datanodes() {
         let (topo, datanodes) = setup();
         let policy = PlacementPolicy::new(&topo, 3);
-        let replicas = policy.choose(&datanodes[..2].to_vec(), 5, NodeId(0));
+        let replicas = policy.choose(&datanodes[..2], 5, NodeId(0));
         assert_eq!(replicas.len(), 2);
     }
 
@@ -199,7 +227,10 @@ mod tests {
         let policy = PlacementPolicy::new(&topo, 11);
         datanodes[0].kill();
         let replicas = policy.choose(&datanodes, 3, NodeId(0));
-        assert!(!replicas.contains(&DatanodeId(0)), "dead local datanode must be skipped");
+        assert!(
+            !replicas.contains(&DatanodeId(0)),
+            "dead local datanode must be skipped"
+        );
         assert_eq!(replicas.len(), 3);
     }
 
@@ -217,8 +248,11 @@ mod tests {
     fn reads_prefer_the_closest_replica() {
         let (topo, datanodes) = setup();
         let policy = PlacementPolicy::new(&topo, 5);
-        let holders: Vec<(DatanodeId, NodeId)> =
-            vec![(DatanodeId(7), NodeId(7)), (DatanodeId(0), NodeId(0)), (DatanodeId(2), NodeId(2))];
+        let holders: Vec<(DatanodeId, NodeId)> = vec![
+            (DatanodeId(7), NodeId(7)),
+            (DatanodeId(0), NodeId(0)),
+            (DatanodeId(2), NodeId(2)),
+        ];
         // Reader on node 0: its own datanode first, then same-rack node 2,
         // then remote-rack node 7.
         let ordered = policy.order_by_proximity(NodeId(0), holders);

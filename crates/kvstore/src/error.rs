@@ -15,7 +15,11 @@ pub enum KvError {
     /// the payload names the offending segment file.
     Corrupt { segment: String, detail: String },
     /// A key or value exceeded the configured limits.
-    TooLarge { what: &'static str, len: usize, max: usize },
+    TooLarge {
+        what: &'static str,
+        len: usize,
+        max: usize,
+    },
     /// The store has been closed and can no longer serve requests.
     Closed,
 }
@@ -28,7 +32,10 @@ impl fmt::Display for KvError {
                 write!(f, "corrupt record in segment {segment}: {detail}")
             }
             KvError::TooLarge { what, len, max } => {
-                write!(f, "{what} of {len} bytes exceeds the maximum of {max} bytes")
+                write!(
+                    f,
+                    "{what} of {len} bytes exceeds the maximum of {max} bytes"
+                )
             }
             KvError::Closed => write!(f, "store is closed"),
         }
@@ -56,11 +63,18 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = KvError::Corrupt { segment: "seg-3.log".into(), detail: "bad crc".into() };
+        let e = KvError::Corrupt {
+            segment: "seg-3.log".into(),
+            detail: "bad crc".into(),
+        };
         assert!(e.to_string().contains("seg-3.log"));
         assert!(e.to_string().contains("bad crc"));
 
-        let e = KvError::TooLarge { what: "key", len: 10, max: 5 };
+        let e = KvError::TooLarge {
+            what: "key",
+            len: 10,
+            max: 5,
+        };
         assert!(e.to_string().contains("key"));
         assert!(e.to_string().contains("10"));
 

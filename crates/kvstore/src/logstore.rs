@@ -143,19 +143,31 @@ impl LogStore {
             let path = segment_path(&dir, *id);
             let size = Self::scan_segment(&path, *id, &mut index, &mut live_value_bytes)?;
             let reader = File::open(&path)?;
-            segments.insert(*id, Segment { id: *id, path, reader, size });
+            segments.insert(
+                *id,
+                Segment {
+                    id: *id,
+                    path,
+                    reader,
+                    size,
+                },
+            );
         }
 
         let active_id = ids.last().copied().unwrap_or(0);
         let active_path = segment_path(&dir, active_id);
-        let active_writer =
-            OpenOptions::new().create(true).append(true).open(&active_path)?;
-        if !segments.contains_key(&active_id) {
+        let active_writer = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&active_path)?;
+        if let std::collections::hash_map::Entry::Vacant(e) = segments.entry(active_id) {
             let reader = File::open(&active_path)?;
-            segments.insert(
-                active_id,
-                Segment { id: active_id, path: active_path, reader, size: 0 },
-            );
+            e.insert(Segment {
+                id: active_id,
+                path: active_path,
+                reader,
+                size: 0,
+            });
         }
 
         Ok(LogStore {
@@ -249,7 +261,10 @@ impl LogStore {
     /// which the *value* starts.
     fn append_record(inner: &mut Inner, flags: u8, key: &[u8], value: &[u8]) -> KvResult<u64> {
         // Rotate if the active segment is full.
-        let active = inner.segments.get(&inner.active_id).expect("active segment exists");
+        let active = inner
+            .segments
+            .get(&inner.active_id)
+            .expect("active segment exists");
         if active.size >= inner.config.segment_max_bytes {
             Self::rotate(inner)?;
         }
@@ -272,7 +287,10 @@ impl LogStore {
         frame.extend_from_slice(key);
         frame.extend_from_slice(value);
 
-        let segment = inner.segments.get_mut(&inner.active_id).expect("active segment exists");
+        let segment = inner
+            .segments
+            .get_mut(&inner.active_id)
+            .expect("active segment exists");
         let record_offset = segment.size;
         inner.active_writer.write_all(&frame)?;
         if inner.config.sync_on_put {
@@ -289,7 +307,15 @@ impl LogStore {
         let path = segment_path(&inner.dir, new_id);
         let writer = OpenOptions::new().create(true).append(true).open(&path)?;
         let reader = File::open(&path)?;
-        inner.segments.insert(new_id, Segment { id: new_id, path, reader, size: 0 });
+        inner.segments.insert(
+            new_id,
+            Segment {
+                id: new_id,
+                path,
+                reader,
+                size: 0,
+            },
+        );
         inner.active_id = new_id;
         inner.active_writer = writer;
         Ok(())
@@ -320,7 +346,15 @@ impl LogStore {
         let path = segment_path(&inner.dir, new_base);
         let writer = OpenOptions::new().create(true).append(true).open(&path)?;
         let reader = File::open(&path)?;
-        inner.segments.insert(new_base, Segment { id: new_base, path, reader, size: 0 });
+        inner.segments.insert(
+            new_base,
+            Segment {
+                id: new_base,
+                path,
+                reader,
+                size: 0,
+            },
+        );
         inner.active_id = new_base;
         inner.active_writer = writer;
 
@@ -332,7 +366,11 @@ impl LogStore {
             let segment = inner.active_id;
             inner.index.insert(
                 key,
-                RecordLocation { segment, value_offset, value_len: value.len() as u32 },
+                RecordLocation {
+                    segment,
+                    value_offset,
+                    value_len: value.len() as u32,
+                },
             );
         }
         inner.active_writer.sync_data()?;
@@ -371,10 +409,13 @@ impl LogStore {
     }
 
     fn read_value(inner: &Inner, loc: RecordLocation) -> KvResult<Bytes> {
-        let segment = inner.segments.get(&loc.segment).ok_or_else(|| KvError::Corrupt {
-            segment: format!("seg-{:08}.log", loc.segment),
-            detail: "index references a missing segment".into(),
-        })?;
+        let segment = inner
+            .segments
+            .get(&loc.segment)
+            .ok_or_else(|| KvError::Corrupt {
+                segment: format!("seg-{:08}.log", loc.segment),
+                detail: "index references a missing segment".into(),
+            })?;
         let mut buf = vec![0u8; loc.value_len as usize];
         // The active segment's reader may lag behind buffered writes; flush
         // is performed by append (write_all goes straight to the fd), so
@@ -408,7 +449,11 @@ impl PageStore for LogStore {
         let segment = inner.active_id;
         if let Some(old) = inner.index.insert(
             key.to_vec(),
-            RecordLocation { segment, value_offset, value_len: value.len() as u32 },
+            RecordLocation {
+                segment,
+                value_offset,
+                value_len: value.len() as u32,
+            },
         ) {
             inner.live_value_bytes -= old.value_len as u64;
         }
@@ -474,8 +519,12 @@ mod tests {
     fn tmpdir(tag: &str) -> PathBuf {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir()
-            .join(format!("logstore-test-{}-{}-{}", std::process::id(), tag, n));
+        let dir = std::env::temp_dir().join(format!(
+            "logstore-test-{}-{}-{}",
+            std::process::id(),
+            tag,
+            n
+        ));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -486,9 +535,16 @@ mod tests {
         let s = LogStore::open(&dir, LogStoreConfig::default()).unwrap();
         s.put(b"page-0", Bytes::from_static(b"hello")).unwrap();
         s.put(b"page-1", Bytes::from_static(b"world")).unwrap();
-        assert_eq!(s.get(b"page-0").unwrap().unwrap(), Bytes::from_static(b"hello"));
-        s.put(b"page-0", Bytes::from_static(b"HELLO AGAIN")).unwrap();
-        assert_eq!(s.get(b"page-0").unwrap().unwrap(), Bytes::from_static(b"HELLO AGAIN"));
+        assert_eq!(
+            s.get(b"page-0").unwrap().unwrap(),
+            Bytes::from_static(b"hello")
+        );
+        s.put(b"page-0", Bytes::from_static(b"HELLO AGAIN"))
+            .unwrap();
+        assert_eq!(
+            s.get(b"page-0").unwrap().unwrap(),
+            Bytes::from_static(b"HELLO AGAIN")
+        );
         assert_eq!(s.len(), 2);
         assert_eq!(s.data_bytes(), 11 + 5);
         let _ = fs::remove_dir_all(&dir);
@@ -512,7 +568,11 @@ mod tests {
         {
             let s = LogStore::open(&dir, LogStoreConfig::default()).unwrap();
             for i in 0..50u32 {
-                s.put(format!("key-{i}").as_bytes(), Bytes::from(format!("value-{i}"))).unwrap();
+                s.put(
+                    format!("key-{i}").as_bytes(),
+                    Bytes::from(format!("value-{i}")),
+                )
+                .unwrap();
             }
             s.put(b"key-7", Bytes::from_static(b"updated")).unwrap();
             s.delete(b"key-9").unwrap();
@@ -521,22 +581,39 @@ mod tests {
         // Re-open: the index must reflect the final state.
         let s = LogStore::open(&dir, LogStoreConfig::default()).unwrap();
         assert_eq!(s.len(), 49);
-        assert_eq!(s.get(b"key-7").unwrap().unwrap(), Bytes::from_static(b"updated"));
+        assert_eq!(
+            s.get(b"key-7").unwrap().unwrap(),
+            Bytes::from_static(b"updated")
+        );
         assert!(s.get(b"key-9").unwrap().is_none());
-        assert_eq!(s.get(b"key-11").unwrap().unwrap(), Bytes::from_static(b"value-11"));
+        assert_eq!(
+            s.get(b"key-11").unwrap().unwrap(),
+            Bytes::from_static(b"value-11")
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn segment_rotation_spreads_data_over_files() {
         let dir = tmpdir("rotation");
-        let config = LogStoreConfig { segment_max_bytes: 1024, ..Default::default() };
+        let config = LogStoreConfig {
+            segment_max_bytes: 1024,
+            ..Default::default()
+        };
         let s = LogStore::open(&dir, config).unwrap();
         for i in 0..100u32 {
-            s.put(format!("key-{i}").as_bytes(), Bytes::from(vec![i as u8; 100])).unwrap();
+            s.put(
+                format!("key-{i}").as_bytes(),
+                Bytes::from(vec![i as u8; 100]),
+            )
+            .unwrap();
         }
         let stats = s.stats();
-        assert!(stats.segments > 1, "expected multiple segments, got {}", stats.segments);
+        assert!(
+            stats.segments > 1,
+            "expected multiple segments, got {}",
+            stats.segments
+        );
         assert_eq!(stats.live_keys, 100);
         // Every key must still be readable across segments.
         for i in 0..100u32 {
@@ -550,11 +627,15 @@ mod tests {
     #[test]
     fn recovery_across_rotated_segments() {
         let dir = tmpdir("multi-seg-recovery");
-        let config = LogStoreConfig { segment_max_bytes: 512, ..Default::default() };
+        let config = LogStoreConfig {
+            segment_max_bytes: 512,
+            ..Default::default()
+        };
         {
             let s = LogStore::open(&dir, config.clone()).unwrap();
             for i in 0..60u32 {
-                s.put(format!("k{i}").as_bytes(), Bytes::from(vec![0xAB; 64])).unwrap();
+                s.put(format!("k{i}").as_bytes(), Bytes::from(vec![0xAB; 64]))
+                    .unwrap();
             }
             s.sync().unwrap();
         }
@@ -567,13 +648,19 @@ mod tests {
     #[test]
     fn compaction_reclaims_space_and_preserves_data() {
         let dir = tmpdir("compaction");
-        let config = LogStoreConfig { segment_max_bytes: 2048, ..Default::default() };
+        let config = LogStoreConfig {
+            segment_max_bytes: 2048,
+            ..Default::default()
+        };
         let s = LogStore::open(&dir, config).unwrap();
         // Write each key several times so most records are garbage.
         for round in 0..5u32 {
             for i in 0..20u32 {
-                s.put(format!("k{i}").as_bytes(), Bytes::from(format!("round-{round}-value-{i}")))
-                    .unwrap();
+                s.put(
+                    format!("k{i}").as_bytes(),
+                    Bytes::from(format!("round-{round}-value-{i}")),
+                )
+                .unwrap();
             }
         }
         for i in 0..5u32 {
@@ -601,14 +688,22 @@ mod tests {
         {
             let s = LogStore::open(&dir, LogStoreConfig::default()).unwrap();
             for i in 0..30u32 {
-                s.put(format!("k{i}").as_bytes(), Bytes::from(format!("v{i}"))).unwrap();
-                s.put(format!("k{i}").as_bytes(), Bytes::from(format!("v{i}-final"))).unwrap();
+                s.put(format!("k{i}").as_bytes(), Bytes::from(format!("v{i}")))
+                    .unwrap();
+                s.put(
+                    format!("k{i}").as_bytes(),
+                    Bytes::from(format!("v{i}-final")),
+                )
+                .unwrap();
             }
             s.compact().unwrap();
         }
         let s = LogStore::open(&dir, LogStoreConfig::default()).unwrap();
         assert_eq!(s.len(), 30);
-        assert_eq!(s.get(b"k12").unwrap().unwrap(), Bytes::from_static(b"v12-final"));
+        assert_eq!(
+            s.get(b"k12").unwrap().unwrap(),
+            Bytes::from_static(b"v12-final")
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -628,7 +723,10 @@ mod tests {
 
         let s = LogStore::open(&dir, LogStoreConfig::default()).unwrap();
         assert_eq!(s.len(), 1);
-        assert_eq!(s.get(b"good").unwrap().unwrap(), Bytes::from_static(b"data"));
+        assert_eq!(
+            s.get(b"good").unwrap().unwrap(),
+            Bytes::from_static(b"data")
+        );
         // The store keeps working after recovery.
         s.put(b"more", Bytes::from_static(b"stuff")).unwrap();
         assert_eq!(s.len(), 2);
@@ -662,9 +760,15 @@ mod tests {
     #[test]
     fn oversized_key_and_value_are_rejected() {
         let dir = tmpdir("limits");
-        let config = LogStoreConfig { max_key_len: 8, max_value_len: 16, ..Default::default() };
+        let config = LogStoreConfig {
+            max_key_len: 8,
+            max_value_len: 16,
+            ..Default::default()
+        };
         let s = LogStore::open(&dir, config).unwrap();
-        let err = s.put(b"a-key-that-is-too-long", Bytes::from_static(b"v")).unwrap_err();
+        let err = s
+            .put(b"a-key-that-is-too-long", Bytes::from_static(b"v"))
+            .unwrap_err();
         assert!(matches!(err, KvError::TooLarge { what: "key", .. }));
         let err = s.put(b"k", Bytes::from(vec![0u8; 64])).unwrap_err();
         assert!(matches!(err, KvError::TooLarge { what: "value", .. }));
@@ -677,7 +781,10 @@ mod tests {
         let s = LogStore::open(&dir, LogStoreConfig::default()).unwrap();
         s.put(b"k", Bytes::from_static(b"v")).unwrap();
         s.close().unwrap();
-        assert!(matches!(s.put(b"k2", Bytes::from_static(b"v")), Err(KvError::Closed)));
+        assert!(matches!(
+            s.put(b"k2", Bytes::from_static(b"v")),
+            Err(KvError::Closed)
+        ));
         assert!(matches!(s.get(b"k"), Err(KvError::Closed)));
         assert!(matches!(s.delete(b"k"), Err(KvError::Closed)));
         assert!(matches!(s.sync(), Err(KvError::Closed)));
@@ -694,8 +801,11 @@ mod tests {
                 let s = std::sync::Arc::clone(&s);
                 std::thread::spawn(move || {
                     for i in 0..100 {
-                        s.put(format!("t{t}-k{i}").as_bytes(), Bytes::from(vec![t as u8; 128]))
-                            .unwrap();
+                        s.put(
+                            format!("t{t}-k{i}").as_bytes(),
+                            Bytes::from(vec![t as u8; 128]),
+                        )
+                        .unwrap();
                     }
                 })
             })

@@ -73,9 +73,11 @@ impl PageStore for MemStore {
                 // Replacing: adjust by the delta.
                 let old_len = old.len() as u64;
                 if new_len >= old_len {
-                    self.data_bytes.fetch_add(new_len - old_len, Ordering::Relaxed);
+                    self.data_bytes
+                        .fetch_add(new_len - old_len, Ordering::Relaxed);
                 } else {
-                    self.data_bytes.fetch_sub(old_len - new_len, Ordering::Relaxed);
+                    self.data_bytes
+                        .fetch_sub(old_len - new_len, Ordering::Relaxed);
                 }
             }
             None => {
@@ -94,7 +96,8 @@ impl PageStore for MemStore {
         let shard = &self.shards[self.shard_of(key)];
         match shard.write().remove(key) {
             Some(old) => {
-                self.data_bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
+                self.data_bytes
+                    .fetch_sub(old.len() as u64, Ordering::Relaxed);
                 Ok(true)
             }
             None => Ok(false),
@@ -146,7 +149,8 @@ mod tests {
     fn keys_and_clear() {
         let s = MemStore::new();
         for i in 0..100u32 {
-            s.put(format!("key-{i}").as_bytes(), Bytes::from(vec![0u8; 8])).unwrap();
+            s.put(format!("key-{i}").as_bytes(), Bytes::from(vec![0u8; 8]))
+                .unwrap();
         }
         assert_eq!(s.keys().len(), 100);
         s.clear();
@@ -163,7 +167,8 @@ mod tests {
                 std::thread::spawn(move || {
                     for i in 0..500 {
                         let key = format!("t{t}-k{i}");
-                        s.put(key.as_bytes(), Bytes::from(vec![t as u8; 16])).unwrap();
+                        s.put(key.as_bytes(), Bytes::from(vec![t as u8; 16]))
+                            .unwrap();
                     }
                 })
             })
@@ -184,7 +189,8 @@ mod tests {
                 let s = Arc::clone(&s);
                 std::thread::spawn(move || {
                     for i in 0..200 {
-                        s.put(b"hot", Bytes::from(format!("value-{t}-{i}"))).unwrap();
+                        s.put(b"hot", Bytes::from(format!("value-{t}-{i}")))
+                            .unwrap();
                     }
                 })
             })

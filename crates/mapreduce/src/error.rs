@@ -15,7 +15,11 @@ pub enum MrError {
     /// The job configuration was invalid (no input files, zero reducers, ...).
     InvalidJob(String),
     /// A task failed more times than the configured retry limit.
-    TaskFailed { task: String, attempts: usize, last_error: String },
+    TaskFailed {
+        task: String,
+        attempts: usize,
+        last_error: String,
+    },
     /// The job referenced an input path that does not exist.
     InputNotFound(String),
     /// The output directory already exists (Hadoop refuses to clobber output).
@@ -27,8 +31,15 @@ impl fmt::Display for MrError {
         match self {
             MrError::Storage(msg) => write!(f, "storage error: {msg}"),
             MrError::InvalidJob(msg) => write!(f, "invalid job: {msg}"),
-            MrError::TaskFailed { task, attempts, last_error } => {
-                write!(f, "task {task} failed after {attempts} attempts: {last_error}")
+            MrError::TaskFailed {
+                task,
+                attempts,
+                last_error,
+            } => {
+                write!(
+                    f,
+                    "task {task} failed after {attempts} attempts: {last_error}"
+                )
             }
             MrError::InputNotFound(p) => write!(f, "input path not found: {p}"),
             MrError::OutputExists(p) => write!(f, "output path already exists: {p}"),
@@ -50,17 +61,27 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(MrError::Storage("boom".into()).to_string().contains("boom"));
-        assert!(MrError::InvalidJob("no input".into()).to_string().contains("no input"));
-        assert!(MrError::InputNotFound("/x".into()).to_string().contains("/x"));
-        assert!(MrError::OutputExists("/out".into()).to_string().contains("/out"));
-        let e = MrError::TaskFailed { task: "map-3".into(), attempts: 4, last_error: "io".into() };
+        assert!(MrError::InvalidJob("no input".into())
+            .to_string()
+            .contains("no input"));
+        assert!(MrError::InputNotFound("/x".into())
+            .to_string()
+            .contains("/x"));
+        assert!(MrError::OutputExists("/out".into())
+            .to_string()
+            .contains("/out"));
+        let e = MrError::TaskFailed {
+            task: "map-3".into(),
+            attempts: 4,
+            last_error: "io".into(),
+        };
         assert!(e.to_string().contains("map-3"));
         assert!(e.to_string().contains('4'));
     }
 
     #[test]
     fn storage_err_wraps_any_error() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire");
+        let io = std::io::Error::other("disk on fire");
         assert!(storage_err(io).to_string().contains("disk on fire"));
     }
 }

@@ -148,10 +148,14 @@ impl DistFs for BsfsFs {
         "BSFS"
     }
     fn create(&self, path: &str) -> MrResult<Box<dyn FileWriter>> {
-        Ok(Box::new(BsfsWriterAdapter(self.inner.create(path).map_err(storage_err)?)))
+        Ok(Box::new(BsfsWriterAdapter(
+            self.inner.create(path).map_err(storage_err)?,
+        )))
     }
     fn open(&self, path: &str) -> MrResult<Box<dyn FileReader>> {
-        Ok(Box::new(BsfsReaderAdapter(self.inner.open(path).map_err(storage_err)?)))
+        Ok(Box::new(BsfsReaderAdapter(
+            self.inner.open(path).map_err(storage_err)?,
+        )))
     }
     fn len(&self, path: &str) -> MrResult<u64> {
         self.inner.len(path).map_err(storage_err)
@@ -177,11 +181,17 @@ impl DistFs for BsfsFs {
             .locate(path, offset, len)
             .map_err(storage_err)?
             .into_iter()
-            .map(|l| BlockHint { offset: l.range.offset, len: l.range.len, nodes: l.nodes })
+            .map(|l| BlockHint {
+                offset: l.range.offset,
+                len: l.range.len,
+                nodes: l.nodes,
+            })
             .collect())
     }
     fn on_node(&self, node: NodeId) -> Box<dyn DistFs> {
-        Box::new(BsfsFs { inner: self.inner.on_node(node) })
+        Box::new(BsfsFs {
+            inner: self.inner.on_node(node),
+        })
     }
 }
 
@@ -234,10 +244,14 @@ impl DistFs for HdfsFs {
         "HDFS"
     }
     fn create(&self, path: &str) -> MrResult<Box<dyn FileWriter>> {
-        Ok(Box::new(HdfsWriterAdapter(self.inner.create(path).map_err(storage_err)?)))
+        Ok(Box::new(HdfsWriterAdapter(
+            self.inner.create(path).map_err(storage_err)?,
+        )))
     }
     fn open(&self, path: &str) -> MrResult<Box<dyn FileReader>> {
-        Ok(Box::new(HdfsReaderAdapter(self.inner.open(path).map_err(storage_err)?)))
+        Ok(Box::new(HdfsReaderAdapter(
+            self.inner.open(path).map_err(storage_err)?,
+        )))
     }
     fn len(&self, path: &str) -> MrResult<u64> {
         self.inner.len(path).map_err(storage_err)
@@ -263,11 +277,17 @@ impl DistFs for HdfsFs {
             .locate(path, offset, len)
             .map_err(storage_err)?
             .into_iter()
-            .map(|l| BlockHint { offset: l.offset, len: l.len, nodes: l.nodes })
+            .map(|l| BlockHint {
+                offset: l.offset,
+                len: l.len,
+                nodes: l.nodes,
+            })
             .collect())
     }
     fn on_node(&self, node: NodeId) -> Box<dyn DistFs> {
-        Box::new(HdfsFs { inner: self.inner.on_node(node) })
+        Box::new(HdfsFs {
+            inner: self.inner.on_node(node),
+        })
     }
 }
 
@@ -291,10 +311,14 @@ mod tests {
     /// trait object — this is the property the whole methodology rests on.
     fn exercise(fs: &dyn DistFs) {
         assert!(!fs.exists("/data/input.txt"));
-        fs.write_file("/data/input.txt", b"hello mapreduce\n").unwrap();
+        fs.write_file("/data/input.txt", b"hello mapreduce\n")
+            .unwrap();
         assert!(fs.exists("/data/input.txt"));
         assert_eq!(fs.len("/data/input.txt").unwrap(), 16);
-        assert_eq!(&fs.read_file("/data/input.txt").unwrap()[..], b"hello mapreduce\n");
+        assert_eq!(
+            &fs.read_file("/data/input.txt").unwrap()[..],
+            b"hello mapreduce\n"
+        );
 
         let mut reader = fs.open("/data/input.txt").unwrap();
         assert_eq!(&reader.read_at(6, 3).unwrap()[..], b"map");

@@ -16,12 +16,7 @@ pub trait Mapper: Send + Sync {
     /// Process one input record. `offset` is the byte offset of the line in
     /// its file (the "key" of Hadoop's text input format); `line` is the line
     /// without its trailing newline. Emitted pairs go to the shuffle.
-    fn map(
-        &self,
-        offset: u64,
-        line: &str,
-        emit: &mut dyn FnMut(String, String),
-    ) -> MrResult<()>;
+    fn map(&self, offset: u64, line: &str, emit: &mut dyn FnMut(String, String)) -> MrResult<()>;
 }
 
 /// A user-supplied reduce function.
@@ -77,7 +72,10 @@ pub enum InputSpec {
     /// Generate `splits` synthetic splits of `records_per_split` empty
     /// records each. Used by generator jobs such as Random Text Writer, which
     /// have no input data (the Hadoop original uses the same trick).
-    Synthetic { splits: usize, records_per_split: u64 },
+    Synthetic {
+        splits: usize,
+        records_per_split: u64,
+    },
 }
 
 /// Configuration of one MapReduce job.
@@ -144,13 +142,24 @@ pub struct Job {
 impl Job {
     /// Build a job from its parts.
     pub fn new(config: JobConfig, mapper: Arc<dyn Mapper>, reducer: Arc<dyn Reducer>) -> Self {
-        Job { config, mapper, reducer }
+        Job {
+            config,
+            mapper,
+            reducer,
+        }
     }
 
     /// Build a map-only job (no reduce phase).
     pub fn map_only(config: JobConfig, mapper: Arc<dyn Mapper>) -> Self {
-        let config = JobConfig { num_reducers: 0, ..config };
-        Job { config, mapper, reducer: Arc::new(IdentityReducer) }
+        let config = JobConfig {
+            num_reducers: 0,
+            ..config
+        };
+        Job {
+            config,
+            mapper,
+            reducer: Arc::new(IdentityReducer),
+        }
     }
 }
 
@@ -193,7 +202,8 @@ mod tests {
     fn identity_reducer_passes_through() {
         let r = IdentityReducer;
         let mut out = Vec::new();
-        r.reduce("k", &["a".into(), "b".into()], &mut |k, v| out.push((k, v))).unwrap();
+        r.reduce("k", &["a".into(), "b".into()], &mut |k, v| out.push((k, v)))
+            .unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out[1].1, "b");
     }
@@ -202,9 +212,11 @@ mod tests {
     fn sum_reducer_adds_counts() {
         let r = SumReducer;
         let mut out = Vec::new();
-        r.reduce("word", &["1".into(), "2".into(), "bad".into(), "4".into()], &mut |k, v| {
-            out.push((k, v))
-        })
+        r.reduce(
+            "word",
+            &["1".into(), "2".into(), "bad".into(), "4".into()],
+            &mut |k, v| out.push((k, v)),
+        )
         .unwrap();
         assert_eq!(out, vec![("word".to_string(), "7".to_string())]);
     }
@@ -217,7 +229,10 @@ mod tests {
             .with_max_attempts(0);
         assert_eq!(c.num_reducers, 4);
         assert_eq!(c.split_size, 1024);
-        assert_eq!(c.max_task_attempts, 1, "attempts are clamped to at least one");
+        assert_eq!(
+            c.max_task_attempts, 1,
+            "attempts are clamped to at least one"
+        );
         assert_eq!(c.name, "grep");
     }
 
@@ -225,7 +240,10 @@ mod tests {
     fn map_only_forces_zero_reducers() {
         let c = JobConfig::new(
             "writer",
-            InputSpec::Synthetic { splits: 3, records_per_split: 10 },
+            InputSpec::Synthetic {
+                splits: 3,
+                records_per_split: 10,
+            },
             "/out",
         )
         .with_reducers(5);

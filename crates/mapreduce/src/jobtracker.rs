@@ -95,13 +95,19 @@ impl JobTracker {
     /// with default slot counts.
     pub fn new(topology: &ClusterTopology) -> Self {
         let trackers = topology.all_nodes().map(TaskTracker::new).collect();
-        JobTracker { topology: topology.clone(), trackers }
+        JobTracker {
+            topology: topology.clone(),
+            trackers,
+        }
     }
 
     /// Create a jobtracker over an explicit set of tasktrackers.
     pub fn with_trackers(topology: &ClusterTopology, trackers: Vec<TaskTracker>) -> Self {
         assert!(!trackers.is_empty(), "at least one tasktracker is required");
-        JobTracker { topology: topology.clone(), trackers }
+        JobTracker {
+            topology: topology.clone(),
+            trackers,
+        }
     }
 
     /// The tasktrackers this jobtracker drives.
@@ -119,7 +125,9 @@ impl JobTracker {
         let start = Instant::now();
         let config = &job.config;
         if config.output_dir.is_empty() {
-            return Err(MrError::InvalidJob("output directory must not be empty".into()));
+            return Err(MrError::InvalidJob(
+                "output directory must not be empty".into(),
+            ));
         }
         if fs.exists(&config.output_dir) {
             return Err(MrError::OutputExists(config.output_dir.clone()));
@@ -182,8 +190,11 @@ impl JobTracker {
         if let Some(err) = map_state.failure.take() {
             return Err(err);
         }
-        let map_outputs: Vec<MapTaskOutput> =
-            map_state.results.into_iter().map(|r| r.expect("all map tasks finished")).collect();
+        let map_outputs: Vec<MapTaskOutput> = map_state
+            .results
+            .into_iter()
+            .map(|r| r.expect("all map tasks finished"))
+            .collect();
         let input_records: u64 = map_outputs.iter().map(|o| o.records_read).sum();
         let input_bytes: u64 = map_outputs.iter().map(|o| o.bytes_read).sum();
 

@@ -84,11 +84,16 @@ mod tests {
         let topo = ClusterTopology::flat(nodes);
         let provider_nodes: Vec<_> = topo.all_nodes().collect();
         let storage = BlobSeer::with_topology(
-            BlobSeerConfig::for_tests().with_providers(nodes as usize).with_page_size(512),
+            BlobSeerConfig::for_tests()
+                .with_providers(nodes as usize)
+                .with_page_size(512),
             &topo,
             &provider_nodes,
         );
-        let fs = BsfsFs::new(Bsfs::new(storage, BsfsConfig::for_tests().with_block_size(512)));
+        let fs = BsfsFs::new(Bsfs::new(
+            storage,
+            BsfsConfig::for_tests().with_block_size(512),
+        ));
         (topo, fs)
     }
 
@@ -140,7 +145,8 @@ mod tests {
     }
 
     fn run_wordcount(topo: &ClusterTopology, fs: &dyn DistFs) -> (JobResult, Vec<(String, u64)>) {
-        fs.write_file("/in/words.txt", wordcount_input().as_bytes()).unwrap();
+        fs.write_file("/in/words.txt", wordcount_input().as_bytes())
+            .unwrap();
         let job = Job::new(
             JobConfig::new("wordcount", InputSpec::Files(vec!["/in".into()]), "/out")
                 .with_split_size(20)
@@ -178,7 +184,10 @@ mod tests {
         let (topo, fs) = bsfs_cluster(4);
         let (result, counts) = run_wordcount(&topo, &fs);
         assert_eq!(counts, expected_wordcount());
-        assert!(result.map_tasks >= 2, "a 56-byte file with 20-byte splits needs several maps");
+        assert!(
+            result.map_tasks >= 2,
+            "a 56-byte file with 20-byte splits needs several maps"
+        );
         assert_eq!(result.reduce_tasks, 3);
         assert_eq!(result.input_records, 3);
         assert!(result.output_records >= 8);
@@ -200,7 +209,10 @@ mod tests {
         let (topo_h, fs_h) = hdfs_cluster(4);
         let (_, counts_b) = run_wordcount(&topo_b, &fs_b);
         let (_, counts_h) = run_wordcount(&topo_h, &fs_h);
-        assert_eq!(counts_b, counts_h, "the framework must behave identically over both backends");
+        assert_eq!(
+            counts_b, counts_h,
+            "the framework must behave identically over both backends"
+        );
     }
 
     #[test]
@@ -216,17 +228,26 @@ mod tests {
         }
         fs.write_file("/in/haystack.txt", text.as_bytes()).unwrap();
         let job = Job::new(
-            JobConfig::new("grep", InputSpec::Files(vec!["/in/haystack.txt".into()]), "/grep-out")
-                .with_split_size(512)
-                .with_reducers(1),
-            Arc::new(GrepMapper { pattern: "needle".into() }),
+            JobConfig::new(
+                "grep",
+                InputSpec::Files(vec!["/in/haystack.txt".into()]),
+                "/grep-out",
+            )
+            .with_split_size(512)
+            .with_reducers(1),
+            Arc::new(GrepMapper {
+                pattern: "needle".into(),
+            }),
             Arc::new(SumReducer),
         );
         let jt = JobTracker::new(&topo);
         let result = jt.run(&fs, &job).unwrap();
         let out = fs.read_file(&result.output_files[0]).unwrap();
         let expected = (0..200).filter(|i| i % 7 == 0).count();
-        assert_eq!(String::from_utf8_lossy(&out), format!("needle\t{expected}\n"));
+        assert_eq!(
+            String::from_utf8_lossy(&out),
+            format!("needle\t{expected}\n")
+        );
         assert!(result.input_records >= 200);
     }
 
@@ -248,7 +269,10 @@ mod tests {
         let job = Job::map_only(
             JobConfig::new(
                 "generator",
-                InputSpec::Synthetic { splits: 5, records_per_split: 10 },
+                InputSpec::Synthetic {
+                    splits: 5,
+                    records_per_split: 10,
+                },
                 "/gen-out",
             ),
             Arc::new(Generator),
@@ -324,12 +348,17 @@ mod tests {
             JobConfig::new("flaky", InputSpec::Files(vec!["/in/data".into()]), "/out")
                 .with_reducers(1)
                 .with_max_attempts(5),
-            Arc::new(FlakyMapper { failures_left: AtomicUsize::new(2) }),
+            Arc::new(FlakyMapper {
+                failures_left: AtomicUsize::new(2),
+            }),
             Arc::new(SumReducer),
         );
         let jt = JobTracker::new(&topo);
         let result = jt.run(&fs, &job).unwrap();
-        assert!(result.task_retries >= 1, "the flaky task must have been retried");
+        assert!(
+            result.task_retries >= 1,
+            "the flaky task must have been retried"
+        );
         let out = fs.read_file(&result.output_files[0]).unwrap();
         assert_eq!(String::from_utf8_lossy(&out).lines().count(), 3);
     }
@@ -378,8 +407,12 @@ mod tests {
             }
         }
         let job = Job::new(
-            JobConfig::new("bad-reduce", InputSpec::Files(vec!["/in/data".into()]), "/out")
-                .with_max_attempts(2),
+            JobConfig::new(
+                "bad-reduce",
+                InputSpec::Files(vec!["/in/data".into()]),
+                "/out",
+            )
+            .with_max_attempts(2),
             Arc::new(WordCountMapper),
             Arc::new(BadReducer),
         );
@@ -432,6 +465,9 @@ mod tests {
         let tracker = JobTracker::new(fs.inner().storage().topology());
         let result = tracker.run(&fs, &job).unwrap();
         assert_eq!(result.map_tasks, 1);
-        assert!(fs.read_file(&result.output_files[0]).unwrap().starts_with(b"be\t2"));
+        assert!(fs
+            .read_file(&result.output_files[0])
+            .unwrap()
+            .starts_with(b"be\t2"));
     }
 }

@@ -60,7 +60,11 @@ pub fn classify(topology: &ClusterTopology, node: NodeId, split: &InputSplit) ->
         return Locality::DataLocal;
     }
     let rack = topology.rack_of(node);
-    if split.preferred_nodes.iter().any(|n| topology.rack_of(*n) == rack) {
+    if split
+        .preferred_nodes
+        .iter()
+        .any(|n| topology.rack_of(*n) == rack)
+    {
         Locality::RackLocal
     } else {
         Locality::Remote
@@ -102,14 +106,22 @@ mod tests {
     fn split(id: usize, nodes: Vec<NodeId>) -> InputSplit {
         InputSplit {
             id,
-            source: SplitSource::File { path: "/f".into(), offset: 0, len: 1 },
+            source: SplitSource::File {
+                path: "/f".into(),
+                offset: 0,
+                len: 1,
+            },
             preferred_nodes: nodes,
         }
     }
 
     fn topo() -> ClusterTopology {
         // 2 racks of 3 nodes: rack 0 = nodes 0..3, rack 1 = nodes 3..6.
-        ClusterTopology::builder().sites(1).racks_per_site(2).nodes_per_rack(3).build()
+        ClusterTopology::builder()
+            .sites(1)
+            .racks_per_site(2)
+            .nodes_per_rack(3)
+            .build()
     }
 
     #[test]

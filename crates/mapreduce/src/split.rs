@@ -69,10 +69,16 @@ pub fn compute_splits(
 ) -> MrResult<Vec<InputSplit>> {
     assert!(split_size > 0, "split size must be non-zero");
     match input {
-        InputSpec::Synthetic { splits, records_per_split } => Ok((0..*splits)
+        InputSpec::Synthetic {
+            splits,
+            records_per_split,
+        } => Ok((0..*splits)
             .map(|i| InputSplit {
                 id: i,
-                source: SplitSource::Synthetic { index: i, records: *records_per_split },
+                source: SplitSource::Synthetic {
+                    index: i,
+                    records: *records_per_split,
+                },
                 preferred_nodes: Vec::new(),
             })
             .collect()),
@@ -106,7 +112,11 @@ pub fn compute_splits(
                         });
                     splits.push(InputSplit {
                         id: splits.len(),
-                        source: SplitSource::File { path: file.clone(), offset, len },
+                        source: SplitSource::File {
+                            path: file.clone(),
+                            offset,
+                            len,
+                        },
                         preferred_nodes,
                     });
                     offset += len;
@@ -233,14 +243,23 @@ mod tests {
         let fs = fs();
         let splits = compute_splits(
             &fs,
-            &InputSpec::Synthetic { splits: 4, records_per_split: 100 },
+            &InputSpec::Synthetic {
+                splits: 4,
+                records_per_split: 100,
+            },
             1024,
         )
         .unwrap();
         assert_eq!(splits.len(), 4);
         assert_eq!(splits[2].id, 2);
         assert_eq!(splits[2].byte_len(), 0);
-        assert!(matches!(splits[3].source, SplitSource::Synthetic { index: 3, records: 100 }));
+        assert!(matches!(
+            splits[3].source,
+            SplitSource::Synthetic {
+                index: 3,
+                records: 100
+            }
+        ));
     }
 
     #[test]
@@ -248,8 +267,7 @@ mod tests {
         let fs = fs();
         let data = vec![b'x'; 1000];
         fs.write_file("/in/big", &data).unwrap();
-        let splits =
-            compute_splits(&fs, &InputSpec::Files(vec!["/in/big".into()]), 300).unwrap();
+        let splits = compute_splits(&fs, &InputSpec::Files(vec!["/in/big".into()]), 300).unwrap();
         assert_eq!(splits.len(), 4);
         let total: u64 = splits.iter().map(InputSplit::byte_len).sum();
         assert_eq!(total, 1000);
@@ -337,7 +355,8 @@ mod tests {
     #[test]
     fn file_without_trailing_newline_keeps_last_record() {
         let fs = fs();
-        fs.write_file("/no-newline", b"first\nsecond\nlast-no-nl").unwrap();
+        fs.write_file("/no-newline", b"first\nsecond\nlast-no-nl")
+            .unwrap();
         let (records, _) = read_records(&fs, "/no-newline", 0, 23).unwrap();
         assert_eq!(records.len(), 3);
         assert_eq!(records[2].1, "last-no-nl");

@@ -33,7 +33,11 @@ pub struct TaskTracker {
 impl TaskTracker {
     /// A tracker with Hadoop's classic defaults (2 map slots, 1 reduce slot).
     pub fn new(node: NodeId) -> Self {
-        TaskTracker { node, map_slots: 2, reduce_slots: 1 }
+        TaskTracker {
+            node,
+            map_slots: 2,
+            reduce_slots: 1,
+        }
     }
 
     /// Override the slot counts.
@@ -206,7 +210,11 @@ mod tests {
         for key in ["a", "b", "the", "quick", "fox"] {
             let p = partition_for(key, 4);
             assert!(p < 4);
-            assert_eq!(p, partition_for(key, 4), "same key must always map to the same partition");
+            assert_eq!(
+                p,
+                partition_for(key, 4),
+                "same key must always map to the same partition"
+            );
         }
         assert_eq!(partition_for("anything", 1), 0);
         assert_eq!(partition_for("anything", 0), 0);
@@ -215,10 +223,15 @@ mod tests {
     #[test]
     fn map_task_reads_split_and_partitions_output() {
         let fs = fs();
-        fs.write_file("/in", b"the quick fox\nthe lazy dog\n").unwrap();
+        fs.write_file("/in", b"the quick fox\nthe lazy dog\n")
+            .unwrap();
         let split = InputSplit {
             id: 0,
-            source: SplitSource::File { path: "/in".into(), offset: 0, len: 27 },
+            source: SplitSource::File {
+                path: "/in".into(),
+                offset: 0,
+                len: 27,
+            },
             preferred_nodes: vec![],
         };
         let out = run_map_task(&fs, &split, &WordCountMapper, 3).unwrap();
@@ -244,7 +257,10 @@ mod tests {
         let fs = fs();
         let split = InputSplit {
             id: 0,
-            source: SplitSource::Synthetic { index: 0, records: 5 },
+            source: SplitSource::Synthetic {
+                index: 0,
+                records: 5,
+            },
             preferred_nodes: vec![],
         };
         struct CountingMapper;
@@ -273,7 +289,11 @@ mod tests {
         fs.write_file("/in", b"line\n").unwrap();
         let split = InputSplit {
             id: 0,
-            source: SplitSource::File { path: "/in".into(), offset: 0, len: 5 },
+            source: SplitSource::File {
+                path: "/in".into(),
+                offset: 0,
+                len: 5,
+            },
             preferred_nodes: vec![],
         };
         assert!(run_map_task(&fs, &split, &FailingMapper, 1).is_err());
@@ -305,8 +325,10 @@ mod tests {
     #[test]
     fn output_file_is_written_in_text_format() {
         let fs = fs();
-        let records =
-            vec![("alpha".to_string(), "1".to_string()), ("beta".to_string(), String::new())];
+        let records = vec![
+            ("alpha".to_string(), "1".to_string()),
+            ("beta".to_string(), String::new()),
+        ];
         let bytes = write_output_file(&fs, "/out/part-r-00000", &records).unwrap();
         let content = fs.read_file("/out/part-r-00000").unwrap();
         assert_eq!(&content[..], b"alpha\t1\nbeta\n");

@@ -1,0 +1,274 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so `syn`/`quote` are
+//! unavailable and the derive input is parsed by hand with the compiler's
+//! built-in `proc_macro` API. The subset understood here is exactly what the
+//! workspace uses:
+//!
+//! - structs with named fields
+//! - tuple structs (newtypes serialize transparently, wider tuples as arrays)
+//! - enums with unit and tuple variants (externally tagged, like serde)
+//!
+//! `#[derive(Serialize)]` emits an `impl serde::Serialize` that writes JSON
+//! directly; `#[derive(Deserialize)]` emits an empty marker impl (nothing in
+//! the workspace deserializes).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Named(Vec<String>),
+    /// Tuple struct: number of fields.
+    Tuple(usize),
+    /// Enum: (variant name, tuple-field count; None = unit variant).
+    Enum(Vec<(String, Option<usize>)>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Skip one attribute (`#` already consumed ⇒ consume the `[...]` group).
+fn skip_attr_body(iter: &mut impl Iterator<Item = TokenTree>) {
+    match iter.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '!' => {
+            iter.next(); // inner attribute: consume the bracket group too
+        }
+        Some(TokenTree::Group(_)) | None => {}
+        Some(other) => panic!("serde_derive shim: unexpected token after '#': {other}"),
+    }
+}
+
+/// Split the tokens of a brace/paren group on top-level commas, treating
+/// `<`/`>` pairs as nesting (so `HashMap<K, V>` stays one chunk).
+fn split_top_level_commas(group: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in group {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().expect("chunks is never empty").push(tt);
+    }
+    if chunks.last().is_some_and(Vec::is_empty) {
+        chunks.pop(); // trailing comma
+    }
+    chunks
+}
+
+/// Extract the field identifier from one named-field chunk
+/// (`[attrs] [pub[(..)]] name : Type`).
+fn field_name(chunk: &[TokenTree]) -> String {
+    let mut iter = chunk.iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next(); // attribute body group
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) and friends
+                    }
+                }
+            }
+            TokenTree::Ident(id) => return id.to_string(),
+            other => panic!("serde_derive shim: unexpected token in field: {other}"),
+        }
+    }
+    panic!("serde_derive shim: field chunk without an identifier");
+}
+
+/// Parse one enum-variant chunk into (name, tuple-field count).
+fn parse_variant(chunk: &[TokenTree]) -> (String, Option<usize>) {
+    let mut iter = chunk.iter().peekable();
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                name = Some(id.to_string());
+                break;
+            }
+            other => panic!("serde_derive shim: unexpected token in variant: {other}"),
+        }
+    }
+    let name = name.expect("serde_derive shim: variant without a name");
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let arity = split_top_level_commas(g.stream()).len();
+            (name, Some(arity))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            panic!(
+                "serde_derive shim: struct-like enum variants are not supported (variant {name})"
+            )
+        }
+        _ => (name, None), // unit variant (possibly `= discriminant`, ignored)
+    }
+}
+
+fn parse(input: TokenStream) -> Parsed {
+    let mut iter = input.into_iter();
+    let mut kind = None;
+    // Preamble: attributes and visibility before `struct`/`enum`.
+    while let Some(tt) = iter.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => skip_attr_body(&mut iter),
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" {
+                    kind = Some(word);
+                    break;
+                }
+                // `pub`, `pub(crate)` (the paren group is a separate tree,
+                // harmlessly skipped by the Group arm below on next loop).
+            }
+            TokenTree::Group(_) => {} // the `(crate)` of a visibility
+            other => panic!("serde_derive shim: unexpected token before type: {other}"),
+        }
+    }
+    let kind = kind.expect("serde_derive shim: no struct/enum keyword found");
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+            {
+                break g;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive shim: generic types are not supported ({name})")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                // Unit struct `struct Foo;`
+                return Parsed {
+                    name,
+                    shape: Shape::Tuple(0),
+                };
+            }
+            Some(_) => continue, // e.g. `where`-less tokens; none expected
+            None => panic!("serde_derive shim: missing body for {name}"),
+        }
+    };
+    let shape = match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Parenthesis) => {
+            Shape::Tuple(split_top_level_commas(body.stream()).len())
+        }
+        ("struct", _) => Shape::Named(
+            split_top_level_commas(body.stream())
+                .iter()
+                .map(|c| field_name(c))
+                .collect(),
+        ),
+        ("enum", _) => Shape::Enum(
+            split_top_level_commas(body.stream())
+                .iter()
+                .map(|c| parse_variant(c))
+                .collect(),
+        ),
+        _ => unreachable!(),
+    };
+    Parsed { name, shape }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Parsed { name, shape } = parse(input);
+    let body = match shape {
+        Shape::Named(fields) => {
+            let mut code = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    code.push_str("out.push(',');\n");
+                }
+                code.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n\
+                     ::serde::Serialize::serialize_json(&self.{f}, out);\n"
+                ));
+            }
+            code.push_str("out.push('}');");
+            code
+        }
+        Shape::Tuple(0) => "out.push_str(\"null\");".to_string(),
+        Shape::Tuple(1) => "::serde::Serialize::serialize_json(&self.0, out);".to_string(),
+        Shape::Tuple(n) => {
+            let mut code = String::from("out.push('[');\n");
+            for i in 0..n {
+                if i > 0 {
+                    code.push_str("out.push(',');\n");
+                }
+                code.push_str(&format!(
+                    "::serde::Serialize::serialize_json(&self.{i}, out);\n"
+                ));
+            }
+            code.push_str("out.push(']');");
+            code
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, arity) in &variants {
+                match arity {
+                    None => {
+                        arms.push_str(&format!("{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n"))
+                    }
+                    Some(0) => arms.push_str(&format!(
+                        "{name}::{v}() => out.push_str(\"\\\"{v}\\\"\"),\n"
+                    )),
+                    Some(1) => arms.push_str(&format!(
+                        "{name}::{v}(f0) => {{\n\
+                         out.push_str(\"{{\\\"{v}\\\":\");\n\
+                         ::serde::Serialize::serialize_json(f0, out);\n\
+                         out.push('}}');\n\
+                         }}\n"
+                    )),
+                    Some(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{v}({}) => {{\nout.push_str(\"{{\\\"{v}\\\":[\");\n",
+                            binders.join(", ")
+                        );
+                        for (i, b) in binders.iter().enumerate() {
+                            if i > 0 {
+                                arm.push_str("out.push(',');\n");
+                            }
+                            arm.push_str(&format!(
+                                "::serde::Serialize::serialize_json({b}, out);\n"
+                            ));
+                        }
+                        arm.push_str("out.push_str(\"]}\");\n}\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Parsed { name, .. } = parse(input);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive shim: generated impl must parse")
+}

@@ -1,0 +1,92 @@
+//! Offline shim for the [`serde_json`](https://docs.rs/serde_json) crate.
+//!
+//! Only `to_string` is provided — the single entry point the workspace uses.
+//! Serialization is infallible in the shim (the real crate can only fail on
+//! non-string map keys and io errors, neither of which applies here), but the
+//! `Result` signature is preserved for drop-in compatibility.
+
+use std::fmt;
+
+/// Error type mirroring `serde_json::Error`. Never constructed by the shim.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: ?Sized + serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Point {
+        x: u32,
+        label: String,
+    }
+
+    #[derive(Serialize)]
+    enum Tag {
+        Unit,
+        One(u32),
+        Pair(u32, bool),
+    }
+
+    #[derive(Serialize)]
+    struct Wrapper(u64);
+
+    #[test]
+    fn named_struct_becomes_object() {
+        let p = Point {
+            x: 3,
+            label: "a\"b".into(),
+        };
+        assert_eq!(super::to_string(&p).unwrap(), r#"{"x":3,"label":"a\"b"}"#);
+    }
+
+    #[test]
+    fn vec_of_structs_becomes_array() {
+        let ps = [
+            Point {
+                x: 1,
+                label: "a".into(),
+            },
+            Point {
+                x: 2,
+                label: "b".into(),
+            },
+        ];
+        assert_eq!(
+            super::to_string(&ps[..]).unwrap(),
+            r#"[{"x":1,"label":"a"},{"x":2,"label":"b"}]"#
+        );
+    }
+
+    #[test]
+    fn enums_are_externally_tagged() {
+        assert_eq!(super::to_string(&Tag::Unit).unwrap(), r#""Unit""#);
+        assert_eq!(super::to_string(&Tag::One(7)).unwrap(), r#"{"One":7}"#);
+        assert_eq!(
+            super::to_string(&Tag::Pair(7, true)).unwrap(),
+            r#"{"Pair":[7,true]}"#
+        );
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        assert_eq!(super::to_string(&Wrapper(9)).unwrap(), "9");
+        assert_eq!(super::to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(super::to_string(&f64::NAN).unwrap(), "null");
+    }
+}

@@ -53,17 +53,32 @@ pub struct Flow {
 impl Flow {
     /// A pure network transfer (no storage device on either end).
     pub fn new(src: NodeId, dst: NodeId, bytes: u64) -> Self {
-        Flow { src, dst, bytes, storage_end: None }
+        Flow {
+            src,
+            dst,
+            bytes,
+            storage_end: None,
+        }
     }
 
     /// A durable write: the destination's disk is part of the path.
     pub fn write_to_storage(src: NodeId, dst: NodeId, bytes: u64) -> Self {
-        Flow { src, dst, bytes, storage_end: Some(dst) }
+        Flow {
+            src,
+            dst,
+            bytes,
+            storage_end: Some(dst),
+        }
     }
 
     /// A read of durable data: the source's disk is part of the path.
     pub fn read_from_storage(src: NodeId, dst: NodeId, bytes: u64) -> Self {
-        Flow { src, dst, bytes, storage_end: Some(src) }
+        Flow {
+            src,
+            dst,
+            bytes,
+            storage_end: Some(src),
+        }
     }
 }
 
@@ -81,17 +96,26 @@ pub struct Step {
 impl Step {
     /// A step consisting of a single transfer.
     pub fn transfer(src: NodeId, dst: NodeId, bytes: u64) -> Self {
-        Step { flows: vec![Flow::new(src, dst, bytes)], compute: SimDuration::ZERO }
+        Step {
+            flows: vec![Flow::new(src, dst, bytes)],
+            compute: SimDuration::ZERO,
+        }
     }
 
     /// A step consisting of several parallel transfers.
     pub fn parallel(flows: Vec<Flow>) -> Self {
-        Step { flows, compute: SimDuration::ZERO }
+        Step {
+            flows,
+            compute: SimDuration::ZERO,
+        }
     }
 
     /// A pure compute step (no network traffic).
     pub fn compute(duration: SimDuration) -> Self {
-        Step { flows: Vec::new(), compute: duration }
+        Step {
+            flows: Vec::new(),
+            compute: duration,
+        }
     }
 
     /// Attach a compute phase to this step.
@@ -123,7 +147,12 @@ pub struct ClientProcess {
 impl ClientProcess {
     /// A process with no steps, starting at time zero.
     pub fn new(home: NodeId) -> Self {
-        ClientProcess { home, start_at: SimTime::ZERO, steps: Vec::new(), label: String::new() }
+        ClientProcess {
+            home,
+            start_at: SimTime::ZERO,
+            steps: Vec::new(),
+            label: String::new(),
+        }
     }
 
     /// Set a human-readable label.
@@ -198,8 +227,18 @@ pub struct SimReport {
 impl SimReport {
     /// Virtual time at which the last process finished.
     pub fn makespan(&self) -> SimDuration {
-        let end = self.processes.iter().map(|p| p.finished).max().unwrap_or(SimTime::ZERO);
-        let start = self.processes.iter().map(|p| p.started).min().unwrap_or(SimTime::ZERO);
+        let end = self
+            .processes
+            .iter()
+            .map(|p| p.finished)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let start = self
+            .processes
+            .iter()
+            .map(|p| p.started)
+            .min()
+            .unwrap_or(SimTime::ZERO);
         end - start
     }
 
@@ -224,7 +263,10 @@ impl SimReport {
         if self.processes.is_empty() {
             return 0.0;
         }
-        self.processes.iter().map(ProcessOutcome::throughput).sum::<f64>()
+        self.processes
+            .iter()
+            .map(ProcessOutcome::throughput)
+            .sum::<f64>()
             / self.processes.len() as f64
     }
 }
@@ -271,7 +313,10 @@ pub struct FlowSimulator {
 impl FlowSimulator {
     /// Create a simulator over the given topology and network parameters.
     pub fn new(topo: &ClusterTopology, net: NetworkModel) -> Self {
-        FlowSimulator { topo: topo.clone(), net }
+        FlowSimulator {
+            topo: topo.clone(),
+            net,
+        }
     }
 
     /// Access the topology (used by harnesses to map logical servers to nodes).
@@ -330,8 +375,7 @@ impl FlowSimulator {
             // with zero flows and zero compute completes immediately.
             loop {
                 let mut progressed = false;
-                for idx in 0..procs.len() {
-                    let p = &mut procs[idx];
+                for (idx, p) in procs.iter_mut().enumerate() {
                     if p.finished.is_some() || !p.launched {
                         continue;
                     }
@@ -574,7 +618,11 @@ mod tests {
     use crate::topology::ClusterTopology;
 
     fn topo() -> ClusterTopology {
-        ClusterTopology::builder().sites(1).racks_per_site(2).nodes_per_rack(4).build()
+        ClusterTopology::builder()
+            .sites(1)
+            .racks_per_site(2)
+            .nodes_per_rack(4)
+            .build()
     }
 
     fn net() -> NetworkModel {
@@ -597,7 +645,8 @@ mod tests {
         let t = topo();
         let mut sim = FlowSimulator::new(&t, net());
         // 100 MB over a 100 MB/s NIC: one second.
-        let p = ClientProcess::new(t.node(0)).then(Step::transfer(t.node(0), t.node(1), 100_000_000));
+        let p =
+            ClientProcess::new(t.node(0)).then(Step::transfer(t.node(0), t.node(1), 100_000_000));
         let report = sim.run(vec![p]);
         let d = report.processes[0].duration().as_secs_f64();
         assert!((d - 1.0).abs() < 0.01, "expected ~1s, got {d}");
@@ -610,8 +659,10 @@ mod tests {
         let mut sim = FlowSimulator::new(&t, net());
         // Two sources push 100 MB each to the same destination: its downlink
         // (100 MB/s) is the bottleneck, so the makespan is ~2 s.
-        let p1 = ClientProcess::new(t.node(0)).then(Step::transfer(t.node(0), t.node(2), 100_000_000));
-        let p2 = ClientProcess::new(t.node(1)).then(Step::transfer(t.node(1), t.node(2), 100_000_000));
+        let p1 =
+            ClientProcess::new(t.node(0)).then(Step::transfer(t.node(0), t.node(2), 100_000_000));
+        let p2 =
+            ClientProcess::new(t.node(1)).then(Step::transfer(t.node(1), t.node(2), 100_000_000));
         let report = sim.run(vec![p1, p2]);
         let m = report.makespan().as_secs_f64();
         assert!((m - 2.0).abs() < 0.05, "expected ~2s, got {m}");
@@ -621,8 +672,10 @@ mod tests {
     fn two_flows_to_distinct_destinations_run_at_full_rate() {
         let t = topo();
         let mut sim = FlowSimulator::new(&t, net());
-        let p1 = ClientProcess::new(t.node(0)).then(Step::transfer(t.node(0), t.node(2), 100_000_000));
-        let p2 = ClientProcess::new(t.node(1)).then(Step::transfer(t.node(1), t.node(3), 100_000_000));
+        let p1 =
+            ClientProcess::new(t.node(0)).then(Step::transfer(t.node(0), t.node(2), 100_000_000));
+        let p2 =
+            ClientProcess::new(t.node(1)).then(Step::transfer(t.node(1), t.node(3), 100_000_000));
         let report = sim.run(vec![p1, p2]);
         let m = report.makespan().as_secs_f64();
         assert!((m - 1.0).abs() < 0.05, "expected ~1s, got {m}");
@@ -695,7 +748,10 @@ mod tests {
         let report = sim.run(vec![p]);
         assert_eq!(report.processes[0].started, SimTime::from_secs(5));
         let finished = report.processes[0].finished.as_secs_f64();
-        assert!((finished - 6.0).abs() < 0.05, "expected finish ~6s, got {finished}");
+        assert!(
+            (finished - 6.0).abs() < 0.05,
+            "expected finish ~6s, got {finished}"
+        );
     }
 
     #[test]
@@ -735,10 +791,14 @@ mod tests {
     fn mean_client_throughput_matches_single_client() {
         let t = topo();
         let mut sim = FlowSimulator::new(&t, net());
-        let p = ClientProcess::new(t.node(0)).then(Step::transfer(t.node(0), t.node(1), 100_000_000));
+        let p =
+            ClientProcess::new(t.node(0)).then(Step::transfer(t.node(0), t.node(1), 100_000_000));
         let report = sim.run(vec![p]);
         let thr = report.mean_client_throughput();
-        assert!((thr - 100.0e6).abs() / 100.0e6 < 0.05, "expected ~100 MB/s, got {thr}");
+        assert!(
+            (thr - 100.0e6).abs() / 100.0e6 < 0.05,
+            "expected ~100 MB/s, got {thr}"
+        );
     }
 
     #[test]
@@ -749,14 +809,19 @@ mod tests {
         // 100 MB/s uplink.
         let procs: Vec<ClientProcess> = (1..=10)
             .map(|i| {
-                ClientProcess::new(t.node(i))
-                    .then(Step::transfer(t.node(0), t.node(i), 10_000_000))
+                ClientProcess::new(t.node(i)).then(Step::transfer(t.node(0), t.node(i), 10_000_000))
             })
             .collect();
         let report = sim.run(procs);
         let agg = report.aggregate_throughput();
-        assert!(agg <= 105.0e6, "aggregate {agg} should not exceed the server uplink");
-        assert!(agg >= 80.0e6, "aggregate {agg} should approach the server uplink");
+        assert!(
+            agg <= 105.0e6,
+            "aggregate {agg} should not exceed the server uplink"
+        );
+        assert!(
+            agg >= 80.0e6,
+            "aggregate {agg} should approach the server uplink"
+        );
     }
 }
 
@@ -785,8 +850,11 @@ mod disk_tests {
         let t = ClusterTopology::flat(4);
         let mut sim = FlowSimulator::new(&t, net_with_slow_disk());
         // 100 MB to storage: the 50 MB/s disk (not the 100 MB/s NIC) bounds it.
-        let p = ClientProcess::new(t.node(0))
-            .then(Step::parallel(vec![Flow::write_to_storage(t.node(0), t.node(1), 100_000_000)]));
+        let p = ClientProcess::new(t.node(0)).then(Step::parallel(vec![Flow::write_to_storage(
+            t.node(0),
+            t.node(1),
+            100_000_000,
+        )]));
         let report = sim.run(vec![p]);
         let d = report.processes[0].duration().as_secs_f64();
         assert!((d - 2.0).abs() < 0.05, "expected ~2s (disk-bound), got {d}");
@@ -797,8 +865,11 @@ mod disk_tests {
         let t = ClusterTopology::flat(2);
         let mut sim = FlowSimulator::new(&t, net_with_slow_disk());
         // Writing locally avoids the network but not the disk.
-        let p = ClientProcess::new(t.node(0))
-            .then(Step::parallel(vec![Flow::write_to_storage(t.node(0), t.node(0), 100_000_000)]));
+        let p = ClientProcess::new(t.node(0)).then(Step::parallel(vec![Flow::write_to_storage(
+            t.node(0),
+            t.node(0),
+            100_000_000,
+        )]));
         let report = sim.run(vec![p]);
         let d = report.processes[0].duration().as_secs_f64();
         assert!((d - 2.0).abs() < 0.05, "expected ~2s (disk-bound), got {d}");
@@ -823,11 +894,12 @@ mod disk_tests {
     fn two_readers_of_one_storage_node_share_its_disk() {
         let t = ClusterTopology::flat(4);
         let mut sim = FlowSimulator::new(&t, net_with_slow_disk());
-        let mk = |reader: u32| {
-            ClientProcess::new(t.node(reader)).then(Step::parallel(vec![
-                Flow::read_from_storage(t.node(0), t.node(reader), 50_000_000),
-            ]))
-        };
+        let mk =
+            |reader: u32| {
+                ClientProcess::new(t.node(reader)).then(Step::parallel(vec![
+                    Flow::read_from_storage(t.node(0), t.node(reader), 50_000_000),
+                ]))
+            };
         let report = sim.run(vec![mk(1), mk(2)]);
         // 100 MB total from one 50 MB/s disk: ~2 s makespan.
         let m = report.makespan().as_secs_f64();

@@ -17,8 +17,8 @@
 //! [`NetworkModel::path`]; the flow simulator then shares each link's capacity
 //! between all flows traversing it (max-min fairness, progressive filling).
 
-use crate::topology::{ClusterTopology, NodeId, Proximity};
 use crate::time::SimDuration;
+use crate::topology::{ClusterTopology, NodeId, Proximity};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -224,7 +224,11 @@ mod tests {
     use crate::topology::ClusterTopology;
 
     fn two_site_topo() -> ClusterTopology {
-        ClusterTopology::builder().sites(2).racks_per_site(2).nodes_per_rack(2).build()
+        ClusterTopology::builder()
+            .sites(2)
+            .racks_per_site(2)
+            .nodes_per_rack(2)
+            .build()
     }
 
     #[test]

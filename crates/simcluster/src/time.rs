@@ -14,11 +14,15 @@ use std::ops::{Add, AddAssign, Sub};
 pub const MICROS_PER_SEC: u64 = 1_000_000;
 
 /// An instant on the virtual time line, in microseconds since simulation start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 /// A span of virtual time, in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {
@@ -64,7 +68,10 @@ impl SimDuration {
 
     /// Construct from fractional seconds (rounds to the nearest microsecond).
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s >= 0.0 && s.is_finite(), "duration must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "duration must be finite and non-negative"
+        );
         SimDuration((s * MICROS_PER_SEC as f64).round() as u64)
     }
 
@@ -176,7 +183,10 @@ mod tests {
         assert_eq!(t, SimTime::from_secs(3));
         assert_eq!(t - SimTime::from_secs(1), SimDuration::from_secs(2));
         // Saturating subtraction of a later time.
-        assert_eq!(SimTime::from_secs(1) - SimTime::from_secs(5), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_secs(1) - SimTime::from_secs(5),
+            SimDuration::ZERO
+        );
         let mut d = SimDuration::from_secs(1);
         d += SimDuration::from_secs(1);
         assert_eq!(d, SimDuration::from_secs(2));
@@ -196,7 +206,10 @@ mod tests {
         // 1 byte at 1 GB/s is 1 ns, rounds up to 1 us.
         assert_eq!(transfer_time(1, 1e9), SimDuration::from_micros(1));
         // 100 MB at 100 MB/s is exactly one second.
-        assert_eq!(transfer_time(100_000_000, 100_000_000.0), SimDuration::from_secs(1));
+        assert_eq!(
+            transfer_time(100_000_000, 100_000_000.0),
+            SimDuration::from_secs(1)
+        );
     }
 
     #[test]

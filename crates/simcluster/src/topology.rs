@@ -86,14 +86,22 @@ impl ClusterTopology {
     /// A single-site, single-rack cluster of `n` nodes. Convenient for unit
     /// tests and laptop-scale runs where rack effects are irrelevant.
     pub fn flat(n: u32) -> Self {
-        Self::builder().sites(1).racks_per_site(1).nodes_per_rack(n).build()
+        Self::builder()
+            .sites(1)
+            .racks_per_site(1)
+            .nodes_per_rack(n)
+            .build()
     }
 
     /// A topology shaped like the paper's Grid'5000 deployment: 270 nodes
     /// spread over 9 sites (the number of Grid'5000 sites at the time), each
     /// site holding 2 racks of 15 nodes.
     pub fn grid5000_270() -> Self {
-        Self::builder().sites(9).racks_per_site(2).nodes_per_rack(15).build()
+        Self::builder()
+            .sites(9)
+            .racks_per_site(2)
+            .nodes_per_rack(15)
+            .build()
     }
 
     /// Number of nodes in the cluster.
@@ -113,7 +121,10 @@ impl ClusterTopology {
 
     /// The `idx`-th node id (panics if out of range).
     pub fn node(&self, idx: u32) -> NodeId {
-        assert!((idx as usize) < self.nodes.len(), "node index {idx} out of range");
+        assert!(
+            (idx as usize) < self.nodes.len(),
+            "node index {idx} out of range"
+        );
         NodeId(idx)
     }
 
@@ -163,7 +174,9 @@ impl ClusterTopology {
     /// Nodes that are *not* in the given rack. Used by rack-aware replica
     /// placement ("third copy on a different rack").
     pub fn nodes_outside_rack(&self, rack: RackId) -> Vec<NodeId> {
-        self.all_nodes().filter(|n| self.rack_of(*n) != rack).collect()
+        self.all_nodes()
+            .filter(|n| self.rack_of(*n) != rack)
+            .collect()
     }
 
     /// Nodes in the same rack as `node`, excluding `node` itself.
@@ -237,7 +250,11 @@ impl TopologyBuilder {
                 let mut rack_nodes = Vec::new();
                 for _ in 0..count {
                     let node_id = NodeId(nodes.len() as u32);
-                    nodes.push(NodeInfo { id: node_id, rack: rack_id, site: site_id });
+                    nodes.push(NodeInfo {
+                        id: node_id,
+                        rack: rack_id,
+                        site: site_id,
+                    });
                     rack_nodes.push(node_id);
                 }
                 racks.push(rack_nodes);
@@ -246,8 +263,15 @@ impl TopologyBuilder {
             sites.push(site_racks);
         }
 
-        assert!(!nodes.is_empty(), "a cluster topology must contain at least one node");
-        ClusterTopology { nodes, racks, sites }
+        assert!(
+            !nodes.is_empty(),
+            "a cluster topology must contain at least one node"
+        );
+        ClusterTopology {
+            nodes,
+            racks,
+            sites,
+        }
     }
 }
 
@@ -257,7 +281,11 @@ mod tests {
 
     #[test]
     fn regular_topology_has_expected_counts() {
-        let t = ClusterTopology::builder().sites(3).racks_per_site(2).nodes_per_rack(5).build();
+        let t = ClusterTopology::builder()
+            .sites(3)
+            .racks_per_site(2)
+            .nodes_per_rack(5)
+            .build();
         assert_eq!(t.num_sites(), 3);
         assert_eq!(t.num_racks(), 6);
         assert_eq!(t.num_nodes(), 30);
@@ -284,7 +312,11 @@ mod tests {
     #[test]
     fn proximity_classes() {
         // 2 sites, 2 racks each, 2 nodes each: nodes 0..8.
-        let t = ClusterTopology::builder().sites(2).racks_per_site(2).nodes_per_rack(2).build();
+        let t = ClusterTopology::builder()
+            .sites(2)
+            .racks_per_site(2)
+            .nodes_per_rack(2)
+            .build();
         let n0 = t.node(0);
         let n1 = t.node(1); // same rack as 0
         let n2 = t.node(2); // same site, other rack
@@ -303,7 +335,11 @@ mod tests {
 
     #[test]
     fn rack_membership_queries() {
-        let t = ClusterTopology::builder().sites(1).racks_per_site(2).nodes_per_rack(3).build();
+        let t = ClusterTopology::builder()
+            .sites(1)
+            .racks_per_site(2)
+            .nodes_per_rack(3)
+            .build();
         let n0 = t.node(0);
         let rack = t.rack_of(n0);
         assert_eq!(t.nodes_in_rack(rack).len(), 3);

@@ -34,13 +34,9 @@ pub struct RandomTextMapper {
 }
 
 impl Mapper for RandomTextMapper {
-    fn map(
-        &self,
-        offset: u64,
-        _line: &str,
-        emit: &mut dyn FnMut(String, String),
-    ) -> MrResult<()> {
-        let mut generator = TextGenerator::new(self.seed ^ (offset.wrapping_mul(0x9E3779B97F4A7C15)));
+    fn map(&self, offset: u64, _line: &str, emit: &mut dyn FnMut(String, String)) -> MrResult<()> {
+        let mut generator =
+            TextGenerator::new(self.seed ^ (offset.wrapping_mul(0x9E3779B97F4A7C15)));
         let mut produced = 0usize;
         while produced < self.bytes_per_record {
             let sentence = generator.sentence();
@@ -63,10 +59,19 @@ pub fn random_text_writer_job(
 ) -> Job {
     let config = JobConfig::new(
         "random-text-writer",
-        InputSpec::Synthetic { splits: maps, records_per_split: records_per_map },
+        InputSpec::Synthetic {
+            splits: maps,
+            records_per_split: records_per_map,
+        },
         output_dir,
     );
-    Job::map_only(config, Arc::new(RandomTextMapper { seed, bytes_per_record }))
+    Job::map_only(
+        config,
+        Arc::new(RandomTextMapper {
+            seed,
+            bytes_per_record,
+        }),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -82,12 +87,7 @@ pub struct GrepMapper {
 }
 
 impl Mapper for GrepMapper {
-    fn map(
-        &self,
-        _offset: u64,
-        line: &str,
-        emit: &mut dyn FnMut(String, String),
-    ) -> MrResult<()> {
+    fn map(&self, _offset: u64, line: &str, emit: &mut dyn FnMut(String, String)) -> MrResult<()> {
         if line.contains(&self.pattern) {
             emit(self.pattern.clone(), "1".to_string());
         }
@@ -103,10 +103,20 @@ pub fn distributed_grep_job(
     pattern: &str,
     split_size: u64,
 ) -> Job {
-    let config = JobConfig::new("distributed-grep", InputSpec::Files(input_paths), output_dir)
-        .with_split_size(split_size)
-        .with_reducers(1);
-    Job::new(config, Arc::new(GrepMapper { pattern: pattern.to_string() }), Arc::new(SumReducer))
+    let config = JobConfig::new(
+        "distributed-grep",
+        InputSpec::Files(input_paths),
+        output_dir,
+    )
+    .with_split_size(split_size)
+    .with_reducers(1);
+    Job::new(
+        config,
+        Arc::new(GrepMapper {
+            pattern: pattern.to_string(),
+        }),
+        Arc::new(SumReducer),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -118,12 +128,7 @@ pub fn distributed_grep_job(
 pub struct WordCountMapper;
 
 impl Mapper for WordCountMapper {
-    fn map(
-        &self,
-        _offset: u64,
-        line: &str,
-        emit: &mut dyn FnMut(String, String),
-    ) -> MrResult<()> {
+    fn map(&self, _offset: u64, line: &str, emit: &mut dyn FnMut(String, String)) -> MrResult<()> {
         for word in line.split_whitespace() {
             emit(word.to_string(), "1".to_string());
         }
@@ -178,11 +183,19 @@ mod tests {
         let topo = ClusterTopology::flat(nodes);
         let provider_nodes: Vec<_> = topo.all_nodes().collect();
         let storage = BlobSeer::with_topology(
-            BlobSeerConfig::for_tests().with_providers(nodes as usize).with_page_size(1024),
+            BlobSeerConfig::for_tests()
+                .with_providers(nodes as usize)
+                .with_page_size(1024),
             &topo,
             &provider_nodes,
         );
-        (topo.clone(), BsfsFs::new(Bsfs::new(storage, BsfsConfig::for_tests().with_block_size(1024))))
+        (
+            topo.clone(),
+            BsfsFs::new(Bsfs::new(
+                storage,
+                BsfsConfig::for_tests().with_block_size(1024),
+            )),
+        )
     }
 
     #[test]
@@ -236,14 +249,21 @@ mod tests {
         let job = distributed_grep_job(vec!["/input/huge.txt".into()], "/grep-out", "needle", 2048);
         let result = JobTracker::new(&topo).run(&fs, &job).unwrap();
         let out = fs.read_file(&result.output_files[0]).unwrap();
-        assert_eq!(String::from_utf8_lossy(&out), format!("needle\t{expected}\n"));
-        assert!(result.map_tasks > 1, "the huge file should be processed by several maps");
+        assert_eq!(
+            String::from_utf8_lossy(&out),
+            format!("needle\t{expected}\n")
+        );
+        assert!(
+            result.map_tasks > 1,
+            "the huge file should be processed by several maps"
+        );
     }
 
     #[test]
     fn grep_with_no_matches_produces_empty_output() {
         let (topo, fs) = bsfs_fs(2);
-        fs.write_file("/input/plain.txt", b"nothing interesting here\nat all\n").unwrap();
+        fs.write_file("/input/plain.txt", b"nothing interesting here\nat all\n")
+            .unwrap();
         let job = distributed_grep_job(vec!["/input/plain.txt".into()], "/out", "unfindable", 1024);
         let result = JobTracker::new(&topo).run(&fs, &job).unwrap();
         assert_eq!(result.output_records, 0);
@@ -309,7 +329,10 @@ mod tests {
     fn pass_through_reducer_forwards_pairs() {
         let r = PassThroughReducer;
         let mut out = Vec::new();
-        r.reduce("k", &["v1".into(), "v2".into()], &mut |k, v| out.push((k, v))).unwrap();
+        r.reduce("k", &["v1".into(), "v2".into()], &mut |k, v| {
+            out.push((k, v))
+        })
+        .unwrap();
         assert_eq!(out.len(), 2);
     }
 }

@@ -28,7 +28,7 @@ pub use microbench::{
     write_distinct_files, AccessPattern, MicrobenchConfig, MicrobenchReport,
 };
 pub use simscale::{
-    sim_write_with_strategy,
-    sim_read_distinct, sim_read_shared, sim_write_distinct, SimScaleConfig, StorageSystem,
+    sim_read_distinct, sim_read_shared, sim_write_distinct, sim_write_with_strategy,
+    SimScaleConfig, StorageSystem,
 };
 pub use textgen::TextGenerator;

@@ -48,7 +48,11 @@ impl MicrobenchConfig {
     /// A laptop-scale configuration: a handful of clients, a few hundred KiB
     /// each, 4 KiB records.
     pub fn small(clients: usize) -> Self {
-        MicrobenchConfig { clients, bytes_per_client: 256 * 1024, record_size: 4096 }
+        MicrobenchConfig {
+            clients,
+            bytes_per_client: 256 * 1024,
+            record_size: 4096,
+        }
     }
 }
 
@@ -98,7 +102,12 @@ pub const SHARED_FILE: &str = "/microbench/shared-huge-file";
 /// Pre-create the per-client input files for [`AccessPattern::ReadDistinctFiles`].
 pub fn prepare_distinct_files(fs: &dyn DistFs, config: &MicrobenchConfig) -> MrResult<()> {
     for i in 0..config.clients {
-        write_file_in_records(fs, &client_file(i), config.bytes_per_client, config.record_size)?;
+        write_file_in_records(
+            fs,
+            &client_file(i),
+            config.bytes_per_client,
+            config.record_size,
+        )?;
     }
     Ok(())
 }
@@ -128,61 +137,82 @@ fn write_file_in_records(
 
 /// Run the "concurrent reads from different files" pattern (E1). The input
 /// files must have been created with [`prepare_distinct_files`].
-pub fn read_distinct_files(fs: &dyn DistFs, config: &MicrobenchConfig) -> MrResult<MicrobenchReport> {
-    run_clients(fs, config, AccessPattern::ReadDistinctFiles, |fs, client, cfg| {
-        let path = client_file(client);
-        let mut reader = fs.open(&path)?;
-        let size = reader.len()?;
-        let mut offset = 0u64;
-        let mut bytes = 0u64;
-        while offset < size {
-            let n = cfg.record_size.min(size - offset);
-            let data = reader.read_at(offset, n)?;
-            bytes += data.len() as u64;
-            offset += n;
-        }
-        Ok(bytes)
-    })
+pub fn read_distinct_files(
+    fs: &dyn DistFs,
+    config: &MicrobenchConfig,
+) -> MrResult<MicrobenchReport> {
+    run_clients(
+        fs,
+        config,
+        AccessPattern::ReadDistinctFiles,
+        |fs, client, cfg| {
+            let path = client_file(client);
+            let mut reader = fs.open(&path)?;
+            let size = reader.len()?;
+            let mut offset = 0u64;
+            let mut bytes = 0u64;
+            while offset < size {
+                let n = cfg.record_size.min(size - offset);
+                let data = reader.read_at(offset, n)?;
+                bytes += data.len() as u64;
+                offset += n;
+            }
+            Ok(bytes)
+        },
+    )
 }
 
 /// Run the "concurrent reads of non-overlapping parts of the same huge file"
 /// pattern (E2). The shared file must have been created with
 /// [`prepare_shared_file`].
 pub fn read_shared_file(fs: &dyn DistFs, config: &MicrobenchConfig) -> MrResult<MicrobenchReport> {
-    run_clients(fs, config, AccessPattern::ReadSharedFile, |fs, client, cfg| {
-        let mut reader = fs.open(SHARED_FILE)?;
-        let start = client as u64 * cfg.bytes_per_client;
-        let end = start + cfg.bytes_per_client;
-        let mut offset = start;
-        let mut bytes = 0u64;
-        while offset < end {
-            let n = cfg.record_size.min(end - offset);
-            let data = reader.read_at(offset, n)?;
-            bytes += data.len() as u64;
-            offset += n;
-        }
-        Ok(bytes)
-    })
+    run_clients(
+        fs,
+        config,
+        AccessPattern::ReadSharedFile,
+        |fs, client, cfg| {
+            let mut reader = fs.open(SHARED_FILE)?;
+            let start = client as u64 * cfg.bytes_per_client;
+            let end = start + cfg.bytes_per_client;
+            let mut offset = start;
+            let mut bytes = 0u64;
+            while offset < end {
+                let n = cfg.record_size.min(end - offset);
+                let data = reader.read_at(offset, n)?;
+                bytes += data.len() as u64;
+                offset += n;
+            }
+            Ok(bytes)
+        },
+    )
 }
 
 /// Run the "concurrent writes to different files" pattern (E3).
-pub fn write_distinct_files(fs: &dyn DistFs, config: &MicrobenchConfig) -> MrResult<MicrobenchReport> {
-    run_clients(fs, config, AccessPattern::WriteDistinctFiles, |fs, client, cfg| {
-        let path = format!("/microbench/output-{client:04}");
-        if fs.exists(&path) {
-            fs.delete(&path, false)?;
-        }
-        let mut writer = fs.create(&path)?;
-        let record = vec![0xA5u8; cfg.record_size as usize];
-        let mut written = 0u64;
-        while written < cfg.bytes_per_client {
-            let n = cfg.record_size.min(cfg.bytes_per_client - written) as usize;
-            writer.write(&record[..n])?;
-            written += n as u64;
-        }
-        writer.close()?;
-        Ok(written)
-    })
+pub fn write_distinct_files(
+    fs: &dyn DistFs,
+    config: &MicrobenchConfig,
+) -> MrResult<MicrobenchReport> {
+    run_clients(
+        fs,
+        config,
+        AccessPattern::WriteDistinctFiles,
+        |fs, client, cfg| {
+            let path = format!("/microbench/output-{client:04}");
+            if fs.exists(&path) {
+                fs.delete(&path, false)?;
+            }
+            let mut writer = fs.create(&path)?;
+            let record = vec![0xA5u8; cfg.record_size as usize];
+            let mut written = 0u64;
+            while written < cfg.bytes_per_client {
+                let n = cfg.record_size.min(cfg.bytes_per_client - written) as usize;
+                writer.write(&record[..n])?;
+                written += n as u64;
+            }
+            writer.close()?;
+            Ok(written)
+        },
+    )
 }
 
 /// Spawn one thread per client running `body`, measure wall-clock time, and
@@ -217,7 +247,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
     });
     let elapsed_secs = start.elapsed().as_secs_f64();
 
@@ -259,17 +292,30 @@ mod tests {
 
     fn bsfs_fs() -> BsfsFs {
         let storage = BlobSeer::new(
-            BlobSeerConfig::for_tests().with_providers(4).with_page_size(8 * 1024),
+            BlobSeerConfig::for_tests()
+                .with_providers(4)
+                .with_page_size(8 * 1024),
         );
-        BsfsFs::new(Bsfs::new(storage, BsfsConfig::for_tests().with_block_size(8 * 1024)))
+        BsfsFs::new(Bsfs::new(
+            storage,
+            BsfsConfig::for_tests().with_block_size(8 * 1024),
+        ))
     }
 
     fn hdfs_fs() -> HdfsFs {
-        HdfsFs::new(Hdfs::new(HdfsConfig::for_tests().with_chunk_size(8 * 1024).with_datanodes(4)))
+        HdfsFs::new(Hdfs::new(
+            HdfsConfig::for_tests()
+                .with_chunk_size(8 * 1024)
+                .with_datanodes(4),
+        ))
     }
 
     fn tiny_config(clients: usize) -> MicrobenchConfig {
-        MicrobenchConfig { clients, bytes_per_client: 64 * 1024, record_size: 4096 }
+        MicrobenchConfig {
+            clients,
+            bytes_per_client: 64 * 1024,
+            record_size: 4096,
+        }
     }
 
     #[test]
@@ -285,7 +331,10 @@ mod tests {
             assert!(report.mean_client_bps() > 0.0);
             // The output files really exist and have the right size.
             for i in 0..4 {
-                assert_eq!(fs.len(&format!("/microbench/output-{i:04}")).unwrap(), 64 * 1024);
+                assert_eq!(
+                    fs.len(&format!("/microbench/output-{i:04}")).unwrap(),
+                    64 * 1024
+                );
             }
         }
     }

@@ -87,8 +87,11 @@ impl SimScaleConfig {
     /// and can run a client), 64 MiB blocks, 1 GiB per client, replication 1,
     /// and the requested number of concurrent clients.
     pub fn paper(clients: usize) -> Self {
-        let topology =
-            ClusterTopology::builder().sites(1).racks_per_site(18).nodes_per_rack(15).build();
+        let topology = ClusterTopology::builder()
+            .sites(1)
+            .racks_per_site(18)
+            .nodes_per_rack(15)
+            .build();
         let storage_nodes = topology.num_nodes();
         SimScaleConfig {
             topology,
@@ -106,7 +109,11 @@ impl SimScaleConfig {
     /// client).
     pub fn small(clients: usize) -> Self {
         SimScaleConfig {
-            topology: ClusterTopology::builder().sites(1).racks_per_site(4).nodes_per_rack(4).build(),
+            topology: ClusterTopology::builder()
+                .sites(1)
+                .racks_per_site(4)
+                .nodes_per_rack(4)
+                .build(),
             network: NetworkModel::grid5000_like(),
             storage_nodes: 16,
             clients,
@@ -155,7 +162,9 @@ impl SimScaleConfig {
 
     /// The nodes hosting providers / datanodes.
     pub fn storage_node_ids(&self) -> Vec<NodeId> {
-        (0..self.storage_nodes as u32).map(|i| self.topology.node(i)).collect()
+        (0..self.storage_nodes as u32)
+            .map(|i| self.topology.node(i))
+            .collect()
     }
 
     /// The node client `i` runs on. In a split deployment clients are spread
@@ -172,7 +181,8 @@ impl SimScaleConfig {
             let n = self.topology.num_nodes();
             self.topology.node(((i * 53) % n) as u32)
         } else {
-            self.topology.node((self.storage_nodes + i % client_nodes) as u32)
+            self.topology
+                .node((self.storage_nodes + i % client_nodes) as u32)
         }
     }
 
@@ -190,7 +200,8 @@ impl SimScaleConfig {
         let hashed = z ^ (z >> 31);
         let client_nodes = self.topology.num_nodes() - self.storage_nodes;
         if client_nodes == 0 {
-            self.topology.node((hashed % self.topology.num_nodes() as u64) as u32)
+            self.topology
+                .node((hashed % self.topology.num_nodes() as u64) as u32)
         } else {
             self.topology
                 .node((self.storage_nodes as u64 + hashed % client_nodes as u64) as u32)
@@ -244,8 +255,7 @@ fn compute_placements(
 ) -> Placements {
     let topo = &config.topology;
     let blocks = config.blocks_per_client();
-    let mut placements: Placements =
-        vec![vec![Vec::new(); blocks as usize]; writer_nodes.len()];
+    let mut placements: Placements = vec![vec![Vec::new(); blocks as usize]; writer_nodes.len()];
 
     let storage_nodes = config.storage_node_ids();
     match system {
@@ -280,10 +290,11 @@ fn compute_placements(
                 }
             }
             for (client, block, page) in requests {
-                let allocation =
-                    manager.allocate(1, config.replication, writer_nodes[client]);
-                let nodes: Vec<NodeId> =
-                    allocation[0].iter().filter_map(|p| manager.node_of(*p)).collect();
+                let allocation = manager.allocate(1, config.replication, writer_nodes[client]);
+                let nodes: Vec<NodeId> = allocation[0]
+                    .iter()
+                    .filter_map(|p| manager.node_of(*p))
+                    .collect();
                 placements[client][block as usize][page as usize] = (nodes, page_bytes);
             }
         }
@@ -297,8 +308,10 @@ fn compute_placements(
             for block in 0..blocks {
                 for (client, writer) in writer_nodes.iter().enumerate() {
                     let chosen = policy.choose(&datanodes, config.replication, *writer);
-                    let nodes: Vec<NodeId> =
-                        chosen.iter().map(|d| datanodes[d.0 as usize].node()).collect();
+                    let nodes: Vec<NodeId> = chosen
+                        .iter()
+                        .map(|d| datanodes[d.0 as usize].node())
+                        .collect();
                     placements[client][block as usize] = vec![(nodes, config.block_size)];
                 }
             }
@@ -320,8 +333,7 @@ fn closest_replica(topology: &ClusterTopology, reader: NodeId, replicas: &[NodeI
 /// E3 — concurrent writes to different files. Each client streams its blocks
 /// to the replicas chosen by the system's placement policy.
 pub fn sim_write_distinct(system: StorageSystem, config: &SimScaleConfig) -> SimReport {
-    let writer_nodes: Vec<NodeId> =
-        (0..config.clients).map(|i| config.client_node(i)).collect();
+    let writer_nodes: Vec<NodeId> = (0..config.clients).map(|i| config.client_node(i)).collect();
     let placements = compute_placements(system, config, &writer_nodes);
     // Durability differs by design: an HDFS datanode writes each chunk to its
     // local file system synchronously in the write path, whereas BlobSeer
@@ -337,27 +349,25 @@ pub fn sim_write_distinct(system: StorageSystem, config: &SimScaleConfig) -> Sim
 /// A1 ablation — the write pattern driven by an arbitrary BlobSeer placement
 /// strategy (load-balanced, local-first, random), so the effect of the
 /// placement policy can be isolated from everything else.
-pub fn sim_write_with_strategy(
-    strategy: PlacementStrategy,
-    config: &SimScaleConfig,
-) -> SimReport {
+pub fn sim_write_with_strategy(strategy: PlacementStrategy, config: &SimScaleConfig) -> SimReport {
     let topo = &config.topology;
-    let writer_nodes: Vec<NodeId> =
-        (0..config.clients).map(|i| config.client_node(i)).collect();
+    let writer_nodes: Vec<NodeId> = (0..config.clients).map(|i| config.client_node(i)).collect();
     let storage_nodes = config.storage_node_ids();
     let manager = ProviderManager::new_in_memory(topo, &storage_nodes, strategy);
     let blocks = config.blocks_per_client();
     let pages = config.pages_per_block.max(1) as u64;
     let page_bytes = config.block_size / pages;
-    let mut placements: Placements =
-        vec![vec![Vec::new(); blocks as usize]; writer_nodes.len()];
+    let mut placements: Placements = vec![vec![Vec::new(); blocks as usize]; writer_nodes.len()];
     for block in 0..blocks {
         for (client, writer) in writer_nodes.iter().enumerate() {
             let allocation = manager.allocate(pages, config.replication, *writer);
             placements[client][block as usize] = allocation
                 .iter()
                 .map(|replicas| {
-                    let nodes = replicas.iter().filter_map(|p| manager.node_of(*p)).collect();
+                    let nodes = replicas
+                        .iter()
+                        .filter_map(|p| manager.node_of(*p))
+                        .collect();
                     (nodes, page_bytes)
                 })
                 .collect();
@@ -397,7 +407,9 @@ fn run_write_processes(
                         .collect(),
                 )
             });
-            ClientProcess::new(me).labelled(format!("writer-{i}")).then_all(steps)
+            ClientProcess::new(me)
+                .labelled(format!("writer-{i}"))
+                .then_all(steps)
         })
         .collect();
     FlowSimulator::new(&config.topology, config.network.clone()).run(processes)
@@ -468,10 +480,15 @@ pub fn sim_read_shared(system: StorageSystem, config: &SimScaleConfig) -> SimRep
     // same blocks evenly over all providers regardless of the producers.
     let total_blocks = (config.blocks_per_client() * config.clients as u64) as usize;
     let block_writers: Vec<NodeId> = (0..total_blocks).map(|c| config.loader_node(c)).collect();
-    let one_block_config = SimScaleConfig { bytes_per_client: config.block_size, ..config.clone() };
+    let one_block_config = SimScaleConfig {
+        bytes_per_client: config.block_size,
+        ..config.clone()
+    };
     let per_block = compute_placements(system, &one_block_config, &block_writers);
-    let file_blocks: Vec<BlockLayout> =
-        per_block.into_iter().map(|mut blocks| blocks.remove(0)).collect();
+    let file_blocks: Vec<BlockLayout> = per_block
+        .into_iter()
+        .map(|mut blocks| blocks.remove(0))
+        .collect();
 
     let blocks_per_client = config.blocks_per_client() as usize;
     let processes: Vec<ClientProcess> = (0..config.clients)
@@ -503,7 +520,10 @@ pub fn run_pattern(
         crate::microbench::AccessPattern::ReadSharedFile => sim_read_shared(system, config),
         crate::microbench::AccessPattern::WriteDistinctFiles => sim_write_distinct(system, config),
     };
-    (report.aggregate_throughput(), report.mean_client_throughput())
+    (
+        report.aggregate_throughput(),
+        report.mean_client_throughput(),
+    )
 }
 
 #[cfg(test)]

@@ -9,14 +9,46 @@
 /// The predefined vocabulary sentences are drawn from. The words are a subset
 /// of the list shipped with Hadoop's `RandomTextWriter` example.
 pub const WORDS: &[&str] = &[
-    "diurnalness", "officiousness", "acquirable", "unstipulated", "hemidactylous",
-    "undetachable", "scintillant", "bromate", "pelvimetry", "stradametrical",
-    "unpremonished", "denizenship", "vinegarish", "glaumrie", "tetchily",
-    "pterostigma", "corbel", "critically", "unblenched", "licitation",
-    "mesophyte", "interfraternal", "parmelioid", "entame", "stormy",
-    "pricer", "appetite", "warm", "magnificent", "projection",
-    "arrival", "preparation", "technology", "throughput", "cluster",
-    "storage", "version", "concurrent", "distributed", "snapshot",
+    "diurnalness",
+    "officiousness",
+    "acquirable",
+    "unstipulated",
+    "hemidactylous",
+    "undetachable",
+    "scintillant",
+    "bromate",
+    "pelvimetry",
+    "stradametrical",
+    "unpremonished",
+    "denizenship",
+    "vinegarish",
+    "glaumrie",
+    "tetchily",
+    "pterostigma",
+    "corbel",
+    "critically",
+    "unblenched",
+    "licitation",
+    "mesophyte",
+    "interfraternal",
+    "parmelioid",
+    "entame",
+    "stormy",
+    "pricer",
+    "appetite",
+    "warm",
+    "magnificent",
+    "projection",
+    "arrival",
+    "preparation",
+    "technology",
+    "throughput",
+    "cluster",
+    "storage",
+    "version",
+    "concurrent",
+    "distributed",
+    "snapshot",
 ];
 
 /// A deterministic sentence generator.
@@ -34,7 +66,11 @@ impl TextGenerator {
     /// length range (10 to 100 words for keys+values; we use 5..=20 which
     /// produces comparable line lengths with the shorter vocabulary).
     pub fn new(seed: u64) -> Self {
-        TextGenerator { state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1), min_words: 5, max_words: 20 }
+        TextGenerator {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1),
+            min_words: 5,
+            max_words: 20,
+        }
     }
 
     fn next_u64(&mut self) -> u64 {

@@ -54,15 +54,25 @@ fn main() {
     let nodes: Vec<_> = topo.all_nodes().collect();
 
     let storage = BlobSeer::with_topology(
-        BlobSeerConfig::default().with_providers(8).with_page_size(64 * 1024),
+        BlobSeerConfig::default()
+            .with_providers(8)
+            .with_page_size(64 * 1024),
         &topo,
         &nodes,
     );
-    let bsfs = BsfsFs::new(Bsfs::new(storage, BsfsConfig::default().with_block_size(64 * 1024)));
+    let bsfs = BsfsFs::new(Bsfs::new(
+        storage,
+        BsfsConfig::default().with_block_size(64 * 1024),
+    ));
     run_on(&bsfs, &topo, &text);
 
     let hdfs = HdfsFs::new(Hdfs::with_topology(
-        HdfsConfig { chunk_size: 64 * 1024, datanodes: 8, replication: 2, seed: 1 },
+        HdfsConfig {
+            chunk_size: 64 * 1024,
+            datanodes: 8,
+            replication: 2,
+            seed: 1,
+        },
         &topo,
         &nodes,
     ));

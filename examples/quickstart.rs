@@ -10,14 +10,25 @@ use bsfs::{Bsfs, BsfsConfig};
 
 fn main() {
     // --- 1. Raw BlobSeer: versioned blobs ------------------------------------
-    let storage = BlobSeer::new(BlobSeerConfig::default().with_providers(4).with_page_size(4096));
+    let storage = BlobSeer::new(
+        BlobSeerConfig::default()
+            .with_providers(4)
+            .with_page_size(4096),
+    );
     let client = storage.client();
 
     let blob = client.create(None).expect("create blob");
-    let v1 = client.append(blob, b"first snapshot of the data\n").expect("append");
-    let v2 = client.append(blob, b"second snapshot adds this line\n").expect("append");
+    let v1 = client
+        .append(blob, b"first snapshot of the data\n")
+        .expect("append");
+    let v2 = client
+        .append(blob, b"second snapshot adds this line\n")
+        .expect("append");
 
-    println!("blob {blob} now has {} published versions", client.versions(blob).unwrap().len());
+    println!(
+        "blob {blob} now has {} published versions",
+        client.versions(blob).unwrap().len()
+    );
     println!(
         "  latest ({}): {} bytes",
         client.latest_version(blob).unwrap().version,
@@ -25,7 +36,10 @@ fn main() {
     );
     // Older snapshots stay readable forever.
     let snapshot = client.read(blob, v1, 0, 27).unwrap();
-    println!("  {v1} still reads: {:?}", String::from_utf8_lossy(&snapshot).trim_end());
+    println!(
+        "  {v1} still reads: {:?}",
+        String::from_utf8_lossy(&snapshot).trim_end()
+    );
     let _ = v2;
 
     // --- 2. BSFS: the file-system layer used under MapReduce -----------------
@@ -33,11 +47,16 @@ fn main() {
 
     let mut writer = fs.create("/data/input.txt").expect("create file");
     for i in 0..1000 {
-        writer.write(format!("record-{i:04}\n").as_bytes()).expect("write record");
+        writer
+            .write(format!("record-{i:04}\n").as_bytes())
+            .expect("write record");
     }
     writer.close().expect("close");
 
-    println!("/data/input.txt holds {} bytes", fs.len("/data/input.txt").unwrap());
+    println!(
+        "/data/input.txt holds {} bytes",
+        fs.len("/data/input.txt").unwrap()
+    );
     let mut reader = fs.open("/data/input.txt").unwrap();
     let head = reader.read_at(0, 24).unwrap();
     println!("first records: {:?}", String::from_utf8_lossy(&head));

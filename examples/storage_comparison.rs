@@ -18,11 +18,25 @@ fn mibps(bytes_per_sec: f64) -> f64 {
 
 fn main() {
     let clients = 8;
-    let config = MicrobenchConfig { clients, bytes_per_client: 4 << 20, record_size: 4096 };
-    println!("{clients} concurrent clients, {} MiB each, 4 KiB records\n", 4);
-    println!("{:<32} {:>14} {:>14}", "pattern", "BSFS (MiB/s)", "HDFS (MiB/s)");
+    let config = MicrobenchConfig {
+        clients,
+        bytes_per_client: 4 << 20,
+        record_size: 4096,
+    };
+    println!(
+        "{clients} concurrent clients, {} MiB each, 4 KiB records\n",
+        4
+    );
+    println!(
+        "{:<32} {:>14} {:>14}",
+        "pattern", "BSFS (MiB/s)", "HDFS (MiB/s)"
+    );
 
-    for pattern in ["write distinct files", "read distinct files", "read shared file"] {
+    for pattern in [
+        "write distinct files",
+        "read distinct files",
+        "read shared file",
+    ] {
         let bsfs = bench_harness::small_bsfs(8, 1 << 20);
         let hdfs = bench_harness::small_hdfs(8, 1 << 20);
         let mut row = Vec::new();
@@ -59,18 +73,28 @@ mod bench_harness {
         let topo = ClusterTopology::flat(nodes);
         let provider_nodes: Vec<_> = topo.all_nodes().collect();
         let storage = BlobSeer::with_topology(
-            BlobSeerConfig::default().with_providers(nodes as usize).with_page_size(block),
+            BlobSeerConfig::default()
+                .with_providers(nodes as usize)
+                .with_page_size(block),
             &topo,
             &provider_nodes,
         );
-        BsfsFs::new(Bsfs::new(storage, BsfsConfig::default().with_block_size(block)))
+        BsfsFs::new(Bsfs::new(
+            storage,
+            BsfsConfig::default().with_block_size(block),
+        ))
     }
 
     pub fn small_hdfs(nodes: u32, block: u64) -> HdfsFs {
         let topo = ClusterTopology::flat(nodes);
         let dn_nodes: Vec<_> = topo.all_nodes().collect();
         HdfsFs::new(Hdfs::with_topology(
-            HdfsConfig { chunk_size: block, datanodes: nodes as usize, replication: 1, seed: 7 },
+            HdfsConfig {
+                chunk_size: block,
+                datanodes: nodes as usize,
+                replication: 1,
+                seed: 7,
+            },
             &topo,
             &dn_nodes,
         ))

@@ -14,7 +14,11 @@ use blobseer::{BlobSeer, BlobSeerConfig};
 use workloads::TextGenerator;
 
 fn main() {
-    let sys = BlobSeer::new(BlobSeerConfig::default().with_providers(8).with_page_size(32 * 1024));
+    let sys = BlobSeer::new(
+        BlobSeerConfig::default()
+            .with_providers(8)
+            .with_page_size(32 * 1024),
+    );
     let client = sys.client();
     let blob = client.create(None).unwrap();
 
@@ -23,7 +27,10 @@ fn main() {
     let original = generator.sentences(2_000);
     let v1 = client.append(blob, original.as_bytes()).unwrap();
     let v1_size = client.size(blob).unwrap();
-    println!("dataset snapshot {v1}: {v1_size} bytes, {} records", original.lines().count());
+    println!(
+        "dataset snapshot {v1}: {v1_size} bytes, {} records",
+        original.lines().count()
+    );
 
     // Concurrently: ingest more data (new versions) while analysing v1.
     let ingest_client = sys.client_on(sys.topology().node(1));

@@ -25,7 +25,9 @@ fn many_files_many_clients_roundtrip() {
             scope.spawn(move || {
                 for f in 0..5 {
                     let path = format!("/load/client-{t}/file-{f}");
-                    let payload: Vec<u8> = (0..20_000).map(|i| ((i + t as usize + f) % 251) as u8).collect();
+                    let payload: Vec<u8> = (0..20_000)
+                        .map(|i| ((i + t as usize + f) % 251) as u8)
+                        .collect();
                     fs.write_file(&path, &payload).unwrap();
                     assert_eq!(fs.read_file(&path).unwrap().to_vec(), payload);
                 }
@@ -48,7 +50,9 @@ fn data_survives_killing_a_replicas_worth_of_providers() {
     fs.write_file("/resilient", &payload).unwrap();
 
     // Kill one provider: page replication factor 2 must cover for it.
-    fs.storage().provider_manager().kill(blobseer::ProviderId(0));
+    fs.storage()
+        .provider_manager()
+        .kill(blobseer::ProviderId(0));
     assert_eq!(fs.read_file("/resilient").unwrap().to_vec(), payload);
 
     // New writes keep working with the remaining providers.
@@ -76,7 +80,11 @@ fn placement_strategies_affect_page_distribution_but_not_contents() {
         PlacementStrategy::LocalFirst,
         PlacementStrategy::Random,
     ] {
-        let topo = ClusterTopology::builder().sites(1).racks_per_site(2).nodes_per_rack(4).build();
+        let topo = ClusterTopology::builder()
+            .sites(1)
+            .racks_per_site(2)
+            .nodes_per_rack(4)
+            .build();
         let nodes: Vec<_> = topo.all_nodes().collect();
         let storage = BlobSeer::with_topology(
             BlobSeerConfig::default()
@@ -88,14 +96,22 @@ fn placement_strategies_affect_page_distribution_but_not_contents() {
         );
         let fs = Bsfs::new(storage, BsfsConfig::default().with_block_size(4096));
         fs.write_file("/strategy-test", &payload).unwrap();
-        assert_eq!(fs.read_file("/strategy-test").unwrap().to_vec(), payload, "{strategy:?}");
+        assert_eq!(
+            fs.read_file("/strategy-test").unwrap().to_vec(),
+            payload,
+            "{strategy:?}"
+        );
         let load = fs.storage().provider_manager().allocation_load();
         match strategy {
             PlacementStrategy::LoadBalanced => {
                 assert_eq!(load.len(), 8, "load balancing uses every provider")
             }
             PlacementStrategy::LocalFirst => {
-                assert_eq!(load.len(), 1, "local-first concentrates on the writer's node")
+                assert_eq!(
+                    load.len(),
+                    1,
+                    "local-first concentrates on the writer's node"
+                )
             }
             PlacementStrategy::Random => assert!(load.len() > 1),
         }
@@ -104,7 +120,11 @@ fn placement_strategies_affect_page_distribution_but_not_contents() {
 
 #[test]
 fn snapshot_isolation_under_concurrent_appends() {
-    let storage = BlobSeer::new(BlobSeerConfig::default().with_providers(8).with_page_size(1024));
+    let storage = BlobSeer::new(
+        BlobSeerConfig::default()
+            .with_providers(8)
+            .with_page_size(1024),
+    );
     let client = storage.client();
     let blob = client.create(None).unwrap();
     let v1 = client.append(blob, &vec![1u8; 10_000]).unwrap();

@@ -14,13 +14,23 @@ use workloads::{distributed_grep_job, random_text_writer_job, word_count_job, Te
 fn backends(topo: &ClusterTopology, block: u64) -> (BsfsFs, HdfsFs) {
     let nodes: Vec<_> = topo.all_nodes().collect();
     let storage = BlobSeer::with_topology(
-        BlobSeerConfig::default().with_providers(nodes.len()).with_page_size(block),
+        BlobSeerConfig::default()
+            .with_providers(nodes.len())
+            .with_page_size(block),
         topo,
         &nodes,
     );
-    let bsfs = BsfsFs::new(Bsfs::new(storage, BsfsConfig::default().with_block_size(block)));
+    let bsfs = BsfsFs::new(Bsfs::new(
+        storage,
+        BsfsConfig::default().with_block_size(block),
+    ));
     let hdfs = HdfsFs::new(Hdfs::with_topology(
-        HdfsConfig { chunk_size: block, datanodes: nodes.len(), replication: 2, seed: 3 },
+        HdfsConfig {
+            chunk_size: block,
+            datanodes: nodes.len(),
+            replication: 2,
+            seed: 3,
+        },
         topo,
         &nodes,
     ));
@@ -31,7 +41,11 @@ fn sorted_output(fs: &dyn DistFs, files: &[String]) -> Vec<String> {
     let mut lines = Vec::new();
     for f in files {
         let content = fs.read_file(f).unwrap();
-        lines.extend(String::from_utf8_lossy(&content).lines().map(str::to_string));
+        lines.extend(
+            String::from_utf8_lossy(&content)
+                .lines()
+                .map(str::to_string),
+        );
     }
     lines.sort();
     lines

@@ -7,7 +7,11 @@ use simcluster::time::SimDuration;
 use simcluster::topology::ClusterTopology;
 
 fn topo() -> ClusterTopology {
-    ClusterTopology::builder().sites(2).racks_per_site(2).nodes_per_rack(4).build()
+    ClusterTopology::builder()
+        .sites(2)
+        .racks_per_site(2)
+        .nodes_per_rack(4)
+        .build()
 }
 
 proptest! {
