@@ -24,6 +24,21 @@ fn bench_write_distinct(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // One instrumented pass outside the timing loops: report version-manager
+    // contention and metadata DHT round trips for the largest client count.
+    let clients = *bench::SMALL_CLIENT_COUNTS.last().unwrap();
+    let config = MicrobenchConfig {
+        clients,
+        bytes_per_client: 1 << 20,
+        record_size: 4096,
+    };
+    let bsfs = bench::small_bsfs(4, 256 * 1024);
+    write_distinct_files(&bsfs as &dyn DistFs, &config).unwrap();
+    println!(
+        "E3 instrumentation ({clients} clients): {}",
+        bench::write_path_report(bsfs.inner().storage())
+    );
 }
 
 criterion_group!(benches, bench_write_distinct);

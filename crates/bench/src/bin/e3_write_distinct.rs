@@ -4,11 +4,16 @@
 use workloads::microbench::AccessPattern;
 
 fn main() {
-    let (bsfs, hdfs, records) = bench::paper_sweep(
-        "E3",
-        AccessPattern::WriteDistinctFiles,
-        bench::PAPER_CLIENT_COUNTS,
-    );
+    // BENCH_SMOKE=1 runs a tiny sweep (CI uses it as a does-it-run guard);
+    // unset, empty, or "0" runs the full paper-scale sweep.
+    let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let client_counts: &[usize] = if smoke {
+        &[1, 2]
+    } else {
+        bench::PAPER_CLIENT_COUNTS
+    };
+    let (bsfs, hdfs, records) =
+        bench::paper_sweep("E3", AccessPattern::WriteDistinctFiles, client_counts);
     bench::print_sweep(
         "E3",
         "concurrent writes to different files",

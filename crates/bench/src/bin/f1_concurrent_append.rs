@@ -45,6 +45,7 @@ fn main() {
             total_bytes,
             "no append may be lost"
         );
+        let shared_report = bench::write_path_report(&sys);
 
         // Separate blobs: the current Hadoop-style one-output-per-reducer.
         let sys = BlobSeer::new(
@@ -74,5 +75,6 @@ fn main() {
             mib / shared_secs,
             mib / separate_secs
         );
+        println!("    shared-blob {shared_report}");
     }
 }

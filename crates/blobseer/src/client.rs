@@ -117,9 +117,9 @@ impl BlobSeer {
             config.metadata_replication,
         ));
         Arc::new(BlobSeer {
-            config,
+            config: config.clone(),
             topology: topology.clone(),
-            version_manager: Arc::new(VersionManager::new()),
+            version_manager: Arc::new(VersionManager::with_shards(config.version_manager_shards)),
             provider_manager,
             metadata,
             page_sizes: RwLock::new(HashMap::new()),

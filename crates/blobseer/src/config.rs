@@ -24,6 +24,8 @@ pub struct BlobSeerConfig {
     pub page_replication: usize,
     /// Placement strategy used by the provider manager.
     pub placement: PlacementStrategy,
+    /// Number of version-manager shards (independent lock + condvar each).
+    pub version_manager_shards: usize,
 }
 
 impl Default for BlobSeerConfig {
@@ -35,6 +37,7 @@ impl Default for BlobSeerConfig {
             metadata_replication: 2,
             page_replication: 1,
             placement: PlacementStrategy::LoadBalanced,
+            version_manager_shards: crate::version_manager::DEFAULT_SHARDS,
         }
     }
 }
@@ -49,6 +52,7 @@ impl BlobSeerConfig {
             metadata_replication: 2,
             page_replication: 1,
             placement: PlacementStrategy::LoadBalanced,
+            version_manager_shards: 4,
         }
     }
 
@@ -76,6 +80,12 @@ impl BlobSeerConfig {
         self
     }
 
+    /// Builder-style override of the version-manager shard count.
+    pub fn with_version_manager_shards(mut self, shards: usize) -> Self {
+        self.version_manager_shards = shards;
+        self
+    }
+
     /// Validate invariants, panicking with a clear message if violated. Called
     /// by [`crate::BlobSeer::new`].
     pub fn validate(&self) {
@@ -95,6 +105,10 @@ impl BlobSeerConfig {
             "page replication ({}) cannot exceed the number of providers ({})",
             self.page_replication,
             self.providers
+        );
+        assert!(
+            self.version_manager_shards >= 1,
+            "at least one version-manager shard is required"
         );
     }
 }

@@ -61,7 +61,8 @@ pub mod version_manager;
 pub use client::{BlobSeer, BlobSeerClient, PageLocation};
 pub use config::BlobSeerConfig;
 pub use error::{BlobResult, BlobSeerError};
+pub use metadata::store::MetadataStats;
 pub use provider::{Provider, ProviderStats};
 pub use provider_manager::{PlacementStrategy, ProviderManager};
 pub use types::{BlobId, ByteRange, PageMath, ProviderId, Version};
-pub use version_manager::{VersionInfo, VersionManager, WriteIntent, WriteTicket};
+pub use version_manager::{ShardStats, VersionInfo, VersionManager, WriteIntent, WriteTicket};

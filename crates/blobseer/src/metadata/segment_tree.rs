@@ -13,7 +13,7 @@ use crate::error::BlobResult;
 use crate::metadata::store::MetadataStore;
 use crate::metadata::{NodeKey, TreeNode};
 use crate::types::{BlobId, ProviderId, Version};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Description of a previously published tree that a new version builds upon.
 #[derive(Debug, Clone, Copy)]
@@ -34,6 +34,45 @@ impl PrevTree {
     }
 }
 
+/// A write-side buffer over the metadata store: the nodes of the version
+/// under construction are collected locally and published to the DHT as one
+/// batch ([`MetadataStore::put_nodes`]) when the build completes, instead of
+/// one `put` per node. Reads during the build consult the buffer first (the
+/// wrapper nodes pre-extending a grown tree are written and re-read within
+/// the same build), then fall through to the store.
+struct NodeBatch<'a> {
+    store: &'a MetadataStore,
+    pending: HashMap<NodeKey, TreeNode>,
+}
+
+impl<'a> NodeBatch<'a> {
+    fn new(store: &'a MetadataStore) -> Self {
+        NodeBatch {
+            store,
+            pending: HashMap::new(),
+        }
+    }
+
+    fn put(&mut self, key: NodeKey, node: TreeNode) {
+        // Overwrites collapse in the buffer (a grown tree's wrapper node and
+        // its final root share coordinates), so the flushed batch is also
+        // strictly smaller than the put-per-node stream was.
+        self.pending.insert(key, node);
+    }
+
+    fn get(&self, key: NodeKey) -> BlobResult<TreeNode> {
+        match self.pending.get(&key) {
+            Some(node) => Ok(node.clone()),
+            None => self.store.get_node(key),
+        }
+    }
+
+    fn flush(self) -> BlobResult<()> {
+        let nodes: Vec<(NodeKey, TreeNode)> = self.pending.into_iter().collect();
+        self.store.put_nodes(&nodes)
+    }
+}
+
 /// Build the segment tree for `version` of `blob`.
 ///
 /// * `prev` — the previous version's tree (for subtree sharing).
@@ -41,6 +80,9 @@ impl PrevTree {
 ///   to cover the blob's new size).
 /// * `written` — for every page index modified by this write, the ordered
 ///   list of providers holding its replicas.
+///
+/// The new nodes are published to the metadata DHT as a single batch when
+/// the tree is complete; until then nothing of the version is visible.
 ///
 /// Returns the key of the new root. Panics if `written` is empty (a write
 /// always touches at least one page) or if `new_span` is not a power of two.
@@ -72,6 +114,7 @@ pub fn build_version(
     // that the write does not touch. Wrapper nodes carry the new version; if
     // the recursion later creates a node at the same coordinates it simply
     // overwrites the wrapper, which at that point is no longer referenced.
+    let mut batch = NodeBatch::new(store);
     let mut prev = prev;
     if prev.root.is_some() {
         while prev.span < new_span {
@@ -82,13 +125,13 @@ pub fn build_version(
                 offset: 0,
                 span,
             };
-            store.put_node(
+            batch.put(
                 key,
-                &TreeNode::Inner {
+                TreeNode::Inner {
                     left: prev.root,
                     right: None,
                 },
-            )?;
+            );
             prev = PrevTree {
                 root: Some(key),
                 span,
@@ -97,7 +140,6 @@ pub fn build_version(
     }
 
     let ctx = BuildCtx {
-        store,
         blob,
         version,
         prev,
@@ -105,13 +147,13 @@ pub fn build_version(
         wlast,
         written,
     };
-    let root =
-        build_node(&ctx, 0, new_span, None)?.expect("the root always overlaps the written range");
+    let root = build_node(&ctx, &mut batch, 0, new_span, None)?
+        .expect("the root always overlaps the written range");
+    batch.flush()?;
     Ok(root)
 }
 
 struct BuildCtx<'a> {
-    store: &'a MetadataStore,
     blob: BlobId,
     version: Version,
     prev: PrevTree,
@@ -124,6 +166,7 @@ struct BuildCtx<'a> {
 /// covering exactly `(offset, span)`, when known from the parent.
 fn build_node(
     ctx: &BuildCtx<'_>,
+    batch: &mut NodeBatch<'_>,
     offset: u64,
     span: u64,
     prev_here: Option<NodeKey>,
@@ -155,13 +198,13 @@ fn build_node(
                     offset,
                     span: 1,
                 };
-                ctx.store.put_node(
+                batch.put(
                     key,
-                    &TreeNode::Leaf {
+                    TreeNode::Leaf {
                         page: offset,
                         providers: providers.clone(),
                     },
-                )?;
+                );
                 Ok(Some(key))
             }
             None => Ok(prev_here),
@@ -170,7 +213,7 @@ fn build_node(
 
     let half = span / 2;
     let (prev_left, prev_right) = match prev_here {
-        Some(pk) => match ctx.store.get_node(pk)? {
+        Some(pk) => match batch.get(pk)? {
             TreeNode::Inner { left, right } => (left, right),
             // A leaf cannot cover more than one page; treat defensively.
             TreeNode::Leaf { .. } => (None, None),
@@ -178,8 +221,8 @@ fn build_node(
         None => (None, None),
     };
 
-    let left = build_node(ctx, offset, half, prev_left)?;
-    let right = build_node(ctx, offset + half, half, prev_right)?;
+    let left = build_node(ctx, batch, offset, half, prev_left)?;
+    let right = build_node(ctx, batch, offset + half, half, prev_right)?;
 
     let key = NodeKey {
         blob: ctx.blob,
@@ -187,7 +230,7 @@ fn build_node(
         offset,
         span,
     };
-    ctx.store.put_node(key, &TreeNode::Inner { left, right })?;
+    batch.put(key, TreeNode::Inner { left, right });
     Ok(Some(key))
 }
 
@@ -343,8 +386,9 @@ mod tests {
         let w1: BTreeMap<_, _> = (0..8).map(|p| (p, providers(&[0]))).collect();
         let root1 = build_version(&s, BlobId(1), Version(1), PrevTree::empty(), 8, &w1).unwrap();
         let after_v1 = s.stats().nodes_written;
-        // 8 leaves + 7 inner nodes.
+        // 8 leaves + 7 inner nodes, published as one batch.
         assert_eq!(after_v1, 15);
+        assert_eq!(s.stats().batch_flushes, 1);
 
         // v2: overwrite pages 2..4 with provider 1.
         let w2 = written(&[(2, &[1]), (3, &[1])]);
@@ -386,11 +430,13 @@ mod tests {
         };
         let root2 = build_version(&s, BlobId(2), Version(2), prev, 8, &w2).unwrap();
         let v2_new = s.stats().nodes_written - after_v1;
-        // New metadata records: 1 wrapper extending the old root to span 8,
-        // 4 leaves for pages 4..8, inner nodes covering (4,2), (6,2), (4,4),
-        // and the new root (0,8) which overwrites the wrapper = 9 puts. The
-        // old subtree (0,4) is shared untouched.
-        assert_eq!(v2_new, 9);
+        // New metadata records: 4 leaves for pages 4..8, inner nodes covering
+        // (4,2), (6,2), (4,4), and the new root (0,8) = 8 records. The
+        // wrapper that temporarily extended the old root to span 8 shares the
+        // root's coordinates and collapses with it inside the write batch
+        // before anything reaches the DHT. The old subtree (0,4) is shared
+        // untouched.
+        assert_eq!(v2_new, 8);
 
         let expected1: BTreeMap<_, _> = (0..4).map(|p| (p, providers(&[0]))).collect();
         check_matches(&s, root1, 4, &expected1, 4);

@@ -15,6 +15,15 @@ pub struct MetadataStats {
     pub nodes_written: u64,
     /// Tree nodes read.
     pub nodes_read: u64,
+    /// Batched publications ([`MetadataStore::put_nodes`] calls): one per
+    /// committed version on the write path, regardless of tree size.
+    pub batch_flushes: u64,
+    /// Client-to-metadata-node round trips performed by the underlying DHT
+    /// (reads and writes combined).
+    pub dht_round_trips: u64,
+    /// The write-side subset of `dht_round_trips` — the like-for-like figure
+    /// to compare against one-put-per-node publication.
+    pub dht_write_round_trips: u64,
 }
 
 /// The metadata store: segment-tree nodes in a DHT of metadata providers.
@@ -22,6 +31,7 @@ pub struct MetadataStore {
     dht: Arc<Dht>,
     nodes_written: AtomicU64,
     nodes_read: AtomicU64,
+    batch_flushes: AtomicU64,
 }
 
 impl MetadataStore {
@@ -41,6 +51,7 @@ impl MetadataStore {
             dht,
             nodes_written: AtomicU64::new(0),
             nodes_read: AtomicU64::new(0),
+            batch_flushes: AtomicU64::new(0),
         }
     }
 
@@ -53,6 +64,25 @@ impl MetadataStore {
     pub fn put_node(&self, key: NodeKey, node: &TreeNode) -> BlobResult<()> {
         self.nodes_written.fetch_add(1, Ordering::Relaxed);
         self.dht.put(&key.dht_key(), Bytes::from(node.encode()))?;
+        Ok(())
+    }
+
+    /// Persist a batch of tree nodes in one DHT pass: keys are grouped by
+    /// responsible metadata provider, so each provider is contacted once per
+    /// batch instead of once per node. The write path publishes a whole
+    /// version's segment-tree delta through a single call.
+    pub fn put_nodes(&self, nodes: &[(NodeKey, TreeNode)]) -> BlobResult<()> {
+        if nodes.is_empty() {
+            return Ok(());
+        }
+        self.nodes_written
+            .fetch_add(nodes.len() as u64, Ordering::Relaxed);
+        self.batch_flushes.fetch_add(1, Ordering::Relaxed);
+        let entries: Vec<(Vec<u8>, Bytes)> = nodes
+            .iter()
+            .map(|(key, node)| (key.dht_key(), Bytes::from(node.encode())))
+            .collect();
+        self.dht.put_many(&entries)?;
         Ok(())
     }
 
@@ -79,6 +109,9 @@ impl MetadataStore {
         MetadataStats {
             nodes_written: self.nodes_written.load(Ordering::Relaxed),
             nodes_read: self.nodes_read.load(Ordering::Relaxed),
+            batch_flushes: self.batch_flushes.load(Ordering::Relaxed),
+            dht_round_trips: self.dht.round_trips(),
+            dht_write_round_trips: self.dht.write_round_trips(),
         }
     }
 }
@@ -110,6 +143,43 @@ mod tests {
         let stats = store.stats();
         assert_eq!(stats.nodes_written, 1);
         assert_eq!(stats.nodes_read, 1);
+    }
+
+    #[test]
+    fn put_nodes_batch_matches_single_puts_with_fewer_round_trips() {
+        let batched = MetadataStore::new(3, 2);
+        let single = MetadataStore::new(3, 2);
+        let nodes: Vec<(NodeKey, TreeNode)> = (0..16)
+            .map(|i| {
+                (
+                    key(1, i, 1),
+                    TreeNode::Leaf {
+                        page: i,
+                        providers: vec![ProviderId(i as u32)],
+                    },
+                )
+            })
+            .collect();
+        batched.put_nodes(&nodes).unwrap();
+        for (k, n) in &nodes {
+            single.put_node(*k, n).unwrap();
+        }
+        // The batch contacted each of the 3 metadata providers at most once,
+        // while single puts paid one round trip per node-replica.
+        let b = batched.stats();
+        let s = single.stats();
+        assert_eq!(b.nodes_written, 16);
+        assert_eq!(b.batch_flushes, 1);
+        assert!(b.dht_round_trips <= 3);
+        assert_eq!(s.dht_round_trips, 32);
+        // And both stores hold identical contents.
+        for (k, n) in &nodes {
+            assert_eq!(&batched.get_node(*k).unwrap(), n);
+            assert_eq!(&single.get_node(*k).unwrap(), n);
+        }
+        // Empty batches are free.
+        batched.put_nodes(&[]).unwrap();
+        assert_eq!(batched.stats().batch_flushes, 1);
     }
 
     #[test]

@@ -15,16 +15,22 @@
 //!   root/size of version v?" queries for readers.
 //!
 //! Only the version-number assignment and the publication step are
-//! centralized and serialized — the bulk data transfer to providers happens
-//! entirely outside this component, which is exactly the property that lets
-//! BlobSeer sustain throughput under write concurrency.
+//! centralized and serialized — and even those are serialized *per blob*, not
+//! globally: the manager is sharded by blob id, so commits and waits on
+//! different blobs touch independent locks and condition variables. Notify
+//! storms on a hot blob stay inside its shard instead of waking every waiter
+//! in the system. Per-shard contention counters expose how often threads
+//! actually collided, which the bench harness reports.
 
 use crate::error::{BlobResult, BlobSeerError};
 use crate::metadata::NodeKey;
 use crate::types::{BlobId, ByteRange, Version};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default number of shards used by [`VersionManager::new`].
+pub const DEFAULT_SHARDS: usize = 16;
 
 /// What a writer intends to do; used by [`VersionManager::reserve`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +70,30 @@ pub struct VersionInfo {
     pub size: u64,
 }
 
+/// Lock/condvar traffic counters for one shard (or, summed, for the whole
+/// manager). All counters are monotonic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Times the shard lock was taken.
+    pub lock_acquisitions: u64,
+    /// Lock acquisitions that found the lock held and had to block.
+    pub contended_acquisitions: u64,
+    /// Condition-variable wait episodes (a waiter can wake and re-wait
+    /// several times for one predecessor; each sleep counts).
+    pub cond_waits: u64,
+    /// `notify_all` calls issued by commits, aborts and deletes.
+    pub notifies: u64,
+}
+
+impl ShardStats {
+    fn add(&mut self, other: &ShardStats) {
+        self.lock_acquisitions += other.lock_acquisitions;
+        self.contended_acquisitions += other.contended_acquisitions;
+        self.cond_waits += other.cond_waits;
+        self.notifies += other.notifies;
+    }
+}
+
 /// Per-blob bookkeeping.
 struct BlobState {
     /// Next version number to hand out.
@@ -79,6 +109,9 @@ struct BlobState {
     pending: BTreeMap<u64, (Option<NodeKey>, u64)>,
     /// Tickets that have been reserved but not yet committed/aborted.
     outstanding: HashMap<u64, WriteTicket>,
+    /// Aborted tickets whose size reservation has not been reclaimed yet:
+    /// version -> (prev_size, new_size).
+    aborted: BTreeMap<u64, (u64, u64)>,
 }
 
 impl BlobState {
@@ -92,6 +125,7 @@ impl BlobState {
             published_up_to: 0,
             pending: BTreeMap::new(),
             outstanding: HashMap::new(),
+            aborted: BTreeMap::new(),
         }
     }
 
@@ -102,14 +136,84 @@ impl BlobState {
             self.published.insert(self.published_up_to, entry);
         }
     }
+
+    /// Unwind the size reservations of aborted tickets sitting at the top of
+    /// the reservation stack (newest version downwards, through consecutive
+    /// aborts only). A reservation below a committed or still-outstanding
+    /// version can never be reclaimed: the later version's placement — and,
+    /// once published, its recorded blob size — already builds on it, so
+    /// rolling it back would regress published sizes.
+    fn reclaim_aborted(&mut self) {
+        let mut top = self.next_version - 1;
+        while let Some(&(prev_size, new_size)) = self.aborted.get(&top) {
+            // Consecutive reservations always chain (prev of k == new of
+            // k-1), so this equality holds for every popped entry.
+            if self.reserved_size == new_size {
+                self.reserved_size = prev_size;
+            }
+            self.aborted.remove(&top);
+            if top == 0 {
+                break;
+            }
+            top -= 1;
+        }
+    }
 }
 
-/// The centralized version manager.
-pub struct VersionManager {
+/// One shard: an independent lock + condvar over a slice of the blob space.
+struct Shard {
     blobs: Mutex<HashMap<BlobId, BlobState>>,
-    /// Notified whenever a version is published, so that readers/committers
-    /// waiting for a predecessor can re-check.
+    /// Notified whenever a version of a blob in this shard is published (or
+    /// the blob is deleted), so waiters can re-check.
     published_cond: Condvar,
+    lock_acquisitions: AtomicU64,
+    contended_acquisitions: AtomicU64,
+    cond_waits: AtomicU64,
+    notifies: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            blobs: Mutex::new(HashMap::new()),
+            published_cond: Condvar::new(),
+            lock_acquisitions: AtomicU64::new(0),
+            contended_acquisitions: AtomicU64::new(0),
+            cond_waits: AtomicU64::new(0),
+            notifies: AtomicU64::new(0),
+        }
+    }
+
+    /// Lock the shard, counting whether we had to block to get it.
+    fn lock(&self) -> MutexGuard<'_, HashMap<BlobId, BlobState>> {
+        self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        match self.blobs.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.contended_acquisitions.fetch_add(1, Ordering::Relaxed);
+                self.blobs.lock()
+            }
+        }
+    }
+
+    fn notify_published(&self) {
+        self.notifies.fetch_add(1, Ordering::Relaxed);
+        self.published_cond.notify_all();
+    }
+
+    fn stats(&self) -> ShardStats {
+        ShardStats {
+            lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
+            contended_acquisitions: self.contended_acquisitions.load(Ordering::Relaxed),
+            cond_waits: self.cond_waits.load(Ordering::Relaxed),
+            notifies: self.notifies.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The centralized version manager, sharded by blob id.
+pub struct VersionManager {
+    shards: Box<[Shard]>,
     next_blob_id: AtomicU64,
     /// Monotonic counters for instrumentation.
     reservations: AtomicU64,
@@ -123,49 +227,75 @@ impl Default for VersionManager {
 }
 
 impl VersionManager {
-    /// Create an empty version manager.
+    /// Create an empty version manager with [`DEFAULT_SHARDS`] shards.
     pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Create an empty version manager with an explicit shard count.
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard is required");
         VersionManager {
-            blobs: Mutex::new(HashMap::new()),
-            published_cond: Condvar::new(),
+            shards: (0..shards).map(|_| Shard::new()).collect(),
             next_blob_id: AtomicU64::new(0),
             reservations: AtomicU64::new(0),
             commits: AtomicU64::new(0),
         }
     }
 
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, blob: BlobId) -> &Shard {
+        // Blob ids are dense (a monotone counter), so modulo spreads them
+        // uniformly without hashing.
+        &self.shards[(blob.0 as usize) % self.shards.len()]
+    }
+
     /// Create a new blob and return its id. The blob starts at version 0 with
     /// size 0.
     pub fn create_blob(&self) -> BlobId {
         let id = BlobId(self.next_blob_id.fetch_add(1, Ordering::Relaxed));
-        self.blobs.lock().insert(id, BlobState::new());
+        self.shard_of(id).lock().insert(id, BlobState::new());
         id
     }
 
     /// Does the blob exist?
     pub fn blob_exists(&self, blob: BlobId) -> bool {
-        self.blobs.lock().contains_key(&blob)
+        self.shard_of(blob).lock().contains_key(&blob)
     }
 
     /// All blob ids currently known, sorted.
     pub fn blob_ids(&self) -> Vec<BlobId> {
-        let mut ids: Vec<BlobId> = self.blobs.lock().keys().copied().collect();
+        let mut ids: Vec<BlobId> = Vec::new();
+        for shard in self.shards.iter() {
+            ids.extend(shard.lock().keys().copied());
+        }
         ids.sort();
         ids
     }
 
     /// Delete a blob entirely (BSFS uses this for file deletion). Outstanding
-    /// tickets are invalidated.
+    /// tickets are invalidated, and any writer blocked in
+    /// [`VersionManager::wait_for_predecessor`] on this blob is woken so its
+    /// `UnknownBlob` re-check can fire instead of hanging forever.
     pub fn delete_blob(&self, blob: BlobId) -> BlobResult<()> {
-        match self.blobs.lock().remove(&blob) {
-            Some(_) => Ok(()),
+        let shard = self.shard_of(blob);
+        let removed = shard.lock().remove(&blob);
+        match removed {
+            Some(_) => {
+                shard.notify_published();
+                Ok(())
+            }
             None => Err(BlobSeerError::UnknownBlob(blob)),
         }
     }
 
     /// Reserve a version (and offset, for appends) for an upcoming write.
     pub fn reserve(&self, blob: BlobId, intent: WriteIntent) -> BlobResult<WriteTicket> {
-        let mut blobs = self.blobs.lock();
+        let mut blobs = self.shard_of(blob).lock();
         let state = blobs
             .get_mut(&blob)
             .ok_or(BlobSeerError::UnknownBlob(blob))?;
@@ -201,7 +331,8 @@ impl VersionManager {
     /// metadata tree so they can share subtrees with their predecessor.
     pub fn wait_for_predecessor(&self, ticket: &WriteTicket) -> BlobResult<VersionInfo> {
         let prev = ticket.version.0 - 1;
-        let mut blobs = self.blobs.lock();
+        let shard = self.shard_of(ticket.blob);
+        let mut blobs = shard.lock();
         loop {
             let state = blobs
                 .get(&ticket.blob)
@@ -213,14 +344,16 @@ impl VersionManager {
                     size: *size,
                 });
             }
-            self.published_cond.wait(&mut blobs);
+            shard.cond_waits.fetch_add(1, Ordering::Relaxed);
+            shard.published_cond.wait(&mut blobs);
         }
     }
 
     /// Publish a committed version: record its tree root and size, and make
     /// it (and any consecutive successors already committed) visible.
     pub fn commit(&self, ticket: &WriteTicket, root: Option<NodeKey>) -> BlobResult<VersionInfo> {
-        let mut blobs = self.blobs.lock();
+        let shard = self.shard_of(ticket.blob);
+        let mut blobs = shard.lock();
         let state = blobs
             .get_mut(&ticket.blob)
             .ok_or(BlobSeerError::UnknownBlob(ticket.blob))?;
@@ -233,9 +366,14 @@ impl VersionManager {
         state
             .pending
             .insert(ticket.version.0, (root, ticket.new_size));
+        // Aborted reservations below a committed version are dead: the
+        // unwind in `reclaim_aborted` can never reach past this commit.
+        let committed = ticket.version.0;
+        state.aborted.retain(|&v, _| v > committed);
         state.advance();
+        drop(blobs);
         self.commits.fetch_add(1, Ordering::Relaxed);
-        self.published_cond.notify_all();
+        shard.notify_published();
         Ok(VersionInfo {
             version: ticket.version,
             root,
@@ -245,11 +383,16 @@ impl VersionManager {
 
     /// Abandon a reservation. The version still needs to exist so that later
     /// versions can publish; it becomes an alias of its predecessor (same
-    /// root, same size).
+    /// root, same size). When the aborted ticket is the newest reservation
+    /// (or completes a fully-aborted suffix of reservations), its size
+    /// contribution is also reclaimed, so the next append lands at the end of
+    /// the data that was actually written instead of leaving a phantom hole
+    /// covered by the published blob size.
     pub fn abort(&self, ticket: &WriteTicket) -> BlobResult<()> {
         // Wait for the predecessor so we can alias it.
         let prev = self.wait_for_predecessor(ticket)?;
-        let mut blobs = self.blobs.lock();
+        let shard = self.shard_of(ticket.blob);
+        let mut blobs = shard.lock();
         let state = blobs
             .get_mut(&ticket.blob)
             .ok_or(BlobSeerError::UnknownBlob(ticket.blob))?;
@@ -260,16 +403,21 @@ impl VersionManager {
             });
         }
         state
+            .aborted
+            .insert(ticket.version.0, (ticket.prev_size, ticket.new_size));
+        state.reclaim_aborted();
+        state
             .pending
             .insert(ticket.version.0, (prev.root, prev.size));
         state.advance();
-        self.published_cond.notify_all();
+        drop(blobs);
+        shard.notify_published();
         Ok(())
     }
 
     /// Latest published version of a blob.
     pub fn latest(&self, blob: BlobId) -> BlobResult<VersionInfo> {
-        let blobs = self.blobs.lock();
+        let blobs = self.shard_of(blob).lock();
         let state = blobs.get(&blob).ok_or(BlobSeerError::UnknownBlob(blob))?;
         let v = state.published_up_to;
         let (root, size) = state.published[&v];
@@ -282,7 +430,7 @@ impl VersionManager {
 
     /// Descriptor of a specific published version.
     pub fn get_version(&self, blob: BlobId, version: Version) -> BlobResult<VersionInfo> {
-        let blobs = self.blobs.lock();
+        let blobs = self.shard_of(blob).lock();
         let state = blobs.get(&blob).ok_or(BlobSeerError::UnknownBlob(blob))?;
         match state.published.get(&version.0) {
             Some((root, size)) if version.0 <= state.published_up_to => Ok(VersionInfo {
@@ -296,7 +444,7 @@ impl VersionManager {
 
     /// All published versions of a blob, oldest first.
     pub fn published_versions(&self, blob: BlobId) -> BlobResult<Vec<VersionInfo>> {
-        let blobs = self.blobs.lock();
+        let blobs = self.shard_of(blob).lock();
         let state = blobs.get(&blob).ok_or(BlobSeerError::UnknownBlob(blob))?;
         Ok(state
             .published
@@ -318,6 +466,20 @@ impl VersionManager {
     /// Number of commits performed (instrumentation).
     pub fn commit_count(&self) -> u64 {
         self.commits.load(Ordering::Relaxed)
+    }
+
+    /// Lock/condvar traffic summed over all shards.
+    pub fn contention_stats(&self) -> ShardStats {
+        let mut total = ShardStats::default();
+        for shard in self.shards.iter() {
+            total.add(&shard.stats());
+        }
+        total
+    }
+
+    /// Lock/condvar traffic per shard, indexed by shard number.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
     }
 }
 
@@ -457,6 +619,57 @@ mod tests {
     }
 
     #[test]
+    fn abort_of_newest_append_reclaims_the_reservation() {
+        let vm = VersionManager::new();
+        let blob = vm.create_blob();
+        let t1 = vm.reserve(blob, WriteIntent::Append { len: 10 }).unwrap();
+        vm.commit(&t1, Some(leaf_key(blob, 1))).unwrap();
+        // Reserve an append, then abort it before writing anything.
+        let t2 = vm.reserve(blob, WriteIntent::Append { len: 100 }).unwrap();
+        assert_eq!(t2.range.offset, 10);
+        vm.abort(&t2).unwrap();
+        // The next append must land where the aborted one would have started,
+        // not after its phantom range.
+        let t3 = vm.reserve(blob, WriteIntent::Append { len: 5 }).unwrap();
+        assert_eq!(t3.range.offset, 10, "aborted reservation leaked its size");
+        assert_eq!(t3.new_size, 15);
+        vm.commit(&t3, Some(leaf_key(blob, 3))).unwrap();
+        assert_eq!(vm.latest(blob).unwrap().size, 15);
+    }
+
+    #[test]
+    fn chained_aborts_unwind_the_reservation_completely() {
+        let vm = VersionManager::new();
+        let blob = vm.create_blob();
+        let t1 = vm.reserve(blob, WriteIntent::Append { len: 8 }).unwrap();
+        vm.commit(&t1, None).unwrap();
+        let t2 = vm.reserve(blob, WriteIntent::Append { len: 16 }).unwrap();
+        let t3 = vm.reserve(blob, WriteIntent::Append { len: 32 }).unwrap();
+        // Abort both (in version order — abort waits for the predecessor to
+        // publish): once the newest goes, the whole aborted suffix unwinds.
+        vm.abort(&t2).unwrap();
+        vm.abort(&t3).unwrap();
+        let t4 = vm.reserve(blob, WriteIntent::Append { len: 4 }).unwrap();
+        assert_eq!(t4.range.offset, 8);
+        assert_eq!(t4.new_size, 12);
+    }
+
+    #[test]
+    fn abort_in_the_middle_keeps_later_reservations_intact() {
+        let vm = VersionManager::new();
+        let blob = vm.create_blob();
+        let t1 = vm.reserve(blob, WriteIntent::Append { len: 8 }).unwrap();
+        vm.commit(&t1, None).unwrap();
+        let t2 = vm.reserve(blob, WriteIntent::Append { len: 16 }).unwrap();
+        let t3 = vm.reserve(blob, WriteIntent::Append { len: 32 }).unwrap();
+        // t2 is not the newest reservation: its range cannot be reclaimed
+        // (t3 was already placed after it).
+        vm.abort(&t2).unwrap();
+        vm.commit(&t3, None).unwrap();
+        assert_eq!(vm.latest(blob).unwrap().size, 8 + 16 + 32);
+    }
+
+    #[test]
     fn published_versions_lists_full_history() {
         let vm = VersionManager::new();
         let blob = vm.create_blob();
@@ -488,6 +701,28 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(50));
         vm.commit(&t1, Some(leaf_key(blob, 1))).unwrap();
         waiter.join().unwrap();
+    }
+
+    #[test]
+    fn delete_wakes_a_blocked_predecessor_waiter() {
+        let vm = Arc::new(VersionManager::new());
+        let blob = vm.create_blob();
+        let _t1 = vm.reserve(blob, WriteIntent::Append { len: 10 }).unwrap();
+        let t2 = vm.reserve(blob, WriteIntent::Append { len: 10 }).unwrap();
+
+        let vm2 = Arc::clone(&vm);
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            // v1 never commits; the blob is deleted instead. Pre-fix this
+            // waiter hung forever because delete_blob never notified.
+            tx.send(vm2.wait_for_predecessor(&t2)).ok();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        vm.delete_blob(blob).unwrap();
+        let result = rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("waiter must be woken by delete_blob, not hang");
+        assert!(matches!(result, Err(BlobSeerError::UnknownBlob(_))));
     }
 
     #[test]
@@ -528,5 +763,61 @@ mod tests {
         vm.delete_blob(blob).unwrap();
         assert!(!vm.blob_exists(blob));
         assert!(vm.latest(blob).is_err());
+    }
+
+    #[test]
+    fn blobs_spread_over_shards() {
+        let vm = VersionManager::with_shards(4);
+        assert_eq!(vm.shard_count(), 4);
+        let blobs: Vec<BlobId> = (0..16).map(|_| vm.create_blob()).collect();
+        assert_eq!(vm.blob_ids(), blobs);
+        for blob in &blobs {
+            let t = vm.reserve(*blob, WriteIntent::Append { len: 1 }).unwrap();
+            vm.commit(&t, None).unwrap();
+        }
+        // Every shard saw traffic: 16 sequential blob ids over 4 shards.
+        let per_shard = vm.shard_stats();
+        assert_eq!(per_shard.len(), 4);
+        assert!(per_shard.iter().all(|s| s.lock_acquisitions > 0));
+        let total = vm.contention_stats();
+        assert_eq!(
+            total.lock_acquisitions,
+            per_shard.iter().map(|s| s.lock_acquisitions).sum::<u64>()
+        );
+        // 16 commits notified their shards.
+        assert_eq!(total.notifies, 16);
+    }
+
+    #[test]
+    fn single_shard_manager_still_works() {
+        let vm = VersionManager::with_shards(1);
+        let a = vm.create_blob();
+        let b = vm.create_blob();
+        let ta = vm.reserve(a, WriteIntent::Append { len: 3 }).unwrap();
+        let tb = vm.reserve(b, WriteIntent::Append { len: 5 }).unwrap();
+        vm.commit(&tb, None).unwrap();
+        vm.commit(&ta, None).unwrap();
+        assert_eq!(vm.latest(a).unwrap().size, 3);
+        assert_eq!(vm.latest(b).unwrap().size, 5);
+    }
+
+    #[test]
+    fn cond_waits_are_counted() {
+        let vm = Arc::new(VersionManager::new());
+        let blob = vm.create_blob();
+        let t1 = vm.reserve(blob, WriteIntent::Append { len: 1 }).unwrap();
+        let t2 = vm.reserve(blob, WriteIntent::Append { len: 1 }).unwrap();
+        let vm2 = Arc::clone(&vm);
+        let waiter = std::thread::spawn(move || vm2.wait_for_predecessor(&t2).unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        vm.commit(&t1, None).unwrap();
+        waiter.join().unwrap();
+        assert!(vm.contention_stats().cond_waits >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        let _ = VersionManager::with_shards(0);
     }
 }

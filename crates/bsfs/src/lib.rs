@@ -258,6 +258,18 @@ impl Bsfs {
         w.close()
     }
 
+    /// Lock/condvar contention of the underlying version manager, summed
+    /// over its shards (passthrough for benchmarks and tooling).
+    pub fn version_manager_contention(&self) -> blobseer::ShardStats {
+        self.storage.version_manager().contention_stats()
+    }
+
+    /// Metadata traffic counters of the underlying BlobSeer deployment,
+    /// including DHT round trips and batch flushes (passthrough).
+    pub fn metadata_stats(&self) -> blobseer::MetadataStats {
+        self.storage.metadata().stats()
+    }
+
     /// Convenience: read an entire file in one call.
     pub fn read_file(&self, path: &str) -> FsResult<Bytes> {
         let size = self.len(path)?;
@@ -650,6 +662,18 @@ mod tests {
             assert_eq!(data.len(), 64 * 64);
         }
         assert_eq!(fs.namespace().file_count(), 8);
+    }
+
+    #[test]
+    fn instrumentation_passthrough_reports_write_traffic() {
+        let fs = fs();
+        fs.write_file("/f", &[1u8; 1024]).unwrap();
+        let meta = fs.metadata_stats();
+        assert!(meta.nodes_written > 0);
+        assert!(meta.batch_flushes > 0);
+        assert!(meta.dht_round_trips > 0);
+        let vm = fs.version_manager_contention();
+        assert!(vm.lock_acquisitions > 0);
     }
 
     #[test]

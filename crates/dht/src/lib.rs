@@ -38,6 +38,7 @@ use bytes::Bytes;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Errors surfaced by DHT operations.
@@ -117,13 +118,49 @@ struct DhtInner {
     virtual_nodes: usize,
 }
 
+/// Keys removed while one of their replicas was dead cannot be told apart
+/// from sole-surviving copies when that replica revives — without a marker
+/// the deleted value would silently resurrect. This set records removed keys
+/// so [`Dht::revive`] can drop them; a re-`put` clears the marker.
+#[derive(Default)]
+struct Tombstones {
+    keys: parking_lot::Mutex<std::collections::HashSet<Vec<u8>>>,
+}
+
+impl Tombstones {
+    fn bury(&self, key: &[u8]) {
+        self.keys.lock().insert(key.to_vec());
+    }
+
+    fn unbury(&self, key: &[u8]) {
+        self.keys.lock().remove(key);
+    }
+
+    fn contains(&self, key: &[u8]) -> bool {
+        self.keys.lock().contains(key)
+    }
+}
+
 /// The distributed hash table used by BlobSeer's metadata layer.
 ///
 /// All methods are safe to call from many threads concurrently; the ring is
 /// only write-locked by membership changes (join/leave/rebalance), never by
 /// data operations.
+///
+/// Besides per-key `put`/`get`, the DHT offers [`Dht::put_many`] and
+/// [`Dht::get_many`] batch operations that group keys by responsible node
+/// under a single ring read-lock pass, contacting each node once — one
+/// "round trip" — instead of once per key. The [`Dht::round_trips`] counter
+/// tracks node contacts across all operations, which is what the bench
+/// harness uses to report metadata round trips per committed version.
 pub struct Dht {
     inner: RwLock<DhtInner>,
+    tombstones: Tombstones,
+    /// Client-to-node exchanges performed (one per node contacted, for both
+    /// single-key and batch operations).
+    round_trips: AtomicU64,
+    /// The subset of `round_trips` spent on writes (put/put_many/remove).
+    write_round_trips: AtomicU64,
 }
 
 impl Dht {
@@ -148,7 +185,33 @@ impl Dht {
         }
         Dht {
             inner: RwLock::new(inner),
+            tombstones: Tombstones::default(),
+            round_trips: AtomicU64::new(0),
+            write_round_trips: AtomicU64::new(0),
         }
+    }
+
+    /// Number of client-to-node exchanges performed so far (reads and
+    /// writes). Batch operations contact each responsible node once
+    /// regardless of how many of the batch keys it holds, so this counter is
+    /// what shrinks when callers batch.
+    pub fn round_trips(&self) -> u64 {
+        self.round_trips.load(Ordering::Relaxed)
+    }
+
+    /// The write-side subset of [`Dht::round_trips`] (put/put_many/remove):
+    /// the like-for-like figure to compare against one-put-per-key traffic.
+    pub fn write_round_trips(&self) -> u64 {
+        self.write_round_trips.load(Ordering::Relaxed)
+    }
+
+    fn count_round_trip(&self) {
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn count_write_round_trip(&self) {
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
+        self.write_round_trips.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The replication factor this DHT was configured with.
@@ -173,10 +236,15 @@ impl Dht {
             return Err(DhtError::Empty);
         }
         let replicas = inner.ring.successors(key, inner.replication);
+        // Unbury before storing: if a remove races this put, its tombstone
+        // lands after ours is cleared and wins — "remove happened last" is a
+        // legal outcome of the race, resurrecting deleted data is not.
+        self.tombstones.unbury(key);
         let mut stored = 0;
         for id in &replicas {
             let node = &inner.nodes[id];
             if node.is_alive() {
+                self.count_write_round_trip();
                 node.put(key, value.clone());
                 stored += 1;
             }
@@ -203,6 +271,7 @@ impl Dht {
             if !node.is_alive() {
                 continue;
             }
+            self.count_round_trip();
             if let Some(v) = node.get(key) {
                 return Ok(v);
             }
@@ -221,13 +290,117 @@ impl Dht {
         }
         let replicas = inner.ring.successors(key, inner.replication);
         let mut removed = false;
+        let mut any_dead = false;
         for id in &replicas {
             let node = &inner.nodes[id];
             if node.is_alive() {
+                self.count_write_round_trip();
                 removed |= node.remove(key);
+            } else {
+                any_dead = true;
             }
         }
+        if any_dead {
+            // A dead replica may still hold the key; the tombstone stops it
+            // from resurrecting the value at revive/rebalance time. Removes
+            // with every replica alive — the healthy-cluster common case —
+            // leave no tombstone behind.
+            self.tombstones.bury(key);
+        }
         Ok(removed)
+    }
+
+    /// Store a batch of key-value pairs, grouping keys by responsible node
+    /// under a single ring read-lock pass: each live node involved is
+    /// contacted exactly once, carrying every entry it is responsible for.
+    ///
+    /// Equivalent to calling [`Dht::put`] for every entry (later entries win
+    /// for duplicate keys), but with one round trip per *node* instead of one
+    /// per key-replica. Reports [`DhtError::NotEnoughReplicas`] if any entry
+    /// could not be stored on at least one live replica; entries that could
+    /// be stored are stored even then.
+    pub fn put_many(&self, entries: &[(Vec<u8>, Bytes)]) -> DhtResult<()> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let inner = self.inner.read();
+        if inner.nodes.is_empty() {
+            return Err(DhtError::Empty);
+        }
+        // Group entry indices by the node responsible for them.
+        let mut per_node: HashMap<DhtNodeId, Vec<usize>> = HashMap::new();
+        for (i, (key, _)) in entries.iter().enumerate() {
+            // Unbury before storing, as in `put`: a racing remove must win.
+            self.tombstones.unbury(key);
+            for id in inner.ring.successors(key, inner.replication) {
+                per_node.entry(id).or_default().push(i);
+            }
+        }
+        let mut stored = vec![0usize; entries.len()];
+        for (id, indices) in &per_node {
+            let node = &inner.nodes[id];
+            if !node.is_alive() {
+                continue;
+            }
+            self.count_write_round_trip();
+            for &i in indices {
+                let (key, value) = &entries[i];
+                node.put(key, value.clone());
+                stored[i] += 1;
+            }
+        }
+        if stored.contains(&0) {
+            return Err(DhtError::NotEnoughReplicas {
+                wanted: inner.replication,
+                available: 0,
+            });
+        }
+        Ok(())
+    }
+
+    /// Fetch a batch of keys, grouping them by responsible node under a
+    /// single ring read-lock pass. Keys are first asked of their primary
+    /// replicas (one round trip per distinct node), then the still-missing
+    /// ones fail over rank by rank across the remaining replicas — the same
+    /// fail-over order as [`Dht::get`], batched.
+    ///
+    /// Returns one `Option<Bytes>` per requested key, in order; `None` where
+    /// no live replica held the key (where [`Dht::get`] would report
+    /// [`DhtError::NotFound`]).
+    pub fn get_many(&self, keys: &[Vec<u8>]) -> DhtResult<Vec<Option<Bytes>>> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let inner = self.inner.read();
+        if inner.nodes.is_empty() {
+            return Err(DhtError::Empty);
+        }
+        let replica_lists: Vec<Vec<DhtNodeId>> = keys
+            .iter()
+            .map(|k| inner.ring.successors(k, inner.replication))
+            .collect();
+        let mut out: Vec<Option<Bytes>> = vec![None; keys.len()];
+        for rank in 0..inner.replication {
+            let mut per_node: HashMap<DhtNodeId, Vec<usize>> = HashMap::new();
+            for (i, replicas) in replica_lists.iter().enumerate() {
+                if out[i].is_some() {
+                    continue;
+                }
+                if let Some(id) = replicas.get(rank) {
+                    if inner.nodes[id].is_alive() {
+                        per_node.entry(*id).or_default().push(i);
+                    }
+                }
+            }
+            for (id, indices) in &per_node {
+                let node = &inner.nodes[id];
+                self.count_round_trip();
+                for &i in indices {
+                    out[i] = node.get(&keys[i]);
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Does any live replica hold `key`?
@@ -269,21 +442,62 @@ impl Dht {
         }
     }
 
-    /// Revive a previously killed node.
+    /// Revive a previously killed node, reconciling its contents.
+    ///
+    /// Everything the node stored before the failure is suspect: while it was
+    /// dead it missed overwrites, and any rebalance skipped it both as a
+    /// source and as a destination. Without reconciliation a revived node
+    /// that comes first in ring order serves its stale pre-failure values
+    /// ahead of the fresh replicas. So, for every key the node holds:
+    ///
+    /// * if the node is still one of the key's replicas, the value is
+    ///   refreshed from another live replica (when one holds the key);
+    /// * if ring membership changed and the node is no longer a replica, the
+    ///   entry is purged — unless no live replica holds the key, in which
+    ///   case this may be the only surviving copy and it is kept for a later
+    ///   [`Dht::rebalance`] to re-place;
+    /// * keys removed while the node was dead carry a tombstone and are
+    ///   dropped rather than resurrected.
     pub fn revive(&self, id: DhtNodeId) -> DhtResult<()> {
-        let inner = self.inner.read();
-        match inner.nodes.get(&id) {
-            Some(n) => {
-                n.revive();
-                Ok(())
+        // Write-lock the ring like every other membership change: data ops
+        // must not observe (or overwrite) the node mid-reconciliation — a
+        // concurrent put landing between our peer read and our refresh write
+        // would be clobbered with the stale value we just fetched.
+        let inner = self.inner.write();
+        let node = match inner.nodes.get(&id) {
+            Some(n) => n,
+            None => return Err(DhtError::UnknownNode(id)),
+        };
+        for (key, _) in node.entries() {
+            // A key removed while this node was dead must not resurrect.
+            if self.tombstones.contains(&key) {
+                node.remove(&key);
+                continue;
             }
-            None => Err(DhtError::UnknownNode(id)),
+            let targets = inner.ring.successors(&key, inner.replication);
+            let fresh = targets
+                .iter()
+                .filter(|t| **t != id)
+                .filter_map(|t| inner.nodes.get(t))
+                .filter(|n| n.is_alive())
+                .find_map(|n| n.get(&key));
+            if targets.contains(&id) {
+                if let Some(value) = fresh {
+                    node.put(&key, value);
+                }
+            } else if fresh.is_some() {
+                node.remove(&key);
+            }
         }
+        // Only start serving once the contents are reconciled.
+        node.revive();
+        Ok(())
     }
 
     /// Re-distribute every key so that it lives exactly on its `replication`
     /// successors under the current ring. Used after joins/leaves. Dead nodes
-    /// are skipped both as sources and as destinations.
+    /// are skipped both as sources and as destinations; whatever they still
+    /// hold is reconciled when [`Dht::revive`] brings them back.
     pub fn rebalance(&self) {
         let inner = self.inner.write();
         // Collect the union of all keys with one representative value.
@@ -293,6 +507,12 @@ impl Dht {
                 continue;
             }
             for (k, v) in node.entries() {
+                // Tombstoned keys were removed; re-placing a lingering copy
+                // would resurrect them.
+                if self.tombstones.contains(&k) {
+                    node.remove(&k);
+                    continue;
+                }
                 all.entry(k).or_insert(v);
             }
         }
@@ -508,6 +728,191 @@ mod tests {
         .to_string()
         .contains('3'));
         assert!(DhtError::Empty.to_string().contains("no nodes"));
+    }
+
+    #[test]
+    fn revived_node_serves_fresh_values_not_stale_ones() {
+        let dht = Dht::new(DhtConfig {
+            nodes: 5,
+            replication: 3,
+            ..Default::default()
+        });
+        dht.put(b"key", Bytes::from_static(b"old")).unwrap();
+        let replicas = dht.replicas_for(b"key");
+        dht.kill(replicas[0]).unwrap();
+        // Overwrite while the primary is down: only the live replicas see it.
+        dht.put(b"key", Bytes::from_static(b"new")).unwrap();
+        dht.rebalance();
+        dht.revive(replicas[0]).unwrap();
+        // Pre-fix the revived primary, first in ring order, answered with its
+        // stale pre-failure value.
+        assert_eq!(dht.get(b"key").unwrap(), Bytes::from_static(b"new"));
+        // And the primary itself was refreshed, not bypassed.
+        let stats = dht.stats();
+        assert_eq!(stats.live_nodes, 5);
+    }
+
+    #[test]
+    fn revive_purges_keys_the_node_no_longer_owns() {
+        let dht = Dht::new(DhtConfig {
+            nodes: 4,
+            replication: 2,
+            virtual_nodes: 64,
+        });
+        for i in 0..200u32 {
+            dht.put(
+                format!("key-{i}").as_bytes(),
+                Bytes::from(format!("value-{i}")),
+            )
+            .unwrap();
+        }
+        let victim = dht.node_ids()[0];
+        dht.kill(victim).unwrap();
+        // Ring membership changes while the node is dead.
+        dht.join();
+        dht.join();
+        dht.rebalance();
+        dht.revive(victim).unwrap();
+        // Every key is still readable with the right value...
+        for i in 0..200u32 {
+            assert_eq!(
+                dht.get(format!("key-{i}").as_bytes()).unwrap(),
+                Bytes::from(format!("value-{i}"))
+            );
+        }
+        // ...and the revived node only holds keys it is (still) a replica
+        // for: stale entries for re-homed keys were purged.
+        let inner = dht.inner.read();
+        let node = &inner.nodes[&victim];
+        for (key, _) in node.entries() {
+            assert!(
+                inner
+                    .ring
+                    .successors(&key, inner.replication)
+                    .contains(&victim),
+                "revived node kept a key it no longer owns: {:?}",
+                String::from_utf8_lossy(&key)
+            );
+        }
+    }
+
+    #[test]
+    fn keys_removed_while_a_replica_was_dead_do_not_resurrect() {
+        let dht = Dht::new(DhtConfig {
+            nodes: 5,
+            replication: 3,
+            ..Default::default()
+        });
+        dht.put(b"key", Bytes::from_static(b"value")).unwrap();
+        let replicas = dht.replicas_for(b"key");
+        dht.kill(replicas[0]).unwrap();
+        // Removed while the primary is down: only live replicas drop it.
+        assert!(dht.remove(b"key").unwrap());
+        dht.revive(replicas[0]).unwrap();
+        assert!(
+            matches!(dht.get(b"key"), Err(DhtError::NotFound { .. })),
+            "deleted key resurrected through the revived replica"
+        );
+        // A re-put after the removal clears the tombstone.
+        dht.put(b"key", Bytes::from_static(b"again")).unwrap();
+        dht.kill(replicas[0]).unwrap();
+        dht.revive(replicas[0]).unwrap();
+        assert_eq!(dht.get(b"key").unwrap(), Bytes::from_static(b"again"));
+    }
+
+    #[test]
+    fn put_many_and_get_many_roundtrip() {
+        let dht = Dht::new(DhtConfig {
+            nodes: 5,
+            replication: 2,
+            ..Default::default()
+        });
+        let entries: Vec<(Vec<u8>, Bytes)> = (0..50u32)
+            .map(|i| (format!("k{i}").into_bytes(), Bytes::from(format!("v{i}"))))
+            .collect();
+        dht.put_many(&entries).unwrap();
+        for (k, v) in &entries {
+            assert_eq!(&dht.get(k).unwrap(), v);
+        }
+        let keys: Vec<Vec<u8>> = entries.iter().map(|(k, _)| k.clone()).collect();
+        let got = dht.get_many(&keys).unwrap();
+        assert_eq!(got.len(), keys.len());
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(v.as_ref().unwrap(), &entries[i].1);
+        }
+        // A missing key comes back as None, matching get()'s NotFound.
+        assert_eq!(dht.get_many(&[b"missing".to_vec()]).unwrap(), vec![None]);
+        // Empty batches are no-ops.
+        dht.put_many(&[]).unwrap();
+        assert!(dht.get_many(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn batch_ops_use_fewer_round_trips_than_single_ops() {
+        let single = Dht::new(DhtConfig {
+            nodes: 4,
+            replication: 2,
+            ..Default::default()
+        });
+        let batched = Dht::new(DhtConfig {
+            nodes: 4,
+            replication: 2,
+            ..Default::default()
+        });
+        let entries: Vec<(Vec<u8>, Bytes)> = (0..100u32)
+            .map(|i| (format!("k{i}").into_bytes(), Bytes::from_static(b"v")))
+            .collect();
+        for (k, v) in &entries {
+            single.put(k, v.clone()).unwrap();
+        }
+        batched.put_many(&entries).unwrap();
+        // Single puts: one round trip per key-replica (100 * 2). The batch
+        // contacts each of the 4 nodes at most once.
+        assert_eq!(single.round_trips(), 200);
+        assert!(batched.round_trips() <= 4);
+
+        let keys: Vec<Vec<u8>> = entries.iter().map(|(k, _)| k.clone()).collect();
+        let before = batched.round_trips();
+        let got = batched.get_many(&keys).unwrap();
+        assert!(got.iter().all(|v| v.is_some()));
+        // All keys resolve at their primaries: at most one contact per node.
+        assert!(batched.round_trips() - before <= 4);
+    }
+
+    #[test]
+    fn put_many_with_all_replicas_dead_reports_shortfall() {
+        let dht = Dht::new(DhtConfig {
+            nodes: 3,
+            replication: 2,
+            ..Default::default()
+        });
+        for id in dht.node_ids() {
+            dht.kill(id).unwrap();
+        }
+        let entries = vec![(b"k".to_vec(), Bytes::from_static(b"v"))];
+        assert!(matches!(
+            dht.put_many(&entries),
+            Err(DhtError::NotEnoughReplicas { .. })
+        ));
+    }
+
+    #[test]
+    fn get_many_fails_over_dead_primaries() {
+        let dht = Dht::new(DhtConfig {
+            nodes: 5,
+            replication: 3,
+            ..Default::default()
+        });
+        let entries: Vec<(Vec<u8>, Bytes)> = (0..60u32)
+            .map(|i| (format!("k{i}").into_bytes(), Bytes::from(format!("v{i}"))))
+            .collect();
+        dht.put_many(&entries).unwrap();
+        dht.kill(dht.node_ids()[0]).unwrap();
+        let keys: Vec<Vec<u8>> = entries.iter().map(|(k, _)| k.clone()).collect();
+        let got = dht.get_many(&keys).unwrap();
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(v.as_ref().unwrap(), &entries[i].1, "key {i} lost");
+        }
     }
 
     #[test]

@@ -44,6 +44,17 @@ impl<T: ?Sized> Mutex<T> {
         MutexGuard { inner: Some(guard) }
     }
 
+    /// Attempt to acquire the lock without blocking; `None` if it is held.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(MutexGuard { inner: Some(guard) }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     pub fn get_mut(&mut self) -> &mut T {
         self.inner
             .get_mut()

@@ -56,6 +56,50 @@ proptest! {
         }
     }
 
+    /// Batch `put_many`/`get_many` are observationally equivalent to loops of
+    /// the single-key operations: same stored values, same missing keys —
+    /// only the round-trip count differs.
+    #[test]
+    fn dht_batch_ops_match_single_op_loops(
+        entries in prop::collection::vec(
+            (any::<u8>(), prop::collection::vec(any::<u8>(), 0..32)),
+            1..80,
+        ),
+        extra_keys in prop::collection::vec(any::<u8>(), 0..20),
+        kill_one in any::<bool>(),
+    ) {
+        let batched = Dht::new(DhtConfig { nodes: 5, replication: 3, virtual_nodes: 32 });
+        let single = Dht::new(DhtConfig { nodes: 5, replication: 3, virtual_nodes: 32 });
+        let batch: Vec<(Vec<u8>, Bytes)> = entries
+            .iter()
+            .map(|(k, v)| (vec![*k], Bytes::from(v.clone())))
+            .collect();
+        batched.put_many(&batch).unwrap();
+        for (k, v) in &batch {
+            single.put(k, v.clone()).unwrap();
+        }
+        if kill_one {
+            // Replication covers one dead node; equivalence must survive it.
+            batched.kill(batched.node_ids()[0]).unwrap();
+            single.kill(single.node_ids()[0]).unwrap();
+        }
+        // Compare on every written key (duplicates included: later entries
+        // win in both worlds) plus keys that may never have been written.
+        let mut keys: Vec<Vec<u8>> = batch.iter().map(|(k, _)| k.clone()).collect();
+        keys.extend(extra_keys.iter().map(|k| vec![*k]));
+        let got = batched.get_many(&keys).unwrap();
+        prop_assert_eq!(got.len(), keys.len());
+        for (i, k) in keys.iter().enumerate() {
+            match single.get(k) {
+                Ok(v) => {
+                    prop_assert_eq!(got[i].clone().expect("batched get missing a key"), v.clone());
+                    prop_assert_eq!(batched.get(k).unwrap(), v);
+                }
+                Err(_) => prop_assert!(got[i].is_none()),
+            }
+        }
+    }
+
     /// The log-structured store agrees with a HashMap model, both live and
     /// after a crash-recovery style reopen (optionally with a compaction in
     /// between).
