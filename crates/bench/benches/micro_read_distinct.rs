@@ -20,6 +20,10 @@ fn bench_read_distinct(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("BSFS", clients), &clients, |b, _| {
             b.iter(|| read_distinct_files(&bsfs as &dyn DistFs, &config).unwrap())
         });
+        println!(
+            "E1/{clients} clients {}",
+            bench::read_path_report(bsfs.inner().storage())
+        );
         let hdfs = bench::small_hdfs(4, 256 * 1024);
         prepare_distinct_files(&hdfs, &config).unwrap();
         group.bench_with_input(BenchmarkId::new("HDFS", clients), &clients, |b, _| {

@@ -19,6 +19,10 @@ fn bench_read_shared(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("BSFS", clients), &clients, |b, _| {
             b.iter(|| read_shared_file(&bsfs as &dyn DistFs, &config).unwrap())
         });
+        println!(
+            "E2/{clients} clients {}",
+            bench::read_path_report(bsfs.inner().storage())
+        );
         let hdfs = bench::small_hdfs(4, 256 * 1024);
         prepare_shared_file(&hdfs, &config).unwrap();
         group.bench_with_input(BenchmarkId::new("HDFS", clients), &clients, |b, _| {

@@ -3,16 +3,19 @@
 //!
 //! Runs the paper-scale sweep (1..250 clients on 270 simulated Grid'5000
 //! nodes, 1 GiB per client) for BSFS and HDFS and prints the throughput
-//! series the paper plots.
+//! series the paper plots, then a laptop-scale real-data section with the
+//! read-path instrumentation (frontier-batched metadata round trips and
+//! cache hit rate, with the cache on and off).
 
 use workloads::microbench::AccessPattern;
 
 fn main() {
-    let (bsfs, hdfs, records) = bench::paper_sweep(
-        "E1",
-        AccessPattern::ReadDistinctFiles,
-        bench::PAPER_CLIENT_COUNTS,
-    );
+    // BENCH_SMOKE=1 runs a tiny sweep (CI uses it as a does-it-run guard);
+    // unset, empty, or "0" runs the full paper-scale sweep.
+    let smoke = bench::smoke_mode();
+    let client_counts = bench::sweep_client_counts(smoke);
+    let (bsfs, hdfs, records) =
+        bench::paper_sweep("E1", AccessPattern::ReadDistinctFiles, client_counts);
     bench::print_sweep(
         "E1",
         "concurrent reads from different files",
@@ -20,4 +23,6 @@ fn main() {
         &hdfs,
         &records,
     );
+    let (clients, bytes_per_client) = if smoke { (2, 256 * 1024) } else { (8, 4 << 20) };
+    bench::read_path_section(AccessPattern::ReadDistinctFiles, clients, bytes_per_client);
 }

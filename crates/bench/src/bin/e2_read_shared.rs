@@ -1,14 +1,21 @@
 //! E2 — microbenchmark: concurrent clients reading *non-overlapping parts of
 //! the same huge file* (map phase over one shared input, paper §IV-B).
+//!
+//! Runs the paper-scale sweep, then a laptop-scale real-data section with
+//! the read-path instrumentation. The shared file makes this the workload
+//! where the immutable-node cache matters most: every client descends the
+//! same segment tree, so the upper levels are resolved once and then served
+//! from the cache for everyone.
 
 use workloads::microbench::AccessPattern;
 
 fn main() {
-    let (bsfs, hdfs, records) = bench::paper_sweep(
-        "E2",
-        AccessPattern::ReadSharedFile,
-        bench::PAPER_CLIENT_COUNTS,
-    );
+    // BENCH_SMOKE=1 runs a tiny sweep (CI uses it as a does-it-run guard);
+    // unset, empty, or "0" runs the full paper-scale sweep.
+    let smoke = bench::smoke_mode();
+    let client_counts = bench::sweep_client_counts(smoke);
+    let (bsfs, hdfs, records) =
+        bench::paper_sweep("E2", AccessPattern::ReadSharedFile, client_counts);
     bench::print_sweep(
         "E2",
         "concurrent reads of non-overlapping parts of one huge file",
@@ -16,4 +23,6 @@ fn main() {
         &hdfs,
         &records,
     );
+    let (clients, bytes_per_client) = if smoke { (2, 256 * 1024) } else { (8, 4 << 20) };
+    bench::read_path_section(AccessPattern::ReadSharedFile, clients, bytes_per_client);
 }

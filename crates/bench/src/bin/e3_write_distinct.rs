@@ -6,12 +6,8 @@ use workloads::microbench::AccessPattern;
 fn main() {
     // BENCH_SMOKE=1 runs a tiny sweep (CI uses it as a does-it-run guard);
     // unset, empty, or "0" runs the full paper-scale sweep.
-    let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
-    let client_counts: &[usize] = if smoke {
-        &[1, 2]
-    } else {
-        bench::PAPER_CLIENT_COUNTS
-    };
+    let smoke = bench::smoke_mode();
+    let client_counts = bench::sweep_client_counts(smoke);
     let (bsfs, hdfs, records) =
         bench::paper_sweep("E3", AccessPattern::WriteDistinctFiles, client_counts);
     bench::print_sweep(

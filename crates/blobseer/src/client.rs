@@ -31,7 +31,7 @@ use crate::metadata::store::MetadataStore;
 use crate::provider::page_key;
 use crate::provider_manager::ProviderManager;
 use crate::types::{next_power_of_two, BlobId, ByteRange, PageMath, ProviderId, Version};
-use crate::version_manager::{VersionInfo, VersionManager, WriteIntent};
+use crate::version_manager::{VersionInfo, VersionManager, WriteIntent, WriteTicket};
 use bytes::Bytes;
 use parking_lot::RwLock;
 use simcluster::topology::ClusterTopology;
@@ -112,10 +112,14 @@ impl BlobSeer {
             provider_nodes,
             config.placement,
         ));
-        let metadata = Arc::new(MetadataStore::new(
-            config.metadata_providers,
-            config.metadata_replication,
-        ));
+        let mut metadata =
+            MetadataStore::new(config.metadata_providers, config.metadata_replication);
+        if config.metadata_cache {
+            // Tree nodes are immutable once published, so a client-side cache
+            // needs no invalidation; see `metadata::cache`.
+            metadata = metadata.with_node_cache(config.metadata_cache_capacity);
+        }
+        let metadata = Arc::new(metadata);
         Arc::new(BlobSeer {
             config: config.clone(),
             topology: topology.clone(),
@@ -187,6 +191,48 @@ impl BlobSeer {
             .copied()
             .ok_or(BlobSeerError::UnknownBlob(blob))
     }
+}
+
+/// Run `work(i)` for every `i in 0..items` and return the results in index
+/// order. With more than one item and `parallelism > 1` the work is fanned
+/// out over a bounded scoped-thread pool; items are assigned to workers by
+/// stride, which keeps the distribution deterministic. Both the read path
+/// (per-page replica fetches) and the write path (per-page replica pushes)
+/// go through this.
+fn fan_out<T, F>(parallelism: usize, items: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = parallelism.max(1).min(items);
+    if workers <= 1 {
+        return (0..items).map(work).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..items).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    let mut i = w;
+                    while i < items {
+                        local.push((i, work(i)));
+                        i += workers;
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("page I/O worker panicked") {
+                out[i] = Some(value);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("every item computed"))
+        .collect()
 }
 
 /// A client handle; cheap to clone and safe to move across threads.
@@ -278,6 +324,27 @@ impl BlobSeerClient {
 
         // Step 1: reserve a version (and the offset, for appends).
         let ticket = sys.version_manager.reserve(blob, intent)?;
+        let result = self.write_reserved(blob, &ticket, data, &pm);
+        if result.is_err() {
+            // Nothing was published under the reserved version: alias the
+            // ticket to its predecessor so later writers are not stuck in
+            // `wait_for_predecessor` on a version that will never appear.
+            let _ = sys.version_manager.abort(&ticket);
+        }
+        result
+    }
+
+    /// Steps 2–3 of the write protocol, with a reservation already held. Any
+    /// error returned here makes `do_write` abort the ticket.
+    fn write_reserved(
+        &self,
+        blob: BlobId,
+        ticket: &WriteTicket,
+        data: &[u8],
+        pm: &PageMath,
+    ) -> BlobResult<Version> {
+        let sys = &self.system;
+        let page_size = pm.page_size();
         let range = ticket.range;
         let (first_page, last_page) = pm
             .pages_touched(range)
@@ -290,24 +357,24 @@ impl BlobSeerClient {
         // writers to the same page race (as in the original system); aligned
         // writes — the only kind BSFS and the benchmarks issue — never merge.
         let needs_head_merge =
-            range.offset % page_size != 0 && ticket.prev_size > pm.page_start(first_page);
-        let tail_unaligned = range.end() % page_size != 0;
+            !range.offset.is_multiple_of(page_size) && ticket.prev_size > pm.page_start(first_page);
+        let tail_unaligned = !range.end().is_multiple_of(page_size);
         let needs_tail_merge = tail_unaligned && range.end() < ticket.prev_size;
         let latest = sys.version_manager.latest(blob)?;
         let head_old = if needs_head_merge {
-            self.read_page_image(blob, &latest, &pm, first_page)?
+            self.read_page_image(blob, &latest, pm, first_page)?
         } else {
             Vec::new()
         };
         let tail_old = if needs_tail_merge && last_page != first_page {
-            self.read_page_image(blob, &latest, &pm, last_page)?
+            self.read_page_image(blob, &latest, pm, last_page)?
         } else if needs_tail_merge {
             // Same page as the head; reuse what we already fetched (or fetch
             // it now if the head did not need merging).
             if needs_head_merge {
                 head_old.clone()
             } else {
-                self.read_page_image(blob, &latest, &pm, first_page)?
+                self.read_page_image(blob, &latest, pm, first_page)?
             }
         } else {
             Vec::new()
@@ -321,8 +388,12 @@ impl BlobSeerClient {
             return Err(BlobSeerError::NoProviders);
         }
 
-        let mut written: BTreeMap<u64, Vec<ProviderId>> = BTreeMap::new();
-        for (i, page) in (first_page..=last_page).enumerate() {
+        // Building one page image and pushing it to its replicas is
+        // independent of every other page, so the per-page work fans out over
+        // a bounded scoped-thread pool (`io_parallelism` workers). Failure
+        // semantics are per page and unchanged: dead replicas are skipped, a
+        // page with no live replica fails the write.
+        let build_and_push = |i: usize, page: u64| -> BlobResult<Vec<ProviderId>> {
             let page_start = pm.page_start(page);
             let page_end_limit = (page_start + page_size).min(ticket.new_size);
             let image_len = (page_end_limit - page_start) as usize;
@@ -370,11 +441,19 @@ impl BlobSeerClient {
             if stored.is_empty() {
                 return Err(BlobSeerError::NoProviders);
             }
-            written.insert(page, stored);
+            Ok(stored)
+        };
+        let pages: Vec<u64> = (first_page..=last_page).collect();
+        let per_page = fan_out(sys.config.io_parallelism, pages.len(), |i| {
+            build_and_push(i, pages[i])
+        });
+        let mut written: BTreeMap<u64, Vec<ProviderId>> = BTreeMap::new();
+        for (page, stored) in pages.iter().zip(per_page) {
+            written.insert(*page, stored?);
         }
 
         // Step 3: wait for the predecessor, build the new tree, publish.
-        let prev = sys.version_manager.wait_for_predecessor(&ticket)?;
+        let prev = sys.version_manager.wait_for_predecessor(ticket)?;
         let prev_tree = PrevTree {
             root: prev.root,
             span: if prev.size == 0 {
@@ -392,7 +471,7 @@ impl BlobSeerClient {
             new_span,
             &written,
         )?;
-        let info = sys.version_manager.commit(&ticket, Some(root))?;
+        let info = sys.version_manager.commit(ticket, Some(root))?;
 
         sys.bytes_written
             .fetch_add(data.len() as u64, Ordering::Relaxed);
@@ -441,11 +520,15 @@ impl BlobSeerClient {
             return Ok(Bytes::new());
         }
         let sys = &self.system;
-        if offset + len > info.size {
+        // `checked_add`, not `+`: a huge offset must come back as
+        // `OutOfBounds`, not wrap around and pass the bounds check in release
+        // builds.
+        let requested_end = offset.checked_add(len);
+        if requested_end.is_none() || requested_end.unwrap() > info.size {
             return Err(BlobSeerError::OutOfBounds {
                 blob,
                 version: info.version,
-                requested_end: offset + len,
+                requested_end: requested_end.unwrap_or(u64::MAX),
                 size: info.size,
             });
         }
@@ -455,14 +538,21 @@ impl BlobSeerClient {
         let (first_page, last_page) = pm.pages_touched(range).expect("non-empty read");
         let span = next_power_of_two(pm.pages_for(info.size));
 
+        // One batched, cached metadata descent resolves every page of the
+        // range; the page fetches themselves then fan out over the bounded
+        // I/O pool (replica failover stays per page, inside `fetch_page`).
         let locations = lookup_range(&sys.metadata, info.root, span, first_page, last_page)?;
+        let images = fan_out(sys.config.io_parallelism, locations.len(), |i| {
+            let meta = &locations[i];
+            let page_start = pm.page_start(meta.page);
+            let valid_len = ((info.size - page_start).min(page_size)) as usize;
+            self.fetch_page(blob, meta, valid_len)
+        });
 
         let mut out = Vec::with_capacity(len as usize);
-        for meta in locations {
-            let page = meta.page;
-            let page_start = pm.page_start(page);
-            let valid_len = ((info.size - page_start).min(page_size)) as usize;
-            let image = self.fetch_page(blob, &meta, valid_len)?;
+        for (meta, image) in locations.iter().zip(images) {
+            let image = image?;
+            let page_start = pm.page_start(meta.page);
 
             // Slice the requested sub-range out of the page image.
             let from = offset.max(page_start) - page_start;
@@ -543,7 +633,9 @@ impl BlobSeerClient {
         if len == 0 || info.size == 0 {
             return Ok(Vec::new());
         }
-        let end = (offset + len).min(info.size);
+        // Saturating: locate clamps to the blob size anyway, so an
+        // overflowing `offset + len` just means "to the end".
+        let end = offset.saturating_add(len).min(info.size);
         if offset >= end {
             return Ok(Vec::new());
         }
@@ -708,6 +800,155 @@ mod tests {
         ));
         // Zero-length read anywhere is fine and returns empty bytes.
         assert!(client.read_latest(blob, 0, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn huge_offset_write_is_rejected_not_wrapped() {
+        // Regression: `reserve` computed `offset + len` unchecked, so a huge
+        // offset wrapped in release builds, reserved a bogus tiny size and
+        // crashed the writer mid-build — leaving its ticket outstanding.
+        let sys = small_system();
+        let client = sys.client();
+        let blob = client.create(Some(8)).unwrap();
+        assert!(matches!(
+            client.write(blob, u64::MAX - 10, &[1u8; 100]),
+            Err(BlobSeerError::InvalidArgument(_))
+        ));
+        // The rejected attempt reserved nothing: the next write proceeds.
+        client.write(blob, 0, b"ok").unwrap();
+        assert_eq!(&client.read_latest(blob, 0, 2).unwrap()[..], b"ok");
+    }
+
+    #[test]
+    fn failed_write_aborts_its_ticket_so_later_writers_proceed() {
+        // Regression: an error between reserve and commit (here: no live
+        // provider) used to leave the reserved version outstanding forever,
+        // deadlocking every subsequent writer in wait_for_predecessor.
+        let sys = small_system();
+        let client = sys.client();
+        let blob = client.create(Some(16)).unwrap();
+        client.write(blob, 0, b"seed").unwrap();
+        for p in sys.provider_manager().providers() {
+            p.kill();
+        }
+        assert!(matches!(
+            client.write(blob, 0, b"fail"),
+            Err(BlobSeerError::NoProviders)
+        ));
+        for p in sys.provider_manager().providers() {
+            p.revive();
+        }
+        // Would hang before the abort-on-error fix.
+        let v = client.write(blob, 0, b"okay").unwrap();
+        assert_eq!(&client.read(blob, v, 0, 4).unwrap()[..], b"okay");
+    }
+
+    #[test]
+    fn huge_offset_read_is_rejected_not_wrapped() {
+        // Regression: `offset + len` used to be unchecked, so a read at
+        // offset u64::MAX - 1 wrapped around in release builds, passed the
+        // bounds check and then panicked deep in page arithmetic.
+        let sys = small_system();
+        let client = sys.client();
+        let blob = client.create(Some(8)).unwrap();
+        client.write(blob, 0, b"payload!").unwrap();
+        for len in [2u64, 4, 1 << 40] {
+            assert!(
+                matches!(
+                    client.read_latest(blob, u64::MAX - 1, len),
+                    Err(BlobSeerError::OutOfBounds { .. })
+                ),
+                "offset u64::MAX - 1, len {len} must be out of bounds"
+            );
+        }
+        // Saturating locate on the same offsets just reports nothing.
+        assert!(client
+            .locate_latest(blob, u64::MAX - 1, 2)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn parallel_multi_page_read_returns_bytes_in_order() {
+        // 32 pages fetched through the bounded pool must reassemble exactly.
+        let sys = BlobSeer::new(
+            BlobSeerConfig::for_tests()
+                .with_providers(8)
+                .with_io_parallelism(5),
+        );
+        let client = sys.client();
+        let blob = client.create(Some(64)).unwrap();
+        let data: Vec<u8> = (0..64 * 32).map(|i| (i % 251) as u8).collect();
+        client.write(blob, 0, &data).unwrap();
+        assert_eq!(
+            client.read_latest(blob, 0, data.len() as u64).unwrap(),
+            data
+        );
+        // Unaligned sub-range crossing many pages.
+        assert_eq!(
+            client.read_latest(blob, 100, 1500).unwrap(),
+            data[100..1600].to_vec()
+        );
+    }
+
+    #[test]
+    fn sequential_io_parallelism_one_still_works() {
+        let sys = BlobSeer::new(BlobSeerConfig::for_tests().with_io_parallelism(1));
+        let client = sys.client();
+        let blob = client.create(Some(16)).unwrap();
+        let data = vec![3u8; 16 * 6];
+        client.write(blob, 0, &data).unwrap();
+        assert_eq!(
+            client.read_latest(blob, 0, data.len() as u64).unwrap(),
+            data
+        );
+    }
+
+    #[test]
+    fn read_path_batches_and_caches_metadata_round_trips() {
+        let sys = BlobSeer::new(BlobSeerConfig::for_tests().with_providers(8));
+        let client = sys.client();
+        let blob = client.create(Some(16)).unwrap();
+        let data = vec![7u8; 16 * 16]; // 16 pages
+        client.write(blob, 0, &data).unwrap();
+        let after_write = sys.metadata().stats();
+
+        // First read: the cache was pre-warmed by the write's own batch
+        // flush, so the whole descent is answered without touching the DHT.
+        client.read_latest(blob, 0, data.len() as u64).unwrap();
+        let after_read = sys.metadata().stats();
+        assert_eq!(
+            after_read.dht_read_round_trips, after_write.dht_read_round_trips,
+            "a writer reading back its own version must not hit the DHT"
+        );
+        assert!(after_read.cache_hits >= 31, "full 16-page tree descent");
+        assert!(after_read.batch_lookups > after_write.batch_lookups);
+    }
+
+    #[test]
+    fn uncached_read_path_still_batches_by_tree_level() {
+        let sys = BlobSeer::new(
+            BlobSeerConfig::for_tests()
+                .with_providers(8)
+                .with_metadata_cache(false),
+        );
+        let client = sys.client();
+        let blob = client.create(Some(16)).unwrap();
+        let data = vec![9u8; 16 * 16]; // 16 pages -> 31-node tree, depth 5
+        client.write(blob, 0, &data).unwrap();
+        let before = sys.metadata().stats();
+        client.read_latest(blob, 0, data.len() as u64).unwrap();
+        let after = sys.metadata().stats();
+        let read_rts = after.dht_read_round_trips - before.dht_read_round_trips;
+        let nodes = after.nodes_read - before.nodes_read;
+        assert_eq!(nodes, 31, "full tree visited");
+        assert_eq!(after.cache_hits, 0);
+        // 5 levels x at most 3 metadata providers, versus 31 per-node gets.
+        assert!(
+            read_rts <= 15,
+            "expected level-batched reads, got {read_rts}"
+        );
+        assert!((read_rts as f64) < 0.6 * nodes as f64);
     }
 
     #[test]

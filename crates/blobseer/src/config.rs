@@ -26,6 +26,16 @@ pub struct BlobSeerConfig {
     pub placement: PlacementStrategy,
     /// Number of version-manager shards (independent lock + condvar each).
     pub version_manager_shards: usize,
+    /// Whether clients keep a cache of segment-tree nodes in front of the
+    /// metadata DHT. Tree nodes are versioned and immutable, so the cache
+    /// never needs invalidation; disabling it sends every node lookup to the
+    /// DHT (the configuration used for the read-path ablation).
+    pub metadata_cache: bool,
+    /// Capacity (in tree nodes) of the client-side metadata cache.
+    pub metadata_cache_capacity: usize,
+    /// Upper bound on the threads a single read or write operation fans its
+    /// per-page provider I/O out over (1 = fully sequential page transfers).
+    pub io_parallelism: usize,
 }
 
 impl Default for BlobSeerConfig {
@@ -38,6 +48,9 @@ impl Default for BlobSeerConfig {
             page_replication: 1,
             placement: PlacementStrategy::LoadBalanced,
             version_manager_shards: crate::version_manager::DEFAULT_SHARDS,
+            metadata_cache: true,
+            metadata_cache_capacity: 64 * 1024,
+            io_parallelism: 8,
         }
     }
 }
@@ -53,6 +66,9 @@ impl BlobSeerConfig {
             page_replication: 1,
             placement: PlacementStrategy::LoadBalanced,
             version_manager_shards: 4,
+            metadata_cache: true,
+            metadata_cache_capacity: 1024,
+            io_parallelism: 4,
         }
     }
 
@@ -86,6 +102,24 @@ impl BlobSeerConfig {
         self
     }
 
+    /// Builder-style toggle of the client-side metadata node cache.
+    pub fn with_metadata_cache(mut self, enabled: bool) -> Self {
+        self.metadata_cache = enabled;
+        self
+    }
+
+    /// Builder-style override of the metadata cache capacity (in nodes).
+    pub fn with_metadata_cache_capacity(mut self, capacity: usize) -> Self {
+        self.metadata_cache_capacity = capacity;
+        self
+    }
+
+    /// Builder-style override of the per-operation page I/O fan-out.
+    pub fn with_io_parallelism(mut self, threads: usize) -> Self {
+        self.io_parallelism = threads;
+        self
+    }
+
     /// Validate invariants, panicking with a clear message if violated. Called
     /// by [`crate::BlobSeer::new`].
     pub fn validate(&self) {
@@ -110,6 +144,14 @@ impl BlobSeerConfig {
             self.version_manager_shards >= 1,
             "at least one version-manager shard is required"
         );
+        assert!(
+            !self.metadata_cache || self.metadata_cache_capacity >= 1,
+            "an enabled metadata cache needs a non-zero capacity"
+        );
+        assert!(
+            self.io_parallelism >= 1,
+            "page I/O parallelism must be at least 1"
+        );
     }
 }
 
@@ -129,12 +171,34 @@ mod tests {
             .with_page_size(4096)
             .with_providers(10)
             .with_page_replication(3)
-            .with_placement(PlacementStrategy::Random);
+            .with_placement(PlacementStrategy::Random)
+            .with_metadata_cache(false)
+            .with_metadata_cache_capacity(128)
+            .with_io_parallelism(2);
         assert_eq!(c.default_page_size, 4096);
         assert_eq!(c.providers, 10);
         assert_eq!(c.page_replication, 3);
         assert_eq!(c.placement, PlacementStrategy::Random);
+        assert!(!c.metadata_cache);
+        assert_eq!(c.metadata_cache_capacity, 128);
+        assert_eq!(c.io_parallelism, 2);
         c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero capacity")]
+    fn enabled_cache_with_zero_capacity_is_rejected() {
+        BlobSeerConfig::for_tests()
+            .with_metadata_cache_capacity(0)
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_io_parallelism_is_rejected() {
+        BlobSeerConfig::for_tests()
+            .with_io_parallelism(0)
+            .validate();
     }
 
     #[test]

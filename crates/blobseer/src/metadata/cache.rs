@@ -1,0 +1,296 @@
+//! Client-side cache of segment-tree nodes.
+//!
+//! Tree nodes are *versioned and immutable*: a `NodeKey` names the node
+//! created by exactly one write, and nothing ever changes the bytes stored
+//! under it ("data is never overwritten", paper §III-A). A cached node can
+//! therefore never go stale — there is no invalidation protocol, no
+//! timestamps, no leases; the only policy decision is capacity. That is the
+//! whole reason BlobSeer's metadata can be cached this aggressively, and it
+//! is why the cache lives on the client side of the DHT rather than on the
+//! metadata providers: every hit removes a client-to-provider round trip.
+//!
+//! The implementation is a sharded clock (second-chance) cache: the key hash
+//! picks a shard, each shard is an independently locked ring of slots, and
+//! eviction sweeps the ring clearing reference bits until it finds a slot
+//! that was not touched since the last sweep. Clock keeps the hot upper
+//! levels of the tree resident like LRU would, without having to reorder a
+//! list on every hit — a hit is one hash lookup and one relaxed bit store.
+
+use crate::metadata::{NodeKey, TreeNode};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of independently locked shards. A power of two so the shard index
+/// is a mask of the key hash.
+const SHARDS: usize = 16;
+
+/// Counters describing cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetadataCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the DHT.
+    pub misses: u64,
+    /// Nodes inserted (both demand fills and write-path pre-warming).
+    pub insertions: u64,
+    /// Nodes evicted to make room.
+    pub evictions: u64,
+    /// Nodes currently resident.
+    pub entries: u64,
+}
+
+impl MetadataCacheStats {
+    /// Fraction of lookups answered from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Slot {
+    key: NodeKey,
+    node: TreeNode,
+    referenced: bool,
+}
+
+struct Shard {
+    /// Key -> index into `slots`.
+    index: HashMap<NodeKey, usize>,
+    slots: Vec<Slot>,
+    /// Clock hand: next slot the eviction sweep examines.
+    hand: usize,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            index: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            hand: 0,
+            capacity,
+        }
+    }
+
+    fn get(&mut self, key: &NodeKey) -> Option<TreeNode> {
+        let slot = *self.index.get(key)?;
+        self.slots[slot].referenced = true;
+        Some(self.slots[slot].node.clone())
+    }
+
+    /// Insert or refresh a node. Returns true when an existing entry was
+    /// evicted to make room.
+    fn insert(&mut self, key: NodeKey, node: TreeNode) -> bool {
+        if let Some(&slot) = self.index.get(&key) {
+            // Immutable nodes make a re-insert a no-op value-wise, but the
+            // write may be pre-warming a slot that demand-filling put there
+            // first; refresh the reference bit either way.
+            self.slots[slot].referenced = true;
+            self.slots[slot].node = node;
+            return false;
+        }
+        if self.slots.len() < self.capacity {
+            self.index.insert(key, self.slots.len());
+            self.slots.push(Slot {
+                key,
+                node,
+                referenced: true,
+            });
+            return false;
+        }
+        // Clock sweep: give every referenced slot a second chance.
+        loop {
+            let slot = &mut self.slots[self.hand];
+            if slot.referenced {
+                slot.referenced = false;
+                self.hand = (self.hand + 1) % self.capacity;
+                continue;
+            }
+            self.index.remove(&slot.key);
+            self.index.insert(key, self.hand);
+            *slot = Slot {
+                key,
+                node,
+                referenced: true,
+            };
+            self.hand = (self.hand + 1) % self.capacity;
+            return true;
+        }
+    }
+}
+
+/// A sharded, capacity-bounded cache of `NodeKey -> TreeNode`.
+pub struct MetadataCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl MetadataCache {
+    /// Create a cache holding at most `capacity` nodes (rounded up so every
+    /// shard holds at least one).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be non-zero");
+        let per_shard = capacity.div_ceil(SHARDS).max(1);
+        MetadataCache {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &NodeKey) -> &Mutex<Shard> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) & (SHARDS - 1)]
+    }
+
+    /// Look a node up, counting the hit or miss.
+    pub fn get(&self, key: &NodeKey) -> Option<TreeNode> {
+        let found = self.shard_of(key).lock().get(key);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Insert (or refresh) a node.
+    pub fn insert(&self, key: NodeKey, node: TreeNode) {
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if self.shard_of(&key).lock().insert(key, node) {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Effectiveness counters.
+    pub fn stats(&self) -> MetadataCacheStats {
+        MetadataCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().slots.len() as u64)
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{BlobId, ProviderId, Version};
+
+    fn key(v: u64, o: u64) -> NodeKey {
+        NodeKey {
+            blob: BlobId(1),
+            version: Version(v),
+            offset: o,
+            span: 1,
+        }
+    }
+
+    fn leaf(page: u64) -> TreeNode {
+        TreeNode::Leaf {
+            page,
+            providers: vec![ProviderId(page as u32)],
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let cache = MetadataCache::new(8);
+        assert!(cache.get(&key(1, 0)).is_none());
+        cache.insert(key(1, 0), leaf(0));
+        assert_eq!(cache.get(&key(1, 0)), Some(leaf(0)));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_is_bounded_and_eviction_counted() {
+        let cache = MetadataCache::new(32);
+        for i in 0..1000 {
+            cache.insert(key(1, i), leaf(i));
+        }
+        let stats = cache.stats();
+        // Each of the 16 shards holds at most ceil(32/16) = 2 slots.
+        assert!(
+            stats.entries <= 32,
+            "entries {} exceed capacity",
+            stats.entries
+        );
+        assert_eq!(stats.insertions, 1000);
+        assert_eq!(stats.evictions, 1000 - stats.entries);
+    }
+
+    #[test]
+    fn clock_sweep_evicts_unreferenced_slots_first() {
+        // A single-shard-sized cache would be flaky to target through the
+        // hash, so drive one shard directly.
+        let mut shard = Shard::new(2);
+        shard.insert(key(1, 0), leaf(0));
+        shard.insert(key(1, 1), leaf(1));
+        // The first over-capacity insert sweeps both reference bits clear,
+        // evicts slot 0 and leaves slot 1's bit cleared.
+        shard.insert(key(1, 2), leaf(2));
+        assert!(shard.get(&key(1, 2)).is_some());
+        assert!(shard.get(&key(1, 0)).is_none());
+        assert_eq!(shard.slots.len(), 2);
+        // Touch node 2 (done by the gets above) and insert again: node 1,
+        // whose bit is still clear, goes; the referenced node 2 survives.
+        shard.insert(key(1, 3), leaf(3));
+        assert!(shard.get(&key(1, 2)).is_some());
+        assert!(shard.get(&key(1, 1)).is_none());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_growing() {
+        let cache = MetadataCache::new(8);
+        cache.insert(key(1, 0), leaf(0));
+        cache.insert(key(1, 0), leaf(0));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.insertions, 2);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = std::sync::Arc::new(MetadataCache::new(64));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let cache = std::sync::Arc::clone(&cache);
+                s.spawn(move || {
+                    for i in 0..500 {
+                        let k = key(t, i % 50);
+                        cache.insert(k, leaf(i % 50));
+                        let _ = cache.get(&k);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.insertions, 8 * 500);
+        assert!(stats.entries <= 64);
+    }
+}

@@ -19,6 +19,7 @@
 //! * [`segment_tree`] holds the build (write path) and lookup (read path)
 //!   algorithms.
 
+pub mod cache;
 pub mod segment_tree;
 pub mod store;
 

@@ -252,7 +252,110 @@ pub struct PageMeta {
 /// tree rooted at `root` (with span `span`). Pages falling in holes are
 /// reported with an empty provider list; the client materialises them as
 /// zeroes.
+///
+/// The descent is breadth-first and *frontier-batched*: every node of one
+/// tree level that overlaps the requested range is resolved through a single
+/// [`MetadataStore::get_nodes`] call (one `Dht::get_many` pass contacting
+/// each responsible metadata provider once). A range lookup therefore costs
+/// O(tree depth) metadata round trips instead of one round trip per visited
+/// node — the read-side counterpart of the batched write publication.
 pub fn lookup_range(
+    store: &MetadataStore,
+    root: Option<NodeKey>,
+    span: u64,
+    first_page: u64,
+    last_page: u64,
+) -> BlobResult<Vec<PageMeta>> {
+    assert!(first_page <= last_page, "page range must be non-empty");
+    let mut out = Vec::with_capacity((last_page - first_page + 1) as usize);
+    let covered_span = span.max(1);
+
+    // Frontier of unresolved nodes: (key, offset, span). Holes never enter
+    // the frontier — they are expanded to zero pages immediately.
+    let mut frontier: Vec<(NodeKey, u64, u64)> = Vec::new();
+    match root {
+        Some(key) if overlaps(0, covered_span, first_page, last_page) => {
+            frontier.push((key, 0, covered_span));
+        }
+        Some(_) => {}
+        None => emit_holes(0, covered_span, first_page, last_page, &mut out),
+    }
+    while !frontier.is_empty() {
+        let keys: Vec<NodeKey> = frontier.iter().map(|(key, _, _)| *key).collect();
+        let nodes = store.get_nodes(&keys)?;
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for (&(key, offset, span), node) in frontier.iter().zip(nodes) {
+            match node {
+                TreeNode::Leaf { page, providers } => {
+                    if page >= first_page && page <= last_page {
+                        let created = if providers.is_empty() {
+                            None
+                        } else {
+                            Some(key.version)
+                        };
+                        out.push(PageMeta {
+                            page,
+                            created,
+                            providers,
+                        });
+                    }
+                }
+                TreeNode::Inner { left, right } => {
+                    let half = span / 2;
+                    for (child, child_offset) in [(left, offset), (right, offset + half)] {
+                        if !overlaps(child_offset, half, first_page, last_page) {
+                            continue;
+                        }
+                        match child {
+                            Some(key) => next.push((key, child_offset, half)),
+                            None => emit_holes(child_offset, half, first_page, last_page, &mut out),
+                        }
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+
+    // Pages requested beyond the tree span (possible when the caller rounds
+    // generously) are holes too.
+    for p in first_page.max(covered_span)..=last_page {
+        out.push(PageMeta {
+            page: p,
+            created: None,
+            providers: Vec::new(),
+        });
+    }
+    out.sort_by_key(|m| m.page);
+    Ok(out)
+}
+
+/// Does the node covering `[offset, offset + span)` overlap the requested
+/// inclusive page interval `[first, last]`?
+fn overlaps(offset: u64, span: u64, first: u64, last: u64) -> bool {
+    first < offset + span && last >= offset
+}
+
+/// Report every page of `[offset, offset + span)` that falls inside the
+/// requested interval as a hole.
+fn emit_holes(offset: u64, span: u64, first: u64, last: u64, out: &mut Vec<PageMeta>) {
+    let lo = first.max(offset);
+    let hi = last.min(offset + span - 1);
+    for p in lo..=hi {
+        out.push(PageMeta {
+            page: p,
+            created: None,
+            providers: Vec::new(),
+        });
+    }
+}
+
+/// The retained node-at-a-time reference walk: semantically identical to
+/// [`lookup_range`] but resolving every tree node with an individual
+/// [`MetadataStore::get_node`] call (one DHT round trip each). Kept as the
+/// differential-testing oracle for the batched descent and as the "before"
+/// measurement for the read-batching experiments.
+pub fn lookup_range_walk(
     store: &MetadataStore,
     root: Option<NodeKey>,
     span: u64,
@@ -271,8 +374,6 @@ pub fn lookup_range(
         last_page,
         &mut out,
     )?;
-    // Pages requested beyond the tree span (possible when the caller rounds
-    // generously) are holes too.
     for p in first_page.max(covered_span)..=last_page {
         out.push(PageMeta {
             page: p,
@@ -547,6 +648,56 @@ mod tests {
         for (i, root) in roots.iter().enumerate() {
             check_matches(&s, *root, span, &model[i], 8);
         }
+    }
+
+    #[test]
+    fn batched_lookup_matches_the_walk_and_pays_one_round_trip_per_level() {
+        let s = store();
+        let w: BTreeMap<_, _> = (0..32).map(|p| (p, providers(&[p as u32]))).collect();
+        let root = build_version(&s, BlobId(11), Version(1), PrevTree::empty(), 32, &w).unwrap();
+
+        let walk_before = s.stats();
+        let walked = lookup_range_walk(&s, Some(root), 32, 0, 31).unwrap();
+        let walk_after = s.stats();
+        let batched = lookup_range(&s, Some(root), 32, 0, 31).unwrap();
+        let batch_after = s.stats();
+
+        assert_eq!(walked, batched, "BFS descent must match the reference walk");
+        // The walk pays one DHT get per visited node (63 for a full 32-page
+        // tree); the BFS descent pays at most providers-per-level × depth.
+        let walk_rts = walk_after.dht_read_round_trips - walk_before.dht_read_round_trips;
+        let batch_rts = batch_after.dht_read_round_trips - walk_after.dht_read_round_trips;
+        assert_eq!(walk_rts, 63);
+        assert!(
+            batch_rts <= 6 * 3,
+            "BFS should cost at most depth x providers round trips, got {batch_rts}"
+        );
+        assert_eq!(
+            batch_after.batch_lookups - walk_after.batch_lookups,
+            6,
+            "one get_nodes call per tree level"
+        );
+        // And the reduction clears the 60% bar by a wide margin.
+        assert!((batch_rts as f64) < 0.4 * walk_rts as f64);
+    }
+
+    #[test]
+    fn batched_lookup_handles_holes_and_subranges_like_the_walk() {
+        let s = store();
+        // Sparse tree: pages 9, 10 and 20 written inside a 32-page span.
+        let w = written(&[(9, &[1]), (10, &[2]), (20, &[3])]);
+        let root = build_version(&s, BlobId(12), Version(1), PrevTree::empty(), 32, &w).unwrap();
+        for (first, last) in [(0u64, 31u64), (9, 10), (11, 19), (0, 8), (20, 40), (35, 40)] {
+            let walked = lookup_range_walk(&s, Some(root), 32, first, last).unwrap();
+            let batched = lookup_range(&s, Some(root), 32, first, last).unwrap();
+            assert_eq!(walked, batched, "range [{first}, {last}] diverged");
+            assert_eq!(batched.len() as u64, last - first + 1);
+        }
+        // Empty tree: both report pure holes.
+        assert_eq!(
+            lookup_range_walk(&s, None, 0, 2, 5).unwrap(),
+            lookup_range(&s, None, 0, 2, 5).unwrap()
+        );
     }
 
     #[test]

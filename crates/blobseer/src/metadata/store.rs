@@ -1,6 +1,7 @@
 //! Typed wrapper around the metadata DHT.
 
 use crate::error::{BlobResult, BlobSeerError};
+use crate::metadata::cache::MetadataCache;
 use crate::metadata::{NodeKey, TreeNode};
 use bytes::Bytes;
 use dht::{Dht, DhtConfig, DhtError};
@@ -13,25 +14,52 @@ use std::sync::Arc;
 pub struct MetadataStats {
     /// Tree nodes written.
     pub nodes_written: u64,
-    /// Tree nodes read.
+    /// Tree nodes requested by readers (cache hits included): what the same
+    /// traffic would cost in DHT `get`s with neither batching nor caching.
     pub nodes_read: u64,
     /// Batched publications ([`MetadataStore::put_nodes`] calls): one per
     /// committed version on the write path, regardless of tree size.
     pub batch_flushes: u64,
+    /// Batched resolutions ([`MetadataStore::get_nodes`] calls): one per
+    /// tree level on the lookup path, regardless of frontier width.
+    pub batch_lookups: u64,
     /// Client-to-metadata-node round trips performed by the underlying DHT
     /// (reads and writes combined).
     pub dht_round_trips: u64,
     /// The write-side subset of `dht_round_trips` — the like-for-like figure
     /// to compare against one-put-per-node publication.
     pub dht_write_round_trips: u64,
+    /// The read-side subset of `dht_round_trips` — the like-for-like figure
+    /// to compare against one-get-per-node lookups (`nodes_read`).
+    pub dht_read_round_trips: u64,
+    /// Node lookups answered by the client-side immutable-node cache.
+    pub cache_hits: u64,
+    /// Node lookups that fell through the cache to the DHT.
+    pub cache_misses: u64,
 }
 
-/// The metadata store: segment-tree nodes in a DHT of metadata providers.
+impl MetadataStats {
+    /// Fraction of cached node lookups answered by the cache (0 when the
+    /// cache is disabled or idle).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The metadata store: segment-tree nodes in a DHT of metadata providers,
+/// optionally fronted by a client-side cache of the (immutable) nodes.
 pub struct MetadataStore {
     dht: Arc<Dht>,
+    cache: Option<MetadataCache>,
     nodes_written: AtomicU64,
     nodes_read: AtomicU64,
     batch_flushes: AtomicU64,
+    batch_lookups: AtomicU64,
 }
 
 impl MetadataStore {
@@ -49,10 +77,26 @@ impl MetadataStore {
     pub fn with_dht(dht: Arc<Dht>) -> Self {
         MetadataStore {
             dht,
+            cache: None,
             nodes_written: AtomicU64::new(0),
             nodes_read: AtomicU64::new(0),
             batch_flushes: AtomicU64::new(0),
+            batch_lookups: AtomicU64::new(0),
         }
+    }
+
+    /// Builder-style: front the store with a client-side cache of up to
+    /// `capacity` tree nodes. Nodes are immutable once published, so the
+    /// cache needs no invalidation; the write path pre-warms it when flushing
+    /// a version's node batch.
+    pub fn with_node_cache(mut self, capacity: usize) -> Self {
+        self.cache = Some(MetadataCache::new(capacity));
+        self
+    }
+
+    /// Is a client-side node cache attached?
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
     }
 
     /// Access the underlying DHT (failure injection in tests).
@@ -64,6 +108,9 @@ impl MetadataStore {
     pub fn put_node(&self, key: NodeKey, node: &TreeNode) -> BlobResult<()> {
         self.nodes_written.fetch_add(1, Ordering::Relaxed);
         self.dht.put(&key.dht_key(), Bytes::from(node.encode()))?;
+        if let Some(cache) = &self.cache {
+            cache.insert(key, node.clone());
+        }
         Ok(())
     }
 
@@ -83,6 +130,14 @@ impl MetadataStore {
             .map(|(key, node)| (key.dht_key(), Bytes::from(node.encode())))
             .collect();
         self.dht.put_many(&entries)?;
+        // Pre-warm the cache with the freshly published tree: the writer (and
+        // every reader behind the same client) reads its own version back for
+        // free, which covers the common produce-then-consume pattern.
+        if let Some(cache) = &self.cache {
+            for (key, node) in nodes {
+                cache.insert(*key, node.clone());
+            }
+        }
         Ok(())
     }
 
@@ -91,8 +146,73 @@ impl MetadataStore {
     /// dead metadata provider quorum.
     pub fn get_node(&self, key: NodeKey) -> BlobResult<TreeNode> {
         self.nodes_read.fetch_add(1, Ordering::Relaxed);
+        if let Some(cache) = &self.cache {
+            if let Some(node) = cache.get(&key) {
+                return Ok(node);
+            }
+        }
         let raw = self.dht.get(&key.dht_key())?;
-        TreeNode::decode(&raw).ok_or_else(|| {
+        let node = Self::decode_node(key, &raw)?;
+        if let Some(cache) = &self.cache {
+            cache.insert(key, node.clone());
+        }
+        Ok(node)
+    }
+
+    /// Resolve a batch of tree nodes in one DHT pass: cache hits are peeled
+    /// off first, then the misses are grouped by responsible metadata
+    /// provider through [`Dht::get_many`], so each provider is contacted once
+    /// per batch instead of once per node. The frontier-batched tree descent
+    /// ([`crate::metadata::segment_tree::lookup_range`]) resolves one whole
+    /// tree level through a single call.
+    ///
+    /// Returns the nodes in request order. Any node that no live replica
+    /// holds fails the whole batch, matching [`MetadataStore::get_node`]'s
+    /// contract that a dangling key is corruption, not a hole.
+    pub fn get_nodes(&self, keys: &[NodeKey]) -> BlobResult<Vec<TreeNode>> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.nodes_read
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        self.batch_lookups.fetch_add(1, Ordering::Relaxed);
+        let mut out: Vec<Option<TreeNode>> = vec![None; keys.len()];
+        let mut missing: Vec<usize> = Vec::new();
+        match &self.cache {
+            Some(cache) => {
+                for (i, key) in keys.iter().enumerate() {
+                    match cache.get(key) {
+                        Some(node) => out[i] = Some(node),
+                        None => missing.push(i),
+                    }
+                }
+            }
+            None => missing.extend(0..keys.len()),
+        }
+        if !missing.is_empty() {
+            let dht_keys: Vec<Vec<u8>> = missing.iter().map(|&i| keys[i].dht_key()).collect();
+            let fetched = self.dht.get_many(&dht_keys)?;
+            for (&i, raw) in missing.iter().zip(fetched) {
+                let raw = raw.ok_or_else(|| {
+                    BlobSeerError::Metadata(DhtError::NotFound {
+                        key: String::from_utf8_lossy(&keys[i].dht_key()).into_owned(),
+                    })
+                })?;
+                let node = Self::decode_node(keys[i], &raw)?;
+                if let Some(cache) = &self.cache {
+                    cache.insert(keys[i], node.clone());
+                }
+                out[i] = Some(node);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|n| n.expect("every slot filled"))
+            .collect())
+    }
+
+    fn decode_node(key: NodeKey, raw: &[u8]) -> BlobResult<TreeNode> {
+        TreeNode::decode(raw).ok_or_else(|| {
             BlobSeerError::Metadata(DhtError::NotFound {
                 key: format!("undecodable metadata node {key:?}"),
             })
@@ -106,12 +226,21 @@ impl MetadataStore {
 
     /// Traffic counters.
     pub fn stats(&self) -> MetadataStats {
+        let cache = self
+            .cache
+            .as_ref()
+            .map(MetadataCache::stats)
+            .unwrap_or_default();
         MetadataStats {
             nodes_written: self.nodes_written.load(Ordering::Relaxed),
             nodes_read: self.nodes_read.load(Ordering::Relaxed),
             batch_flushes: self.batch_flushes.load(Ordering::Relaxed),
+            batch_lookups: self.batch_lookups.load(Ordering::Relaxed),
             dht_round_trips: self.dht.round_trips(),
             dht_write_round_trips: self.dht.write_round_trips(),
+            dht_read_round_trips: self.dht.read_round_trips(),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
         }
     }
 }
@@ -199,6 +328,109 @@ mod tests {
         assert!(store.remove_node(key(1, 0, 2)).unwrap());
         assert!(store.get_node(key(1, 0, 2)).is_err());
         assert!(!store.remove_node(key(1, 0, 2)).unwrap());
+    }
+
+    #[test]
+    fn get_nodes_matches_per_node_gets_with_fewer_round_trips() {
+        let store = MetadataStore::new(4, 2);
+        let nodes: Vec<(NodeKey, TreeNode)> = (0..32)
+            .map(|i| {
+                (
+                    key(1, i, 1),
+                    TreeNode::Leaf {
+                        page: i,
+                        providers: vec![ProviderId(i as u32)],
+                    },
+                )
+            })
+            .collect();
+        store.put_nodes(&nodes).unwrap();
+        let keys: Vec<NodeKey> = nodes.iter().map(|(k, _)| *k).collect();
+
+        let before = store.stats();
+        let got = store.get_nodes(&keys).unwrap();
+        let after = store.stats();
+        for ((_, expected), node) in nodes.iter().zip(&got) {
+            assert_eq!(node, expected);
+        }
+        // One batch resolves 32 nodes by contacting each of the 4 metadata
+        // providers at most once; per-node gets would pay 32 round trips.
+        assert_eq!(after.nodes_read - before.nodes_read, 32);
+        assert_eq!(after.batch_lookups - before.batch_lookups, 1);
+        assert!(after.dht_read_round_trips - before.dht_read_round_trips <= 4);
+        // Empty batches are free.
+        assert!(store.get_nodes(&[]).unwrap().is_empty());
+        assert_eq!(store.stats().batch_lookups, after.batch_lookups);
+    }
+
+    #[test]
+    fn get_nodes_fails_on_a_dangling_key() {
+        let store = MetadataStore::new(3, 1);
+        store
+            .put_node(
+                key(1, 0, 1),
+                &TreeNode::Leaf {
+                    page: 0,
+                    providers: vec![],
+                },
+            )
+            .unwrap();
+        assert!(store.get_nodes(&[key(1, 0, 1), key(9, 9, 1)]).is_err());
+    }
+
+    #[test]
+    fn node_cache_prewarms_from_batch_publication() {
+        let store = MetadataStore::new(3, 2).with_node_cache(256);
+        assert!(store.cache_enabled());
+        let nodes: Vec<(NodeKey, TreeNode)> = (0..16)
+            .map(|i| {
+                (
+                    key(1, i, 1),
+                    TreeNode::Leaf {
+                        page: i,
+                        providers: vec![ProviderId(7)],
+                    },
+                )
+            })
+            .collect();
+        store.put_nodes(&nodes).unwrap();
+        let read_rts_after_publish = store.stats().dht_read_round_trips;
+
+        // Reading the freshly published nodes back costs zero DHT reads.
+        let keys: Vec<NodeKey> = nodes.iter().map(|(k, _)| *k).collect();
+        let got = store.get_nodes(&keys).unwrap();
+        assert_eq!(got.len(), 16);
+        for k in &keys {
+            store.get_node(*k).unwrap();
+        }
+        let stats = store.stats();
+        assert_eq!(stats.dht_read_round_trips, read_rts_after_publish);
+        assert_eq!(stats.cache_hits, 32);
+        assert_eq!(stats.cache_misses, 0);
+        assert!((stats.cache_hit_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_cache_fills_on_demand_and_serves_across_dht_failures() {
+        // Two stores over the same DHT: the writer has no cache, the reader
+        // fills its own cache on first access.
+        let writer = MetadataStore::new(4, 1);
+        let reader = MetadataStore::with_dht(Arc::clone(writer.dht())).with_node_cache(64);
+        let leaf = TreeNode::Leaf {
+            page: 3,
+            providers: vec![ProviderId(1)],
+        };
+        writer.put_node(key(1, 3, 1), &leaf).unwrap();
+        assert_eq!(reader.get_node(key(1, 3, 1)).unwrap(), leaf);
+        assert_eq!(reader.stats().cache_misses, 1);
+        // With replication 1 a dead replica would make the node unreadable —
+        // unless the cache already holds it (immutable, so still correct).
+        for id in writer.dht().node_ids() {
+            writer.dht().kill(id).unwrap();
+        }
+        assert_eq!(reader.get_node(key(1, 3, 1)).unwrap(), leaf);
+        assert_eq!(reader.stats().cache_hits, 1);
+        assert!(writer.get_node(key(1, 3, 1)).is_err());
     }
 
     #[test]

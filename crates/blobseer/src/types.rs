@@ -68,9 +68,12 @@ impl ByteRange {
         ByteRange { offset, len }
     }
 
-    /// Exclusive end of the range.
+    /// Exclusive end of the range. Saturating: a range whose nominal end
+    /// would overflow `u64` (callers validate against blob sizes long before
+    /// that, but arithmetic here must not wrap in release builds) reports
+    /// `u64::MAX`.
     pub fn end(&self) -> u64 {
-        self.offset + self.len
+        self.offset.saturating_add(self.len)
     }
 
     /// True when the range contains no bytes.
@@ -132,9 +135,11 @@ impl PageMath {
         offset / self.page_size
     }
 
-    /// Byte offset at which page `index` starts.
+    /// Byte offset at which page `index` starts. Saturating, for the same
+    /// reason as [`ByteRange::end`]: a page index near `u64::MAX` (only
+    /// reachable through an already-rejected request) must not wrap.
     pub fn page_start(&self, index: u64) -> u64 {
-        index * self.page_size
+        index.saturating_mul(self.page_size)
     }
 
     /// Number of pages needed to hold `size` bytes.
@@ -243,6 +248,22 @@ mod tests {
         assert!(!pm.is_aligned(ByteRange::new(1, 64)));
         assert!(!pm.is_aligned(ByteRange::new(0, 65)));
         assert_eq!(pm.page_range(2), ByteRange::new(128, 64));
+    }
+
+    #[test]
+    fn near_overflow_arithmetic_saturates_instead_of_wrapping() {
+        // A range ending past u64::MAX reports a saturated end, so bounds
+        // checks against real sizes still reject it.
+        let r = ByteRange::new(u64::MAX - 1, 2);
+        assert_eq!(r.end(), u64::MAX);
+        let r = ByteRange::new(u64::MAX - 1, 100);
+        assert_eq!(r.end(), u64::MAX, "end must saturate, not wrap");
+        assert!(!r.is_empty());
+        // Page arithmetic near the top of the address space saturates too.
+        let pm = PageMath::new(4096);
+        assert_eq!(pm.page_start(u64::MAX), u64::MAX);
+        let (first, last) = pm.pages_touched(ByteRange::new(u64::MAX - 1, 2)).unwrap();
+        assert!(first <= last);
     }
 
     #[test]

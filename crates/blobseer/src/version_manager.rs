@@ -307,11 +307,19 @@ impl VersionManager {
         if len == 0 {
             return Err(BlobSeerError::InvalidArgument("zero-length write".into()));
         }
+        // `checked_add`: a huge offset must be rejected here, before any
+        // state changes, instead of wrapping in release builds (which would
+        // reserve a bogus tiny size and crash the writer mid-build).
+        let new_end = offset.checked_add(len).ok_or_else(|| {
+            BlobSeerError::InvalidArgument(format!(
+                "write range [{offset}, {offset} + {len}) overflows the blob address space"
+            ))
+        })?;
 
         let version = Version(state.next_version);
         state.next_version += 1;
         let prev_size = state.reserved_size;
-        let new_size = state.reserved_size.max(offset + len);
+        let new_size = state.reserved_size.max(new_end);
         state.reserved_size = new_size;
 
         let ticket = WriteTicket {

@@ -51,10 +51,16 @@ use std::sync::Arc;
 /// Configuration of the BSFS layer.
 #[derive(Debug, Clone)]
 pub struct BsfsConfig {
-    /// Block size used for both the client cache and the underlying blob page
-    /// size (Hadoop-style 64 MiB by default, so one Hadoop chunk is one
-    /// BlobSeer page).
+    /// Block size used for the client cache and as the write/commit unit
+    /// (Hadoop-style 64 MiB by default).
     pub block_size: u64,
+    /// BlobSeer page size backing each file's blob. `None` (the default)
+    /// makes one BSFS block one BlobSeer page; setting it smaller stripes
+    /// every block over `block_size / page_size` pages — and therefore over
+    /// that many providers — which is the configuration the paper evaluates
+    /// ("the page is the data-management unit" and is chosen smaller than
+    /// the Hadoop chunk). Must divide `block_size` when set.
+    pub page_size: Option<u64>,
     /// Number of blocks a reader caches (per open file handle).
     pub read_cache_blocks: usize,
     /// Whether the client cache is enabled. Disabling it sends every read and
@@ -66,6 +72,7 @@ impl Default for BsfsConfig {
     fn default() -> Self {
         BsfsConfig {
             block_size: 64 * 1024 * 1024,
+            page_size: None,
             read_cache_blocks: 2,
             cache_enabled: true,
         }
@@ -77,6 +84,7 @@ impl BsfsConfig {
     pub fn for_tests() -> Self {
         BsfsConfig {
             block_size: 256,
+            page_size: None,
             read_cache_blocks: 2,
             cache_enabled: true,
         }
@@ -88,10 +96,21 @@ impl BsfsConfig {
         self
     }
 
+    /// Builder-style override of the blob page size (page striping).
+    pub fn with_page_size(mut self, page_size: u64) -> Self {
+        self.page_size = Some(page_size);
+        self
+    }
+
     /// Builder-style toggle of the client cache.
     pub fn with_cache(mut self, enabled: bool) -> Self {
         self.cache_enabled = enabled;
         self
+    }
+
+    /// The page size blobs are created with.
+    pub fn effective_page_size(&self) -> u64 {
+        self.page_size.unwrap_or(self.block_size)
     }
 }
 
@@ -122,6 +141,14 @@ impl Bsfs {
     /// Create a BSFS instance over a BlobSeer deployment.
     pub fn new(storage: Arc<BlobSeer>, config: BsfsConfig) -> Self {
         assert!(config.block_size > 0, "block size must be non-zero");
+        if let Some(page_size) = config.page_size {
+            assert!(page_size > 0, "page size must be non-zero");
+            assert!(
+                config.block_size.is_multiple_of(page_size),
+                "the page size ({page_size}) must divide the block size ({})",
+                config.block_size
+            );
+        }
         let client = storage.client();
         Bsfs {
             storage,
@@ -159,7 +186,9 @@ impl Bsfs {
         let normalized = namespace::normalize(path)?;
         let parent = namespace::parent_of(&normalized);
         self.namespace.mkdirs(&parent)?;
-        let blob = self.client.create(Some(self.config.block_size))?;
+        let blob = self
+            .client
+            .create(Some(self.config.effective_page_size()))?;
         self.namespace.create_file(&normalized, blob)?;
         Ok(BsfsWriter {
             client: self.client.clone(),
@@ -376,10 +405,13 @@ impl BsfsReader {
     /// Read `len` bytes at an explicit offset.
     pub fn read_at(&mut self, offset: u64, len: u64) -> FsResult<Bytes> {
         let size = self.len()?;
-        if offset + len > size {
+        // `checked_add`: a huge offset must surface as `OutOfBounds`, not
+        // wrap past the bounds check in release builds.
+        let requested_end = offset.checked_add(len);
+        if requested_end.is_none() || requested_end.unwrap() > size {
             return Err(FsError::OutOfBounds {
                 path: self.path.clone(),
-                requested_end: offset + len,
+                requested_end: requested_end.unwrap_or(u64::MAX),
                 size,
             });
         }
@@ -515,6 +547,15 @@ mod tests {
         }
         assert!(matches!(
             r.read_at(2995, 10),
+            Err(FsError::OutOfBounds { .. })
+        ));
+        // Regression: offsets near u64::MAX must not wrap past the check.
+        assert!(matches!(
+            r.read_at(u64::MAX - 1, 2),
+            Err(FsError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            r.read_at(u64::MAX - 1, 4),
             Err(FsError::OutOfBounds { .. })
         ));
     }
@@ -674,6 +715,38 @@ mod tests {
         assert!(meta.dht_round_trips > 0);
         let vm = fs.version_manager_contention();
         assert!(vm.lock_acquisitions > 0);
+    }
+
+    #[test]
+    fn page_striped_blocks_spread_over_providers() {
+        // One 256-byte block striped into 8 pages of 32 bytes: a block read
+        // is a genuine multi-page read and its pages land on many providers.
+        let storage = BlobSeer::new(BlobSeerConfig::for_tests().with_providers(4));
+        let fs = Bsfs::new(
+            storage,
+            BsfsConfig::for_tests()
+                .with_block_size(256)
+                .with_page_size(32),
+        );
+        let data: Vec<u8> = (0..512u32).map(|i| (i % 251) as u8).collect();
+        fs.write_file("/striped", &data).unwrap();
+        assert_eq!(fs.read_file("/striped").unwrap().to_vec(), data);
+        let locations = fs.locate("/striped", 0, 512).unwrap();
+        assert_eq!(locations.len(), 16, "one location per 32-byte page");
+        let unique: std::collections::HashSet<_> = locations.iter().map(|l| l.nodes[0]).collect();
+        assert!(unique.len() > 1, "pages should spread over providers");
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide the block size")]
+    fn page_size_not_dividing_block_size_is_rejected() {
+        let storage = BlobSeer::new(BlobSeerConfig::for_tests());
+        let _ = Bsfs::new(
+            storage,
+            BsfsConfig::for_tests()
+                .with_block_size(256)
+                .with_page_size(48),
+        );
     }
 
     #[test]

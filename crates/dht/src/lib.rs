@@ -161,6 +161,8 @@ pub struct Dht {
     round_trips: AtomicU64,
     /// The subset of `round_trips` spent on writes (put/put_many/remove).
     write_round_trips: AtomicU64,
+    /// The subset of `round_trips` spent on reads (get/get_many).
+    read_round_trips: AtomicU64,
 }
 
 impl Dht {
@@ -188,6 +190,7 @@ impl Dht {
             tombstones: Tombstones::default(),
             round_trips: AtomicU64::new(0),
             write_round_trips: AtomicU64::new(0),
+            read_round_trips: AtomicU64::new(0),
         }
     }
 
@@ -205,8 +208,15 @@ impl Dht {
         self.write_round_trips.load(Ordering::Relaxed)
     }
 
-    fn count_round_trip(&self) {
+    /// The read-side subset of [`Dht::round_trips`] (get/get_many): the
+    /// like-for-like figure to compare against one-get-per-key traffic.
+    pub fn read_round_trips(&self) -> u64 {
+        self.read_round_trips.load(Ordering::Relaxed)
+    }
+
+    fn count_read_round_trip(&self) {
         self.round_trips.fetch_add(1, Ordering::Relaxed);
+        self.read_round_trips.fetch_add(1, Ordering::Relaxed);
     }
 
     fn count_write_round_trip(&self) {
@@ -271,7 +281,7 @@ impl Dht {
             if !node.is_alive() {
                 continue;
             }
-            self.count_round_trip();
+            self.count_read_round_trip();
             if let Some(v) = node.get(key) {
                 return Ok(v);
             }
@@ -394,7 +404,7 @@ impl Dht {
             }
             for (id, indices) in &per_node {
                 let node = &inner.nodes[id];
-                self.count_round_trip();
+                self.count_read_round_trip();
                 for &i in indices {
                     out[i] = node.get(&keys[i]);
                 }
@@ -877,6 +887,27 @@ mod tests {
         assert!(got.iter().all(|v| v.is_some()));
         // All keys resolve at their primaries: at most one contact per node.
         assert!(batched.round_trips() - before <= 4);
+    }
+
+    #[test]
+    fn read_and_write_round_trips_are_counted_separately() {
+        let dht = Dht::new(DhtConfig {
+            nodes: 4,
+            replication: 2,
+            ..Default::default()
+        });
+        dht.put(b"k", Bytes::from_static(b"v")).unwrap();
+        assert_eq!(dht.write_round_trips(), 2);
+        assert_eq!(dht.read_round_trips(), 0);
+        dht.get(b"k").unwrap();
+        assert_eq!(dht.read_round_trips(), 1);
+        let keys: Vec<Vec<u8>> = vec![b"k".to_vec()];
+        dht.get_many(&keys).unwrap();
+        assert_eq!(dht.read_round_trips(), 2);
+        assert_eq!(
+            dht.round_trips(),
+            dht.read_round_trips() + dht.write_round_trips()
+        );
     }
 
     #[test]

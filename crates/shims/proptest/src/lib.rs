@@ -9,8 +9,16 @@
 //! Differences from the real crate, by design:
 //! - Sampling is **deterministic**: the RNG is seeded from the test name, so
 //!   a failure reproduces on every run without a persistence file.
-//! - There is **no shrinking**; a failing case reports the case number and
-//!   the assertion message only.
+//! - Shrinking is **halving-based and greedy** instead of proptest's value
+//!   trees: on failure, each strategy proposes smaller candidates (range
+//!   start, the midpoint of the remaining distance, one step down; halved
+//!   collections; component-wise tuple shrinks), the runner keeps any
+//!   candidate that still fails, and repeats until no candidate fails or the
+//!   shrink budget runs out. The panic message reports the minimized input.
+//!   Strategies built with `prop_map` cannot shrink through the mapping (the
+//!   function is not invertible), and `prop_oneof!` unions do not shrink
+//!   (the producing branch is unknown); both report the value that was
+//!   found.
 
 use std::fmt;
 use std::marker::PhantomData;
@@ -106,13 +114,23 @@ impl Default for ProptestConfig {
 // Strategy trait and combinators
 // ---------------------------------------------------------------------------
 
-/// A generator of values. Unlike real proptest there is no value tree and no
-/// shrinking: a strategy just samples.
+/// A generator of values. Unlike real proptest there is no value tree: a
+/// strategy samples, and on failure proposes simpler candidates through
+/// [`Strategy::shrink_candidates`].
 pub trait Strategy {
     type Value;
 
     /// Draw one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Propose "smaller" values to try when `value` made a test fail, most
+    /// aggressive first (e.g. the range start, then the halfway point, then
+    /// one step down). The default — no candidates — disables shrinking for
+    /// the strategy; the runner then reports the original failing value.
+    fn shrink_candidates(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Map generated values through `f`.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -139,6 +157,10 @@ impl<V> Strategy for BoxedStrategy<V> {
 
     fn sample(&self, rng: &mut TestRng) -> V {
         (**self).sample(rng)
+    }
+
+    fn shrink_candidates(&self, value: &V) -> Vec<V> {
+        (**self).shrink_candidates(value)
     }
 }
 
@@ -190,6 +212,37 @@ impl<V> Strategy for Union<V> {
         let idx = rng.below(self.options.len() as u64) as usize;
         self.options[idx].sample(rng)
     }
+
+    fn shrink_candidates(&self, value: &V) -> Vec<V> {
+        // The producing branch is unknown, and a different branch's
+        // candidates (e.g. another range's start) may be values the union
+        // can never generate — a misleading "minimized input" to re-seed a
+        // regression test with. Better to not shrink than to shrink out of
+        // the strategy's domain.
+        let _ = value;
+        Vec::new()
+    }
+}
+
+/// Halving candidates for an ordered numeric value inside `[start, value)`:
+/// the start itself, the midpoint of the remaining distance, one step down.
+macro_rules! int_shrink_candidates {
+    ($value:expr, $start:expr) => {{
+        let (v, start) = ($value, $start);
+        let mut out = Vec::new();
+        if v > start {
+            out.push(start);
+            let mid = start + (v - start) / 2;
+            if mid != start && mid != v {
+                out.push(mid);
+            }
+            let down = v - 1;
+            if down != start && Some(down) != out.get(1).copied() {
+                out.push(down);
+            }
+        }
+        out
+    }};
 }
 
 macro_rules! impl_int_range_strategy {
@@ -201,6 +254,10 @@ macro_rules! impl_int_range_strategy {
                 assert!(self.start < self.end, "empty integer range strategy");
                 let span = (self.end - self.start) as u64;
                 self.start + rng.below(span) as $t
+            }
+
+            fn shrink_candidates(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates!(*value, self.start)
             }
         })*
     };
@@ -217,6 +274,14 @@ macro_rules! impl_signed_range_strategy {
                 assert!(self.start < self.end, "empty integer range strategy");
                 let span = (self.end as i128 - self.start as i128) as u64;
                 (self.start as i128 + rng.below(span) as i128) as $t
+            }
+
+            fn shrink_candidates(&self, value: &$t) -> Vec<$t> {
+                // Widen to i128 so the distance cannot overflow the type.
+                int_shrink_candidates!(*value as i128, self.start as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
             }
         })*
     };
@@ -236,6 +301,18 @@ macro_rules! impl_float_range_strategy {
                 let unit = (rng.unit_f64() as $t).min(1.0 - <$t>::EPSILON);
                 self.start + (self.end - self.start) * unit
             }
+
+            fn shrink_candidates(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if *value > self.start {
+                    out.push(self.start);
+                    let mid = self.start + (*value - self.start) / 2.0;
+                    if mid > self.start && mid < *value {
+                        out.push(mid);
+                    }
+                }
+                out
+            }
         })*
     };
 }
@@ -244,11 +321,27 @@ impl_float_range_strategy!(f32, f64);
 
 macro_rules! impl_tuple_strategy {
     ($(($($name:ident : $idx:tt),+)),*) => {
-        $(impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        $(impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
 
             fn sample(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.sample(rng),)+)
+            }
+
+            fn shrink_candidates(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Shrink one component at a time, holding the others fixed.
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink_candidates(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         })*
     };
@@ -269,6 +362,15 @@ impl_tuple_strategy!(
 /// Types with a canonical whole-domain strategy.
 pub trait Arbitrary {
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Halving candidates toward the type's simplest value (0 / false).
+    fn shrink(value: &Self) -> Vec<Self>
+    where
+        Self: Sized,
+    {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 macro_rules! impl_arbitrary_int {
@@ -276,6 +378,19 @@ macro_rules! impl_arbitrary_int {
         $(impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
+            }
+
+            fn shrink(value: &$t) -> Vec<$t> {
+                let v = *value;
+                let mut out = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                    let mid = v / 2;
+                    if mid != 0 && mid != v {
+                        out.push(mid);
+                    }
+                }
+                out
             }
         })*
     };
@@ -287,11 +402,27 @@ impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
     }
+
+    fn shrink(value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 impl Arbitrary for f64 {
     fn arbitrary(rng: &mut TestRng) -> f64 {
         rng.unit_f64()
+    }
+
+    fn shrink(value: &f64) -> Vec<f64> {
+        if *value != 0.0 {
+            vec![0.0, *value / 2.0]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -303,6 +434,10 @@ impl<T: Arbitrary> Strategy for Any<T> {
 
     fn sample(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
+    }
+
+    fn shrink_candidates(&self, value: &T) -> Vec<T> {
+        T::shrink(value)
     }
 }
 
@@ -329,12 +464,40 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = self.size.sample(rng);
             (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+
+        fn shrink_candidates(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min_len = self.size.start;
+            // Structural shrinks first: halve the length, then drop one.
+            if value.len() > min_len {
+                let half = (value.len() / 2).max(min_len);
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                if value.len() - 1 > half {
+                    out.push(value[..value.len() - 1].to_vec());
+                }
+            }
+            // Then element-wise: each position's most aggressive candidate.
+            for (i, element) in value.iter().enumerate().take(16) {
+                if let Some(candidate) = self.element.shrink_candidates(element).into_iter().next()
+                {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -370,6 +533,85 @@ pub mod char {
                 }
             }
         }
+
+        fn shrink_candidates(&self, value: &char) -> Vec<char> {
+            let v = *value as u32;
+            let mut out = Vec::new();
+            if v > self.start {
+                out.extend(char::from_u32(self.start));
+                let mid = self.start + (v - self.start) / 2;
+                if mid != self.start && mid != v {
+                    out.extend(char::from_u32(mid));
+                }
+            }
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner and shrinking
+// ---------------------------------------------------------------------------
+
+/// Cap on how many shrink attempts (candidate executions) one failure may
+/// consume. Halving converges in O(log distance) accepted steps, so this is
+/// generous; it exists to bound pathological strategies.
+const SHRINK_BUDGET: usize = 512;
+
+/// Greedily minimize a failing value: repeatedly try the strategy's shrink
+/// candidates and keep the first one that still fails, until no candidate
+/// fails or the budget is exhausted. Returns the minimized value, the error
+/// it produced, and how many shrink steps were accepted.
+pub fn shrink_failure<S, F>(
+    strategy: &S,
+    mut value: S::Value,
+    mut err: TestCaseError,
+    run: F,
+) -> (S::Value, TestCaseError, usize)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> TestCaseResult,
+{
+    let mut steps = 0usize;
+    let mut budget = SHRINK_BUDGET;
+    'search: while budget > 0 {
+        for candidate in strategy.shrink_candidates(&value) {
+            if budget == 0 {
+                break 'search;
+            }
+            budget -= 1;
+            if let Err(e) = run(&candidate) {
+                value = candidate;
+                err = e;
+                steps += 1;
+                continue 'search;
+            }
+        }
+        // No candidate still fails: the value is (locally) minimal.
+        break;
+    }
+    (value, err, steps)
+}
+
+/// Execute `config.cases` deterministic cases of a property, shrinking and
+/// reporting the minimized input on failure. The `proptest!` macro expands
+/// each test body into a call to this.
+pub fn run_cases<S, F>(name: &str, config: ProptestConfig, strategy: S, run: F)
+where
+    S: Strategy,
+    S::Value: Clone + fmt::Debug,
+    F: Fn(&S::Value) -> TestCaseResult,
+{
+    let mut rng = TestRng::deterministic(name);
+    for case in 0..config.cases {
+        let value = strategy.sample(&mut rng);
+        if let Err(err) = run(&value) {
+            let (minimized, min_err, steps) = shrink_failure(&strategy, value, err, &run);
+            panic!(
+                "proptest case {case}/{} failed: {min_err}\nminimized input (after {steps} shrink steps): {minimized:?}",
+                config.cases
+            );
+        }
     }
 }
 
@@ -401,17 +643,21 @@ macro_rules! __proptest_tests {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $config;
-            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
-            for case in 0..config.cases {
-                let result: $crate::TestCaseResult = (|| {
-                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+            // All argument strategies combine into one tuple strategy, so
+            // the runner can sample, re-run and shrink the arguments as a
+            // unit. The sampling order (and hence the RNG stream) matches
+            // the per-argument order exactly.
+            let strategy = ($($strategy,)+);
+            $crate::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                config,
+                strategy,
+                |__proptest_values| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(__proptest_values);
                     $body
                     Ok(())
-                })();
-                if let Err(err) = result {
-                    panic!("proptest case {case}/{} failed: {err}", config.cases);
-                }
-            }
+                },
+            );
         }
         $crate::__proptest_tests! { config = $config; $($rest)* }
     };
@@ -492,6 +738,102 @@ mod tests {
         let mut a = crate::TestRng::deterministic("x");
         let mut b = crate::TestRng::deterministic("x");
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn integer_shrinking_converges_to_the_minimal_failure() {
+        // Property "x < 10" over 0..1000: the minimal failing value is 10,
+        // and halving must find it from anywhere in the range.
+        let strategy = 0u64..1000;
+        for start in [10u64, 11, 57, 400, 999] {
+            let (minimized, _, _) =
+                crate::shrink_failure(&strategy, start, TestCaseError::fail("seed"), |v: &u64| {
+                    if *v < 10 {
+                        Ok(())
+                    } else {
+                        Err(TestCaseError::fail(format!("{v} is too big")))
+                    }
+                });
+            assert_eq!(minimized, 10, "failed to minimize from {start}");
+        }
+    }
+
+    #[test]
+    fn shrinking_respects_the_range_start() {
+        // Property that always fails: the minimum must be the range start,
+        // never below it.
+        let strategy = 5u32..100;
+        let (minimized, err, steps) =
+            crate::shrink_failure(&strategy, 73, TestCaseError::fail("seed"), |_: &u32| {
+                Err(TestCaseError::fail("always fails"))
+            });
+        assert_eq!(minimized, 5);
+        assert!(steps >= 1);
+        assert!(err.to_string().contains("always fails"));
+    }
+
+    #[test]
+    fn vector_shrinking_halves_the_length() {
+        // Property "len < 5" over vec lengths 0..64: minimal failure is a
+        // 5-element vector (with elements shrunk toward 0).
+        let strategy = prop::collection::vec(any::<u8>(), 0..64);
+        let failing: Vec<u8> = (0..50u8).collect();
+        let (minimized, _, _) = crate::shrink_failure(
+            &strategy,
+            failing,
+            TestCaseError::fail("seed"),
+            |v: &Vec<u8>| {
+                if v.len() < 5 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail("too long"))
+                }
+            },
+        );
+        assert_eq!(minimized.len(), 5);
+    }
+
+    #[test]
+    fn tuple_shrinking_minimizes_each_component() {
+        let strategy = (0u64..100, 0u64..100);
+        let (minimized, _, _) = crate::shrink_failure(
+            &strategy,
+            (90, 77),
+            TestCaseError::fail("seed"),
+            |(a, b): &(u64, u64)| {
+                if a + b < 30 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail("sum too big"))
+                }
+            },
+        );
+        assert_eq!(minimized.0 + minimized.1, 30, "minimal failing sum");
+    }
+
+    #[test]
+    fn unshrinkable_strategies_report_the_original_value() {
+        // prop_map cannot invert its function, so no candidates exist and
+        // the original failing value survives untouched.
+        let strategy = (1u32..50).prop_map(|n| n * 3);
+        let (minimized, _, steps) =
+            crate::shrink_failure(&strategy, 42, TestCaseError::fail("seed"), |_: &u32| {
+                Err(TestCaseError::fail("always fails"))
+            });
+        assert_eq!(minimized, 42);
+        assert_eq!(steps, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// End-to-end: a failing property panics with the minimized input in
+        /// the message, not just a case number.
+        #[test]
+        #[should_panic(expected = "minimized input")]
+        fn failing_property_reports_minimized_input(x in 0u64..1000) {
+            prop_assert!(x < 10, "x = {x} crossed the threshold");
+        }
     }
 
     proptest! {
