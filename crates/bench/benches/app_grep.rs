@@ -21,6 +21,20 @@ fn input_text() -> String {
 
 fn bench_grep(c: &mut Criterion) {
     let text = input_text();
+    // One reported run per backend: the storage-materialized shuffle's
+    // counters (spill volume, segment fetches) alongside the timing samples.
+    let (bsfs, hdfs) = bench::app_backends(64 * 1024);
+    for fs in [&bsfs as &dyn DistFs, &hdfs as &dyn DistFs] {
+        fs.write_file("/in/huge.txt", text.as_bytes()).unwrap();
+        let job = workloads::distributed_grep_job(
+            vec!["/in/huge.txt".into()],
+            "/out",
+            "corbel token",
+            64 * 1024,
+        );
+        let (result, _) = bench::run_job_on(fs, &bench::app_topology(), &job);
+        println!("{}", bench::shuffle_report(&result));
+    }
     let mut group = c.benchmark_group("E5_distributed_grep");
     group.sample_size(10);
     group.bench_function("BSFS", |b| {

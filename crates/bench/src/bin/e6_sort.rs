@@ -1,0 +1,84 @@
+//! E6 — shuffle-heavy workloads through the storage layer: Distributed Sort
+//! (TeraSort-style) and word count with/without a combiner, BSFS vs HDFS.
+//!
+//! Unlike E4/E5 (whose jobs only touch storage for input and output), every
+//! input byte of the sort crosses the shuffle: map tasks spill sorted,
+//! partition-bucketed files through `DistFs`, and reducers pull their
+//! partition's segment from every map file with positioned reads. The
+//! shuffle counters reported here are therefore a *storage* workload
+//! comparison — lots of concurrent small files and positioned reads, the
+//! access pattern the paper's BlobSeer layer is built for.
+//!
+//! `BENCH_SMOKE=1` shrinks everything to a does-it-run configuration (CI).
+
+use mapreduce::DistFs;
+use simcluster::metrics::completion_table;
+use workloads::TextGenerator;
+
+fn main() {
+    let smoke = bench::smoke_mode();
+    let (lines, reducers, split_size) = if smoke {
+        (1_000, 2, 4 * 1024)
+    } else {
+        (50_000, 4, 256 * 1024)
+    };
+    let block = 1u64 << 20;
+    let (bsfs, hdfs) = bench::app_backends(block);
+
+    let mut generator = TextGenerator::new(2026);
+    let text = generator.sentences(lines);
+
+    println!("== E6: Distributed Sort ({lines} lines, {reducers} reducers) ==");
+    let mut records = Vec::new();
+    for fs in [&bsfs as &dyn DistFs, &hdfs as &dyn DistFs] {
+        fs.write_file("/input/unsorted.txt", text.as_bytes())
+            .unwrap();
+        let job = workloads::distributed_sort_job(
+            fs,
+            vec!["/input/unsorted.txt".into()],
+            "/sort-out",
+            reducers,
+            split_size,
+        )
+        .expect("sampling the sort input");
+        let (result, rec) = bench::run_job_on(fs, &bench::app_topology(), &job);
+
+        // Verify the total order before reporting anything.
+        let mut merged = Vec::new();
+        for part in &result.output_files {
+            let content = fs.read_file(part).unwrap();
+            merged.extend(
+                String::from_utf8_lossy(&content)
+                    .lines()
+                    .map(str::to_string),
+            );
+        }
+        assert!(
+            merged.windows(2).all(|w| w[0] <= w[1]),
+            "{}: concatenated partitions must be globally sorted",
+            rec.system
+        );
+        assert_eq!(merged.len(), text.lines().count());
+
+        println!("{}", bench::shuffle_report(&result));
+        records.push(rec);
+    }
+    println!();
+    print!("{}", completion_table(&records));
+    println!();
+
+    println!("== E6: word count combiner ablation (shuffle bytes, BSFS vs HDFS) ==");
+    for fs in [&bsfs as &dyn DistFs, &hdfs as &dyn DistFs] {
+        for (label, combining) in [("plain    ", false), ("combining", true)] {
+            let out = format!("/wc-{label}", label = label.trim());
+            let input = vec!["/input/unsorted.txt".to_string()];
+            let job = if combining {
+                workloads::word_count_job_combining(input, &out, reducers, split_size)
+            } else {
+                workloads::word_count_job(input, &out, reducers, split_size)
+            };
+            let (result, _) = bench::run_job_on(fs, &bench::app_topology(), &job);
+            println!("{label} {}", bench::shuffle_report(&result));
+        }
+    }
+}

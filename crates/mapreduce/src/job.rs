@@ -9,6 +9,7 @@
 //! what both applications in the paper's evaluation consume.
 
 use crate::error::MrResult;
+use std::fmt;
 use std::sync::Arc;
 
 /// A user-supplied map function.
@@ -17,6 +18,23 @@ pub trait Mapper: Send + Sync {
     /// its file (the "key" of Hadoop's text input format); `line` is the line
     /// without its trailing newline. Emitted pairs go to the shuffle.
     fn map(&self, offset: u64, line: &str, emit: &mut dyn FnMut(String, String)) -> MrResult<()>;
+
+    /// Like [`Mapper::map`], but also told which input file the record came
+    /// from (`""` for synthetic splits). The framework always calls this
+    /// entry point; the default implementation ignores the path and delegates
+    /// to [`Mapper::map`]. Multi-input jobs (e.g. the equi-join) override it
+    /// to tag records by their source — the Rust stand-in for Hadoop's
+    /// per-split `InputFormat` context.
+    fn map_with_source(
+        &self,
+        path: &str,
+        offset: u64,
+        line: &str,
+        emit: &mut dyn FnMut(String, String),
+    ) -> MrResult<()> {
+        let _ = path;
+        self.map(offset, line, emit)
+    }
 }
 
 /// A user-supplied reduce function.
@@ -64,6 +82,59 @@ impl Reducer for SumReducer {
     }
 }
 
+/// Decides which reduce partition an intermediate key belongs to. The
+/// partitioner must be a pure function of `(key, num_partitions)`: both the
+/// storage-backed shuffle and the in-memory oracle rely on every map task
+/// agreeing on the mapping.
+pub trait Partitioner: Send + Sync {
+    /// Partition index in `0..num_partitions` for `key`.
+    fn partition(&self, key: &str, num_partitions: usize) -> usize;
+}
+
+/// Hadoop's default `HashPartitioner`: hash the key, modulo the reducer
+/// count.
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    fn partition(&self, key: &str, num_partitions: usize) -> usize {
+        crate::tasktracker::partition_for(key, num_partitions)
+    }
+}
+
+/// TeraSort-style range partitioner: `boundaries` is a sorted list of split
+/// points; keys below the first boundary go to partition 0, keys in
+/// `[boundaries[i-1], boundaries[i])` to partition `i`, and keys at or above
+/// the last boundary to the last partition. With boundaries sampled from the
+/// input, concatenating the reduce outputs in partition order yields a
+/// globally sorted result.
+pub struct RangePartitioner {
+    boundaries: Vec<String>,
+}
+
+impl RangePartitioner {
+    /// Build a partitioner from split points (sorted and deduplicated here).
+    pub fn new(mut boundaries: Vec<String>) -> Self {
+        boundaries.sort();
+        boundaries.dedup();
+        RangePartitioner { boundaries }
+    }
+
+    /// The split points, sorted ascending.
+    pub fn boundaries(&self) -> &[String] {
+        &self.boundaries
+    }
+}
+
+impl Partitioner for RangePartitioner {
+    fn partition(&self, key: &str, num_partitions: usize) -> usize {
+        if num_partitions <= 1 {
+            return 0;
+        }
+        let rank = self.boundaries.partition_point(|b| b.as_str() <= key);
+        rank.min(num_partitions - 1)
+    }
+}
+
 /// Where a job's input records come from.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InputSpec {
@@ -79,7 +150,7 @@ pub enum InputSpec {
 }
 
 /// Configuration of one MapReduce job.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct JobConfig {
     /// Human-readable job name (used in reports).
     pub name: String,
@@ -94,6 +165,26 @@ pub struct JobConfig {
     pub split_size: u64,
     /// How many times a failed task is retried before the job fails.
     pub max_task_attempts: usize,
+    /// Optional combiner, run over each map task's sorted partition buckets
+    /// at spill time (Hadoop's mini-reduce). Cuts the bytes the shuffle moves
+    /// through the storage layer for aggregation-shaped jobs; must be
+    /// semantically safe to apply zero or more times (associative and
+    /// commutative, like a sum).
+    pub combiner: Option<Arc<dyn Reducer>>,
+}
+
+impl fmt::Debug for JobConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobConfig")
+            .field("name", &self.name)
+            .field("input", &self.input)
+            .field("output_dir", &self.output_dir)
+            .field("num_reducers", &self.num_reducers)
+            .field("split_size", &self.split_size)
+            .field("max_task_attempts", &self.max_task_attempts)
+            .field("combiner", &self.combiner.is_some())
+            .finish()
+    }
 }
 
 impl JobConfig {
@@ -107,6 +198,7 @@ impl JobConfig {
             num_reducers: 1,
             split_size: 64 * 1024 * 1024,
             max_task_attempts: 4,
+            combiner: None,
         }
     }
 
@@ -127,6 +219,12 @@ impl JobConfig {
         self.max_task_attempts = attempts.max(1);
         self
     }
+
+    /// Builder-style combiner (run at spill time in each map task).
+    pub fn with_combiner(mut self, combiner: Arc<dyn Reducer>) -> Self {
+        self.combiner = Some(combiner);
+        self
+    }
 }
 
 /// A runnable job: configuration plus user code.
@@ -137,15 +235,18 @@ pub struct Job {
     pub mapper: Arc<dyn Mapper>,
     /// The reduce function (ignored for map-only jobs).
     pub reducer: Arc<dyn Reducer>,
+    /// How intermediate keys are assigned to reduce partitions.
+    pub partitioner: Arc<dyn Partitioner>,
 }
 
 impl Job {
-    /// Build a job from its parts.
+    /// Build a job from its parts (hash partitioning, Hadoop's default).
     pub fn new(config: JobConfig, mapper: Arc<dyn Mapper>, reducer: Arc<dyn Reducer>) -> Self {
         Job {
             config,
             mapper,
             reducer,
+            partitioner: Arc::new(HashPartitioner),
         }
     }
 
@@ -159,7 +260,15 @@ impl Job {
             config,
             mapper,
             reducer: Arc::new(IdentityReducer),
+            partitioner: Arc::new(HashPartitioner),
         }
+    }
+
+    /// Builder-style override of the partitioner (e.g. the sort job's
+    /// [`RangePartitioner`]).
+    pub fn with_partitioner(mut self, partitioner: Arc<dyn Partitioner>) -> Self {
+        self.partitioner = partitioner;
+        self
     }
 }
 
@@ -255,5 +364,59 @@ mod tests {
     fn output_record_formatting() {
         assert_eq!(format_output_record("k", "v"), "k\tv\n");
         assert_eq!(format_output_record("only-key", ""), "only-key\n");
+    }
+
+    #[test]
+    fn map_with_source_defaults_to_map() {
+        let m = UpperMapper;
+        let mut out = Vec::new();
+        m.map_with_source("/in/file", 3, "abc", &mut |k, v| out.push((k, v)))
+            .unwrap();
+        assert_eq!(out, vec![("ABC".to_string(), "3".to_string())]);
+    }
+
+    #[test]
+    fn range_partitioner_buckets_by_boundary() {
+        // Deliberately unsorted with a duplicate: new() normalizes.
+        let p = RangePartitioner::new(vec!["m".into(), "g".into(), "g".into()]);
+        assert_eq!(p.boundaries(), &["g".to_string(), "m".to_string()]);
+        assert_eq!(p.partition("a", 3), 0);
+        assert_eq!(p.partition("g", 3), 1, "boundary key goes right");
+        assert_eq!(p.partition("h", 3), 1);
+        assert_eq!(p.partition("m", 3), 2);
+        assert_eq!(p.partition("z", 3), 2);
+        // More boundaries than partitions: clamped to the last partition.
+        assert_eq!(p.partition("z", 2), 1);
+        assert_eq!(p.partition("z", 1), 0);
+    }
+
+    #[test]
+    fn hash_partitioner_matches_partition_for() {
+        let p = HashPartitioner;
+        for key in ["a", "bb", "ccc"] {
+            assert_eq!(
+                p.partition(key, 5),
+                crate::tasktracker::partition_for(key, 5)
+            );
+        }
+    }
+
+    #[test]
+    fn combiner_builder_and_debug() {
+        let c = JobConfig::new("wc", InputSpec::Files(vec!["/in".into()]), "/out");
+        assert!(c.combiner.is_none());
+        assert!(format!("{c:?}").contains("combiner: false"));
+        let c = c.with_combiner(Arc::new(SumReducer));
+        assert!(c.combiner.is_some());
+        assert!(format!("{c:?}").contains("combiner: true"));
+    }
+
+    #[test]
+    fn partitioner_override() {
+        let config = JobConfig::new("sort", InputSpec::Files(vec!["/in".into()]), "/out");
+        let job = Job::new(config, Arc::new(UpperMapper), Arc::new(IdentityReducer))
+            .with_partitioner(Arc::new(RangePartitioner::new(vec!["k".into()])));
+        assert_eq!(job.partitioner.partition("a", 2), 0);
+        assert_eq!(job.partitioner.partition("x", 2), 1);
     }
 }

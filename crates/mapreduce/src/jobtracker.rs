@@ -3,14 +3,26 @@
 //! The jobtracker is the "single master" of the Hadoop architecture the paper
 //! describes (§II-A): it splits the input, hands map tasks to tasktrackers
 //! (preferring trackers whose node holds the split's data), re-executes
-//! failed tasks, runs the shuffle, schedules the reduce tasks, and reports
-//! job-level counters. Tasktrackers are executed as real threads — one per
-//! slot — so concurrent access to the storage layer is genuinely concurrent.
+//! failed tasks, schedules the reduce tasks and reports job-level counters.
+//! Tasktrackers are executed as real threads — one per slot — so concurrent
+//! access to the storage layer is genuinely concurrent.
+//!
+//! Intermediate data flows through the storage layer ([`crate::shuffle`]):
+//! map tasks spill sorted, partition-bucketed files under
+//! `<output>/_shuffle/`, and reduce tasks pull their partition's segment from
+//! every committed map file with positioned reads — starting as soon as
+//! individual map outputs commit, not behind a global map barrier. All task
+//! output (spills and `part-*` files alike) goes through the
+//! write-to-`_temporary`-then-rename commit protocol, so retried attempts
+//! never leave partial or duplicate files. The original collect-everything-
+//! in-RAM shuffle survives as [`JobTracker::run_inmem`], the sequential
+//! differential-testing oracle.
 
 use crate::error::{MrError, MrResult};
 use crate::fs::DistFs;
 use crate::job::Job;
 use crate::scheduler::{pick_map_task, Locality, LocalityCounters};
+use crate::shuffle;
 use crate::split::{compute_splits, InputSplit};
 use crate::tasktracker::{
     group_by_key, run_map_task, run_reduce_task, write_output_file, MapTaskOutput, TaskTracker,
@@ -18,6 +30,31 @@ use crate::tasktracker::{
 use parking_lot::Mutex;
 use simcluster::topology::ClusterTopology;
 use std::time::{Duration, Instant};
+
+/// Counters of the storage-materialized shuffle, the analogue of Hadoop's
+/// spilled-records / shuffle-bytes job counters. All zero for map-only jobs
+/// and for [`JobTracker::run_inmem`] (which moves no intermediate bytes
+/// through storage).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShuffleCounters {
+    /// Bytes of spill files written by map tasks (headers included).
+    pub spill_bytes: u64,
+    /// Intermediate records written to spill files (post-combine).
+    pub spill_records: u64,
+    /// Records fed into the combiner at spill time (0 without a combiner).
+    pub combine_input_records: u64,
+    /// Records the combiner emitted.
+    pub combine_output_records: u64,
+    /// Map-output segments pulled by reduce tasks (one per map x reduce pair
+    /// per successful attempt).
+    pub segments_fetched: u64,
+    /// Non-empty sorted runs fed to the reducers' k-way merges.
+    pub merge_runs: u64,
+    /// Positioned reads issued by segment fetches (index + payload reads).
+    pub shuffle_read_round_trips: u64,
+    /// Bytes moved by segment fetches.
+    pub shuffle_read_bytes: u64,
+}
 
 /// Job-level counters and outcome, the analogue of Hadoop's job report.
 #[derive(Debug, Clone)]
@@ -43,6 +80,8 @@ pub struct JobResult {
     pub input_bytes: u64,
     /// Bytes written to the storage layer by output tasks.
     pub output_bytes: u64,
+    /// Counters of the storage-materialized shuffle.
+    pub shuffle: ShuffleCounters,
     /// Wall-clock duration of the job.
     pub elapsed: Duration,
     /// Paths of the `part-*` output files.
@@ -67,7 +106,12 @@ pub struct JobTracker {
 struct MapPhase {
     pending: Vec<usize>,
     attempts: Vec<usize>,
+    /// Per-task counters, filled as tasks commit (`partitions` cleared — the
+    /// data lives in the spill files).
     results: Vec<Option<MapTaskOutput>>,
+    /// Which map tasks have committed their spill (or `part-m` file):
+    /// reducers poll this to start fetching before the whole phase is done.
+    committed: Vec<bool>,
     outstanding: usize,
     failure: Option<MrError>,
     locality: LocalityCounters,
@@ -88,6 +132,10 @@ struct ReducePhase {
     output_bytes: u64,
     output_records: u64,
     output_files: Vec<String>,
+    segments_fetched: u64,
+    merge_runs: u64,
+    read_round_trips: u64,
+    read_bytes: u64,
 }
 
 impl JobTracker {
@@ -120,9 +168,8 @@ impl JobTracker {
         &self.topology
     }
 
-    /// Run a job over the given storage backend and return its report.
-    pub fn run(&self, fs: &dyn DistFs, job: &Job) -> MrResult<JobResult> {
-        let start = Instant::now();
+    /// Validate the job's output location and expand its input into splits.
+    fn prepare(&self, fs: &dyn DistFs, job: &Job) -> MrResult<Vec<InputSplit>> {
         let config = &job.config;
         if config.output_dir.is_empty() {
             return Err(MrError::InvalidJob(
@@ -133,19 +180,31 @@ impl JobTracker {
             return Err(MrError::OutputExists(config.output_dir.clone()));
         }
         fs.mkdirs(&config.output_dir)?;
+        compute_splits(fs, &config.input, config.split_size)
+    }
 
-        let splits = compute_splits(fs, &config.input, config.split_size)?;
+    /// Run a job over the given storage backend and return its report.
+    ///
+    /// This is the storage-materialized data path: map outputs spill through
+    /// `fs`, reduce tasks pull segments with positioned reads as the spills
+    /// commit, and every task output is rename-committed.
+    pub fn run(&self, fs: &dyn DistFs, job: &Job) -> MrResult<JobResult> {
+        let start = Instant::now();
+        let config = &job.config;
+        let splits = self.prepare(fs, job)?;
         let num_maps = splits.len();
         let map_only = config.num_reducers == 0;
         let partitions = if map_only { 1 } else { config.num_reducers };
+        fs.mkdirs(&shuffle::temporary_dir(&config.output_dir))?;
+        if !map_only {
+            fs.mkdirs(&shuffle::shuffle_dir(&config.output_dir))?;
+        }
 
-        // ------------------------------------------------------------------
-        // Map phase.
-        // ------------------------------------------------------------------
         let map_state = Mutex::new(MapPhase {
             pending: (0..num_maps).collect(),
             attempts: vec![0; num_maps],
             results: (0..num_maps).map(|_| None).collect(),
+            committed: vec![false; num_maps],
             outstanding: 0,
             failure: None,
             locality: LocalityCounters::default(),
@@ -154,7 +213,23 @@ impl JobTracker {
             map_output_records: 0,
             output_files: Vec::new(),
         });
+        let reduce_state = Mutex::new(ReducePhase {
+            pending: (0..partitions).collect(),
+            attempts: vec![0; partitions],
+            done: 0,
+            failure: None,
+            retries: 0,
+            output_bytes: 0,
+            output_records: 0,
+            output_files: Vec::new(),
+            segments_fetched: 0,
+            merge_runs: 0,
+            read_round_trips: 0,
+            read_bytes: 0,
+        });
 
+        // One scope for both phases: reduce slots start pulling committed
+        // segments while map slots are still running.
         std::thread::scope(|scope| {
             for tracker in &self.trackers {
                 for _slot in 0..tracker.map_slots {
@@ -183,11 +258,36 @@ impl JobTracker {
                         );
                     });
                 }
+                if !map_only {
+                    for _slot in 0..tracker.reduce_slots {
+                        let map_state = &map_state;
+                        let reduce_state = &reduce_state;
+                        let job = &*job;
+                        let output_dir = config.output_dir.clone();
+                        let max_attempts = config.max_task_attempts;
+                        let local_fs = fs.on_node(tracker.node);
+                        scope.spawn(move || {
+                            reduce_worker_loop(
+                                &*local_fs,
+                                job,
+                                &output_dir,
+                                num_maps,
+                                partitions,
+                                max_attempts,
+                                map_state,
+                                reduce_state,
+                            );
+                        });
+                    }
+                }
             }
         });
 
         let mut map_state = map_state.into_inner();
         if let Some(err) = map_state.failure.take() {
+            // Failed jobs leave their committed part files for post-mortem
+            // (as Hadoop does), but not the shuffle/scratch debris.
+            shuffle::cleanup_job_dirs(fs, &config.output_dir);
             return Err(err);
         }
         let map_outputs: Vec<MapTaskOutput> = map_state
@@ -197,8 +297,16 @@ impl JobTracker {
             .collect();
         let input_records: u64 = map_outputs.iter().map(|o| o.records_read).sum();
         let input_bytes: u64 = map_outputs.iter().map(|o| o.bytes_read).sum();
+        let mut counters = ShuffleCounters::default();
+        for o in &map_outputs {
+            counters.spill_bytes += o.spilled_bytes;
+            counters.spill_records += o.spilled_records;
+            counters.combine_input_records += o.combine_input_records;
+            counters.combine_output_records += o.combine_output_records;
+        }
 
         if map_only {
+            let _ = fs.delete(&shuffle::temporary_dir(&config.output_dir), true);
             let mut output_files = map_state.output_files;
             output_files.sort();
             return Ok(JobResult {
@@ -212,63 +320,22 @@ impl JobTracker {
                 output_records: map_state.map_output_records,
                 input_bytes,
                 output_bytes: map_state.map_output_bytes,
+                shuffle: counters,
                 elapsed: start.elapsed(),
                 output_files,
             });
         }
 
-        // ------------------------------------------------------------------
-        // Shuffle: regroup the map outputs by reduce partition, then by key.
-        // ------------------------------------------------------------------
-        let mut partition_data: Vec<Vec<(String, String)>> = vec![Vec::new(); partitions];
-        for output in map_outputs {
-            for (p, pairs) in output.partitions.into_iter().enumerate() {
-                partition_data[p].extend(pairs);
-            }
-        }
-        let grouped: Vec<_> = partition_data.into_iter().map(group_by_key).collect();
-
-        // ------------------------------------------------------------------
-        // Reduce phase.
-        // ------------------------------------------------------------------
-        let reduce_state = Mutex::new(ReducePhase {
-            pending: (0..partitions).collect(),
-            attempts: vec![0; partitions],
-            done: 0,
-            failure: None,
-            retries: 0,
-            output_bytes: 0,
-            output_records: 0,
-            output_files: Vec::new(),
-        });
-
-        std::thread::scope(|scope| {
-            for tracker in &self.trackers {
-                for _slot in 0..tracker.reduce_slots {
-                    let reduce_state = &reduce_state;
-                    let grouped = &grouped;
-                    let job = &*job;
-                    let output_dir = config.output_dir.clone();
-                    let max_attempts = config.max_task_attempts;
-                    let local_fs = fs.on_node(tracker.node);
-                    scope.spawn(move || {
-                        reduce_worker_loop(
-                            &*local_fs,
-                            grouped,
-                            job,
-                            &output_dir,
-                            max_attempts,
-                            reduce_state,
-                        );
-                    });
-                }
-            }
-        });
-
         let mut reduce_state = reduce_state.into_inner();
         if let Some(err) = reduce_state.failure.take() {
+            shuffle::cleanup_job_dirs(fs, &config.output_dir);
             return Err(err);
         }
+        counters.segments_fetched = reduce_state.segments_fetched;
+        counters.merge_runs = reduce_state.merge_runs;
+        counters.shuffle_read_round_trips = reduce_state.read_round_trips;
+        counters.shuffle_read_bytes = reduce_state.read_bytes;
+        shuffle::cleanup_job_dirs(fs, &config.output_dir);
         let mut output_files = reduce_state.output_files;
         output_files.sort();
 
@@ -283,6 +350,83 @@ impl JobTracker {
             output_records: reduce_state.output_records,
             input_bytes,
             output_bytes: reduce_state.output_bytes,
+            shuffle: counters,
+            elapsed: start.elapsed(),
+            output_files,
+        })
+    }
+
+    /// Run a job with the original in-memory shuffle: map outputs are
+    /// collected in RAM, regrouped behind a global barrier, and reduce output
+    /// is written directly to its final path. Sequential and dead simple —
+    /// this is the differential-testing oracle the storage-materialized
+    /// [`JobTracker::run`] must agree with byte-for-byte, mirroring the
+    /// `lookup_range_walk` pattern of the metadata read path.
+    pub fn run_inmem(&self, fs: &dyn DistFs, job: &Job) -> MrResult<JobResult> {
+        let start = Instant::now();
+        let config = &job.config;
+        let splits = self.prepare(fs, job)?;
+        let num_maps = splits.len();
+        let map_only = config.num_reducers == 0;
+        let partitions = if map_only { 1 } else { config.num_reducers };
+
+        let mut locality = LocalityCounters::default();
+        let mut input_records = 0u64;
+        let mut input_bytes = 0u64;
+        let mut output_records = 0u64;
+        let mut output_bytes = 0u64;
+        let mut output_files = Vec::new();
+        let mut partition_data: Vec<Vec<(String, String)>> = vec![Vec::new(); partitions];
+
+        for split in &splits {
+            let mut out = run_map_task(fs, split, &*job.mapper, &*job.partitioner, partitions)?;
+            // The oracle runs every task at the submitting node.
+            locality.record(Locality::Remote);
+            input_records += out.records_read;
+            input_bytes += out.bytes_read;
+            if map_only {
+                let records = std::mem::take(&mut out.partitions[0]);
+                let path = format!("{}/part-m-{:05}", config.output_dir, split.id);
+                output_bytes += write_output_file(fs, &path, &records)?;
+                output_records += records.len() as u64;
+                output_files.push(path);
+            } else {
+                for (p, mut bucket) in out.partitions.into_iter().enumerate() {
+                    // Same per-map transformation as the spill path, so the
+                    // reduce inputs are identical record streams.
+                    shuffle::sort_run(&mut bucket);
+                    if let Some(combiner) = &config.combiner {
+                        bucket = shuffle::combine_run(bucket, &**combiner)?.records;
+                    }
+                    partition_data[p].extend(bucket);
+                }
+            }
+        }
+
+        if !map_only {
+            for (p, pairs) in partition_data.into_iter().enumerate() {
+                let grouped = group_by_key(pairs);
+                let records = run_reduce_task(&grouped, &*job.reducer)?;
+                let path = format!("{}/part-r-{p:05}", config.output_dir);
+                output_bytes += write_output_file(fs, &path, &records)?;
+                output_records += records.len() as u64;
+                output_files.push(path);
+            }
+        }
+
+        output_files.sort();
+        Ok(JobResult {
+            job_name: config.name.clone(),
+            fs_name: fs.name().to_string(),
+            map_tasks: num_maps,
+            reduce_tasks: if map_only { 0 } else { partitions },
+            locality,
+            task_retries: 0,
+            input_records,
+            output_records,
+            input_bytes,
+            output_bytes,
+            shuffle: ShuffleCounters::default(),
             elapsed: start.elapsed(),
             output_files,
         })
@@ -305,7 +449,7 @@ fn map_worker_loop(
 ) {
     loop {
         // Claim a task (or decide to wait / exit).
-        let claimed: Option<(usize, Locality)> = {
+        let claimed: Option<(usize, Locality, usize)> = {
             let mut s = state.lock();
             if s.failure.is_some() {
                 return;
@@ -314,7 +458,7 @@ fn map_worker_loop(
                 Some((pos, locality)) => {
                     let split_idx = s.pending.swap_remove(pos);
                     s.outstanding += 1;
-                    Some((split_idx, locality))
+                    Some((split_idx, locality, s.attempts[split_idx]))
                 }
                 None => {
                     // Nothing pending. If other workers are still running
@@ -328,29 +472,64 @@ fn map_worker_loop(
             }
         };
 
-        let (split_idx, locality) = match claimed {
+        let (split_idx, locality, attempt) = match claimed {
             Some(c) => c,
             None => {
                 std::thread::sleep(Duration::from_millis(1));
                 continue;
             }
         };
+        let task = format!("map-{split_idx:05}");
 
         // Execute the task outside the lock.
-        let outcome = run_map_task(fs, &splits[split_idx], &*job.mapper, partitions).and_then(
-            |mut output| {
-                if map_only {
-                    // Map-only jobs write their bucket straight to the output
-                    // directory, one part file per map task, as Hadoop does.
-                    let path = format!("{output_dir}/part-m-{split_idx:05}");
-                    let records = std::mem::take(&mut output.partitions[0]);
-                    let bytes = write_output_file(fs, &path, &records)?;
-                    Ok((output, Some((path, bytes, records.len() as u64))))
-                } else {
-                    Ok((output, None))
+        let outcome = run_map_task(
+            fs,
+            &splits[split_idx],
+            &*job.mapper,
+            &*job.partitioner,
+            partitions,
+        )
+        .and_then(|mut output| {
+            if map_only {
+                // Map-only jobs commit their bucket straight to a part file,
+                // one per map task, as Hadoop does.
+                let records = std::mem::take(&mut output.partitions[0]);
+                let final_path = format!("{output_dir}/part-m-{split_idx:05}");
+                let bytes =
+                    shuffle::commit_records(fs, output_dir, &task, attempt, &final_path, &records)?;
+                Ok((output, Some((final_path, bytes, records.len() as u64))))
+            } else {
+                // Sort each bucket, run the spill-time combiner, and commit
+                // the spill file for the reducers to pull from.
+                for bucket in output.partitions.iter_mut() {
+                    shuffle::sort_run(bucket);
                 }
-            },
-        );
+                if let Some(combiner) = &job.config.combiner {
+                    for bucket in output.partitions.iter_mut() {
+                        let combined = shuffle::combine_run(std::mem::take(bucket), &**combiner)?;
+                        output.combine_input_records += combined.input_records;
+                        output.combine_output_records += combined.output_records;
+                        *bucket = combined.records;
+                    }
+                }
+                let (bytes, records) = shuffle::commit_spill(
+                    fs,
+                    output_dir,
+                    split_idx,
+                    &task,
+                    attempt,
+                    &output.partitions,
+                )?;
+                output.spilled_bytes = bytes;
+                output.spilled_records = records;
+                output.partitions.clear(); // the data now lives in the spill
+                Ok((output, None))
+            }
+        });
+        if outcome.is_err() {
+            // Clean the attempt's scratch before anyone retries the task.
+            shuffle::discard_attempt(fs, output_dir, &task, attempt);
+        }
 
         let mut s = state.lock();
         s.outstanding -= 1;
@@ -363,6 +542,7 @@ fn map_worker_loop(
                     s.map_output_records += records;
                 }
                 s.results[split_idx] = Some(output);
+                s.committed[split_idx] = true;
             }
             Err(err) => {
                 s.attempts[split_idx] += 1;
@@ -374,12 +554,6 @@ fn map_worker_loop(
                         last_error: err.to_string(),
                     });
                 } else {
-                    if map_only {
-                        // A failed attempt may have left a partial part file
-                        // behind; remove it so the retry can recreate it.
-                        let path = format!("{output_dir}/part-m-{split_idx:05}");
-                        let _ = fs.delete(&path, false);
-                    }
                     s.pending.push(split_idx);
                 }
             }
@@ -387,66 +561,141 @@ fn map_worker_loop(
     }
 }
 
-/// Worker loop executed by every reduce slot.
+/// What one successful reduce-side fetch collected.
+struct FetchedPartition {
+    /// One key-sorted run per map task, in map-id order.
+    runs: Vec<Vec<(String, String)>>,
+    segments: u64,
+    round_trips: u64,
+    bytes: u64,
+}
+
+/// Pull partition `partition`'s segment from every map task's spill,
+/// fetching each as soon as its map commits. Returns `Ok(None)` when the map
+/// phase failed (the job is going down; nothing to reduce).
+fn fetch_partition(
+    fs: &dyn DistFs,
+    output_dir: &str,
+    partition: usize,
+    num_maps: usize,
+    partitions: usize,
+    map_state: &Mutex<MapPhase>,
+) -> MrResult<Option<FetchedPartition>> {
+    let mut runs: Vec<Option<Vec<(String, String)>>> = (0..num_maps).map(|_| None).collect();
+    let mut fetched = 0usize;
+    let mut segments = 0u64;
+    let mut round_trips = 0u64;
+    let mut bytes = 0u64;
+    while fetched < num_maps {
+        let (available, map_failed) = {
+            let m = map_state.lock();
+            let available: Vec<usize> = (0..num_maps)
+                .filter(|&i| m.committed[i] && runs[i].is_none())
+                .collect();
+            (available, m.failure.is_some())
+        };
+        if available.is_empty() {
+            if map_failed {
+                return Ok(None);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        for map_id in available {
+            let path = shuffle::spill_path(output_dir, map_id);
+            let segment = shuffle::read_segment(fs, &path, partition, partitions)?;
+            segments += 1;
+            round_trips += segment.round_trips;
+            bytes += segment.bytes;
+            runs[map_id] = Some(segment.records);
+            fetched += 1;
+        }
+    }
+    Ok(Some(FetchedPartition {
+        runs: runs
+            .into_iter()
+            .map(|r| r.expect("all segments fetched"))
+            .collect(),
+        segments,
+        round_trips,
+        bytes,
+    }))
+}
+
+/// Worker loop executed by every reduce slot: claim a partition, pull its
+/// segments as map spills commit, k-way-merge the sorted runs, reduce, and
+/// rename-commit the part file.
+#[allow(clippy::too_many_arguments)]
 fn reduce_worker_loop(
     fs: &dyn DistFs,
-    grouped: &[std::collections::BTreeMap<String, Vec<String>>],
     job: &Job,
     output_dir: &str,
+    num_maps: usize,
+    partitions: usize,
     max_attempts: usize,
+    map_state: &Mutex<MapPhase>,
     state: &Mutex<ReducePhase>,
 ) {
     loop {
+        // The job is failing once either phase records a permanent failure.
+        if map_state.lock().failure.is_some() {
+            return;
+        }
         let claimed = {
             let mut s = state.lock();
-            if s.failure.is_some() {
+            if s.failure.is_some() || s.done == partitions {
                 return;
             }
-            match s.pending.pop() {
-                Some(p) => Some(p),
-                None => {
-                    if s.done + s.pending.len() >= grouped.len() && s.pending.is_empty() {
-                        // All partitions either done or running elsewhere;
-                        // if something requeues we will be woken by the loop.
-                        if s.done == grouped.len() {
-                            return;
-                        }
-                        None
-                    } else {
-                        None
-                    }
-                }
-            }
+            s.pending.pop().map(|p| (p, s.attempts[p]))
         };
-
-        let partition = match claimed {
-            Some(p) => p,
+        let (partition, attempt) = match claimed {
+            Some(c) => c,
             None => {
-                // Check for completion before sleeping.
-                {
-                    let s = state.lock();
-                    if s.failure.is_some() || s.done == grouped.len() {
-                        return;
-                    }
-                }
+                // Partitions are running on other slots; one could fail and
+                // requeue, so poll until the phase settles.
                 std::thread::sleep(Duration::from_millis(1));
                 continue;
             }
         };
+        let task = format!("reduce-{partition:05}");
 
-        let outcome = run_reduce_task(&grouped[partition], &*job.reducer).and_then(|records| {
-            let path = format!("{output_dir}/part-r-{partition:05}");
-            let bytes = write_output_file(fs, &path, &records)?;
-            Ok((path, bytes, records.len() as u64))
-        });
+        let outcome = fetch_partition(fs, output_dir, partition, num_maps, partitions, map_state)
+            .and_then(|fetched| {
+                let Some(fetched) = fetched else {
+                    return Ok(None); // map phase failed; abort quietly
+                };
+                let merge_runs = fetched.runs.iter().filter(|r| !r.is_empty()).count() as u64;
+                let merged = shuffle::merge_runs(fetched.runs);
+                let records = shuffle::reduce_merged(merged, &*job.reducer)?;
+                let final_path = format!("{output_dir}/part-r-{partition:05}");
+                let bytes =
+                    shuffle::commit_records(fs, output_dir, &task, attempt, &final_path, &records)?;
+                Ok(Some((
+                    final_path,
+                    bytes,
+                    records.len() as u64,
+                    fetched.segments,
+                    merge_runs,
+                    fetched.round_trips,
+                    fetched.bytes,
+                )))
+            });
+        if outcome.is_err() {
+            shuffle::discard_attempt(fs, output_dir, &task, attempt);
+        }
 
         let mut s = state.lock();
         match outcome {
-            Ok((path, bytes, records)) => {
+            Ok(None) => return,
+            Ok(Some((path, bytes, records, segments, merge_runs, round_trips, read_bytes))) => {
                 s.done += 1;
                 s.output_bytes += bytes;
                 s.output_records += records;
                 s.output_files.push(path);
+                s.segments_fetched += segments;
+                s.merge_runs += merge_runs;
+                s.read_round_trips += round_trips;
+                s.read_bytes += read_bytes;
             }
             Err(err) => {
                 s.attempts[partition] += 1;
@@ -458,10 +707,6 @@ fn reduce_worker_loop(
                         last_error: err.to_string(),
                     });
                 } else {
-                    // The part file may exist from the failed attempt; remove
-                    // it so the retry can recreate it.
-                    let path = format!("{output_dir}/part-r-{partition:05}");
-                    let _ = fs.delete(&path, false);
                     s.pending.push(partition);
                 }
             }

@@ -11,7 +11,13 @@
 //! * **tasktrackers**, one per node with a configurable number of slots
 //!   ([`tasktracker::TaskTracker`]), executed as real threads;
 //! * the **map / shuffle / reduce** execution model with text-line records,
-//!   hash partitioning and sorted reduce keys;
+//!   pluggable partitioning (hash by default, range for sort jobs), optional
+//!   spill-time combiners and sorted reduce keys — with intermediate data
+//!   **materialized through the storage layer** ([`shuffle`]): map tasks
+//!   spill sorted partition-bucketed files, reduce tasks pull segments with
+//!   positioned reads as the spills commit, and all task output is
+//!   rename-committed (the in-memory shuffle survives as
+//!   [`jobtracker::JobTracker::run_inmem`], the differential-testing oracle);
 //! * **locality-aware scheduling** ([`scheduler`]) driven by the storage
 //!   layer's data-layout queries;
 //! * a pluggable storage abstraction ([`fs::DistFs`]) with adapters for both
@@ -56,13 +62,17 @@ pub mod fs;
 pub mod job;
 pub mod jobtracker;
 pub mod scheduler;
+pub mod shuffle;
 pub mod split;
 pub mod tasktracker;
 
 pub use error::{MrError, MrResult};
 pub use fs::{BlockHint, BsfsFs, DistFs, FileReader, FileWriter, HdfsFs};
-pub use job::{InputSpec, Job, JobConfig, Mapper, Reducer};
-pub use jobtracker::{JobResult, JobTracker};
+pub use job::{
+    HashPartitioner, IdentityReducer, InputSpec, Job, JobConfig, Mapper, Partitioner,
+    RangePartitioner, Reducer,
+};
+pub use jobtracker::{JobResult, JobTracker, ShuffleCounters};
 pub use scheduler::{Locality, LocalityCounters};
 pub use split::{InputSplit, SplitSource};
 pub use tasktracker::TaskTracker;
@@ -448,6 +458,196 @@ mod tests {
             "expected some data-local tasks, got {:?}",
             result.locality
         );
+    }
+
+    #[test]
+    fn storage_shuffle_matches_inmem_oracle() {
+        for use_hdfs in [false, true] {
+            let topo = ClusterTopology::flat(4);
+            let fs: Box<dyn DistFs> = if use_hdfs {
+                let (_, fs) = hdfs_cluster(4);
+                Box::new(fs)
+            } else {
+                let (_, fs) = bsfs_cluster(4);
+                Box::new(fs)
+            };
+            fs.write_file("/in/words.txt", wordcount_input().as_bytes())
+                .unwrap();
+            let make_job = |out: &str| {
+                Job::new(
+                    JobConfig::new("wordcount", InputSpec::Files(vec!["/in".into()]), out)
+                        .with_split_size(20)
+                        .with_reducers(3),
+                    Arc::new(WordCountMapper),
+                    Arc::new(SumReducer),
+                )
+            };
+            let jt = JobTracker::new(&topo);
+            let dist = jt.run(&*fs, &make_job("/out-dist")).unwrap();
+            let oracle = jt.run_inmem(&*fs, &make_job("/out-inmem")).unwrap();
+            assert_eq!(dist.output_files.len(), oracle.output_files.len());
+            for (d, o) in dist.output_files.iter().zip(&oracle.output_files) {
+                assert_eq!(
+                    d.strip_prefix("/out-dist"),
+                    o.strip_prefix("/out-inmem"),
+                    "part file names must match"
+                );
+                assert_eq!(
+                    fs.read_file(d).unwrap(),
+                    fs.read_file(o).unwrap(),
+                    "{d} differs from the in-memory oracle (hdfs={use_hdfs})"
+                );
+            }
+            assert_eq!(dist.output_records, oracle.output_records);
+            assert_eq!(dist.output_bytes, oracle.output_bytes);
+        }
+    }
+
+    #[test]
+    fn shuffle_counters_are_nonzero_for_multi_reducer_jobs() {
+        let (topo, fs) = bsfs_cluster(4);
+        let (result, _) = run_wordcount(&topo, &fs);
+        let s = result.shuffle;
+        assert!(s.spill_records > 0, "map tasks must spill records: {s:?}");
+        assert!(s.spill_bytes > 0);
+        assert_eq!(
+            s.segments_fetched,
+            (result.map_tasks * result.reduce_tasks) as u64,
+            "every reducer pulls one segment per map: {s:?}"
+        );
+        assert!(s.merge_runs > 0);
+        assert!(
+            s.shuffle_read_round_trips >= s.segments_fetched,
+            "each segment costs at least the index read: {s:?}"
+        );
+        assert!(s.shuffle_read_bytes > 0);
+        // No combiner configured.
+        assert_eq!(s.combine_input_records, 0);
+        assert_eq!(s.combine_output_records, 0);
+    }
+
+    #[test]
+    fn scratch_dirs_are_cleaned_when_the_job_fails() {
+        let (topo, fs) = bsfs_cluster(2);
+        fs.write_file("/in/data", b"k\n").unwrap();
+        struct BadReducer;
+        impl Reducer for BadReducer {
+            fn reduce(
+                &self,
+                _key: &str,
+                _values: &[String],
+                _emit: &mut dyn FnMut(String, String),
+            ) -> MrResult<()> {
+                Err(MrError::Storage("reduce broke".into()))
+            }
+        }
+        let job = Job::new(
+            JobConfig::new("doomed", InputSpec::Files(vec!["/in/data".into()]), "/out")
+                .with_max_attempts(2),
+            Arc::new(WordCountMapper),
+            Arc::new(BadReducer),
+        );
+        assert!(JobTracker::new(&topo).run(&fs, &job).is_err());
+        assert!(
+            !fs.exists("/out/_shuffle") && !fs.exists("/out/_temporary"),
+            "failed jobs must not leak shuffle spills or attempt scratch"
+        );
+    }
+
+    #[test]
+    fn scratch_dirs_are_cleaned_after_success() {
+        let (topo, fs) = bsfs_cluster(4);
+        let (result, _) = run_wordcount(&topo, &fs);
+        assert!(!fs.exists("/out/_shuffle"), "shuffle dir must be cleaned");
+        assert!(!fs.exists("/out/_temporary"), "scratch dir must be cleaned");
+        // The output dir holds exactly the part files.
+        let mut listed = fs.list("/out").unwrap();
+        listed.sort();
+        assert_eq!(listed, result.output_files);
+    }
+
+    #[test]
+    fn combiner_cuts_spilled_records_without_changing_output() {
+        let (topo, fs) = bsfs_cluster(4);
+        // Repetitive input so the combiner has something to collapse.
+        let mut text = String::new();
+        for _ in 0..50 {
+            text.push_str("apple banana apple cherry apple banana\n");
+        }
+        fs.write_file("/in/fruit.txt", text.as_bytes()).unwrap();
+        let make_job = |out: &str, combine: bool| {
+            let mut config =
+                JobConfig::new("wc", InputSpec::Files(vec!["/in/fruit.txt".into()]), out)
+                    .with_split_size(256)
+                    .with_reducers(2);
+            if combine {
+                config = config.with_combiner(Arc::new(SumReducer));
+            }
+            Job::new(config, Arc::new(WordCountMapper), Arc::new(SumReducer))
+        };
+        let jt = JobTracker::new(&topo);
+        let plain = jt.run(&fs, &make_job("/out-plain", false)).unwrap();
+        let combined = jt.run(&fs, &make_job("/out-combine", true)).unwrap();
+        assert!(
+            combined.shuffle.spill_records < plain.shuffle.spill_records,
+            "combiner must cut spilled records: {} vs {}",
+            combined.shuffle.spill_records,
+            plain.shuffle.spill_records
+        );
+        assert!(combined.shuffle.spill_bytes < plain.shuffle.spill_bytes);
+        assert!(combined.shuffle.combine_input_records > combined.shuffle.combine_output_records);
+        for (a, b) in plain.output_files.iter().zip(&combined.output_files) {
+            assert_eq!(fs.read_file(a).unwrap(), fs.read_file(b).unwrap());
+        }
+    }
+
+    #[test]
+    fn flaky_reduce_attempts_never_leave_partial_or_duplicate_output() {
+        let (topo, fs) = bsfs_cluster(2);
+        fs.write_file("/in/data", b"alpha\nbeta\ngamma\n").unwrap();
+        /// Fails its first execution after emitting (the emitted pairs of the
+        /// failed attempt must not leak into the committed part file).
+        struct FlakyReducer {
+            failures_left: AtomicUsize,
+        }
+        impl Reducer for FlakyReducer {
+            fn reduce(
+                &self,
+                key: &str,
+                _values: &[String],
+                emit: &mut dyn FnMut(String, String),
+            ) -> MrResult<()> {
+                emit(key.to_string(), "1".to_string());
+                if self
+                    .failures_left
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                    .is_ok()
+                {
+                    return Err(MrError::Storage("transient reduce failure".into()));
+                }
+                Ok(())
+            }
+        }
+        let job = Job::new(
+            JobConfig::new("flaky-r", InputSpec::Files(vec!["/in/data".into()]), "/out")
+                .with_reducers(1)
+                .with_max_attempts(4),
+            Arc::new(WordCountMapper),
+            Arc::new(FlakyReducer {
+                failures_left: AtomicUsize::new(1),
+            }),
+        );
+        let result = JobTracker::new(&topo).run(&fs, &job).unwrap();
+        assert!(result.task_retries >= 1);
+        assert_eq!(result.output_files, vec!["/out/part-r-00000".to_string()]);
+        let out = fs.read_file("/out/part-r-00000").unwrap();
+        assert_eq!(
+            String::from_utf8_lossy(&out).lines().count(),
+            3,
+            "retried attempt must produce exactly one complete part file"
+        );
+        let listed = fs.list("/out").unwrap();
+        assert_eq!(listed, vec!["/out/part-r-00000".to_string()]);
     }
 
     #[test]

@@ -1,0 +1,536 @@
+//! The storage-materialized shuffle: spill files, segment fetches, merges
+//! and the output-commit protocol.
+//!
+//! The paper's methodology swaps the storage layer under an unchanged
+//! framework (§IV), so the framework's *intermediate* data must flow through
+//! that storage layer for the comparison to mean anything. This module is the
+//! Hadoop-shaped data path that makes it so:
+//!
+//! * every map task **spills** its output as one sorted, partition-bucketed
+//!   file `<output>/_shuffle/map-<id>` with a per-partition index header
+//!   ([`write_spill`]);
+//! * every reduce task **pulls** its partition's segment out of every map
+//!   file with positioned reads ([`read_segment`]) and **k-way-merges** the
+//!   pre-sorted runs ([`merge_runs`]);
+//! * task attempts write under `<output>/_temporary/attempt-<task>-<n>` and
+//!   [`rename`](crate::fs::DistFs::rename) into place on commit
+//!   ([`attempt_path`]/[`commit_records`]), so a failed-then-retried attempt
+//!   can never leave a partial or duplicate file behind;
+//! * an optional combiner runs over each sorted bucket at spill time
+//!   ([`combine_run`]), cutting the bytes the shuffle moves.
+//!
+//! ## Spill file layout
+//!
+//! ```text
+//! +--------+---------+------------+----------+
+//! | magic  | version | partitions | reserved |   16-byte fixed header (u32 LE)
+//! +--------+---------+------------+----------+
+//! | offset | len | records |  x partitions       24-byte index entries (u64 LE)
+//! +--------+-----+---------+
+//! | partition 0 records ... partition N records
+//! +---------------------------------------------
+//! ```
+//!
+//! Records are length-prefixed (`u32 key_len, key, u32 val_len, value`), so
+//! keys and values may contain any bytes, and each partition's records are
+//! key-sorted (stable, preserving emit order for equal keys) — the reducer
+//! merges pre-sorted runs instead of re-sorting the world.
+
+use crate::error::{MrError, MrResult};
+use crate::fs::DistFs;
+use crate::job::Reducer;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Magic number at the head of every spill file (`"SHUF"`).
+pub const SPILL_MAGIC: u32 = 0x5348_5546;
+/// Version of the spill layout.
+pub const SPILL_VERSION: u32 = 1;
+/// Bytes of the fixed header before the partition index.
+pub const SPILL_HEADER_LEN: u64 = 16;
+/// Bytes of one partition index entry (offset, len, records).
+pub const SPILL_INDEX_ENTRY_LEN: u64 = 24;
+
+/// The shuffle directory of a job.
+pub fn shuffle_dir(output_dir: &str) -> String {
+    format!("{output_dir}/_shuffle")
+}
+
+/// The committed spill file of one map task.
+pub fn spill_path(output_dir: &str, map_id: usize) -> String {
+    format!("{}/map-{map_id:05}", shuffle_dir(output_dir))
+}
+
+/// The scratch directory task attempts write under before committing.
+pub fn temporary_dir(output_dir: &str) -> String {
+    format!("{output_dir}/_temporary")
+}
+
+/// Where attempt `attempt` of `task` (e.g. `"map-00003"`, `"reduce-00001"`)
+/// writes before its rename-commit.
+pub fn attempt_path(output_dir: &str, task: &str, attempt: usize) -> String {
+    format!("{}/attempt-{task}-{attempt}", temporary_dir(output_dir))
+}
+
+/// Total bytes of header + index for a spill with `partitions` partitions —
+/// what a reducer reads (one positioned read) to find its segment.
+pub fn index_len(partitions: usize) -> u64 {
+    SPILL_HEADER_LEN + partitions as u64 * SPILL_INDEX_ENTRY_LEN
+}
+
+/// Stable key-sort of one partition bucket: equal keys keep their emit order,
+/// which the merge relies on to reproduce the in-memory shuffle's value
+/// order.
+pub fn sort_run(run: &mut [(String, String)]) {
+    run.sort_by(|a, b| a.0.cmp(&b.0));
+}
+
+/// What a spill-time combine pass produced.
+pub struct CombineOutcome {
+    /// The combined bucket, re-sorted by key.
+    pub records: Vec<(String, String)>,
+    /// Records fed into the combiner.
+    pub input_records: u64,
+    /// Records the combiner emitted.
+    pub output_records: u64,
+}
+
+/// Walk a key-sorted record stream, calling `f(key, values)` once per group
+/// of consecutive equal keys — the grouping contract both the combiner and
+/// the reduce side rely on. Takes the records by value so the values move
+/// into their group instead of being cloned.
+fn for_each_group(
+    records: Vec<(String, String)>,
+    mut f: impl FnMut(&str, &[String]) -> MrResult<()>,
+) -> MrResult<()> {
+    let mut it = records.into_iter().peekable();
+    while let Some((key, first)) = it.next() {
+        let mut values = vec![first];
+        while it.peek().is_some_and(|(k, _)| *k == key) {
+            values.push(it.next().expect("peeked").1);
+        }
+        f(&key, &values)?;
+    }
+    Ok(())
+}
+
+/// Run the combiner over a key-sorted bucket, Hadoop's spill-time
+/// mini-reduce.
+pub fn combine_run(run: Vec<(String, String)>, combiner: &dyn Reducer) -> MrResult<CombineOutcome> {
+    let input_records = run.len() as u64;
+    let mut out = Vec::new();
+    for_each_group(run, |key, values| {
+        combiner.reduce(key, values, &mut |k, v| out.push((k, v)))
+    })?;
+    // A well-behaved combiner emits in key order, but nothing enforces it —
+    // re-sort (stable) so the spill's sorted-run contract always holds.
+    sort_run(&mut out);
+    Ok(CombineOutcome {
+        output_records: out.len() as u64,
+        records: out,
+        input_records,
+    })
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(data: &[u8], at: usize) -> MrResult<u32> {
+    data.get(at..at + 4)
+        .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+        .ok_or_else(|| MrError::Storage("truncated shuffle data".into()))
+}
+
+fn get_u64(data: &[u8], at: usize) -> MrResult<u64> {
+    data.get(at..at + 8)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+        .ok_or_else(|| MrError::Storage("truncated shuffle data".into()))
+}
+
+/// Encode partition buckets (each already key-sorted) into the spill layout.
+/// Returns the file image and the total record count.
+pub fn encode_spill(partitions: &[Vec<(String, String)>]) -> (Vec<u8>, u64) {
+    let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(partitions.len());
+    let mut records_total = 0u64;
+    for bucket in partitions {
+        let mut payload = Vec::new();
+        for (k, v) in bucket {
+            put_u32(&mut payload, k.len() as u32);
+            payload.extend_from_slice(k.as_bytes());
+            put_u32(&mut payload, v.len() as u32);
+            payload.extend_from_slice(v.as_bytes());
+        }
+        records_total += bucket.len() as u64;
+        payloads.push(payload);
+    }
+
+    let mut file = Vec::new();
+    put_u32(&mut file, SPILL_MAGIC);
+    put_u32(&mut file, SPILL_VERSION);
+    put_u32(&mut file, partitions.len() as u32);
+    put_u32(&mut file, 0); // reserved
+    let mut offset = index_len(partitions.len());
+    for (bucket, payload) in partitions.iter().zip(&payloads) {
+        put_u64(&mut file, offset);
+        put_u64(&mut file, payload.len() as u64);
+        put_u64(&mut file, bucket.len() as u64);
+        offset += payload.len() as u64;
+    }
+    for payload in payloads {
+        file.extend_from_slice(&payload);
+    }
+    (file, records_total)
+}
+
+/// Write a map task's partition buckets as a spill file at `path` (normally
+/// an [`attempt_path`], renamed into [`spill_path`] on commit). Returns
+/// `(bytes_written, records_spilled)`.
+pub fn write_spill(
+    fs: &dyn DistFs,
+    path: &str,
+    partitions: &[Vec<(String, String)>],
+) -> MrResult<(u64, u64)> {
+    let (image, records) = encode_spill(partitions);
+    let mut writer = fs.create(path)?;
+    writer.write(&image)?;
+    writer.close()?;
+    Ok((image.len() as u64, records))
+}
+
+/// One partition's segment pulled out of one map's spill file.
+#[derive(Debug, Default, Clone)]
+pub struct Segment {
+    /// The segment's records, key-sorted (a merge run).
+    pub records: Vec<(String, String)>,
+    /// Bytes fetched from the storage layer (index + payload).
+    pub bytes: u64,
+    /// Positioned reads issued (1 for the index, +1 when the segment has
+    /// payload).
+    pub round_trips: u64,
+}
+
+/// Fetch partition `partition` of the spill at `path` with positioned reads:
+/// one read for the header+index, one for the segment payload (skipped when
+/// the segment is empty).
+pub fn read_segment(
+    fs: &dyn DistFs,
+    path: &str,
+    partition: usize,
+    num_partitions: usize,
+) -> MrResult<Segment> {
+    let mut reader = fs.open(path)?;
+    let header = reader.read_at(0, index_len(num_partitions))?;
+    let mut segment = Segment {
+        bytes: header.len() as u64,
+        round_trips: 1,
+        ..Segment::default()
+    };
+    if get_u32(&header, 0)? != SPILL_MAGIC || get_u32(&header, 4)? != SPILL_VERSION {
+        return Err(MrError::Storage(format!("{path} is not a spill file")));
+    }
+    let partitions = get_u32(&header, 8)? as usize;
+    if partitions != num_partitions || partition >= partitions {
+        return Err(MrError::Storage(format!(
+            "{path} holds {partitions} partitions, segment {partition} of {num_partitions} requested"
+        )));
+    }
+    let entry = (SPILL_HEADER_LEN + partition as u64 * SPILL_INDEX_ENTRY_LEN) as usize;
+    let offset = get_u64(&header, entry)?;
+    let len = get_u64(&header, entry + 8)?;
+    let records = get_u64(&header, entry + 16)?;
+    if len == 0 {
+        return Ok(segment);
+    }
+
+    let payload = reader.read_at(offset, len)?;
+    segment.bytes += payload.len() as u64;
+    segment.round_trips += 1;
+    segment.records.reserve(records as usize);
+    let mut at = 0usize;
+    while (at as u64) < len {
+        let key_len = get_u32(&payload, at)? as usize;
+        at += 4;
+        let key = payload
+            .get(at..at + key_len)
+            .ok_or_else(|| MrError::Storage(format!("corrupt segment in {path}")))?;
+        at += key_len;
+        let val_len = get_u32(&payload, at)? as usize;
+        at += 4;
+        let val = payload
+            .get(at..at + val_len)
+            .ok_or_else(|| MrError::Storage(format!("corrupt segment in {path}")))?;
+        at += val_len;
+        segment.records.push((
+            String::from_utf8_lossy(key).into_owned(),
+            String::from_utf8_lossy(val).into_owned(),
+        ));
+    }
+    if segment.records.len() as u64 != records {
+        return Err(MrError::Storage(format!(
+            "segment {partition} of {path}: index promised {records} records, decoded {}",
+            segment.records.len()
+        )));
+    }
+    Ok(segment)
+}
+
+/// Entry in the k-way-merge heap: `BinaryHeap` is a max-heap, so comparisons
+/// are reversed; ties break toward the lower run index (map id), reproducing
+/// the in-memory shuffle's value arrival order.
+struct HeapEntry<'a> {
+    key: &'a str,
+    run: usize,
+    pos: usize,
+}
+
+impl PartialEq for HeapEntry<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.run == other.run
+    }
+}
+impl Eq for HeapEntry<'_> {}
+impl PartialOrd for HeapEntry<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .key
+            .cmp(self.key)
+            .then_with(|| other.run.cmp(&self.run))
+    }
+}
+
+/// K-way-merge pre-sorted runs (one per map task, in map-id order) into one
+/// key-sorted record stream. Stable: for equal keys, records come out in
+/// (map id, emit order) — exactly the order the in-memory shuffle's
+/// concatenate-then-group produces.
+pub fn merge_runs(runs: Vec<Vec<(String, String)>>) -> Vec<(String, String)> {
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut heap: BinaryHeap<HeapEntry<'_>> = runs
+        .iter()
+        .enumerate()
+        .filter(|(_, run)| !run.is_empty())
+        .map(|(i, run)| HeapEntry {
+            key: &run[0].0,
+            run: i,
+            pos: 0,
+        })
+        .collect();
+    let mut merged = Vec::with_capacity(total);
+    let mut order = Vec::with_capacity(total);
+    while let Some(entry) = heap.pop() {
+        order.push((entry.run, entry.pos));
+        let next = entry.pos + 1;
+        if next < runs[entry.run].len() {
+            heap.push(HeapEntry {
+                key: &runs[entry.run][next].0,
+                run: entry.run,
+                pos: next,
+            });
+        }
+    }
+    // Materialise after the borrow of `runs` ends.
+    let mut runs = runs;
+    for (run, pos) in order {
+        merged.push(std::mem::take(&mut runs[run][pos]));
+    }
+    merged
+}
+
+/// Feed a merged, key-sorted record stream through the reducer, grouping
+/// consecutive equal keys. Returns the output records in emit order.
+pub fn reduce_merged(
+    merged: Vec<(String, String)>,
+    reducer: &dyn Reducer,
+) -> MrResult<Vec<(String, String)>> {
+    let mut output = Vec::new();
+    for_each_group(merged, |key, values| {
+        reducer.reduce(key, values, &mut |k, v| output.push((k, v)))
+    })?;
+    Ok(output)
+}
+
+/// Output-commit a task's records: write them in text output format to the
+/// attempt's scratch path, then rename into `final_path`. A crash before the
+/// rename leaves only scratch under `_temporary` (cleaned up at job end);
+/// after the rename the file is complete — readers can never observe a
+/// partial `part-*` file. Returns the bytes written.
+pub fn commit_records(
+    fs: &dyn DistFs,
+    output_dir: &str,
+    task: &str,
+    attempt: usize,
+    final_path: &str,
+    records: &[(String, String)],
+) -> MrResult<u64> {
+    let scratch = attempt_path(output_dir, task, attempt);
+    let bytes = crate::tasktracker::write_output_file(fs, &scratch, records)?;
+    fs.rename(&scratch, final_path)?;
+    Ok(bytes)
+}
+
+/// Commit a spill image the same way (scratch write + rename): the shuffle's
+/// map outputs get the identical all-or-nothing visibility as `part-*`
+/// files. `task` is the caller's task name (also used for
+/// [`discard_attempt`] on failure, so the scratch path is derived once).
+pub fn commit_spill(
+    fs: &dyn DistFs,
+    output_dir: &str,
+    map_id: usize,
+    task: &str,
+    attempt: usize,
+    partitions: &[Vec<(String, String)>],
+) -> MrResult<(u64, u64)> {
+    let scratch = attempt_path(output_dir, task, attempt);
+    let (bytes, records) = write_spill(fs, &scratch, partitions)?;
+    fs.rename(&scratch, &spill_path(output_dir, map_id))?;
+    Ok((bytes, records))
+}
+
+/// Best-effort removal of an attempt's scratch file after a failure, so the
+/// retry starts clean.
+pub fn discard_attempt(fs: &dyn DistFs, output_dir: &str, task: &str, attempt: usize) {
+    let _ = fs.delete(&attempt_path(output_dir, task, attempt), false);
+}
+
+/// Best-effort removal of the job's scratch directories after success.
+pub fn cleanup_job_dirs(fs: &dyn DistFs, output_dir: &str) {
+    let _ = fs.delete(&temporary_dir(output_dir), true);
+    let _ = fs.delete(&shuffle_dir(output_dir), true);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::BsfsFs;
+    use crate::job::SumReducer;
+    use blobseer::{BlobSeer, BlobSeerConfig};
+    use bsfs::{Bsfs, BsfsConfig};
+
+    fn fs() -> BsfsFs {
+        let storage = BlobSeer::new(BlobSeerConfig::for_tests().with_page_size(256));
+        BsfsFs::new(Bsfs::new(storage, BsfsConfig::for_tests()))
+    }
+
+    fn pair(k: &str, v: &str) -> (String, String) {
+        (k.to_string(), v.to_string())
+    }
+
+    #[test]
+    fn spill_roundtrip_through_storage() {
+        let fs = fs();
+        let buckets = vec![
+            vec![pair("a", "1"), pair("b", "2")],
+            Vec::new(),
+            vec![pair("c", "x\ty\n"), pair("c", ""), pair("d", "3")],
+        ];
+        let (bytes, records) = write_spill(&fs, "/out/_shuffle/map-00000", &buckets).unwrap();
+        assert_eq!(records, 5);
+        assert_eq!(bytes, fs.len("/out/_shuffle/map-00000").unwrap());
+
+        for (p, bucket) in buckets.iter().enumerate() {
+            let seg = read_segment(&fs, "/out/_shuffle/map-00000", p, 3).unwrap();
+            assert_eq!(&seg.records, bucket, "partition {p}");
+            if bucket.is_empty() {
+                assert_eq!(seg.round_trips, 1, "empty segments skip the data read");
+            } else {
+                assert_eq!(seg.round_trips, 2);
+                assert!(seg.bytes > index_len(3));
+            }
+        }
+    }
+
+    #[test]
+    fn segment_requests_are_validated() {
+        let fs = fs();
+        let buckets = vec![vec![pair("k", "v")]];
+        write_spill(&fs, "/s", &buckets).unwrap();
+        // Wrong partition count or out-of-range partition.
+        assert!(read_segment(&fs, "/s", 0, 2).is_err());
+        assert!(read_segment(&fs, "/s", 1, 1).is_err());
+        // Not a spill file at all.
+        fs.write_file("/junk", b"this is not a spill file at all......")
+            .unwrap();
+        assert!(read_segment(&fs, "/junk", 0, 1).is_err());
+    }
+
+    #[test]
+    fn sort_run_is_stable() {
+        let mut run = vec![pair("b", "1"), pair("a", "2"), pair("b", "3")];
+        sort_run(&mut run);
+        assert_eq!(run, vec![pair("a", "2"), pair("b", "1"), pair("b", "3")]);
+    }
+
+    #[test]
+    fn combine_run_sums_and_counts() {
+        let run = vec![pair("a", "1"), pair("a", "2"), pair("b", "4")];
+        let combined = combine_run(run, &SumReducer).unwrap();
+        assert_eq!(combined.records, vec![pair("a", "3"), pair("b", "4")]);
+        assert_eq!(combined.input_records, 3);
+        assert_eq!(combined.output_records, 2);
+    }
+
+    #[test]
+    fn merge_matches_stable_concatenated_sort() {
+        // Three sorted runs with overlapping keys; the merge must equal
+        // concatenating in run order and stable-sorting by key.
+        let runs = vec![
+            vec![pair("a", "r0-0"), pair("c", "r0-1"), pair("c", "r0-2")],
+            Vec::new(),
+            vec![pair("a", "r2-0"), pair("b", "r2-1")],
+            vec![pair("c", "r3-0")],
+        ];
+        let mut reference: Vec<(String, String)> = runs.iter().flatten().cloned().collect();
+        reference.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(merge_runs(runs), reference);
+    }
+
+    #[test]
+    fn reduce_merged_groups_consecutive_keys() {
+        let merged = vec![pair("a", "1"), pair("a", "2"), pair("b", "5")];
+        let out = reduce_merged(merged, &SumReducer).unwrap();
+        assert_eq!(out, vec![pair("a", "3"), pair("b", "5")]);
+    }
+
+    #[test]
+    fn commit_is_all_or_nothing() {
+        let fs = fs();
+        fs.mkdirs("/out").unwrap();
+        let records = vec![pair("k", "v")];
+        let bytes = commit_records(
+            &fs,
+            "/out",
+            "reduce-00000",
+            0,
+            "/out/part-r-00000",
+            &records,
+        )
+        .unwrap();
+        assert_eq!(bytes, 4);
+        assert_eq!(&fs.read_file("/out/part-r-00000").unwrap()[..], b"k\tv\n");
+        // The scratch file is gone (renamed), not copied.
+        assert!(!fs.exists(&attempt_path("/out", "reduce-00000", 0)));
+
+        // A second commit of the same task must fail: the final file exists,
+        // so a duplicate attempt cannot clobber committed output.
+        assert!(commit_records(
+            &fs,
+            "/out",
+            "reduce-00000",
+            1,
+            "/out/part-r-00000",
+            &records
+        )
+        .is_err());
+        cleanup_job_dirs(&fs, "/out");
+        assert!(!fs.exists(&temporary_dir("/out")));
+    }
+}

@@ -12,7 +12,7 @@
 
 use crate::error::MrResult;
 use crate::fs::DistFs;
-use crate::job::{format_output_record, Mapper, Reducer};
+use crate::job::{format_output_record, Mapper, Partitioner, Reducer};
 use crate::split::{read_records, InputSplit, SplitSource};
 use simcluster::NodeId;
 use std::collections::hash_map::DefaultHasher;
@@ -52,7 +52,8 @@ impl TaskTracker {
 #[derive(Debug, Default, Clone)]
 pub struct MapTaskOutput {
     /// Intermediate pairs, one bucket per reduce partition. Map-only jobs use
-    /// a single bucket.
+    /// a single bucket. Cleared once the task's spill file commits — the
+    /// data then lives in storage, not RAM.
     pub partitions: Vec<Vec<(String, String)>>,
     /// Input records processed.
     pub records_read: u64,
@@ -60,6 +61,14 @@ pub struct MapTaskOutput {
     pub records_emitted: u64,
     /// Bytes read from the storage layer.
     pub bytes_read: u64,
+    /// Bytes of the committed spill file (0 for map-only jobs).
+    pub spilled_bytes: u64,
+    /// Records written to the spill file (post-combine).
+    pub spilled_records: u64,
+    /// Records fed to the spill-time combiner (0 without a combiner).
+    pub combine_input_records: u64,
+    /// Records the spill-time combiner emitted.
+    pub combine_output_records: u64,
 }
 
 /// Hash-partition an intermediate key across `num_partitions` reducers
@@ -74,11 +83,13 @@ pub fn partition_for(key: &str, num_partitions: usize) -> usize {
 }
 
 /// Execute one map task: read the split's records, run the user's map
-/// function on each, and partition the emitted pairs.
+/// function on each (told which file the record came from, for multi-input
+/// jobs), and partition the emitted pairs with the job's partitioner.
 pub fn run_map_task(
     fs: &dyn DistFs,
     split: &InputSplit,
     mapper: &dyn Mapper,
+    partitioner: &dyn Partitioner,
     num_partitions: usize,
 ) -> MrResult<MapTaskOutput> {
     let buckets = num_partitions.max(1);
@@ -88,14 +99,14 @@ pub fn run_map_task(
     };
 
     // Materialise the records for this split.
-    let records: Vec<(u64, String)> = match &split.source {
+    let (source_path, records): (&str, Vec<(u64, String)>) = match &split.source {
         SplitSource::File { path, offset, len } => {
             let (records, bytes_read) = read_records(fs, path, *offset, *len)?;
             out.bytes_read = bytes_read;
-            records
+            (path.as_str(), records)
         }
         SplitSource::Synthetic { records, .. } => {
-            (0..*records).map(|i| (i, String::new())).collect()
+            ("", (0..*records).map(|i| (i, String::new())).collect())
         }
     };
 
@@ -103,8 +114,8 @@ pub fn run_map_task(
         out.records_read += 1;
         let partitions = &mut out.partitions;
         let mut emitted = 0u64;
-        mapper.map(*offset, line, &mut |k, v| {
-            let p = partition_for(&k, buckets);
+        mapper.map_with_source(source_path, *offset, line, &mut |k, v| {
+            let p = partitioner.partition(&k, buckets);
             partitions[p].push((k, v));
             emitted += 1;
         })?;
@@ -159,7 +170,7 @@ mod tests {
     use super::*;
     use crate::error::MrError;
     use crate::fs::BsfsFs;
-    use crate::job::SumReducer;
+    use crate::job::{HashPartitioner, SumReducer};
     use blobseer::{BlobSeer, BlobSeerConfig};
     use bsfs::{Bsfs, BsfsConfig};
 
@@ -234,7 +245,7 @@ mod tests {
             },
             preferred_nodes: vec![],
         };
-        let out = run_map_task(&fs, &split, &WordCountMapper, 3).unwrap();
+        let out = run_map_task(&fs, &split, &WordCountMapper, &HashPartitioner, 3).unwrap();
         assert_eq!(out.records_read, 2);
         assert_eq!(out.records_emitted, 6);
         assert_eq!(out.partitions.len(), 3);
@@ -276,7 +287,7 @@ mod tests {
                 Ok(())
             }
         }
-        let out = run_map_task(&fs, &split, &CountingMapper, 0).unwrap();
+        let out = run_map_task(&fs, &split, &CountingMapper, &HashPartitioner, 0).unwrap();
         assert_eq!(out.records_read, 5);
         assert_eq!(out.records_emitted, 5);
         assert_eq!(out.partitions.len(), 1);
@@ -296,7 +307,7 @@ mod tests {
             },
             preferred_nodes: vec![],
         };
-        assert!(run_map_task(&fs, &split, &FailingMapper, 1).is_err());
+        assert!(run_map_task(&fs, &split, &FailingMapper, &HashPartitioner, 1).is_err());
     }
 
     #[test]

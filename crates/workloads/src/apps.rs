@@ -1,5 +1,6 @@
 //! The MapReduce applications of the paper's evaluation (§IV-C), plus word
-//! count as a third, commonly expected example.
+//! count and the two shuffle-heavy workloads that stress the
+//! storage-materialized intermediate data path.
 //!
 //! * **Random Text Writer** — a map-only job that "generates a huge sequence
 //!   of random sentences formed from a list of predefined words"; its access
@@ -8,14 +9,23 @@
 //!   particular expressions"; its access pattern is "concurrent reads from
 //!   the same huge file".
 //! * **Word Count** — the canonical MapReduce example, used by the extra
-//!   integration tests and the quickstart example.
+//!   integration tests and the quickstart example (optionally with a
+//!   spill-time combiner).
+//! * **Distributed Sort** — TeraSort-style total-order sort: a sampled range
+//!   partitioner, identity map and identity reduce; the paper family's
+//!   canonical shuffle-heavy benchmark (every input byte crosses the
+//!   shuffle).
+//! * **Equi-Join** — a two-input reduce-side join that tags records by their
+//!   source file and emits the cross product per key.
 //!
 //! Each application is provided both as mapper/reducer types and as a
 //! convenience `*_job` constructor returning a ready-to-run
 //! [`mapreduce::Job`].
 
 use crate::textgen::TextGenerator;
-use mapreduce::job::{InputSpec, Job, JobConfig, Mapper, Reducer, SumReducer};
+use mapreduce::fs::DistFs;
+use mapreduce::job::{InputSpec, Job, JobConfig, Mapper, RangePartitioner, Reducer, SumReducer};
+use mapreduce::split::{compute_splits, read_records, SplitSource};
 use mapreduce::MrResult;
 use std::sync::Arc;
 
@@ -152,22 +162,225 @@ pub fn word_count_job(
     Job::new(config, Arc::new(WordCountMapper), Arc::new(SumReducer))
 }
 
-/// A reducer that merely forwards pairs — used by tests that want grep output
-/// per matching line rather than aggregated counts.
-pub struct PassThroughReducer;
+/// [`word_count_job`] with a spill-time combiner (the `SumReducer` itself,
+/// as in Hadoop's classic word count): per-word counts collapse inside each
+/// map task, cutting the bytes the shuffle moves through the storage layer.
+pub fn word_count_job_combining(
+    input_paths: Vec<String>,
+    output_dir: &str,
+    reducers: usize,
+    split_size: u64,
+) -> Job {
+    let config = JobConfig::new("word-count", InputSpec::Files(input_paths), output_dir)
+        .with_split_size(split_size)
+        .with_reducers(reducers)
+        .with_combiner(Arc::new(SumReducer));
+    Job::new(config, Arc::new(WordCountMapper), Arc::new(SumReducer))
+}
 
-impl Reducer for PassThroughReducer {
+/// A reducer that merely forwards pairs — used by tests that want grep output
+/// per matching line rather than aggregated counts. (The same behaviour the
+/// framework ships as its identity reducer, re-exported under the historical
+/// workloads name.)
+pub use mapreduce::job::IdentityReducer as PassThroughReducer;
+
+// ---------------------------------------------------------------------------
+// Distributed Sort (TeraSort-style)
+// ---------------------------------------------------------------------------
+
+/// Mapper of the Distributed Sort job: every line becomes an intermediate
+/// key with an empty value — the shuffle's sorted merge does all the work.
+pub struct SortMapper;
+
+impl Mapper for SortMapper {
+    fn map(&self, _offset: u64, line: &str, emit: &mut dyn FnMut(String, String)) -> MrResult<()> {
+        emit(line.to_string(), String::new());
+        Ok(())
+    }
+}
+
+/// Bytes read from the head of each split when sampling sort keys: enough
+/// lines for good quantiles without a second full pass over the input.
+const SAMPLE_BYTES_PER_SPLIT: u64 = 64 * 1024;
+
+/// Sample input keys and pick `reducers - 1` range-partition boundaries at
+/// the sample quantiles, TeraSort's trick for balanced reducers: read a
+/// bounded prefix of every split (client-side, through the same storage
+/// layer the job will use) and take up to `max_samples` lines in total.
+pub fn sample_sort_boundaries(
+    fs: &dyn DistFs,
+    input_paths: &[String],
+    reducers: usize,
+    split_size: u64,
+    max_samples: usize,
+) -> MrResult<Vec<String>> {
+    if reducers <= 1 {
+        return Ok(Vec::new());
+    }
+    let splits = compute_splits(fs, &InputSpec::Files(input_paths.to_vec()), split_size)?;
+    if splits.is_empty() {
+        return Ok(Vec::new());
+    }
+    let per_split = max_samples.div_ceil(splits.len());
+    let mut samples: Vec<String> = Vec::new();
+    for split in &splits {
+        if let SplitSource::File { path, offset, len } = &split.source {
+            let (records, _) = read_records(fs, path, *offset, (*len).min(SAMPLE_BYTES_PER_SPLIT))?;
+            samples.extend(records.into_iter().take(per_split).map(|(_, line)| line));
+        }
+        if samples.len() >= max_samples {
+            break;
+        }
+    }
+    samples.sort();
+    let mut boundaries = Vec::with_capacity(reducers - 1);
+    for i in 1..reducers {
+        if samples.is_empty() {
+            break;
+        }
+        let at = (i * samples.len() / reducers).min(samples.len() - 1);
+        boundaries.push(samples[at].clone());
+    }
+    boundaries.dedup();
+    Ok(boundaries)
+}
+
+/// Build the Distributed Sort job over `input_paths`: identity map, sampled
+/// [`RangePartitioner`], identity reduce. Concatenating the `part-r-*`
+/// outputs in partition order yields the input's lines globally sorted.
+/// Sampling reads the input through `fs`, so the resulting job is
+/// deterministic for a given input — the BSFS and HDFS runs build identical
+/// partitioners.
+pub fn distributed_sort_job(
+    fs: &dyn DistFs,
+    input_paths: Vec<String>,
+    output_dir: &str,
+    reducers: usize,
+    split_size: u64,
+) -> MrResult<Job> {
+    let boundaries = sample_sort_boundaries(fs, &input_paths, reducers, split_size, 10_000)?;
+    let config = JobConfig::new(
+        "distributed-sort",
+        InputSpec::Files(input_paths),
+        output_dir,
+    )
+    .with_split_size(split_size)
+    .with_reducers(reducers);
+    Ok(
+        Job::new(config, Arc::new(SortMapper), Arc::new(PassThroughReducer))
+            .with_partitioner(Arc::new(RangePartitioner::new(boundaries))),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Equi-Join
+// ---------------------------------------------------------------------------
+
+/// Tag prefixes used by the join's intermediate values.
+const LEFT_TAG: &str = "l\t";
+const RIGHT_TAG: &str = "r\t";
+
+/// Mapper of the Equi-Join job. Input lines are `key<TAB>value` records; the
+/// mapper tags each value with the side its file belongs to (overriding
+/// [`Mapper::map_with_source`] — the framework tells map tasks which input
+/// file their split came from).
+pub struct JoinMapper {
+    /// Paths (files or directories) of the left input.
+    pub left_paths: Vec<String>,
+}
+
+impl JoinMapper {
+    fn is_left(&self, path: &str) -> bool {
+        self.left_paths
+            .iter()
+            .any(|p| path == p || path.starts_with(&format!("{p}/")))
+    }
+}
+
+impl Mapper for JoinMapper {
+    fn map(
+        &self,
+        _offset: u64,
+        _line: &str,
+        _emit: &mut dyn FnMut(String, String),
+    ) -> MrResult<()> {
+        Err(mapreduce::MrError::InvalidJob(
+            "JoinMapper tags records by source file; call map_with_source".into(),
+        ))
+    }
+
+    fn map_with_source(
+        &self,
+        path: &str,
+        _offset: u64,
+        line: &str,
+        emit: &mut dyn FnMut(String, String),
+    ) -> MrResult<()> {
+        if line.is_empty() {
+            return Ok(());
+        }
+        let (key, value) = match line.split_once('\t') {
+            Some((k, v)) => (k, v),
+            None => (line, ""),
+        };
+        let tag = if self.is_left(path) {
+            LEFT_TAG
+        } else {
+            RIGHT_TAG
+        };
+        emit(key.to_string(), format!("{tag}{value}"));
+        Ok(())
+    }
+}
+
+/// Reducer of the Equi-Join job: for each key, emit the cross product of the
+/// left and right values as `key<TAB>left<TAB>right` records.
+pub struct JoinReducer;
+
+impl Reducer for JoinReducer {
     fn reduce(
         &self,
         key: &str,
         values: &[String],
         emit: &mut dyn FnMut(String, String),
     ) -> MrResult<()> {
+        let mut left = Vec::new();
+        let mut right = Vec::new();
         for v in values {
-            emit(key.to_string(), v.clone());
+            if let Some(l) = v.strip_prefix(LEFT_TAG) {
+                left.push(l);
+            } else if let Some(r) = v.strip_prefix(RIGHT_TAG) {
+                right.push(r);
+            }
+        }
+        for l in &left {
+            for r in &right {
+                emit(key.to_string(), format!("{l}\t{r}"));
+            }
         }
         Ok(())
     }
+}
+
+/// Build the Equi-Join job: join `left_paths` and `right_paths` on the key
+/// column (the text before the first tab of each line).
+pub fn equi_join_job(
+    left_paths: Vec<String>,
+    right_paths: Vec<String>,
+    output_dir: &str,
+    reducers: usize,
+    split_size: u64,
+) -> Job {
+    let mut inputs = left_paths.clone();
+    inputs.extend(right_paths);
+    let config = JobConfig::new("equi-join", InputSpec::Files(inputs), output_dir)
+        .with_split_size(split_size)
+        .with_reducers(reducers);
+    Job::new(
+        config,
+        Arc::new(JoinMapper { left_paths }),
+        Arc::new(JoinReducer),
+    )
 }
 
 #[cfg(test)]
@@ -334,5 +547,193 @@ mod tests {
         })
         .unwrap();
         assert_eq!(out.len(), 2);
+    }
+
+    fn hdfs_fs(nodes: u32) -> (ClusterTopology, HdfsFs) {
+        let topo = ClusterTopology::flat(nodes);
+        let dn: Vec<_> = topo.all_nodes().collect();
+        (
+            topo.clone(),
+            HdfsFs::new(hdfs_sim::Hdfs::with_topology(
+                hdfs_sim::HdfsConfig::for_tests().with_chunk_size(1024),
+                &topo,
+                &dn,
+            )),
+        )
+    }
+
+    /// Concatenate part files in partition order and return their lines.
+    fn output_lines(fs: &dyn DistFs, files: &[String]) -> Vec<String> {
+        let mut lines = Vec::new();
+        for f in files {
+            let content = fs.read_file(f).unwrap();
+            lines.extend(
+                String::from_utf8_lossy(&content)
+                    .lines()
+                    .map(str::to_string),
+            );
+        }
+        lines
+    }
+
+    #[test]
+    fn distributed_sort_produces_a_global_total_order() {
+        let (topo, fs) = bsfs_fs(4);
+        let mut generator = TextGenerator::new(21);
+        let text = generator.sentences(400);
+        fs.write_file("/in/unsorted.txt", text.as_bytes()).unwrap();
+
+        let job =
+            distributed_sort_job(&fs, vec!["/in/unsorted.txt".into()], "/sorted", 4, 2048).unwrap();
+        let result = JobTracker::new(&topo).run(&fs, &job).unwrap();
+        assert_eq!(result.reduce_tasks, 4);
+        assert!(result.map_tasks > 1);
+
+        // Concatenating the partition outputs in order gives the reference
+        // sort of the input's lines.
+        let got = output_lines(&fs, &result.output_files);
+        let mut expected: Vec<String> = text.lines().map(str::to_string).collect();
+        expected.sort();
+        assert_eq!(got, expected);
+        // The range partitioner must actually spread the keys.
+        let nonempty = result
+            .output_files
+            .iter()
+            .filter(|f| fs.len(f).unwrap() > 0)
+            .count();
+        assert!(
+            nonempty >= 2,
+            "sampled boundaries should fill >=2 partitions"
+        );
+        assert!(result.shuffle.spill_records >= 400);
+    }
+
+    #[test]
+    fn distributed_sort_identical_on_both_backends() {
+        let (topo_b, bsfs) = bsfs_fs(4);
+        let (topo_h, hdfs) = hdfs_fs(4);
+        let mut generator = TextGenerator::new(33);
+        let text = generator.sentences(200);
+        let mut outputs = Vec::new();
+        for (topo, fs) in [
+            (&topo_b, &bsfs as &dyn DistFs),
+            (&topo_h, &hdfs as &dyn DistFs),
+        ] {
+            fs.write_file("/in/data.txt", text.as_bytes()).unwrap();
+            let job =
+                distributed_sort_job(fs, vec!["/in/data.txt".into()], "/out", 3, 1024).unwrap();
+            let result = JobTracker::new(topo).run(fs, &job).unwrap();
+            outputs.push(
+                result
+                    .output_files
+                    .iter()
+                    .map(|f| fs.read_file(f).unwrap())
+                    .collect::<Vec<_>>(),
+            );
+        }
+        assert_eq!(
+            outputs[0], outputs[1],
+            "sort must not depend on the backend"
+        );
+    }
+
+    #[test]
+    fn equi_join_emits_the_per_key_cross_product() {
+        let (topo, fs) = bsfs_fs(4);
+        fs.write_file(
+            "/in/users.tsv",
+            b"u1\talice\nu2\tbob\nu3\tcarol\nu1\talias\n",
+        )
+        .unwrap();
+        fs.write_file(
+            "/in/orders.tsv",
+            b"u1\tbook\nu3\tpen\nu1\tlamp\nu9\tghost\n",
+        )
+        .unwrap();
+        let job = equi_join_job(
+            vec!["/in/users.tsv".into()],
+            vec!["/in/orders.tsv".into()],
+            "/joined",
+            2,
+            1024,
+        );
+        let result = JobTracker::new(&topo).run(&fs, &job).unwrap();
+        assert_eq!(result.reduce_tasks, 2);
+        let mut got = output_lines(&fs, &result.output_files);
+        got.sort();
+        // u1: 2 users x 2 orders = 4 rows; u3: 1 x 1; u2/u9 unmatched.
+        let mut expected = vec![
+            "u1\talice\tbook".to_string(),
+            "u1\talice\tlamp".to_string(),
+            "u1\talias\tbook".to_string(),
+            "u1\talias\tlamp".to_string(),
+            "u3\tcarol\tpen".to_string(),
+        ];
+        expected.sort();
+        assert_eq!(got, expected);
+        assert!(
+            result.shuffle.segments_fetched > 0,
+            "the join must move its rows through the storage shuffle"
+        );
+    }
+
+    #[test]
+    fn equi_join_identical_on_both_backends_and_vs_oracle() {
+        let (topo_b, bsfs) = bsfs_fs(3);
+        let (topo_h, hdfs) = hdfs_fs(3);
+        let mut left = String::new();
+        let mut right = String::new();
+        for i in 0..60 {
+            left.push_str(&format!("k{:02}\tleft-{i}\n", i % 20));
+            right.push_str(&format!("k{:02}\tright-{i}\n", i % 15));
+        }
+        let mut outputs = Vec::new();
+        for (topo, fs) in [
+            (&topo_b, &bsfs as &dyn DistFs),
+            (&topo_h, &hdfs as &dyn DistFs),
+        ] {
+            fs.write_file("/in/left.tsv", left.as_bytes()).unwrap();
+            fs.write_file("/in/right.tsv", right.as_bytes()).unwrap();
+            let make_job = |out: &str| {
+                equi_join_job(
+                    vec!["/in/left.tsv".into()],
+                    vec!["/in/right.tsv".into()],
+                    out,
+                    3,
+                    512,
+                )
+            };
+            let jt = JobTracker::new(topo);
+            let dist = jt.run(fs, &make_job("/out-dist")).unwrap();
+            let oracle = jt.run_inmem(fs, &make_job("/out-inmem")).unwrap();
+            let dist_bytes: Vec<_> = dist
+                .output_files
+                .iter()
+                .map(|f| fs.read_file(f).unwrap())
+                .collect();
+            let oracle_bytes: Vec<_> = oracle
+                .output_files
+                .iter()
+                .map(|f| fs.read_file(f).unwrap())
+                .collect();
+            assert_eq!(dist_bytes, oracle_bytes, "join shuffle vs in-memory oracle");
+            outputs.push(dist_bytes);
+        }
+        assert_eq!(outputs[0], outputs[1]);
+    }
+
+    #[test]
+    fn sample_sort_boundaries_are_sorted_and_bounded() {
+        let (_, fs) = bsfs_fs(2);
+        let mut text = String::new();
+        for i in (0..100).rev() {
+            text.push_str(&format!("key-{i:03}\n"));
+        }
+        fs.write_file("/in/keys.txt", text.as_bytes()).unwrap();
+        let b = sample_sort_boundaries(&fs, &["/in/keys.txt".into()], 4, 256, 1_000).unwrap();
+        assert!(b.len() <= 3);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        let b1 = sample_sort_boundaries(&fs, &["/in/keys.txt".into()], 1, 256, 1_000).unwrap();
+        assert!(b1.is_empty(), "single reducer needs no boundaries");
     }
 }

@@ -6,7 +6,9 @@
 //! * [`textgen`] — the deterministic random-sentence generator behind the
 //!   Random Text Writer application;
 //! * [`apps`] — the two applications of §IV-C (Random Text Writer,
-//!   Distributed Grep) plus word count, as ready-to-run [`mapreduce::Job`]s;
+//!   Distributed Grep) plus word count and the shuffle-heavy distributed
+//!   sort (TeraSort-style) and equi-join, as ready-to-run
+//!   [`mapreduce::Job`]s;
 //! * [`microbench`] — the three §IV-B access patterns (reads from different
 //!   files, reads from one shared file, writes to different files) executed
 //!   for real with threads against any [`mapreduce::fs::DistFs`] backend;
@@ -20,8 +22,9 @@ pub mod simscale;
 pub mod textgen;
 
 pub use apps::{
-    distributed_grep_job, random_text_writer_job, word_count_job, GrepMapper, RandomTextMapper,
-    WordCountMapper,
+    distributed_grep_job, distributed_sort_job, equi_join_job, random_text_writer_job,
+    sample_sort_boundaries, word_count_job, word_count_job_combining, GrepMapper, JoinMapper,
+    JoinReducer, RandomTextMapper, SortMapper, WordCountMapper,
 };
 pub use microbench::{
     prepare_distinct_files, prepare_shared_file, read_distinct_files, read_shared_file,
