@@ -1,0 +1,119 @@
+//! E7 — speculative execution under injected stragglers, on virtual time.
+//!
+//! Hadoop's headline latency defense is speculative re-execution of
+//! straggling tasks (the paper's framework, §II-A); this experiment measures
+//! what it buys over the storage-materialized shuffle. A [`SlowFs`] wrapper
+//! injects virtual-clock delays into chosen task attempts (first attempts of
+//! a few map tasks, plus reduce partition 0), and the whole job runs under a
+//! pumped [`SimClock`] — completion times below are *simulated seconds*,
+//! identical in shape to a real deployment with slow nodes but costing
+//! milliseconds of real time and zero nondeterministic sleeps.
+//!
+//! For each backend (BSFS, HDFS) the same stragglers are injected twice:
+//! speculation off, then on (clone a task once it runs `1.5 x` the median of
+//! its completed peers). Reported: simulated completion time, speculative
+//! launches/wins, and wasted attempt-time.
+//!
+//! `BENCH_SMOKE=1` shrinks everything to a does-it-run configuration (CI).
+
+use mapreduce::jobtracker::JobTracker;
+use mapreduce::{DistFs, SlowestFactorPolicy};
+use simcluster::clock::SimClock;
+use simcluster::metrics::{completion_table, CompletionRecord};
+use std::sync::Arc;
+use std::time::Duration;
+use workloads::{word_count_job, DelayRule, SlowFs, TextGenerator};
+
+fn main() {
+    let smoke = bench::smoke_mode();
+    let (lines, reducers, split_size) = if smoke {
+        (400, 2, 2 * 1024)
+    } else {
+        (20_000, 4, 64 * 1024)
+    };
+    let straggler_delay = Duration::from_secs(60);
+    let policy = Arc::new(SlowestFactorPolicy {
+        slowest_factor: 1.5,
+        min_runtime: Duration::from_secs(5),
+        min_completed: 1,
+    });
+
+    let mut generator = TextGenerator::new(2026);
+    let text = generator.sentences(lines);
+
+    println!(
+        "== E7: stragglers and speculative execution ({lines} lines, {reducers} reducers, \
+         3 map stragglers + 1 reduce straggler x {}s, SimClock) ==",
+        straggler_delay.as_secs()
+    );
+    let mut records: Vec<CompletionRecord> = Vec::new();
+    for backend in ["BSFS", "HDFS"] {
+        let mut completion = Vec::new();
+        for speculate in [false, true] {
+            // Fresh deployment per run so output dirs and counters are clean.
+            let (bsfs, hdfs) = bench::app_backends(1 << 20);
+            let inner: Box<dyn DistFs> = if backend == "BSFS" {
+                Box::new(bsfs)
+            } else {
+                Box::new(hdfs)
+            };
+            let clock = Arc::new(SimClock::new());
+            // The same injection schedule for every run: first attempts of
+            // map tasks 0..=2 and of reduce partition 0 straggle.
+            let mut rules: Vec<DelayRule> = (0..3)
+                .map(|t| DelayRule::create(format!("attempt-map-{t:05}-0"), straggler_delay))
+                .collect();
+            rules.push(DelayRule::create("attempt-reduce-00000-0", straggler_delay));
+            let fs = SlowFs::new(inner, clock.clone(), rules);
+            fs.write_file("/input/text.txt", text.as_bytes()).unwrap();
+
+            let mut job = word_count_job(
+                vec!["/input/text.txt".into()],
+                "/wc-out",
+                reducers,
+                split_size,
+            );
+            if speculate {
+                job.config.speculation = Some(policy.clone());
+            }
+            let jt = JobTracker::new(&bench::app_topology()).with_clock(clock.clone());
+            let result = clock.drive(Duration::from_millis(250), || {
+                jt.run(&fs, &job).expect("job")
+            });
+
+            let label = if speculate {
+                "speculation on "
+            } else {
+                "speculation off"
+            };
+            println!(
+                "{backend} {label}: {:8.3} simulated s | {}",
+                result.completion_secs(),
+                bench::shuffle_report(&result)
+            );
+            records.push(CompletionRecord {
+                system: format!("{backend} ({})", label.trim()),
+                application: result.job_name.clone(),
+                map_tasks: result.map_tasks,
+                reduce_tasks: result.reduce_tasks,
+                completion_secs: result.completion_secs(),
+            });
+            completion.push(result.completion_secs());
+        }
+        assert!(
+            completion[1] < completion[0],
+            "{backend}: speculation must cut simulated completion time \
+             (off {:.3}s, on {:.3}s)",
+            completion[0],
+            completion[1]
+        );
+        println!(
+            "{backend}: speculation cut completion {:.3}s -> {:.3}s (-{:.1}%)",
+            completion[0],
+            completion[1],
+            100.0 * (1.0 - completion[1] / completion[0])
+        );
+    }
+    println!();
+    print!("{}", completion_table(&records));
+}

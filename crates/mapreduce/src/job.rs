@@ -9,6 +9,7 @@
 //! what both applications in the paper's evaluation consume.
 
 use crate::error::MrResult;
+use crate::scheduler::SpeculationPolicy;
 use std::fmt;
 use std::sync::Arc;
 
@@ -171,6 +172,11 @@ pub struct JobConfig {
     /// semantically safe to apply zero or more times (associative and
     /// commutative, like a sum).
     pub combiner: Option<Arc<dyn Reducer>>,
+    /// Optional straggler-speculation policy. When set, idle worker slots
+    /// may clone a slow task's sole running attempt onto another node; the
+    /// first attempt to commit wins and the loser's work is discarded
+    /// (Hadoop's speculative execution). `None` disables speculation.
+    pub speculation: Option<Arc<dyn SpeculationPolicy>>,
 }
 
 impl fmt::Debug for JobConfig {
@@ -183,6 +189,7 @@ impl fmt::Debug for JobConfig {
             .field("split_size", &self.split_size)
             .field("max_task_attempts", &self.max_task_attempts)
             .field("combiner", &self.combiner.is_some())
+            .field("speculation", &self.speculation.is_some())
             .finish()
     }
 }
@@ -199,6 +206,7 @@ impl JobConfig {
             split_size: 64 * 1024 * 1024,
             max_task_attempts: 4,
             combiner: None,
+            speculation: None,
         }
     }
 
@@ -223,6 +231,12 @@ impl JobConfig {
     /// Builder-style combiner (run at spill time in each map task).
     pub fn with_combiner(mut self, combiner: Arc<dyn Reducer>) -> Self {
         self.combiner = Some(combiner);
+        self
+    }
+
+    /// Builder-style speculation policy (straggler cloning by idle slots).
+    pub fn with_speculation(mut self, policy: Arc<dyn SpeculationPolicy>) -> Self {
+        self.speculation = Some(policy);
         self
     }
 }
@@ -388,6 +402,63 @@ mod tests {
         // More boundaries than partitions: clamped to the last partition.
         assert_eq!(p.partition("z", 2), 1);
         assert_eq!(p.partition("z", 1), 0);
+    }
+
+    #[test]
+    fn range_partitioner_with_no_boundaries_sends_everything_to_partition_0() {
+        // Sampling an empty input yields no split points: every key must
+        // land in partition 0 regardless of the reducer count, and the
+        // remaining reducers simply produce empty part files.
+        let p = RangePartitioner::new(Vec::new());
+        assert!(p.boundaries().is_empty());
+        for key in ["", "a", "zzz", "\u{10FFFF}"] {
+            for n in [1, 2, 5] {
+                assert_eq!(p.partition(key, n), 0, "key {key:?} with {n} partitions");
+            }
+        }
+    }
+
+    #[test]
+    fn range_partitioner_with_all_duplicate_keys_collapses_to_one_boundary() {
+        // An input where every record has the same key samples to a single
+        // distinct boundary: keys below it go left, the key itself and
+        // everything above goes right — still a valid total order.
+        let p = RangePartitioner::new(vec!["k".into(); 100]);
+        assert_eq!(p.boundaries(), &["k".to_string()]);
+        assert_eq!(p.partition("a", 4), 0);
+        assert_eq!(p.partition("k", 4), 1);
+        assert_eq!(p.partition("z", 4), 1, "partitions 2..4 stay empty");
+    }
+
+    #[test]
+    fn range_partitioner_with_fewer_distinct_keys_than_reducers() {
+        // 2 distinct boundaries, 6 reducers: only partitions 0..=2 can ever
+        // receive keys; the mapping must stay in range and order-preserving.
+        let p = RangePartitioner::new(vec!["g".into(), "g".into(), "m".into()]);
+        let keys = ["a", "g", "h", "m", "z"];
+        let parts: Vec<usize> = keys.iter().map(|k| p.partition(k, 6)).collect();
+        assert_eq!(parts, vec![0, 1, 1, 2, 2]);
+        assert!(parts.iter().all(|&p| p < 6));
+        // Order preservation: partition index is monotone in the key.
+        assert!(parts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn empty_string_keys_sort_before_any_boundary() {
+        let p = RangePartitioner::new(vec!["a".into()]);
+        assert_eq!(p.partition("", 2), 0);
+        assert_eq!(p.partition("a", 2), 1);
+    }
+
+    #[test]
+    fn speculation_builder_and_debug() {
+        use crate::scheduler::SlowestFactorPolicy;
+        let c = JobConfig::new("wc", InputSpec::Files(vec!["/in".into()]), "/out");
+        assert!(c.speculation.is_none(), "speculation is off by default");
+        assert!(format!("{c:?}").contains("speculation: false"));
+        let c = c.with_speculation(Arc::new(SlowestFactorPolicy::default()));
+        assert!(c.speculation.is_some());
+        assert!(format!("{c:?}").contains("speculation: true"));
     }
 
     #[test]

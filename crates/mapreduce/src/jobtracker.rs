@@ -17,19 +17,39 @@
 //! never leave partial or duplicate files. The original collect-everything-
 //! in-RAM shuffle survives as [`JobTracker::run_inmem`], the sequential
 //! differential-testing oracle.
+//!
+//! ## Stragglers and speculative execution
+//!
+//! Per-task bookkeeping is the [`TaskBook`] attempt state machine: a task
+//! may have several concurrent attempts (retries, and — when the job
+//! configures a [`SpeculationPolicy`](crate::scheduler::SpeculationPolicy) —
+//! speculative clones of stragglers, launched by *idle* worker slots onto a
+//! different node than the incumbent attempt). Whichever attempt finishes
+//! first commits by renaming its `_temporary` scratch into the final path
+//! *while holding the phase lock*, so exactly one attempt ever wins; the
+//! loser's scratch is deleted and none of its counters (input records,
+//! locality, shuffle round trips) are merged into the [`JobResult`] — only
+//! the [`SpeculationCounters`] record the waste. All timing goes through an
+//! injectable [`Clock`] ([`WallClock`] by default), so straggler scenarios
+//! are tested deterministically on a [`simcluster::clock::SimClock`] without
+//! wall-clock sleeps.
 
 use crate::error::{MrError, MrResult};
 use crate::fs::DistFs;
 use crate::job::Job;
-use crate::scheduler::{pick_map_task, Locality, LocalityCounters};
+use crate::scheduler::{classify, pick_map_task, Locality, LocalityCounters};
 use crate::shuffle;
 use crate::split::{compute_splits, InputSplit};
 use crate::tasktracker::{
-    group_by_key, run_map_task, run_reduce_task, write_output_file, MapTaskOutput, TaskTracker,
+    group_by_key, run_map_task, run_reduce_task, write_output_file, FailureVerdict, MapTaskOutput,
+    SpeculationCounters, TaskAttemptId, TaskBook, TaskTracker,
 };
 use parking_lot::Mutex;
+use simcluster::clock::{Clock, WallClock};
 use simcluster::topology::ClusterTopology;
-use std::time::{Duration, Instant};
+use simcluster::NodeId;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Counters of the storage-materialized shuffle, the analogue of Hadoop's
 /// spilled-records / shuffle-bytes job counters. All zero for map-only jobs
@@ -67,11 +87,13 @@ pub struct JobResult {
     pub map_tasks: usize,
     /// Number of reduce tasks executed.
     pub reduce_tasks: usize,
-    /// Map-task locality breakdown.
+    /// Map-task locality breakdown (winning attempts only).
     pub locality: LocalityCounters,
     /// Task attempts that failed and were retried.
     pub task_retries: usize,
-    /// Input records consumed by the map phase.
+    /// Input records consumed by the map phase (winning attempts only —
+    /// losing speculative attempts re-read the same splits, but their
+    /// counters are discarded with their output).
     pub input_records: u64,
     /// Records produced by the reduce phase (or the map phase for map-only
     /// jobs).
@@ -82,7 +104,12 @@ pub struct JobResult {
     pub output_bytes: u64,
     /// Counters of the storage-materialized shuffle.
     pub shuffle: ShuffleCounters,
-    /// Wall-clock duration of the job.
+    /// Speculative-execution outcome (launches, wins, wasted work), summed
+    /// over both phases. All zero when the job sets no speculation policy.
+    pub speculation: SpeculationCounters,
+    /// Duration of the job on the jobtracker's [`Clock`]: wall-clock time in
+    /// production, virtual time under a `SimClock`. Measured to the commit of
+    /// the last task, not to the exit of losing speculative attempts.
     pub elapsed: Duration,
     /// Paths of the `part-*` output files.
     pub output_files: Vec<String>,
@@ -100,35 +127,30 @@ impl JobResult {
 pub struct JobTracker {
     topology: ClusterTopology,
     trackers: Vec<TaskTracker>,
+    clock: Arc<dyn Clock>,
 }
 
 /// Shared map-phase state guarded by one mutex.
 struct MapPhase {
-    pending: Vec<usize>,
-    attempts: Vec<usize>,
-    /// Per-task counters, filled as tasks commit (`partitions` cleared — the
-    /// data lives in the spill files).
+    /// The attempt state machine: pending/running/committed tasks.
+    book: TaskBook,
+    /// Per-task counters of the *winning* attempt, filled as tasks commit
+    /// (`partitions` cleared — the data lives in the spill files).
     results: Vec<Option<MapTaskOutput>>,
-    /// Which map tasks have committed their spill (or `part-m` file):
-    /// reducers poll this to start fetching before the whole phase is done.
-    committed: Vec<bool>,
-    outstanding: usize,
     failure: Option<MrError>,
     locality: LocalityCounters,
-    retries: usize,
     /// Output bytes written directly by map tasks (map-only jobs).
     map_output_bytes: u64,
     map_output_records: u64,
     output_files: Vec<String>,
+    /// Clock reading when the last task committed (map-only jobs).
+    finished_at: Option<Duration>,
 }
 
 /// Shared reduce-phase state.
 struct ReducePhase {
-    pending: Vec<usize>,
-    attempts: Vec<usize>,
-    done: usize,
+    book: TaskBook,
     failure: Option<MrError>,
-    retries: usize,
     output_bytes: u64,
     output_records: u64,
     output_files: Vec<String>,
@@ -136,16 +158,19 @@ struct ReducePhase {
     merge_runs: u64,
     read_round_trips: u64,
     read_bytes: u64,
+    /// Clock reading when the last partition committed.
+    finished_at: Option<Duration>,
 }
 
 impl JobTracker {
     /// Create a jobtracker over one tasktracker per node of the topology,
-    /// with default slot counts.
+    /// with default slot counts and the production [`WallClock`].
     pub fn new(topology: &ClusterTopology) -> Self {
         let trackers = topology.all_nodes().map(TaskTracker::new).collect();
         JobTracker {
             topology: topology.clone(),
             trackers,
+            clock: Arc::new(WallClock::new()),
         }
     }
 
@@ -155,7 +180,16 @@ impl JobTracker {
         JobTracker {
             topology: topology.clone(),
             trackers,
+            clock: Arc::new(WallClock::new()),
         }
+    }
+
+    /// Builder-style clock override: job timing (attempt runtimes, straggler
+    /// detection, reported completion time) reads this clock. Tests inject a
+    /// [`simcluster::clock::SimClock`] here.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// The tasktrackers this jobtracker drives.
@@ -189,7 +223,8 @@ impl JobTracker {
     /// `fs`, reduce tasks pull segments with positioned reads as the spills
     /// commit, and every task output is rename-committed.
     pub fn run(&self, fs: &dyn DistFs, job: &Job) -> MrResult<JobResult> {
-        let start = Instant::now();
+        let clock = &*self.clock;
+        let start = clock.now();
         let config = &job.config;
         let splits = self.prepare(fs, job)?;
         let num_maps = splits.len();
@@ -201,24 +236,18 @@ impl JobTracker {
         }
 
         let map_state = Mutex::new(MapPhase {
-            pending: (0..num_maps).collect(),
-            attempts: vec![0; num_maps],
+            book: TaskBook::new(num_maps),
             results: (0..num_maps).map(|_| None).collect(),
-            committed: vec![false; num_maps],
-            outstanding: 0,
             failure: None,
             locality: LocalityCounters::default(),
-            retries: 0,
             map_output_bytes: 0,
             map_output_records: 0,
             output_files: Vec::new(),
+            finished_at: None,
         });
         let reduce_state = Mutex::new(ReducePhase {
-            pending: (0..partitions).collect(),
-            attempts: vec![0; partitions],
-            done: 0,
+            book: TaskBook::new(partitions),
             failure: None,
-            retries: 0,
             output_bytes: 0,
             output_records: 0,
             output_files: Vec::new(),
@@ -226,6 +255,7 @@ impl JobTracker {
             merge_runs: 0,
             read_round_trips: 0,
             read_bytes: 0,
+            finished_at: None,
         });
 
         // One scope for both phases: reduce slots start pulling committed
@@ -254,6 +284,7 @@ impl JobTracker {
                             map_only,
                             &output_dir,
                             max_attempts,
+                            clock,
                             map_state,
                         );
                     });
@@ -263,17 +294,20 @@ impl JobTracker {
                         let map_state = &map_state;
                         let reduce_state = &reduce_state;
                         let job = &*job;
+                        let node = tracker.node;
                         let output_dir = config.output_dir.clone();
                         let max_attempts = config.max_task_attempts;
-                        let local_fs = fs.on_node(tracker.node);
+                        let local_fs = fs.on_node(node);
                         scope.spawn(move || {
                             reduce_worker_loop(
                                 &*local_fs,
                                 job,
+                                node,
                                 &output_dir,
                                 num_maps,
                                 partitions,
                                 max_attempts,
+                                clock,
                                 map_state,
                                 reduce_state,
                             );
@@ -290,6 +324,8 @@ impl JobTracker {
             shuffle::cleanup_job_dirs(fs, &config.output_dir);
             return Err(err);
         }
+        let map_speculation = map_state.book.speculation();
+        let map_retries = map_state.book.retries();
         let map_outputs: Vec<MapTaskOutput> = map_state
             .results
             .into_iter()
@@ -307,6 +343,7 @@ impl JobTracker {
 
         if map_only {
             let _ = fs.delete(&shuffle::temporary_dir(&config.output_dir), true);
+            let finish = map_state.finished_at.unwrap_or_else(|| clock.now());
             let mut output_files = map_state.output_files;
             output_files.sort();
             return Ok(JobResult {
@@ -315,13 +352,14 @@ impl JobTracker {
                 map_tasks: num_maps,
                 reduce_tasks: 0,
                 locality: map_state.locality,
-                task_retries: map_state.retries,
+                task_retries: map_retries,
                 input_records,
                 output_records: map_state.map_output_records,
                 input_bytes,
                 output_bytes: map_state.map_output_bytes,
                 shuffle: counters,
-                elapsed: start.elapsed(),
+                speculation: map_speculation,
+                elapsed: finish.saturating_sub(start),
                 output_files,
             });
         }
@@ -335,7 +373,10 @@ impl JobTracker {
         counters.merge_runs = reduce_state.merge_runs;
         counters.shuffle_read_round_trips = reduce_state.read_round_trips;
         counters.shuffle_read_bytes = reduce_state.read_bytes;
+        let mut speculation = map_speculation;
+        speculation.merge(&reduce_state.book.speculation());
         shuffle::cleanup_job_dirs(fs, &config.output_dir);
+        let finish = reduce_state.finished_at.unwrap_or_else(|| clock.now());
         let mut output_files = reduce_state.output_files;
         output_files.sort();
 
@@ -345,13 +386,14 @@ impl JobTracker {
             map_tasks: num_maps,
             reduce_tasks: partitions,
             locality: map_state.locality,
-            task_retries: map_state.retries + reduce_state.retries,
+            task_retries: map_retries + reduce_state.book.retries(),
             input_records,
             output_records: reduce_state.output_records,
             input_bytes,
             output_bytes: reduce_state.output_bytes,
             shuffle: counters,
-            elapsed: start.elapsed(),
+            speculation,
+            elapsed: finish.saturating_sub(start),
             output_files,
         })
     }
@@ -363,7 +405,7 @@ impl JobTracker {
     /// [`JobTracker::run`] must agree with byte-for-byte, mirroring the
     /// `lookup_range_walk` pattern of the metadata read path.
     pub fn run_inmem(&self, fs: &dyn DistFs, job: &Job) -> MrResult<JobResult> {
-        let start = Instant::now();
+        let start = self.clock.now();
         let config = &job.config;
         let splits = self.prepare(fs, job)?;
         let num_maps = splits.len();
@@ -427,13 +469,39 @@ impl JobTracker {
             input_bytes,
             output_bytes,
             shuffle: ShuffleCounters::default(),
-            elapsed: start.elapsed(),
+            speculation: SpeculationCounters::default(),
+            elapsed: self.clock.now().saturating_sub(start),
             output_files,
         })
     }
 }
 
-/// Worker loop executed by every map slot.
+/// Route a failed attempt through the book and surface a fatal verdict as
+/// the phase failure. Shared by both phases and by rename-commit errors.
+fn record_attempt_failure(
+    book: &mut TaskBook,
+    failure: &mut Option<MrError>,
+    phase: &str,
+    id: TaskAttemptId,
+    err: &MrError,
+    max_attempts: usize,
+    now: Duration,
+) {
+    if let FailureVerdict::Fatal(attempts) = book.record_failure(id, now, max_attempts) {
+        if failure.is_none() {
+            *failure = Some(MrError::TaskFailed {
+                task: format!("{phase}-{}", id.task),
+                attempts,
+                last_error: err.to_string(),
+            });
+        }
+    }
+}
+
+/// Worker loop executed by every map slot: claim a pending task (or a
+/// speculative clone of a straggler when the job allows it), execute it,
+/// write its output to the attempt's `_temporary` scratch, and rename-commit
+/// under the phase lock — first finished attempt wins, losers are discarded.
 #[allow(clippy::too_many_arguments)]
 fn map_worker_loop(
     fs: &dyn DistFs,
@@ -445,62 +513,63 @@ fn map_worker_loop(
     map_only: bool,
     output_dir: &str,
     max_attempts: usize,
+    clock: &dyn Clock,
     state: &Mutex<MapPhase>,
 ) {
     loop {
-        // Claim a task (or decide to wait / exit).
-        let claimed: Option<(usize, Locality, usize)> = {
+        // Claim an attempt (or decide to wait / exit).
+        let claimed: Option<(TaskAttemptId, Locality)> = {
             let mut s = state.lock();
-            if s.failure.is_some() {
+            if s.failure.is_some() || s.book.all_committed() {
                 return;
             }
-            match pick_map_task(topology, tracker.node, &s.pending, splits) {
-                Some((pos, locality)) => {
-                    let split_idx = s.pending.swap_remove(pos);
-                    s.outstanding += 1;
-                    Some((split_idx, locality, s.attempts[split_idx]))
-                }
-                None => {
-                    // Nothing pending. If other workers are still running
-                    // tasks, one of those could fail and requeue, so wait;
-                    // if nothing is outstanding either, the phase is over.
-                    if s.outstanding == 0 {
-                        return;
-                    }
-                    None
-                }
+            if let Some((pos, locality)) =
+                pick_map_task(topology, tracker.node, s.book.pending(), splits)
+            {
+                Some((
+                    s.book.claim_pending(pos, tracker.node, clock.now()),
+                    locality,
+                ))
+            } else if let Some(policy) = job.config.speculation.as_deref() {
+                // Nothing pending: this slot is spare capacity — offer it a
+                // speculative clone of the slowest qualifying straggler.
+                s.book
+                    .claim_speculative(tracker.node, clock.now(), policy)
+                    .map(|id| (id, classify(topology, tracker.node, &splits[id.task])))
+            } else {
+                None
             }
         };
-
-        let (split_idx, locality, attempt) = match claimed {
+        let (id, locality) = match claimed {
             Some(c) => c,
             None => {
+                // Tasks are running on other slots; one could fail (requeue)
+                // or turn into a straggler, so poll until the phase settles.
                 std::thread::sleep(Duration::from_millis(1));
                 continue;
             }
         };
-        let task = format!("map-{split_idx:05}");
+        let task = format!("map-{:05}", id.task);
+        let scratch = shuffle::attempt_path(output_dir, &task, id.attempt);
 
-        // Execute the task outside the lock.
+        // Execute the attempt outside the lock, writing all output to the
+        // scratch path. `part_written` carries (bytes, records) for map-only
+        // jobs, whose tasks commit straight to a part file.
         let outcome = run_map_task(
             fs,
-            &splits[split_idx],
+            &splits[id.task],
             &*job.mapper,
             &*job.partitioner,
             partitions,
         )
         .and_then(|mut output| {
             if map_only {
-                // Map-only jobs commit their bucket straight to a part file,
-                // one per map task, as Hadoop does.
                 let records = std::mem::take(&mut output.partitions[0]);
-                let final_path = format!("{output_dir}/part-m-{split_idx:05}");
-                let bytes =
-                    shuffle::commit_records(fs, output_dir, &task, attempt, &final_path, &records)?;
-                Ok((output, Some((final_path, bytes, records.len() as u64))))
+                let bytes = write_output_file(fs, &scratch, &records)?;
+                Ok((output, (bytes, records.len() as u64)))
             } else {
-                // Sort each bucket, run the spill-time combiner, and commit
-                // the spill file for the reducers to pull from.
+                // Sort each bucket, run the spill-time combiner, and write
+                // the spill image for the reducers to pull from.
                 for bucket in output.partitions.iter_mut() {
                     shuffle::sort_run(bucket);
                 }
@@ -512,51 +581,82 @@ fn map_worker_loop(
                         *bucket = combined.records;
                     }
                 }
-                let (bytes, records) = shuffle::commit_spill(
-                    fs,
-                    output_dir,
-                    split_idx,
-                    &task,
-                    attempt,
-                    &output.partitions,
-                )?;
+                let (bytes, records) = shuffle::write_spill(fs, &scratch, &output.partitions)?;
                 output.spilled_bytes = bytes;
                 output.spilled_records = records;
                 output.partitions.clear(); // the data now lives in the spill
-                Ok((output, None))
+                Ok((output, (0, 0)))
             }
         });
-        if outcome.is_err() {
-            // Clean the attempt's scratch before anyone retries the task.
-            shuffle::discard_attempt(fs, output_dir, &task, attempt);
-        }
 
-        let mut s = state.lock();
-        s.outstanding -= 1;
-        match outcome {
-            Ok((output, map_written)) => {
-                s.locality.record(locality);
-                if let Some((path, bytes, records)) = map_written {
-                    s.output_files.push(path);
-                    s.map_output_bytes += bytes;
-                    s.map_output_records += records;
+        // Commit arbitration under the phase lock: the first attempt of a
+        // task to get here renames its scratch into place and merges its
+        // counters; any later attempt is pure waste. Holding the lock across
+        // the rename is what makes "exactly one winner" a hard invariant
+        // (and keeps a rename failure from being misread as a lost race);
+        // it is cheap because `DistFs::rename` is a metadata-only namespace
+        // operation in every backend — the data bytes were already written
+        // to scratch outside the lock.
+        let mut discard_scratch = true;
+        {
+            let mut s = state.lock();
+            match outcome {
+                Ok((output, (part_bytes, part_records))) => {
+                    if s.book.is_committed(id.task) {
+                        s.book.record_lost(id, clock.now());
+                    } else {
+                        let final_path = if map_only {
+                            format!("{output_dir}/part-m-{:05}", id.task)
+                        } else {
+                            shuffle::spill_path(output_dir, id.task)
+                        };
+                        match fs.rename(&scratch, &final_path) {
+                            Ok(()) => {
+                                discard_scratch = false;
+                                s.book.record_success(id, clock.now());
+                                s.locality.record(locality);
+                                if map_only {
+                                    s.output_files.push(final_path);
+                                    s.map_output_bytes += part_bytes;
+                                    s.map_output_records += part_records;
+                                }
+                                s.results[id.task] = Some(output);
+                                if s.book.all_committed() {
+                                    s.finished_at = Some(clock.now());
+                                }
+                            }
+                            Err(err) => {
+                                let MapPhase { book, failure, .. } = &mut *s;
+                                record_attempt_failure(
+                                    book,
+                                    failure,
+                                    "map",
+                                    id,
+                                    &err,
+                                    max_attempts,
+                                    clock.now(),
+                                );
+                            }
+                        }
+                    }
                 }
-                s.results[split_idx] = Some(output);
-                s.committed[split_idx] = true;
-            }
-            Err(err) => {
-                s.attempts[split_idx] += 1;
-                s.retries += 1;
-                if s.attempts[split_idx] >= max_attempts {
-                    s.failure = Some(MrError::TaskFailed {
-                        task: format!("map-{split_idx}"),
-                        attempts: s.attempts[split_idx],
-                        last_error: err.to_string(),
-                    });
-                } else {
-                    s.pending.push(split_idx);
+                Err(err) => {
+                    let MapPhase { book, failure, .. } = &mut *s;
+                    record_attempt_failure(
+                        book,
+                        failure,
+                        "map",
+                        id,
+                        &err,
+                        max_attempts,
+                        clock.now(),
+                    );
                 }
             }
+        }
+        if discard_scratch {
+            // Clean the attempt's scratch (failed or lost) before retries.
+            shuffle::discard_attempt(fs, output_dir, &task, id.attempt);
         }
     }
 }
@@ -590,7 +690,7 @@ fn fetch_partition(
         let (available, map_failed) = {
             let m = map_state.lock();
             let available: Vec<usize> = (0..num_maps)
-                .filter(|&i| m.committed[i] && runs[i].is_none())
+                .filter(|&i| m.book.is_committed(i) && runs[i].is_none())
                 .collect();
             (available, m.failure.is_some())
         };
@@ -622,17 +722,20 @@ fn fetch_partition(
     }))
 }
 
-/// Worker loop executed by every reduce slot: claim a partition, pull its
-/// segments as map spills commit, k-way-merge the sorted runs, reduce, and
-/// rename-commit the part file.
+/// Worker loop executed by every reduce slot: claim a partition (or a
+/// speculative clone of a straggling one), pull its segments as map spills
+/// commit, k-way-merge the sorted runs, reduce, and rename-commit the part
+/// file under the phase lock — first finished attempt wins.
 #[allow(clippy::too_many_arguments)]
 fn reduce_worker_loop(
     fs: &dyn DistFs,
     job: &Job,
+    node: NodeId,
     output_dir: &str,
     num_maps: usize,
     partitions: usize,
     max_attempts: usize,
+    clock: &dyn Clock,
     map_state: &Mutex<MapPhase>,
     state: &Mutex<ReducePhase>,
 ) {
@@ -643,12 +746,19 @@ fn reduce_worker_loop(
         }
         let claimed = {
             let mut s = state.lock();
-            if s.failure.is_some() || s.done == partitions {
+            if s.failure.is_some() || s.book.all_committed() {
                 return;
             }
-            s.pending.pop().map(|p| (p, s.attempts[p]))
+            if !s.book.pending().is_empty() {
+                let pos = s.book.pending().len() - 1;
+                Some(s.book.claim_pending(pos, node, clock.now()))
+            } else if let Some(policy) = job.config.speculation.as_deref() {
+                s.book.claim_speculative(node, clock.now(), policy)
+            } else {
+                None
+            }
         };
-        let (partition, attempt) = match claimed {
+        let id = match claimed {
             Some(c) => c,
             None => {
                 // Partitions are running on other slots; one could fail and
@@ -657,9 +767,10 @@ fn reduce_worker_loop(
                 continue;
             }
         };
-        let task = format!("reduce-{partition:05}");
+        let task = format!("reduce-{:05}", id.task);
+        let scratch = shuffle::attempt_path(output_dir, &task, id.attempt);
 
-        let outcome = fetch_partition(fs, output_dir, partition, num_maps, partitions, map_state)
+        let outcome = fetch_partition(fs, output_dir, id.task, num_maps, partitions, map_state)
             .and_then(|fetched| {
                 let Some(fetched) = fetched else {
                     return Ok(None); // map phase failed; abort quietly
@@ -667,11 +778,8 @@ fn reduce_worker_loop(
                 let merge_runs = fetched.runs.iter().filter(|r| !r.is_empty()).count() as u64;
                 let merged = shuffle::merge_runs(fetched.runs);
                 let records = shuffle::reduce_merged(merged, &*job.reducer)?;
-                let final_path = format!("{output_dir}/part-r-{partition:05}");
-                let bytes =
-                    shuffle::commit_records(fs, output_dir, &task, attempt, &final_path, &records)?;
+                let bytes = write_output_file(fs, &scratch, &records)?;
                 Ok(Some((
-                    final_path,
                     bytes,
                     records.len() as u64,
                     fetched.segments,
@@ -680,36 +788,68 @@ fn reduce_worker_loop(
                     fetched.bytes,
                 )))
             });
-        if outcome.is_err() {
-            shuffle::discard_attempt(fs, output_dir, &task, attempt);
-        }
 
-        let mut s = state.lock();
-        match outcome {
-            Ok(None) => return,
-            Ok(Some((path, bytes, records, segments, merge_runs, round_trips, read_bytes))) => {
-                s.done += 1;
-                s.output_bytes += bytes;
-                s.output_records += records;
-                s.output_files.push(path);
-                s.segments_fetched += segments;
-                s.merge_runs += merge_runs;
-                s.read_round_trips += round_trips;
-                s.read_bytes += read_bytes;
-            }
-            Err(err) => {
-                s.attempts[partition] += 1;
-                s.retries += 1;
-                if s.attempts[partition] >= max_attempts {
-                    s.failure = Some(MrError::TaskFailed {
-                        task: format!("reduce-{partition}"),
-                        attempts: s.attempts[partition],
-                        last_error: err.to_string(),
-                    });
-                } else {
-                    s.pending.push(partition);
+        let mut discard_scratch = true;
+        {
+            let mut s = state.lock();
+            match outcome {
+                Ok(None) => {
+                    // Map phase failed; the job is going down. Close the
+                    // attempt's bookkeeping so nothing stays `Running`.
+                    s.book.record_abandoned(id);
+                    return;
+                }
+                Ok(Some((bytes, records, segments, merge_runs, round_trips, read_bytes))) => {
+                    if s.book.is_committed(id.task) {
+                        s.book.record_lost(id, clock.now());
+                    } else {
+                        let final_path = format!("{output_dir}/part-r-{:05}", id.task);
+                        match fs.rename(&scratch, &final_path) {
+                            Ok(()) => {
+                                discard_scratch = false;
+                                s.book.record_success(id, clock.now());
+                                s.output_bytes += bytes;
+                                s.output_records += records;
+                                s.output_files.push(final_path);
+                                s.segments_fetched += segments;
+                                s.merge_runs += merge_runs;
+                                s.read_round_trips += round_trips;
+                                s.read_bytes += read_bytes;
+                                if s.book.all_committed() {
+                                    s.finished_at = Some(clock.now());
+                                }
+                            }
+                            Err(err) => {
+                                let ReducePhase { book, failure, .. } = &mut *s;
+                                record_attempt_failure(
+                                    book,
+                                    failure,
+                                    "reduce",
+                                    id,
+                                    &err,
+                                    max_attempts,
+                                    clock.now(),
+                                );
+                            }
+                        }
+                    }
+                }
+                Err(err) => {
+                    let ReducePhase { book, failure, .. } = &mut *s;
+                    record_attempt_failure(
+                        book,
+                        failure,
+                        "reduce",
+                        id,
+                        &err,
+                        max_attempts,
+                        clock.now(),
+                    );
                 }
             }
+        }
+        if discard_scratch {
+            shuffle::discard_attempt(fs, output_dir, &task, id.attempt);
         }
     }
 }

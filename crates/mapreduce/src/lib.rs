@@ -73,9 +73,12 @@ pub use job::{
     RangePartitioner, Reducer,
 };
 pub use jobtracker::{JobResult, JobTracker, ShuffleCounters};
-pub use scheduler::{Locality, LocalityCounters};
+pub use scheduler::{Locality, LocalityCounters, SlowestFactorPolicy, SpeculationPolicy};
 pub use split::{InputSplit, SplitSource};
-pub use tasktracker::TaskTracker;
+pub use tasktracker::{
+    AttemptRecord, AttemptState, FailureVerdict, SpeculationCounters, TaskAttemptId, TaskBook,
+    TaskTracker,
+};
 
 #[cfg(test)]
 mod tests {
@@ -371,6 +374,10 @@ mod tests {
         );
         let out = fs.read_file(&result.output_files[0]).unwrap();
         assert_eq!(String::from_utf8_lossy(&out).lines().count(), 3);
+        // Counters of the failed attempts must not leak into the report:
+        // only the winning attempt's reads are merged.
+        assert_eq!(result.input_records, 3);
+        assert_eq!(result.speculation, SpeculationCounters::default());
     }
 
     #[test]

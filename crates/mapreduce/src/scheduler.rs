@@ -1,4 +1,4 @@
-//! Locality-aware task scheduling.
+//! Locality-aware task scheduling and the straggler-speculation policy.
 //!
 //! "One of the optimization techniques the MapReduce framework employs, is to
 //! ship the computation to nodes that store the input data; the goal is to
@@ -7,10 +7,21 @@
 //! (paper §II-B). The jobtracker uses the functions below to hand each free
 //! map slot the *closest* pending split: one whose data lives on the
 //! tasktracker's own node if possible, else in its rack, else anywhere.
+//!
+//! The second half of this module is Hadoop's other latency defense:
+//! **speculative execution**. A [`SpeculationPolicy`] decides, from a running
+//! attempt's elapsed time and the runtimes of its completed peer tasks,
+//! whether an idle slot should launch a duplicate attempt of that task. The
+//! default [`SlowestFactorPolicy`] clones a task once it has run longer than
+//! `slowest_factor ×` the median of its completed peers (with an absolute
+//! floor, so short jobs don't speculate on noise). All times come from the
+//! jobtracker's injected [`simcluster::clock::Clock`], so the policy is
+//! deterministic under a [`simcluster::clock::SimClock`].
 
 use crate::split::InputSplit;
 use simcluster::topology::ClusterTopology;
 use simcluster::NodeId;
+use std::time::Duration;
 
 /// How close a task's data is to the node that will execute it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -98,6 +109,68 @@ pub fn pick_map_task(
     best
 }
 
+/// Decides whether a running task deserves a speculative duplicate attempt.
+///
+/// The jobtracker consults the policy from *idle* worker slots (so "spare
+/// slots exist" holds by construction): `runtime` is how long the task's sole
+/// running attempt has been executing, `completed_runtimes` the runtimes of
+/// the tasks of the same phase that already committed.
+pub trait SpeculationPolicy: Send + Sync {
+    /// Should an idle slot clone this task now?
+    fn should_speculate(&self, runtime: Duration, completed_runtimes: &[Duration]) -> bool;
+}
+
+/// Median of a set of task runtimes ([`Duration::ZERO`] when empty); even
+/// counts average the two middle values, matching Hadoop's estimator.
+pub fn median_runtime(runtimes: &[Duration]) -> Duration {
+    if runtimes.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted = runtimes.to_vec();
+    sorted.sort();
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2
+    }
+}
+
+/// The default speculation policy: clone a task once its runtime exceeds
+/// `slowest_factor ×` the median runtime of its completed peers, with an
+/// absolute `min_runtime` floor, and only after `min_completed` peers have
+/// finished (no peers, no baseline — Hadoop's "wait for enough history").
+#[derive(Debug, Clone, Copy)]
+pub struct SlowestFactorPolicy {
+    /// How many times slower than the median a task must be.
+    pub slowest_factor: f64,
+    /// Never speculate a task that has run for less than this.
+    pub min_runtime: Duration,
+    /// Completed peer tasks required before any speculation.
+    pub min_completed: usize,
+}
+
+impl Default for SlowestFactorPolicy {
+    fn default() -> Self {
+        SlowestFactorPolicy {
+            slowest_factor: 1.5,
+            min_runtime: Duration::from_secs(1),
+            min_completed: 1,
+        }
+    }
+}
+
+impl SpeculationPolicy for SlowestFactorPolicy {
+    fn should_speculate(&self, runtime: Duration, completed_runtimes: &[Duration]) -> bool {
+        if completed_runtimes.len() < self.min_completed {
+            return false;
+        }
+        let median = median_runtime(completed_runtimes);
+        let threshold = median.mul_f64(self.slowest_factor).max(self.min_runtime);
+        runtime > threshold
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +239,41 @@ mod tests {
         assert_eq!(loc, Locality::Remote);
 
         assert!(pick_map_task(&t, NodeId(0), &[], &splits).is_none());
+    }
+
+    #[test]
+    fn median_runtime_handles_odd_even_and_empty() {
+        let s = Duration::from_secs;
+        assert_eq!(median_runtime(&[]), Duration::ZERO);
+        assert_eq!(median_runtime(&[s(4)]), s(4));
+        assert_eq!(median_runtime(&[s(9), s(1), s(5)]), s(5));
+        assert_eq!(median_runtime(&[s(8), s(2), s(4), s(6)]), s(5));
+    }
+
+    #[test]
+    fn slowest_factor_policy_gates_on_history_floor_and_factor() {
+        let s = Duration::from_secs;
+        let policy = SlowestFactorPolicy {
+            slowest_factor: 2.0,
+            min_runtime: s(3),
+            min_completed: 2,
+        };
+        // Not enough completed peers: never speculate, however slow.
+        assert!(!policy.should_speculate(s(1000), &[s(1)]));
+        // Enough history, but under the absolute floor.
+        assert!(!policy.should_speculate(s(3), &[s(1), s(1)]));
+        // Over the floor and over factor x median.
+        assert!(policy.should_speculate(s(4), &[s(1), s(1)]));
+        // Factor dominates once the median is large: 2 x 10s = 20s.
+        assert!(!policy.should_speculate(s(20), &[s(10), s(10)]));
+        assert!(policy.should_speculate(s(21), &[s(10), s(10)]));
+    }
+
+    #[test]
+    fn default_policy_waits_for_one_peer_and_one_second() {
+        let policy = SlowestFactorPolicy::default();
+        assert!(!policy.should_speculate(Duration::from_secs(900), &[]));
+        assert!(policy.should_speculate(Duration::from_secs(2), &[Duration::from_millis(10)]));
     }
 
     #[test]

@@ -12,10 +12,13 @@
 //! * every reduce task **pulls** its partition's segment out of every map
 //!   file with positioned reads ([`read_segment`]) and **k-way-merges** the
 //!   pre-sorted runs ([`merge_runs`]);
-//! * task attempts write under `<output>/_temporary/attempt-<task>-<n>` and
-//!   [`rename`](crate::fs::DistFs::rename) into place on commit
-//!   ([`attempt_path`]/[`commit_records`]), so a failed-then-retried attempt
-//!   can never leave a partial or duplicate file behind;
+//! * task attempts write under `<output>/_temporary/attempt-<task>-<n>`
+//!   ([`attempt_path`]) and [`rename`](crate::fs::DistFs::rename) into place
+//!   on commit — the jobtracker performs that rename under its phase lock so
+//!   the first finished attempt of a task wins and speculative losers are
+//!   discarded ([`commit_records`] is the one-shot convenience form) — so a
+//!   failed, retried or duplicated attempt can never leave a partial or
+//!   duplicate file behind;
 //! * an optional combiner runs over each sorted bucket at spill time
 //!   ([`combine_run`]), cutting the bytes the shuffle moves.
 //!
@@ -358,11 +361,21 @@ pub fn reduce_merged(
     Ok(output)
 }
 
-/// Output-commit a task's records: write them in text output format to the
-/// attempt's scratch path, then rename into `final_path`. A crash before the
-/// rename leaves only scratch under `_temporary` (cleaned up at job end);
-/// after the rename the file is complete — readers can never observe a
-/// partial `part-*` file. Returns the bytes written.
+/// Output-commit a task's records in one shot: write them in text output
+/// format to the attempt's scratch path, then rename into `final_path`. A
+/// crash before the rename leaves only scratch under `_temporary` (cleaned
+/// up at job end); after the rename the file is complete — readers can never
+/// observe a partial `part-*` file. Returns the bytes written.
+///
+/// The jobtracker itself splits this into two steps so concurrent attempts
+/// of one task can be arbitrated: the scratch write
+/// ([`crate::tasktracker::write_output_file`] / [`write_spill`]) happens
+/// outside the phase lock, and the rename happens *under* it, after
+/// checking that no peer attempt has committed — first finished attempt
+/// wins, the loser's scratch is discarded. This helper remains the
+/// convenience form for callers without racing attempts, and its tests pin
+/// the protocol's foundation: `rename` refuses to clobber, so a duplicate
+/// commit is an error, never corruption.
 pub fn commit_records(
     fs: &dyn DistFs,
     output_dir: &str,
@@ -375,24 +388,6 @@ pub fn commit_records(
     let bytes = crate::tasktracker::write_output_file(fs, &scratch, records)?;
     fs.rename(&scratch, final_path)?;
     Ok(bytes)
-}
-
-/// Commit a spill image the same way (scratch write + rename): the shuffle's
-/// map outputs get the identical all-or-nothing visibility as `part-*`
-/// files. `task` is the caller's task name (also used for
-/// [`discard_attempt`] on failure, so the scratch path is derived once).
-pub fn commit_spill(
-    fs: &dyn DistFs,
-    output_dir: &str,
-    map_id: usize,
-    task: &str,
-    attempt: usize,
-    partitions: &[Vec<(String, String)>],
-) -> MrResult<(u64, u64)> {
-    let scratch = attempt_path(output_dir, task, attempt);
-    let (bytes, records) = write_spill(fs, &scratch, partitions)?;
-    fs.rename(&scratch, &spill_path(output_dir, map_id))?;
-    Ok((bytes, records))
 }
 
 /// Best-effort removal of an attempt's scratch file after a failure, so the

@@ -1,4 +1,5 @@
-//! Tasktrackers and the execution of individual map/reduce tasks.
+//! Tasktrackers, task attempts, and the execution of individual map/reduce
+//! tasks.
 //!
 //! "The framework consists of a single master jobtracker, and multiple slave
 //! tasktrackers, one per node. A MapReduce job is split into a set of tasks,
@@ -9,15 +10,39 @@
 //! intermediate pairs, applying reduce and writing output files — live in the
 //! free functions of this module so the jobtracker's worker threads and the
 //! tests can call them directly.
+//!
+//! The module also owns the **attempt state machine**, [`TaskBook`]: one
+//! task may have several concurrent *attempts* (retries after failures, and
+//! speculative clones of stragglers), identified by [`TaskAttemptId`]. Every
+//! attempt moves `Running → Succeeded | Failed | Lost`:
+//!
+//! ```text
+//!                claim_pending / claim_speculative
+//!   PENDING  ------------------------------------->  RUNNING
+//!      ^                                            /   |   \
+//!      | retry (failed, no           finished first/    |    \ finished, but a
+//!      | peer attempt running,       rename commits/    |     \ peer attempt had
+//!      | attempts left)                            v    |      v already committed
+//!      +------------------------------------- FAILED   |     LOST (wasted work)
+//!        failures reach max_task_attempts -> job fails  v
+//!                                                  SUCCEEDED (sole winner)
+//! ```
+//!
+//! The book is pure bookkeeping driven by an external clock reading — it
+//! performs no I/O and takes no locks — so unit tests can step it through
+//! every speculation scenario deterministically with a
+//! [`simcluster::clock::SimClock`].
 
 use crate::error::MrResult;
 use crate::fs::DistFs;
 use crate::job::{format_output_record, Mapper, Partitioner, Reducer};
+use crate::scheduler::SpeculationPolicy;
 use crate::split::{read_records, InputSplit, SplitSource};
 use simcluster::NodeId;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
+use std::time::Duration;
 
 /// A per-node task executor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +94,336 @@ pub struct MapTaskOutput {
     pub combine_input_records: u64,
     /// Records the spill-time combiner emitted.
     pub combine_output_records: u64,
+}
+
+/// Identifies one execution attempt of one task within a phase: `task` is
+/// the task index (map split id / reduce partition), `attempt` a per-task
+/// counter — retries and speculative clones get fresh attempt numbers, so
+/// scratch paths (`_temporary/attempt-<task>-<attempt>`) never collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskAttemptId {
+    /// Index of the task within its phase.
+    pub task: usize,
+    /// Attempt number, starting at 0 for the first execution.
+    pub attempt: usize,
+}
+
+/// Lifecycle state of one task attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptState {
+    /// Claimed by a worker slot and executing.
+    Running,
+    /// Finished first and committed its output (won the rename arbitration).
+    Succeeded,
+    /// Returned an error before committing.
+    Failed,
+    /// Finished its work, but a concurrent attempt of the same task had
+    /// already committed — the output was discarded (wasted work).
+    Lost,
+}
+
+/// Bookkeeping record of one attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct AttemptRecord {
+    /// Which attempt this is.
+    pub id: TaskAttemptId,
+    /// The node whose slot executes it.
+    pub node: NodeId,
+    /// Whether it was launched as a speculative clone of a running attempt.
+    pub speculative: bool,
+    /// Clock reading when the attempt was claimed.
+    pub started_at: Duration,
+    /// Current lifecycle state.
+    pub state: AttemptState,
+}
+
+/// Speculation outcome counters, reported on
+/// [`JobResult`](crate::jobtracker::JobResult).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpeculationCounters {
+    /// Speculative attempts launched.
+    pub launched: u64,
+    /// Tasks whose committing attempt was a speculative clone.
+    pub wins: u64,
+    /// Attempts (original or clone) whose work was thrown away because a
+    /// peer attempt committed first, or that failed after the task had
+    /// already committed.
+    pub wasted_attempts: u64,
+    /// Total runtime of those wasted attempts, in clock microseconds.
+    pub wasted_micros: u64,
+}
+
+impl SpeculationCounters {
+    /// Accumulate another phase's counters.
+    pub fn merge(&mut self, other: &SpeculationCounters) {
+        self.launched += other.launched;
+        self.wins += other.wins;
+        self.wasted_attempts += other.wasted_attempts;
+        self.wasted_micros += other.wasted_micros;
+    }
+}
+
+/// What [`TaskBook::record_failure`] decided about a failed attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureVerdict {
+    /// The task was requeued for a fresh attempt.
+    Retry,
+    /// Another attempt of the task is still running; nothing was requeued
+    /// (if that attempt also fails, *it* will trigger the retry or the
+    /// fatal verdict).
+    Waiting,
+    /// The task had already committed — the failure is wasted work, not a
+    /// retry, and must not fail the job.
+    Wasted,
+    /// The task exhausted `max_task_attempts` with no attempt left running:
+    /// the job must fail. Carries the number of failed attempts.
+    Fatal(usize),
+}
+
+struct TaskEntry {
+    committed: bool,
+    failures: usize,
+    attempts: Vec<AttemptRecord>,
+}
+
+/// The per-phase attempt state machine: which tasks are pending, which
+/// attempts are running where and since when, who committed, and what the
+/// speculation policy is allowed to clone. The jobtracker keeps one book per
+/// phase inside the phase mutex; everything here is pure state driven by
+/// clock readings passed in by the caller, so tests can exercise every
+/// transition deterministically.
+pub struct TaskBook {
+    tasks: Vec<TaskEntry>,
+    pending: Vec<usize>,
+    outstanding: usize,
+    retries: usize,
+    committed: usize,
+    completed_runtimes: Vec<Duration>,
+    speculation: SpeculationCounters,
+}
+
+impl TaskBook {
+    /// A book with `num_tasks` tasks, all pending.
+    pub fn new(num_tasks: usize) -> Self {
+        TaskBook {
+            tasks: (0..num_tasks)
+                .map(|_| TaskEntry {
+                    committed: false,
+                    failures: 0,
+                    attempts: Vec::new(),
+                })
+                .collect(),
+            pending: (0..num_tasks).collect(),
+            outstanding: 0,
+            retries: 0,
+            committed: 0,
+            completed_runtimes: Vec::new(),
+            speculation: SpeculationCounters::default(),
+        }
+    }
+
+    /// Tasks awaiting a (regular) attempt. Positions in this slice are what
+    /// [`TaskBook::claim_pending`] consumes, so a locality-aware picker can
+    /// choose among them.
+    pub fn pending(&self) -> &[usize] {
+        &self.pending
+    }
+
+    /// Attempts currently running, over all tasks.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Failed attempts that led to a retry or are covered by a still-running
+    /// peer attempt (the job-level `task_retries` counter).
+    pub fn retries(&self) -> usize {
+        self.retries
+    }
+
+    /// Speculation outcome counters so far.
+    pub fn speculation(&self) -> SpeculationCounters {
+        self.speculation
+    }
+
+    /// Has this task committed an attempt?
+    pub fn is_committed(&self, task: usize) -> bool {
+        self.tasks[task].committed
+    }
+
+    /// Have all tasks committed?
+    pub fn all_committed(&self) -> bool {
+        self.committed == self.tasks.len()
+    }
+
+    /// Full attempt history of one task, for tests and reporting.
+    pub fn attempts(&self, task: usize) -> &[AttemptRecord] {
+        &self.tasks[task].attempts
+    }
+
+    /// Runtimes of the committed tasks (the speculation policy's baseline).
+    pub fn completed_runtimes(&self) -> &[Duration] {
+        &self.completed_runtimes
+    }
+
+    /// Claim the pending entry at position `pos` (as chosen by the
+    /// scheduler) for a regular attempt on `node` at time `now`.
+    pub fn claim_pending(&mut self, pos: usize, node: NodeId, now: Duration) -> TaskAttemptId {
+        let task = self.pending.swap_remove(pos);
+        self.start_attempt(task, node, now, false)
+    }
+
+    /// Offer an idle slot on `node` a speculative clone: the longest-running
+    /// task that is uncommitted, has never been speculated before (one clone
+    /// per task for the job's lifetime, so a clone that fails cannot trigger
+    /// an endless relaunch loop), has exactly one running attempt, runs on a
+    /// *different* node (cloning onto the straggler's own node would inherit
+    /// its slowness), and passes `policy` against the committed peers'
+    /// runtimes. Returns the claimed attempt, or `None` if nothing
+    /// qualifies.
+    pub fn claim_speculative(
+        &mut self,
+        node: NodeId,
+        now: Duration,
+        policy: &dyn SpeculationPolicy,
+    ) -> Option<TaskAttemptId> {
+        // Find the longest-running structural candidate first, then consult
+        // the policy once — idle slots poll this under the phase lock every
+        // millisecond, so the policy (which may sort the runtime history)
+        // must not run once per task.
+        let mut candidate: Option<(usize, Duration)> = None;
+        for (task, entry) in self.tasks.iter().enumerate() {
+            if entry.committed || entry.attempts.iter().any(|a| a.speculative) {
+                continue;
+            }
+            let mut running = entry
+                .attempts
+                .iter()
+                .filter(|a| a.state == AttemptState::Running);
+            let (Some(sole), None) = (running.next(), running.next()) else {
+                continue;
+            };
+            if sole.node == node {
+                continue;
+            }
+            let runtime = now.saturating_sub(sole.started_at);
+            if candidate.is_none_or(|(_, best)| runtime > best) {
+                candidate = Some((task, runtime));
+            }
+        }
+        let (task, runtime) = candidate?;
+        if !policy.should_speculate(runtime, &self.completed_runtimes) {
+            return None;
+        }
+        self.speculation.launched += 1;
+        Some(self.start_attempt(task, node, now, true))
+    }
+
+    fn start_attempt(
+        &mut self,
+        task: usize,
+        node: NodeId,
+        now: Duration,
+        speculative: bool,
+    ) -> TaskAttemptId {
+        let entry = &mut self.tasks[task];
+        let id = TaskAttemptId {
+            task,
+            attempt: entry.attempts.len(),
+        };
+        entry.attempts.push(AttemptRecord {
+            id,
+            node,
+            speculative,
+            started_at: now,
+            state: AttemptState::Running,
+        });
+        self.outstanding += 1;
+        id
+    }
+
+    fn finish(&mut self, id: TaskAttemptId, state: AttemptState) -> AttemptRecord {
+        let record = self.tasks[id.task]
+            .attempts
+            .iter_mut()
+            .find(|a| a.id == id && a.state == AttemptState::Running)
+            .expect("finishing attempt is running");
+        record.state = state;
+        self.outstanding -= 1;
+        *record
+    }
+
+    /// The attempt committed its output (the caller's rename into the final
+    /// path succeeded while holding the book): mark the task done and feed
+    /// its runtime to the speculation baseline. Counters of losing attempts
+    /// never reach this path — only the winner's output and statistics are
+    /// merged into the job.
+    pub fn record_success(&mut self, id: TaskAttemptId, now: Duration) {
+        debug_assert!(!self.tasks[id.task].committed, "two winners for a task");
+        let record = self.finish(id, AttemptState::Succeeded);
+        self.tasks[id.task].committed = true;
+        self.committed += 1;
+        self.completed_runtimes
+            .push(now.saturating_sub(record.started_at));
+        if record.speculative {
+            self.speculation.wins += 1;
+        }
+    }
+
+    /// The attempt finished its work, but a peer attempt had already
+    /// committed: all of it is wasted work.
+    pub fn record_lost(&mut self, id: TaskAttemptId, now: Duration) {
+        let record = self.finish(id, AttemptState::Lost);
+        self.speculation.wasted_attempts += 1;
+        self.speculation.wasted_micros += now.saturating_sub(record.started_at).as_micros() as u64;
+    }
+
+    /// The worker abandoned the attempt because the job is already failing
+    /// (e.g. a reduce attempt aborting after a map-phase failure): close the
+    /// attempt's bookkeeping without a retry, waste counters or a verdict,
+    /// so no attempt is left `Running` after the workers exit.
+    pub fn record_abandoned(&mut self, id: TaskAttemptId) {
+        self.finish(id, AttemptState::Failed);
+    }
+
+    /// The attempt failed with an error. Decides between retrying, waiting
+    /// for a still-running peer attempt, counting pure waste (task already
+    /// committed), and failing the job. Failed *speculative* attempts do not
+    /// consume the task's `max_attempts` budget — a bad spare node must not
+    /// be able to fail a task whose healthy original is still running.
+    pub fn record_failure(
+        &mut self,
+        id: TaskAttemptId,
+        now: Duration,
+        max_attempts: usize,
+    ) -> FailureVerdict {
+        let record = self.finish(id, AttemptState::Failed);
+        let entry = &mut self.tasks[id.task];
+        if entry.committed {
+            // A clone (or the original) already won; this failure is noise.
+            self.speculation.wasted_attempts += 1;
+            self.speculation.wasted_micros +=
+                now.saturating_sub(record.started_at).as_micros() as u64;
+            return FailureVerdict::Wasted;
+        }
+        if !record.speculative {
+            entry.failures += 1;
+        }
+        self.retries += 1;
+        let peer_running = entry
+            .attempts
+            .iter()
+            .any(|a| a.state == AttemptState::Running);
+        if peer_running {
+            // The surviving attempt may still commit; if it fails too, that
+            // failure will requeue or kill the job.
+            FailureVerdict::Waiting
+        } else if entry.failures >= max_attempts {
+            FailureVerdict::Fatal(entry.failures)
+        } else {
+            self.pending.push(id.task);
+            FailureVerdict::Retry
+        }
+    }
 }
 
 /// Hash-partition an intermediate key across `num_partitions` reducers
@@ -171,8 +526,10 @@ mod tests {
     use crate::error::MrError;
     use crate::fs::BsfsFs;
     use crate::job::{HashPartitioner, SumReducer};
+    use crate::scheduler::SlowestFactorPolicy;
     use blobseer::{BlobSeer, BlobSeerConfig};
     use bsfs::{Bsfs, BsfsConfig};
+    use simcluster::clock::{Clock, SimClock};
 
     fn fs() -> BsfsFs {
         let storage = BlobSeer::new(BlobSeerConfig::for_tests().with_page_size(256));
@@ -331,6 +688,205 @@ mod tests {
                 ("c".to_string(), "2".to_string()),
             ]
         );
+    }
+
+    // -----------------------------------------------------------------
+    // TaskBook: the attempt state machine, stepped deterministically on a
+    // manually advanced SimClock (no threads, no wall-clock time).
+    // -----------------------------------------------------------------
+
+    fn policy() -> SlowestFactorPolicy {
+        SlowestFactorPolicy {
+            slowest_factor: 2.0,
+            min_runtime: Duration::from_secs(1),
+            min_completed: 1,
+        }
+    }
+
+    /// A policy that clones any attempt that has run at all, history or not
+    /// — for exercising the failure paths of single-task books.
+    fn eager_policy() -> SlowestFactorPolicy {
+        SlowestFactorPolicy {
+            slowest_factor: 1.0,
+            min_runtime: Duration::ZERO,
+            min_completed: 0,
+        }
+    }
+
+    #[test]
+    fn straggler_is_cloned_and_the_clone_wins_deterministically() {
+        let clock = SimClock::new();
+        let mut book = TaskBook::new(2);
+
+        // t=0: both tasks start, on different nodes.
+        let fast = book.claim_pending(0, NodeId(0), clock.now());
+        let slow = book.claim_pending(0, NodeId(1), clock.now());
+        assert_eq!((fast.task, fast.attempt), (0, 0));
+        assert_eq!((slow.task, slow.attempt), (1, 0));
+        assert_eq!(book.outstanding(), 2);
+
+        // t=2s: the fast task commits (runtime 2s becomes the median).
+        clock.advance(Duration::from_secs(2));
+        book.record_success(fast, clock.now());
+        assert_eq!(book.completed_runtimes(), &[Duration::from_secs(2)]);
+
+        // t=4s: straggler runtime 4s <= 2 x median — no clone yet. The
+        // straggler's own node is never offered the clone either.
+        clock.advance(Duration::from_secs(2));
+        assert!(book
+            .claim_speculative(NodeId(2), clock.now(), &policy())
+            .is_none());
+
+        // t=5s: 5s > 4s threshold — an idle slot on node 2 gets the clone,
+        // but node 1 (the straggler's node) still does not.
+        clock.advance(Duration::from_secs(1));
+        assert!(book
+            .claim_speculative(NodeId(1), clock.now(), &policy())
+            .is_none());
+        let clone = book
+            .claim_speculative(NodeId(2), clock.now(), &policy())
+            .expect("straggler must be cloned");
+        assert_eq!((clone.task, clone.attempt), (1, 1));
+        assert_eq!(book.speculation().launched, 1);
+        // With two attempts running, no further clone of the same task.
+        assert!(book
+            .claim_speculative(NodeId(3), clock.now(), &policy())
+            .is_none());
+
+        // t=6s: the clone commits; the original finishes at t=60 and loses.
+        clock.advance(Duration::from_secs(1));
+        assert!(!book.is_committed(1));
+        book.record_success(clone, clock.now());
+        assert!(book.is_committed(1) && book.all_committed());
+        clock.advance(Duration::from_secs(54));
+        book.record_lost(slow, clock.now());
+
+        let s = book.speculation();
+        assert_eq!((s.launched, s.wins, s.wasted_attempts), (1, 1, 1));
+        assert_eq!(s.wasted_micros, 60_000_000, "the original ran 0s..60s");
+        // Lost attempts must not pollute the job's statistics: no retry was
+        // recorded and the speculation baseline only holds the two winners.
+        assert_eq!(book.retries(), 0);
+        assert_eq!(
+            book.completed_runtimes(),
+            &[Duration::from_secs(2), Duration::from_secs(1)]
+        );
+        assert_eq!(book.attempts(1)[0].state, AttemptState::Lost);
+        assert_eq!(book.attempts(1)[1].state, AttemptState::Succeeded);
+    }
+
+    #[test]
+    fn original_wins_and_the_clone_is_wasted() {
+        let clock = SimClock::new();
+        let mut book = TaskBook::new(2);
+        let a = book.claim_pending(0, NodeId(0), clock.now());
+        let b = book.claim_pending(0, NodeId(1), clock.now());
+        clock.advance(Duration::from_secs(1));
+        book.record_success(a, clock.now());
+        clock.advance(Duration::from_secs(4));
+        let clone = book
+            .claim_speculative(NodeId(2), clock.now(), &policy())
+            .unwrap();
+        // t=8s: the *original* commits first; the clone loses at t=9.
+        clock.advance(Duration::from_secs(3));
+        book.record_success(b, clock.now());
+        clock.advance(Duration::from_secs(1));
+        book.record_lost(clone, clock.now());
+        let s = book.speculation();
+        assert_eq!((s.launched, s.wins, s.wasted_attempts), (1, 0, 1));
+        assert_eq!(s.wasted_micros, 4_000_000, "the clone ran 5s..9s");
+    }
+
+    #[test]
+    fn failure_verdicts_cover_retry_waiting_wasted_and_fatal() {
+        let clock = SimClock::new();
+        let mut book = TaskBook::new(1);
+        let max = 3;
+
+        // Attempt 0 fails alone -> Retry, task requeued.
+        let a0 = book.claim_pending(0, NodeId(0), clock.now());
+        assert_eq!(
+            book.record_failure(a0, clock.now(), max),
+            FailureVerdict::Retry
+        );
+        assert_eq!(book.pending(), &[0]);
+        assert_eq!(book.retries(), 1);
+
+        // Attempt 1 runs, gets a clone; attempt 1 fails while the clone is
+        // still running -> Waiting (nothing requeued).
+        let a1 = book.claim_pending(0, NodeId(0), clock.now());
+        clock.advance(Duration::from_secs(10));
+        let clone = book
+            .claim_speculative(NodeId(1), clock.now(), &eager_policy())
+            .unwrap();
+        assert_eq!(
+            book.record_failure(a1, clock.now(), max),
+            FailureVerdict::Waiting
+        );
+        assert!(book.pending().is_empty());
+
+        // The clone fails too. Speculative failures never burn the task's
+        // max_attempts budget (a bad spare node must not fail the job), so
+        // this requeues instead of counting toward Fatal...
+        assert_eq!(
+            book.record_failure(clone, clock.now(), max),
+            FailureVerdict::Retry
+        );
+        assert_eq!(book.pending(), &[0]);
+        // ...and the task is never speculated twice: even with an eligible
+        // sole running attempt, no second clone is offered.
+        let a2 = book.claim_pending(0, NodeId(0), clock.now());
+        clock.advance(Duration::from_secs(10));
+        assert!(book
+            .claim_speculative(NodeId(1), clock.now(), &eager_policy())
+            .is_none());
+        // The third *regular* failure exhausts the budget -> Fatal.
+        assert_eq!(
+            book.record_failure(a2, clock.now(), max),
+            FailureVerdict::Fatal(3)
+        );
+
+        // A failure after the task committed is Wasted, not a retry.
+        let mut book = TaskBook::new(1);
+        let a0 = book.claim_pending(0, NodeId(0), clock.now());
+        clock.advance(Duration::from_secs(5));
+        let clone = book
+            .claim_speculative(NodeId(1), clock.now(), &eager_policy())
+            .unwrap();
+        book.record_success(clone, clock.now());
+        let retries_before = book.retries();
+        assert_eq!(
+            book.record_failure(a0, clock.now(), max),
+            FailureVerdict::Wasted
+        );
+        assert_eq!(book.retries(), retries_before, "waste is not a retry");
+        assert_eq!(book.speculation().wasted_attempts, 1);
+    }
+
+    #[test]
+    fn both_attempts_failing_leaves_attempts_for_a_retry() {
+        // max_attempts large enough: original + clone both fail, the task
+        // requeues, a third attempt succeeds.
+        let clock = SimClock::new();
+        let mut book = TaskBook::new(1);
+        let a0 = book.claim_pending(0, NodeId(0), clock.now());
+        clock.advance(Duration::from_secs(5));
+        let a1 = book
+            .claim_speculative(NodeId(1), clock.now(), &eager_policy())
+            .unwrap();
+        assert_eq!(
+            book.record_failure(a1, clock.now(), 4),
+            FailureVerdict::Waiting
+        );
+        assert_eq!(
+            book.record_failure(a0, clock.now(), 4),
+            FailureVerdict::Retry
+        );
+        let a2 = book.claim_pending(0, NodeId(2), clock.now());
+        assert_eq!(a2.attempt, 2);
+        book.record_success(a2, clock.now());
+        assert!(book.all_committed());
+        assert_eq!(book.retries(), 2);
     }
 
     #[test]

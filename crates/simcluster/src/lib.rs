@@ -10,6 +10,10 @@
 //!   convenience builder for Grid'5000-like deployments,
 //! * [`time`] — a virtual clock ([`time::SimTime`], [`time::SimDuration`])
 //!   with microsecond resolution,
+//! * [`clock`] — injectable clocks for *thread-based* components: the
+//!   [`clock::Clock`] trait with a production [`clock::WallClock`] and a
+//!   manually advanced [`clock::SimClock`] whose sleeps are virtual (used by
+//!   the MapReduce straggler/speculation tests),
 //! * [`netmodel`] — per-link bandwidth/latency parameters and path
 //!   computation between any two nodes,
 //! * [`flowsim`] — a deterministic flow-level network simulator using
@@ -49,6 +53,7 @@
 //! assert!(report.makespan().as_secs_f64() > 0.0);
 //! ```
 
+pub mod clock;
 pub mod failure;
 pub mod flowsim;
 pub mod metrics;
@@ -56,6 +61,7 @@ pub mod netmodel;
 pub mod time;
 pub mod topology;
 
+pub use clock::{Clock, SimClock, WallClock};
 pub use failure::FailureSchedule;
 pub use flowsim::{ClientProcess, FlowSimulator, SimReport, Step};
 pub use netmodel::NetworkModel;

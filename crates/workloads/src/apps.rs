@@ -609,6 +609,82 @@ mod tests {
     }
 
     #[test]
+    fn sort_sampling_of_empty_inputs_matches_the_job_contract() {
+        // A fully empty input cannot be split (the framework rejects it as
+        // InvalidJob), and the sampler must agree with the job instead of
+        // inventing boundaries from nothing.
+        let (topo, fs) = bsfs_fs(2);
+        fs.write_file("/in/empty.txt", b"").unwrap();
+        assert!(sample_sort_boundaries(&fs, &["/in/empty.txt".to_string()], 3, 1024, 100).is_err());
+        assert!(
+            distributed_sort_job(&fs, vec!["/in/empty.txt".into()], "/sorted", 3, 1024).is_err()
+        );
+
+        // An empty file alongside a real one contributes no samples and no
+        // splits; the job sorts the real file's lines as usual.
+        fs.write_file("/in/real.txt", b"cherry\napple\nbanana\n")
+            .unwrap();
+        let job = distributed_sort_job(&fs, vec!["/in".into()], "/sorted", 3, 1024).unwrap();
+        let result = JobTracker::new(&topo).run(&fs, &job).unwrap();
+        assert_eq!(result.output_files.len(), 3);
+        assert_eq!(
+            output_lines(&fs, &result.output_files),
+            vec!["apple", "banana", "cherry"]
+        );
+    }
+
+    #[test]
+    fn sort_with_all_duplicate_keys_collapses_to_one_boundary() {
+        // Every line identical: quantile sampling dedups to (at most) one
+        // boundary, so at most two partitions can be non-empty — the job
+        // must still produce the correct (trivially sorted) output.
+        let (topo, fs) = bsfs_fs(2);
+        let text = "same-key\n".repeat(200);
+        fs.write_file("/in/dups.txt", text.as_bytes()).unwrap();
+        let boundaries =
+            sample_sort_boundaries(&fs, &["/in/dups.txt".to_string()], 4, 512, 1000).unwrap();
+        assert_eq!(boundaries, vec!["same-key".to_string()]);
+        let job =
+            distributed_sort_job(&fs, vec!["/in/dups.txt".into()], "/sorted", 4, 512).unwrap();
+        let result = JobTracker::new(&topo).run(&fs, &job).unwrap();
+        let got = output_lines(&fs, &result.output_files);
+        assert_eq!(got, text.lines().map(str::to_string).collect::<Vec<_>>());
+        // All records share one key, so exactly one partition holds them.
+        let nonempty = result
+            .output_files
+            .iter()
+            .filter(|f| fs.len(f).unwrap() > 0)
+            .count();
+        assert_eq!(nonempty, 1);
+    }
+
+    #[test]
+    fn sort_with_fewer_distinct_keys_than_reducers_stays_correct() {
+        // 3 distinct keys, 6 reducers: deduped boundaries leave several
+        // reducers with nothing to do, but the global order must hold and
+        // every part file (including the empty ones) must exist.
+        let (topo, fs) = bsfs_fs(2);
+        let mut text = String::new();
+        for i in 0..120 {
+            text.push_str(["kiwi\n", "apple\n", "mango\n"][i % 3]);
+        }
+        fs.write_file("/in/few.txt", text.as_bytes()).unwrap();
+        let boundaries =
+            sample_sort_boundaries(&fs, &["/in/few.txt".to_string()], 6, 512, 1000).unwrap();
+        assert!(
+            boundaries.len() < 6 - 1,
+            "3 distinct keys cannot produce 5 boundaries: {boundaries:?}"
+        );
+        let job = distributed_sort_job(&fs, vec!["/in/few.txt".into()], "/sorted", 6, 512).unwrap();
+        let result = JobTracker::new(&topo).run(&fs, &job).unwrap();
+        assert_eq!(result.output_files.len(), 6);
+        let got = output_lines(&fs, &result.output_files);
+        let mut expected: Vec<String> = text.lines().map(str::to_string).collect();
+        expected.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
     fn distributed_sort_identical_on_both_backends() {
         let (topo_b, bsfs) = bsfs_fs(4);
         let (topo_h, hdfs) = hdfs_fs(4);

@@ -14,11 +14,15 @@
 //!   for real with threads against any [`mapreduce::fs::DistFs`] backend;
 //! * [`simscale`] — the same three patterns replayed at paper scale
 //!   (270 nodes, up to 250 clients, 1 GiB each) through the flow-level
-//!   network simulator, using the storage systems' real placement logic.
+//!   network simulator, using the storage systems' real placement logic;
+//! * [`slowfs`] — a slow-node/slow-task [`mapreduce::fs::DistFs`] wrapper
+//!   that injects virtual-clock delays into chosen operations, the fault
+//!   model behind the straggler/speculation experiments (E7).
 
 pub mod apps;
 pub mod microbench;
 pub mod simscale;
+pub mod slowfs;
 pub mod textgen;
 
 pub use apps::{
@@ -34,4 +38,5 @@ pub use simscale::{
     sim_read_distinct, sim_read_shared, sim_write_distinct, sim_write_with_strategy,
     SimScaleConfig, StorageSystem,
 };
+pub use slowfs::{DelayOp, DelayRule, SlowFs};
 pub use textgen::TextGenerator;

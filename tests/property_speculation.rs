@@ -1,0 +1,158 @@
+//! Differential property test of speculative execution: with random
+//! stragglers injected into first attempts (map tasks and reduce partition
+//! 0) and an aggressive speculation policy, `JobTracker::run` must still
+//! produce byte-identical `part-*` output to the sequential in-memory
+//! oracle across job shapes and both storage backends — and leave no
+//! `_shuffle`/`_temporary` scratch behind, including the losing attempts'
+//! files. All injected delays are virtual ([`SimClock`] + [`SlowFs`]), so
+//! the test never sleeps wall-clock time for them.
+
+use blobseer::{BlobSeer, BlobSeerConfig};
+use bsfs::{Bsfs, BsfsConfig};
+use hdfs_sim::{Hdfs, HdfsConfig};
+use mapreduce::fs::{BsfsFs, DistFs, HdfsFs};
+use mapreduce::jobtracker::JobTracker;
+use mapreduce::{Job, SlowestFactorPolicy};
+use proptest::prelude::*;
+use simcluster::clock::SimClock;
+use simcluster::ClusterTopology;
+use std::sync::Arc;
+use std::time::Duration;
+use workloads::{
+    distributed_grep_job, distributed_sort_job, word_count_job, word_count_job_combining,
+    DelayRule, SlowFs,
+};
+
+fn make_fs(use_hdfs: bool, topo: &ClusterTopology) -> Box<dyn DistFs> {
+    let nodes: Vec<_> = topo.all_nodes().collect();
+    if use_hdfs {
+        Box::new(HdfsFs::new(Hdfs::with_topology(
+            HdfsConfig {
+                chunk_size: 512,
+                datanodes: nodes.len(),
+                replication: 1,
+                seed: 1,
+            },
+            topo,
+            &nodes,
+        )))
+    } else {
+        let storage = BlobSeer::with_topology(
+            BlobSeerConfig::default()
+                .with_providers(nodes.len())
+                .with_page_size(512),
+            topo,
+            &nodes,
+        );
+        Box::new(BsfsFs::new(Bsfs::new(
+            storage,
+            BsfsConfig::default().with_block_size(512),
+        )))
+    }
+}
+
+fn make_job(shape: usize, fs: &dyn DistFs, out: &str, reducers: usize, split_size: u64) -> Job {
+    let input = vec!["/in/text.txt".to_string()];
+    let mut job = match shape {
+        0 => word_count_job(input, out, reducers, split_size),
+        1 => word_count_job_combining(input, out, reducers, split_size),
+        2 => distributed_grep_job(input, out, "a", split_size),
+        _ => distributed_sort_job(fs, input, out, reducers, split_size)
+            .expect("sampling the sort input"),
+    };
+    // Aggressive policy so clones launch as soon as one peer completes.
+    job.config.speculation = Some(Arc::new(SlowestFactorPolicy {
+        slowest_factor: 1.0,
+        min_runtime: Duration::from_millis(200),
+        min_completed: 1,
+    }));
+    job
+}
+
+/// Arbitrary lowercase words of 1..8 chars.
+fn word_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::char::range('a', 'f'), 1..8).prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn speculation_under_random_stragglers_matches_the_oracle(
+        words in prop::collection::vec(word_strategy(), 1..150),
+        reducers in 1usize..5,
+        // shape (wordcount / combining / grep / sort) x backend.
+        shape_and_backend in 0usize..8,
+        // Bits 0..=2: delay attempt 0 of map tasks 0..=2; bit 3: delay
+        // attempt 0 of reduce partition 0.
+        straggler_mask in 1usize..16,
+        delay_secs in 1u64..20,
+    ) {
+        let shape = shape_and_backend % 4;
+        let use_hdfs = shape_and_backend >= 4;
+        let mut text = String::new();
+        for line in words.chunks(5) {
+            text.push_str(&line.join(" "));
+            text.push('\n');
+        }
+
+        let topo = ClusterTopology::flat(4);
+        let clock = Arc::new(SimClock::new());
+        let delay = Duration::from_secs(delay_secs);
+        let mut rules = Vec::new();
+        for task in 0..3 {
+            if straggler_mask & (1 << task) != 0 {
+                rules.push(DelayRule::create(format!("attempt-map-{task:05}-0"), delay));
+            }
+        }
+        if straggler_mask & 8 != 0 {
+            rules.push(DelayRule::create("attempt-reduce-00000-0", delay));
+        }
+        let fs: Box<dyn DistFs> =
+            Box::new(SlowFs::new(make_fs(use_hdfs, &topo), clock.clone(), rules));
+        fs.write_file("/in/text.txt", text.as_bytes()).unwrap();
+
+        let jt = JobTracker::new(&topo).with_clock(clock.clone());
+        let dist_job = make_job(shape, &*fs, "/out-dist", reducers, 300);
+        let dist = clock.drive(Duration::from_millis(500), || {
+            jt.run(&*fs, &dist_job).unwrap()
+        });
+        // The oracle writes no attempt scratch, so no delay rule can fire:
+        // it runs without the pump.
+        let oracle_job = make_job(shape, &*fs, "/out-inmem", reducers, 300);
+        let oracle = jt.run_inmem(&*fs, &oracle_job).unwrap();
+
+        // Same part files (names relative to the output dir), same bytes.
+        prop_assert_eq!(dist.output_files.len(), oracle.output_files.len());
+        for (d, o) in dist.output_files.iter().zip(&oracle.output_files) {
+            prop_assert_eq!(d.strip_prefix("/out-dist"), o.strip_prefix("/out-inmem"));
+            prop_assert!(
+                fs.read_file(d).unwrap() == fs.read_file(o).unwrap(),
+                "content of {} diverges from the oracle (shape={}, reducers={}, hdfs={}, mask={})",
+                d, shape, reducers, use_hdfs, straggler_mask
+            );
+        }
+        prop_assert_eq!(dist.output_records, oracle.output_records);
+        prop_assert_eq!(dist.output_bytes, oracle.output_bytes);
+
+        // Only winning attempts may contribute counters, whatever raced.
+        prop_assert_eq!(dist.input_records, oracle.input_records);
+        prop_assert_eq!(dist.locality.total(), dist.map_tasks);
+        if dist.reduce_tasks > 0 {
+            prop_assert_eq!(
+                dist.shuffle.segments_fetched,
+                (dist.map_tasks * dist.reduce_tasks) as u64
+            );
+        }
+
+        // Scratch (including losing-attempt files) is fully cleaned up:
+        // the output dir holds exactly the part files.
+        prop_assert!(!fs.exists("/out-dist/_temporary"));
+        prop_assert!(!fs.exists("/out-dist/_shuffle"));
+        let mut listed = fs.list("/out-dist").unwrap();
+        listed.sort();
+        let mut expected = dist.output_files.clone();
+        expected.sort();
+        prop_assert_eq!(listed, expected);
+    }
+}

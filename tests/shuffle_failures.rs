@@ -9,11 +9,13 @@ use bytes::Bytes;
 use mapreduce::fs::{BlockHint, BsfsFs, DistFs, FileReader, FileWriter};
 use mapreduce::job::Mapper;
 use mapreduce::jobtracker::JobTracker;
-use mapreduce::{MrError, MrResult};
+use mapreduce::{MrError, MrResult, SlowestFactorPolicy};
+use simcluster::clock::SimClock;
 use simcluster::{ClusterTopology, NodeId};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use workloads::word_count_job;
+use std::time::Duration;
+use workloads::{word_count_job, DelayRule, SlowFs};
 
 // ---------------------------------------------------------------------------
 // Fault-injecting DistFs wrapper
@@ -269,6 +271,88 @@ fn failed_segment_fetches_are_retried_until_the_reduce_succeeds() {
     assert!(retries >= 1, "failed fetches must surface as task retries");
     assert_eq!(files.len(), 3);
     assert_eq!(bytes, oracle_outputs(3));
+}
+
+/// Run word count with speculation enabled under a SimClock, with `rules`
+/// injecting virtual straggler delays and `plan` injecting write kills.
+/// Returns (result, part-file bytes, retries).
+fn run_speculative_faulted(
+    rules: Vec<DelayRule>,
+    plan: Arc<FaultPlan>,
+    reducers: usize,
+) -> (mapreduce::JobResult, Vec<Vec<u8>>, usize) {
+    let (topo, fs, _) = bsfs_cluster(4, 1);
+    let clock = Arc::new(SimClock::new());
+    let slow = SlowFs::new(Box::new(fs), clock.clone(), rules);
+    let fs = FaultFs::new(Box::new(slow), plan);
+    fs.write_file("/in/data.txt", input_text().as_bytes())
+        .unwrap();
+    let mut job = word_count_job(vec!["/in/data.txt".into()], "/out", reducers, 512);
+    job.config.speculation = Some(Arc::new(SlowestFactorPolicy {
+        slowest_factor: 2.0,
+        min_runtime: Duration::from_secs(1),
+        min_completed: 1,
+    }));
+    job.config.max_task_attempts = 6;
+    let jt = JobTracker::new(&topo).with_clock(clock.clone());
+    let result = clock.drive(Duration::from_secs(1), || jt.run(&fs, &job).unwrap());
+    let bytes = result
+        .output_files
+        .iter()
+        .map(|f| fs.read_file(f).unwrap().to_vec())
+        .collect();
+    let mut listed = fs.list("/out").unwrap();
+    listed.sort();
+    assert_eq!(
+        listed, result.output_files,
+        "output dir must hold exactly the committed part files"
+    );
+    assert!(
+        !fs.exists("/out/_temporary") && !fs.exists("/out/_shuffle"),
+        "no scratch may survive, including killed attempts' files"
+    );
+    let retries = result.task_retries;
+    (result, bytes, retries)
+}
+
+#[test]
+fn speculative_attempt_killed_mid_stream_never_corrupts_the_winner() {
+    // Map task 0's first attempt straggles (10 virtual seconds), so a clone
+    // (attempt 1) launches — and its spill writer is killed mid-stream.
+    // Whichever attempt eventually commits, the killed clone must corrupt
+    // nothing: the job completes with the oracle's exact bytes.
+    let rules = vec![DelayRule::create(
+        "attempt-map-00000-0",
+        Duration::from_secs(10),
+    )];
+    let (result, bytes, retries) =
+        run_speculative_faulted(rules, FaultPlan::writes("attempt-map-00000-1", 1), 2);
+    assert!(
+        result.speculation.launched >= 1,
+        "the straggler must have been cloned: {:?}",
+        result.speculation
+    );
+    assert!(retries >= 1, "the killed clone surfaces as a retry");
+    assert_eq!(bytes, oracle_outputs(2));
+}
+
+#[test]
+fn both_attempts_killed_retries_the_task_and_the_job_completes() {
+    // The straggling original *and* its speculative clone both have their
+    // spill writers killed: the task must requeue for a fresh attempt and
+    // the job must still produce the oracle's bytes.
+    let rules = vec![DelayRule::create(
+        "attempt-map-00000-0",
+        Duration::from_secs(10),
+    )];
+    let (result, bytes, retries) =
+        run_speculative_faulted(rules, FaultPlan::writes("attempt-map-00000-", 2), 2);
+    assert!(
+        retries >= 2,
+        "both killed attempts must be recorded: got {retries}"
+    );
+    assert!(result.speculation.launched >= 1);
+    assert_eq!(bytes, oracle_outputs(2));
 }
 
 #[test]

@@ -1,0 +1,234 @@
+//! Deterministic straggler/speculation scenarios on a virtual clock.
+//!
+//! Every test injects stragglers through [`workloads::SlowFs`] (delays are
+//! virtual-clock sleeps on specific task attempts) and runs the jobtracker
+//! under a manually pumped [`SimClock`] — a "60 second" straggler costs no
+//! real time, and no test below contains a wall-clock sleep. Covered paths:
+//! speculation disabled (the job waits out the straggler), speculation
+//! winning (a clone beats the straggler and completion time drops), and
+//! speculation losing (the clone is slower; its work is counted as waste and
+//! discarded without corrupting the winner's output).
+
+use blobseer::{BlobSeer, BlobSeerConfig};
+use bsfs::{Bsfs, BsfsConfig};
+use mapreduce::fs::{BsfsFs, DistFs};
+use mapreduce::jobtracker::{JobResult, JobTracker};
+use mapreduce::{Job, SlowestFactorPolicy, TaskTracker};
+use simcluster::clock::SimClock;
+use simcluster::ClusterTopology;
+use std::sync::Arc;
+use std::time::Duration;
+use workloads::{word_count_job, DelayRule, SlowFs};
+
+/// A 4-node BSFS cluster with one map and one reduce slot per node, so the
+/// slot/straggler arithmetic of the scenarios is easy to reason about.
+fn cluster() -> (ClusterTopology, BsfsFs, Vec<TaskTracker>) {
+    let topo = ClusterTopology::flat(4);
+    let nodes: Vec<_> = topo.all_nodes().collect();
+    let storage = BlobSeer::with_topology(
+        BlobSeerConfig::for_tests()
+            .with_providers(nodes.len())
+            .with_page_size(512),
+        &topo,
+        &nodes,
+    );
+    let fs = BsfsFs::new(Bsfs::new(
+        storage,
+        BsfsConfig::for_tests().with_block_size(512),
+    ));
+    let trackers = nodes
+        .iter()
+        .map(|&n| TaskTracker::new(n).with_slots(1, 1))
+        .collect();
+    (topo, fs, trackers)
+}
+
+fn input_text() -> String {
+    let mut text = String::new();
+    for i in 0..80 {
+        text.push_str(&format!("alpha bravo{} charlie delta{}\n", i % 5, i % 3));
+    }
+    text
+}
+
+fn policy() -> Arc<SlowestFactorPolicy> {
+    Arc::new(SlowestFactorPolicy {
+        slowest_factor: 2.0,
+        // Well above the pump step: a healthy task would have to straddle
+        // five 1s virtual ticks (~10ms of real stall while a straggler
+        // sleeps) to be cloned by mistake.
+        min_runtime: Duration::from_secs(5),
+        min_completed: 1,
+    })
+}
+
+/// Word count over [`input_text`] with ~8 map tasks and 2 reducers.
+fn make_job(out: &str, speculate: bool) -> Job {
+    let mut job = word_count_job(vec!["/in/data.txt".into()], out, 2, 256);
+    if speculate {
+        job.config.speculation = Some(policy());
+    }
+    job
+}
+
+/// Run one scenario: build the cluster, wrap the storage in a [`SlowFs`]
+/// with `rules`, and execute `make_job(out, speculate)` under a pumped
+/// SimClock. Returns the result plus the fs for output inspection.
+fn run_scenario(rules: Vec<DelayRule>, speculate: bool) -> (JobResult, Box<dyn DistFs>) {
+    let (topo, fs, trackers) = cluster();
+    let clock = Arc::new(SimClock::new());
+    let slow: Box<dyn DistFs> = Box::new(SlowFs::new(Box::new(fs), clock.clone(), rules));
+    slow.write_file("/in/data.txt", input_text().as_bytes())
+        .unwrap();
+    let jt = JobTracker::with_trackers(&topo, trackers).with_clock(clock.clone());
+    let result = clock.drive(Duration::from_secs(1), || {
+        jt.run(&*slow, &make_job("/out", speculate)).unwrap()
+    });
+
+    // The oracle never writes attempt scratch, so no rule can fire: safe to
+    // run without the pump.
+    let oracle = jt
+        .run_inmem(&*slow, &make_job("/out-oracle", speculate))
+        .unwrap();
+    assert_eq!(result.output_files.len(), oracle.output_files.len());
+    for (d, o) in result.output_files.iter().zip(&oracle.output_files) {
+        assert_eq!(
+            slow.read_file(d).unwrap(),
+            slow.read_file(o).unwrap(),
+            "{d} diverges from the in-memory oracle"
+        );
+    }
+    // Scratch space (including any losing attempt's leftovers) is gone.
+    assert!(
+        !slow.exists("/out/_temporary"),
+        "scratch dir must be cleaned"
+    );
+    assert!(!slow.exists("/out/_shuffle"), "shuffle dir must be cleaned");
+    let mut listed = slow.list("/out").unwrap();
+    listed.sort();
+    assert_eq!(listed, result.output_files);
+    (result, slow)
+}
+
+const STRAGGLER: u64 = 60;
+
+#[test]
+fn without_speculation_the_job_waits_out_the_straggler() {
+    // First attempt of map task 0 sleeps 60 virtual seconds; with
+    // speculation disabled the job cannot finish before it.
+    let rules = vec![DelayRule::create(
+        "attempt-map-00000-0",
+        Duration::from_secs(STRAGGLER),
+    )];
+    let (result, _) = run_scenario(rules, false);
+    assert!(
+        result.elapsed >= Duration::from_secs(STRAGGLER),
+        "speculation off: completion {:?} must include the full straggler delay",
+        result.elapsed
+    );
+    assert_eq!(result.speculation.launched, 0);
+    assert_eq!(result.speculation.wins, 0);
+    assert_eq!(result.task_retries, 0, "a slow task is not a failed task");
+}
+
+#[test]
+fn speculation_beats_the_straggler_and_cuts_completion_time() {
+    let rules = || {
+        vec![DelayRule::create(
+            "attempt-map-00000-0",
+            Duration::from_secs(STRAGGLER),
+        )]
+    };
+    let (off, _) = run_scenario(rules(), false);
+    let (on, _) = run_scenario(rules(), true);
+
+    // The acceptance criterion: same injected straggler, strictly lower
+    // simulated completion time with speculation on.
+    assert!(
+        on.elapsed < off.elapsed,
+        "speculation must cut completion time: on={:?} off={:?}",
+        on.elapsed,
+        off.elapsed
+    );
+    assert!(
+        on.elapsed < Duration::from_secs(STRAGGLER / 2),
+        "the clone finishes in a few virtual seconds, got {:?}",
+        on.elapsed
+    );
+    let s = on.speculation;
+    assert!(s.launched >= 1, "a clone must have been launched: {s:?}");
+    assert!(s.wins >= 1, "the clone must have won: {s:?}");
+    assert!(
+        s.wasted_attempts >= 1,
+        "the abandoned original is wasted work: {s:?}"
+    );
+    assert!(
+        s.wasted_micros >= (STRAGGLER - 5) * 1_000_000,
+        "the loser slept out its delay: {s:?}"
+    );
+
+    // Counters of the losing attempt must not be merged into the report:
+    // the input was read once per *winning* task, every map task reports
+    // exactly one locality, and the reducers fetched each segment once.
+    let expected_records = input_text().lines().count() as u64;
+    assert_eq!(on.input_records, expected_records);
+    assert_eq!(on.locality.total(), on.map_tasks);
+    assert_eq!(
+        on.shuffle.segments_fetched,
+        (on.map_tasks * on.reduce_tasks) as u64
+    );
+    assert_eq!(on.output_records, off.output_records);
+}
+
+#[test]
+fn slower_clone_loses_and_is_counted_as_waste() {
+    // The original straggles 10s; the clone (attempt 1 of the same task) is
+    // made even slower (120s), so the original wins and the speculation is
+    // pure waste — which the counters must admit.
+    let rules = vec![
+        DelayRule::create("attempt-map-00000-0", Duration::from_secs(10)),
+        DelayRule::create("attempt-map-00000-1", Duration::from_secs(120)),
+    ];
+    let (result, _) = run_scenario(rules, true);
+    assert!(
+        result.elapsed >= Duration::from_secs(10),
+        "the original still had to finish: {:?}",
+        result.elapsed
+    );
+    assert!(
+        result.elapsed < Duration::from_secs(60),
+        "the losing clone must not delay the job: {:?}",
+        result.elapsed
+    );
+    let s = result.speculation;
+    assert_eq!(s.launched, 1, "exactly one clone: {s:?}");
+    assert_eq!(s.wins, 0, "the clone lost: {s:?}");
+    assert_eq!(s.wasted_attempts, 1, "{s:?}");
+    assert!(
+        s.wasted_micros >= 100 * 1_000_000,
+        "the clone slept out most of its 120s: {s:?}"
+    );
+}
+
+#[test]
+fn slow_reducer_is_speculated_too() {
+    // First attempt of reduce partition 0 straggles; its peers complete,
+    // establishing the median, and an idle reduce slot clones it.
+    let rules = vec![DelayRule::create(
+        "attempt-reduce-00000-0",
+        Duration::from_secs(STRAGGLER),
+    )];
+    let (result, _) = run_scenario(rules, true);
+    assert!(
+        result.elapsed < Duration::from_secs(STRAGGLER / 2),
+        "the reduce clone rescues the job: {:?}",
+        result.elapsed
+    );
+    let s = result.speculation;
+    assert!(s.launched >= 1 && s.wins >= 1, "{s:?}");
+    assert_eq!(
+        result.shuffle.segments_fetched,
+        (result.map_tasks * result.reduce_tasks) as u64,
+        "only the winning reduce attempt's fetches are counted"
+    );
+}
