@@ -24,5 +24,23 @@ fn main() {
         &records,
     );
     let (clients, bytes_per_client) = if smoke { (2, 256 * 1024) } else { (8, 4 << 20) };
-    bench::read_path_section(AccessPattern::ReadDistinctFiles, clients, bytes_per_client);
+    let read_path =
+        bench::read_path_section(AccessPattern::ReadDistinctFiles, clients, bytes_per_client);
+
+    #[derive(serde::Serialize)]
+    struct Snapshot {
+        experiment: &'static str,
+        smoke: bool,
+        sweep: Vec<bench::SweepRecord>,
+        read_path: Vec<bench::ReadPathRecord>,
+    }
+    bench::emit_bench_json(
+        "E1",
+        &Snapshot {
+            experiment: "E1",
+            smoke,
+            sweep: records,
+            read_path,
+        },
+    );
 }

@@ -1,0 +1,246 @@
+//! E8 — the storage-tier optimization bundle, measured end to end: merge-spill
+//! compaction (fewer positioned reads per reduce task), sequential metadata
+//! read-ahead (fewer DHT round trips on sequential scans), and snapshot GC
+//! (bounded footprint under a rewrite loop).
+//!
+//! Unlike E1–E7, which compare BSFS against HDFS, this experiment compares
+//! BSFS against itself with each optimization off and on, and *asserts* the
+//! headline numbers instead of just printing them. CI runs it with
+//! `BENCH_SMOKE=1` as the storage-tier regression gate.
+
+use blobseer::{BlobSeer, BlobSeerConfig};
+use mapreduce::DistFs;
+use workloads::microbench::AccessPattern;
+use workloads::TextGenerator;
+
+#[derive(serde::Serialize)]
+struct CompactionSection {
+    maps: usize,
+    reducers: usize,
+    positioned_reads_off: u64,
+    positioned_reads_on: u64,
+    reduction_percent: f64,
+    compaction_runs: u64,
+    compaction_merged_spills: u64,
+}
+
+#[derive(serde::Serialize)]
+struct GcSection {
+    rounds: usize,
+    metadata_entries_flat: usize,
+    provider_pages_flat: usize,
+    metadata_entries_unbounded: usize,
+    provider_pages_unbounded: usize,
+    versions_retired: u64,
+    nodes_removed: u64,
+    pages_deleted: u64,
+}
+
+#[derive(serde::Serialize)]
+struct Snapshot {
+    experiment: &'static str,
+    smoke: bool,
+    compaction: CompactionSection,
+    read_path: Vec<bench::ReadPathRecord>,
+    gc: GcSection,
+}
+
+fn compaction_section(smoke: bool) -> CompactionSection {
+    let (lines, reducers, split_size) = if smoke {
+        (1_000, 2, 4 * 1024)
+    } else {
+        (20_000, 4, 64 * 1024)
+    };
+    let (bsfs, _) = bench::app_backends(1 << 20);
+    let mut generator = TextGenerator::new(42);
+    bsfs.write_file("/input/unsorted.txt", generator.sentences(lines).as_bytes())
+        .unwrap();
+
+    let mut outputs: Vec<Vec<u8>> = Vec::new();
+    let mut per_reduce = Vec::new();
+    let mut raw = Vec::new();
+    let mut compaction = (0u64, 0u64);
+    for (label, threshold) in [("off", None), ("on", Some(0))] {
+        let mut job = workloads::distributed_sort_job(
+            &bsfs,
+            vec!["/input/unsorted.txt".into()],
+            &format!("/sort-compaction-{label}"),
+            reducers,
+            split_size,
+        )
+        .expect("sampling the sort input");
+        job.config.compaction_threshold = threshold;
+        let (result, _) = bench::run_job_on(&bsfs, &bench::app_topology(), &job);
+        let mut merged = Vec::new();
+        for part in &result.output_files {
+            merged.extend_from_slice(&bsfs.read_file(part).unwrap());
+        }
+        outputs.push(merged);
+        let s = &result.shuffle;
+        raw.push((
+            result.map_tasks,
+            result.reduce_tasks,
+            s.shuffle_read_round_trips,
+        ));
+        per_reduce.push(s.shuffle_read_round_trips as f64 / result.reduce_tasks as f64);
+        if threshold.is_some() {
+            compaction = (s.compaction_runs, s.compaction_merged_spills);
+        }
+        println!(
+            "compaction {label}: {} positioned reads ({:.1}/reduce)",
+            s.shuffle_read_round_trips,
+            per_reduce.last().unwrap()
+        );
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "compaction must not change the job output"
+    );
+    assert!(
+        per_reduce[1] <= 0.5 * per_reduce[0],
+        "compaction must at least halve the positioned reads per reduce task \
+         ({:.1} -> {:.1})",
+        per_reduce[0],
+        per_reduce[1],
+    );
+    let reduction = 100.0 * (1.0 - per_reduce[1] / per_reduce[0]);
+    println!("compaction cut positioned reads per reduce task by {reduction:.1}%");
+    CompactionSection {
+        maps: raw[0].0,
+        reducers: raw[0].1,
+        positioned_reads_off: raw[0].2,
+        positioned_reads_on: raw[1].2,
+        reduction_percent: reduction,
+        compaction_runs: compaction.0,
+        compaction_merged_spills: compaction.1,
+    }
+}
+
+fn read_path(smoke: bool) -> Vec<bench::ReadPathRecord> {
+    let (clients, bytes_per_client) = if smoke { (2, 256 * 1024) } else { (4, 2 << 20) };
+    let records =
+        bench::read_path_section(AccessPattern::ReadSharedFile, clients, bytes_per_client);
+    let cache_on = records
+        .iter()
+        .find(|r| r.label == "cache on")
+        .expect("cache-on row");
+    let readahead = records
+        .iter()
+        .find(|r| r.label.starts_with("read-ahead"))
+        .expect("read-ahead row");
+    assert!(
+        readahead.prefetch_hits > 0,
+        "sequential scans must hit the read-ahead window"
+    );
+    assert!(
+        readahead.dht_read_round_trips <= cache_on.dht_read_round_trips,
+        "read-ahead must not add metadata round trips to a sequential scan \
+         ({} vs {})",
+        readahead.dht_read_round_trips,
+        cache_on.dht_read_round_trips,
+    );
+    println!(
+        "read-ahead: {} -> {} demand round trips, {} prefetch hits",
+        cache_on.dht_read_round_trips, readahead.dht_read_round_trips, readahead.prefetch_hits
+    );
+    records
+}
+
+fn gc_section(smoke: bool) -> GcSection {
+    let rounds = if smoke { 8 } else { 16 };
+    let footprint = |sys: &std::sync::Arc<BlobSeer>| -> (usize, usize) {
+        let entries = sys.metadata().dht().stats().total_entries;
+        let pages = sys
+            .provider_manager()
+            .providers()
+            .iter()
+            .map(|p| p.stats().pages)
+            .sum::<usize>();
+        (entries, pages)
+    };
+    let mut flat = (0, 0);
+    let mut unbounded = (0, 0);
+    let mut totals = blobseer::GcReport::default();
+    for keep in [None, Some(2)] {
+        let mut config = BlobSeerConfig::default()
+            .with_providers(4)
+            .with_page_size(1024);
+        if let Some(keep) = keep {
+            config = config.with_gc_keep_last(keep);
+        }
+        let sys = BlobSeer::new(config);
+        let client = sys.client();
+        let blob = client.create(Some(1024)).unwrap();
+        let mut steady: Option<(usize, usize)> = None;
+        for round in 0..rounds {
+            let data = vec![b'a' + (round % 26) as u8; 16 * 1024];
+            client.write(blob, 0, &data).unwrap();
+            totals.absorb(&sys.collect_garbage().unwrap());
+            if keep.is_some() && round >= rounds / 2 {
+                let now = footprint(&sys);
+                match steady {
+                    None => steady = Some(now),
+                    Some(expected) => assert_eq!(
+                        now, expected,
+                        "with retention the rewrite-loop footprint must be flat"
+                    ),
+                }
+            }
+        }
+        if keep.is_some() {
+            flat = footprint(&sys);
+        } else {
+            unbounded = footprint(&sys);
+        }
+    }
+    assert!(
+        totals.versions_retired > 0 && totals.nodes_removed > 0 && totals.pages_deleted > 0,
+        "GC must reclaim the dead versions of the rewrite loop"
+    );
+    assert!(
+        flat.0 < unbounded.0 && flat.1 < unbounded.1,
+        "retention must beat the unbounded history on both footprint axes"
+    );
+    println!(
+        "gc: flat at {} metadata entries / {} pages (unbounded history: {} / {}); \
+         retired {} versions",
+        flat.0, flat.1, unbounded.0, unbounded.1, totals.versions_retired
+    );
+    GcSection {
+        rounds,
+        metadata_entries_flat: flat.0,
+        provider_pages_flat: flat.1,
+        metadata_entries_unbounded: unbounded.0,
+        provider_pages_unbounded: unbounded.1,
+        versions_retired: totals.versions_retired,
+        nodes_removed: totals.nodes_removed,
+        pages_deleted: totals.pages_deleted,
+    }
+}
+
+fn main() {
+    let smoke = bench::smoke_mode();
+
+    println!("== E8: storage-tier optimizations (BSFS vs itself) ==");
+    println!();
+    println!("-- merge-spill compaction (distributed sort) --");
+    let compaction = compaction_section(smoke);
+    println!();
+    println!("-- sequential metadata read-ahead --");
+    let read_path = read_path(smoke);
+    println!("-- snapshot GC (rewrite loop) --");
+    let gc = gc_section(smoke);
+    println!();
+    println!("all storage-tier assertions held");
+
+    bench::emit_bench_json(
+        "E8",
+        &Snapshot {
+            experiment: "E8",
+            smoke,
+            compaction,
+            read_path,
+            gc,
+        },
+    );
+}

@@ -90,4 +90,120 @@ fn main() {
     );
     assert!(latest.size > v1_size);
     println!("snapshot isolation holds: the v1 scan was unaffected by 20 concurrent appends");
+    println!();
+
+    // Snapshot GC under a rewrite loop: the same blob fully rewritten round
+    // after round, with the retention policy off (history grows without
+    // bound) and on (keep-last-2: the footprint reaches a steady state and
+    // stays there). The paper's versioning never overwrites data, so this is
+    // the knob that makes snapshot workflows sustainable.
+    println!("== F2: snapshot GC under a rewrite loop (full rewrite x 12 rounds) ==");
+    #[derive(serde::Serialize)]
+    struct GcRow {
+        label: String,
+        rounds: usize,
+        metadata_entries_mid: usize,
+        metadata_entries_end: usize,
+        provider_pages_mid: usize,
+        provider_pages_end: usize,
+        versions_retired: u64,
+        nodes_removed: u64,
+        pages_deleted: u64,
+        tombstones_compacted: u64,
+    }
+    let footprint = |sys: &std::sync::Arc<BlobSeer>| -> (usize, usize) {
+        let entries = sys.metadata().dht().stats().total_entries;
+        let pages = sys
+            .provider_manager()
+            .providers()
+            .iter()
+            .map(|p| p.stats().pages)
+            .sum::<usize>();
+        (entries, pages)
+    };
+    let rounds = 12usize;
+    let mut gc_rows = Vec::new();
+    for (label, keep) in [("gc off   ", None), ("gc keep-2", Some(2))] {
+        let mut config = BlobSeerConfig::default()
+            .with_providers(8)
+            .with_page_size(1024);
+        if let Some(keep) = keep {
+            config = config.with_gc_keep_last(keep);
+        }
+        let sys = BlobSeer::new(config);
+        let client = sys.client();
+        let blob = client.create(Some(1024)).unwrap();
+        let mut report = blobseer::GcReport::default();
+        let mut mid = (0, 0);
+        for round in 0..rounds {
+            let data = vec![b'a' + (round % 26) as u8; 32 * 1024];
+            client.write(blob, 0, &data).unwrap();
+            report.absorb(&sys.collect_garbage().unwrap());
+            if round == rounds / 2 - 1 {
+                mid = footprint(&sys);
+            }
+        }
+        let end = footprint(&sys);
+        println!(
+            "{label}: metadata entries {} -> {}, provider pages {} -> {} \
+             (mid-loop -> end); retired {} versions, removed {} nodes, \
+             deleted {} pages, compacted {} tombstones",
+            mid.0,
+            end.0,
+            mid.1,
+            end.1,
+            report.versions_retired,
+            report.nodes_removed,
+            report.pages_deleted,
+            report.tombstones_compacted,
+        );
+        gc_rows.push(GcRow {
+            label: label.trim().to_string(),
+            rounds,
+            metadata_entries_mid: mid.0,
+            metadata_entries_end: end.0,
+            provider_pages_mid: mid.1,
+            provider_pages_end: end.1,
+            versions_retired: report.versions_retired,
+            nodes_removed: report.nodes_removed,
+            pages_deleted: report.pages_deleted,
+            tombstones_compacted: report.tombstones_compacted,
+        });
+    }
+    assert!(
+        gc_rows[0].metadata_entries_end > gc_rows[0].metadata_entries_mid
+            && gc_rows[0].provider_pages_end > gc_rows[0].provider_pages_mid,
+        "without GC the rewrite loop must keep growing the footprint"
+    );
+    assert!(
+        gc_rows[1].metadata_entries_end == gc_rows[1].metadata_entries_mid
+            && gc_rows[1].provider_pages_end == gc_rows[1].provider_pages_mid,
+        "with keep-last-2 retention the footprint must be flat at steady state"
+    );
+    assert!(gc_rows[1].versions_retired > 0 && gc_rows[1].pages_deleted > 0);
+    println!(
+        "GC keeps the loop footprint flat ({} metadata entries, {} pages) where \
+         the unbounded history reached {} entries and {} pages",
+        gc_rows[1].metadata_entries_end,
+        gc_rows[1].provider_pages_end,
+        gc_rows[0].metadata_entries_end,
+        gc_rows[0].provider_pages_end,
+    );
+
+    #[derive(serde::Serialize)]
+    struct Snapshot {
+        experiment: &'static str,
+        snapshot_markers_expected: usize,
+        snapshot_markers_found: usize,
+        gc_loop: Vec<GcRow>,
+    }
+    bench::emit_bench_json(
+        "F2",
+        &Snapshot {
+            experiment: "F2",
+            snapshot_markers_expected: expected_v1,
+            snapshot_markers_found: snapshot_count,
+            gc_loop: gc_rows,
+        },
+    );
 }

@@ -36,6 +36,19 @@ pub struct BlobSeerConfig {
     /// Upper bound on the threads a single read or write operation fans its
     /// per-page provider I/O out over (1 = fully sequential page transfers).
     pub io_parallelism: usize,
+    /// Sequential read-ahead window (in pages) for the metadata read path.
+    /// When non-zero, a read's segment-tree descent also fetches the subtrees
+    /// covering up to this many pages past the requested range in the same
+    /// `get_many` round trips, pre-warming the metadata cache for the next
+    /// sequential read. 0 disables read-ahead. Only effective when the
+    /// metadata cache is enabled (prefetching into no cache is pure waste).
+    pub metadata_readahead: usize,
+    /// Snapshot retention policy: keep only the newest K published versions of
+    /// each blob eligible for reads, letting [`crate::BlobSeer::collect_garbage`]
+    /// reclaim metadata nodes and pages reachable only from older versions.
+    /// `None` retains every version forever (the classic BlobSeer model).
+    /// Pinned snapshots survive regardless of K.
+    pub gc_keep_last: Option<usize>,
 }
 
 impl Default for BlobSeerConfig {
@@ -51,6 +64,8 @@ impl Default for BlobSeerConfig {
             metadata_cache: true,
             metadata_cache_capacity: 64 * 1024,
             io_parallelism: 8,
+            metadata_readahead: 0,
+            gc_keep_last: None,
         }
     }
 }
@@ -69,6 +84,8 @@ impl BlobSeerConfig {
             metadata_cache: true,
             metadata_cache_capacity: 1024,
             io_parallelism: 4,
+            metadata_readahead: 0,
+            gc_keep_last: None,
         }
     }
 
@@ -120,6 +137,18 @@ impl BlobSeerConfig {
         self
     }
 
+    /// Builder-style override of the metadata read-ahead window (in pages).
+    pub fn with_metadata_readahead(mut self, pages: usize) -> Self {
+        self.metadata_readahead = pages;
+        self
+    }
+
+    /// Builder-style override of the snapshot retention policy (keep-last-K).
+    pub fn with_gc_keep_last(mut self, keep: usize) -> Self {
+        self.gc_keep_last = Some(keep);
+        self
+    }
+
     /// Validate invariants, panicking with a clear message if violated. Called
     /// by [`crate::BlobSeer::new`].
     pub fn validate(&self) {
@@ -152,6 +181,10 @@ impl BlobSeerConfig {
             self.io_parallelism >= 1,
             "page I/O parallelism must be at least 1"
         );
+        assert!(
+            self.gc_keep_last != Some(0),
+            "snapshot retention must keep at least one version"
+        );
     }
 }
 
@@ -174,7 +207,9 @@ mod tests {
             .with_placement(PlacementStrategy::Random)
             .with_metadata_cache(false)
             .with_metadata_cache_capacity(128)
-            .with_io_parallelism(2);
+            .with_io_parallelism(2)
+            .with_metadata_readahead(16)
+            .with_gc_keep_last(3);
         assert_eq!(c.default_page_size, 4096);
         assert_eq!(c.providers, 10);
         assert_eq!(c.page_replication, 3);
@@ -182,7 +217,15 @@ mod tests {
         assert!(!c.metadata_cache);
         assert_eq!(c.metadata_cache_capacity, 128);
         assert_eq!(c.io_parallelism, 2);
+        assert_eq!(c.metadata_readahead, 16);
+        assert_eq!(c.gc_keep_last, Some(3));
         c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "keep at least one version")]
+    fn zero_retention_is_rejected() {
+        BlobSeerConfig::for_tests().with_gc_keep_last(0).validate();
     }
 
     #[test]

@@ -52,6 +52,7 @@
 pub mod client;
 pub mod config;
 pub mod error;
+pub mod gc;
 pub mod metadata;
 pub mod provider;
 pub mod provider_manager;
@@ -61,6 +62,7 @@ pub mod version_manager;
 pub use client::{BlobSeer, BlobSeerClient, PageLocation};
 pub use config::BlobSeerConfig;
 pub use error::{BlobResult, BlobSeerError};
+pub use gc::GcReport;
 pub use metadata::store::MetadataStats;
 pub use provider::{Provider, ProviderStats};
 pub use provider_manager::{PlacementStrategy, ProviderManager};

@@ -39,6 +39,11 @@ pub struct MetadataCacheStats {
     pub evictions: u64,
     /// Nodes currently resident.
     pub entries: u64,
+    /// Read-ahead nodes that a later demand lookup actually used.
+    pub prefetch_hits: u64,
+    /// Read-ahead nodes evicted before any demand lookup touched them —
+    /// speculation that cost a fetch and bought nothing.
+    pub prefetch_wasted: u64,
 }
 
 impl MetadataCacheStats {
@@ -57,6 +62,10 @@ struct Slot {
     key: NodeKey,
     node: TreeNode,
     referenced: bool,
+    /// Inserted by read-ahead and not yet touched by a demand lookup. The
+    /// first demand hit clears the flag (a prefetch hit); eviction while the
+    /// flag is still set means the prefetch was wasted.
+    prefetched: bool,
 }
 
 struct Shard {
@@ -78,22 +87,30 @@ impl Shard {
         }
     }
 
-    fn get(&mut self, key: &NodeKey) -> Option<TreeNode> {
+    /// Look a node up. The second return flags a first demand hit on a
+    /// prefetched slot (the prefetch paid off).
+    fn get(&mut self, key: &NodeKey) -> Option<(TreeNode, bool)> {
         let slot = *self.index.get(key)?;
-        self.slots[slot].referenced = true;
-        Some(self.slots[slot].node.clone())
+        let slot = &mut self.slots[slot];
+        slot.referenced = true;
+        let first_demand_hit = slot.prefetched;
+        slot.prefetched = false;
+        Some((slot.node.clone(), first_demand_hit))
     }
 
-    /// Insert or refresh a node. Returns true when an existing entry was
-    /// evicted to make room.
-    fn insert(&mut self, key: NodeKey, node: TreeNode) -> bool {
+    /// Insert or refresh a node. Returns `(evicted, wasted)`: whether an
+    /// existing entry was evicted to make room, and whether that entry was a
+    /// never-demanded prefetch.
+    fn insert(&mut self, key: NodeKey, node: TreeNode, prefetched: bool) -> (bool, bool) {
         if let Some(&slot) = self.index.get(&key) {
             // Immutable nodes make a re-insert a no-op value-wise, but the
             // write may be pre-warming a slot that demand-filling put there
-            // first; refresh the reference bit either way.
+            // first; refresh the reference bit either way. A resident demand
+            // entry never regresses to prefetched.
             self.slots[slot].referenced = true;
             self.slots[slot].node = node;
-            return false;
+            self.slots[slot].prefetched &= prefetched;
+            return (false, false);
         }
         if self.slots.len() < self.capacity {
             self.index.insert(key, self.slots.len());
@@ -101,8 +118,9 @@ impl Shard {
                 key,
                 node,
                 referenced: true,
+                prefetched,
             });
-            return false;
+            return (false, false);
         }
         // Clock sweep: give every referenced slot a second chance.
         loop {
@@ -112,15 +130,17 @@ impl Shard {
                 self.hand = (self.hand + 1) % self.capacity;
                 continue;
             }
+            let wasted = slot.prefetched;
             self.index.remove(&slot.key);
             self.index.insert(key, self.hand);
             *slot = Slot {
                 key,
                 node,
                 referenced: true,
+                prefetched,
             };
             self.hand = (self.hand + 1) % self.capacity;
-            return true;
+            return (true, wasted);
         }
     }
 }
@@ -132,6 +152,8 @@ pub struct MetadataCache {
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    prefetch_hits: AtomicU64,
+    prefetch_wasted: AtomicU64,
 }
 
 impl MetadataCache {
@@ -148,6 +170,8 @@ impl MetadataCache {
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            prefetch_hits: AtomicU64::new(0),
+            prefetch_wasted: AtomicU64::new(0),
         }
     }
 
@@ -157,21 +181,57 @@ impl MetadataCache {
         &self.shards[(hasher.finish() as usize) & (SHARDS - 1)]
     }
 
-    /// Look a node up, counting the hit or miss.
+    /// Look a node up, counting the hit or miss (and the prefetch hit when
+    /// this is the first demand touch of a read-ahead fill).
     pub fn get(&self, key: &NodeKey) -> Option<TreeNode> {
         let found = self.shard_of(key).lock().get(key);
-        match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
+        match found {
+            Some((node, first_demand_hit)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if first_demand_hit {
+                    self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(node)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
     /// Insert (or refresh) a node.
     pub fn insert(&self, key: NodeKey, node: TreeNode) {
+        self.insert_with_origin(key, node, false);
+    }
+
+    /// Insert a node fetched by read-ahead: it counts as wasted if evicted
+    /// before any demand lookup touches it.
+    pub fn insert_prefetched(&self, key: NodeKey, node: TreeNode) {
+        self.insert_with_origin(key, node, true);
+    }
+
+    fn insert_with_origin(&self, key: NodeKey, node: TreeNode, prefetched: bool) {
         self.insertions.fetch_add(1, Ordering::Relaxed);
-        if self.shard_of(&key).lock().insert(key, node) {
+        let (evicted, wasted) = self.shard_of(&key).lock().insert(key, node, prefetched);
+        if evicted {
             self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        if wasted {
+            self.prefetch_wasted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop every resident node, keeping the counters. This models a cold
+    /// client (a reader on a node that never saw the writes), so the dropped
+    /// entries count neither as evictions nor as wasted prefetches — no
+    /// capacity decision was made.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            shard.index.clear();
+            shard.slots.clear();
+            shard.hand = 0;
         }
     }
 
@@ -187,6 +247,8 @@ impl MetadataCache {
                 .iter()
                 .map(|s| s.lock().slots.len() as u64)
                 .sum(),
+            prefetch_hits: self.prefetch_hits.load(Ordering::Relaxed),
+            prefetch_wasted: self.prefetch_wasted.load(Ordering::Relaxed),
         }
     }
 }
@@ -248,19 +310,75 @@ mod tests {
         // A single-shard-sized cache would be flaky to target through the
         // hash, so drive one shard directly.
         let mut shard = Shard::new(2);
-        shard.insert(key(1, 0), leaf(0));
-        shard.insert(key(1, 1), leaf(1));
+        shard.insert(key(1, 0), leaf(0), false);
+        shard.insert(key(1, 1), leaf(1), false);
         // The first over-capacity insert sweeps both reference bits clear,
         // evicts slot 0 and leaves slot 1's bit cleared.
-        shard.insert(key(1, 2), leaf(2));
+        shard.insert(key(1, 2), leaf(2), false);
         assert!(shard.get(&key(1, 2)).is_some());
         assert!(shard.get(&key(1, 0)).is_none());
         assert_eq!(shard.slots.len(), 2);
         // Touch node 2 (done by the gets above) and insert again: node 1,
         // whose bit is still clear, goes; the referenced node 2 survives.
-        shard.insert(key(1, 3), leaf(3));
+        shard.insert(key(1, 3), leaf(3), false);
         assert!(shard.get(&key(1, 2)).is_some());
         assert!(shard.get(&key(1, 1)).is_none());
+    }
+
+    #[test]
+    fn prefetch_hits_and_waste_are_tracked() {
+        let cache = MetadataCache::new(8);
+        // A prefetched node's first demand touch is a prefetch hit; later
+        // touches are plain hits.
+        cache.insert_prefetched(key(1, 0), leaf(0));
+        assert_eq!(cache.get(&key(1, 0)), Some(leaf(0)));
+        assert_eq!(cache.get(&key(1, 0)), Some(leaf(0)));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.prefetch_hits, 1);
+        assert_eq!(stats.prefetch_wasted, 0);
+        // A demand re-insert of a prefetched entry clears the flag.
+        cache.insert_prefetched(key(1, 1), leaf(1));
+        cache.insert(key(1, 1), leaf(1));
+        assert_eq!(cache.get(&key(1, 1)), Some(leaf(1)));
+        assert_eq!(cache.stats().prefetch_hits, 1);
+    }
+
+    #[test]
+    fn evicting_an_untouched_prefetch_counts_as_waste() {
+        // Drive one shard directly so eviction order is deterministic.
+        let mut shard = Shard::new(1);
+        let (_, wasted) = shard.insert(key(1, 0), leaf(0), true);
+        assert!(!wasted);
+        // Over-capacity insert: the sweep clears the reference bit first,
+        // then evicts the never-demanded prefetch.
+        let (evicted, wasted) = shard.insert(key(1, 1), leaf(1), false);
+        assert!(evicted && wasted, "untouched prefetch must count as waste");
+        // A demanded prefetch does not count as waste when later evicted.
+        let mut shard = Shard::new(1);
+        shard.insert(key(1, 2), leaf(2), true);
+        assert!(shard.get(&key(1, 2)).is_some());
+        let (evicted, wasted) = shard.insert(key(1, 3), leaf(3), false);
+        assert!(evicted && !wasted);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let cache = MetadataCache::new(8);
+        cache.insert(key(1, 0), leaf(0));
+        cache.insert_prefetched(key(1, 1), leaf(1));
+        assert!(cache.get(&key(1, 0)).is_some());
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.insertions, 2);
+        assert_eq!(stats.evictions, 0, "a clear is not an eviction");
+        assert_eq!(stats.prefetch_wasted, 0, "a clear is not waste");
+        assert!(cache.get(&key(1, 0)).is_none());
+        // The cache keeps working after a clear.
+        cache.insert(key(1, 2), leaf(2));
+        assert!(cache.get(&key(1, 2)).is_some());
     }
 
     #[test]

@@ -266,25 +266,74 @@ pub fn lookup_range(
     first_page: u64,
     last_page: u64,
 ) -> BlobResult<Vec<PageMeta>> {
+    lookup_range_readahead(store, root, span, first_page, last_page, 0)
+}
+
+/// [`lookup_range`] with sequential read-ahead: in addition to resolving
+/// `[first_page, last_page]`, the descent speculatively fetches the subtrees
+/// covering the next `window` pages (clamped to the tree span — prefetching
+/// past EOF is a silent no-op) in the *same* per-level `get_many` round
+/// trips, pre-warming the node cache for the sequential scan's next range.
+/// Prefetch strictly piggybacks on the demand descent: a level whose demand
+/// nodes are all cache-resident issues no DHT traffic, and the speculative
+/// subtrees simply stop there — read-ahead shifts misses off the critical
+/// path without ever adding round trips. Prefetched pages are never part of
+/// the returned metadata; with `window == 0` this is exactly `lookup_range`.
+pub fn lookup_range_readahead(
+    store: &MetadataStore,
+    root: Option<NodeKey>,
+    span: u64,
+    first_page: u64,
+    last_page: u64,
+    window: u64,
+) -> BlobResult<Vec<PageMeta>> {
     assert!(first_page <= last_page, "page range must be non-empty");
     let mut out = Vec::with_capacity((last_page - first_page + 1) as usize);
     let covered_span = span.max(1);
+    // The furthest page the descent touches: the demanded range plus the
+    // read-ahead window, clamped to the tree (pages beyond the span have no
+    // nodes to warm).
+    let fetch_last = last_page
+        .saturating_add(window)
+        .min(covered_span - 1)
+        .max(last_page);
 
-    // Frontier of unresolved nodes: (key, offset, span). Holes never enter
-    // the frontier — they are expanded to zero pages immediately.
-    let mut frontier: Vec<(NodeKey, u64, u64)> = Vec::new();
+    // Frontier of unresolved nodes: (key, offset, span, demand). Demand
+    // entries overlap the requested range; the rest are read-ahead. Holes
+    // never enter the frontier — demanded holes expand to zero pages
+    // immediately, prefetched holes are simply dropped.
+    let mut frontier: Vec<(NodeKey, u64, u64, bool)> = Vec::new();
     match root {
-        Some(key) if overlaps(0, covered_span, first_page, last_page) => {
-            frontier.push((key, 0, covered_span));
+        Some(key) if overlaps(0, covered_span, first_page, fetch_last) => {
+            frontier.push((
+                key,
+                0,
+                covered_span,
+                overlaps(0, covered_span, first_page, last_page),
+            ));
         }
         Some(_) => {}
         None => emit_holes(0, covered_span, first_page, last_page, &mut out),
     }
     while !frontier.is_empty() {
-        let keys: Vec<NodeKey> = frontier.iter().map(|(key, _, _)| *key).collect();
-        let nodes = store.get_nodes(&keys)?;
+        // Demand keys first: the store attributes the tail of the batch to
+        // read-ahead (separate cache-fill and counter treatment).
+        frontier.sort_by_key(|&(_, _, _, demand)| !demand);
+        let demand_count = frontier.iter().filter(|&&(_, _, _, d)| d).count();
+        let keys: Vec<NodeKey> = frontier.iter().map(|&(key, _, _, _)| key).collect();
+        let nodes = store.get_nodes_readahead(&keys, demand_count)?;
         let mut next = Vec::with_capacity(frontier.len() * 2);
-        for (&(key, offset, span), node) in frontier.iter().zip(nodes) {
+        for (&(key, offset, span, entry_demand), node) in frontier.iter().zip(nodes) {
+            let node = match node {
+                Some(node) => node,
+                // A prefetch miss the store declined to fetch (the demand
+                // side was fully cached, so there was no round trip to ride
+                // on): the speculative subtree just ends here.
+                None => {
+                    debug_assert!(!entry_demand, "demand nodes are always resolved");
+                    continue;
+                }
+            };
             match node {
                 TreeNode::Leaf { page, providers } => {
                     if page >= first_page && page <= last_page {
@@ -303,12 +352,16 @@ pub fn lookup_range(
                 TreeNode::Inner { left, right } => {
                     let half = span / 2;
                     for (child, child_offset) in [(left, offset), (right, offset + half)] {
-                        if !overlaps(child_offset, half, first_page, last_page) {
+                        if !overlaps(child_offset, half, first_page, fetch_last) {
                             continue;
                         }
+                        let demand = overlaps(child_offset, half, first_page, last_page);
                         match child {
-                            Some(key) => next.push((key, child_offset, half)),
-                            None => emit_holes(child_offset, half, first_page, last_page, &mut out),
+                            Some(key) => next.push((key, child_offset, half, demand)),
+                            None if demand => {
+                                emit_holes(child_offset, half, first_page, last_page, &mut out)
+                            }
+                            None => {}
                         }
                     }
                 }
@@ -697,6 +750,126 @@ mod tests {
         assert_eq!(
             lookup_range_walk(&s, None, 0, 2, 5).unwrap(),
             lookup_range(&s, None, 0, 2, 5).unwrap()
+        );
+    }
+
+    #[test]
+    fn readahead_matches_the_walk_and_never_leaks_prefetched_pages() {
+        let s = store();
+        // Sparse tree with holes on both sides of the written pages.
+        let w = written(&[(9, &[1]), (10, &[2]), (20, &[3])]);
+        let root = build_version(&s, BlobId(13), Version(1), PrevTree::empty(), 32, &w).unwrap();
+        for (first, last) in [(0u64, 31u64), (9, 10), (11, 19), (0, 8), (20, 40), (35, 40)] {
+            let walked = lookup_range_walk(&s, Some(root), 32, first, last).unwrap();
+            for window in [0u64, 1, 3, 8, 32, u64::MAX] {
+                let got = lookup_range_readahead(&s, Some(root), 32, first, last, window).unwrap();
+                assert_eq!(
+                    walked, got,
+                    "range [{first}, {last}] window {window} diverged"
+                );
+            }
+        }
+        // Empty tree: pure holes regardless of the window.
+        for window in [0u64, 4, u64::MAX] {
+            assert_eq!(
+                lookup_range_walk(&s, None, 0, 2, 5).unwrap(),
+                lookup_range_readahead(&s, None, 0, 2, 5, window).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn readahead_prewarms_the_cache_for_the_next_sequential_range() {
+        let writer = store();
+        let w: BTreeMap<_, _> = (0..32).map(|p| (p, providers(&[p as u32]))).collect();
+        let root =
+            build_version(&writer, BlobId(14), Version(1), PrevTree::empty(), 32, &w).unwrap();
+        // A cold reader cache (the writer's publish pre-warm does not help a
+        // different client) so that the read-ahead is what fills it.
+        let reader = MetadataStore::with_dht(writer.dht().clone()).with_node_cache(256);
+
+        let walked = lookup_range_walk(&writer, Some(root), 32, 0, 15).unwrap();
+        let first = lookup_range_readahead(&reader, Some(root), 32, 0, 7, 8).unwrap();
+        assert_eq!(first[..], walked[..8]);
+        let after_first = reader.stats();
+        assert!(
+            after_first.prefetched_nodes > 0,
+            "the window should pull subtrees past the demanded range"
+        );
+
+        let second = lookup_range(&reader, Some(root), 32, 8, 15).unwrap();
+        assert_eq!(second[..], walked[8..]);
+        let after_second = reader.stats();
+        assert_eq!(
+            after_second.dht_read_round_trips, after_first.dht_read_round_trips,
+            "the second range must be served entirely from prefetched nodes"
+        );
+        assert!(after_second.prefetch_hits > 0);
+        assert_eq!(after_second.prefetch_wasted, 0);
+    }
+
+    #[test]
+    fn readahead_is_free_when_the_demand_range_is_already_cached() {
+        let writer = store();
+        let w: BTreeMap<_, _> = (0..32).map(|p| (p, providers(&[p as u32]))).collect();
+        let root =
+            build_version(&writer, BlobId(17), Version(1), PrevTree::empty(), 32, &w).unwrap();
+        let reader = MetadataStore::with_dht(writer.dht().clone()).with_node_cache(256);
+
+        // Cold first range: the window pulls [8, 15] alongside the paid
+        // descent.
+        lookup_range_readahead(&reader, Some(root), 32, 0, 7, 8).unwrap();
+        let after_first = reader.stats();
+
+        // Second range is fully prefetched, so even with its own window the
+        // lookup must not fetch anything: no round trips for the demand side
+        // and no speculative batch for [16, 23] either.
+        lookup_range_readahead(&reader, Some(root), 32, 8, 15, 8).unwrap();
+        let after_second = reader.stats();
+        assert_eq!(
+            after_second.dht_read_round_trips, after_first.dht_read_round_trips,
+            "a fully-cached lookup must not buy round trips for its prefetch"
+        );
+        assert_eq!(after_second.prefetched_nodes, after_first.prefetched_nodes);
+
+        // The third range was therefore *not* prefetched: it pays its own
+        // descent again, and its window piggybacks as usual.
+        lookup_range_readahead(&reader, Some(root), 32, 16, 23, 8).unwrap();
+        let after_third = reader.stats();
+        assert!(after_third.dht_read_round_trips > after_second.dht_read_round_trips);
+        assert!(after_third.prefetched_nodes > after_second.prefetched_nodes);
+    }
+
+    #[test]
+    fn readahead_past_eof_is_a_no_op() {
+        let writer = store();
+        let w: BTreeMap<_, _> = (0..8).map(|p| (p, providers(&[0]))).collect();
+        let root =
+            build_version(&writer, BlobId(15), Version(1), PrevTree::empty(), 8, &w).unwrap();
+        let reader = MetadataStore::with_dht(writer.dht().clone()).with_node_cache(64);
+        // The window reaches far past the last page; the clamp keeps the
+        // descent inside the tree, so nothing is prefetched.
+        let got = lookup_range_readahead(&reader, Some(root), 8, 6, 7, 1000).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(reader.stats().prefetched_nodes, 0);
+    }
+
+    #[test]
+    fn capacity_pressure_evicts_prefetched_nodes_as_waste() {
+        let writer = store();
+        let w: BTreeMap<_, _> = (0..32).map(|p| (p, providers(&[p as u32]))).collect();
+        let root =
+            build_version(&writer, BlobId(16), Version(1), PrevTree::empty(), 32, &w).unwrap();
+        // A cache far smaller than the 63-node prefetch fan-out: prefetched
+        // nodes evict each other before any demand read touches them.
+        let reader = MetadataStore::with_dht(writer.dht().clone()).with_node_cache(4);
+        let got = lookup_range_readahead(&reader, Some(root), 32, 0, 0, 31).unwrap();
+        assert_eq!(got.len(), 1);
+        let stats = reader.stats();
+        assert!(stats.prefetched_nodes > 0);
+        assert!(
+            stats.prefetch_wasted > 0,
+            "evicting an untouched prefetch must count as waste"
         );
     }
 

@@ -36,6 +36,13 @@ pub struct MetadataStats {
     pub cache_hits: u64,
     /// Node lookups that fell through the cache to the DHT.
     pub cache_misses: u64,
+    /// Nodes fetched from the DHT speculatively by read-ahead (piggybacked
+    /// on a demand batch's `get_many` round trips).
+    pub prefetched_nodes: u64,
+    /// Read-ahead nodes a later demand lookup actually used.
+    pub prefetch_hits: u64,
+    /// Read-ahead nodes evicted from the cache before any demand touch.
+    pub prefetch_wasted: u64,
 }
 
 impl MetadataStats {
@@ -60,6 +67,7 @@ pub struct MetadataStore {
     nodes_read: AtomicU64,
     batch_flushes: AtomicU64,
     batch_lookups: AtomicU64,
+    prefetched_nodes: AtomicU64,
 }
 
 impl MetadataStore {
@@ -82,6 +90,7 @@ impl MetadataStore {
             nodes_read: AtomicU64::new(0),
             batch_flushes: AtomicU64::new(0),
             batch_lookups: AtomicU64::new(0),
+            prefetched_nodes: AtomicU64::new(0),
         }
     }
 
@@ -97,6 +106,15 @@ impl MetadataStore {
     /// Is a client-side node cache attached?
     pub fn cache_enabled(&self) -> bool {
         self.cache.is_some()
+    }
+
+    /// Drop every cached node (counters survive). Benchmarks use this to
+    /// model a cold reader: a client on a node that never saw the writes
+    /// starts with an empty cache even though the process shares one store.
+    pub fn drop_cached_nodes(&self) {
+        if let Some(cache) = &self.cache {
+            cache.clear();
+        }
     }
 
     /// Access the underlying DHT (failure injection in tests).
@@ -170,11 +188,35 @@ impl MetadataStore {
     /// holds fails the whole batch, matching [`MetadataStore::get_node`]'s
     /// contract that a dangling key is corruption, not a hole.
     pub fn get_nodes(&self, keys: &[NodeKey]) -> BlobResult<Vec<TreeNode>> {
+        Ok(self
+            .get_nodes_readahead(keys, keys.len())?
+            .into_iter()
+            .map(|n| n.expect("demand slots are always resolved"))
+            .collect())
+    }
+
+    /// [`MetadataStore::get_nodes`] with a read-ahead tail: the first
+    /// `demand` keys are demanded by the caller, the rest are speculative
+    /// prefetches riding in the same `get_many` round trips. Prefetched
+    /// nodes are cached as prefetches (so their later use or eviction is
+    /// attributed to read-ahead) and only the demand keys count toward
+    /// `nodes_read`.
+    ///
+    /// Prefetch strictly piggybacks: if every demand key is already cached,
+    /// the batch issues no DHT traffic at all and the prefetch-only misses
+    /// come back as `None` — read-ahead must never add round trips a demand
+    /// read wouldn't have paid anyway. Demand slots are always `Some`.
+    pub fn get_nodes_readahead(
+        &self,
+        keys: &[NodeKey],
+        demand: usize,
+    ) -> BlobResult<Vec<Option<TreeNode>>> {
         if keys.is_empty() {
             return Ok(Vec::new());
         }
+        debug_assert!(demand <= keys.len());
         self.nodes_read
-            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+            .fetch_add(demand.min(keys.len()) as u64, Ordering::Relaxed);
         self.batch_lookups.fetch_add(1, Ordering::Relaxed);
         let mut out: Vec<Option<TreeNode>> = vec![None; keys.len()];
         let mut missing: Vec<usize> = Vec::new();
@@ -189,7 +231,16 @@ impl MetadataStore {
             }
             None => missing.extend(0..keys.len()),
         }
+        if missing.iter().all(|&i| i >= demand) {
+            // No demand miss to pay for the round trip: drop the speculative
+            // tail instead of turning the prefetch into its own DHT batch.
+            missing.clear();
+        }
         if !missing.is_empty() {
+            self.prefetched_nodes.fetch_add(
+                missing.iter().filter(|&&i| i >= demand).count() as u64,
+                Ordering::Relaxed,
+            );
             let dht_keys: Vec<Vec<u8>> = missing.iter().map(|&i| keys[i].dht_key()).collect();
             let fetched = self.dht.get_many(&dht_keys)?;
             for (&i, raw) in missing.iter().zip(fetched) {
@@ -200,15 +251,16 @@ impl MetadataStore {
                 })?;
                 let node = Self::decode_node(keys[i], &raw)?;
                 if let Some(cache) = &self.cache {
-                    cache.insert(keys[i], node.clone());
+                    if i >= demand {
+                        cache.insert_prefetched(keys[i], node.clone());
+                    } else {
+                        cache.insert(keys[i], node.clone());
+                    }
                 }
                 out[i] = Some(node);
             }
         }
-        Ok(out
-            .into_iter()
-            .map(|n| n.expect("every slot filled"))
-            .collect())
+        Ok(out)
     }
 
     fn decode_node(key: NodeKey, raw: &[u8]) -> BlobResult<TreeNode> {
@@ -241,6 +293,9 @@ impl MetadataStore {
             dht_read_round_trips: self.dht.read_round_trips(),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
+            prefetched_nodes: self.prefetched_nodes.load(Ordering::Relaxed),
+            prefetch_hits: cache.prefetch_hits,
+            prefetch_wasted: cache.prefetch_wasted,
         }
     }
 }

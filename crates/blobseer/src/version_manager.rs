@@ -26,7 +26,7 @@ use crate::error::{BlobResult, BlobSeerError};
 use crate::metadata::NodeKey;
 use crate::types::{BlobId, ByteRange, Version};
 use parking_lot::{Condvar, Mutex, MutexGuard};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default number of shards used by [`VersionManager::new`].
@@ -112,6 +112,9 @@ struct BlobState {
     /// Aborted tickets whose size reservation has not been reclaimed yet:
     /// version -> (prev_size, new_size).
     aborted: BTreeMap<u64, (u64, u64)>,
+    /// Versions pinned against retention: [`VersionManager::retire_expired`]
+    /// never retires them regardless of the keep-last-K policy.
+    pinned: BTreeSet<u64>,
 }
 
 impl BlobState {
@@ -126,6 +129,7 @@ impl BlobState {
             pending: BTreeMap::new(),
             outstanding: HashMap::new(),
             aborted: BTreeMap::new(),
+            pinned: BTreeSet::new(),
         }
     }
 
@@ -464,6 +468,79 @@ impl VersionManager {
                 size: *size,
             })
             .collect())
+    }
+
+    /// Pin a published version: it survives [`VersionManager::retire_expired`]
+    /// regardless of the retention policy (a long-lived snapshot a consumer
+    /// still reads, e.g. the input version of a running MapReduce job).
+    pub fn pin_version(&self, blob: BlobId, version: Version) -> BlobResult<()> {
+        let mut blobs = self.shard_of(blob).lock();
+        let state = blobs
+            .get_mut(&blob)
+            .ok_or(BlobSeerError::UnknownBlob(blob))?;
+        if !state.published.contains_key(&version.0) || version.0 > state.published_up_to {
+            return Err(BlobSeerError::UnknownVersion { blob, version });
+        }
+        state.pinned.insert(version.0);
+        Ok(())
+    }
+
+    /// Drop a pin; returns whether the version was pinned. The version
+    /// becomes eligible for retention again at the next GC cycle.
+    pub fn unpin_version(&self, blob: BlobId, version: Version) -> BlobResult<bool> {
+        let mut blobs = self.shard_of(blob).lock();
+        let state = blobs
+            .get_mut(&blob)
+            .ok_or(BlobSeerError::UnknownBlob(blob))?;
+        Ok(state.pinned.remove(&version.0))
+    }
+
+    /// Currently pinned versions of a blob, oldest first.
+    pub fn pinned_versions(&self, blob: BlobId) -> BlobResult<Vec<Version>> {
+        let blobs = self.shard_of(blob).lock();
+        let state = blobs.get(&blob).ok_or(BlobSeerError::UnknownBlob(blob))?;
+        Ok(state.pinned.iter().map(|&v| Version(v)).collect())
+    }
+
+    /// Apply the keep-last-`keep` retention policy to a blob: atomically
+    /// remove every published version except the newest `keep`, the pinned
+    /// ones, and anything not yet fully published. Retired versions become
+    /// unreadable immediately ([`VersionManager::get_version`] reports
+    /// `UnknownVersion`); their descriptors are returned so the caller can
+    /// reclaim the metadata nodes and pages only they referenced.
+    ///
+    /// Retirement never touches a version an in-flight write could still
+    /// alias or wait on: an outstanding ticket's predecessor is at least
+    /// `published_up_to`, which the policy always keeps (`keep >= 1`).
+    pub fn retire_expired(&self, blob: BlobId, keep: usize) -> BlobResult<Vec<VersionInfo>> {
+        assert!(keep >= 1, "retention must keep at least one version");
+        let mut blobs = self.shard_of(blob).lock();
+        let state = blobs
+            .get_mut(&blob)
+            .ok_or(BlobSeerError::UnknownBlob(blob))?;
+        let visible: Vec<u64> = state
+            .published
+            .keys()
+            .copied()
+            .filter(|&v| v <= state.published_up_to)
+            .collect();
+        if visible.len() <= keep {
+            return Ok(Vec::new());
+        }
+        let cutoff = visible[visible.len() - keep];
+        let mut retired = Vec::new();
+        for v in visible {
+            if v >= cutoff || state.pinned.contains(&v) {
+                continue;
+            }
+            let (root, size) = state.published.remove(&v).expect("version was visible");
+            retired.push(VersionInfo {
+                version: Version(v),
+                root,
+                size,
+            });
+        }
+        Ok(retired)
     }
 
     /// Number of reservations handed out (instrumentation).
@@ -827,5 +904,65 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_is_rejected() {
         let _ = VersionManager::with_shards(0);
+    }
+
+    #[test]
+    fn retention_retires_old_versions_but_keeps_pinned_and_newest() {
+        let vm = VersionManager::new();
+        let blob = vm.create_blob();
+        for i in 0..6 {
+            let t = vm.reserve(blob, WriteIntent::Append { len: 10 }).unwrap();
+            vm.commit(&t, Some(leaf_key(blob, i + 1))).unwrap();
+        }
+        vm.pin_version(blob, Version(2)).unwrap();
+        assert_eq!(vm.pinned_versions(blob).unwrap(), vec![Version(2)]);
+
+        // Visible history is v0..v6; keep the newest 2 plus the pin.
+        let retired = vm.retire_expired(blob, 2).unwrap();
+        let retired_vs: Vec<u64> = retired.iter().map(|i| i.version.0).collect();
+        assert_eq!(retired_vs, vec![0, 1, 3, 4]);
+        assert!(vm.get_version(blob, Version(1)).is_err());
+        assert!(vm.get_version(blob, Version(2)).is_ok());
+        assert!(vm.get_version(blob, Version(5)).is_ok());
+        assert_eq!(vm.latest(blob).unwrap().version, Version(6));
+        assert_eq!(vm.published_versions(blob).unwrap().len(), 3);
+
+        // Retention is idempotent until history grows again.
+        assert!(vm.retire_expired(blob, 2).unwrap().is_empty());
+
+        // Dropping the pin frees the version at the next cycle.
+        assert!(vm.unpin_version(blob, Version(2)).unwrap());
+        let retired2 = vm.retire_expired(blob, 2).unwrap();
+        assert_eq!(retired2.len(), 1);
+        assert_eq!(retired2[0].version, Version(2));
+        assert_eq!(retired2[0].root, Some(leaf_key(blob, 2)));
+    }
+
+    #[test]
+    fn retention_never_touches_unpublished_versions() {
+        let vm = VersionManager::new();
+        let blob = vm.create_blob();
+        let t1 = vm.reserve(blob, WriteIntent::Append { len: 10 }).unwrap();
+        let t2 = vm.reserve(blob, WriteIntent::Append { len: 10 }).unwrap();
+        // v2 committed out of order: it is pending, not visible, and must not
+        // be counted by (or retired through) the retention policy.
+        vm.commit(&t2, Some(leaf_key(blob, 2))).unwrap();
+        assert!(vm.retire_expired(blob, 1).unwrap().is_empty());
+        vm.commit(&t1, Some(leaf_key(blob, 1))).unwrap();
+        let retired = vm.retire_expired(blob, 1).unwrap();
+        let retired_vs: Vec<u64> = retired.iter().map(|i| i.version.0).collect();
+        assert_eq!(retired_vs, vec![0, 1]);
+        assert_eq!(vm.latest(blob).unwrap().version, Version(2));
+    }
+
+    #[test]
+    fn pinning_an_unpublished_version_is_rejected() {
+        let vm = VersionManager::new();
+        let blob = vm.create_blob();
+        assert!(matches!(
+            vm.pin_version(blob, Version(3)),
+            Err(BlobSeerError::UnknownVersion { .. })
+        ));
+        assert!(!vm.unpin_version(blob, Version(3)).unwrap());
     }
 }

@@ -575,6 +575,25 @@ impl Dht {
     pub fn virtual_nodes(&self) -> usize {
         self.inner.read().virtual_nodes
     }
+
+    /// Number of tombstones currently retained (keys removed while one of
+    /// their replicas was dead, kept so the value cannot resurrect).
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.keys.lock().len()
+    }
+
+    /// Drop every tombstone whose key no node — live or dead — still holds a
+    /// copy of. Once the last lingering replica of a removed key is gone
+    /// there is nothing left to resurrect, so the marker is pure memory
+    /// overhead; a bulk delete (version garbage collection) would otherwise
+    /// grow the tombstone set without bound. Returns the number dropped.
+    pub fn compact_tombstones(&self) -> usize {
+        let inner = self.inner.read();
+        let mut keys = self.tombstones.keys.lock();
+        let before = keys.len();
+        keys.retain(|key| inner.nodes.values().any(|n| n.get(key).is_some()));
+        before - keys.len()
+    }
 }
 
 #[cfg(test)]
@@ -828,6 +847,30 @@ mod tests {
         dht.kill(replicas[0]).unwrap();
         dht.revive(replicas[0]).unwrap();
         assert_eq!(dht.get(b"key").unwrap(), Bytes::from_static(b"again"));
+    }
+
+    #[test]
+    fn tombstone_compaction_keeps_only_markers_with_lingering_copies() {
+        let dht = Dht::new(DhtConfig {
+            nodes: 5,
+            replication: 3,
+            ..Default::default()
+        });
+        dht.put(b"key", Bytes::from_static(b"value")).unwrap();
+        let replicas = dht.replicas_for(b"key");
+        dht.kill(replicas[0]).unwrap();
+        assert!(dht.remove(b"key").unwrap());
+        assert_eq!(dht.tombstone_count(), 1);
+        // The dead replica still holds a copy: the marker must survive
+        // compaction or the value would resurrect at revive time.
+        assert_eq!(dht.compact_tombstones(), 0);
+        assert_eq!(dht.tombstone_count(), 1);
+        // Revive drops the lingering copy (guided by the tombstone); with no
+        // copy left anywhere the marker is dead weight and compacts away.
+        dht.revive(replicas[0]).unwrap();
+        assert_eq!(dht.compact_tombstones(), 1);
+        assert_eq!(dht.tombstone_count(), 0);
+        assert!(matches!(dht.get(b"key"), Err(DhtError::NotFound { .. })));
     }
 
     #[test]

@@ -74,6 +74,12 @@ pub struct ShuffleCounters {
     pub shuffle_read_round_trips: u64,
     /// Bytes moved by segment fetches.
     pub shuffle_read_bytes: u64,
+    /// Merged runs committed by the spill compactor (0 with compaction off).
+    pub compaction_runs: u64,
+    /// Map spills folded into merged runs by the compactor.
+    pub compaction_merged_spills: u64,
+    /// Bytes of merged-run files the compactor wrote.
+    pub compaction_bytes: u64,
 }
 
 /// Job-level counters and outcome, the analogue of Hadoop's job report.
@@ -130,6 +136,100 @@ pub struct JobTracker {
     clock: Arc<dyn Clock>,
 }
 
+/// Where a reduce task pulls one merge source from: a single map's spill, or
+/// a merged run the compactor built from a contiguous map-id range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FetchSource {
+    /// The committed spill of map task `map_id`.
+    Spill { map_id: usize },
+    /// A merged run compacted from spills `start..start + len`.
+    Run { start: usize, len: usize },
+}
+
+impl FetchSource {
+    /// First map id the source covers. Sources cover disjoint contiguous
+    /// ranges, so ordering fetched runs by this restores global map-id order
+    /// — which the k-way merge's tie-break needs to reproduce the oracle.
+    fn start(&self) -> usize {
+        match *self {
+            FetchSource::Spill { map_id } => map_id,
+            FetchSource::Run { start, .. } => start,
+        }
+    }
+
+    /// Number of map tasks the source covers.
+    fn len(&self) -> usize {
+        match *self {
+            FetchSource::Spill { .. } => 1,
+            FetchSource::Run { len, .. } => len,
+        }
+    }
+
+    /// The committed file the source lives in.
+    fn path(&self, output_dir: &str) -> String {
+        match *self {
+            FetchSource::Spill { map_id } => shuffle::spill_path(output_dir, map_id),
+            FetchSource::Run { start, len } => shuffle::run_path(output_dir, start, len),
+        }
+    }
+}
+
+/// Minimum contiguous committed spills a compactor merges while map tasks
+/// are still running; once the map phase is done any leftover pair is worth
+/// merging, and isolated singles are published unmerged.
+const COMPACTION_MIN_BATCH: usize = 4;
+
+/// Merge-spill compaction bookkeeping, guarded by the map-phase mutex.
+///
+/// Compaction only ever merges *contiguous* map-id ranges: the k-way merge
+/// breaks key ties toward the lower run index, so a run interleaving map ids
+/// with its neighbours would put equal keys out of the oracle's
+/// (map id, emit order) sequence. Contiguous ranges keep every record of run
+/// A strictly before or after every record of run B in map-id terms.
+struct CompactionPlan {
+    /// Compaction is active for this job (threshold exceeded, reducers
+    /// exist).
+    enabled: bool,
+    /// Per-map flag: the spill is claimed by a compactor or already
+    /// published as a fetch source. Never cleared — a failed compaction
+    /// publishes its claimed spills unmerged instead of unclaiming them.
+    claimed: Vec<bool>,
+    /// Published fetch sources in publication order. Grows monotonically;
+    /// reducers consume it as a queue and never see an entry retracted.
+    sources: Vec<FetchSource>,
+    /// Sum of source lengths: how many map tasks the sources cover so far.
+    covered: usize,
+    /// Scratch-name sequence for compactor attempts.
+    attempt_seq: usize,
+    /// Merged runs committed.
+    runs: u64,
+    /// Spills folded into merged runs.
+    merged_spills: u64,
+    /// Bytes of merged-run files written.
+    bytes: u64,
+}
+
+impl CompactionPlan {
+    fn new(enabled: bool, num_maps: usize) -> Self {
+        CompactionPlan {
+            enabled,
+            claimed: vec![false; num_maps],
+            sources: Vec::new(),
+            covered: 0,
+            attempt_seq: 0,
+            runs: 0,
+            merged_spills: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Every committed spill is covered by a published source (reducers can
+    /// finish without further compactor progress).
+    fn complete(&self) -> bool {
+        !self.enabled || self.covered == self.claimed.len()
+    }
+}
+
 /// Shared map-phase state guarded by one mutex.
 struct MapPhase {
     /// The attempt state machine: pending/running/committed tasks.
@@ -145,6 +245,8 @@ struct MapPhase {
     output_files: Vec<String>,
     /// Clock reading when the last task committed (map-only jobs).
     finished_at: Option<Duration>,
+    /// Merge-spill compaction state (inert when disabled).
+    plan: CompactionPlan,
 }
 
 /// Shared reduce-phase state.
@@ -234,6 +336,7 @@ impl JobTracker {
         if !map_only {
             fs.mkdirs(&shuffle::shuffle_dir(&config.output_dir))?;
         }
+        let compaction = !map_only && config.compaction_threshold.is_some_and(|t| num_maps > t);
 
         let map_state = Mutex::new(MapPhase {
             book: TaskBook::new(num_maps),
@@ -244,6 +347,7 @@ impl JobTracker {
             map_output_records: 0,
             output_files: Vec::new(),
             finished_at: None,
+            plan: CompactionPlan::new(compaction, num_maps),
         });
         let reduce_state = Mutex::new(ReducePhase {
             book: TaskBook::new(partitions),
@@ -373,6 +477,9 @@ impl JobTracker {
         counters.merge_runs = reduce_state.merge_runs;
         counters.shuffle_read_round_trips = reduce_state.read_round_trips;
         counters.shuffle_read_bytes = reduce_state.read_bytes;
+        counters.compaction_runs = map_state.plan.runs;
+        counters.compaction_merged_spills = map_state.plan.merged_spills;
+        counters.compaction_bytes = map_state.plan.bytes;
         let mut speculation = map_speculation;
         speculation.merge(&reduce_state.book.speculation());
         shuffle::cleanup_job_dirs(fs, &config.output_dir);
@@ -498,10 +605,136 @@ fn record_attempt_failure(
     }
 }
 
+/// What an idle map slot claimed: a map attempt, or a compaction batch.
+enum MapWork {
+    Task(TaskAttemptId, Locality),
+    Compact {
+        start: usize,
+        len: usize,
+        seq: usize,
+    },
+}
+
+/// Claim the longest contiguous range of committed, unclaimed spills worth
+/// compacting. Called under the phase lock. While map tasks are still in
+/// flight the range must reach [`COMPACTION_MIN_BATCH`] (bigger batches are
+/// coming); once all maps committed, any pair is merged and isolated
+/// leftovers are published directly as unmerged spill sources.
+fn claim_compaction(s: &mut MapPhase) -> Option<(usize, usize, usize)> {
+    if !s.plan.enabled {
+        return None;
+    }
+    let num_maps = s.plan.claimed.len();
+    let map_phase_done = s.book.all_committed();
+    loop {
+        // Longest maximal run of committed-and-unclaimed map ids.
+        let mut best: Option<(usize, usize)> = None;
+        let mut i = 0;
+        while i < num_maps {
+            if s.book.is_committed(i) && !s.plan.claimed[i] {
+                let start = i;
+                while i < num_maps && s.book.is_committed(i) && !s.plan.claimed[i] {
+                    i += 1;
+                }
+                let len = i - start;
+                if best.is_none_or(|(_, best_len)| len > best_len) {
+                    best = Some((start, len));
+                }
+            } else {
+                i += 1;
+            }
+        }
+        let (start, len) = best?;
+        let min_len = if map_phase_done {
+            2
+        } else {
+            COMPACTION_MIN_BATCH
+        };
+        if len >= min_len {
+            for claimed in &mut s.plan.claimed[start..start + len] {
+                *claimed = true;
+            }
+            s.plan.attempt_seq += 1;
+            return Some((start, len, s.plan.attempt_seq));
+        }
+        if map_phase_done {
+            // Too short to merge and no more commits are coming: publish the
+            // range's spills as-is and look for another range.
+            for map_id in start..start + len {
+                s.plan.claimed[map_id] = true;
+                s.plan.sources.push(FetchSource::Spill { map_id });
+                s.plan.covered += 1;
+            }
+            continue;
+        }
+        return None;
+    }
+}
+
+/// Compact the committed spills `start..start + len` into one merged run:
+/// bulk-read each spill, k-way-merge per partition, write the result in
+/// spill layout to `_temporary` scratch, and rename-commit under the phase
+/// lock. On any error the constituent spills are published unmerged —
+/// compaction is an optimization, never a point of failure; the committed
+/// spills themselves are untouched either way.
+fn run_compaction(
+    fs: &dyn DistFs,
+    output_dir: &str,
+    partitions: usize,
+    start: usize,
+    len: usize,
+    seq: usize,
+    state: &Mutex<MapPhase>,
+) {
+    let task = format!("compact-{start:05}");
+    let scratch = shuffle::attempt_path(output_dir, &task, seq);
+    let outcome = (|| -> MrResult<u64> {
+        let mut buckets: Vec<Vec<Vec<(String, String)>>> =
+            (0..partitions).map(|_| Vec::with_capacity(len)).collect();
+        for map_id in start..start + len {
+            let path = shuffle::spill_path(output_dir, map_id);
+            let spill = shuffle::read_spill_runs(fs, &path, partitions)?;
+            for (p, bucket) in spill.partitions.into_iter().enumerate() {
+                buckets[p].push(bucket);
+            }
+        }
+        let merged: Vec<Vec<(String, String)>> =
+            buckets.into_iter().map(shuffle::merge_runs).collect();
+        let (bytes, _) = shuffle::write_spill(fs, &scratch, &merged)?;
+        Ok(bytes)
+    })();
+
+    let mut s = state.lock();
+    let published = match outcome {
+        Ok(bytes) => match fs.rename(&scratch, &shuffle::run_path(output_dir, start, len)) {
+            Ok(()) => {
+                s.plan.sources.push(FetchSource::Run { start, len });
+                s.plan.covered += len;
+                s.plan.runs += 1;
+                s.plan.merged_spills += len as u64;
+                s.plan.bytes += bytes;
+                true
+            }
+            Err(_) => false,
+        },
+        Err(_) => false,
+    };
+    if !published {
+        for map_id in start..start + len {
+            s.plan.sources.push(FetchSource::Spill { map_id });
+        }
+        s.plan.covered += len;
+        drop(s);
+        shuffle::discard_attempt(fs, output_dir, &task, seq);
+    }
+}
+
 /// Worker loop executed by every map slot: claim a pending task (or a
 /// speculative clone of a straggler when the job allows it), execute it,
 /// write its output to the attempt's `_temporary` scratch, and rename-commit
 /// under the phase lock — first finished attempt wins, losers are discarded.
+/// With compaction enabled, idle slots also fold committed spills into
+/// merged runs before falling back to speculation.
 #[allow(clippy::too_many_arguments)]
 fn map_worker_loop(
     fs: &dyn DistFs,
@@ -518,30 +751,38 @@ fn map_worker_loop(
 ) {
     loop {
         // Claim an attempt (or decide to wait / exit).
-        let claimed: Option<(TaskAttemptId, Locality)> = {
+        let claimed: Option<MapWork> = {
             let mut s = state.lock();
-            if s.failure.is_some() || s.book.all_committed() {
+            if s.failure.is_some() || (s.book.all_committed() && s.plan.complete()) {
                 return;
             }
             if let Some((pos, locality)) =
                 pick_map_task(topology, tracker.node, s.book.pending(), splits)
             {
-                Some((
+                Some(MapWork::Task(
                     s.book.claim_pending(pos, tracker.node, clock.now()),
                     locality,
                 ))
+            } else if let Some((start, len, seq)) = claim_compaction(&mut s) {
+                // Nothing pending: fold committed spills into a merged run
+                // so reducers fetch O(runs) segments instead of O(maps).
+                Some(MapWork::Compact { start, len, seq })
             } else if let Some(policy) = job.config.speculation.as_deref() {
-                // Nothing pending: this slot is spare capacity — offer it a
-                // speculative clone of the slowest qualifying straggler.
+                // Still spare capacity — offer this slot a speculative clone
+                // of the slowest qualifying straggler.
                 s.book
                     .claim_speculative(tracker.node, clock.now(), policy)
-                    .map(|id| (id, classify(topology, tracker.node, &splits[id.task])))
+                    .map(|id| MapWork::Task(id, classify(topology, tracker.node, &splits[id.task])))
             } else {
                 None
             }
         };
         let (id, locality) = match claimed {
-            Some(c) => c,
+            Some(MapWork::Task(id, locality)) => (id, locality),
+            Some(MapWork::Compact { start, len, seq }) => {
+                run_compaction(fs, output_dir, partitions, start, len, seq, state);
+                continue;
+            }
             None => {
                 // Tasks are running on other slots; one could fail (requeue)
                 // or turn into a straggler, so poll until the phase settles.
@@ -663,7 +904,8 @@ fn map_worker_loop(
 
 /// What one successful reduce-side fetch collected.
 struct FetchedPartition {
-    /// One key-sorted run per map task, in map-id order.
+    /// One key-sorted run per fetch source (per map task without compaction,
+    /// per merged run / leftover spill with it), in map-id order.
     runs: Vec<Vec<(String, String)>>,
     segments: u64,
     round_trips: u64,
@@ -681,6 +923,11 @@ fn fetch_partition(
     partitions: usize,
     map_state: &Mutex<MapPhase>,
 ) -> MrResult<Option<FetchedPartition>> {
+    if map_state.lock().plan.enabled {
+        return fetch_partition_from_sources(
+            fs, output_dir, partition, num_maps, partitions, map_state,
+        );
+    }
     let mut runs: Vec<Option<Vec<(String, String)>>> = (0..num_maps).map(|_| None).collect();
     let mut fetched = 0usize;
     let mut segments = 0u64;
@@ -716,6 +963,59 @@ fn fetch_partition(
             .into_iter()
             .map(|r| r.expect("all segments fetched"))
             .collect(),
+        segments,
+        round_trips,
+        bytes,
+    }))
+}
+
+/// The compaction-aware fetch: consume the published fetch-source queue
+/// (merged runs and leftover spills) until the sources cover every map task.
+/// The queue only grows, so speculative attempts of one partition can
+/// consume it independently.
+fn fetch_partition_from_sources(
+    fs: &dyn DistFs,
+    output_dir: &str,
+    partition: usize,
+    num_maps: usize,
+    partitions: usize,
+    map_state: &Mutex<MapPhase>,
+) -> MrResult<Option<FetchedPartition>> {
+    let mut taken = 0usize;
+    let mut covered = 0usize;
+    let mut fetched: Vec<(usize, Vec<(String, String)>)> = Vec::new();
+    let mut segments = 0u64;
+    let mut round_trips = 0u64;
+    let mut bytes = 0u64;
+    while covered < num_maps {
+        let (new_sources, map_failed) = {
+            let m = map_state.lock();
+            (m.plan.sources[taken..].to_vec(), m.failure.is_some())
+        };
+        if new_sources.is_empty() {
+            if map_failed {
+                return Ok(None);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        taken += new_sources.len();
+        for source in new_sources {
+            let segment =
+                shuffle::read_segment(fs, &source.path(output_dir), partition, partitions)?;
+            segments += 1;
+            round_trips += segment.round_trips;
+            bytes += segment.bytes;
+            covered += source.len();
+            fetched.push((source.start(), segment.records));
+        }
+    }
+    // Sources cover disjoint contiguous map-id ranges: ordering the runs by
+    // range start restores global map-id order, so the k-way merge's
+    // tie-break still reproduces the oracle's (map id, emit order) sequence.
+    fetched.sort_by_key(|&(start, _)| start);
+    Ok(Some(FetchedPartition {
+        runs: fetched.into_iter().map(|(_, records)| records).collect(),
         segments,
         round_trips,
         bytes,

@@ -534,6 +534,67 @@ mod tests {
     }
 
     #[test]
+    fn compaction_matches_inmem_oracle_and_cuts_segment_fetches() {
+        let (topo, fs) = bsfs_cluster(4);
+        // Enough input for many splits so the compactor has spills to fold.
+        let mut text = String::new();
+        for i in 0..120 {
+            text.push_str(&format!("alpha beta gamma delta-{} epsilon\n", i % 7));
+        }
+        fs.write_file("/in/words.txt", text.as_bytes()).unwrap();
+        let make_job = |out: &str, compaction: bool| {
+            let mut config =
+                JobConfig::new("wc", InputSpec::Files(vec!["/in/words.txt".into()]), out)
+                    .with_split_size(128)
+                    .with_reducers(3);
+            if compaction {
+                config = config.with_compaction(0);
+            }
+            Job::new(config, Arc::new(WordCountMapper), Arc::new(SumReducer))
+        };
+        let jt = JobTracker::new(&topo);
+        let compacted = jt.run(&fs, &make_job("/out-c", true)).unwrap();
+        let plain = jt.run(&fs, &make_job("/out-p", false)).unwrap();
+        let oracle = jt.run_inmem(&fs, &make_job("/out-o", false)).unwrap();
+
+        assert!(compacted.map_tasks > 4, "want many spills to compact");
+        assert_eq!(compacted.output_files.len(), oracle.output_files.len());
+        for (c, o) in compacted.output_files.iter().zip(&oracle.output_files) {
+            assert_eq!(
+                fs.read_file(c).unwrap(),
+                fs.read_file(o).unwrap(),
+                "{c} differs from the in-memory oracle under compaction"
+            );
+        }
+        assert_eq!(compacted.output_records, oracle.output_records);
+
+        let s = compacted.shuffle;
+        assert!(s.compaction_runs > 0, "compactor must commit runs: {s:?}");
+        assert!(
+            s.compaction_merged_spills >= 2 * s.compaction_runs,
+            "every run folds at least two spills: {s:?}"
+        );
+        assert!(s.compaction_bytes > 0);
+        assert!(
+            s.segments_fetched < plain.shuffle.segments_fetched,
+            "reducers fetch O(runs), not O(maps): {} vs {}",
+            s.segments_fetched,
+            plain.shuffle.segments_fetched
+        );
+        assert!(
+            s.shuffle_read_round_trips < plain.shuffle.shuffle_read_round_trips,
+            "compaction must cut positioned reads: {} vs {}",
+            s.shuffle_read_round_trips,
+            plain.shuffle.shuffle_read_round_trips
+        );
+        assert_eq!(plain.shuffle.compaction_runs, 0);
+        assert_eq!(plain.shuffle.compaction_merged_spills, 0);
+        // Merged runs live in _shuffle and are cleaned with it.
+        assert!(!fs.exists("/out-c/_shuffle"));
+        assert!(!fs.exists("/out-c/_temporary"));
+    }
+
+    #[test]
     fn scratch_dirs_are_cleaned_when_the_job_fails() {
         let (topo, fs) = bsfs_cluster(2);
         fs.write_file("/in/data", b"k\n").unwrap();

@@ -64,6 +64,13 @@ pub fn spill_path(output_dir: &str, map_id: usize) -> String {
     format!("{}/map-{map_id:05}", shuffle_dir(output_dir))
 }
 
+/// The committed merged run compacted from the spills of map tasks
+/// `start..start + len` (a contiguous map-id range). Merged runs use the
+/// spill layout unchanged, so [`read_segment`] serves them as-is.
+pub fn run_path(output_dir: &str, start: usize, len: usize) -> String {
+    format!("{}/run-{start:05}-{len:05}", shuffle_dir(output_dir))
+}
+
 /// The scratch directory task attempts write under before committing.
 pub fn temporary_dir(output_dir: &str) -> String {
     format!("{output_dir}/_temporary")
@@ -253,26 +260,7 @@ pub fn read_segment(
     let payload = reader.read_at(offset, len)?;
     segment.bytes += payload.len() as u64;
     segment.round_trips += 1;
-    segment.records.reserve(records as usize);
-    let mut at = 0usize;
-    while (at as u64) < len {
-        let key_len = get_u32(&payload, at)? as usize;
-        at += 4;
-        let key = payload
-            .get(at..at + key_len)
-            .ok_or_else(|| MrError::Storage(format!("corrupt segment in {path}")))?;
-        at += key_len;
-        let val_len = get_u32(&payload, at)? as usize;
-        at += 4;
-        let val = payload
-            .get(at..at + val_len)
-            .ok_or_else(|| MrError::Storage(format!("corrupt segment in {path}")))?;
-        at += val_len;
-        segment.records.push((
-            String::from_utf8_lossy(key).into_owned(),
-            String::from_utf8_lossy(val).into_owned(),
-        ));
-    }
+    segment.records = decode_records(&payload, records, path)?;
     if segment.records.len() as u64 != records {
         return Err(MrError::Storage(format!(
             "segment {partition} of {path}: index promised {records} records, decoded {}",
@@ -280,6 +268,100 @@ pub fn read_segment(
         )));
     }
     Ok(segment)
+}
+
+/// Decode a length-prefixed record stream (one partition's payload).
+fn decode_records(payload: &[u8], expected: u64, path: &str) -> MrResult<Vec<(String, String)>> {
+    let mut records = Vec::with_capacity(expected as usize);
+    let mut at = 0usize;
+    while at < payload.len() {
+        let key_len = get_u32(payload, at)? as usize;
+        at += 4;
+        let key = payload
+            .get(at..at + key_len)
+            .ok_or_else(|| MrError::Storage(format!("corrupt segment in {path}")))?;
+        at += key_len;
+        let val_len = get_u32(payload, at)? as usize;
+        at += 4;
+        let val = payload
+            .get(at..at + val_len)
+            .ok_or_else(|| MrError::Storage(format!("corrupt segment in {path}")))?;
+        at += val_len;
+        records.push((
+            String::from_utf8_lossy(key).into_owned(),
+            String::from_utf8_lossy(val).into_owned(),
+        ));
+    }
+    Ok(records)
+}
+
+/// A whole spill read back as per-partition runs, the compactor's bulk-read
+/// form of [`read_segment`].
+#[derive(Debug, Default)]
+pub struct SpillRuns {
+    /// Every partition's key-sorted bucket, in partition order.
+    pub partitions: Vec<Vec<(String, String)>>,
+    /// Bytes fetched from the storage layer (index + payload).
+    pub bytes: u64,
+    /// Positioned reads issued (1 for the index, +1 when any partition has
+    /// payload).
+    pub round_trips: u64,
+}
+
+/// Read an entire spill file back: one positioned read for the header+index,
+/// one for the whole payload region. This is how the compactor ingests the
+/// spills it merges — paying 2 reads per *spill* rather than 2 per
+/// map×partition pair.
+pub fn read_spill_runs(fs: &dyn DistFs, path: &str, num_partitions: usize) -> MrResult<SpillRuns> {
+    let mut reader = fs.open(path)?;
+    let header = reader.read_at(0, index_len(num_partitions))?;
+    let mut out = SpillRuns {
+        bytes: header.len() as u64,
+        round_trips: 1,
+        ..SpillRuns::default()
+    };
+    if get_u32(&header, 0)? != SPILL_MAGIC || get_u32(&header, 4)? != SPILL_VERSION {
+        return Err(MrError::Storage(format!("{path} is not a spill file")));
+    }
+    let partitions = get_u32(&header, 8)? as usize;
+    if partitions != num_partitions {
+        return Err(MrError::Storage(format!(
+            "{path} holds {partitions} partitions, {num_partitions} expected"
+        )));
+    }
+    let mut entries = Vec::with_capacity(partitions);
+    let mut payload_len = 0u64;
+    for p in 0..partitions {
+        let entry = (SPILL_HEADER_LEN + p as u64 * SPILL_INDEX_ENTRY_LEN) as usize;
+        let offset = get_u64(&header, entry)?;
+        let len = get_u64(&header, entry + 8)?;
+        let records = get_u64(&header, entry + 16)?;
+        entries.push((offset, len, records));
+        payload_len += len;
+    }
+    if payload_len == 0 {
+        out.partitions = vec![Vec::new(); partitions];
+        return Ok(out);
+    }
+    let base = index_len(partitions);
+    let payload = reader.read_at(base, payload_len)?;
+    out.bytes += payload.len() as u64;
+    out.round_trips += 1;
+    for (p, (offset, len, records)) in entries.into_iter().enumerate() {
+        let from = (offset - base) as usize;
+        let slice = payload
+            .get(from..from + len as usize)
+            .ok_or_else(|| MrError::Storage(format!("corrupt segment in {path}")))?;
+        let decoded = decode_records(slice, records, path)?;
+        if decoded.len() as u64 != records {
+            return Err(MrError::Storage(format!(
+                "partition {p} of {path}: index promised {records} records, decoded {}",
+                decoded.len()
+            )));
+        }
+        out.partitions.push(decoded);
+    }
+    Ok(out)
 }
 
 /// Entry in the k-way-merge heap: `BinaryHeap` is a max-heap, so comparisons
@@ -441,6 +523,76 @@ mod tests {
                 assert!(seg.bytes > index_len(3));
             }
         }
+    }
+
+    #[test]
+    fn whole_spill_reads_back_as_runs() {
+        let fs = fs();
+        let buckets = vec![
+            vec![pair("a", "1"), pair("b", "2")],
+            Vec::new(),
+            vec![pair("c", "x\ty\n"), pair("c", ""), pair("d", "3")],
+        ];
+        let (bytes, _) = write_spill(&fs, "/out/_shuffle/map-00000", &buckets).unwrap();
+        let runs = read_spill_runs(&fs, "/out/_shuffle/map-00000", 3).unwrap();
+        assert_eq!(runs.partitions, buckets);
+        assert_eq!(runs.round_trips, 2, "one index read, one bulk payload read");
+        assert_eq!(runs.bytes, bytes, "the whole file is fetched");
+        // Wrong partition count and non-spill files are rejected.
+        assert!(read_spill_runs(&fs, "/out/_shuffle/map-00000", 2).is_err());
+        fs.write_file("/junk", b"this is not a spill file at all......")
+            .unwrap();
+        assert!(read_spill_runs(&fs, "/junk", 3).is_err());
+    }
+
+    #[test]
+    fn empty_spill_reads_back_without_a_payload_round_trip() {
+        let fs = fs();
+        let buckets = vec![Vec::new(), Vec::new()];
+        write_spill(&fs, "/s", &buckets).unwrap();
+        let runs = read_spill_runs(&fs, "/s", 2).unwrap();
+        assert_eq!(runs.partitions, buckets);
+        assert_eq!(runs.round_trips, 1, "no payload to read");
+    }
+
+    #[test]
+    fn merged_run_uses_the_spill_layout() {
+        // A compacted run is just a spill file at a run path: write the
+        // merged buckets with write_spill, read them with read_segment.
+        let fs = fs();
+        let spills = [
+            vec![
+                vec![pair("a", "m0"), pair("c", "m0")],
+                vec![pair("z", "m0")],
+            ],
+            vec![vec![pair("a", "m1")], Vec::new()],
+        ];
+        for (i, buckets) in spills.iter().enumerate() {
+            write_spill(&fs, &spill_path("/out", i), buckets).unwrap();
+        }
+        let merged: Vec<Vec<(String, String)>> = (0..2)
+            .map(|p| {
+                merge_runs(
+                    (0..2)
+                        .map(|m| {
+                            read_spill_runs(&fs, &spill_path("/out", m), 2)
+                                .unwrap()
+                                .partitions[p]
+                                .clone()
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        write_spill(&fs, &run_path("/out", 0, 2), &merged).unwrap();
+        let seg = read_segment(&fs, &run_path("/out", 0, 2), 0, 2).unwrap();
+        assert_eq!(
+            seg.records,
+            vec![pair("a", "m0"), pair("a", "m1"), pair("c", "m0")],
+            "ties break toward the lower map id"
+        );
+        let seg = read_segment(&fs, &run_path("/out", 0, 2), 1, 2).unwrap();
+        assert_eq!(seg.records, vec![pair("z", "m0")]);
     }
 
     #[test]

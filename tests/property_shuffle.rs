@@ -129,3 +129,76 @@ proptest! {
         prop_assert_eq!(listed, expected);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Same differential gate with the merge-spill compactor turned on: the
+    /// background merges must never change a byte of output, only how many
+    /// segments the reducers fetch. Note the *absence* of the
+    /// `segments_fetched == maps * reduces` invariant of the plain test —
+    /// compaction exists precisely to break it downward.
+    #[test]
+    fn compacted_shuffle_is_byte_identical_to_the_inmem_oracle(
+        words in prop::collection::vec(word_strategy(), 1..250),
+        split_size in 64u64..1_500,
+        reducers in 1usize..8,
+        // shape (wordcount / combining wordcount / grep / sort) x backend.
+        shape_and_backend in 0usize..8,
+        words_per_line in 1usize..10,
+    ) {
+        let shape = shape_and_backend % 4;
+        let use_hdfs = shape_and_backend >= 4;
+        let mut text = String::new();
+        for line in words.chunks(words_per_line) {
+            text.push_str(&line.join(" "));
+            text.push('\n');
+        }
+
+        let topo = ClusterTopology::flat(4);
+        let fs = make_fs(use_hdfs, &topo);
+        fs.write_file("/in/text.txt", text.as_bytes()).unwrap();
+
+        let jt = JobTracker::new(&topo);
+        let mut dist_job = make_job(shape, &*fs, "/out-dist", reducers, split_size);
+        dist_job.config.compaction_threshold = Some(0);
+        let dist = jt.run(&*fs, &dist_job).unwrap();
+        let oracle_job = make_job(shape, &*fs, "/out-inmem", reducers, split_size);
+        let oracle = jt.run_inmem(&*fs, &oracle_job).unwrap();
+
+        prop_assert_eq!(dist.output_files.len(), oracle.output_files.len());
+        for (d, o) in dist.output_files.iter().zip(&oracle.output_files) {
+            prop_assert_eq!(d.strip_prefix("/out-dist"), o.strip_prefix("/out-inmem"));
+            prop_assert!(
+                fs.read_file(d).unwrap() == fs.read_file(o).unwrap(),
+                "content of {} diverges from the oracle under compaction \
+                 (shape={}, reducers={}, hdfs={})",
+                d, shape, reducers, use_hdfs
+            );
+        }
+        prop_assert_eq!(dist.output_records, oracle.output_records);
+        prop_assert_eq!(dist.output_bytes, oracle.output_bytes);
+
+        if dist.reduce_tasks > 0 {
+            // Compaction can only shrink the fetch plan, never grow it.
+            let per_map = (dist.map_tasks * dist.reduce_tasks) as u64;
+            prop_assert!(dist.shuffle.segments_fetched <= per_map);
+            // Every committed merged run folded at least two spills, and a
+            // reducer fetching merged runs skips the spills they replaced.
+            if dist.shuffle.compaction_runs > 0 {
+                prop_assert!(
+                    dist.shuffle.compaction_merged_spills >= 2 * dist.shuffle.compaction_runs,
+                    "merged runs must fold multiple spills"
+                );
+                prop_assert!(dist.shuffle.segments_fetched < per_map);
+            }
+        }
+
+        // Scratch space (spills, merged runs, attempt dirs) is gone.
+        let mut listed = fs.list("/out-dist").unwrap();
+        listed.sort();
+        let mut expected = dist.output_files.clone();
+        expected.sort();
+        prop_assert_eq!(listed, expected);
+    }
+}
