@@ -17,4 +17,19 @@ fn main() {
         &hdfs,
         &records,
     );
+
+    #[derive(serde::Serialize)]
+    struct Snapshot {
+        experiment: &'static str,
+        smoke: bool,
+        sweep: Vec<bench::SweepRecord>,
+    }
+    bench::emit_bench_json(
+        "E3",
+        &Snapshot {
+            experiment: "E3",
+            smoke,
+            sweep: records,
+        },
+    );
 }

@@ -116,4 +116,19 @@ fn main() {
     }
     println!();
     print!("{}", completion_table(&records));
+
+    #[derive(serde::Serialize)]
+    struct Snapshot {
+        experiment: &'static str,
+        smoke: bool,
+        runs: Vec<CompletionRecord>,
+    }
+    bench::emit_bench_json(
+        "E7",
+        &Snapshot {
+            experiment: "E7",
+            smoke,
+            runs: records,
+        },
+    );
 }

@@ -1,0 +1,177 @@
+//! E9 — client scaling against the actor-core data plane.
+//!
+//! The refactor this experiment gates: providers, DHT nodes and page fan-out
+//! moved from thread-per-operation onto message-loop actors over a fixed
+//! miniexec pool, so the number of *system* threads (executor workers +
+//! actor loops, counted by [`miniexec::census`]) is a deployment constant.
+//! One deployment serves a read workload at a small and a 16x larger client
+//! count; the census high-water mark must be identical at both points.
+//!
+//! `BENCH_LEGACY=1` runs the same workload with
+//! [`blobseer::DataPlaneMode::LegacyThreads`] (the pre-refactor scoped
+//! thread-per-operation path, kept as a differential oracle). There the
+//! census scales with client count — the before/after pair is what
+//! EXPERIMENTS.md records. The flatness assertion only applies to actor
+//! mode.
+//!
+//! `BENCH_SMOKE=1` shrinks the sweep to a does-it-run configuration (CI
+//! asserts flatness on the emitted `BENCH_E9.json`).
+
+use blobseer::{BlobSeer, BlobSeerConfig, DataPlaneMode};
+use simcluster::topology::ClusterTopology;
+use simcluster::NodeId;
+use std::time::Instant;
+
+#[derive(serde::Serialize)]
+struct ScalePoint {
+    clients: usize,
+    aggregate_mibps: f64,
+    census_peak: usize,
+    census_spawned: usize,
+}
+
+fn main() {
+    let smoke = bench::smoke_mode();
+    let legacy = std::env::var("BENCH_LEGACY").is_ok_and(|v| !v.is_empty() && v != "0");
+    let mode = if legacy {
+        DataPlaneMode::LegacyThreads
+    } else {
+        DataPlaneMode::Actors
+    };
+    let client_counts: &[usize] = if smoke { &[2, 32] } else { &[4, 64] };
+    let page = 16 * 1024u64;
+    let pages = if smoke { 16u64 } else { 64 };
+    let passes = if smoke { 2 } else { 8 };
+
+    let topo = ClusterTopology::flat(8);
+    let provider_nodes: Vec<NodeId> = topo.all_nodes().collect();
+    let sys = BlobSeer::with_topology(
+        BlobSeerConfig::default()
+            .with_providers(8)
+            .with_page_size(page)
+            .with_page_replication(2)
+            .with_io_parallelism(4)
+            .with_data_plane(mode),
+        &topo,
+        &provider_nodes,
+    );
+    let writer = sys.client();
+    let blob = writer.create(Some(page)).unwrap();
+    let len = page * pages;
+    writer.write(blob, 0, &vec![7u8; len as usize]).unwrap();
+
+    println!(
+        "== E9: client scaling on the {} data plane (8 providers, {} KiB pages x {pages}, replication 2) ==",
+        if legacy { "legacy thread" } else { "actor" },
+        page / 1024,
+    );
+    println!();
+    println!(
+        "{:<10} {:>20} {:>14} {:>16}",
+        "clients", "aggregate (MiB/s)", "census peak", "threads spawned"
+    );
+
+    // Warm-up pass so the pool, actors and metadata cache exist before the
+    // first measured point — the census comparison is then deployment
+    // steady-state vs steady-state.
+    scan(&sys, blob, len, client_counts[0], 1);
+
+    let mut points = Vec::new();
+    for &clients in client_counts {
+        let t0 = Instant::now();
+        scan(&sys, blob, len, clients, passes);
+        let secs = t0.elapsed().as_secs_f64();
+        let census_peak = miniexec::census::peak();
+        let census_spawned = miniexec::census::spawned();
+        let mib = (len * passes as u64 * clients as u64) as f64 / (1024.0 * 1024.0);
+        println!(
+            "{:<10} {:>20.1} {:>14} {:>16}",
+            clients,
+            mib / secs,
+            census_peak,
+            census_spawned
+        );
+        points.push(ScalePoint {
+            clients,
+            aggregate_mibps: mib / secs,
+            census_peak,
+            census_spawned,
+        });
+    }
+
+    // Two flatness claims, both against the warmed-up deployment:
+    // * `peak` — concurrently-live system threads never exceed the fixed
+    //   pool + actor set, no matter the client count;
+    // * `spawned` — the system creates *zero* new threads while serving the
+    //   whole sweep (legacy mode spawns a scoped thread batch per
+    //   operation, so this is the metric that separates the two modes even
+    //   on a single-CPU runner where short-lived threads barely overlap).
+    let first = points.first().unwrap();
+    let last = points.last().unwrap();
+    let flat = first.census_peak == last.census_peak && first.census_spawned == last.census_spawned;
+    if !legacy {
+        assert!(
+            flat,
+            "actor data plane must keep the system thread census flat \
+             ({} clients -> peak {} / spawned {}, {} clients -> peak {} / spawned {})",
+            first.clients,
+            first.census_peak,
+            first.census_spawned,
+            last.clients,
+            last.census_peak,
+            last.census_spawned,
+        );
+    }
+    println!();
+    println!(
+        "census: peak {} -> {}, spawned {} -> {} across a {}x client jump ({})",
+        first.census_peak,
+        last.census_peak,
+        first.census_spawned,
+        last.census_spawned,
+        last.clients / first.clients,
+        if flat { "flat" } else { "scaling with clients" },
+    );
+
+    #[derive(serde::Serialize)]
+    struct Snapshot {
+        experiment: &'static str,
+        smoke: bool,
+        mode: &'static str,
+        census_flat: bool,
+        points: Vec<ScalePoint>,
+    }
+    bench::emit_bench_json(
+        "E9",
+        &Snapshot {
+            experiment: "E9",
+            smoke,
+            mode: if legacy { "legacy-threads" } else { "actors" },
+            census_flat: flat,
+            points,
+        },
+    );
+}
+
+/// `clients` plain threads (deliberately unregistered with the census — they
+/// model external load) each read the whole blob `passes` times in one
+/// multi-page extent per pass, so every read drives the page fan-out path
+/// (`io_parallelism`-wide) rather than a single-page fast path.
+fn scan(
+    sys: &std::sync::Arc<BlobSeer>,
+    blob: blobseer::BlobId,
+    len: u64,
+    clients: usize,
+    passes: usize,
+) {
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let client = sys.client_on(sys.topology().node((c % 8) as u32));
+            s.spawn(move || {
+                for _ in 0..passes {
+                    assert_eq!(client.read_latest(blob, 0, len).unwrap().len() as u64, len);
+                }
+            });
+        }
+    });
+}

@@ -3,34 +3,73 @@
 //! same file, instead of creating several output files". BlobSeer already
 //! supports this; the experiment measures N clients appending concurrently to
 //! one blob versus each writing its own blob, and checks no append is lost.
+//!
+//! The client sweep deliberately ends at 80 (a 10x jump over the mid-range
+//! points): since the data plane moved onto the actor/executor core, page
+//! I/O concurrency is bounded by the miniexec pool, so the system-thread
+//! census must stay flat across the whole sweep — asserted below.
+//!
+//! `BENCH_SMOKE=1` shrinks everything to a does-it-run configuration (CI).
 
 use blobseer::{BlobSeer, BlobSeerConfig};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+#[derive(serde::Serialize)]
+struct F1Record {
+    clients: usize,
+    shared_mibps: f64,
+    separate_mibps: f64,
+    census_peak: usize,
+}
+
+fn deployment() -> std::sync::Arc<BlobSeer> {
+    BlobSeer::new(
+        BlobSeerConfig::default()
+            .with_providers(8)
+            .with_page_size(64 * 1024),
+    )
+}
+
+/// Wait (bounded) for dropped deployments' actor threads to exit, so one
+/// sweep point's teardown cannot overlap the next point's spawn and ratchet
+/// the census high-water mark.
+fn wait_live_back_to(target: usize) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while miniexec::census::live() > target && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
 
 fn main() {
+    let smoke = bench::smoke_mode();
     let block = 64 * 1024u64;
-    let appends_per_client = 64usize;
+    let (client_counts, appends_per_client): (&[usize], usize) = if smoke {
+        (&[2, 20], 8)
+    } else {
+        (&[2, 4, 8, 80], 64)
+    };
+    // Start the executor pool before taking the census baseline: its workers
+    // live for the whole process, so they belong in every point's floor.
+    miniexec::block_on(|| {});
+    let idle_live = miniexec::census::live();
     println!("== F1: concurrent appends to one shared blob vs one blob per client ==");
     println!();
     println!(
-        "{:<10} {:>22} {:>22}",
-        "clients", "shared blob (MiB/s)", "per-client blobs (MiB/s)"
+        "{:<10} {:>22} {:>26} {:>14}",
+        "clients", "shared blob (MiB/s)", "per-client blobs (MiB/s)", "census peak"
     );
-    for &clients in &[2usize, 4, 8] {
+    let mut records = Vec::new();
+    for &clients in client_counts {
         let total_bytes = (clients * appends_per_client) as u64 * block;
 
         // Shared blob: everyone appends to the same blob.
-        let sys = BlobSeer::new(
-            BlobSeerConfig::default()
-                .with_providers(8)
-                .with_page_size(block),
-        );
-        let client0 = sys.client();
+        let shared_sys = deployment();
+        let client0 = shared_sys.client();
         let blob = client0.create(Some(block)).unwrap();
         let t0 = Instant::now();
         std::thread::scope(|s| {
             for c in 0..clients {
-                let client = sys.client_on(sys.topology().node((c % 8) as u32));
+                let client = shared_sys.client_on(shared_sys.topology().node((c % 8) as u32));
                 s.spawn(move || {
                     let payload = vec![c as u8; block as usize];
                     for _ in 0..appends_per_client {
@@ -45,18 +84,17 @@ fn main() {
             total_bytes,
             "no append may be lost"
         );
-        let shared_report = bench::write_path_report(&sys);
+        let shared_report = bench::write_path_report(&shared_sys);
+        drop(client0);
+        drop(shared_sys);
+        wait_live_back_to(idle_live);
 
         // Separate blobs: the current Hadoop-style one-output-per-reducer.
-        let sys = BlobSeer::new(
-            BlobSeerConfig::default()
-                .with_providers(8)
-                .with_page_size(block),
-        );
+        let separate_sys = deployment();
         let t0 = Instant::now();
         std::thread::scope(|s| {
             for c in 0..clients {
-                let client = sys.client_on(sys.topology().node((c % 8) as u32));
+                let client = separate_sys.client_on(separate_sys.topology().node((c % 8) as u32));
                 s.spawn(move || {
                     let blob = client.create(Some(block)).unwrap();
                     let payload = vec![c as u8; block as usize];
@@ -67,14 +105,62 @@ fn main() {
             }
         });
         let separate_secs = t0.elapsed().as_secs_f64();
+        drop(separate_sys);
+        wait_live_back_to(idle_live);
 
+        let census_peak = miniexec::census::peak();
         let mib = total_bytes as f64 / (1024.0 * 1024.0);
         println!(
-            "{:<10} {:>22.1} {:>22.1}",
+            "{:<10} {:>22.1} {:>26.1} {:>14}",
             clients,
             mib / shared_secs,
-            mib / separate_secs
+            mib / separate_secs,
+            census_peak,
         );
         println!("    shared-blob {shared_report}");
+        records.push(F1Record {
+            clients,
+            shared_mibps: mib / shared_secs,
+            separate_mibps: mib / separate_secs,
+            census_peak,
+        });
     }
+
+    // The whole point of the actor core: the system's thread high-water mark
+    // is set by the (fixed) pool and per-deployment actor count, not by how
+    // many clients pile on. The first sweep point already instantiates the
+    // full pool and an identical deployment, so every later, larger point
+    // must report the identical peak.
+    let first = records.first().expect("sweep is non-empty");
+    let last = records.last().expect("sweep is non-empty");
+    assert_eq!(
+        first.census_peak,
+        last.census_peak,
+        "system thread census must stay flat as clients scale ({}x)",
+        last.clients / first.clients,
+    );
+    println!();
+    println!(
+        "census: {} system threads at {} clients and at {} clients (flat)",
+        last.census_peak, first.clients, last.clients,
+    );
+
+    #[derive(serde::Serialize)]
+    struct Snapshot {
+        experiment: &'static str,
+        smoke: bool,
+        appends_per_client: usize,
+        block_bytes: u64,
+        sweep: Vec<F1Record>,
+    }
+    bench::emit_bench_json(
+        "F1",
+        &Snapshot {
+            experiment: "F1",
+            smoke,
+            appends_per_client,
+            block_bytes: block,
+            sweep: records,
+        },
+    );
 }

@@ -24,23 +24,25 @@
 //! of small DHT records per write, which is what lets BlobSeer sustain
 //! throughput under heavy write concurrency.
 
-use crate::config::BlobSeerConfig;
+use crate::config::{BlobSeerConfig, DataPlaneMode};
 use crate::error::{BlobResult, BlobSeerError};
 use crate::metadata::segment_tree::{
     build_version, lookup_range, lookup_range_readahead, PrevTree,
 };
-use crate::metadata::store::MetadataStore;
+use crate::metadata::store::{AdaptiveReadahead, MetadataStore};
 use crate::provider::page_key;
 use crate::provider_manager::ProviderManager;
 use crate::types::{next_power_of_two, BlobId, ByteRange, PageMath, ProviderId, Version};
 use crate::version_manager::{VersionInfo, VersionManager, WriteIntent, WriteTicket};
 use bytes::Bytes;
-use parking_lot::RwLock;
+use dht::NodeBackend;
+use parking_lot::{Mutex, RwLock};
 use simcluster::topology::ClusterTopology;
-use simcluster::NodeId;
+use simcluster::{Clock, NodeId, WallClock};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
 
 /// Location information for one page of a blob version, as returned by the
 /// locality primitive [`BlobSeerClient::locate`].
@@ -80,6 +82,16 @@ pub struct BlobSeer {
     metadata: Arc<MetadataStore>,
     /// Per-blob page size (configurable per blob, as in the paper).
     page_sizes: RwLock<HashMap<BlobId, u64>>,
+    /// Back-reference to the owning `Arc`, so deadline-triggered background
+    /// work (GC ticks) can capture a `Weak` and never keep the system alive.
+    self_weak: Weak<BlobSeer>,
+    /// Time source for the background-GC cadence (a `SimClock` in tests).
+    clock: Arc<dyn Clock>,
+    /// AIMD controller for the metadata read-ahead window, when enabled.
+    readahead: Option<AdaptiveReadahead>,
+    gc_last: Mutex<Duration>,
+    gc_running: AtomicBool,
+    gc_ticks: AtomicU64,
     bytes_written: AtomicU64,
     bytes_read: AtomicU64,
     write_ops: AtomicU64,
@@ -104,31 +116,63 @@ impl BlobSeer {
         topology: &ClusterTopology,
         provider_nodes: &[NodeId],
     ) -> Arc<Self> {
+        Self::with_topology_and_clock(config, topology, provider_nodes, Arc::new(WallClock::new()))
+    }
+
+    /// Like [`BlobSeer::with_topology`], but on an explicit time source. The
+    /// background-GC cadence reads this clock, so tests drive it with a
+    /// `SimClock` instead of waiting out real intervals.
+    pub fn with_topology_and_clock(
+        config: BlobSeerConfig,
+        topology: &ClusterTopology,
+        provider_nodes: &[NodeId],
+        clock: Arc<dyn Clock>,
+    ) -> Arc<Self> {
         config.validate();
         assert!(
             !provider_nodes.is_empty(),
             "at least one provider node is required to deploy BlobSeer"
         );
-        let provider_manager = Arc::new(ProviderManager::new_in_memory(
+        let backend = match config.data_plane {
+            DataPlaneMode::Actors => NodeBackend::Actor,
+            DataPlaneMode::LegacyThreads => NodeBackend::Direct,
+        };
+        let provider_manager = Arc::new(ProviderManager::new_in_memory_mode(
             topology,
             provider_nodes,
             config.placement,
+            config.data_plane,
         ));
-        let mut metadata =
-            MetadataStore::new(config.metadata_providers, config.metadata_replication);
+        let mut metadata = MetadataStore::new_with_backend(
+            config.metadata_providers,
+            config.metadata_replication,
+            backend,
+        );
         if config.metadata_cache {
             // Tree nodes are immutable once published, so a client-side cache
             // needs no invalidation; see `metadata::cache`.
             metadata = metadata.with_node_cache(config.metadata_cache_capacity);
         }
         let metadata = Arc::new(metadata);
-        Arc::new(BlobSeer {
+        let readahead = if config.adaptive_readahead {
+            Some(AdaptiveReadahead::new(config.metadata_readahead))
+        } else {
+            None
+        };
+        let gc_origin = clock.now();
+        Arc::new_cyclic(|weak| BlobSeer {
             config: config.clone(),
             topology: topology.clone(),
             version_manager: Arc::new(VersionManager::with_shards(config.version_manager_shards)),
             provider_manager,
             metadata,
             page_sizes: RwLock::new(HashMap::new()),
+            self_weak: weak.clone(),
+            clock,
+            readahead,
+            gc_last: Mutex::new(gc_origin),
+            gc_running: AtomicBool::new(false),
+            gc_ticks: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
             write_ops: AtomicU64::new(0),
@@ -240,15 +284,73 @@ impl BlobSeer {
         report.tombstones_compacted = self.metadata.dht().compact_tombstones() as u64;
         Ok(report)
     }
+
+    /// The deployment's time source (tests swap in a `SimClock`).
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// How many background GC sweeps the cadence has completed (see
+    /// [`crate::BlobSeerConfig::with_gc_interval`]).
+    pub fn gc_tick_count(&self) -> u64 {
+        self.gc_ticks.load(Ordering::Acquire)
+    }
+
+    /// The current metadata read-ahead window: the adaptive controller's
+    /// value when enabled, else the static configuration.
+    pub fn readahead_window(&self) -> usize {
+        match &self.readahead {
+            Some(ra) => ra.window(),
+            None => self.config.metadata_readahead,
+        }
+    }
+
+    /// Background-GC cadence: called on the write path after a commit. When
+    /// the configured interval has elapsed on the deployment clock, one GC
+    /// sweep is spawned on the executor; the writer itself never blocks on
+    /// it. There is no dedicated timer thread to join on shutdown — the task
+    /// holds only a `Weak` reference, so dropping the system cancels the
+    /// cadence and the sweep's work dies with the upgrade failure.
+    fn maybe_tick_gc(&self) {
+        let Some(interval_ms) = self.config.gc_interval_ms else {
+            return;
+        };
+        let now = self.clock.now();
+        {
+            let mut last = self.gc_last.lock();
+            if now.saturating_sub(*last) < Duration::from_millis(interval_ms) {
+                return;
+            }
+            *last = now;
+        }
+        // At most one sweep in flight: an overrunning sweep absorbs the
+        // deadlines it misses rather than queueing them up.
+        if self.gc_running.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let weak = self.self_weak.clone();
+        drop(miniexec::spawn(move || {
+            if let Some(sys) = weak.upgrade() {
+                let _ = sys.collect_garbage();
+                sys.gc_ticks.fetch_add(1, Ordering::AcqRel);
+                sys.gc_running.store(false, Ordering::Release);
+            }
+        }));
+    }
 }
 
 /// Run `work(i)` for every `i in 0..items` and return the results in index
 /// order. With more than one item and `parallelism > 1` the work is fanned
-/// out over a bounded scoped-thread pool; items are assigned to workers by
-/// stride, which keeps the distribution deterministic. Both the read path
-/// (per-page replica fetches) and the write path (per-page replica pushes)
-/// go through this.
-fn fan_out<T, F>(parallelism: usize, items: usize, work: F) -> Vec<T>
+/// out as scoped tasks; items are assigned to workers by stride, which keeps
+/// the distribution deterministic. Both the read path (per-page replica
+/// fetches) and the write path (per-page replica pushes) go through this.
+///
+/// In [`DataPlaneMode::Actors`] the tasks run on the process-wide executor's
+/// fixed worker pool, so concurrency is bounded by pool width and queue
+/// depth no matter how many clients fan out at once. The legacy mode spawns
+/// one scoped OS thread per worker, per call — the thread-per-operation
+/// behaviour this release replaces, kept as a differential oracle.
+fn fan_out<T, F>(mode: DataPlaneMode, parallelism: usize, items: usize, work: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -258,27 +360,55 @@ where
         return (0..items).map(work).collect();
     }
     let mut out: Vec<Option<T>> = (0..items).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let work = &work;
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    let mut i = w;
-                    while i < items {
-                        local.push((i, work(i)));
-                        i += workers;
+    match mode {
+        DataPlaneMode::Actors => {
+            miniexec::scope(|scope| {
+                let work = &work;
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            let mut i = w;
+                            while i < items {
+                                local.push((i, work(i)));
+                                i += workers;
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    for (i, value) in handle.join() {
+                        out[i] = Some(value);
                     }
-                    local
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, value) in handle.join().expect("page I/O worker panicked") {
-                out[i] = Some(value);
-            }
+                }
+            });
         }
-    });
+        DataPlaneMode::LegacyThreads => {
+            std::thread::scope(|scope| {
+                let work = &work;
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            let _census = miniexec::census::Registration::new();
+                            let mut local = Vec::new();
+                            let mut i = w;
+                            while i < items {
+                                local.push((i, work(i)));
+                                i += workers;
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    for (i, value) in handle.join().expect("page I/O worker panicked") {
+                        out[i] = Some(value);
+                    }
+                }
+            });
+        }
+    }
     out.into_iter()
         .map(|v| v.expect("every item computed"))
         .collect()
@@ -493,9 +623,12 @@ impl BlobSeerClient {
             Ok(stored)
         };
         let pages: Vec<u64> = (first_page..=last_page).collect();
-        let per_page = fan_out(sys.config.io_parallelism, pages.len(), |i| {
-            build_and_push(i, pages[i])
-        });
+        let per_page = fan_out(
+            sys.config.data_plane,
+            sys.config.io_parallelism,
+            pages.len(),
+            |i| build_and_push(i, pages[i]),
+        );
         let mut written: BTreeMap<u64, Vec<ProviderId>> = BTreeMap::new();
         for (page, stored) in pages.iter().zip(per_page) {
             written.insert(*page, stored?);
@@ -525,6 +658,7 @@ impl BlobSeerClient {
         sys.bytes_written
             .fetch_add(data.len() as u64, Ordering::Relaxed);
         sys.write_ops.fetch_add(1, Ordering::Relaxed);
+        sys.maybe_tick_gc();
         Ok(info.version)
     }
 
@@ -593,7 +727,7 @@ impl BlobSeerClient {
         // With read-ahead configured (and a cache to land in), the descent
         // also pre-warms the next window of the scan in the same round trips.
         let window = if sys.metadata.cache_enabled() {
-            sys.config.metadata_readahead as u64
+            sys.readahead_window() as u64
         } else {
             0
         };
@@ -605,12 +739,17 @@ impl BlobSeerClient {
             last_page,
             window,
         )?;
-        let images = fan_out(sys.config.io_parallelism, locations.len(), |i| {
-            let meta = &locations[i];
-            let page_start = pm.page_start(meta.page);
-            let valid_len = ((info.size - page_start).min(page_size)) as usize;
-            self.fetch_page(blob, meta, valid_len)
-        });
+        let images = fan_out(
+            sys.config.data_plane,
+            sys.config.io_parallelism,
+            locations.len(),
+            |i| {
+                let meta = &locations[i];
+                let page_start = pm.page_start(meta.page);
+                let valid_len = ((info.size - page_start).min(page_size)) as usize;
+                self.fetch_page(blob, meta, valid_len)
+            },
+        );
 
         let mut out = Vec::with_capacity(len as usize);
         for (meta, image) in locations.iter().zip(images) {
@@ -625,6 +764,11 @@ impl BlobSeerClient {
 
         sys.bytes_read.fetch_add(len, Ordering::Relaxed);
         sys.read_ops.fetch_add(1, Ordering::Relaxed);
+        // Feed the prefetch outcome of this read back into the adaptive
+        // window controller for the next one.
+        if let Some(ra) = &sys.readahead {
+            ra.observe(&sys.metadata.stats());
+        }
         Ok(Bytes::from(out))
     }
 
@@ -1331,6 +1475,118 @@ mod tests {
         // image of v1 was overwritten by v2 which was itself retired — but
         // v2's page-1 leaf is shared by v3, so it must survive.
         assert!(report.pages_deleted >= 1);
+    }
+
+    #[test]
+    fn background_gc_ticks_on_the_deployment_clock() {
+        use simcluster::SimClock;
+        let clock = Arc::new(SimClock::new());
+        let config = BlobSeerConfig::for_tests()
+            .with_gc_keep_last(1)
+            .with_gc_interval(Duration::from_secs(5));
+        let topology = ClusterTopology::flat(config.providers as u32);
+        let nodes: Vec<NodeId> = topology.all_nodes().collect();
+        let sys = BlobSeer::with_topology_and_clock(config, &topology, &nodes, clock.clone());
+        let client = sys.client();
+        let blob = client.create(Some(8)).unwrap();
+
+        // Writes inside the interval never trigger a sweep.
+        for _ in 0..5 {
+            client.write(blob, 0, b"warmup!!").unwrap();
+        }
+        assert_eq!(sys.gc_tick_count(), 0);
+        let versions_before = client.versions(blob).unwrap().len();
+        assert!(versions_before > 2, "retention not yet enforced");
+
+        // Cross the GC deadline on the virtual clock; the next commit kicks
+        // off a background sweep on the executor.
+        clock.advance(Duration::from_secs(6));
+        client.write(blob, 0, b"trigger!").unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while sys.gc_tick_count() == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background GC sweep never ran"
+            );
+            std::thread::yield_now();
+        }
+        // The sweep applied keep-last-1: only the latest version (plus the
+        // possibly-concurrent trigger write) survives.
+        assert!(client.versions(blob).unwrap().len() <= 2);
+        // Survivor still reads back.
+        assert_eq!(&client.read_latest(blob, 0, 8).unwrap()[..], b"trigger!");
+    }
+
+    #[test]
+    fn gc_interval_is_idle_without_clock_progress() {
+        use simcluster::SimClock;
+        let clock = Arc::new(SimClock::new());
+        let config = BlobSeerConfig::for_tests()
+            .with_gc_keep_last(1)
+            .with_gc_interval(Duration::from_secs(60));
+        let topology = ClusterTopology::flat(config.providers as u32);
+        let nodes: Vec<NodeId> = topology.all_nodes().collect();
+        let sys = BlobSeer::with_topology_and_clock(config, &topology, &nodes, clock);
+        let client = sys.client();
+        let blob = client.create(Some(8)).unwrap();
+        for _ in 0..10 {
+            client.write(blob, 0, b"steady!!").unwrap();
+        }
+        assert_eq!(sys.gc_tick_count(), 0, "virtual time never advanced");
+        assert_eq!(client.versions(blob).unwrap().len(), 11);
+    }
+
+    /// The differential oracle for the data-plane refactor: the same workload
+    /// through message-loop actors and through the legacy thread-per-operation
+    /// paths must produce byte-identical blobs and identical version history.
+    #[test]
+    fn actor_and_legacy_data_planes_are_byte_identical() {
+        let run = |mode: DataPlaneMode| {
+            let sys = BlobSeer::new(
+                BlobSeerConfig::for_tests()
+                    .with_providers(8)
+                    .with_io_parallelism(4)
+                    .with_page_replication(2)
+                    .with_data_plane(mode),
+            );
+            let client = sys.client();
+            let blob = client.create(Some(32)).unwrap();
+            let data: Vec<u8> = (0..32 * 20).map(|i| (i % 241) as u8).collect();
+            client.write(blob, 0, &data).unwrap();
+            client.write(blob, 48, &[0xAB; 100]).unwrap();
+            client.append(blob, &[0xCD; 75]).unwrap();
+            let latest = client.latest_version(blob).unwrap();
+            let bytes = client.read_latest(blob, 0, latest.size).unwrap();
+            let unaligned = client.read_latest(blob, 13, 333).unwrap();
+            (latest.version, latest.size, bytes, unaligned)
+        };
+        let actors = run(DataPlaneMode::Actors);
+        let legacy = run(DataPlaneMode::LegacyThreads);
+        assert_eq!(actors, legacy);
+    }
+
+    #[test]
+    fn adaptive_readahead_reacts_to_the_workload() {
+        let sys = BlobSeer::new(
+            BlobSeerConfig::for_tests()
+                .with_providers(4)
+                .with_metadata_readahead(8)
+                .with_adaptive_readahead(true),
+        );
+        let client = sys.client();
+        let blob = client.create(Some(16)).unwrap();
+        let data = vec![5u8; 16 * 64];
+        client.write(blob, 0, &data).unwrap();
+        assert_eq!(sys.readahead_window(), 8, "starts at the configured max");
+        // A sequential scan through a cold cache turns prefetches into hits
+        // and never wastes them: the window must not collapse.
+        sys.metadata().drop_cached_nodes();
+        for page in 0..64u64 {
+            client.read_latest(blob, page * 16, 16).unwrap();
+        }
+        assert!(sys.readahead_window() >= 1);
+        let stats = sys.metadata().stats();
+        assert!(stats.prefetch_hits > 0, "scan must exercise read-ahead");
     }
 
     #[test]

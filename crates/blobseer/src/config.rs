@@ -2,6 +2,24 @@
 
 use crate::provider_manager::PlacementStrategy;
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Which concurrency substrate the data plane runs on.
+///
+/// [`DataPlaneMode::Actors`] (the default) runs provider and DHT-node
+/// interiors as message-loop actors and fans page I/O out as tasks on the
+/// shared `miniexec` pool, so in-flight concurrency is bounded by queue
+/// depth rather than thread count. [`DataPlaneMode::LegacyThreads`] keeps
+/// the previous scoped-thread pools and lock-based component interiors; it
+/// exists for one PR as the differential oracle for the actor port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DataPlaneMode {
+    /// Message-loop actors + shared task pool (the default).
+    #[default]
+    Actors,
+    /// Scoped thread pools and shared-lock interiors (differential oracle).
+    LegacyThreads,
+}
 
 /// Configuration of an in-process BlobSeer deployment.
 ///
@@ -49,6 +67,22 @@ pub struct BlobSeerConfig {
     /// `None` retains every version forever (the classic BlobSeer model).
     /// Pinned snapshots survive regardless of K.
     pub gc_keep_last: Option<usize>,
+    /// Background GC cadence in milliseconds (of the instance's `Clock`, so
+    /// tests drive it with `SimClock`). When set, the write path checks the
+    /// clock after each commit and, once this much time has elapsed since the
+    /// last collection, schedules [`crate::BlobSeer::collect_garbage`] as a
+    /// background task on the executor pool. `None` keeps GC purely
+    /// caller-driven. Only meaningful together with `gc_keep_last`.
+    pub gc_interval_ms: Option<u64>,
+    /// When true, the metadata read-ahead window self-tunes from the
+    /// prefetch counters: it is halved whenever a window wasted prefetched
+    /// nodes (evicted untouched) and grown additively after all-hit windows,
+    /// bounded above by `metadata_readahead`. When false the window is the
+    /// fixed `metadata_readahead` knob.
+    pub adaptive_readahead: bool,
+    /// Which concurrency substrate the data plane runs on (see
+    /// [`DataPlaneMode`]).
+    pub data_plane: DataPlaneMode,
 }
 
 impl Default for BlobSeerConfig {
@@ -66,6 +100,9 @@ impl Default for BlobSeerConfig {
             io_parallelism: 8,
             metadata_readahead: 0,
             gc_keep_last: None,
+            gc_interval_ms: None,
+            adaptive_readahead: false,
+            data_plane: DataPlaneMode::default(),
         }
     }
 }
@@ -86,6 +123,9 @@ impl BlobSeerConfig {
             io_parallelism: 4,
             metadata_readahead: 0,
             gc_keep_last: None,
+            gc_interval_ms: None,
+            adaptive_readahead: false,
+            data_plane: DataPlaneMode::default(),
         }
     }
 
@@ -149,6 +189,26 @@ impl BlobSeerConfig {
         self
     }
 
+    /// Builder-style override of the background GC cadence. The interval is
+    /// measured on the instance's `Clock` (so `SimClock` tests control it)
+    /// and rounded down to whole milliseconds.
+    pub fn with_gc_interval(mut self, interval: Duration) -> Self {
+        self.gc_interval_ms = Some(interval.as_millis() as u64);
+        self
+    }
+
+    /// Builder-style toggle of the self-tuning metadata read-ahead window.
+    pub fn with_adaptive_readahead(mut self, enabled: bool) -> Self {
+        self.adaptive_readahead = enabled;
+        self
+    }
+
+    /// Builder-style override of the data-plane concurrency substrate.
+    pub fn with_data_plane(mut self, mode: DataPlaneMode) -> Self {
+        self.data_plane = mode;
+        self
+    }
+
     /// Validate invariants, panicking with a clear message if violated. Called
     /// by [`crate::BlobSeer::new`].
     pub fn validate(&self) {
@@ -185,6 +245,18 @@ impl BlobSeerConfig {
             self.gc_keep_last != Some(0),
             "snapshot retention must keep at least one version"
         );
+        assert!(
+            self.gc_interval_ms != Some(0),
+            "a background GC interval must be non-zero"
+        );
+        assert!(
+            self.gc_interval_ms.is_none() || self.gc_keep_last.is_some(),
+            "a background GC interval needs a retention policy (gc_keep_last) to enforce"
+        );
+        assert!(
+            !self.adaptive_readahead || self.metadata_readahead >= 1,
+            "adaptive read-ahead needs a non-zero metadata_readahead as its upper bound"
+        );
     }
 }
 
@@ -209,7 +281,10 @@ mod tests {
             .with_metadata_cache_capacity(128)
             .with_io_parallelism(2)
             .with_metadata_readahead(16)
-            .with_gc_keep_last(3);
+            .with_gc_keep_last(3)
+            .with_gc_interval(Duration::from_secs(30))
+            .with_adaptive_readahead(true)
+            .with_data_plane(DataPlaneMode::LegacyThreads);
         assert_eq!(c.default_page_size, 4096);
         assert_eq!(c.providers, 10);
         assert_eq!(c.page_replication, 3);
@@ -219,6 +294,9 @@ mod tests {
         assert_eq!(c.io_parallelism, 2);
         assert_eq!(c.metadata_readahead, 16);
         assert_eq!(c.gc_keep_last, Some(3));
+        assert_eq!(c.gc_interval_ms, Some(30_000));
+        assert!(c.adaptive_readahead);
+        assert_eq!(c.data_plane, DataPlaneMode::LegacyThreads);
         c.validate();
     }
 
@@ -226,6 +304,22 @@ mod tests {
     #[should_panic(expected = "keep at least one version")]
     fn zero_retention_is_rejected() {
         BlobSeerConfig::for_tests().with_gc_keep_last(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a retention policy")]
+    fn gc_interval_without_retention_is_rejected() {
+        BlobSeerConfig::for_tests()
+            .with_gc_interval(Duration::from_secs(1))
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero metadata_readahead")]
+    fn adaptive_readahead_without_a_window_is_rejected() {
+        BlobSeerConfig::for_tests()
+            .with_adaptive_readahead(true)
+            .validate();
     }
 
     #[test]

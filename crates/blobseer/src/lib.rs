@@ -60,7 +60,7 @@ pub mod types;
 pub mod version_manager;
 
 pub use client::{BlobSeer, BlobSeerClient, PageLocation};
-pub use config::BlobSeerConfig;
+pub use config::{BlobSeerConfig, DataPlaneMode};
 pub use error::{BlobResult, BlobSeerError};
 pub use gc::GcReport;
 pub use metadata::store::MetadataStats;

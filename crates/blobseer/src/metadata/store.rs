@@ -4,7 +4,7 @@ use crate::error::{BlobResult, BlobSeerError};
 use crate::metadata::cache::MetadataCache;
 use crate::metadata::{NodeKey, TreeNode};
 use bytes::Bytes;
-use dht::{Dht, DhtConfig, DhtError};
+use dht::{Dht, DhtConfig, DhtError, NodeBackend};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -71,13 +71,26 @@ pub struct MetadataStore {
 }
 
 impl MetadataStore {
-    /// Create a store with a fresh DHT of `metadata_providers` nodes.
+    /// Create a store with a fresh DHT of `metadata_providers` nodes on the
+    /// default (actor) node backend.
     pub fn new(metadata_providers: usize, replication: usize) -> Self {
-        let dht = Dht::new(DhtConfig {
-            nodes: metadata_providers,
-            replication,
-            virtual_nodes: 64,
-        });
+        Self::new_with_backend(metadata_providers, replication, NodeBackend::default())
+    }
+
+    /// Create a store whose DHT nodes run on an explicit backend.
+    pub fn new_with_backend(
+        metadata_providers: usize,
+        replication: usize,
+        backend: NodeBackend,
+    ) -> Self {
+        let dht = Dht::with_backend(
+            DhtConfig {
+                nodes: metadata_providers,
+                replication,
+                virtual_nodes: 64,
+            },
+            backend,
+        );
         Self::with_dht(Arc::new(dht))
     }
 
@@ -300,6 +313,64 @@ impl MetadataStore {
     }
 }
 
+/// Self-tuning read-ahead window, driven by the prefetch outcome counters.
+///
+/// The controller follows the classic AIMD shape: a read that wasted
+/// prefetched nodes (they were evicted untouched, so the window overshot the
+/// cache or the access pattern) halves the window; a read whose window was
+/// all profit (new prefetch hits, no new waste) grows it by one page, up to
+/// the configured maximum. Windows with neither signal — e.g. fully cached
+/// re-reads that never prefetch — leave it unchanged.
+///
+/// `observe` compares monotonic totals from [`MetadataStats`] against the
+/// last snapshot, so callers just feed it `stats()` after each read.
+pub struct AdaptiveReadahead {
+    window: AtomicU64,
+    max: u64,
+    last_wasted: AtomicU64,
+    last_hits: AtomicU64,
+}
+
+impl AdaptiveReadahead {
+    /// Start at the configured maximum (the previous fixed-knob behaviour)
+    /// and adapt from there.
+    pub fn new(max_window: usize) -> Self {
+        AdaptiveReadahead {
+            window: AtomicU64::new(max_window as u64),
+            max: max_window as u64,
+            last_wasted: AtomicU64::new(0),
+            last_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The window (in pages) the next read should use.
+    pub fn window(&self) -> usize {
+        self.window.load(Ordering::Relaxed) as usize
+    }
+
+    /// Feed the controller the current counter totals; returns the window
+    /// chosen for the next read.
+    pub fn observe(&self, stats: &MetadataStats) -> usize {
+        let wasted_delta = stats.prefetch_wasted.saturating_sub(
+            self.last_wasted
+                .swap(stats.prefetch_wasted, Ordering::Relaxed),
+        );
+        let hit_delta = stats
+            .prefetch_hits
+            .saturating_sub(self.last_hits.swap(stats.prefetch_hits, Ordering::Relaxed));
+        let current = self.window.load(Ordering::Relaxed);
+        let next = if wasted_delta > 0 {
+            (current / 2).max(1)
+        } else if hit_delta > 0 {
+            (current + 1).min(self.max)
+        } else {
+            current
+        };
+        self.window.store(next, Ordering::Relaxed);
+        next as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,5 +571,60 @@ mod tests {
         let replicas = store.dht().replicas_for(&key(1, 0, 1).dht_key());
         store.dht().kill(replicas[0]).unwrap();
         assert_eq!(store.get_node(key(1, 0, 1)).unwrap(), leaf);
+    }
+
+    fn stats_with(prefetch_hits: u64, prefetch_wasted: u64) -> MetadataStats {
+        MetadataStats {
+            prefetch_hits,
+            prefetch_wasted,
+            ..MetadataStats::default()
+        }
+    }
+
+    #[test]
+    fn adaptive_readahead_halves_on_waste() {
+        let ctl = AdaptiveReadahead::new(16);
+        assert_eq!(ctl.window(), 16);
+        // A read that wasted prefetched nodes halves the window...
+        assert_eq!(ctl.observe(&stats_with(0, 3)), 8);
+        // ...repeatedly, down to the floor of one page.
+        assert_eq!(ctl.observe(&stats_with(0, 5)), 4);
+        assert_eq!(ctl.observe(&stats_with(0, 9)), 2);
+        assert_eq!(ctl.observe(&stats_with(0, 10)), 1);
+        assert_eq!(ctl.observe(&stats_with(0, 11)), 1);
+    }
+
+    #[test]
+    fn adaptive_readahead_grows_additively_on_all_hit_windows() {
+        let ctl = AdaptiveReadahead::new(16);
+        // Shrink first so there is room to grow back.
+        assert_eq!(ctl.observe(&stats_with(0, 4)), 8);
+        // All-hit windows (new hits, no new waste) grow by one page each...
+        assert_eq!(ctl.observe(&stats_with(2, 4)), 9);
+        assert_eq!(ctl.observe(&stats_with(5, 4)), 10);
+        // ...capped at the configured maximum.
+        let mut hits = 5;
+        for _ in 0..10 {
+            hits += 1;
+            ctl.observe(&stats_with(hits, 4));
+        }
+        assert_eq!(ctl.window(), 16);
+    }
+
+    #[test]
+    fn adaptive_readahead_holds_steady_without_prefetch_signals() {
+        let ctl = AdaptiveReadahead::new(8);
+        ctl.observe(&stats_with(0, 1)); // -> 4
+                                        // Fully cached re-reads produce neither hits nor waste: no change.
+        assert_eq!(ctl.observe(&stats_with(0, 1)), 4);
+        assert_eq!(ctl.observe(&stats_with(0, 1)), 4);
+    }
+
+    #[test]
+    fn adaptive_readahead_waste_beats_hits_in_a_mixed_window() {
+        let ctl = AdaptiveReadahead::new(8);
+        // A window with both new hits and new waste still shrinks: waste
+        // means the tail of the window overshot.
+        assert_eq!(ctl.observe(&stats_with(3, 2)), 4);
     }
 }

@@ -5,11 +5,21 @@
 //! durable log-structured store), knows which cluster node it runs on (for
 //! locality-aware scheduling and the network model), counts its traffic, and
 //! can be killed/revived for fault-tolerance experiments.
+//!
+//! Under [`DataPlaneMode::Actors`] (the default) the store, liveness flag and
+//! counters live single-threaded inside a message-loop actor; the `Provider`
+//! the rest of the system holds is a thin handle enqueueing commands on the
+//! mailbox. Mailbox FIFO preserves the kill-then-put ordering callers rely
+//! on. Under [`DataPlaneMode::LegacyThreads`] the previous shared
+//! atomics-and-`Arc<dyn PageStore>` interior is used; it stays for one PR as
+//! the differential oracle for the actor port.
 
+use crate::config::DataPlaneMode;
 use crate::error::{BlobResult, BlobSeerError};
 use crate::types::{BlobId, ProviderId, Version};
 use bytes::Bytes;
 use kvstore::{MemStore, PageStore};
+use miniexec::{actor, oneshot};
 use simcluster::NodeId;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -39,36 +49,182 @@ pub struct ProviderStats {
     pub bytes_read: u64,
 }
 
-/// One data provider.
-pub struct Provider {
-    id: ProviderId,
-    node: NodeId,
+/// Commands understood by the provider actor.
+enum ProviderMsg {
+    Put {
+        key: Vec<u8>,
+        data: Bytes,
+        reply: oneshot::Sender<BlobResult<()>>,
+    },
+    Get {
+        key: Vec<u8>,
+        reply: oneshot::Sender<BlobResult<Option<Bytes>>>,
+    },
+    Delete {
+        key: Vec<u8>,
+        reply: oneshot::Sender<BlobResult<bool>>,
+    },
+    Stats(oneshot::Sender<ProviderStats>),
+    Kill(oneshot::Sender<()>),
+    Revive(oneshot::Sender<()>),
+}
+
+/// The actor's single-threaded state: plain fields, no shared locks.
+struct ProviderState {
     store: Arc<dyn PageStore>,
-    alive: AtomicBool,
+    alive: bool,
+    alive_mirror: Arc<AtomicBool>,
+    writes: u64,
+    reads: u64,
+    bytes_written: u64,
+    bytes_read: u64,
+}
+
+impl ProviderState {
+    fn handle(&mut self, msg: ProviderMsg) {
+        match msg {
+            ProviderMsg::Put { key, data, reply } => {
+                let _ = reply.send(self.put(&key, data));
+            }
+            ProviderMsg::Get { key, reply } => {
+                let _ = reply.send(self.get(&key));
+            }
+            ProviderMsg::Delete { key, reply } => {
+                let _ = reply.send(self.delete(&key));
+            }
+            ProviderMsg::Stats(reply) => {
+                let _ = reply.send(ProviderStats {
+                    pages: self.store.len(),
+                    stored_bytes: self.store.data_bytes(),
+                    writes: self.writes,
+                    reads: self.reads,
+                    bytes_written: self.bytes_written,
+                    bytes_read: self.bytes_read,
+                });
+            }
+            ProviderMsg::Kill(done) => {
+                self.alive = false;
+                self.alive_mirror.store(false, Ordering::Release);
+                let _ = done.send(());
+            }
+            ProviderMsg::Revive(done) => {
+                self.alive = true;
+                self.alive_mirror.store(true, Ordering::Release);
+                let _ = done.send(());
+            }
+        }
+    }
+
+    fn put(&mut self, key: &[u8], data: Bytes) -> BlobResult<()> {
+        if !self.alive {
+            return Err(BlobSeerError::Storage(kvstore::KvError::Closed));
+        }
+        self.writes += 1;
+        self.bytes_written += data.len() as u64;
+        self.store.put(key, data)?;
+        Ok(())
+    }
+
+    fn get(&mut self, key: &[u8]) -> BlobResult<Option<Bytes>> {
+        if !self.alive {
+            return Err(BlobSeerError::Storage(kvstore::KvError::Closed));
+        }
+        let page = self.store.get(key)?;
+        if let Some(p) = &page {
+            self.reads += 1;
+            self.bytes_read += p.len() as u64;
+        }
+        Ok(page)
+    }
+
+    fn delete(&mut self, key: &[u8]) -> BlobResult<bool> {
+        if !self.alive {
+            return Err(BlobSeerError::Storage(kvstore::KvError::Closed));
+        }
+        Ok(self.store.delete(key)?)
+    }
+}
+
+/// Legacy shared-state interior.
+struct DirectProvider {
+    store: Arc<dyn PageStore>,
     writes: AtomicU64,
     reads: AtomicU64,
     bytes_written: AtomicU64,
     bytes_read: AtomicU64,
 }
 
+enum ProviderInner {
+    Actor(actor::Handle<ProviderMsg>),
+    Direct(DirectProvider),
+}
+
+/// One data provider.
+pub struct Provider {
+    id: ProviderId,
+    node: NodeId,
+    inner: ProviderInner,
+    alive: Arc<AtomicBool>,
+}
+
+/// A dead actor means the reply channel is dropped; surface that the same
+/// way a dead provider surfaces: the component is not serving.
+fn actor_gone<T>(_: oneshot::Canceled) -> BlobResult<T> {
+    Err(BlobSeerError::Storage(kvstore::KvError::Closed))
+}
+
 impl Provider {
-    /// Create a provider backed by an in-memory store.
+    /// Create a provider backed by an in-memory store on the default
+    /// (actor) data plane.
     pub fn in_memory(id: ProviderId, node: NodeId) -> Self {
         Self::with_store(id, node, Arc::new(MemStore::new()))
     }
 
     /// Create a provider backed by an arbitrary page store (e.g. a
-    /// [`kvstore::LogStore`] for durability).
+    /// [`kvstore::LogStore`] for durability) on the default (actor) data
+    /// plane.
     pub fn with_store(id: ProviderId, node: NodeId, store: Arc<dyn PageStore>) -> Self {
+        Self::with_store_mode(id, node, store, DataPlaneMode::default())
+    }
+
+    /// Create a provider on an explicit data-plane mode.
+    pub fn with_store_mode(
+        id: ProviderId,
+        node: NodeId,
+        store: Arc<dyn PageStore>,
+        mode: DataPlaneMode,
+    ) -> Self {
+        let alive = Arc::new(AtomicBool::new(true));
+        let inner = match mode {
+            DataPlaneMode::Actors => {
+                let state = ProviderState {
+                    store,
+                    alive: true,
+                    alive_mirror: Arc::clone(&alive),
+                    writes: 0,
+                    reads: 0,
+                    bytes_written: 0,
+                    bytes_read: 0,
+                };
+                ProviderInner::Actor(actor::spawn(
+                    &format!("provider-{}", id.0),
+                    state,
+                    ProviderState::handle,
+                ))
+            }
+            DataPlaneMode::LegacyThreads => ProviderInner::Direct(DirectProvider {
+                store,
+                writes: AtomicU64::new(0),
+                reads: AtomicU64::new(0),
+                bytes_written: AtomicU64::new(0),
+                bytes_read: AtomicU64::new(0),
+            }),
+        };
         Provider {
             id,
             node,
-            store,
-            alive: AtomicBool::new(true),
-            writes: AtomicU64::new(0),
-            reads: AtomicU64::new(0),
-            bytes_written: AtomicU64::new(0),
-            bytes_read: AtomicU64::new(0),
+            inner,
+            alive,
         }
     }
 
@@ -82,65 +238,112 @@ impl Provider {
         self.node
     }
 
-    /// Is the provider serving requests?
+    /// Is the provider serving requests? (Lock-free mirror read; the
+    /// authoritative flag lives with the state and gates every operation.)
     pub fn is_alive(&self) -> bool {
         self.alive.load(Ordering::Acquire)
     }
 
     /// Simulate a crash. The underlying store keeps its data so that a
-    /// revive models a restart from persistent storage.
+    /// revive models a restart from persistent storage. Serialized through
+    /// the mailbox in actor mode, so operations enqueued after the kill
+    /// observe the dead state.
     pub fn kill(&self) {
-        self.alive.store(false, Ordering::Release);
+        match &self.inner {
+            ProviderInner::Actor(h) => {
+                let _ = h.call(ProviderMsg::Kill);
+            }
+            ProviderInner::Direct(_) => self.alive.store(false, Ordering::Release),
+        }
     }
 
     /// Bring the provider back online.
     pub fn revive(&self) {
-        self.alive.store(true, Ordering::Release);
+        match &self.inner {
+            ProviderInner::Actor(h) => {
+                let _ = h.call(ProviderMsg::Revive);
+            }
+            ProviderInner::Direct(_) => self.alive.store(true, Ordering::Release),
+        }
     }
 
     /// Store a page. Fails if the provider is down.
     pub fn put_page(&self, key: &[u8], data: Bytes) -> BlobResult<()> {
-        if !self.is_alive() {
-            return Err(BlobSeerError::Storage(kvstore::KvError::Closed));
+        match &self.inner {
+            ProviderInner::Actor(h) => h
+                .call(|reply| ProviderMsg::Put {
+                    key: key.to_vec(),
+                    data,
+                    reply,
+                })
+                .unwrap_or_else(actor_gone),
+            ProviderInner::Direct(d) => {
+                if !self.is_alive() {
+                    return Err(BlobSeerError::Storage(kvstore::KvError::Closed));
+                }
+                d.writes.fetch_add(1, Ordering::Relaxed);
+                d.bytes_written
+                    .fetch_add(data.len() as u64, Ordering::Relaxed);
+                d.store.put(key, data)?;
+                Ok(())
+            }
         }
-        self.writes.fetch_add(1, Ordering::Relaxed);
-        self.bytes_written
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
-        self.store.put(key, data)?;
-        Ok(())
     }
 
     /// Fetch a page. Returns `Ok(None)` when the provider is up but does not
     /// hold the page, and an error when the provider is down.
     pub fn get_page(&self, key: &[u8]) -> BlobResult<Option<Bytes>> {
-        if !self.is_alive() {
-            return Err(BlobSeerError::Storage(kvstore::KvError::Closed));
+        match &self.inner {
+            ProviderInner::Actor(h) => h
+                .call(|reply| ProviderMsg::Get {
+                    key: key.to_vec(),
+                    reply,
+                })
+                .unwrap_or_else(actor_gone),
+            ProviderInner::Direct(d) => {
+                if !self.is_alive() {
+                    return Err(BlobSeerError::Storage(kvstore::KvError::Closed));
+                }
+                let page = d.store.get(key)?;
+                if let Some(p) = &page {
+                    d.reads.fetch_add(1, Ordering::Relaxed);
+                    d.bytes_read.fetch_add(p.len() as u64, Ordering::Relaxed);
+                }
+                Ok(page)
+            }
         }
-        let page = self.store.get(key)?;
-        if let Some(p) = &page {
-            self.reads.fetch_add(1, Ordering::Relaxed);
-            self.bytes_read.fetch_add(p.len() as u64, Ordering::Relaxed);
-        }
-        Ok(page)
     }
 
     /// Delete a page (used by version garbage collection).
     pub fn delete_page(&self, key: &[u8]) -> BlobResult<bool> {
-        if !self.is_alive() {
-            return Err(BlobSeerError::Storage(kvstore::KvError::Closed));
+        match &self.inner {
+            ProviderInner::Actor(h) => h
+                .call(|reply| ProviderMsg::Delete {
+                    key: key.to_vec(),
+                    reply,
+                })
+                .unwrap_or_else(actor_gone),
+            ProviderInner::Direct(d) => {
+                if !self.is_alive() {
+                    return Err(BlobSeerError::Storage(kvstore::KvError::Closed));
+                }
+                Ok(d.store.delete(key)?)
+            }
         }
-        Ok(self.store.delete(key)?)
     }
 
     /// Current counters.
     pub fn stats(&self) -> ProviderStats {
-        ProviderStats {
-            pages: self.store.len(),
-            stored_bytes: self.store.data_bytes(),
-            writes: self.writes.load(Ordering::Relaxed),
-            reads: self.reads.load(Ordering::Relaxed),
-            bytes_written: self.bytes_written.load(Ordering::Relaxed),
-            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+        match &self.inner {
+            ProviderInner::Actor(h) => h.call(ProviderMsg::Stats).unwrap_or_default(),
+            ProviderInner::Direct(d) => ProviderStats {
+                pages: d.store.len(),
+                stored_bytes: d.store.data_bytes(),
+                writes: d.writes.load(Ordering::Relaxed),
+                reads: d.reads.load(Ordering::Relaxed),
+                bytes_written: d.bytes_written.load(Ordering::Relaxed),
+                bytes_read: d.bytes_read.load(Ordering::Relaxed),
+            },
         }
     }
 }
@@ -149,8 +352,15 @@ impl Provider {
 mod tests {
     use super::*;
 
-    fn provider() -> Provider {
-        Provider::in_memory(ProviderId(0), NodeId(0))
+    fn both_modes(test: impl Fn(Provider)) {
+        for mode in [DataPlaneMode::Actors, DataPlaneMode::LegacyThreads] {
+            test(Provider::with_store_mode(
+                ProviderId(0),
+                NodeId(0),
+                Arc::new(MemStore::new()),
+                mode,
+            ));
+        }
     }
 
     #[test]
@@ -167,48 +377,81 @@ mod tests {
 
     #[test]
     fn put_get_delete_and_stats() {
-        let p = provider();
-        assert_eq!(p.id(), ProviderId(0));
-        assert_eq!(p.node(), NodeId(0));
-        let key = page_key(BlobId(0), Version(1), 0);
-        p.put_page(&key, Bytes::from(vec![7u8; 100])).unwrap();
-        let got = p.get_page(&key).unwrap().unwrap();
-        assert_eq!(got.len(), 100);
-        assert!(p.get_page(b"missing").unwrap().is_none());
+        both_modes(|p| {
+            assert_eq!(p.id(), ProviderId(0));
+            assert_eq!(p.node(), NodeId(0));
+            let key = page_key(BlobId(0), Version(1), 0);
+            p.put_page(&key, Bytes::from(vec![7u8; 100])).unwrap();
+            let got = p.get_page(&key).unwrap().unwrap();
+            assert_eq!(got.len(), 100);
+            assert!(p.get_page(b"missing").unwrap().is_none());
 
-        let s = p.stats();
-        assert_eq!(s.pages, 1);
-        assert_eq!(s.stored_bytes, 100);
-        assert_eq!(s.writes, 1);
-        assert_eq!(s.reads, 1);
-        assert_eq!(s.bytes_written, 100);
-        assert_eq!(s.bytes_read, 100);
+            let s = p.stats();
+            assert_eq!(s.pages, 1);
+            assert_eq!(s.stored_bytes, 100);
+            assert_eq!(s.writes, 1);
+            assert_eq!(s.reads, 1);
+            assert_eq!(s.bytes_written, 100);
+            assert_eq!(s.bytes_read, 100);
 
-        assert!(p.delete_page(&key).unwrap());
-        assert_eq!(p.stats().pages, 0);
+            assert!(p.delete_page(&key).unwrap());
+            assert_eq!(p.stats().pages, 0);
+        });
     }
 
     #[test]
     fn dead_provider_rejects_all_operations() {
-        let p = provider();
-        let key = page_key(BlobId(0), Version(1), 0);
-        p.put_page(&key, Bytes::from_static(b"data")).unwrap();
-        p.kill();
-        assert!(!p.is_alive());
-        assert!(p.put_page(&key, Bytes::from_static(b"x")).is_err());
-        assert!(p.get_page(&key).is_err());
-        assert!(p.delete_page(&key).is_err());
-        p.revive();
-        assert_eq!(
-            p.get_page(&key).unwrap().unwrap(),
-            Bytes::from_static(b"data")
-        );
+        both_modes(|p| {
+            let key = page_key(BlobId(0), Version(1), 0);
+            p.put_page(&key, Bytes::from_static(b"data")).unwrap();
+            p.kill();
+            assert!(!p.is_alive());
+            assert!(p.put_page(&key, Bytes::from_static(b"x")).is_err());
+            assert!(p.get_page(&key).is_err());
+            assert!(p.delete_page(&key).is_err());
+            p.revive();
+            assert_eq!(
+                p.get_page(&key).unwrap().unwrap(),
+                Bytes::from_static(b"data")
+            );
+        });
     }
 
     #[test]
     fn missing_page_read_does_not_count_as_served() {
-        let p = provider();
-        let _ = p.get_page(b"nope").unwrap();
-        assert_eq!(p.stats().reads, 0);
+        both_modes(|p| {
+            let _ = p.get_page(b"nope").unwrap();
+            assert_eq!(p.stats().reads, 0);
+        });
+    }
+
+    #[test]
+    fn dropping_an_actor_provider_mid_traffic_never_hangs_a_caller() {
+        // Four writers hammer the actor while the main thread drops its
+        // handle. Every in-flight call must come back — stored or refused —
+        // and the joins below must not hang. (The executor-level guarantees
+        // behind this — mailbox drain on last-handle drop, reply-waiter
+        // cancellation on actor death — are tested in `miniexec` itself.)
+        let provider = Arc::new(Provider::in_memory(ProviderId(7), NodeId(0)));
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let p = Arc::clone(&provider);
+                std::thread::spawn(move || {
+                    let mut stored = 0u64;
+                    for i in 0..200u64 {
+                        let key = page_key(BlobId(w), Version(1), i);
+                        if p.put_page(&key, Bytes::from_static(b"payload")).is_ok() {
+                            stored += 1;
+                        }
+                    }
+                    stored
+                })
+            })
+            .collect();
+        drop(provider);
+        let stored: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+        // The writers' own Arc clones kept the actor alive, so their traffic
+        // all landed; the point is that the racing drop broke nothing.
+        assert_eq!(stored, 4 * 200);
     }
 }

@@ -8,6 +8,7 @@
 //! ablation) possible, the manager supports several interchangeable
 //! strategies.
 
+use crate::config::DataPlaneMode;
 use crate::provider::Provider;
 use crate::types::ProviderId;
 use kvstore::PageStore;
@@ -51,18 +52,27 @@ pub struct ProviderManager {
 }
 
 impl ProviderManager {
-    /// Create a manager over in-memory providers, one per entry of `nodes`.
+    /// Create a manager over in-memory providers, one per entry of `nodes`,
+    /// on the default (actor) data plane.
     pub fn new_in_memory(
         topology: &ClusterTopology,
         nodes: &[NodeId],
         strategy: PlacementStrategy,
     ) -> Self {
-        let providers = nodes
-            .iter()
-            .enumerate()
-            .map(|(i, n)| Arc::new(Provider::in_memory(ProviderId(i as u32), *n)))
-            .collect();
-        Self::with_providers(topology, providers, strategy)
+        Self::new_in_memory_mode(topology, nodes, strategy, DataPlaneMode::default())
+    }
+
+    /// Create a manager over in-memory providers on an explicit data-plane
+    /// mode.
+    pub fn new_in_memory_mode(
+        topology: &ClusterTopology,
+        nodes: &[NodeId],
+        strategy: PlacementStrategy,
+        mode: DataPlaneMode,
+    ) -> Self {
+        Self::new_with_backends_mode(topology, nodes, strategy, mode, |_| {
+            Arc::new(kvstore::MemStore::new())
+        })
     }
 
     /// Create a manager over providers with custom storage backends. The
@@ -71,12 +81,37 @@ impl ProviderManager {
         topology: &ClusterTopology,
         nodes: &[NodeId],
         strategy: PlacementStrategy,
+        backends: impl FnMut(usize) -> Arc<dyn PageStore>,
+    ) -> Self {
+        Self::new_with_backends_mode(
+            topology,
+            nodes,
+            strategy,
+            DataPlaneMode::default(),
+            backends,
+        )
+    }
+
+    /// Create a manager over providers with custom storage backends on an
+    /// explicit data-plane mode.
+    pub fn new_with_backends_mode(
+        topology: &ClusterTopology,
+        nodes: &[NodeId],
+        strategy: PlacementStrategy,
+        mode: DataPlaneMode,
         mut backends: impl FnMut(usize) -> Arc<dyn PageStore>,
     ) -> Self {
         let providers = nodes
             .iter()
             .enumerate()
-            .map(|(i, n)| Arc::new(Provider::with_store(ProviderId(i as u32), *n, backends(i))))
+            .map(|(i, n)| {
+                Arc::new(Provider::with_store_mode(
+                    ProviderId(i as u32),
+                    *n,
+                    backends(i),
+                    mode,
+                ))
+            })
             .collect();
         Self::with_providers(topology, providers, strategy)
     }

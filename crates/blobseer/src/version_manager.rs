@@ -341,11 +341,17 @@ impl VersionManager {
     /// Wait until version `ticket.version - 1` of the blob is published, and
     /// return its descriptor. Writers call this before building their
     /// metadata tree so they can share subtrees with their predecessor.
+    ///
+    /// A writer running *on* the executor pool must not idle a worker here:
+    /// the predecessor it waits for may have its own page pushes queued
+    /// behind this very thread. On a pool worker the wait is a help-or-nap
+    /// loop (`poll_wait`, lock dropped each pass); off the pool it stays a
+    /// plain condvar wait.
     pub fn wait_for_predecessor(&self, ticket: &WriteTicket) -> BlobResult<VersionInfo> {
         let prev = ticket.version.0 - 1;
         let shard = self.shard_of(ticket.blob);
-        let mut blobs = shard.lock();
         loop {
+            let mut blobs = shard.lock();
             let state = blobs
                 .get(&ticket.blob)
                 .ok_or(BlobSeerError::UnknownBlob(ticket.blob))?;
@@ -357,7 +363,12 @@ impl VersionManager {
                 });
             }
             shard.cond_waits.fetch_add(1, Ordering::Relaxed);
-            shard.published_cond.wait(&mut blobs);
+            if miniexec::on_worker_thread() {
+                drop(blobs);
+                miniexec::poll_wait(std::time::Duration::from_micros(200));
+            } else {
+                shard.published_cond.wait(&mut blobs);
+            }
         }
     }
 

@@ -1,0 +1,67 @@
+//! The headline property of the actor data plane: system thread count is a
+//! function of the deployment, not of client concurrency. Scaling concurrent
+//! readers 16x must not move the process-wide thread-census peak.
+//!
+//! The census (`miniexec::census`) is process-global, so this file holds
+//! exactly one test — its own integration binary, its own process — to keep
+//! the peak assertion deterministic.
+
+use blobseer::{BlobSeer, BlobSeerConfig};
+use std::sync::Arc;
+
+/// E1-style workload: `clients` concurrent readers each scan the whole blob
+/// in page-sized requests. Client threads are plain test threads and are not
+/// census-registered; only system threads (executor workers, actors) count.
+fn concurrent_scan(sys: &Arc<BlobSeer>, blob: blobseer::BlobId, len: u64, clients: usize) {
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let client = sys.client_on(sys.topology().node((c % 8) as u32));
+            scope.spawn(move || {
+                let step = 64u64;
+                let mut off = 0;
+                while off < len {
+                    let n = step.min(len - off);
+                    let bytes = client.read_latest(blob, off, n).unwrap();
+                    assert_eq!(bytes.len() as u64, n);
+                    off += n;
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn census_peak_is_flat_from_4_to_64_clients() {
+    let sys = BlobSeer::new(
+        BlobSeerConfig::for_tests()
+            .with_providers(8)
+            .with_io_parallelism(4)
+            .with_page_replication(2),
+    );
+    let client = sys.client();
+    let blob = client.create(Some(64)).unwrap();
+    let data: Vec<u8> = (0..64 * 32).map(|i| (i % 239) as u8).collect();
+    client.write(blob, 0, &data).unwrap();
+    let len = data.len() as u64;
+
+    // Warm-up pass: lazily-started system threads (executor workers) all
+    // come up here, so the two measured passes see a settled baseline.
+    concurrent_scan(&sys, blob, len, 4);
+    let baseline = miniexec::census::peak();
+    assert!(baseline > 0, "actors and workers must be census-registered");
+
+    concurrent_scan(&sys, blob, len, 4);
+    let peak_lo = miniexec::census::peak();
+
+    concurrent_scan(&sys, blob, len, 64);
+    let peak_hi = miniexec::census::peak();
+
+    assert_eq!(
+        peak_lo, peak_hi,
+        "16x more concurrent clients must not spawn more system threads"
+    );
+    assert_eq!(
+        baseline, peak_hi,
+        "client scaling started new system threads"
+    );
+}

@@ -31,7 +31,7 @@
 pub mod node;
 pub mod ring;
 
-pub use node::{DhtNode, DhtNodeId};
+pub use node::{DhtNode, DhtNodeId, NodeBackend};
 pub use ring::HashRing;
 
 use bytes::Bytes;
@@ -116,6 +116,7 @@ struct DhtInner {
     next_id: u64,
     replication: usize,
     virtual_nodes: usize,
+    backend: NodeBackend,
 }
 
 /// Keys removed while one of their replicas was dead cannot be told apart
@@ -166,8 +167,15 @@ pub struct Dht {
 }
 
 impl Dht {
-    /// Build a DHT with `config.nodes` initial nodes.
+    /// Build a DHT with `config.nodes` initial nodes on the default
+    /// (actor) node backend.
     pub fn new(config: DhtConfig) -> Self {
+        Self::with_backend(config, NodeBackend::default())
+    }
+
+    /// Build a DHT whose nodes run on an explicit [`NodeBackend`]; nodes
+    /// added later via [`Dht::join`] use the same backend.
+    pub fn with_backend(config: DhtConfig, backend: NodeBackend) -> Self {
         assert!(
             config.replication >= 1,
             "replication factor must be at least 1"
@@ -178,12 +186,15 @@ impl Dht {
             next_id: 0,
             replication: config.replication,
             virtual_nodes: config.virtual_nodes,
+            backend,
         };
         for _ in 0..config.nodes {
             let id = DhtNodeId(inner.next_id);
             inner.next_id += 1;
             inner.ring.add_node(id);
-            inner.nodes.insert(id, Arc::new(DhtNode::new(id)));
+            inner
+                .nodes
+                .insert(id, Arc::new(DhtNode::with_backend(id, backend)));
         }
         Dht {
             inner: RwLock::new(inner),
@@ -425,7 +436,10 @@ impl Dht {
         let id = DhtNodeId(inner.next_id);
         inner.next_id += 1;
         inner.ring.add_node(id);
-        inner.nodes.insert(id, Arc::new(DhtNode::new(id)));
+        let backend = inner.backend;
+        inner
+            .nodes
+            .insert(id, Arc::new(DhtNode::with_backend(id, backend)));
         id
     }
 

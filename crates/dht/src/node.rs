@@ -1,35 +1,185 @@
 //! A single metadata provider node.
 //!
-//! Each node is a thread-safe key-value map plus a liveness flag. The `Dht`
-//! front-end decides *which* nodes a key lives on; the node itself only
-//! stores and serves.
+//! Each node owns a key-value map plus a liveness flag. The `Dht` front-end
+//! decides *which* nodes a key lives on; the node itself only stores and
+//! serves.
+//!
+//! The node interior comes in two shapes, selected by [`NodeBackend`]:
+//!
+//! * [`NodeBackend::Actor`] (the default) — the map lives single-threaded
+//!   inside a message-loop actor ([`miniexec::actor`]); the `DhtNode` the
+//!   rest of the system holds is a thin handle that enqueues commands and
+//!   waits for replies. No shared locks, and mailbox FIFO gives the same
+//!   kill-then-put ordering the locked version had.
+//! * [`NodeBackend::Direct`] — the previous `RwLock<HashMap>` interior, kept
+//!   for one PR as the differential oracle for the actor port.
+//!
+//! The public API is identical in both modes. The only shared state in actor
+//! mode is a read-only mirror of the liveness flag, so the hot-path
+//! `is_alive` check the front-end performs per replica stays a plain atomic
+//! load; `kill`/`revive` go through the mailbox (and update the mirror from
+//! inside the actor) so they serialize with data operations.
 
 use bytes::Bytes;
+use miniexec::{actor, oneshot};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Identity of a DHT node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DhtNodeId(pub u64);
 
+/// Which interior a [`DhtNode`] (and every node of a `Dht`) runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeBackend {
+    /// Message-loop actor owning its state single-threaded (the default).
+    #[default]
+    Actor,
+    /// Shared `RwLock` interior (legacy scoped-pool data plane).
+    Direct,
+}
+
+/// Commands understood by the node actor.
+enum NodeMsg {
+    Put {
+        key: Vec<u8>,
+        value: Bytes,
+        done: oneshot::Sender<()>,
+    },
+    Get {
+        key: Vec<u8>,
+        reply: oneshot::Sender<Option<Bytes>>,
+    },
+    Remove {
+        key: Vec<u8>,
+        reply: oneshot::Sender<bool>,
+    },
+    Len(oneshot::Sender<usize>),
+    Entries(oneshot::Sender<Vec<(Vec<u8>, Bytes)>>),
+    Kill(oneshot::Sender<()>),
+    Revive(oneshot::Sender<()>),
+}
+
+/// The actor's single-threaded state: plain fields, no locks.
+struct NodeState {
+    data: HashMap<Vec<u8>, Bytes>,
+    alive: bool,
+    /// Mirrors shared with the handle so hot-path reads stay lock-free.
+    alive_mirror: Arc<AtomicBool>,
+    bytes_mirror: Arc<AtomicU64>,
+}
+
+impl NodeState {
+    fn handle(&mut self, msg: NodeMsg) {
+        match msg {
+            NodeMsg::Put { key, value, done } => {
+                let new_len = value.len() as u64;
+                let old_len = self
+                    .data
+                    .insert(key, value)
+                    .map(|old| old.len() as u64)
+                    .unwrap_or(0);
+                if new_len >= old_len {
+                    self.bytes_mirror
+                        .fetch_add(new_len - old_len, Ordering::Relaxed);
+                } else {
+                    self.bytes_mirror
+                        .fetch_sub(old_len - new_len, Ordering::Relaxed);
+                }
+                let _ = done.send(());
+            }
+            NodeMsg::Get { key, reply } => {
+                let _ = reply.send(self.data.get(&key).cloned());
+            }
+            NodeMsg::Remove { key, reply } => {
+                let removed = self.data.remove(&key);
+                if let Some(old) = &removed {
+                    self.bytes_mirror
+                        .fetch_sub(old.len() as u64, Ordering::Relaxed);
+                }
+                let _ = reply.send(removed.is_some());
+            }
+            NodeMsg::Len(reply) => {
+                let _ = reply.send(self.data.len());
+            }
+            NodeMsg::Entries(reply) => {
+                let entries = self
+                    .data
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                let _ = reply.send(entries);
+            }
+            NodeMsg::Kill(done) => {
+                self.alive = false;
+                self.alive_mirror.store(false, Ordering::Release);
+                let _ = done.send(());
+            }
+            NodeMsg::Revive(done) => {
+                self.alive = true;
+                self.alive_mirror.store(true, Ordering::Release);
+                let _ = done.send(());
+            }
+        }
+    }
+}
+
+/// Legacy shared-lock interior.
+struct DirectNode {
+    data: RwLock<HashMap<Vec<u8>, Bytes>>,
+    data_bytes: AtomicU64,
+}
+
+enum NodeInner {
+    Actor(actor::Handle<NodeMsg>),
+    Direct(DirectNode),
+}
+
 /// One metadata provider: stores key-value pairs and can be killed/revived
 /// for failure-injection experiments.
 pub struct DhtNode {
     id: DhtNodeId,
-    data: RwLock<HashMap<Vec<u8>, Bytes>>,
-    alive: AtomicBool,
-    data_bytes: AtomicU64,
+    inner: NodeInner,
+    alive: Arc<AtomicBool>,
+    data_bytes: Arc<AtomicU64>,
 }
 
 impl DhtNode {
-    /// Create a live, empty node.
+    /// Create a live, empty node on the default (actor) backend.
     pub fn new(id: DhtNodeId) -> Self {
+        Self::with_backend(id, NodeBackend::default())
+    }
+
+    /// Create a live, empty node on an explicit backend.
+    pub fn with_backend(id: DhtNodeId, backend: NodeBackend) -> Self {
+        let alive = Arc::new(AtomicBool::new(true));
+        let data_bytes = Arc::new(AtomicU64::new(0));
+        let inner = match backend {
+            NodeBackend::Actor => {
+                let state = NodeState {
+                    data: HashMap::new(),
+                    alive: true,
+                    alive_mirror: Arc::clone(&alive),
+                    bytes_mirror: Arc::clone(&data_bytes),
+                };
+                NodeInner::Actor(actor::spawn(
+                    &format!("dht-node-{}", id.0),
+                    state,
+                    NodeState::handle,
+                ))
+            }
+            NodeBackend::Direct => NodeInner::Direct(DirectNode {
+                data: RwLock::new(HashMap::new()),
+                data_bytes: AtomicU64::new(0),
+            }),
+        };
         DhtNode {
             id,
-            data: RwLock::new(HashMap::new()),
-            alive: AtomicBool::new(true),
-            data_bytes: AtomicU64::new(0),
+            inner,
+            alive,
+            data_bytes,
         }
     }
 
@@ -40,45 +190,72 @@ impl DhtNode {
 
     /// Store a value (replaces any existing value for the key).
     pub fn put(&self, key: &[u8], value: Bytes) {
-        let mut guard = self.data.write();
-        let new_len = value.len() as u64;
-        match guard.insert(key.to_vec(), value) {
-            Some(old) => {
-                let old_len = old.len() as u64;
-                if new_len >= old_len {
-                    self.data_bytes
-                        .fetch_add(new_len - old_len, Ordering::Relaxed);
-                } else {
-                    self.data_bytes
-                        .fetch_sub(old_len - new_len, Ordering::Relaxed);
-                }
+        match &self.inner {
+            NodeInner::Actor(h) => {
+                let _ = h.call(|done| NodeMsg::Put {
+                    key: key.to_vec(),
+                    value,
+                    done,
+                });
             }
-            None => {
-                self.data_bytes.fetch_add(new_len, Ordering::Relaxed);
+            NodeInner::Direct(d) => {
+                let mut guard = d.data.write();
+                let new_len = value.len() as u64;
+                match guard.insert(key.to_vec(), value) {
+                    Some(old) => {
+                        let old_len = old.len() as u64;
+                        if new_len >= old_len {
+                            d.data_bytes.fetch_add(new_len - old_len, Ordering::Relaxed);
+                        } else {
+                            d.data_bytes.fetch_sub(old_len - new_len, Ordering::Relaxed);
+                        }
+                    }
+                    None => {
+                        d.data_bytes.fetch_add(new_len, Ordering::Relaxed);
+                    }
+                }
             }
         }
     }
 
     /// Fetch a value.
     pub fn get(&self, key: &[u8]) -> Option<Bytes> {
-        self.data.read().get(key).cloned()
+        match &self.inner {
+            NodeInner::Actor(h) => h
+                .call(|reply| NodeMsg::Get {
+                    key: key.to_vec(),
+                    reply,
+                })
+                .unwrap_or(None),
+            NodeInner::Direct(d) => d.data.read().get(key).cloned(),
+        }
     }
 
     /// Remove a value; returns whether one was present.
     pub fn remove(&self, key: &[u8]) -> bool {
-        match self.data.write().remove(key) {
-            Some(old) => {
-                self.data_bytes
-                    .fetch_sub(old.len() as u64, Ordering::Relaxed);
-                true
-            }
-            None => false,
+        match &self.inner {
+            NodeInner::Actor(h) => h
+                .call(|reply| NodeMsg::Remove {
+                    key: key.to_vec(),
+                    reply,
+                })
+                .unwrap_or(false),
+            NodeInner::Direct(d) => match d.data.write().remove(key) {
+                Some(old) => {
+                    d.data_bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
+                    true
+                }
+                None => false,
+            },
         }
     }
 
     /// Number of keys stored.
     pub fn len(&self) -> usize {
-        self.data.read().len()
+        match &self.inner {
+            NodeInner::Actor(h) => h.call(NodeMsg::Len).unwrap_or(0),
+            NodeInner::Direct(d) => d.data.read().len(),
+        }
     }
 
     /// True when the node stores nothing.
@@ -88,16 +265,23 @@ impl DhtNode {
 
     /// Bytes of values stored.
     pub fn data_bytes(&self) -> u64 {
-        self.data_bytes.load(Ordering::Relaxed)
+        match &self.inner {
+            NodeInner::Actor(_) => self.data_bytes.load(Ordering::Relaxed),
+            NodeInner::Direct(d) => d.data_bytes.load(Ordering::Relaxed),
+        }
     }
 
     /// Snapshot of all entries (used by rebalancing).
     pub fn entries(&self) -> Vec<(Vec<u8>, Bytes)> {
-        self.data
-            .read()
-            .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect()
+        match &self.inner {
+            NodeInner::Actor(h) => h.call(NodeMsg::Entries).unwrap_or_default(),
+            NodeInner::Direct(d) => d
+                .data
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
     }
 
     /// Is the node currently serving requests?
@@ -106,14 +290,26 @@ impl DhtNode {
     }
 
     /// Simulate a crash: the node stops serving but keeps its data (so a
-    /// revive models a restart from persistent storage).
+    /// revive models a restart from persistent storage). Serialized through
+    /// the mailbox in actor mode, so a `put` enqueued after the kill
+    /// observes the dead state.
     pub fn kill(&self) {
-        self.alive.store(false, Ordering::Release);
+        match &self.inner {
+            NodeInner::Actor(h) => {
+                let _ = h.call(NodeMsg::Kill);
+            }
+            NodeInner::Direct(_) => self.alive.store(false, Ordering::Release),
+        }
     }
 
     /// Bring the node back.
     pub fn revive(&self) {
-        self.alive.store(true, Ordering::Release);
+        match &self.inner {
+            NodeInner::Actor(h) => {
+                let _ = h.call(NodeMsg::Revive);
+            }
+            NodeInner::Direct(_) => self.alive.store(true, Ordering::Release),
+        }
     }
 }
 
@@ -121,53 +317,69 @@ impl DhtNode {
 mod tests {
     use super::*;
 
+    fn both_backends(test: impl Fn(DhtNode)) {
+        test(DhtNode::with_backend(DhtNodeId(1), NodeBackend::Actor));
+        test(DhtNode::with_backend(DhtNodeId(1), NodeBackend::Direct));
+    }
+
     #[test]
     fn put_get_remove() {
-        let n = DhtNode::new(DhtNodeId(1));
-        assert_eq!(n.id(), DhtNodeId(1));
-        assert!(n.is_empty());
-        n.put(b"a", Bytes::from_static(b"1"));
-        n.put(b"b", Bytes::from_static(b"22"));
-        assert_eq!(n.len(), 2);
-        assert_eq!(n.data_bytes(), 3);
-        assert_eq!(n.get(b"a").unwrap(), Bytes::from_static(b"1"));
-        assert!(n.remove(b"a"));
-        assert!(!n.remove(b"a"));
-        assert_eq!(n.data_bytes(), 2);
+        both_backends(|n| {
+            assert_eq!(n.id(), DhtNodeId(1));
+            assert!(n.is_empty());
+            n.put(b"a", Bytes::from_static(b"1"));
+            n.put(b"b", Bytes::from_static(b"22"));
+            assert_eq!(n.len(), 2);
+            assert_eq!(n.data_bytes(), 3);
+            assert_eq!(n.get(b"a").unwrap(), Bytes::from_static(b"1"));
+            assert!(n.remove(b"a"));
+            assert!(!n.remove(b"a"));
+            assert_eq!(n.data_bytes(), 2);
+        });
     }
 
     #[test]
     fn overwrite_updates_byte_count() {
-        let n = DhtNode::new(DhtNodeId(0));
-        n.put(b"k", Bytes::from_static(b"0123456789"));
-        n.put(b"k", Bytes::from_static(b"xy"));
-        assert_eq!(n.data_bytes(), 2);
-        n.put(b"k", Bytes::from_static(b"0123"));
-        assert_eq!(n.data_bytes(), 4);
+        both_backends(|n| {
+            n.put(b"k", Bytes::from_static(b"0123456789"));
+            n.put(b"k", Bytes::from_static(b"xy"));
+            assert_eq!(n.data_bytes(), 2);
+            n.put(b"k", Bytes::from_static(b"0123"));
+            assert_eq!(n.data_bytes(), 4);
+        });
     }
 
     #[test]
     fn kill_and_revive_preserve_data() {
-        let n = DhtNode::new(DhtNodeId(3));
-        n.put(b"k", Bytes::from_static(b"v"));
-        assert!(n.is_alive());
-        n.kill();
-        assert!(!n.is_alive());
-        // Data survives the "crash" (models durable storage).
-        n.revive();
-        assert!(n.is_alive());
-        assert_eq!(n.get(b"k").unwrap(), Bytes::from_static(b"v"));
+        both_backends(|n| {
+            n.put(b"k", Bytes::from_static(b"v"));
+            assert!(n.is_alive());
+            n.kill();
+            assert!(!n.is_alive());
+            // Data survives the "crash" (models durable storage).
+            n.revive();
+            assert!(n.is_alive());
+            assert_eq!(n.get(b"k").unwrap(), Bytes::from_static(b"v"));
+        });
     }
 
     #[test]
     fn entries_snapshot() {
-        let n = DhtNode::new(DhtNodeId(5));
-        for i in 0..10u8 {
-            n.put(&[i], Bytes::from(vec![i; 4]));
-        }
-        let mut entries = n.entries();
-        entries.sort();
-        assert_eq!(entries.len(), 10);
-        assert_eq!(entries[3].0, vec![3u8]);
+        both_backends(|n| {
+            for i in 0..10u8 {
+                n.put(&[i], Bytes::from(vec![i; 4]));
+            }
+            let mut entries = n.entries();
+            entries.sort();
+            assert_eq!(entries.len(), 10);
+            assert_eq!(entries[3].0, vec![3u8]);
+        });
+    }
+
+    #[test]
+    fn dropping_the_node_shuts_the_actor_down_without_hanging() {
+        let n = DhtNode::with_backend(DhtNodeId(9), NodeBackend::Actor);
+        n.put(b"k", Bytes::from_static(b"v"));
+        drop(n); // handle drop disconnects the mailbox; the loop exits
     }
 }

@@ -4,8 +4,10 @@
 //! describes (§II-A): it splits the input, hands map tasks to tasktrackers
 //! (preferring trackers whose node holds the split's data), re-executes
 //! failed tasks, schedules the reduce tasks and reports job-level counters.
-//! Tasktrackers are executed as real threads — one per slot — so concurrent
-//! access to the storage layer is genuinely concurrent.
+//! Tasktracker slots execute as scoped tasks on the shared `miniexec` worker
+//! pool (see [`SlotDispatch`]) — concurrent access to the storage layer is
+//! genuinely concurrent, but bounded by the pool width rather than by
+//! `trackers x slots` dedicated threads.
 //!
 //! Intermediate data flows through the storage layer ([`crate::shuffle`]):
 //! map tasks spill sorted, partition-bucketed files under
@@ -42,7 +44,7 @@ use crate::shuffle;
 use crate::split::{compute_splits, InputSplit};
 use crate::tasktracker::{
     group_by_key, run_map_task, run_reduce_task, write_output_file, FailureVerdict, MapTaskOutput,
-    SpeculationCounters, TaskAttemptId, TaskBook, TaskTracker,
+    SlotDispatch, SpeculationCounters, TaskAttemptId, TaskBook, TaskTracker,
 };
 use parking_lot::Mutex;
 use simcluster::clock::{Clock, WallClock};
@@ -134,6 +136,7 @@ pub struct JobTracker {
     topology: ClusterTopology,
     trackers: Vec<TaskTracker>,
     clock: Arc<dyn Clock>,
+    dispatch: SlotDispatch,
 }
 
 /// Where a reduce task pulls one merge source from: a single map's spill, or
@@ -273,6 +276,7 @@ impl JobTracker {
             topology: topology.clone(),
             trackers,
             clock: Arc::new(WallClock::new()),
+            dispatch: SlotDispatch::default(),
         }
     }
 
@@ -283,7 +287,14 @@ impl JobTracker {
             topology: topology.clone(),
             trackers,
             clock: Arc::new(WallClock::new()),
+            dispatch: SlotDispatch::default(),
         }
+    }
+
+    /// Builder-style slot-dispatch override (see [`SlotDispatch`]).
+    pub fn with_slot_dispatch(mut self, dispatch: SlotDispatch) -> Self {
+        self.dispatch = dispatch;
+        self
     }
 
     /// Builder-style clock override: job timing (attempt runtimes, straggler
@@ -362,64 +373,78 @@ impl JobTracker {
             finished_at: None,
         });
 
-        // One scope for both phases: reduce slots start pulling committed
-        // segments while map slots are still running.
-        std::thread::scope(|scope| {
-            for tracker in &self.trackers {
-                for _slot in 0..tracker.map_slots {
+        // One batch of slot loops for both phases: reduce slots start pulling
+        // committed segments while map slots are still running. The loops are
+        // built once and handed to the configured dispatcher — scoped tasks on
+        // the shared executor pool, or (legacy) one scoped OS thread each.
+        let mut slots: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        for tracker in &self.trackers {
+            for _slot in 0..tracker.map_slots {
+                let map_state = &map_state;
+                let splits = &splits;
+                let topology = &self.topology;
+                let tracker = *tracker;
+                let output_dir = config.output_dir.clone();
+                let max_attempts = config.max_task_attempts;
+                // Each slot gets a storage handle bound to the tracker's
+                // node, so its I/O originates there.
+                let local_fs = fs.on_node(tracker.node);
+                slots.push(Box::new(move || {
+                    map_worker_loop(
+                        &*local_fs,
+                        topology,
+                        tracker,
+                        splits,
+                        job,
+                        partitions,
+                        map_only,
+                        &output_dir,
+                        max_attempts,
+                        clock,
+                        map_state,
+                    );
+                }));
+            }
+            if !map_only {
+                for _slot in 0..tracker.reduce_slots {
                     let map_state = &map_state;
-                    let splits = &splits;
-                    let topology = &self.topology;
-                    let tracker = *tracker;
-                    let job = &*job;
+                    let reduce_state = &reduce_state;
+                    let node = tracker.node;
                     let output_dir = config.output_dir.clone();
                     let max_attempts = config.max_task_attempts;
-                    // Each slot gets a storage handle bound to the tracker's
-                    // node, so its I/O originates there.
-                    let local_fs = fs.on_node(tracker.node);
-                    scope.spawn(move || {
-                        map_worker_loop(
+                    let local_fs = fs.on_node(node);
+                    slots.push(Box::new(move || {
+                        reduce_worker_loop(
                             &*local_fs,
-                            topology,
-                            tracker,
-                            splits,
                             job,
-                            partitions,
-                            map_only,
+                            node,
                             &output_dir,
+                            num_maps,
+                            partitions,
                             max_attempts,
                             clock,
                             map_state,
+                            reduce_state,
                         );
-                    });
-                }
-                if !map_only {
-                    for _slot in 0..tracker.reduce_slots {
-                        let map_state = &map_state;
-                        let reduce_state = &reduce_state;
-                        let job = &*job;
-                        let node = tracker.node;
-                        let output_dir = config.output_dir.clone();
-                        let max_attempts = config.max_task_attempts;
-                        let local_fs = fs.on_node(node);
-                        scope.spawn(move || {
-                            reduce_worker_loop(
-                                &*local_fs,
-                                job,
-                                node,
-                                &output_dir,
-                                num_maps,
-                                partitions,
-                                max_attempts,
-                                clock,
-                                map_state,
-                                reduce_state,
-                            );
-                        });
-                    }
+                    }));
                 }
             }
-        });
+        }
+        match self.dispatch {
+            SlotDispatch::Executor => miniexec::scope_blocking(|scope| {
+                for slot in slots {
+                    scope.spawn(slot);
+                }
+            }),
+            SlotDispatch::Threads => std::thread::scope(|scope| {
+                for slot in slots {
+                    scope.spawn(move || {
+                        let _census = miniexec::census::Registration::new();
+                        slot();
+                    });
+                }
+            }),
+        }
 
         let mut map_state = map_state.into_inner();
         if let Some(err) = map_state.failure.take() {
@@ -786,7 +811,7 @@ fn map_worker_loop(
             None => {
                 // Tasks are running on other slots; one could fail (requeue)
                 // or turn into a straggler, so poll until the phase settles.
-                std::thread::sleep(Duration::from_millis(1));
+                miniexec::poll_wait(Duration::from_millis(1));
                 continue;
             }
         };
@@ -945,7 +970,7 @@ fn fetch_partition(
             if map_failed {
                 return Ok(None);
             }
-            std::thread::sleep(Duration::from_millis(1));
+            miniexec::poll_wait(Duration::from_millis(1));
             continue;
         }
         for map_id in available {
@@ -996,7 +1021,7 @@ fn fetch_partition_from_sources(
             if map_failed {
                 return Ok(None);
             }
-            std::thread::sleep(Duration::from_millis(1));
+            miniexec::poll_wait(Duration::from_millis(1));
             continue;
         }
         taken += new_sources.len();
@@ -1063,7 +1088,7 @@ fn reduce_worker_loop(
             None => {
                 // Partitions are running on other slots; one could fail and
                 // requeue, so poll until the phase settles.
-                std::thread::sleep(Duration::from_millis(1));
+                miniexec::poll_wait(Duration::from_millis(1));
                 continue;
             }
         };

@@ -76,8 +76,8 @@ pub use jobtracker::{JobResult, JobTracker, ShuffleCounters};
 pub use scheduler::{Locality, LocalityCounters, SlowestFactorPolicy, SpeculationPolicy};
 pub use split::{InputSplit, SplitSource};
 pub use tasktracker::{
-    AttemptRecord, AttemptState, FailureVerdict, SpeculationCounters, TaskAttemptId, TaskBook,
-    TaskTracker,
+    AttemptRecord, AttemptState, FailureVerdict, SlotDispatch, SpeculationCounters, TaskAttemptId,
+    TaskBook, TaskTracker,
 };
 
 #[cfg(test)]
@@ -225,6 +225,41 @@ mod tests {
         assert_eq!(
             counts_b, counts_h,
             "the framework must behave identically over both backends"
+        );
+    }
+
+    #[test]
+    fn executor_and_thread_slot_dispatch_are_byte_identical() {
+        // Differential oracle for the slot-dispatch refactor: the same job
+        // must produce byte-identical partition files whether slots run as
+        // scoped tasks on the miniexec pool or as dedicated OS threads.
+        let run = |dispatch| {
+            let (topo, fs) = bsfs_cluster(4);
+            fs.write_file("/in/words.txt", wordcount_input().as_bytes())
+                .unwrap();
+            let job = Job::new(
+                JobConfig::new("wordcount", InputSpec::Files(vec!["/in".into()]), "/out")
+                    .with_split_size(20)
+                    .with_reducers(3),
+                Arc::new(WordCountMapper),
+                Arc::new(SumReducer),
+            );
+            let jt = JobTracker::new(&topo).with_slot_dispatch(dispatch);
+            let result = jt.run(&fs, &job).unwrap();
+            let mut parts: Vec<(String, Vec<u8>)> = result
+                .output_files
+                .iter()
+                .map(|p| (p.clone(), fs.read_file(p).unwrap().to_vec()))
+                .collect();
+            parts.sort();
+            (result.output_records, parts)
+        };
+        let (records_exec, parts_exec) = run(SlotDispatch::Executor);
+        let (records_thr, parts_thr) = run(SlotDispatch::Threads);
+        assert_eq!(records_exec, records_thr);
+        assert_eq!(
+            parts_exec, parts_thr,
+            "slot dispatch must not change job output"
         );
     }
 
