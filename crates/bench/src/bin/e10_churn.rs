@@ -1,0 +1,284 @@
+//! E10 — churn tolerance: appends and version reads under a kill/join
+//! stream, with the repair loop (not `revive`) restoring replication.
+//!
+//! The fault model the robustness tier targets: providers and metadata DHT
+//! nodes crash *without telling anyone* (a dead member refuses operations;
+//! heartbeats and refused calls feed the timeout/suspicion detectors), and
+//! fresh nodes join to replace them. This harness drives a deterministic
+//! [`ChurnSchedule`] on a `SimClock`, running an F1-style append workload
+//! and E1-style snapshot reads between events, and calls [`BlobSeer::repair`]
+//! once per round — the same pass the background cadence
+//! (`BlobSeerConfig::with_repair_interval`) runs on the pool.
+//!
+//! Two properties are asserted, and recorded in `BENCH_E10.json` for CI:
+//!
+//! * **zero lost committed versions** — every append that returned a version
+//!   is re-read and byte-compared at the end, after every kill has landed;
+//! * **replication restored by repair** — the final repair pass on both
+//!   tiers reports nothing left under-replicated, and no provider was ever
+//!   revived (dead members stay dead; only joins add capacity).
+//!
+//! `BENCH_SMOKE=1` shrinks the schedule to a does-it-run configuration.
+
+use blobseer::{BlobSeer, BlobSeerConfig, ProviderId};
+use simcluster::topology::ClusterTopology;
+use simcluster::{ChurnEventKind, ChurnSchedule, NodeId, SimClock, SimDuration, SimTime};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One committed append: enough to re-read and byte-compare it later.
+struct Committed {
+    version: blobseer::Version,
+    offset: u64,
+    fill: u8,
+}
+
+fn main() {
+    let smoke = bench::smoke_mode();
+    let (rounds, writers, readers_per_round) = if smoke { (12usize, 2, 2) } else { (48, 4, 4) };
+    let page = 16 * 1024u64;
+    let replication = 2usize;
+    let step = SimDuration::from_millis(250);
+
+    let clock = Arc::new(SimClock::new());
+    let topo = ClusterTopology::flat(8);
+    let provider_nodes: Vec<NodeId> = topo.all_nodes().collect();
+    let sys = BlobSeer::with_topology_and_clock(
+        BlobSeerConfig::default()
+            .with_providers(provider_nodes.len())
+            .with_page_size(page)
+            .with_page_replication(replication)
+            .with_retry(4, Duration::from_millis(1))
+            // Enables failure detection on both tiers; the interval sits far
+            // beyond the schedule horizon so the harness's per-round repair
+            // call is the only pass that runs — deterministically.
+            .with_repair_interval(Duration::from_secs(3600)),
+        &topo,
+        &provider_nodes,
+        Arc::clone(&clock) as Arc<dyn simcluster::Clock>,
+    );
+    let pm = sys.provider_manager();
+    let dht = sys.metadata().dht();
+    let dht_replication = dht.replication();
+
+    // 50/50 kill/join mix, one event per round boundary.
+    let schedule = ChurnSchedule::uniform(rounds, step, 500, 0xE10);
+    let client = sys.client();
+    let blob = client.create(Some(page)).unwrap();
+
+    // Membership as the harness sees it: the schedule says *when* a kill
+    // lands, the harness picks the victim from the live set, alternating
+    // between the storage and metadata tiers.
+    let mut live_providers: Vec<ProviderId> =
+        (0..provider_nodes.len() as u32).map(ProviderId).collect();
+    let mut live_dht = dht.node_ids();
+    let mut kill_tier_provider = true;
+    let mut join_tier_provider = false;
+    let (mut kills_applied, mut kills_skipped, mut joins_applied) = (0u64, 0u64, 0u64);
+    let mut victim_seed = 0x9E37_79B9u64;
+
+    let mut committed: Vec<Committed> = Vec::new();
+    let mut verified_reads = 0u64;
+    let (mut append_secs, mut read_secs) = (0f64, 0f64);
+    let mut now = SimTime::from_micros(0);
+
+    println!(
+        "== E10: churn tolerance ({} rounds x {}ms, {} providers x replication {replication}, \
+         {} DHT nodes x replication {dht_replication}, {} kills / {} joins scheduled) ==",
+        rounds,
+        step.as_micros() / 1000,
+        live_providers.len(),
+        live_dht.len(),
+        schedule.kill_count(),
+        schedule.join_count(),
+    );
+    println!();
+
+    for round in 0..rounds {
+        let next = SimTime::from_micros(now.as_micros() + step.as_micros());
+        clock.advance(Duration::from_micros(step.as_micros()));
+        for event in schedule.events_between(now, next) {
+            match event.kind {
+                ChurnEventKind::Kill => {
+                    // Alternate tiers; never drop a tier below its
+                    // replication factor + 1 (the schedule fixes when kills
+                    // happen, the harness keeps them survivable).
+                    if kill_tier_provider && live_providers.len() > replication {
+                        victim_seed ^= victim_seed << 13;
+                        victim_seed ^= victim_seed >> 7;
+                        victim_seed ^= victim_seed << 17;
+                        let victim =
+                            live_providers.remove(victim_seed as usize % live_providers.len());
+                        pm.kill(victim);
+                        kills_applied += 1;
+                    } else if !kill_tier_provider && live_dht.len() > dht_replication {
+                        victim_seed ^= victim_seed << 13;
+                        victim_seed ^= victim_seed >> 7;
+                        victim_seed ^= victim_seed << 17;
+                        let victim = live_dht.remove(victim_seed as usize % live_dht.len());
+                        dht.kill(victim).unwrap();
+                        kills_applied += 1;
+                    } else {
+                        kills_skipped += 1;
+                    }
+                    kill_tier_provider = !kill_tier_provider;
+                }
+                ChurnEventKind::Join => {
+                    if join_tier_provider {
+                        let node = topo.node((joins_applied % 8) as u32);
+                        live_providers.push(pm.join_in_memory(node));
+                    } else {
+                        live_dht.push(dht.join());
+                    }
+                    join_tier_provider = !join_tier_provider;
+                    joins_applied += 1;
+                }
+            }
+        }
+        now = next;
+
+        // F1-style appends: each writer commits one page-sized version.
+        let t0 = Instant::now();
+        for w in 0..writers {
+            let fill = ((round * 31 + w * 7) % 251) as u8 + 1;
+            let offset = committed.len() as u64 * page;
+            let version = client.append(blob, &vec![fill; page as usize]).unwrap();
+            committed.push(Committed {
+                version,
+                offset,
+                fill,
+            });
+        }
+        append_secs += t0.elapsed().as_secs_f64();
+
+        // E1-style reads: sample earlier snapshots — including ones whose
+        // recorded replicas have since died, which must fail over to the
+        // announced repair copies.
+        let t0 = Instant::now();
+        for r in 0..readers_per_round {
+            let c = &committed[(round * 13 + r * 5) % committed.len()];
+            let data = client.read(blob, c.version, c.offset, page).unwrap();
+            assert!(
+                data.iter().all(|b| *b == c.fill),
+                "round {round}: version {:?} read back corrupt",
+                c.version
+            );
+            verified_reads += 1;
+        }
+        read_secs += t0.elapsed().as_secs_f64();
+
+        // The repair loop's pass for this round: heartbeat both tiers, then
+        // re-replicate everything the kills left under factor.
+        sys.repair();
+    }
+
+    // Final sweep: every committed version must still read back intact, and
+    // a closing repair pass must find both tiers fully replicated.
+    let t0 = Instant::now();
+    let mut lost = 0u64;
+    for c in &committed {
+        match client.read(blob, c.version, c.offset, page) {
+            Ok(data) if data.iter().all(|b| *b == c.fill) => verified_reads += 1,
+            _ => lost += 1,
+        }
+    }
+    read_secs += t0.elapsed().as_secs_f64();
+    let (dht_report, provider_report) = sys.repair();
+
+    let append_mib = (committed.len() as u64 * page) as f64 / (1024.0 * 1024.0);
+    let read_mib = (verified_reads * page) as f64 / (1024.0 * 1024.0);
+    let append_mibps = append_mib / append_secs.max(1e-9);
+    let read_mibps = read_mib / read_secs.max(1e-9);
+    let provider_failures_detected = pm
+        .failure_detector()
+        .map(|d| d.failures_detected())
+        .unwrap_or(0);
+    let dht_stats = dht.stats();
+
+    println!(
+        "churn applied: {kills_applied} kills ({kills_skipped} skipped to keep quorum), \
+         {joins_applied} joins; live now: {} providers, {} DHT nodes",
+        live_providers.len(),
+        live_dht.len(),
+    );
+    println!(
+        "committed {} versions, verified {verified_reads} reads, lost {lost}",
+        committed.len(),
+    );
+    println!("appends: {append_mibps:.1} MiB/s sustained; reads: {read_mibps:.1} MiB/s sustained");
+    println!(
+        "repair: {} page copies over {} passes (final under-replicated {}), \
+         dht {} entries re-replicated (final under-replicated {}), \
+         failures detected: {} provider / {} dht",
+        pm.repaired_pages(),
+        pm.repair_runs(),
+        provider_report.still_under_replicated,
+        dht_stats.repaired_entries,
+        dht_report.still_under_replicated,
+        provider_failures_detected,
+        dht_stats.failures_detected,
+    );
+
+    assert_eq!(lost, 0, "a committed version became unreadable under churn");
+    assert_eq!(
+        provider_report.still_under_replicated, 0,
+        "repair must restore page replication with the live provider set"
+    );
+    assert_eq!(
+        dht_report.still_under_replicated, 0,
+        "repair must restore metadata replication with the live DHT nodes"
+    );
+    assert!(
+        kills_applied > 0 && joins_applied > 0,
+        "the schedule must actually exercise churn"
+    );
+
+    #[derive(serde::Serialize)]
+    struct Snapshot {
+        experiment: &'static str,
+        smoke: bool,
+        rounds: usize,
+        page_bytes: u64,
+        replication: usize,
+        dht_replication: usize,
+        kills_applied: u64,
+        kills_skipped: u64,
+        joins_applied: u64,
+        committed_versions: usize,
+        verified_reads: u64,
+        lost_versions: u64,
+        append_mibps: f64,
+        read_mibps: f64,
+        repaired_page_copies: u64,
+        repaired_dht_entries: u64,
+        provider_under_replicated_final: usize,
+        dht_under_replicated_final: usize,
+        provider_failures_detected: u64,
+        dht_failures_detected: u64,
+    }
+    bench::emit_bench_json(
+        "E10",
+        &Snapshot {
+            experiment: "E10",
+            smoke,
+            rounds,
+            page_bytes: page,
+            replication,
+            dht_replication,
+            kills_applied,
+            kills_skipped,
+            joins_applied,
+            committed_versions: committed.len(),
+            verified_reads,
+            lost_versions: lost,
+            append_mibps,
+            read_mibps,
+            repaired_page_copies: pm.repaired_pages(),
+            repaired_dht_entries: dht_stats.repaired_entries,
+            provider_under_replicated_final: provider_report.still_under_replicated,
+            dht_under_replicated_final: dht_report.still_under_replicated,
+            provider_failures_detected,
+            dht_failures_detected: dht_stats.failures_detected,
+        },
+    );
+}

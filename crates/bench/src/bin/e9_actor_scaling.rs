@@ -7,17 +7,15 @@
 //! One deployment serves a read workload at a small and a 16x larger client
 //! count; the census high-water mark must be identical at both points.
 //!
-//! `BENCH_LEGACY=1` runs the same workload with
-//! [`blobseer::DataPlaneMode::LegacyThreads`] (the pre-refactor scoped
-//! thread-per-operation path, kept as a differential oracle). There the
-//! census scales with client count — the before/after pair is what
-//! EXPERIMENTS.md records. The flatness assertion only applies to actor
-//! mode.
+//! The legacy thread-per-operation data plane (and its `BENCH_LEGACY`
+//! switch) is gone: the before/after pair recorded in EXPERIMENTS.md was
+//! measured while the differential oracle still existed, and the flatness
+//! assertion below is what keeps the actor plane honest going forward.
 //!
 //! `BENCH_SMOKE=1` shrinks the sweep to a does-it-run configuration (CI
 //! asserts flatness on the emitted `BENCH_E9.json`).
 
-use blobseer::{BlobSeer, BlobSeerConfig, DataPlaneMode};
+use blobseer::{BlobSeer, BlobSeerConfig};
 use simcluster::topology::ClusterTopology;
 use simcluster::NodeId;
 use std::time::Instant;
@@ -32,12 +30,6 @@ struct ScalePoint {
 
 fn main() {
     let smoke = bench::smoke_mode();
-    let legacy = std::env::var("BENCH_LEGACY").is_ok_and(|v| !v.is_empty() && v != "0");
-    let mode = if legacy {
-        DataPlaneMode::LegacyThreads
-    } else {
-        DataPlaneMode::Actors
-    };
     let client_counts: &[usize] = if smoke { &[2, 32] } else { &[4, 64] };
     let page = 16 * 1024u64;
     let pages = if smoke { 16u64 } else { 64 };
@@ -50,8 +42,7 @@ fn main() {
             .with_providers(8)
             .with_page_size(page)
             .with_page_replication(2)
-            .with_io_parallelism(4)
-            .with_data_plane(mode),
+            .with_io_parallelism(4),
         &topo,
         &provider_nodes,
     );
@@ -61,8 +52,7 @@ fn main() {
     writer.write(blob, 0, &vec![7u8; len as usize]).unwrap();
 
     println!(
-        "== E9: client scaling on the {} data plane (8 providers, {} KiB pages x {pages}, replication 2) ==",
-        if legacy { "legacy thread" } else { "actor" },
+        "== E9: client scaling on the actor data plane (8 providers, {} KiB pages x {pages}, replication 2) ==",
         page / 1024,
     );
     println!();
@@ -103,25 +93,24 @@ fn main() {
     // * `peak` — concurrently-live system threads never exceed the fixed
     //   pool + actor set, no matter the client count;
     // * `spawned` — the system creates *zero* new threads while serving the
-    //   whole sweep (legacy mode spawns a scoped thread batch per
-    //   operation, so this is the metric that separates the two modes even
-    //   on a single-CPU runner where short-lived threads barely overlap).
+    //   whole sweep (the retired thread-per-operation plane spawned a scoped
+    //   thread batch per operation, so this is the metric that separated the
+    //   two even on a single-CPU runner where short-lived threads barely
+    //   overlap).
     let first = points.first().unwrap();
     let last = points.last().unwrap();
     let flat = first.census_peak == last.census_peak && first.census_spawned == last.census_spawned;
-    if !legacy {
-        assert!(
-            flat,
-            "actor data plane must keep the system thread census flat \
-             ({} clients -> peak {} / spawned {}, {} clients -> peak {} / spawned {})",
-            first.clients,
-            first.census_peak,
-            first.census_spawned,
-            last.clients,
-            last.census_peak,
-            last.census_spawned,
-        );
-    }
+    assert!(
+        flat,
+        "actor data plane must keep the system thread census flat \
+         ({} clients -> peak {} / spawned {}, {} clients -> peak {} / spawned {})",
+        first.clients,
+        first.census_peak,
+        first.census_spawned,
+        last.clients,
+        last.census_peak,
+        last.census_spawned,
+    );
     println!();
     println!(
         "census: peak {} -> {}, spawned {} -> {} across a {}x client jump ({})",
@@ -146,7 +135,7 @@ fn main() {
         &Snapshot {
             experiment: "E9",
             smoke,
-            mode: if legacy { "legacy-threads" } else { "actors" },
+            mode: "actors",
             census_flat: flat,
             points,
         },

@@ -24,21 +24,21 @@
 //! of small DHT records per write, which is what lets BlobSeer sustain
 //! throughput under heavy write concurrency.
 
-use crate::config::{BlobSeerConfig, DataPlaneMode};
+use crate::config::BlobSeerConfig;
 use crate::error::{BlobResult, BlobSeerError};
 use crate::metadata::segment_tree::{
     build_version, lookup_range, lookup_range_readahead, PrevTree,
 };
 use crate::metadata::store::{AdaptiveReadahead, MetadataStore};
 use crate::provider::page_key;
-use crate::provider_manager::ProviderManager;
+use crate::provider_manager::{ProviderManager, ProviderRepairReport};
 use crate::types::{next_power_of_two, BlobId, ByteRange, PageMath, ProviderId, Version};
 use crate::version_manager::{VersionInfo, VersionManager, WriteIntent, WriteTicket};
 use bytes::Bytes;
-use dht::NodeBackend;
+use dht::DhtRepairReport;
 use parking_lot::{Mutex, RwLock};
 use simcluster::topology::ClusterTopology;
-use simcluster::{Clock, NodeId, WallClock};
+use simcluster::{Clock, DetectorConfig, NodeId, WallClock};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
@@ -92,6 +92,9 @@ pub struct BlobSeer {
     gc_last: Mutex<Duration>,
     gc_running: AtomicBool,
     gc_ticks: AtomicU64,
+    repair_last: Mutex<Duration>,
+    repair_running: AtomicBool,
+    repair_ticks: AtomicU64,
     bytes_written: AtomicU64,
     bytes_read: AtomicU64,
     write_ops: AtomicU64,
@@ -133,21 +136,13 @@ impl BlobSeer {
             !provider_nodes.is_empty(),
             "at least one provider node is required to deploy BlobSeer"
         );
-        let backend = match config.data_plane {
-            DataPlaneMode::Actors => NodeBackend::Actor,
-            DataPlaneMode::LegacyThreads => NodeBackend::Direct,
-        };
-        let provider_manager = Arc::new(ProviderManager::new_in_memory_mode(
+        let provider_manager = Arc::new(ProviderManager::new_in_memory(
             topology,
             provider_nodes,
             config.placement,
-            config.data_plane,
         ));
-        let mut metadata = MetadataStore::new_with_backend(
-            config.metadata_providers,
-            config.metadata_replication,
-            backend,
-        );
+        let mut metadata =
+            MetadataStore::new(config.metadata_providers, config.metadata_replication);
         if config.metadata_cache {
             // Tree nodes are immutable once published, so a client-side cache
             // needs no invalidation; see `metadata::cache`.
@@ -159,6 +154,21 @@ impl BlobSeer {
         } else {
             None
         };
+        // Client-side retry/backoff for metadata DHT operations; page I/O
+        // applies the same knobs in `fetch_page`/`build_and_push`.
+        metadata.dht().set_retry_policy(dht::RetryPolicy {
+            attempts: config.retry_attempts,
+            backoff: Duration::from_millis(config.retry_backoff_ms),
+        });
+        if config.repair_interval_ms.is_some() {
+            // Dead members are *discovered*: heartbeat rounds and refused
+            // data operations feed timeout/suspicion detectors on both tiers.
+            metadata
+                .dht()
+                .enable_failure_detection(Arc::clone(&clock), DetectorConfig::default());
+            provider_manager
+                .enable_failure_detection(Arc::clone(&clock), DetectorConfig::default());
+        }
         let gc_origin = clock.now();
         Arc::new_cyclic(|weak| BlobSeer {
             config: config.clone(),
@@ -173,6 +183,9 @@ impl BlobSeer {
             gc_last: Mutex::new(gc_origin),
             gc_running: AtomicBool::new(false),
             gc_ticks: AtomicU64::new(0),
+            repair_last: Mutex::new(gc_origin),
+            repair_running: AtomicBool::new(false),
+            repair_ticks: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
             write_ops: AtomicU64::new(0),
@@ -337,20 +350,67 @@ impl BlobSeer {
             }
         }));
     }
+
+    /// How many background repair passes the cadence has completed (see
+    /// [`crate::BlobSeerConfig::with_repair_interval`]).
+    pub fn repair_tick_count(&self) -> u64 {
+        self.repair_ticks.load(Ordering::Acquire)
+    }
+
+    /// One full repair pass over both storage tiers, run synchronously:
+    /// heartbeat-probe every member, then actively re-replicate
+    /// under-replicated metadata DHT keys and announced provider pages onto
+    /// live members. Nothing here relies on `revive`: dead members stay
+    /// dead, replicas are rebuilt elsewhere from surviving copies.
+    pub fn repair(&self) -> (DhtRepairReport, ProviderRepairReport) {
+        let dht = self.metadata.dht();
+        dht.heartbeat_tick();
+        self.provider_manager.heartbeat_tick();
+        let metadata_report = dht.repair();
+        let page_report = self.provider_manager.repair(self.config.page_replication);
+        (metadata_report, page_report)
+    }
+
+    /// Background-repair cadence, mirroring the GC cadence: called on the
+    /// write path after a commit; when the configured interval has elapsed on
+    /// the deployment clock, one repair pass is spawned on the executor. At
+    /// most one pass is in flight; the task holds only a `Weak` reference so
+    /// dropping the system cancels the cadence.
+    fn maybe_tick_repair(&self) {
+        let Some(interval_ms) = self.config.repair_interval_ms else {
+            return;
+        };
+        let now = self.clock.now();
+        {
+            let mut last = self.repair_last.lock();
+            if now.saturating_sub(*last) < Duration::from_millis(interval_ms) {
+                return;
+            }
+            *last = now;
+        }
+        if self.repair_running.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let weak = self.self_weak.clone();
+        drop(miniexec::spawn(move || {
+            if let Some(sys) = weak.upgrade() {
+                let _ = sys.repair();
+                sys.repair_ticks.fetch_add(1, Ordering::AcqRel);
+                sys.repair_running.store(false, Ordering::Release);
+            }
+        }));
+    }
 }
 
 /// Run `work(i)` for every `i in 0..items` and return the results in index
 /// order. With more than one item and `parallelism > 1` the work is fanned
-/// out as scoped tasks; items are assigned to workers by stride, which keeps
-/// the distribution deterministic. Both the read path (per-page replica
-/// fetches) and the write path (per-page replica pushes) go through this.
-///
-/// In [`DataPlaneMode::Actors`] the tasks run on the process-wide executor's
-/// fixed worker pool, so concurrency is bounded by pool width and queue
-/// depth no matter how many clients fan out at once. The legacy mode spawns
-/// one scoped OS thread per worker, per call — the thread-per-operation
-/// behaviour this release replaces, kept as a differential oracle.
-fn fan_out<T, F>(mode: DataPlaneMode, parallelism: usize, items: usize, work: F) -> Vec<T>
+/// out as scoped tasks on the process-wide executor's fixed worker pool, so
+/// concurrency is bounded by pool width and queue depth no matter how many
+/// clients fan out at once. Items are assigned to workers by stride, which
+/// keeps the distribution deterministic. Both the read path (per-page
+/// replica fetches) and the write path (per-page replica pushes) go through
+/// this.
+fn fan_out<T, F>(parallelism: usize, items: usize, work: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -360,55 +420,27 @@ where
         return (0..items).map(work).collect();
     }
     let mut out: Vec<Option<T>> = (0..items).map(|_| None).collect();
-    match mode {
-        DataPlaneMode::Actors => {
-            miniexec::scope(|scope| {
-                let work = &work;
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
-                        scope.spawn(move || {
-                            let mut local = Vec::new();
-                            let mut i = w;
-                            while i < items {
-                                local.push((i, work(i)));
-                                i += workers;
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                for handle in handles {
-                    for (i, value) in handle.join() {
-                        out[i] = Some(value);
+    miniexec::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    let mut i = w;
+                    while i < items {
+                        local.push((i, work(i)));
+                        i += workers;
                     }
-                }
-            });
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join() {
+                out[i] = Some(value);
+            }
         }
-        DataPlaneMode::LegacyThreads => {
-            std::thread::scope(|scope| {
-                let work = &work;
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
-                        scope.spawn(move || {
-                            let _census = miniexec::census::Registration::new();
-                            let mut local = Vec::new();
-                            let mut i = w;
-                            while i < items {
-                                local.push((i, work(i)));
-                                i += workers;
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                for handle in handles {
-                    for (i, value) in handle.join().expect("page I/O worker panicked") {
-                        out[i] = Some(value);
-                    }
-                }
-            });
-        }
-    }
+    });
     out.into_iter()
         .map(|v| v.expect("every item computed"))
         .collect()
@@ -602,33 +634,70 @@ impl BlobSeerClient {
             let src_to = (copy_end_in_blob - range.offset) as usize;
             image[dst_from..dst_to].copy_from_slice(&data[src_from..src_to]);
 
-            // Push to every replica provider.
+            // Push to every planned replica provider. A refusal means the
+            // provider is dead: feed the failure detector and fail over to
+            // other live providers, so the page still reaches the planned
+            // replica count and the metadata records where the copies really
+            // landed. A page with no live home at all retries under the
+            // configured backoff (a concurrent join, revive or repair pass
+            // may restore capacity) before failing the write.
             let replicas = &placements[i];
             let key = page_key(blob, ticket.version, page);
             let image = Bytes::from(image);
             let mut stored: Vec<ProviderId> = Vec::with_capacity(replicas.len());
-            for pid in replicas {
-                let provider = sys
-                    .provider_manager
-                    .provider(*pid)
-                    .ok_or(BlobSeerError::NoProviders)?;
-                match provider.put_page(&key, image.clone()) {
-                    Ok(()) => stored.push(*pid),
-                    Err(_) => continue, // dead provider: skip, rely on the rest
+            let mut backoff = Duration::from_millis(sys.config.retry_backoff_ms);
+            for attempt in 0..sys.config.retry_attempts.max(1) {
+                if attempt > 0 {
+                    std::thread::sleep(backoff);
+                    backoff *= 2;
+                }
+                for pid in replicas.iter() {
+                    if stored.contains(pid) {
+                        continue;
+                    }
+                    let provider = sys
+                        .provider_manager
+                        .provider(*pid)
+                        .ok_or(BlobSeerError::NoProviders)?;
+                    match provider.put_page(&key, image.clone()) {
+                        Ok(()) => stored.push(*pid),
+                        Err(_) => sys.provider_manager.note_down(*pid),
+                    }
+                }
+                // Fail over past dead planned replicas onto any other live
+                // provider (all-alive writes never enter this loop).
+                if stored.len() < replicas.len() {
+                    for provider in sys.provider_manager.providers() {
+                        if stored.len() >= replicas.len() {
+                            break;
+                        }
+                        let pid = provider.id();
+                        if stored.contains(&pid) || replicas.contains(&pid) {
+                            continue;
+                        }
+                        if provider.put_page(&key, image.clone()).is_ok() {
+                            stored.push(pid);
+                        }
+                    }
+                }
+                if !stored.is_empty() {
+                    break;
                 }
             }
             if stored.is_empty() {
                 return Err(BlobSeerError::NoProviders);
             }
+            // Announce every copy so the repair pass can police this page's
+            // replication and readers can fail over past the recorded set.
+            for pid in &stored {
+                sys.provider_manager.announce(&key, *pid);
+            }
             Ok(stored)
         };
         let pages: Vec<u64> = (first_page..=last_page).collect();
-        let per_page = fan_out(
-            sys.config.data_plane,
-            sys.config.io_parallelism,
-            pages.len(),
-            |i| build_and_push(i, pages[i]),
-        );
+        let per_page = fan_out(sys.config.io_parallelism, pages.len(), |i| {
+            build_and_push(i, pages[i])
+        });
         let mut written: BTreeMap<u64, Vec<ProviderId>> = BTreeMap::new();
         for (page, stored) in pages.iter().zip(per_page) {
             written.insert(*page, stored?);
@@ -659,6 +728,7 @@ impl BlobSeerClient {
             .fetch_add(data.len() as u64, Ordering::Relaxed);
         sys.write_ops.fetch_add(1, Ordering::Relaxed);
         sys.maybe_tick_gc();
+        sys.maybe_tick_repair();
         Ok(info.version)
     }
 
@@ -739,17 +809,12 @@ impl BlobSeerClient {
             last_page,
             window,
         )?;
-        let images = fan_out(
-            sys.config.data_plane,
-            sys.config.io_parallelism,
-            locations.len(),
-            |i| {
-                let meta = &locations[i];
-                let page_start = pm.page_start(meta.page);
-                let valid_len = ((info.size - page_start).min(page_size)) as usize;
-                self.fetch_page(blob, meta, valid_len)
-            },
-        );
+        let images = fan_out(sys.config.io_parallelism, locations.len(), |i| {
+            let meta = &locations[i];
+            let page_start = pm.page_start(meta.page);
+            let valid_len = ((info.size - page_start).min(page_size)) as usize;
+            self.fetch_page(blob, meta, valid_len)
+        });
 
         let mut out = Vec::with_capacity(len as usize);
         for (meta, image) in locations.iter().zip(images) {
@@ -776,6 +841,14 @@ impl BlobSeerClient {
     /// and zero-pad (or zero-fill for holes) to `valid_len`. Pages are stored
     /// on providers under the version of the write that *created* them, which
     /// the metadata lookup reports in [`PageMeta::created`].
+    ///
+    /// The metadata's provider list is where the write put the copies; under
+    /// churn the repair pass may since have rebuilt replicas elsewhere, so
+    /// after exhausting the recorded set the read chases the page-announcement
+    /// registry. A miss that saw a dead provider is *transient* (the only
+    /// live copy may be resting on a node that just refused) and retries
+    /// under the configured backoff; a miss with every probe answered is
+    /// authoritative and fails immediately.
     fn fetch_page(
         &self,
         blob: BlobId,
@@ -789,33 +862,53 @@ impl BlobSeerClient {
         };
         let sys = &self.system;
         let key = page_key(blob, created, meta.page);
-        let mut last_err: Option<BlobSeerError> = None;
-        for pid in &meta.providers {
-            let provider = match sys.provider_manager.provider(*pid) {
-                Some(p) => p,
-                None => continue,
-            };
-            match provider.get_page(&key) {
-                Ok(Some(data)) => {
-                    // The stored image can be shorter than the valid length
-                    // (the blob grew past this page's last write through a
-                    // hole); pad with zeroes.
-                    let mut image = data.to_vec();
-                    if image.len() < valid_len {
-                        image.resize(valid_len, 0);
-                    } else {
-                        image.truncate(valid_len);
-                    }
-                    return Ok(image);
-                }
-                Ok(None) => continue,
-                Err(e) => {
-                    last_err = Some(e);
-                    continue;
+        let mut backoff = Duration::from_millis(sys.config.retry_backoff_ms);
+        for attempt in 0..sys.config.retry_attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+            // Recorded replicas first, then any holder announced since (a
+            // repair copy); skip duplicates.
+            let mut candidates = meta.providers.clone();
+            for pid in sys.provider_manager.holders(&key) {
+                if !candidates.contains(&pid) {
+                    candidates.push(pid);
                 }
             }
+            let mut saw_down = false;
+            for pid in &candidates {
+                let provider = match sys.provider_manager.provider(*pid) {
+                    Some(p) => p,
+                    None => continue,
+                };
+                match provider.get_page(&key) {
+                    Ok(Some(data)) => {
+                        // The stored image can be shorter than the valid
+                        // length (the blob grew past this page's last write
+                        // through a hole); pad with zeroes.
+                        let mut image = data.to_vec();
+                        if image.len() < valid_len {
+                            image.resize(valid_len, 0);
+                        } else {
+                            image.truncate(valid_len);
+                        }
+                        return Ok(image);
+                    }
+                    Ok(None) => continue,
+                    Err(_) => {
+                        sys.provider_manager.note_down(*pid);
+                        saw_down = true;
+                        continue;
+                    }
+                }
+            }
+            if !saw_down {
+                // Every candidate answered and none holds the page: retrying
+                // cannot change the outcome.
+                break;
+            }
         }
-        let _ = last_err;
         Err(BlobSeerError::PageUnavailable {
             blob,
             version: created,
@@ -1536,33 +1629,132 @@ mod tests {
         assert_eq!(client.versions(blob).unwrap().len(), 11);
     }
 
-    /// The differential oracle for the data-plane refactor: the same workload
-    /// through message-loop actors and through the legacy thread-per-operation
-    /// paths must produce byte-identical blobs and identical version history.
     #[test]
-    fn actor_and_legacy_data_planes_are_byte_identical() {
-        let run = |mode: DataPlaneMode| {
-            let sys = BlobSeer::new(
-                BlobSeerConfig::for_tests()
-                    .with_providers(8)
-                    .with_io_parallelism(4)
-                    .with_page_replication(2)
-                    .with_data_plane(mode),
+    fn writes_survive_a_replica_dying_mid_write() {
+        // A provider is killed concurrently with a many-page replicated
+        // write. Whatever point of the push the death lands on, the write
+        // must commit (skipping or failing over past the dead replica) and
+        // every byte must read back through the surviving copies.
+        let sys = BlobSeer::new(
+            BlobSeerConfig::for_tests()
+                .with_providers(4)
+                .with_page_replication(2)
+                .with_io_parallelism(2),
+        );
+        let client = sys.client();
+        let blob = client.create(Some(16)).unwrap();
+        let data: Vec<u8> = (0..16u32 * 64).map(|i| (i % 251) as u8).collect();
+        let pm = Arc::clone(sys.provider_manager());
+        let killer = std::thread::spawn(move || pm.kill(ProviderId(0)));
+        let v = client.write(blob, 0, &data).unwrap();
+        killer.join().unwrap();
+        assert_eq!(
+            client.read(blob, v, 0, data.len() as u64).unwrap().to_vec(),
+            data
+        );
+        // Each stored copy was announced, so repair can police the pages the
+        // racing kill left short.
+        assert_eq!(sys.provider_manager().announced_pages(), 64);
+        let (_, pages) = sys.repair();
+        assert_eq!(pages.still_under_replicated, 0);
+    }
+
+    #[test]
+    fn repair_restores_page_replication_without_revive() {
+        let sys = BlobSeer::new(
+            BlobSeerConfig::for_tests()
+                .with_providers(4)
+                .with_page_replication(2),
+        );
+        let client = sys.client();
+        let blob = client.create(Some(16)).unwrap();
+        let data: Vec<u8> = (0..64u8).collect();
+        let v = client.write(blob, 0, &data).unwrap();
+
+        // Kill one replica of every page; repair must rebuild the factor on
+        // the surviving providers, with the victims staying dead.
+        let locs = client.locate(blob, v, 0, 64).unwrap();
+        let victim = locs[0].providers[0];
+        sys.provider_manager().kill(victim);
+        let (_, pages) = sys.repair();
+        assert!(pages.under_replicated > 0, "the victim's pages were short");
+        assert_eq!(pages.still_under_replicated, 0);
+        assert!(pages.repaired_copies > 0);
+
+        // Now kill every provider the metadata records for page 0; the read
+        // must chase the announced repair copy, which lives outside the
+        // recorded set.
+        assert_eq!(client.read(blob, v, 0, 64).unwrap().to_vec(), data);
+        for pid in &locs[0].providers {
+            sys.provider_manager().kill(*pid);
+        }
+        assert_eq!(
+            client.read(blob, v, 0, 16).unwrap().to_vec(),
+            data[..16].to_vec(),
+            "the repair copy outside the recorded set must serve the read"
+        );
+    }
+
+    #[test]
+    fn background_repair_ticks_on_the_deployment_clock() {
+        use simcluster::SimClock;
+        let clock = Arc::new(SimClock::new());
+        let config = BlobSeerConfig::for_tests()
+            .with_providers(4)
+            .with_page_replication(2)
+            .with_repair_interval(Duration::from_secs(5));
+        let topology = ClusterTopology::flat(config.providers as u32);
+        let nodes: Vec<NodeId> = topology.all_nodes().collect();
+        let sys = BlobSeer::with_topology_and_clock(config, &topology, &nodes, clock.clone());
+        let client = sys.client();
+        let blob = client.create(Some(16)).unwrap();
+        let v = client.write(blob, 0, &[9u8; 64]).unwrap();
+        assert_eq!(sys.repair_tick_count(), 0);
+
+        // Unannounced death; cross the repair deadline on the virtual clock.
+        let victim = client.locate(blob, v, 0, 64).unwrap()[0].providers[0];
+        sys.provider_manager().kill(victim);
+        clock.advance(Duration::from_secs(6));
+        client.write(blob, 0, b"trigger-page-xx!").unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while sys.repair_tick_count() == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background repair pass never ran"
             );
-            let client = sys.client();
-            let blob = client.create(Some(32)).unwrap();
-            let data: Vec<u8> = (0..32 * 20).map(|i| (i % 241) as u8).collect();
-            client.write(blob, 0, &data).unwrap();
-            client.write(blob, 48, &[0xAB; 100]).unwrap();
-            client.append(blob, &[0xCD; 75]).unwrap();
-            let latest = client.latest_version(blob).unwrap();
-            let bytes = client.read_latest(blob, 0, latest.size).unwrap();
-            let unaligned = client.read_latest(blob, 13, 333).unwrap();
-            (latest.version, latest.size, bytes, unaligned)
-        };
-        let actors = run(DataPlaneMode::Actors);
-        let legacy = run(DataPlaneMode::LegacyThreads);
-        assert_eq!(actors, legacy);
+            std::thread::yield_now();
+        }
+        // The pass restored the factor: a second, synchronous pass finds
+        // nothing left to do.
+        let (_, pages) = sys.repair();
+        assert_eq!(pages.under_replicated, 0);
+        assert!(sys.provider_manager().repaired_pages() > 0);
+        // The detector knows about the victim without anyone declaring it.
+        let det = sys.provider_manager().failure_detector().unwrap();
+        assert!(det.failures_detected() >= 1);
+    }
+
+    #[test]
+    fn retried_page_reads_succeed_once_a_replica_recovers() {
+        // Unreplicated page, provider dies, a reviver brings it back while
+        // the reader backs off: the read must ride out the outage.
+        let sys = BlobSeer::new(
+            BlobSeerConfig::for_tests()
+                .with_providers(2)
+                .with_retry(50, Duration::from_millis(2)),
+        );
+        let client = sys.client();
+        let blob = client.create(Some(16)).unwrap();
+        let v = client.write(blob, 0, &[3u8; 16]).unwrap();
+        let holder = client.locate(blob, v, 0, 16).unwrap()[0].providers[0];
+        sys.provider_manager().kill(holder);
+        let pm = Arc::clone(sys.provider_manager());
+        let reviver = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            pm.revive(holder);
+        });
+        assert_eq!(client.read(blob, v, 0, 16).unwrap().to_vec(), vec![3u8; 16]);
+        reviver.join().unwrap();
     }
 
     #[test]

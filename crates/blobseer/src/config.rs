@@ -4,23 +4,6 @@ use crate::provider_manager::PlacementStrategy;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
-/// Which concurrency substrate the data plane runs on.
-///
-/// [`DataPlaneMode::Actors`] (the default) runs provider and DHT-node
-/// interiors as message-loop actors and fans page I/O out as tasks on the
-/// shared `miniexec` pool, so in-flight concurrency is bounded by queue
-/// depth rather than thread count. [`DataPlaneMode::LegacyThreads`] keeps
-/// the previous scoped-thread pools and lock-based component interiors; it
-/// exists for one PR as the differential oracle for the actor port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub enum DataPlaneMode {
-    /// Message-loop actors + shared task pool (the default).
-    #[default]
-    Actors,
-    /// Scoped thread pools and shared-lock interiors (differential oracle).
-    LegacyThreads,
-}
-
 /// Configuration of an in-process BlobSeer deployment.
 ///
 /// The defaults mirror the deployments used in the paper's evaluation: 64 MiB
@@ -80,9 +63,23 @@ pub struct BlobSeerConfig {
     /// bounded above by `metadata_readahead`. When false the window is the
     /// fixed `metadata_readahead` knob.
     pub adaptive_readahead: bool,
-    /// Which concurrency substrate the data plane runs on (see
-    /// [`DataPlaneMode`]).
-    pub data_plane: DataPlaneMode,
+    /// Background repair cadence in milliseconds (of the instance's `Clock`,
+    /// so tests drive it with `SimClock`). When set, the deployment attaches
+    /// heartbeat failure detectors to the metadata DHT and the provider
+    /// registry, and the write path — after each commit, like the GC
+    /// cadence — schedules a repair pass (heartbeat probes + active
+    /// re-replication of under-replicated metadata keys and provider pages)
+    /// as a background task on the executor pool. `None` disables failure
+    /// detection and repair entirely (callers can still run
+    /// [`crate::BlobSeer::repair`] by hand).
+    pub repair_interval_ms: Option<u64>,
+    /// Total tries per DHT data operation and per page fetch/push (1 =
+    /// fail fast). Retries back off exponentially from `retry_backoff_ms`,
+    /// giving a concurrent repair pass a window to restore replicas.
+    pub retry_attempts: u32,
+    /// Backoff (wall milliseconds) before the first retry; doubles on each
+    /// further retry.
+    pub retry_backoff_ms: u64,
 }
 
 impl Default for BlobSeerConfig {
@@ -102,7 +99,9 @@ impl Default for BlobSeerConfig {
             gc_keep_last: None,
             gc_interval_ms: None,
             adaptive_readahead: false,
-            data_plane: DataPlaneMode::default(),
+            repair_interval_ms: None,
+            retry_attempts: 1,
+            retry_backoff_ms: 1,
         }
     }
 }
@@ -125,7 +124,9 @@ impl BlobSeerConfig {
             gc_keep_last: None,
             gc_interval_ms: None,
             adaptive_readahead: false,
-            data_plane: DataPlaneMode::default(),
+            repair_interval_ms: None,
+            retry_attempts: 1,
+            retry_backoff_ms: 1,
         }
     }
 
@@ -203,9 +204,21 @@ impl BlobSeerConfig {
         self
     }
 
-    /// Builder-style override of the data-plane concurrency substrate.
-    pub fn with_data_plane(mut self, mode: DataPlaneMode) -> Self {
-        self.data_plane = mode;
+    /// Builder-style override of the background repair cadence. The interval
+    /// is measured on the instance's `Clock` (so `SimClock` tests control
+    /// it) and rounded down to whole milliseconds. Setting it also attaches
+    /// heartbeat failure detectors to both storage tiers.
+    pub fn with_repair_interval(mut self, interval: Duration) -> Self {
+        self.repair_interval_ms = Some(interval.as_millis() as u64);
+        self
+    }
+
+    /// Builder-style override of the client retry policy for DHT operations
+    /// and page I/O: total `attempts` per operation, exponential backoff
+    /// starting at `backoff`.
+    pub fn with_retry(mut self, attempts: u32, backoff: Duration) -> Self {
+        self.retry_attempts = attempts;
+        self.retry_backoff_ms = backoff.as_millis() as u64;
         self
     }
 
@@ -257,6 +270,14 @@ impl BlobSeerConfig {
             !self.adaptive_readahead || self.metadata_readahead >= 1,
             "adaptive read-ahead needs a non-zero metadata_readahead as its upper bound"
         );
+        assert!(
+            self.repair_interval_ms != Some(0),
+            "a background repair interval must be non-zero"
+        );
+        assert!(
+            self.retry_attempts >= 1,
+            "at least one attempt per operation is required"
+        );
     }
 }
 
@@ -284,7 +305,8 @@ mod tests {
             .with_gc_keep_last(3)
             .with_gc_interval(Duration::from_secs(30))
             .with_adaptive_readahead(true)
-            .with_data_plane(DataPlaneMode::LegacyThreads);
+            .with_repair_interval(Duration::from_secs(2))
+            .with_retry(4, Duration::from_millis(5));
         assert_eq!(c.default_page_size, 4096);
         assert_eq!(c.providers, 10);
         assert_eq!(c.page_replication, 3);
@@ -296,8 +318,26 @@ mod tests {
         assert_eq!(c.gc_keep_last, Some(3));
         assert_eq!(c.gc_interval_ms, Some(30_000));
         assert!(c.adaptive_readahead);
-        assert_eq!(c.data_plane, DataPlaneMode::LegacyThreads);
+        assert_eq!(c.repair_interval_ms, Some(2_000));
+        assert_eq!(c.retry_attempts, 4);
+        assert_eq!(c.retry_backoff_ms, 5);
         c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "repair interval must be non-zero")]
+    fn zero_repair_interval_is_rejected() {
+        BlobSeerConfig::for_tests()
+            .with_repair_interval(Duration::from_millis(0))
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn zero_retry_attempts_are_rejected() {
+        BlobSeerConfig::for_tests()
+            .with_retry(0, Duration::from_millis(1))
+            .validate();
     }
 
     #[test]

@@ -162,8 +162,18 @@ pub fn collect_blob_garbage(
         {
             if !replicas.is_empty() {
                 let pkey = page_key(blob, key.version, *page);
+                // The leaf records where the write put the copies; repair
+                // may since have rebuilt replicas elsewhere, so sweep the
+                // announced holders too and drop the page from the registry
+                // (otherwise repair would resurrect the deleted image).
+                let mut targets: Vec<_> = replicas.clone();
+                for pid in providers.holders(&pkey) {
+                    if !targets.contains(&pid) {
+                        targets.push(pid);
+                    }
+                }
                 let mut deleted_any = false;
-                for pid in replicas {
+                for pid in &targets {
                     if let Some(provider) = providers.provider(*pid) {
                         if let Ok(true) = provider.delete_page(&pkey) {
                             report.page_replicas_deleted += 1;
@@ -171,6 +181,7 @@ pub fn collect_blob_garbage(
                         }
                     }
                 }
+                providers.withdraw_page(&pkey);
                 if deleted_any {
                     report.pages_deleted += 1;
                 }

@@ -21,7 +21,10 @@
 //! * **data is never overwritten**: every write or append produces a new
 //!   snapshot version, and every past version stays readable;
 //! * fault tolerance comes from page-level replication (and the durable
-//!   [`kvstore`] backend standing in for BerkeleyDB).
+//!   [`kvstore`] backend standing in for BerkeleyDB), kept effective under
+//!   churn by heartbeat failure detection and an active re-replication
+//!   repair loop on both storage tiers (see [`BlobSeer::repair`] and
+//!   [`BlobSeerConfig::with_repair_interval`]).
 //!
 //! The whole deployment runs in one process: providers, metadata providers
 //! and the version manager are objects, and clients are plain values that can
@@ -60,11 +63,11 @@ pub mod types;
 pub mod version_manager;
 
 pub use client::{BlobSeer, BlobSeerClient, PageLocation};
-pub use config::{BlobSeerConfig, DataPlaneMode};
+pub use config::BlobSeerConfig;
 pub use error::{BlobResult, BlobSeerError};
 pub use gc::GcReport;
 pub use metadata::store::MetadataStats;
 pub use provider::{Provider, ProviderStats};
-pub use provider_manager::{PlacementStrategy, ProviderManager};
+pub use provider_manager::{PlacementStrategy, ProviderManager, ProviderRepairReport};
 pub use types::{BlobId, ByteRange, PageMath, ProviderId, Version};
 pub use version_manager::{ShardStats, VersionInfo, VersionManager, WriteIntent, WriteTicket};

@@ -4,7 +4,7 @@ use crate::error::{BlobResult, BlobSeerError};
 use crate::metadata::cache::MetadataCache;
 use crate::metadata::{NodeKey, TreeNode};
 use bytes::Bytes;
-use dht::{Dht, DhtConfig, DhtError, NodeBackend};
+use dht::{Dht, DhtConfig, DhtError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -71,26 +71,13 @@ pub struct MetadataStore {
 }
 
 impl MetadataStore {
-    /// Create a store with a fresh DHT of `metadata_providers` nodes on the
-    /// default (actor) node backend.
+    /// Create a store with a fresh DHT of `metadata_providers` nodes.
     pub fn new(metadata_providers: usize, replication: usize) -> Self {
-        Self::new_with_backend(metadata_providers, replication, NodeBackend::default())
-    }
-
-    /// Create a store whose DHT nodes run on an explicit backend.
-    pub fn new_with_backend(
-        metadata_providers: usize,
-        replication: usize,
-        backend: NodeBackend,
-    ) -> Self {
-        let dht = Dht::with_backend(
-            DhtConfig {
-                nodes: metadata_providers,
-                replication,
-                virtual_nodes: 64,
-            },
-            backend,
-        );
+        let dht = Dht::new(DhtConfig {
+            nodes: metadata_providers,
+            replication,
+            virtual_nodes: 64,
+        });
         Self::with_dht(Arc::new(dht))
     }
 

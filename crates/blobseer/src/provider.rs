@@ -6,22 +6,23 @@
 //! locality-aware scheduling and the network model), counts its traffic, and
 //! can be killed/revived for fault-tolerance experiments.
 //!
-//! Under [`DataPlaneMode::Actors`] (the default) the store, liveness flag and
-//! counters live single-threaded inside a message-loop actor; the `Provider`
-//! the rest of the system holds is a thin handle enqueueing commands on the
-//! mailbox. Mailbox FIFO preserves the kill-then-put ordering callers rely
-//! on. Under [`DataPlaneMode::LegacyThreads`] the previous shared
-//! atomics-and-`Arc<dyn PageStore>` interior is used; it stays for one PR as
-//! the differential oracle for the actor port.
+//! The store, liveness flag and counters live single-threaded inside a
+//! message-loop actor; the `Provider` the rest of the system holds is a thin
+//! handle enqueueing commands on the mailbox. Mailbox FIFO preserves the
+//! kill-then-put ordering callers rely on.
+//!
+//! A dead provider *refuses* data operations rather than silently absorbing
+//! them — callers discover the death as an error, the way a broken socket
+//! would surface it. [`Provider::ping`] is the cheap liveness probe the
+//! failure detector and the repair pass use.
 
-use crate::config::DataPlaneMode;
 use crate::error::{BlobResult, BlobSeerError};
 use crate::types::{BlobId, ProviderId, Version};
 use bytes::Bytes;
 use kvstore::{MemStore, PageStore};
 use miniexec::{actor, oneshot};
 use simcluster::NodeId;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Build the storage key under which a page is kept on a provider.
@@ -64,6 +65,9 @@ enum ProviderMsg {
         key: Vec<u8>,
         reply: oneshot::Sender<BlobResult<bool>>,
     },
+    /// Liveness probe: answers through the mailbox, so it observes any
+    /// kill/revive enqueued before it. Does not count as served traffic.
+    Ping(oneshot::Sender<bool>),
     Stats(oneshot::Sender<ProviderStats>),
     Kill(oneshot::Sender<()>),
     Revive(oneshot::Sender<()>),
@@ -91,6 +95,9 @@ impl ProviderState {
             }
             ProviderMsg::Delete { key, reply } => {
                 let _ = reply.send(self.delete(&key));
+            }
+            ProviderMsg::Ping(reply) => {
+                let _ = reply.send(self.alive);
             }
             ProviderMsg::Stats(reply) => {
                 let _ = reply.send(ProviderStats {
@@ -145,25 +152,11 @@ impl ProviderState {
     }
 }
 
-/// Legacy shared-state interior.
-struct DirectProvider {
-    store: Arc<dyn PageStore>,
-    writes: AtomicU64,
-    reads: AtomicU64,
-    bytes_written: AtomicU64,
-    bytes_read: AtomicU64,
-}
-
-enum ProviderInner {
-    Actor(actor::Handle<ProviderMsg>),
-    Direct(DirectProvider),
-}
-
 /// One data provider.
 pub struct Provider {
     id: ProviderId,
     node: NodeId,
-    inner: ProviderInner,
+    handle: actor::Handle<ProviderMsg>,
     alive: Arc<AtomicBool>,
 }
 
@@ -174,56 +167,29 @@ fn actor_gone<T>(_: oneshot::Canceled) -> BlobResult<T> {
 }
 
 impl Provider {
-    /// Create a provider backed by an in-memory store on the default
-    /// (actor) data plane.
+    /// Create a provider backed by an in-memory store.
     pub fn in_memory(id: ProviderId, node: NodeId) -> Self {
         Self::with_store(id, node, Arc::new(MemStore::new()))
     }
 
     /// Create a provider backed by an arbitrary page store (e.g. a
-    /// [`kvstore::LogStore`] for durability) on the default (actor) data
-    /// plane.
+    /// [`kvstore::LogStore`] for durability).
     pub fn with_store(id: ProviderId, node: NodeId, store: Arc<dyn PageStore>) -> Self {
-        Self::with_store_mode(id, node, store, DataPlaneMode::default())
-    }
-
-    /// Create a provider on an explicit data-plane mode.
-    pub fn with_store_mode(
-        id: ProviderId,
-        node: NodeId,
-        store: Arc<dyn PageStore>,
-        mode: DataPlaneMode,
-    ) -> Self {
         let alive = Arc::new(AtomicBool::new(true));
-        let inner = match mode {
-            DataPlaneMode::Actors => {
-                let state = ProviderState {
-                    store,
-                    alive: true,
-                    alive_mirror: Arc::clone(&alive),
-                    writes: 0,
-                    reads: 0,
-                    bytes_written: 0,
-                    bytes_read: 0,
-                };
-                ProviderInner::Actor(actor::spawn(
-                    &format!("provider-{}", id.0),
-                    state,
-                    ProviderState::handle,
-                ))
-            }
-            DataPlaneMode::LegacyThreads => ProviderInner::Direct(DirectProvider {
-                store,
-                writes: AtomicU64::new(0),
-                reads: AtomicU64::new(0),
-                bytes_written: AtomicU64::new(0),
-                bytes_read: AtomicU64::new(0),
-            }),
+        let state = ProviderState {
+            store,
+            alive: true,
+            alive_mirror: Arc::clone(&alive),
+            writes: 0,
+            reads: 0,
+            bytes_written: 0,
+            bytes_read: 0,
         };
+        let handle = actor::spawn(&format!("provider-{}", id.0), state, ProviderState::handle);
         Provider {
             id,
             node,
-            inner,
+            handle,
             alive,
         }
     }
@@ -244,124 +210,68 @@ impl Provider {
         self.alive.load(Ordering::Acquire)
     }
 
+    /// Liveness probe through the mailbox: `true` when the provider is
+    /// serving. This is the authoritative check the failure detector and the
+    /// repair pass use; unlike [`Provider::is_alive`] it is serialized with
+    /// every kill/revive that was enqueued before it.
+    pub fn ping(&self) -> bool {
+        self.handle.call(ProviderMsg::Ping).unwrap_or(false)
+    }
+
     /// Simulate a crash. The underlying store keeps its data so that a
     /// revive models a restart from persistent storage. Serialized through
-    /// the mailbox in actor mode, so operations enqueued after the kill
-    /// observe the dead state.
+    /// the mailbox, so operations enqueued after the kill observe the dead
+    /// state.
     pub fn kill(&self) {
-        match &self.inner {
-            ProviderInner::Actor(h) => {
-                let _ = h.call(ProviderMsg::Kill);
-            }
-            ProviderInner::Direct(_) => self.alive.store(false, Ordering::Release),
-        }
+        let _ = self.handle.call(ProviderMsg::Kill);
     }
 
     /// Bring the provider back online.
     pub fn revive(&self) {
-        match &self.inner {
-            ProviderInner::Actor(h) => {
-                let _ = h.call(ProviderMsg::Revive);
-            }
-            ProviderInner::Direct(_) => self.alive.store(true, Ordering::Release),
-        }
+        let _ = self.handle.call(ProviderMsg::Revive);
     }
 
     /// Store a page. Fails if the provider is down.
     pub fn put_page(&self, key: &[u8], data: Bytes) -> BlobResult<()> {
-        match &self.inner {
-            ProviderInner::Actor(h) => h
-                .call(|reply| ProviderMsg::Put {
-                    key: key.to_vec(),
-                    data,
-                    reply,
-                })
-                .unwrap_or_else(actor_gone),
-            ProviderInner::Direct(d) => {
-                if !self.is_alive() {
-                    return Err(BlobSeerError::Storage(kvstore::KvError::Closed));
-                }
-                d.writes.fetch_add(1, Ordering::Relaxed);
-                d.bytes_written
-                    .fetch_add(data.len() as u64, Ordering::Relaxed);
-                d.store.put(key, data)?;
-                Ok(())
-            }
-        }
+        self.handle
+            .call(|reply| ProviderMsg::Put {
+                key: key.to_vec(),
+                data,
+                reply,
+            })
+            .unwrap_or_else(actor_gone)
     }
 
     /// Fetch a page. Returns `Ok(None)` when the provider is up but does not
     /// hold the page, and an error when the provider is down.
     pub fn get_page(&self, key: &[u8]) -> BlobResult<Option<Bytes>> {
-        match &self.inner {
-            ProviderInner::Actor(h) => h
-                .call(|reply| ProviderMsg::Get {
-                    key: key.to_vec(),
-                    reply,
-                })
-                .unwrap_or_else(actor_gone),
-            ProviderInner::Direct(d) => {
-                if !self.is_alive() {
-                    return Err(BlobSeerError::Storage(kvstore::KvError::Closed));
-                }
-                let page = d.store.get(key)?;
-                if let Some(p) = &page {
-                    d.reads.fetch_add(1, Ordering::Relaxed);
-                    d.bytes_read.fetch_add(p.len() as u64, Ordering::Relaxed);
-                }
-                Ok(page)
-            }
-        }
+        self.handle
+            .call(|reply| ProviderMsg::Get {
+                key: key.to_vec(),
+                reply,
+            })
+            .unwrap_or_else(actor_gone)
     }
 
     /// Delete a page (used by version garbage collection).
     pub fn delete_page(&self, key: &[u8]) -> BlobResult<bool> {
-        match &self.inner {
-            ProviderInner::Actor(h) => h
-                .call(|reply| ProviderMsg::Delete {
-                    key: key.to_vec(),
-                    reply,
-                })
-                .unwrap_or_else(actor_gone),
-            ProviderInner::Direct(d) => {
-                if !self.is_alive() {
-                    return Err(BlobSeerError::Storage(kvstore::KvError::Closed));
-                }
-                Ok(d.store.delete(key)?)
-            }
-        }
+        self.handle
+            .call(|reply| ProviderMsg::Delete {
+                key: key.to_vec(),
+                reply,
+            })
+            .unwrap_or_else(actor_gone)
     }
 
     /// Current counters.
     pub fn stats(&self) -> ProviderStats {
-        match &self.inner {
-            ProviderInner::Actor(h) => h.call(ProviderMsg::Stats).unwrap_or_default(),
-            ProviderInner::Direct(d) => ProviderStats {
-                pages: d.store.len(),
-                stored_bytes: d.store.data_bytes(),
-                writes: d.writes.load(Ordering::Relaxed),
-                reads: d.reads.load(Ordering::Relaxed),
-                bytes_written: d.bytes_written.load(Ordering::Relaxed),
-                bytes_read: d.bytes_read.load(Ordering::Relaxed),
-            },
-        }
+        self.handle.call(ProviderMsg::Stats).unwrap_or_default()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn both_modes(test: impl Fn(Provider)) {
-        for mode in [DataPlaneMode::Actors, DataPlaneMode::LegacyThreads] {
-            test(Provider::with_store_mode(
-                ProviderId(0),
-                NodeId(0),
-                Arc::new(MemStore::new()),
-                mode,
-            ));
-        }
-    }
 
     #[test]
     fn page_key_is_unique_per_blob_version_page() {
@@ -377,52 +287,59 @@ mod tests {
 
     #[test]
     fn put_get_delete_and_stats() {
-        both_modes(|p| {
-            assert_eq!(p.id(), ProviderId(0));
-            assert_eq!(p.node(), NodeId(0));
-            let key = page_key(BlobId(0), Version(1), 0);
-            p.put_page(&key, Bytes::from(vec![7u8; 100])).unwrap();
-            let got = p.get_page(&key).unwrap().unwrap();
-            assert_eq!(got.len(), 100);
-            assert!(p.get_page(b"missing").unwrap().is_none());
+        let p = Provider::in_memory(ProviderId(0), NodeId(0));
+        assert_eq!(p.id(), ProviderId(0));
+        assert_eq!(p.node(), NodeId(0));
+        let key = page_key(BlobId(0), Version(1), 0);
+        p.put_page(&key, Bytes::from(vec![7u8; 100])).unwrap();
+        let got = p.get_page(&key).unwrap().unwrap();
+        assert_eq!(got.len(), 100);
+        assert!(p.get_page(b"missing").unwrap().is_none());
 
-            let s = p.stats();
-            assert_eq!(s.pages, 1);
-            assert_eq!(s.stored_bytes, 100);
-            assert_eq!(s.writes, 1);
-            assert_eq!(s.reads, 1);
-            assert_eq!(s.bytes_written, 100);
-            assert_eq!(s.bytes_read, 100);
+        let s = p.stats();
+        assert_eq!(s.pages, 1);
+        assert_eq!(s.stored_bytes, 100);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.bytes_written, 100);
+        assert_eq!(s.bytes_read, 100);
 
-            assert!(p.delete_page(&key).unwrap());
-            assert_eq!(p.stats().pages, 0);
-        });
+        assert!(p.delete_page(&key).unwrap());
+        assert_eq!(p.stats().pages, 0);
     }
 
     #[test]
     fn dead_provider_rejects_all_operations() {
-        both_modes(|p| {
-            let key = page_key(BlobId(0), Version(1), 0);
-            p.put_page(&key, Bytes::from_static(b"data")).unwrap();
-            p.kill();
-            assert!(!p.is_alive());
-            assert!(p.put_page(&key, Bytes::from_static(b"x")).is_err());
-            assert!(p.get_page(&key).is_err());
-            assert!(p.delete_page(&key).is_err());
-            p.revive();
-            assert_eq!(
-                p.get_page(&key).unwrap().unwrap(),
-                Bytes::from_static(b"data")
-            );
-        });
+        let p = Provider::in_memory(ProviderId(0), NodeId(0));
+        let key = page_key(BlobId(0), Version(1), 0);
+        p.put_page(&key, Bytes::from_static(b"data")).unwrap();
+        p.kill();
+        assert!(!p.is_alive());
+        assert!(p.put_page(&key, Bytes::from_static(b"x")).is_err());
+        assert!(p.get_page(&key).is_err());
+        assert!(p.delete_page(&key).is_err());
+        p.revive();
+        assert_eq!(
+            p.get_page(&key).unwrap().unwrap(),
+            Bytes::from_static(b"data")
+        );
+    }
+
+    #[test]
+    fn ping_tracks_kill_and_revive() {
+        let p = Provider::in_memory(ProviderId(0), NodeId(0));
+        assert!(p.ping());
+        p.kill();
+        assert!(!p.ping());
+        p.revive();
+        assert!(p.ping());
     }
 
     #[test]
     fn missing_page_read_does_not_count_as_served() {
-        both_modes(|p| {
-            let _ = p.get_page(b"nope").unwrap();
-            assert_eq!(p.stats().reads, 0);
-        });
+        let p = Provider::in_memory(ProviderId(0), NodeId(0));
+        let _ = p.get_page(b"nope").unwrap();
+        assert_eq!(p.stats().reads, 0);
     }
 
     #[test]

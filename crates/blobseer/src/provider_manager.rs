@@ -7,16 +7,26 @@
 //! writes the first replica locally. To make that comparison (and the A1
 //! ablation) possible, the manager supports several interchangeable
 //! strategies.
+//!
+//! Beyond placement, the manager is the storage tier's membership authority
+//! under churn: providers *announce* every page replica they accept, an
+//! optional heartbeat [`FailureDetector`] turns refused probes into suspicion,
+//! and [`ProviderManager::repair`] actively re-replicates announced pages
+//! whose live copy count fell below the replication factor — so a provider
+//! crash costs redundancy only until the next repair pass, not until an
+//! operator revives the node.
 
-use crate::config::DataPlaneMode;
 use crate::provider::Provider;
 use crate::types::ProviderId;
+use bytes::Bytes;
 use kvstore::PageStore;
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
+use simcluster::detector::{DetectorConfig, FailureDetector};
 use simcluster::topology::{ClusterTopology, Proximity};
-use simcluster::NodeId;
-use std::collections::HashMap;
+use simcluster::{Clock, NodeId};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// How the provider manager spreads pages over providers.
@@ -36,6 +46,24 @@ pub enum PlacementStrategy {
     Random,
 }
 
+/// What one [`ProviderManager::repair`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProviderRepairReport {
+    /// Providers probed with a ping.
+    pub probed_providers: usize,
+    /// Providers that refused the probe.
+    pub dead_providers: usize,
+    /// Announced pages scanned.
+    pub scanned_pages: usize,
+    /// Pages whose live replica count was below the target.
+    pub under_replicated: usize,
+    /// Replica copies created on live providers.
+    pub repaired_copies: usize,
+    /// Pages still short of the target after the pass (not enough live
+    /// providers, or no live copy left to read from).
+    pub still_under_replicated: usize,
+}
+
 /// A registry of providers plus the placement logic.
 pub struct ProviderManager {
     providers: RwLock<Vec<Arc<Provider>>>,
@@ -49,28 +77,26 @@ pub struct ProviderManager {
     cursor: Mutex<usize>,
     /// Deterministic pseudo-random state for [`PlacementStrategy::Random`].
     rng_state: Mutex<u64>,
+    /// Which providers hold a replica of each announced page. Ordered map so
+    /// repair scans keys deterministically. Entries survive a holder's death:
+    /// the page store is persistent, so a revived provider still serves its
+    /// old pages.
+    announcements: Mutex<BTreeMap<Vec<u8>, Vec<ProviderId>>>,
+    /// Optional heartbeat failure detector over the provider set.
+    detector: Mutex<Option<Arc<FailureDetector<ProviderId>>>>,
+    repair_runs: AtomicU64,
+    repaired_pages: AtomicU64,
+    under_replicated_last: AtomicU64,
 }
 
 impl ProviderManager {
-    /// Create a manager over in-memory providers, one per entry of `nodes`,
-    /// on the default (actor) data plane.
+    /// Create a manager over in-memory providers, one per entry of `nodes`.
     pub fn new_in_memory(
         topology: &ClusterTopology,
         nodes: &[NodeId],
         strategy: PlacementStrategy,
     ) -> Self {
-        Self::new_in_memory_mode(topology, nodes, strategy, DataPlaneMode::default())
-    }
-
-    /// Create a manager over in-memory providers on an explicit data-plane
-    /// mode.
-    pub fn new_in_memory_mode(
-        topology: &ClusterTopology,
-        nodes: &[NodeId],
-        strategy: PlacementStrategy,
-        mode: DataPlaneMode,
-    ) -> Self {
-        Self::new_with_backends_mode(topology, nodes, strategy, mode, |_| {
+        Self::new_with_backends(topology, nodes, strategy, |_| {
             Arc::new(kvstore::MemStore::new())
         })
     }
@@ -81,37 +107,12 @@ impl ProviderManager {
         topology: &ClusterTopology,
         nodes: &[NodeId],
         strategy: PlacementStrategy,
-        backends: impl FnMut(usize) -> Arc<dyn PageStore>,
-    ) -> Self {
-        Self::new_with_backends_mode(
-            topology,
-            nodes,
-            strategy,
-            DataPlaneMode::default(),
-            backends,
-        )
-    }
-
-    /// Create a manager over providers with custom storage backends on an
-    /// explicit data-plane mode.
-    pub fn new_with_backends_mode(
-        topology: &ClusterTopology,
-        nodes: &[NodeId],
-        strategy: PlacementStrategy,
-        mode: DataPlaneMode,
         mut backends: impl FnMut(usize) -> Arc<dyn PageStore>,
     ) -> Self {
         let providers = nodes
             .iter()
             .enumerate()
-            .map(|(i, n)| {
-                Arc::new(Provider::with_store_mode(
-                    ProviderId(i as u32),
-                    *n,
-                    backends(i),
-                    mode,
-                ))
-            })
+            .map(|(i, n)| Arc::new(Provider::with_store(ProviderId(i as u32), *n, backends(i))))
             .collect();
         Self::with_providers(topology, providers, strategy)
     }
@@ -130,7 +131,25 @@ impl ProviderManager {
             allocated: Mutex::new(HashMap::new()),
             cursor: Mutex::new(0),
             rng_state: Mutex::new(0x1234_5678_9ABC_DEF0),
+            announcements: Mutex::new(BTreeMap::new()),
+            detector: Mutex::new(None),
+            repair_runs: AtomicU64::new(0),
+            repaired_pages: AtomicU64::new(0),
+            under_replicated_last: AtomicU64::new(0),
         }
+    }
+
+    /// Add a fresh in-memory provider on `node` (a churn *join*). Returns its
+    /// id. The new provider starts empty; the next repair pass and future
+    /// allocations pull it into service.
+    pub fn join_in_memory(&self, node: NodeId) -> ProviderId {
+        let mut providers = self.providers.write();
+        let id = ProviderId(providers.len() as u32);
+        providers.push(Arc::new(Provider::in_memory(id, node)));
+        if let Some(d) = self.detector.lock().as_ref() {
+            d.register(id);
+        }
+        id
     }
 
     /// The strategy in use.
@@ -323,6 +342,206 @@ impl ProviderManager {
         self.allocated.lock().clear();
         *self.cursor.lock() = 0;
     }
+
+    // ---- page announcements -------------------------------------------------
+
+    /// Record that `holder` stores a replica of `key`. Called by the write
+    /// path after every successful page store; repair uses the registry to
+    /// find under-replicated pages and surviving copies, and readers use it
+    /// to fail over past the providers recorded in the metadata.
+    pub fn announce(&self, key: &[u8], holder: ProviderId) {
+        let mut ann = self.announcements.lock();
+        let holders = ann.entry(key.to_vec()).or_default();
+        if !holders.contains(&holder) {
+            holders.push(holder);
+        }
+    }
+
+    /// Drop one holder from a page's announcement (the replica was deleted).
+    pub fn withdraw(&self, key: &[u8], holder: ProviderId) {
+        let mut ann = self.announcements.lock();
+        if let Some(holders) = ann.get_mut(key) {
+            holders.retain(|h| *h != holder);
+            if holders.is_empty() {
+                ann.remove(key);
+            }
+        }
+    }
+
+    /// Drop a page from the registry entirely (garbage collection removed
+    /// every replica).
+    pub fn withdraw_page(&self, key: &[u8]) {
+        self.announcements.lock().remove(key);
+    }
+
+    /// The announced holders of `key`, primary-first in announcement order.
+    pub fn holders(&self, key: &[u8]) -> Vec<ProviderId> {
+        self.announcements
+            .lock()
+            .get(key)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Number of pages currently announced.
+    pub fn announced_pages(&self) -> usize {
+        self.announcements.lock().len()
+    }
+
+    // ---- failure detection and repair --------------------------------------
+
+    /// Attach a heartbeat failure detector reading time from `clock` and
+    /// register every current provider with it.
+    pub fn enable_failure_detection(&self, clock: Arc<dyn Clock>, config: DetectorConfig) {
+        let detector = Arc::new(FailureDetector::new(clock, config));
+        for p in self.providers.read().iter() {
+            detector.register(p.id());
+        }
+        *self.detector.lock() = Some(detector);
+    }
+
+    /// The attached failure detector, if any.
+    pub fn failure_detector(&self) -> Option<Arc<FailureDetector<ProviderId>>> {
+        self.detector.lock().clone()
+    }
+
+    /// Feed a data-path refusal into the detector: an operation on `id` came
+    /// back "not serving", which is evidence of death just like a missed
+    /// heartbeat.
+    pub fn note_down(&self, id: ProviderId) {
+        if let Some(d) = self.detector.lock().as_ref() {
+            d.observe(id, false);
+        }
+    }
+
+    /// Run one heartbeat round: ping every provider and feed the outcomes to
+    /// the detector (when attached). Returns the providers that refused the
+    /// probe.
+    pub fn heartbeat_tick(&self) -> Vec<ProviderId> {
+        let detector = self.detector.lock().clone();
+        let mut down = Vec::new();
+        for p in self.providers.read().iter() {
+            let ok = p.ping();
+            if let Some(d) = &detector {
+                d.observe(p.id(), ok);
+            }
+            if !ok {
+                down.push(p.id());
+            }
+        }
+        down
+    }
+
+    /// Repair passes completed.
+    pub fn repair_runs(&self) -> u64 {
+        self.repair_runs.load(Ordering::Relaxed)
+    }
+
+    /// Replica copies created by repair passes (monotonic).
+    pub fn repaired_pages(&self) -> u64 {
+        self.repaired_pages.load(Ordering::Relaxed)
+    }
+
+    /// Pages the last repair pass found under-replicated.
+    pub fn under_replicated(&self) -> u64 {
+        self.under_replicated_last.load(Ordering::Relaxed)
+    }
+
+    /// One active re-replication pass over the announced pages.
+    ///
+    /// Probes every provider, then for each announced page counts the holders
+    /// that are both live and actually serve the page. When that count is
+    /// below `replication`, the page is copied from a surviving live holder
+    /// to the least-announced live non-holders until the factor is restored
+    /// (or the live set is exhausted). New copies are announced, so a second
+    /// pass over a healthy set is a no-op.
+    pub fn repair(&self, replication: usize) -> ProviderRepairReport {
+        let mut report = ProviderRepairReport::default();
+        let providers = self.providers.read();
+        let detector = self.detector.lock().clone();
+
+        // Probe phase: discover liveness; never trust a cached flag.
+        let mut live: HashMap<ProviderId, Arc<Provider>> = HashMap::new();
+        for p in providers.iter() {
+            report.probed_providers += 1;
+            let ok = p.ping();
+            if let Some(d) = &detector {
+                d.observe(p.id(), ok);
+            }
+            if ok {
+                live.insert(p.id(), Arc::clone(p));
+            } else {
+                report.dead_providers += 1;
+            }
+        }
+
+        // Announcement load per provider, used to spread repair copies the
+        // same way the allocator spreads fresh writes.
+        let mut ann = self.announcements.lock();
+        let mut load: HashMap<ProviderId, usize> = HashMap::new();
+        for holders in ann.values() {
+            for h in holders {
+                *load.entry(*h).or_insert(0) += 1;
+            }
+        }
+
+        for (key, holders) in ann.iter_mut() {
+            report.scanned_pages += 1;
+            let target = replication.min(live.len());
+            // A holder counts only if it is live *and* serves the page: a
+            // revived provider with a wiped store announces nothing.
+            let mut data: Option<Bytes> = None;
+            let mut live_holders = 0usize;
+            for h in holders.iter() {
+                if let Some(p) = live.get(h) {
+                    if let Ok(Some(page)) = p.get_page(key) {
+                        live_holders += 1;
+                        data.get_or_insert(page);
+                    }
+                }
+            }
+            if live_holders >= target {
+                continue;
+            }
+            report.under_replicated += 1;
+            let Some(data) = data else {
+                // Every live holder lost the page: nothing to copy from.
+                report.still_under_replicated += 1;
+                continue;
+            };
+            // Copy to the least-loaded live providers that do not hold it.
+            let mut candidates: Vec<(usize, u32)> = live
+                .keys()
+                .filter(|id| !holders.contains(id))
+                .map(|id| (load.get(id).copied().unwrap_or(0), id.0))
+                .collect();
+            candidates.sort();
+            for (_, raw) in candidates {
+                if live_holders >= target {
+                    break;
+                }
+                let id = ProviderId(raw);
+                let p = &live[&id];
+                if p.put_page(key, data.clone()).is_ok() {
+                    holders.push(id);
+                    *load.entry(id).or_insert(0) += 1;
+                    live_holders += 1;
+                    report.repaired_copies += 1;
+                }
+            }
+            if live_holders < target {
+                report.still_under_replicated += 1;
+            }
+        }
+        drop(ann);
+
+        self.repair_runs.fetch_add(1, Ordering::Relaxed);
+        self.repaired_pages
+            .fetch_add(report.repaired_copies as u64, Ordering::Relaxed);
+        self.under_replicated_last
+            .store(report.under_replicated as u64, Ordering::Relaxed);
+        report
+    }
 }
 
 #[cfg(test)]
@@ -505,5 +724,131 @@ mod tests {
         assert!(m.provider(ProviderId(99)).is_none());
         assert_eq!(m.providers().len(), 8);
         assert_eq!(m.strategy(), PlacementStrategy::LoadBalanced);
+    }
+
+    #[test]
+    fn announcements_track_holders_and_withdrawals() {
+        let m = manager(PlacementStrategy::LoadBalanced);
+        m.announce(b"k", ProviderId(1));
+        m.announce(b"k", ProviderId(2));
+        m.announce(b"k", ProviderId(1)); // duplicate is a no-op
+        assert_eq!(m.holders(b"k"), vec![ProviderId(1), ProviderId(2)]);
+        assert_eq!(m.announced_pages(), 1);
+        m.withdraw(b"k", ProviderId(1));
+        assert_eq!(m.holders(b"k"), vec![ProviderId(2)]);
+        m.withdraw_page(b"k");
+        assert!(m.holders(b"k").is_empty());
+        assert_eq!(m.announced_pages(), 0);
+    }
+
+    /// Store one page on `replicas`, announcing each copy.
+    fn seed_page(m: &ProviderManager, key: &[u8], replicas: &[u32]) {
+        for r in replicas {
+            let p = m.provider(ProviderId(*r)).unwrap();
+            p.put_page(key, bytes::Bytes::from_static(b"page-data"))
+                .unwrap();
+            m.announce(key, ProviderId(*r));
+        }
+    }
+
+    #[test]
+    fn repair_restores_replication_after_a_provider_death() {
+        let m = manager(PlacementStrategy::LoadBalanced);
+        seed_page(&m, b"blob-1/v1/page-0", &[0, 1]);
+        m.kill(ProviderId(0));
+
+        let report = m.repair(2);
+        assert_eq!(report.dead_providers, 1);
+        assert_eq!(report.under_replicated, 1);
+        assert_eq!(report.repaired_copies, 1);
+        assert_eq!(report.still_under_replicated, 0);
+        assert_eq!(m.under_replicated(), 1);
+        assert_eq!(m.repair_runs(), 1);
+        assert_eq!(m.repaired_pages(), 1);
+
+        // The new holder is announced and actually serves the page.
+        let holders = m.holders(b"blob-1/v1/page-0");
+        assert_eq!(
+            holders.len(),
+            3,
+            "dead holder stays announced, new one added"
+        );
+        let fresh = holders
+            .iter()
+            .find(|h| **h != ProviderId(0) && **h != ProviderId(1))
+            .unwrap();
+        let page = m
+            .provider(*fresh)
+            .unwrap()
+            .get_page(b"blob-1/v1/page-0")
+            .unwrap()
+            .unwrap();
+        assert_eq!(page, bytes::Bytes::from_static(b"page-data"));
+
+        // A second pass over the (now healthy) set is a no-op.
+        let again = m.repair(2);
+        assert_eq!(again.under_replicated, 0);
+        assert_eq!(again.repaired_copies, 0);
+    }
+
+    #[test]
+    fn repair_reports_pages_with_no_surviving_copy() {
+        let m = manager(PlacementStrategy::LoadBalanced);
+        seed_page(&m, b"gone", &[0, 1]);
+        m.kill(ProviderId(0));
+        m.kill(ProviderId(1));
+        let report = m.repair(2);
+        assert_eq!(report.under_replicated, 1);
+        assert_eq!(report.repaired_copies, 0);
+        assert_eq!(report.still_under_replicated, 1);
+    }
+
+    #[test]
+    fn joined_provider_takes_repair_copies() {
+        let t = ClusterTopology::flat(2);
+        let nodes: Vec<NodeId> = t.all_nodes().collect();
+        let m = ProviderManager::new_in_memory(&t, &nodes, PlacementStrategy::LoadBalanced);
+        seed_page(&m, b"k", &[0, 1]);
+        m.kill(ProviderId(1));
+        // Without the join, replication 2 cannot be restored (1 live node).
+        let id = m.join_in_memory(NodeId(0));
+        assert_eq!(id, ProviderId(2));
+        let report = m.repair(2);
+        assert_eq!(report.repaired_copies, 1);
+        assert!(m.holders(b"k").contains(&ProviderId(2)));
+    }
+
+    #[test]
+    fn heartbeats_feed_the_detector() {
+        use simcluster::clock::SimClock;
+        use std::time::Duration;
+
+        let m = manager(PlacementStrategy::LoadBalanced);
+        let clock = Arc::new(SimClock::new());
+        m.enable_failure_detection(
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            DetectorConfig {
+                heartbeat_interval: Duration::from_millis(10),
+                suspicion_timeout: Duration::from_millis(30),
+            },
+        );
+        let det = m.failure_detector().unwrap();
+        assert_eq!(det.member_count(), 8);
+
+        m.kill(ProviderId(3));
+        assert_eq!(m.heartbeat_tick(), vec![ProviderId(3)]);
+        assert!(
+            !det.is_suspect(ProviderId(3)),
+            "before the timeout: tolerated"
+        );
+        clock.advance(Duration::from_millis(30));
+        m.heartbeat_tick();
+        assert!(det.is_suspect(ProviderId(3)));
+        assert_eq!(det.failures_detected(), 1);
+
+        m.revive(ProviderId(3));
+        m.heartbeat_tick();
+        assert!(!det.is_suspect(ProviderId(3)));
+        assert_eq!(det.recoveries_observed(), 1);
     }
 }

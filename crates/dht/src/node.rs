@@ -4,25 +4,25 @@
 //! decides *which* nodes a key lives on; the node itself only stores and
 //! serves.
 //!
-//! The node interior comes in two shapes, selected by [`NodeBackend`]:
+//! The map lives single-threaded inside a message-loop actor
+//! ([`miniexec::actor`]); the `DhtNode` the rest of the system holds is a
+//! thin handle that enqueues commands and waits for replies. No shared
+//! locks, and mailbox FIFO gives kill-then-put ordering: a `put` enqueued
+//! after a `kill` observes the dead state.
 //!
-//! * [`NodeBackend::Actor`] (the default) — the map lives single-threaded
-//!   inside a message-loop actor ([`miniexec::actor`]); the `DhtNode` the
-//!   rest of the system holds is a thin handle that enqueues commands and
-//!   waits for replies. No shared locks, and mailbox FIFO gives the same
-//!   kill-then-put ordering the locked version had.
-//! * [`NodeBackend::Direct`] — the previous `RwLock<HashMap>` interior, kept
-//!   for one PR as the differential oracle for the actor port.
-//!
-//! The public API is identical in both modes. The only shared state in actor
-//! mode is a read-only mirror of the liveness flag, so the hot-path
-//! `is_alive` check the front-end performs per replica stays a plain atomic
-//! load; `kill`/`revive` go through the mailbox (and update the mirror from
-//! inside the actor) so they serialize with data operations.
+//! **Failure model.** A dead node *refuses* data operations — `put`, `get`
+//! and `remove` return [`NodeDown`], exactly what a remote peer would
+//! observe as a connection error. Callers are expected to discover death
+//! this way (or via [`DhtNode::ping`] heartbeats) rather than trust any
+//! shared flag. The administrative surface (`len`, `entries`, `data_bytes`)
+//! keeps working while dead: it models reading the node's persistent state,
+//! which is how a revive restores from "disk" and how tests inspect a
+//! crashed node. The only shared state is a read-only mirror of the
+//! liveness flag ([`DhtNode::is_alive`]) kept as a cheap *hint* for
+//! replica-ordering and stats; correctness never depends on it being fresh.
 
 use bytes::Bytes;
 use miniexec::{actor, oneshot};
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -31,31 +31,34 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DhtNodeId(pub u64);
 
-/// Which interior a [`DhtNode`] (and every node of a `Dht`) runs on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum NodeBackend {
-    /// Message-loop actor owning its state single-threaded (the default).
-    #[default]
-    Actor,
-    /// Shared `RwLock` interior (legacy scoped-pool data plane).
-    Direct,
-}
+/// A data operation reached a node that is not serving (crashed, or its
+/// actor is gone). The caller should fail over to another replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeDown;
+
+/// Result of a data operation against one node.
+pub type NodeResult<T> = Result<T, NodeDown>;
 
 /// Commands understood by the node actor.
 enum NodeMsg {
     Put {
         key: Vec<u8>,
         value: Bytes,
-        done: oneshot::Sender<()>,
+        reply: oneshot::Sender<NodeResult<()>>,
     },
     Get {
         key: Vec<u8>,
-        reply: oneshot::Sender<Option<Bytes>>,
+        reply: oneshot::Sender<NodeResult<Option<Bytes>>>,
     },
     Remove {
         key: Vec<u8>,
-        reply: oneshot::Sender<bool>,
+        reply: oneshot::Sender<NodeResult<bool>>,
     },
+    /// Heartbeat probe: replies `true` iff the node is serving. A crashed
+    /// node still answers (the actor thread is the simulation substrate,
+    /// not the simulated process) but answers `false`; an actor whose
+    /// mailbox is gone never answers — both count as a missed heartbeat.
+    Ping(oneshot::Sender<bool>),
     Len(oneshot::Sender<usize>),
     Entries(oneshot::Sender<Vec<(Vec<u8>, Bytes)>>),
     Kill(oneshot::Sender<()>),
@@ -74,7 +77,11 @@ struct NodeState {
 impl NodeState {
     fn handle(&mut self, msg: NodeMsg) {
         match msg {
-            NodeMsg::Put { key, value, done } => {
+            NodeMsg::Put { key, value, reply } => {
+                if !self.alive {
+                    let _ = reply.send(Err(NodeDown));
+                    return;
+                }
                 let new_len = value.len() as u64;
                 let old_len = self
                     .data
@@ -88,18 +95,29 @@ impl NodeState {
                     self.bytes_mirror
                         .fetch_sub(old_len - new_len, Ordering::Relaxed);
                 }
-                let _ = done.send(());
+                let _ = reply.send(Ok(()));
             }
             NodeMsg::Get { key, reply } => {
-                let _ = reply.send(self.data.get(&key).cloned());
+                let _ = reply.send(if self.alive {
+                    Ok(self.data.get(&key).cloned())
+                } else {
+                    Err(NodeDown)
+                });
             }
             NodeMsg::Remove { key, reply } => {
+                if !self.alive {
+                    let _ = reply.send(Err(NodeDown));
+                    return;
+                }
                 let removed = self.data.remove(&key);
                 if let Some(old) = &removed {
                     self.bytes_mirror
                         .fetch_sub(old.len() as u64, Ordering::Relaxed);
                 }
-                let _ = reply.send(removed.is_some());
+                let _ = reply.send(Ok(removed.is_some()));
+            }
+            NodeMsg::Ping(reply) => {
+                let _ = reply.send(self.alive);
             }
             NodeMsg::Len(reply) => {
                 let _ = reply.send(self.data.len());
@@ -126,55 +144,27 @@ impl NodeState {
     }
 }
 
-/// Legacy shared-lock interior.
-struct DirectNode {
-    data: RwLock<HashMap<Vec<u8>, Bytes>>,
-    data_bytes: AtomicU64,
-}
-
-enum NodeInner {
-    Actor(actor::Handle<NodeMsg>),
-    Direct(DirectNode),
-}
-
 /// One metadata provider: stores key-value pairs and can be killed/revived
 /// for failure-injection experiments.
 pub struct DhtNode {
     id: DhtNodeId,
-    inner: NodeInner,
+    inner: actor::Handle<NodeMsg>,
     alive: Arc<AtomicBool>,
     data_bytes: Arc<AtomicU64>,
 }
 
 impl DhtNode {
-    /// Create a live, empty node on the default (actor) backend.
+    /// Create a live, empty node.
     pub fn new(id: DhtNodeId) -> Self {
-        Self::with_backend(id, NodeBackend::default())
-    }
-
-    /// Create a live, empty node on an explicit backend.
-    pub fn with_backend(id: DhtNodeId, backend: NodeBackend) -> Self {
         let alive = Arc::new(AtomicBool::new(true));
         let data_bytes = Arc::new(AtomicU64::new(0));
-        let inner = match backend {
-            NodeBackend::Actor => {
-                let state = NodeState {
-                    data: HashMap::new(),
-                    alive: true,
-                    alive_mirror: Arc::clone(&alive),
-                    bytes_mirror: Arc::clone(&data_bytes),
-                };
-                NodeInner::Actor(actor::spawn(
-                    &format!("dht-node-{}", id.0),
-                    state,
-                    NodeState::handle,
-                ))
-            }
-            NodeBackend::Direct => NodeInner::Direct(DirectNode {
-                data: RwLock::new(HashMap::new()),
-                data_bytes: AtomicU64::new(0),
-            }),
+        let state = NodeState {
+            data: HashMap::new(),
+            alive: true,
+            alive_mirror: Arc::clone(&alive),
+            bytes_mirror: Arc::clone(&data_bytes),
         };
+        let inner = actor::spawn(&format!("dht-node-{}", id.0), state, NodeState::handle);
         DhtNode {
             id,
             inner,
@@ -188,74 +178,47 @@ impl DhtNode {
         self.id
     }
 
-    /// Store a value (replaces any existing value for the key).
-    pub fn put(&self, key: &[u8], value: Bytes) {
-        match &self.inner {
-            NodeInner::Actor(h) => {
-                let _ = h.call(|done| NodeMsg::Put {
-                    key: key.to_vec(),
-                    value,
-                    done,
-                });
-            }
-            NodeInner::Direct(d) => {
-                let mut guard = d.data.write();
-                let new_len = value.len() as u64;
-                match guard.insert(key.to_vec(), value) {
-                    Some(old) => {
-                        let old_len = old.len() as u64;
-                        if new_len >= old_len {
-                            d.data_bytes.fetch_add(new_len - old_len, Ordering::Relaxed);
-                        } else {
-                            d.data_bytes.fetch_sub(old_len - new_len, Ordering::Relaxed);
-                        }
-                    }
-                    None => {
-                        d.data_bytes.fetch_add(new_len, Ordering::Relaxed);
-                    }
-                }
-            }
-        }
+    /// Store a value (replaces any existing value for the key). A dead node
+    /// refuses the write.
+    pub fn put(&self, key: &[u8], value: Bytes) -> NodeResult<()> {
+        self.inner
+            .call(|reply| NodeMsg::Put {
+                key: key.to_vec(),
+                value,
+                reply,
+            })
+            .unwrap_or(Err(NodeDown))
     }
 
-    /// Fetch a value.
-    pub fn get(&self, key: &[u8]) -> Option<Bytes> {
-        match &self.inner {
-            NodeInner::Actor(h) => h
-                .call(|reply| NodeMsg::Get {
-                    key: key.to_vec(),
-                    reply,
-                })
-                .unwrap_or(None),
-            NodeInner::Direct(d) => d.data.read().get(key).cloned(),
-        }
+    /// Fetch a value. A dead node refuses the read (it does *not* answer
+    /// "missing": the caller must fail over, not conclude absence).
+    pub fn get(&self, key: &[u8]) -> NodeResult<Option<Bytes>> {
+        self.inner
+            .call(|reply| NodeMsg::Get {
+                key: key.to_vec(),
+                reply,
+            })
+            .unwrap_or(Err(NodeDown))
     }
 
-    /// Remove a value; returns whether one was present.
-    pub fn remove(&self, key: &[u8]) -> bool {
-        match &self.inner {
-            NodeInner::Actor(h) => h
-                .call(|reply| NodeMsg::Remove {
-                    key: key.to_vec(),
-                    reply,
-                })
-                .unwrap_or(false),
-            NodeInner::Direct(d) => match d.data.write().remove(key) {
-                Some(old) => {
-                    d.data_bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
-                    true
-                }
-                None => false,
-            },
-        }
+    /// Remove a value; returns whether one was present. Refused when dead.
+    pub fn remove(&self, key: &[u8]) -> NodeResult<bool> {
+        self.inner
+            .call(|reply| NodeMsg::Remove {
+                key: key.to_vec(),
+                reply,
+            })
+            .unwrap_or(Err(NodeDown))
     }
 
-    /// Number of keys stored.
+    /// Heartbeat probe: true iff the node answered and is serving.
+    pub fn ping(&self) -> bool {
+        self.inner.call(NodeMsg::Ping).unwrap_or(false)
+    }
+
+    /// Number of keys stored (administrative; works while dead).
     pub fn len(&self) -> usize {
-        match &self.inner {
-            NodeInner::Actor(h) => h.call(NodeMsg::Len).unwrap_or(0),
-            NodeInner::Direct(d) => d.data.read().len(),
-        }
+        self.inner.call(NodeMsg::Len).unwrap_or(0)
     }
 
     /// True when the node stores nothing.
@@ -265,51 +228,33 @@ impl DhtNode {
 
     /// Bytes of values stored.
     pub fn data_bytes(&self) -> u64 {
-        match &self.inner {
-            NodeInner::Actor(_) => self.data_bytes.load(Ordering::Relaxed),
-            NodeInner::Direct(d) => d.data_bytes.load(Ordering::Relaxed),
-        }
+        self.data_bytes.load(Ordering::Relaxed)
     }
 
-    /// Snapshot of all entries (used by rebalancing).
+    /// Snapshot of all entries (administrative: used by rebalancing, repair
+    /// and revive; works while dead, modelling a read of persistent state).
     pub fn entries(&self) -> Vec<(Vec<u8>, Bytes)> {
-        match &self.inner {
-            NodeInner::Actor(h) => h.call(NodeMsg::Entries).unwrap_or_default(),
-            NodeInner::Direct(d) => d
-                .data
-                .read()
-                .iter()
-                .map(|(k, v)| (k.clone(), v.clone()))
-                .collect(),
-        }
+        self.inner.call(NodeMsg::Entries).unwrap_or_default()
     }
 
-    /// Is the node currently serving requests?
+    /// Last-known liveness, from the shared mirror. A cheap *hint* used to
+    /// order replica attempts and compute stats; the data path discovers
+    /// actual death by an operation returning [`NodeDown`].
     pub fn is_alive(&self) -> bool {
         self.alive.load(Ordering::Acquire)
     }
 
     /// Simulate a crash: the node stops serving but keeps its data (so a
     /// revive models a restart from persistent storage). Serialized through
-    /// the mailbox in actor mode, so a `put` enqueued after the kill
-    /// observes the dead state.
+    /// the mailbox, so a `put` enqueued after the kill observes the dead
+    /// state.
     pub fn kill(&self) {
-        match &self.inner {
-            NodeInner::Actor(h) => {
-                let _ = h.call(NodeMsg::Kill);
-            }
-            NodeInner::Direct(_) => self.alive.store(false, Ordering::Release),
-        }
+        let _ = self.inner.call(NodeMsg::Kill);
     }
 
     /// Bring the node back.
     pub fn revive(&self) {
-        match &self.inner {
-            NodeInner::Actor(h) => {
-                let _ = h.call(NodeMsg::Revive);
-            }
-            NodeInner::Direct(_) => self.alive.store(true, Ordering::Release),
-        }
+        let _ = self.inner.call(NodeMsg::Revive);
     }
 }
 
@@ -317,69 +262,86 @@ impl DhtNode {
 mod tests {
     use super::*;
 
-    fn both_backends(test: impl Fn(DhtNode)) {
-        test(DhtNode::with_backend(DhtNodeId(1), NodeBackend::Actor));
-        test(DhtNode::with_backend(DhtNodeId(1), NodeBackend::Direct));
-    }
-
     #[test]
     fn put_get_remove() {
-        both_backends(|n| {
-            assert_eq!(n.id(), DhtNodeId(1));
-            assert!(n.is_empty());
-            n.put(b"a", Bytes::from_static(b"1"));
-            n.put(b"b", Bytes::from_static(b"22"));
-            assert_eq!(n.len(), 2);
-            assert_eq!(n.data_bytes(), 3);
-            assert_eq!(n.get(b"a").unwrap(), Bytes::from_static(b"1"));
-            assert!(n.remove(b"a"));
-            assert!(!n.remove(b"a"));
-            assert_eq!(n.data_bytes(), 2);
-        });
+        let n = DhtNode::new(DhtNodeId(1));
+        assert_eq!(n.id(), DhtNodeId(1));
+        assert!(n.is_empty());
+        n.put(b"a", Bytes::from_static(b"1")).unwrap();
+        n.put(b"b", Bytes::from_static(b"22")).unwrap();
+        assert_eq!(n.len(), 2);
+        assert_eq!(n.data_bytes(), 3);
+        assert_eq!(n.get(b"a").unwrap().unwrap(), Bytes::from_static(b"1"));
+        assert!(n.remove(b"a").unwrap());
+        assert!(!n.remove(b"a").unwrap());
+        assert_eq!(n.data_bytes(), 2);
     }
 
     #[test]
     fn overwrite_updates_byte_count() {
-        both_backends(|n| {
-            n.put(b"k", Bytes::from_static(b"0123456789"));
-            n.put(b"k", Bytes::from_static(b"xy"));
-            assert_eq!(n.data_bytes(), 2);
-            n.put(b"k", Bytes::from_static(b"0123"));
-            assert_eq!(n.data_bytes(), 4);
-        });
+        let n = DhtNode::new(DhtNodeId(1));
+        n.put(b"k", Bytes::from_static(b"0123456789")).unwrap();
+        n.put(b"k", Bytes::from_static(b"xy")).unwrap();
+        assert_eq!(n.data_bytes(), 2);
+        n.put(b"k", Bytes::from_static(b"0123")).unwrap();
+        assert_eq!(n.data_bytes(), 4);
     }
 
     #[test]
     fn kill_and_revive_preserve_data() {
-        both_backends(|n| {
-            n.put(b"k", Bytes::from_static(b"v"));
-            assert!(n.is_alive());
-            n.kill();
-            assert!(!n.is_alive());
-            // Data survives the "crash" (models durable storage).
-            n.revive();
-            assert!(n.is_alive());
-            assert_eq!(n.get(b"k").unwrap(), Bytes::from_static(b"v"));
-        });
+        let n = DhtNode::new(DhtNodeId(1));
+        n.put(b"k", Bytes::from_static(b"v")).unwrap();
+        assert!(n.is_alive());
+        n.kill();
+        assert!(!n.is_alive());
+        // Data survives the "crash" (models durable storage).
+        n.revive();
+        assert!(n.is_alive());
+        assert_eq!(n.get(b"k").unwrap().unwrap(), Bytes::from_static(b"v"));
+    }
+
+    #[test]
+    fn dead_node_refuses_data_ops_but_serves_admin_ops() {
+        let n = DhtNode::new(DhtNodeId(2));
+        n.put(b"k", Bytes::from_static(b"v")).unwrap();
+        n.kill();
+        // Data plane: refused, like a connection error to a crashed peer.
+        assert_eq!(n.put(b"k2", Bytes::from_static(b"w")), Err(NodeDown));
+        assert_eq!(n.get(b"k"), Err(NodeDown));
+        assert_eq!(n.remove(b"k"), Err(NodeDown));
+        assert!(!n.ping());
+        // Administrative plane: the persistent state stays inspectable.
+        assert_eq!(n.len(), 1);
+        assert_eq!(n.entries().len(), 1);
+        assert_eq!(n.data_bytes(), 1);
+    }
+
+    #[test]
+    fn ping_reports_liveness_transitions() {
+        let n = DhtNode::new(DhtNodeId(3));
+        assert!(n.ping());
+        n.kill();
+        assert!(!n.ping());
+        n.revive();
+        assert!(n.ping());
     }
 
     #[test]
     fn entries_snapshot() {
-        both_backends(|n| {
-            for i in 0..10u8 {
-                n.put(&[i], Bytes::from(vec![i; 4]));
-            }
-            let mut entries = n.entries();
-            entries.sort();
-            assert_eq!(entries.len(), 10);
-            assert_eq!(entries[3].0, vec![3u8]);
-        });
+        let n = DhtNode::new(DhtNodeId(1));
+        for i in 0..10u8 {
+            n.put(&[i], Bytes::from(vec![i; 4])).unwrap();
+        }
+        let mut entries = n.entries();
+        entries.sort();
+        assert_eq!(entries.len(), 10);
+        assert_eq!(entries[3].0, vec![3u8]);
     }
 
     #[test]
     fn dropping_the_node_shuts_the_actor_down_without_hanging() {
-        let n = DhtNode::with_backend(DhtNodeId(9), NodeBackend::Actor);
-        n.put(b"k", Bytes::from_static(b"v"));
+        let n = DhtNode::new(DhtNodeId(9));
+        n.put(b"k", Bytes::from_static(b"v")).unwrap();
         drop(n); // handle drop disconnects the mailbox; the loop exits
     }
 }

@@ -5,9 +5,9 @@
 //! (preferring trackers whose node holds the split's data), re-executes
 //! failed tasks, schedules the reduce tasks and reports job-level counters.
 //! Tasktracker slots execute as scoped tasks on the shared `miniexec` worker
-//! pool (see [`SlotDispatch`]) — concurrent access to the storage layer is
-//! genuinely concurrent, but bounded by the pool width rather than by
-//! `trackers x slots` dedicated threads.
+//! pool — concurrent access to the storage layer is genuinely concurrent,
+//! but bounded by the pool width rather than by `trackers x slots` dedicated
+//! threads.
 //!
 //! Intermediate data flows through the storage layer ([`crate::shuffle`]):
 //! map tasks spill sorted, partition-bucketed files under
@@ -44,7 +44,7 @@ use crate::shuffle;
 use crate::split::{compute_splits, InputSplit};
 use crate::tasktracker::{
     group_by_key, run_map_task, run_reduce_task, write_output_file, FailureVerdict, MapTaskOutput,
-    SlotDispatch, SpeculationCounters, TaskAttemptId, TaskBook, TaskTracker,
+    SpeculationCounters, TaskAttemptId, TaskBook, TaskTracker,
 };
 use parking_lot::Mutex;
 use simcluster::clock::{Clock, WallClock};
@@ -136,7 +136,6 @@ pub struct JobTracker {
     topology: ClusterTopology,
     trackers: Vec<TaskTracker>,
     clock: Arc<dyn Clock>,
-    dispatch: SlotDispatch,
 }
 
 /// Where a reduce task pulls one merge source from: a single map's spill, or
@@ -276,7 +275,6 @@ impl JobTracker {
             topology: topology.clone(),
             trackers,
             clock: Arc::new(WallClock::new()),
-            dispatch: SlotDispatch::default(),
         }
     }
 
@@ -287,14 +285,7 @@ impl JobTracker {
             topology: topology.clone(),
             trackers,
             clock: Arc::new(WallClock::new()),
-            dispatch: SlotDispatch::default(),
         }
-    }
-
-    /// Builder-style slot-dispatch override (see [`SlotDispatch`]).
-    pub fn with_slot_dispatch(mut self, dispatch: SlotDispatch) -> Self {
-        self.dispatch = dispatch;
-        self
     }
 
     /// Builder-style clock override: job timing (attempt runtimes, straggler
@@ -430,21 +421,11 @@ impl JobTracker {
                 }
             }
         }
-        match self.dispatch {
-            SlotDispatch::Executor => miniexec::scope_blocking(|scope| {
-                for slot in slots {
-                    scope.spawn(slot);
-                }
-            }),
-            SlotDispatch::Threads => std::thread::scope(|scope| {
-                for slot in slots {
-                    scope.spawn(move || {
-                        let _census = miniexec::census::Registration::new();
-                        slot();
-                    });
-                }
-            }),
-        }
+        miniexec::scope_blocking(|scope| {
+            for slot in slots {
+                scope.spawn(slot);
+            }
+        });
 
         let mut map_state = map_state.into_inner();
         if let Some(err) = map_state.failure.take() {

@@ -73,25 +73,6 @@ impl TaskTracker {
     }
 }
 
-/// How the jobtracker executes tracker slots for the duration of a job.
-///
-/// Slots are the worker loops that claim and run task attempts. They used to
-/// be one OS thread each, spawned per job; the default now multiplexes them
-/// as scoped tasks on the process-wide `miniexec` pool, so a burst of jobs
-/// (or a job over a large cluster) is bounded by the pool width instead of
-/// spawning `trackers x slots` threads. A slot that finds nothing to claim
-/// yields its worker to queued tasks (`miniexec::poll_wait`) rather than
-/// occupying a thread to sleep in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum SlotDispatch {
-    /// Run slots as scoped tasks on the shared executor pool.
-    #[default]
-    Executor,
-    /// One scoped OS thread per slot per job — the legacy behaviour, kept
-    /// one release as the differential oracle for the executor path.
-    Threads,
-}
-
 /// The output of one map task.
 #[derive(Debug, Default, Clone)]
 pub struct MapTaskOutput {

@@ -749,6 +749,30 @@ pub mod mpsc {
 
 pub mod actor {
     use super::{census, mpsc, oneshot};
+    use std::time::Duration;
+
+    /// Why a [`Handle::call_timeout`] did not produce a reply.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum CallError {
+        /// The actor died (or dropped the message) before replying.
+        Canceled,
+        /// The actor is alive but did not reply within the deadline — it is
+        /// wedged on an earlier message or simply backlogged. The message
+        /// stays in the mailbox and may still be processed later; the reply
+        /// is discarded.
+        TimedOut,
+    }
+
+    impl std::fmt::Display for CallError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                CallError::Canceled => write!(f, "actor is gone (call canceled)"),
+                CallError::TimedOut => write!(f, "actor did not reply within the deadline"),
+            }
+        }
+    }
+
+    impl std::error::Error for CallError {}
 
     /// Cloneable handle to an actor's mailbox. When the last handle drops,
     /// the mailbox disconnects and the actor loop exits after draining
@@ -783,6 +807,26 @@ pub mod actor {
                 return Err(oneshot::Canceled);
             }
             rx.recv()
+        }
+
+        /// [`Handle::call`], but bounded: give up after `timeout` with a
+        /// typed error instead of blocking on a wedged actor forever. On
+        /// [`CallError::TimedOut`] the message remains enqueued — the actor
+        /// may still process it; the reply goes nowhere.
+        pub fn call_timeout<R: Send + 'static>(
+            &self,
+            timeout: Duration,
+            make: impl FnOnce(oneshot::Sender<R>) -> M,
+        ) -> Result<R, CallError> {
+            let (tx, rx) = oneshot::channel();
+            if self.tx.send(make(tx)).is_err() {
+                return Err(CallError::Canceled);
+            }
+            match rx.recv_timeout(timeout) {
+                Ok(v) => Ok(v),
+                Err(oneshot::TryRecvError::Canceled) => Err(CallError::Canceled),
+                Err(oneshot::TryRecvError::Empty) => Err(CallError::TimedOut),
+            }
         }
     }
 
@@ -952,6 +996,57 @@ mod tests {
         assert!(h.send(Msg::Slow(tx)));
         drop(h);
         assert_eq!(rx.recv(), Ok(7));
+    }
+
+    #[test]
+    fn call_timeout_surfaces_a_wedged_actor() {
+        enum Msg {
+            Stall(std::sync::mpsc::Receiver<()>),
+            Ask(oneshot::Sender<u32>),
+        }
+        let h = actor::spawn("wedged", (), |_, msg| match msg {
+            Msg::Stall(gate) => {
+                // Deliberately wedge the loop until the test opens the gate.
+                let _ = gate.recv();
+            }
+            Msg::Ask(reply) => {
+                let _ = reply.send(9);
+            }
+        });
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel();
+        assert!(h.send(Msg::Stall(gate_rx)));
+        // The actor is stuck behind the stall: a bounded call returns a
+        // typed timeout instead of blocking its caller forever.
+        assert_eq!(
+            h.call_timeout(Duration::from_millis(30), Msg::Ask),
+            Err(actor::CallError::TimedOut)
+        );
+        // Unwedge; the queued Ask is still in the mailbox and the actor
+        // recovers — a fresh bounded call succeeds.
+        gate_tx.send(()).unwrap();
+        assert_eq!(h.call_timeout(Duration::from_secs(5), Msg::Ask), Ok(9));
+    }
+
+    #[test]
+    fn call_timeout_reports_canceled_when_actor_is_gone() {
+        enum Msg {
+            Explode,
+            Ask(oneshot::Sender<u32>),
+        }
+        let h = actor::spawn("ephemeral", (), |_, msg| match msg {
+            Msg::Explode => panic!("actor died"),
+            Msg::Ask(reply) => {
+                let _ = reply.send(3);
+            }
+        });
+        assert_eq!(h.call_timeout(Duration::from_secs(5), Msg::Ask), Ok(3));
+        // The panic kills the loop; the Ask behind it is dropped unprocessed
+        // and its reply sender with it — typed Canceled, not a hang.
+        assert!(h.send(Msg::Explode));
+        assert_eq!(
+            h.call_timeout(Duration::from_secs(5), Msg::Ask),
+            Err(actor::CallError::Canceled)
+        );
     }
 
     #[test]

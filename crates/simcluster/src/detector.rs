@@ -1,0 +1,271 @@
+//! Heartbeat failure detection on an injectable [`Clock`].
+//!
+//! A member (DHT node, data provider) is never *declared* dead to the
+//! detector — it is *discovered* dead: a monitor periodically probes each
+//! member (a heartbeat actor message) and reports the outcome here. A member
+//! whose last successful heartbeat is older than the suspicion timeout and
+//! which just failed another probe becomes **suspect**; a later successful
+//! probe clears the suspicion (the member recovered or was falsely accused —
+//! the classic trade-off of timeout-based detectors).
+//!
+//! The detector is deliberately passive: it holds no threads and sends no
+//! messages itself. The owning component drives it from its own cadence
+//! ([`FailureDetector::round_due`] rate-limits probe rounds against the
+//! clock), which keeps the whole mechanism deterministic under
+//! [`crate::clock::SimClock`].
+
+use crate::clock::Clock;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tuning knobs of a [`FailureDetector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectorConfig {
+    /// Minimum spacing between heartbeat rounds ([`FailureDetector::round_due`]).
+    pub heartbeat_interval: Duration,
+    /// How long since the last successful heartbeat before a failed probe
+    /// turns into suspicion. Longer tolerates slow members; shorter detects
+    /// crashes faster.
+    pub suspicion_timeout: Duration,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            heartbeat_interval: Duration::from_millis(50),
+            suspicion_timeout: Duration::from_millis(150),
+        }
+    }
+}
+
+/// What the detector currently believes about a member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberHealth {
+    /// Heartbeats are answered (or the member has not been suspect long
+    /// enough to say otherwise).
+    Alive,
+    /// Probes have failed for longer than the suspicion timeout.
+    Suspect,
+}
+
+struct MemberRecord {
+    last_ok: Duration,
+    suspect: bool,
+}
+
+/// Timeout/suspicion failure detector over members of type `K`.
+///
+/// Thread-safe; probes from any thread may report outcomes concurrently.
+pub struct FailureDetector<K: Eq + Hash + Copy> {
+    clock: Arc<dyn Clock>,
+    config: DetectorConfig,
+    members: Mutex<HashMap<K, MemberRecord>>,
+    last_round: Mutex<Option<Duration>>,
+    heartbeats_sent: AtomicU64,
+    failures_detected: AtomicU64,
+    recoveries_observed: AtomicU64,
+}
+
+impl<K: Eq + Hash + Copy> FailureDetector<K> {
+    /// A detector reading time from `clock`.
+    pub fn new(clock: Arc<dyn Clock>, config: DetectorConfig) -> Self {
+        FailureDetector {
+            clock,
+            config,
+            members: Mutex::new(HashMap::new()),
+            last_round: Mutex::new(None),
+            heartbeats_sent: AtomicU64::new(0),
+            failures_detected: AtomicU64::new(0),
+            recoveries_observed: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration this detector runs with.
+    pub fn config(&self) -> DetectorConfig {
+        self.config
+    }
+
+    /// Start tracking a member, presumed alive as of now (a member that
+    /// never answers will still only become suspect after the timeout).
+    pub fn register(&self, member: K) {
+        let now = self.clock.now();
+        self.members.lock().entry(member).or_insert(MemberRecord {
+            last_ok: now,
+            suspect: false,
+        });
+    }
+
+    /// Stop tracking a member (it left the ring; not a failure).
+    pub fn forget(&self, member: K) {
+        self.members.lock().remove(&member);
+    }
+
+    /// Rate-limit heartbeat rounds: true at most once per
+    /// `heartbeat_interval` of clock time (and always on the first call).
+    pub fn round_due(&self) -> bool {
+        let now = self.clock.now();
+        let mut last = self.last_round.lock();
+        match *last {
+            Some(prev) if now.saturating_sub(prev) < self.config.heartbeat_interval => false,
+            _ => {
+                *last = Some(now);
+                true
+            }
+        }
+    }
+
+    /// Report one heartbeat probe outcome. Returns the member's health after
+    /// absorbing the observation (`None` for an unregistered member).
+    pub fn observe(&self, member: K, ok: bool) -> Option<MemberHealth> {
+        let now = self.clock.now();
+        self.heartbeats_sent.fetch_add(1, Ordering::Relaxed);
+        let mut members = self.members.lock();
+        let rec = members.get_mut(&member)?;
+        if ok {
+            if rec.suspect {
+                self.recoveries_observed.fetch_add(1, Ordering::Relaxed);
+            }
+            rec.suspect = false;
+            rec.last_ok = now;
+        } else if !rec.suspect && now.saturating_sub(rec.last_ok) >= self.config.suspicion_timeout {
+            rec.suspect = true;
+            self.failures_detected.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(if rec.suspect {
+            MemberHealth::Suspect
+        } else {
+            MemberHealth::Alive
+        })
+    }
+
+    /// The detector's current belief about a member.
+    pub fn health(&self, member: K) -> Option<MemberHealth> {
+        self.members.lock().get(&member).map(|r| {
+            if r.suspect {
+                MemberHealth::Suspect
+            } else {
+                MemberHealth::Alive
+            }
+        })
+    }
+
+    /// True when the member is currently suspected dead.
+    pub fn is_suspect(&self, member: K) -> bool {
+        self.health(member) == Some(MemberHealth::Suspect)
+    }
+
+    /// All currently suspected members.
+    pub fn suspects(&self) -> Vec<K> {
+        self.members
+            .lock()
+            .iter()
+            .filter(|(_, r)| r.suspect)
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    /// Number of members currently tracked.
+    pub fn member_count(&self) -> usize {
+        self.members.lock().len()
+    }
+
+    /// Total heartbeat probe outcomes absorbed.
+    pub fn heartbeats_sent(&self) -> u64 {
+        self.heartbeats_sent.load(Ordering::Relaxed)
+    }
+
+    /// Alive→suspect transitions observed (each distinct detection counts
+    /// once, however many probes fail while suspect).
+    pub fn failures_detected(&self) -> u64 {
+        self.failures_detected.load(Ordering::Relaxed)
+    }
+
+    /// Suspect→alive transitions observed.
+    pub fn recoveries_observed(&self) -> u64 {
+        self.recoveries_observed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+
+    fn detector(timeout_ms: u64) -> (Arc<SimClock>, FailureDetector<u32>) {
+        let clock = Arc::new(SimClock::new());
+        let det = FailureDetector::new(
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            DetectorConfig {
+                heartbeat_interval: Duration::from_millis(10),
+                suspicion_timeout: Duration::from_millis(timeout_ms),
+            },
+        );
+        (clock, det)
+    }
+
+    #[test]
+    fn failed_probe_before_timeout_is_tolerated() {
+        let (clock, det) = detector(100);
+        det.register(1);
+        clock.advance(Duration::from_millis(50));
+        assert_eq!(det.observe(1, false), Some(MemberHealth::Alive));
+        assert!(!det.is_suspect(1));
+        assert_eq!(det.failures_detected(), 0);
+    }
+
+    #[test]
+    fn missed_heartbeats_past_timeout_raise_suspicion_once() {
+        let (clock, det) = detector(100);
+        det.register(7);
+        clock.advance(Duration::from_millis(100));
+        assert_eq!(det.observe(7, false), Some(MemberHealth::Suspect));
+        assert_eq!(det.suspects(), vec![7]);
+        assert_eq!(det.failures_detected(), 1);
+        // Further failed probes do not re-count the same detection.
+        clock.advance(Duration::from_millis(100));
+        det.observe(7, false);
+        assert_eq!(det.failures_detected(), 1);
+    }
+
+    #[test]
+    fn successful_probe_clears_suspicion() {
+        let (clock, det) = detector(100);
+        det.register(3);
+        clock.advance(Duration::from_millis(200));
+        det.observe(3, false);
+        assert!(det.is_suspect(3));
+        det.observe(3, true);
+        assert_eq!(det.health(3), Some(MemberHealth::Alive));
+        assert_eq!(det.recoveries_observed(), 1);
+        // Suspicion timing restarts from the recovery.
+        clock.advance(Duration::from_millis(50));
+        assert_eq!(det.observe(3, false), Some(MemberHealth::Alive));
+    }
+
+    #[test]
+    fn round_due_rate_limits_by_clock_time() {
+        let (clock, det) = detector(100);
+        assert!(det.round_due(), "first round is always due");
+        assert!(!det.round_due(), "no clock progress: not due");
+        clock.advance(Duration::from_millis(9));
+        assert!(!det.round_due());
+        clock.advance(Duration::from_millis(1));
+        assert!(det.round_due());
+    }
+
+    #[test]
+    fn forget_stops_tracking_without_counting_a_failure() {
+        let (clock, det) = detector(10);
+        det.register(1);
+        det.register(2);
+        det.forget(1);
+        clock.advance(Duration::from_millis(100));
+        assert_eq!(det.observe(1, false), None);
+        assert_eq!(det.member_count(), 1);
+        assert_eq!(det.failures_detected(), 0);
+    }
+}

@@ -21,7 +21,11 @@
 //!   sequences of transfers and compute phases, and the simulator reports
 //!   per-process completion times and aggregate throughput,
 //! * [`failure`] — failure schedules for killing nodes at chosen virtual
-//!   times,
+//!   times, and churn schedules ([`failure::ChurnSchedule`]) interleaving
+//!   kill and join events at a configurable rate,
+//! * [`detector`] — a timeout/suspicion heartbeat failure detector driven on
+//!   any [`clock::Clock`], so components discover dead peers rather than
+//!   being told,
 //! * [`metrics`] — small helpers to aggregate throughput series.
 //!
 //! The storage systems themselves (`blobseer`, `hdfs-sim`, `bsfs`) are real
@@ -54,6 +58,7 @@
 //! ```
 
 pub mod clock;
+pub mod detector;
 pub mod failure;
 pub mod flowsim;
 pub mod metrics;
@@ -62,7 +67,8 @@ pub mod time;
 pub mod topology;
 
 pub use clock::{Clock, SimClock, WallClock};
-pub use failure::FailureSchedule;
+pub use detector::{DetectorConfig, FailureDetector, MemberHealth};
+pub use failure::{ChurnEvent, ChurnEventKind, ChurnSchedule, FailureSchedule};
 pub use flowsim::{ClientProcess, FlowSimulator, SimReport, Step};
 pub use netmodel::NetworkModel;
 pub use time::{SimDuration, SimTime};
