@@ -80,6 +80,17 @@ pub struct BlobSeerConfig {
     /// Backoff (wall milliseconds) before the first retry; doubles on each
     /// further retry.
     pub retry_backoff_ms: u64,
+    /// When true, sub-page reads ask providers for only the byte window they
+    /// need (`Download(key, offset, len)`), instead of fetching the whole
+    /// page and slicing locally. Whole-page reads are unaffected. Disabling
+    /// it restores the whole-page fetch (the ranged-vs-whole ablation arm).
+    pub ranged_reads: bool,
+    /// When true, a read's demand page fetches bound for the same provider
+    /// are folded into one `DownloadMany` message — one wire exchange (one
+    /// latency charge) per destination per read instead of one per page.
+    /// Disabling it issues one message per page (the coalescing ablation
+    /// arm).
+    pub coalesce_reads: bool,
 }
 
 impl Default for BlobSeerConfig {
@@ -102,6 +113,8 @@ impl Default for BlobSeerConfig {
             repair_interval_ms: None,
             retry_attempts: 1,
             retry_backoff_ms: 1,
+            ranged_reads: true,
+            coalesce_reads: true,
         }
     }
 }
@@ -127,6 +140,8 @@ impl BlobSeerConfig {
             repair_interval_ms: None,
             retry_attempts: 1,
             retry_backoff_ms: 1,
+            ranged_reads: true,
+            coalesce_reads: true,
         }
     }
 
@@ -222,6 +237,18 @@ impl BlobSeerConfig {
         self
     }
 
+    /// Builder-style toggle of ranged (sub-page) provider reads.
+    pub fn with_ranged_reads(mut self, enabled: bool) -> Self {
+        self.ranged_reads = enabled;
+        self
+    }
+
+    /// Builder-style toggle of per-destination read coalescing.
+    pub fn with_coalesced_reads(mut self, enabled: bool) -> Self {
+        self.coalesce_reads = enabled;
+        self
+    }
+
     /// Validate invariants, panicking with a clear message if violated. Called
     /// by [`crate::BlobSeer::new`].
     pub fn validate(&self) {
@@ -306,7 +333,9 @@ mod tests {
             .with_gc_interval(Duration::from_secs(30))
             .with_adaptive_readahead(true)
             .with_repair_interval(Duration::from_secs(2))
-            .with_retry(4, Duration::from_millis(5));
+            .with_retry(4, Duration::from_millis(5))
+            .with_ranged_reads(false)
+            .with_coalesced_reads(false);
         assert_eq!(c.default_page_size, 4096);
         assert_eq!(c.providers, 10);
         assert_eq!(c.page_replication, 3);
@@ -321,6 +350,8 @@ mod tests {
         assert_eq!(c.repair_interval_ms, Some(2_000));
         assert_eq!(c.retry_attempts, 4);
         assert_eq!(c.retry_backoff_ms, 5);
+        assert!(!c.ranged_reads);
+        assert!(!c.coalesce_reads);
         c.validate();
     }
 

@@ -50,16 +50,46 @@ pub struct ProviderStats {
     pub bytes_read: u64,
 }
 
-/// Commands understood by the provider actor.
+/// One page fetch inside a coalesced [`Provider::download_many`] batch.
+#[derive(Debug, Clone)]
+pub struct PageRequest {
+    /// Storage key of the page.
+    pub key: Vec<u8>,
+    /// First byte wanted within the stored page.
+    pub offset: u64,
+    /// Bytes wanted from `offset`; `None` means "through the end".
+    pub len: Option<u64>,
+}
+
+/// Commands understood by the provider actor, shaped like a blob wire
+/// protocol: `Upload` / `Download(key, offset, len)` / `Query` / `Delete`,
+/// plus the coalesced `DownloadMany` batch and the control probes.
 enum ProviderMsg {
-    Put {
+    Upload {
         key: Vec<u8>,
         data: Bytes,
         reply: oneshot::Sender<BlobResult<()>>,
     },
-    Get {
+    /// Ranged streaming read: serve `[offset, offset + len)` of the stored
+    /// page (clamped to what is stored; `len: None` means "through the
+    /// end"). A whole-page fetch is `offset 0, len None`.
+    Download {
         key: Vec<u8>,
+        offset: u64,
+        len: Option<u64>,
         reply: oneshot::Sender<BlobResult<Option<Bytes>>>,
+    },
+    /// Several downloads folded into one mailbox message (one wire exchange
+    /// when a transport is charged in front of the mailbox).
+    DownloadMany {
+        requests: Vec<PageRequest>,
+        reply: oneshot::Sender<BlobResult<Vec<Option<Bytes>>>>,
+    },
+    /// Existence/size probe: the stored length of the page, without moving
+    /// its bytes. Does not count as served traffic.
+    Query {
+        key: Vec<u8>,
+        reply: oneshot::Sender<BlobResult<Option<u64>>>,
     },
     Delete {
         key: Vec<u8>,
@@ -87,11 +117,22 @@ struct ProviderState {
 impl ProviderState {
     fn handle(&mut self, msg: ProviderMsg) {
         match msg {
-            ProviderMsg::Put { key, data, reply } => {
+            ProviderMsg::Upload { key, data, reply } => {
                 let _ = reply.send(self.put(&key, data));
             }
-            ProviderMsg::Get { key, reply } => {
-                let _ = reply.send(self.get(&key));
+            ProviderMsg::Download {
+                key,
+                offset,
+                len,
+                reply,
+            } => {
+                let _ = reply.send(self.download(&key, offset, len));
+            }
+            ProviderMsg::DownloadMany { requests, reply } => {
+                let _ = reply.send(self.download_many(&requests));
+            }
+            ProviderMsg::Query { key, reply } => {
+                let _ = reply.send(self.query(&key));
             }
             ProviderMsg::Delete { key, reply } => {
                 let _ = reply.send(self.delete(&key));
@@ -132,16 +173,47 @@ impl ProviderState {
         Ok(())
     }
 
-    fn get(&mut self, key: &[u8]) -> BlobResult<Option<Bytes>> {
+    fn download(&mut self, key: &[u8], offset: u64, len: Option<u64>) -> BlobResult<Option<Bytes>> {
         if !self.alive {
             return Err(BlobSeerError::Storage(kvstore::KvError::Closed));
         }
-        let page = self.store.get(key)?;
-        if let Some(p) = &page {
-            self.reads += 1;
-            self.bytes_read += p.len() as u64;
+        let Some(page) = self.store.get(key)? else {
+            return Ok(None);
+        };
+        // Clamp the requested window to what is stored: the caller knows the
+        // page's valid length and pads/truncates; the provider only ever
+        // ships bytes it holds.
+        let start = usize::try_from(offset)
+            .unwrap_or(usize::MAX)
+            .min(page.len());
+        let end = match len {
+            Some(l) => start
+                .saturating_add(usize::try_from(l).unwrap_or(usize::MAX))
+                .min(page.len()),
+            None => page.len(),
+        };
+        let piece = page.slice(start..end);
+        self.reads += 1;
+        self.bytes_read += piece.len() as u64;
+        Ok(Some(piece))
+    }
+
+    fn download_many(&mut self, requests: &[PageRequest]) -> BlobResult<Vec<Option<Bytes>>> {
+        // One liveness check covers the batch; per-entry misses are `None`.
+        if !self.alive {
+            return Err(BlobSeerError::Storage(kvstore::KvError::Closed));
         }
-        Ok(page)
+        requests
+            .iter()
+            .map(|r| self.download(&r.key, r.offset, r.len))
+            .collect()
+    }
+
+    fn query(&mut self, key: &[u8]) -> BlobResult<Option<u64>> {
+        if !self.alive {
+            return Err(BlobSeerError::Storage(kvstore::KvError::Closed));
+        }
+        Ok(self.store.get(key)?.map(|p| p.len() as u64))
     }
 
     fn delete(&mut self, key: &[u8]) -> BlobResult<bool> {
@@ -231,10 +303,11 @@ impl Provider {
         let _ = self.handle.call(ProviderMsg::Revive);
     }
 
-    /// Store a page. Fails if the provider is down.
+    /// Store a page (the wire protocol's `Upload`). Fails if the provider is
+    /// down.
     pub fn put_page(&self, key: &[u8], data: Bytes) -> BlobResult<()> {
         self.handle
-            .call(|reply| ProviderMsg::Put {
+            .call(|reply| ProviderMsg::Upload {
                 key: key.to_vec(),
                 data,
                 reply,
@@ -242,11 +315,46 @@ impl Provider {
             .unwrap_or_else(actor_gone)
     }
 
-    /// Fetch a page. Returns `Ok(None)` when the provider is up but does not
-    /// hold the page, and an error when the provider is down.
+    /// Fetch a whole page (`Download` with `offset 0, len None`). Returns
+    /// `Ok(None)` when the provider is up but does not hold the page, and an
+    /// error when the provider is down.
     pub fn get_page(&self, key: &[u8]) -> BlobResult<Option<Bytes>> {
+        self.download_page(key, 0, None)
+    }
+
+    /// Ranged streaming read (`Download(key, offset, len)`): serve only
+    /// `[offset, offset + len)` of the stored page, clamped to what is
+    /// stored; `len: None` means "through the end". Returns `Ok(None)` for a
+    /// page the provider does not hold.
+    pub fn download_page(
+        &self,
+        key: &[u8],
+        offset: u64,
+        len: Option<u64>,
+    ) -> BlobResult<Option<Bytes>> {
         self.handle
-            .call(|reply| ProviderMsg::Get {
+            .call(|reply| ProviderMsg::Download {
+                key: key.to_vec(),
+                offset,
+                len,
+                reply,
+            })
+            .unwrap_or_else(actor_gone)
+    }
+
+    /// Several ranged downloads folded into one mailbox message — the
+    /// coalesced shape: one wire exchange per destination per flush. Returns
+    /// one slot per request, in order.
+    pub fn download_many(&self, requests: Vec<PageRequest>) -> BlobResult<Vec<Option<Bytes>>> {
+        self.handle
+            .call(|reply| ProviderMsg::DownloadMany { requests, reply })
+            .unwrap_or_else(actor_gone)
+    }
+
+    /// `Query(key)`: the stored length of a page without moving its bytes.
+    pub fn query_page(&self, key: &[u8]) -> BlobResult<Option<u64>> {
+        self.handle
+            .call(|reply| ProviderMsg::Query {
                 key: key.to_vec(),
                 reply,
             })
@@ -306,6 +414,79 @@ mod tests {
 
         assert!(p.delete_page(&key).unwrap());
         assert_eq!(p.stats().pages, 0);
+    }
+
+    #[test]
+    fn ranged_download_serves_only_the_window() {
+        let p = Provider::in_memory(ProviderId(0), NodeId(0));
+        let key = page_key(BlobId(0), Version(1), 0);
+        let data: Vec<u8> = (0..100u8).collect();
+        p.put_page(&key, Bytes::from(data.clone())).unwrap();
+
+        let mid = p.download_page(&key, 10, Some(20)).unwrap().unwrap();
+        assert_eq!(&mid[..], &data[10..30]);
+        let tail = p.download_page(&key, 90, None).unwrap().unwrap();
+        assert_eq!(&tail[..], &data[90..]);
+        // Windows past the stored length clamp to empty rather than erroring.
+        let beyond = p.download_page(&key, 200, Some(10)).unwrap().unwrap();
+        assert!(beyond.is_empty());
+        assert!(p.download_page(b"missing", 0, Some(4)).unwrap().is_none());
+
+        // Only the served bytes count, not the page size.
+        assert_eq!(p.stats().bytes_read, 20 + 10); // the clamped window served 0
+        assert_eq!(p.stats().reads, 3);
+    }
+
+    #[test]
+    fn download_many_answers_every_request_in_order() {
+        let p = Provider::in_memory(ProviderId(0), NodeId(0));
+        let k0 = page_key(BlobId(0), Version(1), 0);
+        let k1 = page_key(BlobId(0), Version(1), 1);
+        p.put_page(&k0, Bytes::from(vec![1u8; 50])).unwrap();
+        p.put_page(&k1, Bytes::from(vec![2u8; 50])).unwrap();
+        let got = p
+            .download_many(vec![
+                PageRequest {
+                    key: k0.clone(),
+                    offset: 0,
+                    len: Some(8),
+                },
+                PageRequest {
+                    key: b"missing".to_vec(),
+                    offset: 0,
+                    len: None,
+                },
+                PageRequest {
+                    key: k1.clone(),
+                    offset: 40,
+                    len: None,
+                },
+            ])
+            .unwrap();
+        assert_eq!(got[0].as_ref().unwrap().len(), 8);
+        assert!(got[1].is_none());
+        assert_eq!(got[2].as_ref().unwrap(), &Bytes::from(vec![2u8; 10]));
+        p.kill();
+        assert!(p
+            .download_many(vec![PageRequest {
+                key: k0,
+                offset: 0,
+                len: None,
+            }])
+            .is_err());
+    }
+
+    #[test]
+    fn query_reports_stored_length_without_serving_bytes() {
+        let p = Provider::in_memory(ProviderId(0), NodeId(0));
+        let key = page_key(BlobId(0), Version(1), 0);
+        p.put_page(&key, Bytes::from(vec![9u8; 64])).unwrap();
+        assert_eq!(p.query_page(&key).unwrap(), Some(64));
+        assert_eq!(p.query_page(b"missing").unwrap(), None);
+        assert_eq!(p.stats().reads, 0);
+        assert_eq!(p.stats().bytes_read, 0);
+        p.kill();
+        assert!(p.query_page(&key).is_err());
     }
 
     #[test]

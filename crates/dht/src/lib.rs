@@ -56,10 +56,12 @@ use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use simcluster::clock::Clock;
 use simcluster::detector::{DetectorConfig, FailureDetector};
+use simcluster::topology::NodeId;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use wire::{Direction, Transport, MSG_OVERHEAD};
 
 /// Errors surfaced by DHT operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -222,6 +224,24 @@ impl Tombstones {
     }
 }
 
+/// The transport attachment for a [`Dht`]: where each metadata provider
+/// lives in the cluster and which wire its exchanges are charged on.
+struct DhtWire {
+    transport: Arc<dyn Transport>,
+    /// Cluster placement of the metadata providers: DHT node `i` lives on
+    /// `placement[i % placement.len()]`.
+    placement: Vec<NodeId>,
+    /// Fallback source node for exchanges issued from threads that did not
+    /// pin one via [`wire::source_guard`].
+    home: NodeId,
+}
+
+impl DhtWire {
+    fn destination(&self, id: DhtNodeId) -> NodeId {
+        self.placement[id.0 as usize % self.placement.len()]
+    }
+}
+
 /// The distributed hash table used by BlobSeer's metadata layer.
 ///
 /// All methods are safe to call from many threads concurrently; the ring is
@@ -242,13 +262,14 @@ pub struct Dht {
     /// benches that do not exercise churn) runs without one.
     detector: Mutex<Option<Arc<FailureDetector<DhtNodeId>>>>,
     /// Client-to-node exchanges performed (one per node contacted, for both
-    /// single-key and batch operations). Repair and heartbeat traffic is
-    /// control-plane and intentionally *not* counted here.
-    round_trips: AtomicU64,
-    /// The subset of `round_trips` spent on writes (put/put_many/remove).
-    write_round_trips: AtomicU64,
-    /// The subset of `round_trips` spent on reads (get/get_many).
-    read_round_trips: AtomicU64,
+    /// single-key and batch operations), with bytes per direction. Repair and
+    /// heartbeat traffic is control-plane and intentionally *not* counted
+    /// here. The legacy `round_trips` accessors read from this set.
+    counters: wire::Counters,
+    /// When attached, every client-to-node exchange is also charged on this
+    /// transport (simulated latency + bandwidth). `None` keeps the historic
+    /// free-wire behavior.
+    wire: RwLock<Option<DhtWire>>,
     /// Repair passes completed.
     repair_runs: AtomicU64,
     /// Replica copies created by repair passes.
@@ -285,9 +306,8 @@ impl Dht {
             inner: RwLock::new(inner),
             tombstones: Tombstones::default(),
             detector: Mutex::new(None),
-            round_trips: AtomicU64::new(0),
-            write_round_trips: AtomicU64::new(0),
-            read_round_trips: AtomicU64::new(0),
+            counters: wire::Counters::new(),
+            wire: RwLock::new(None),
             repair_runs: AtomicU64::new(0),
             repaired_entries: AtomicU64::new(0),
             under_replicated_last: AtomicU64::new(0),
@@ -343,29 +363,60 @@ impl Dht {
     /// regardless of how many of the batch keys it holds, so this counter is
     /// what shrinks when callers batch.
     pub fn round_trips(&self) -> u64 {
-        self.round_trips.load(Ordering::Relaxed)
+        self.counters.messages()
     }
 
     /// The write-side subset of [`Dht::round_trips`] (put/put_many/remove):
     /// the like-for-like figure to compare against one-put-per-key traffic.
     pub fn write_round_trips(&self) -> u64 {
-        self.write_round_trips.load(Ordering::Relaxed)
+        self.counters.write_messages()
     }
 
     /// The read-side subset of [`Dht::round_trips`] (get/get_many): the
     /// like-for-like figure to compare against one-get-per-key traffic.
     pub fn read_round_trips(&self) -> u64 {
-        self.read_round_trips.load(Ordering::Relaxed)
+        self.counters.read_messages()
     }
 
-    fn count_read_round_trip(&self) {
-        self.round_trips.fetch_add(1, Ordering::Relaxed);
-        self.read_round_trips.fetch_add(1, Ordering::Relaxed);
+    /// The full wire accounting for this DHT's client-to-node traffic
+    /// (messages and bytes per direction, in the shared schema).
+    pub fn wire_counters(&self) -> &wire::Counters {
+        &self.counters
     }
 
-    fn count_write_round_trip(&self) {
-        self.round_trips.fetch_add(1, Ordering::Relaxed);
-        self.write_round_trips.fetch_add(1, Ordering::Relaxed);
+    /// Charge every future client-to-node exchange on `transport`, placing
+    /// metadata provider `i` on cluster node `placement[i % len]`. Exchanges
+    /// issued from a thread without a [`wire::source_guard`] are charged as
+    /// coming from `home`.
+    pub fn attach_wire(&self, transport: Arc<dyn Transport>, placement: Vec<NodeId>, home: NodeId) {
+        assert!(
+            !placement.is_empty(),
+            "placement must name at least one node"
+        );
+        *self.wire.write() = Some(DhtWire {
+            transport,
+            placement,
+            home,
+        });
+    }
+
+    /// Record one exchange with node `id` and, when a wire is attached,
+    /// charge its simulated cost.
+    fn charge(&self, id: DhtNodeId, dir: Direction, bytes_out: u64, bytes_in: u64) {
+        self.counters.record(dir, bytes_out, bytes_in);
+        if let Some(w) = self.wire.read().as_ref() {
+            let src = wire::current_source().unwrap_or(w.home);
+            w.transport
+                .exchange(src, w.destination(id), dir, bytes_out, bytes_in);
+        }
+    }
+
+    fn charge_read(&self, id: DhtNodeId, bytes_out: u64, bytes_in: u64) {
+        self.charge(id, Direction::Read, bytes_out, bytes_in);
+    }
+
+    fn charge_write(&self, id: DhtNodeId, bytes_out: u64, bytes_in: u64) {
+        self.charge(id, Direction::Write, bytes_out, bytes_in);
     }
 
     /// The replication factor this DHT was configured with.
@@ -392,7 +443,11 @@ impl Dht {
     /// Attempt one replica write; false when the node refused (dead).
     fn try_put_on(&self, inner: &DhtInner, id: DhtNodeId, key: &[u8], value: &Bytes) -> bool {
         let node = &inner.nodes[&id];
-        self.count_write_round_trip();
+        self.charge_write(
+            id,
+            key.len() as u64 + value.len() as u64 + MSG_OVERHEAD,
+            MSG_OVERHEAD,
+        );
         match node.put(key, value.clone()) {
             Ok(()) => true,
             Err(NodeDown) => {
@@ -487,8 +542,17 @@ impl Dht {
         let mut live_misses = 0;
         let mut saw_down = false;
         for id in inner.ring.successors(key, inner.nodes.len()) {
-            self.count_read_round_trip();
-            match inner.nodes[&id].get(key) {
+            let resp = inner.nodes[&id].get(key);
+            let resp_bytes = match &resp {
+                Ok(Some(v)) => v.len() as u64,
+                _ => 0,
+            };
+            self.charge_read(
+                id,
+                key.len() as u64 + MSG_OVERHEAD,
+                resp_bytes + MSG_OVERHEAD,
+            );
+            match resp {
                 Ok(Some(v)) => return Ok((Some(v), false)),
                 Ok(None) => {
                     live_misses += 1;
@@ -518,7 +582,7 @@ impl Dht {
         let mut any_down = false;
         for id in &replicas {
             let node = &inner.nodes[id];
-            self.count_write_round_trip();
+            self.charge_write(*id, key.len() as u64 + MSG_OVERHEAD, MSG_OVERHEAD);
             match node.remove(key) {
                 Ok(r) => removed |= r,
                 Err(NodeDown) => {
@@ -542,7 +606,7 @@ impl Dht {
                     .into_iter()
                     .skip(replicas.len())
                 {
-                    self.count_write_round_trip();
+                    self.charge_write(id, key.len() as u64 + MSG_OVERHEAD, MSG_OVERHEAD);
                     if let Ok(r) = inner.nodes[&id].remove(key) {
                         if r {
                             removed = true;
@@ -569,11 +633,14 @@ impl Dht {
     ///
     /// Retries under the [`RetryPolicy`]: a retried batch re-puts every
     /// entry, which is idempotent (later writes of the same key win).
-    pub fn put_many(&self, entries: &[(Vec<u8>, Bytes)]) -> DhtResult<()> {
+    ///
+    /// Keys are borrowed (`impl AsRef<[u8]>`), so callers holding slices or
+    /// owned buffers alike can batch without cloning.
+    pub fn put_many<K: AsRef<[u8]>>(&self, entries: &[(K, Bytes)]) -> DhtResult<()> {
         self.with_retry(|| self.put_many_once(entries))
     }
 
-    fn put_many_once(&self, entries: &[(Vec<u8>, Bytes)]) -> DhtResult<()> {
+    fn put_many_once<K: AsRef<[u8]>>(&self, entries: &[(K, Bytes)]) -> DhtResult<()> {
         if entries.is_empty() {
             return Ok(());
         }
@@ -586,18 +653,24 @@ impl Dht {
         let mut per_node: BTreeMap<DhtNodeId, Vec<usize>> = BTreeMap::new();
         for (i, (key, _)) in entries.iter().enumerate() {
             // Unbury before storing, as in `put`: a racing remove must win.
-            self.tombstones.unbury(key);
-            for id in inner.ring.successors(key, inner.replication) {
+            self.tombstones.unbury(key.as_ref());
+            for id in inner.ring.successors(key.as_ref(), inner.replication) {
                 per_node.entry(id).or_default().push(i);
             }
         }
         let mut stored = vec![0usize; entries.len()];
         for (id, indices) in &per_node {
             let node = &inner.nodes[id];
-            self.count_write_round_trip();
+            // One message per node, carrying every entry of its group. The
+            // bytes cross the wire even if the node turns out to be dead.
+            let group_bytes: u64 = indices
+                .iter()
+                .map(|&i| entries[i].0.as_ref().len() as u64 + entries[i].1.len() as u64)
+                .sum();
+            self.charge_write(*id, group_bytes + MSG_OVERHEAD, MSG_OVERHEAD);
             for &i in indices {
                 let (key, value) = &entries[i];
-                match node.put(key, value.clone()) {
+                match node.put(key.as_ref(), value.clone()) {
                     Ok(()) => stored[i] += 1,
                     Err(NodeDown) => {
                         // The node is gone; every entry of this group would
@@ -619,11 +692,11 @@ impl Dht {
             let (key, value) = &entries[i];
             for id in inner
                 .ring
-                .successors(key, inner.nodes.len())
+                .successors(key.as_ref(), inner.nodes.len())
                 .into_iter()
                 .skip(inner.replication)
             {
-                if self.try_put_on(&inner, id, key, value) {
+                if self.try_put_on(&inner, id, key.as_ref(), value) {
                     *count += 1;
                     if *count >= inner.replication {
                         break;
@@ -656,7 +729,7 @@ impl Dht {
     /// back `None` *after* a dead-node refusal, i.e. the key may be held by
     /// a dead replica awaiting repair. A miss with every replica answering
     /// is authoritative and never retried.
-    pub fn get_many(&self, keys: &[Vec<u8>]) -> DhtResult<Vec<Option<Bytes>>> {
+    pub fn get_many<K: AsRef<[u8]>>(&self, keys: &[K]) -> DhtResult<Vec<Option<Bytes>>> {
         let policy = self.retry_policy();
         let mut backoff = policy.backoff;
         let mut attempt = 0;
@@ -677,7 +750,7 @@ impl Dht {
     /// One batched lookup pass. The second return value reports whether any
     /// requested key is still missing after a refused exchange — the
     /// transient the retry wrapper waits out.
-    fn get_many_once(&self, keys: &[Vec<u8>]) -> DhtResult<(Vec<Option<Bytes>>, bool)> {
+    fn get_many_once<K: AsRef<[u8]>>(&self, keys: &[K]) -> DhtResult<(Vec<Option<Bytes>>, bool)> {
         if keys.is_empty() {
             return Ok((Vec::new(), false));
         }
@@ -687,7 +760,7 @@ impl Dht {
         }
         let replica_lists: Vec<Vec<DhtNodeId>> = keys
             .iter()
-            .map(|k| inner.ring.successors(k, inner.replication))
+            .map(|k| inner.ring.successors(k.as_ref(), inner.replication))
             .collect();
         let mut out: Vec<Option<Bytes>> = vec![None; keys.len()];
         let mut saw_down = vec![false; keys.len()];
@@ -710,14 +783,19 @@ impl Dht {
             }
             for (id, indices) in &per_node {
                 let node = &inner.nodes[id];
-                self.count_read_round_trip();
+                // One message per node: the request carries the group's
+                // keys, the response whatever values the node held.
+                let mut resp_bytes = 0u64;
                 for &i in indices {
                     if down_nodes.contains(id) {
                         saw_down[i] = true;
                         continue;
                     }
-                    match node.get(&keys[i]) {
-                        Ok(v) => out[i] = v,
+                    match node.get(keys[i].as_ref()) {
+                        Ok(v) => {
+                            resp_bytes += v.as_ref().map_or(0, |b| b.len() as u64);
+                            out[i] = v;
+                        }
                         Err(NodeDown) => {
                             down_nodes.insert(*id);
                             saw_down[i] = true;
@@ -725,6 +803,8 @@ impl Dht {
                         }
                     }
                 }
+                let req_bytes: u64 = indices.iter().map(|&i| keys[i].as_ref().len() as u64).sum();
+                self.charge_read(*id, req_bytes + MSG_OVERHEAD, resp_bytes + MSG_OVERHEAD);
             }
         }
         // Keys that saw a refusal may have failed over past the replica set
@@ -736,12 +816,21 @@ impl Dht {
             }
             for id in inner
                 .ring
-                .successors(&keys[i], inner.nodes.len())
+                .successors(keys[i].as_ref(), inner.nodes.len())
                 .into_iter()
                 .skip(replica_lists[i].len())
             {
-                self.count_read_round_trip();
-                if let Ok(Some(v)) = inner.nodes[&id].get(&keys[i]) {
+                let resp = inner.nodes[&id].get(keys[i].as_ref());
+                let resp_bytes = match &resp {
+                    Ok(Some(v)) => v.len() as u64,
+                    _ => 0,
+                };
+                self.charge_read(
+                    id,
+                    keys[i].as_ref().len() as u64 + MSG_OVERHEAD,
+                    resp_bytes + MSG_OVERHEAD,
+                );
+                if let Ok(Some(v)) = resp {
                     *missing = Some(v);
                     break;
                 }
@@ -1426,9 +1515,10 @@ mod tests {
         }
         // A missing key comes back as None, matching get()'s NotFound.
         assert_eq!(dht.get_many(&[b"missing".to_vec()]).unwrap(), vec![None]);
-        // Empty batches are no-ops.
-        dht.put_many(&[]).unwrap();
-        assert!(dht.get_many(&[]).unwrap().is_empty());
+        // Empty batches are no-ops. Keys are generic over AsRef<[u8]>, so
+        // empty slices need an explicit key type.
+        dht.put_many::<&[u8]>(&[]).unwrap();
+        assert!(dht.get_many::<&[u8]>(&[]).unwrap().is_empty());
     }
 
     #[test]
@@ -1482,6 +1572,33 @@ mod tests {
             dht.round_trips(),
             dht.read_round_trips() + dht.write_round_trips()
         );
+    }
+
+    #[test]
+    fn attached_wire_charges_simulated_time_and_bytes() {
+        use simcluster::netmodel::NetworkModel;
+        use simcluster::topology::ClusterTopology;
+        let topo = ClusterTopology::flat(4);
+        let net = Arc::new(wire::SimNet::new(
+            topo.clone(),
+            NetworkModel::grid5000_like(),
+        ));
+        let dht = Dht::new(DhtConfig {
+            nodes: 4,
+            replication: 2,
+            ..Default::default()
+        });
+        dht.attach_wire(net.clone(), topo.all_nodes().collect(), topo.node(0));
+        dht.put(b"key", Bytes::from_static(b"value")).unwrap();
+        dht.get(b"key").unwrap();
+        assert!(net.makespan() > simcluster::time::SimDuration::ZERO);
+        assert_eq!(net.exchanges(), dht.round_trips());
+        let snap = dht.wire_counters().snapshot();
+        assert_eq!(snap.messages, dht.round_trips());
+        // Two replica puts carry key+value+overhead each; the get's response
+        // carries the value back.
+        assert!(snap.bytes_sent >= 2 * (3 + 5 + MSG_OVERHEAD));
+        assert!(snap.bytes_received >= 5);
     }
 
     #[test]

@@ -52,6 +52,7 @@ use simcluster::topology::ClusterTopology;
 use simcluster::NodeId;
 use std::sync::Arc;
 use std::time::Duration;
+use wire::{Direction, Transport, MSG_OVERHEAD};
 
 /// Counters of the storage-materialized shuffle, the analogue of Hadoop's
 /// spilled-records / shuffle-bytes job counters. All zero for map-only jobs
@@ -82,6 +83,27 @@ pub struct ShuffleCounters {
     pub compaction_merged_spills: u64,
     /// Bytes of merged-run files the compactor wrote.
     pub compaction_bytes: u64,
+}
+
+impl ShuffleCounters {
+    /// Project the shuffle's data-plane traffic onto the shared
+    /// [`wire::CountersSnapshot`] schema used by every other boundary in
+    /// the stack: each positioned segment read is one read message whose
+    /// request is framing-only and whose response carries the fetched
+    /// bytes. Spill and compaction writes are local to the map node and
+    /// move nothing over this wire.
+    pub fn wire_snapshot(&self) -> wire::CountersSnapshot {
+        let sent = self.shuffle_read_round_trips * MSG_OVERHEAD;
+        let received = self.shuffle_read_bytes + self.shuffle_read_round_trips * MSG_OVERHEAD;
+        wire::CountersSnapshot {
+            messages: self.shuffle_read_round_trips,
+            read_messages: self.shuffle_read_round_trips,
+            write_messages: 0,
+            bytes_sent: sent,
+            bytes_received: received,
+            bytes_on_wire: sent + received,
+        }
+    }
 }
 
 /// Job-level counters and outcome, the analogue of Hadoop's job report.
@@ -136,6 +158,47 @@ pub struct JobTracker {
     topology: ClusterTopology,
     trackers: Vec<TaskTracker>,
     clock: Arc<dyn Clock>,
+    control: Option<ControlWire>,
+}
+
+/// The jobtracker <-> tasktracker control channel. When a transport is
+/// attached ([`JobTracker::with_transport`]), every task claim and every
+/// attempt-outcome report is charged as one small framed exchange between
+/// the slot's node and the jobtracker's home node — the heartbeat-carried
+/// RPCs of the Hadoop protocol. Control messages carry bookkeeping, not
+/// data, so both directions are framing-only.
+struct ControlWire {
+    transport: Arc<dyn Transport>,
+    counters: wire::Counters,
+    jt_node: NodeId,
+}
+
+impl ControlWire {
+    /// A slot asks the jobtracker for work: request out, assignment back.
+    fn charge_claim(&self, tracker: NodeId) {
+        self.counters
+            .record(Direction::Read, MSG_OVERHEAD, MSG_OVERHEAD);
+        self.transport.exchange(
+            tracker,
+            self.jt_node,
+            Direction::Read,
+            MSG_OVERHEAD,
+            MSG_OVERHEAD,
+        );
+    }
+
+    /// A slot reports an attempt outcome: status out, ack back.
+    fn charge_report(&self, tracker: NodeId) {
+        self.counters
+            .record(Direction::Write, MSG_OVERHEAD, MSG_OVERHEAD);
+        self.transport.exchange(
+            tracker,
+            self.jt_node,
+            Direction::Write,
+            MSG_OVERHEAD,
+            MSG_OVERHEAD,
+        );
+    }
 }
 
 /// Where a reduce task pulls one merge source from: a single map's spill, or
@@ -275,6 +338,7 @@ impl JobTracker {
             topology: topology.clone(),
             trackers,
             clock: Arc::new(WallClock::new()),
+            control: None,
         }
     }
 
@@ -285,6 +349,7 @@ impl JobTracker {
             topology: topology.clone(),
             trackers,
             clock: Arc::new(WallClock::new()),
+            control: None,
         }
     }
 
@@ -294,6 +359,28 @@ impl JobTracker {
     pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
         self.clock = clock;
         self
+    }
+
+    /// Builder-style transport attachment for the control plane: once set,
+    /// every task claim and outcome report between a tasktracker slot and
+    /// the jobtracker is charged as one small framed exchange on
+    /// `transport`, with the jobtracker homed at `jt_node`. With a
+    /// [`wire::SimNet`] this puts the master on the simulated network, so
+    /// its latency shows up in job makespans; control traffic is metered in
+    /// [`JobTracker::control_counters`].
+    pub fn with_transport(mut self, transport: Arc<dyn Transport>, jt_node: NodeId) -> Self {
+        self.control = Some(ControlWire {
+            transport,
+            counters: wire::Counters::new(),
+            jt_node,
+        });
+        self
+    }
+
+    /// Control-plane wire counters: claims are read exchanges, outcome
+    /// reports are writes. `None` until [`JobTracker::with_transport`].
+    pub fn control_counters(&self) -> Option<&wire::Counters> {
+        self.control.as_ref().map(|c| &c.counters)
     }
 
     /// The tasktrackers this jobtracker drives.
@@ -369,6 +456,7 @@ impl JobTracker {
         // built once and handed to the configured dispatcher — scoped tasks on
         // the shared executor pool, or (legacy) one scoped OS thread each.
         let mut slots: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        let control = self.control.as_ref();
         for tracker in &self.trackers {
             for _slot in 0..tracker.map_slots {
                 let map_state = &map_state;
@@ -392,6 +480,7 @@ impl JobTracker {
                         &output_dir,
                         max_attempts,
                         clock,
+                        control,
                         map_state,
                     );
                 }));
@@ -414,6 +503,7 @@ impl JobTracker {
                             partitions,
                             max_attempts,
                             clock,
+                            control,
                             map_state,
                             reduce_state,
                         );
@@ -753,6 +843,7 @@ fn map_worker_loop(
     output_dir: &str,
     max_attempts: usize,
     clock: &dyn Clock,
+    control: Option<&ControlWire>,
     state: &Mutex<MapPhase>,
 ) {
     loop {
@@ -783,6 +874,13 @@ fn map_worker_loop(
                 None
             }
         };
+        // Every successful claim is one control round trip to the master
+        // (the empty poll is local slot idling, not a wire message).
+        if claimed.is_some() {
+            if let Some(cw) = control {
+                cw.charge_claim(tracker.node);
+            }
+        }
         let (id, locality) = match claimed {
             Some(MapWork::Task(id, locality)) => (id, locality),
             Some(MapWork::Compact { start, len, seq }) => {
@@ -844,6 +942,11 @@ fn map_worker_loop(
         // it is cheap because `DistFs::rename` is a metadata-only namespace
         // operation in every backend — the data bytes were already written
         // to scratch outside the lock.
+        // The attempt reports its outcome (success or failure) before the
+        // commit arbitration — charged outside the phase lock.
+        if let Some(cw) = control {
+            cw.charge_report(tracker.node);
+        }
         let mut discard_scratch = true;
         {
             let mut s = state.lock();
@@ -1042,6 +1145,7 @@ fn reduce_worker_loop(
     partitions: usize,
     max_attempts: usize,
     clock: &dyn Clock,
+    control: Option<&ControlWire>,
     map_state: &Mutex<MapPhase>,
     state: &Mutex<ReducePhase>,
 ) {
@@ -1065,7 +1169,13 @@ fn reduce_worker_loop(
             }
         };
         let id = match claimed {
-            Some(c) => c,
+            Some(c) => {
+                // One control round trip per claim, as on the map side.
+                if let Some(cw) = control {
+                    cw.charge_claim(node);
+                }
+                c
+            }
             None => {
                 // Partitions are running on other slots; one could fail and
                 // requeue, so poll until the phase settles.
@@ -1095,6 +1205,10 @@ fn reduce_worker_loop(
                 )))
             });
 
+        // Report the attempt outcome to the master before arbitration.
+        if let Some(cw) = control {
+            cw.charge_report(node);
+        }
         let mut discard_scratch = true;
         {
             let mut s = state.lock();

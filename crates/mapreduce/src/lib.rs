@@ -217,6 +217,53 @@ mod tests {
     }
 
     #[test]
+    fn control_wire_charges_claims_and_reports_over_simnet() {
+        let (topo, fs) = bsfs_cluster(4);
+        fs.write_file("/in/words.txt", wordcount_input().as_bytes())
+            .unwrap();
+        let job = Job::new(
+            JobConfig::new("wordcount", InputSpec::Files(vec!["/in".into()]), "/out")
+                .with_split_size(20)
+                .with_reducers(3),
+            Arc::new(WordCountMapper),
+            Arc::new(SumReducer),
+        );
+        let net = Arc::new(wire::SimNet::new(
+            topo.clone(),
+            simcluster::netmodel::NetworkModel::grid5000_like(),
+        ));
+        let jt_node = topo.all_nodes().next().unwrap();
+        let jt = JobTracker::new(&topo)
+            .with_transport(Arc::clone(&net) as Arc<dyn wire::Transport>, jt_node);
+        let result = jt.run(&fs, &job).unwrap();
+        let control = jt.control_counters().expect("transport attached");
+        // Every winning attempt is at least one claim (read) plus one
+        // outcome report (write); retries and losers only add more.
+        let tasks = (result.map_tasks + result.reduce_tasks) as u64;
+        assert!(
+            control.read_messages() >= tasks,
+            "claims {} < tasks {tasks}",
+            control.read_messages()
+        );
+        assert!(
+            control.write_messages() >= tasks,
+            "reports {} < tasks {tasks}",
+            control.write_messages()
+        );
+        // The storage layer here runs in-process, so the SimNet carries
+        // only the control plane: its exchange count must equal the
+        // control counters, and the master's latency shows up as time.
+        assert_eq!(net.exchanges(), control.messages());
+        assert!(net.makespan() > simcluster::time::SimDuration::ZERO);
+        // The shuffle counters project onto the same wire schema.
+        let snap = result.shuffle.wire_snapshot();
+        assert_eq!(snap.read_messages, result.shuffle.shuffle_read_round_trips);
+        assert_eq!(snap.write_messages, 0);
+        assert!(snap.bytes_received >= result.shuffle.shuffle_read_bytes);
+        assert_eq!(snap.bytes_on_wire, snap.bytes_sent + snap.bytes_received);
+    }
+
+    #[test]
     fn both_backends_produce_identical_results() {
         let (topo_b, fs_b) = bsfs_cluster(4);
         let (topo_h, fs_h) = hdfs_cluster(4);

@@ -134,6 +134,15 @@ impl NetworkModel {
         }
     }
 
+    /// The narrowest capacity along a path — the bandwidth a single
+    /// uncontended flow over those links can sustain. Empty paths are
+    /// unconstrained (infinite capacity).
+    pub fn path_capacity(&self, path: &[LinkId]) -> f64 {
+        path.iter()
+            .map(|l| self.capacity(*l))
+            .fold(f64::INFINITY, f64::min)
+    }
+
     /// The ordered list of links a transfer from `src` to `dst` traverses.
     pub fn path(&self, topo: &ClusterTopology, src: NodeId, dst: NodeId) -> Vec<LinkId> {
         match topo.proximity(src, dst) {
@@ -166,11 +175,7 @@ impl NetworkModel {
         dst: NodeId,
         bytes: u64,
     ) -> SimDuration {
-        let bottleneck = self
-            .path(topo, src, dst)
-            .into_iter()
-            .map(|l| self.capacity(l))
-            .fold(f64::INFINITY, f64::min);
+        let bottleneck = self.path_capacity(&self.path(topo, src, dst));
         self.latency(topo.proximity(src, dst)) + crate::time::transfer_time(bytes, bottleneck)
     }
 }
@@ -262,6 +267,17 @@ mod tests {
         assert_eq!(m.capacity(LinkId::RackDown(1)), m.rack_uplink_bw);
         assert_eq!(m.capacity(LinkId::SiteUp(0)), m.backbone_bw);
         assert_eq!(m.capacity(LinkId::Loopback(9)), m.loopback_bw);
+    }
+
+    #[test]
+    fn path_capacity_is_the_bottleneck() {
+        let t = two_site_topo();
+        let m = NetworkModel::grid5000_like();
+        let wan = m.path(&t, t.node(0), t.node(4));
+        // NICs are the narrowest hop of the grid5000-like model.
+        assert_eq!(m.path_capacity(&wan), m.nic_bw);
+        assert_eq!(m.path_capacity(&[LinkId::SiteUp(0)]), m.backbone_bw);
+        assert_eq!(m.path_capacity(&[]), f64::INFINITY);
     }
 
     #[test]

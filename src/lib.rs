@@ -11,4 +11,5 @@ pub use hdfs_sim as hdfs;
 pub use kvstore;
 pub use mapreduce;
 pub use simcluster;
+pub use wire;
 pub use workloads;
