@@ -1,0 +1,636 @@
+//! E12 — multi-tenant job scheduling: fair-share vs FIFO vs capacity.
+//!
+//! Two parts:
+//!
+//! 1. **Slot-market simulation.** Hundreds of small mixed jobs
+//!    (grep / wordcount / sort / join shapes) from three tenants — a heavy
+//!    batch tenant flooding the queue early, a light ad-hoc tenant trickling
+//!    tiny jobs in, and a medium service tenant — compete for one shared
+//!    slot pool on deterministic virtual ticks. The *real* scheduler
+//!    implementations ([`FifoScheduler`], [`FairScheduler`],
+//!    [`CapacityScheduler`]) arbitrate every slot grant, the *real*
+//!    [`LatePolicy`] (longest-remaining-time estimator over per-job
+//!    [`RuntimeHistory`]) decides speculation on idle slots, and starved
+//!    tenants preempt speculative clones exactly like the jobtracker's
+//!    engine. Only the task execution itself is simulated (a task is
+//!    `duration` ticks, stragglers run slower), so the experiment scales to
+//!    hundreds of jobs with zero nondeterminism. Reported per scheduler:
+//!    per-tenant p50/p99 job latency and mean slowdown, Jain's fairness
+//!    index over per-tenant *contended slot shares* (of the ticks where
+//!    outstanding work exceeded the pool, what fraction of its entitled
+//!    share each tenant actually held — the quantity the scheduler
+//!    arbitrates; job slowdown also reflects a tenant's own backlog, which
+//!    no scheduler can remove), and preemption waste.
+//!
+//! 2. **Engine smoke.** A handful of real jobs submitted concurrently
+//!    through [`JobTracker::submit`] over one shared BSFS deployment under
+//!    the fair scheduler — the end-to-end path (admission queue, slot
+//!    leases, scoped scratch, ledger) exercised for real.
+//!
+//! Headline claims asserted: under the batch flood the fair scheduler cuts
+//! the light tenant's p99 latency vs FIFO; fair-share keeps Jain ≥ 0.8; no
+//! submitted job is ever lost; the simulation is bit-deterministic.
+//!
+//! `BENCH_SMOKE=1` shrinks everything to a does-it-run configuration (CI).
+
+use mapreduce::fs::DistFs;
+use mapreduce::jobsched::JobView;
+use mapreduce::jobtracker::JobTracker;
+use mapreduce::{
+    AttemptView, CapacityScheduler, FairScheduler, FifoScheduler, JobScheduler, LatePolicy,
+    RuntimeHistory, SlotCaps, SlotKind, SpeculationPolicy,
+};
+use simcluster::metrics::{jain_fairness_index, percentile};
+use std::sync::Arc;
+use std::time::Duration;
+use workloads::{distributed_grep_job, word_count_job, TextGenerator};
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG (SplitMix64)
+// ---------------------------------------------------------------------------
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workload model
+// ---------------------------------------------------------------------------
+
+const TENANTS: [&str; 3] = ["batch", "adhoc", "svc"];
+const STRAGGLER_FACTOR: u64 = 8;
+
+struct SimTask {
+    /// Nominal ticks on a healthy node (what a speculative clone costs).
+    duration: u64,
+    /// The primary attempt's slowdown (1 = healthy, STRAGGLER_FACTOR = a
+    /// straggling node).
+    slow: u64,
+    committed: bool,
+    has_clone: bool,
+}
+
+struct SimJob {
+    tenant: usize,
+    app: &'static str,
+    arrival: u64,
+    tasks: Vec<SimTask>,
+    next_task: usize,
+    remaining: usize,
+    held: usize,
+    speculative: usize,
+    done_at: Option<u64>,
+    history: RuntimeHistory,
+}
+
+impl SimJob {
+    fn demand(&self) -> usize {
+        if self.done_at.is_some() {
+            0
+        } else {
+            self.tasks.len() - self.next_task
+        }
+    }
+
+    /// Ideal serial work: the nominal tick count of all tasks.
+    fn work(&self) -> u64 {
+        self.tasks.iter().map(|t| t.duration).sum()
+    }
+}
+
+/// Draw the synthetic job mix: a batch flood early, light ad-hoc jobs and a
+/// steady service tenant spread over the arrival horizon.
+fn generate_jobs(rng: &mut SplitMix64, total: usize, horizon: u64) -> Vec<SimJob> {
+    let mut jobs = Vec::with_capacity(total);
+    for i in 0..total {
+        let (tenant, app, ntasks, arrival) = match i % 10 {
+            // 70% heavy batch jobs, flooding in during the first tenth.
+            0..=6 => {
+                let app = match i % 3 {
+                    0 => "wordcount",
+                    1 => "sort",
+                    _ => "join",
+                };
+                (0, app, rng.range(8, 25), rng.range(0, horizon / 10 + 1))
+            }
+            // 20% tiny ad-hoc grep jobs across the whole horizon.
+            7..=8 => (1, "grep", rng.range(1, 4), rng.range(0, horizon)),
+            // 10% medium service jobs across the whole horizon.
+            _ => (2, "wordcount", rng.range(2, 7), rng.range(0, horizon)),
+        };
+        let tasks = (0..ntasks)
+            .map(|_| SimTask {
+                duration: rng.range(2, 8),
+                // 1 in 8 primary attempts lands on a straggling node.
+                slow: if rng.next_u64().is_multiple_of(8) {
+                    STRAGGLER_FACTOR
+                } else {
+                    1
+                },
+                committed: false,
+                has_clone: false,
+            })
+            .collect();
+        jobs.push(SimJob {
+            tenant,
+            app,
+            arrival,
+            tasks,
+            next_task: 0,
+            remaining: ntasks as usize,
+            held: 0,
+            speculative: 0,
+            done_at: None,
+            history: RuntimeHistory::new(),
+        });
+    }
+    jobs
+}
+
+// ---------------------------------------------------------------------------
+// The slot market
+// ---------------------------------------------------------------------------
+
+struct Attempt {
+    job: usize,
+    task: usize,
+    started: u64,
+    finish: u64,
+    speculative: bool,
+}
+
+#[derive(serde::Serialize, Clone, PartialEq)]
+struct TenantStats {
+    tenant: String,
+    jobs: usize,
+    p50_latency: f64,
+    p99_latency: f64,
+    mean_slowdown: f64,
+    /// Mean fraction of its entitled slot share the tenant held during
+    /// contended ticks (1.0 = always fully served while the pool was tight).
+    slot_share: f64,
+}
+
+#[derive(serde::Serialize, Clone, PartialEq)]
+struct SchedulerStats {
+    scheduler: String,
+    makespan: u64,
+    jobs_completed: usize,
+    jain_slot_shares: f64,
+    clones_launched: u64,
+    clone_wins: u64,
+    preempted: u64,
+    wasted_ticks: u64,
+    tenants: Vec<TenantStats>,
+}
+
+fn simulate(
+    scheduler: &dyn JobScheduler,
+    total_slots: usize,
+    njobs: usize,
+    horizon: u64,
+    seed: u64,
+) -> SchedulerStats {
+    let mut rng = SplitMix64(seed);
+    let mut jobs = generate_jobs(&mut rng, njobs, horizon);
+    let late = LatePolicy {
+        late_factor: 1.0,
+        min_runtime: Duration::from_secs(2),
+        min_completed: 1,
+    };
+    let mut attempts: Vec<Attempt> = Vec::new();
+    let mut free = total_slots;
+    let mut clones_launched = 0u64;
+    let mut clone_wins = 0u64;
+    let mut preempted = 0u64;
+    let mut wasted_ticks = 0u64;
+    let mut sat_sum = [0.0f64; 3];
+    let mut sat_ticks = [0u64; 3];
+    let mut t = 0u64;
+    let deadline = horizon * 1000;
+
+    while jobs.iter().any(|j| j.done_at.is_none()) {
+        assert!(t < deadline, "simulation failed to converge");
+
+        // Completions at this tick. First finisher of a task commits; a
+        // rival attempt of an already-committed task is waste.
+        let mut i = 0;
+        while i < attempts.len() {
+            if attempts[i].finish != t {
+                i += 1;
+                continue;
+            }
+            let a = attempts.remove(i);
+            free += 1;
+            let job = &mut jobs[a.job];
+            job.held -= 1;
+            if a.speculative {
+                job.speculative -= 1;
+            }
+            if job.tasks[a.task].committed {
+                wasted_ticks += t - a.started;
+            } else {
+                job.tasks[a.task].committed = true;
+                job.remaining -= 1;
+                job.history.record(Duration::from_secs(t - a.started));
+                if a.speculative {
+                    clone_wins += 1;
+                }
+                if job.remaining == 0 {
+                    job.done_at = Some(t);
+                }
+            }
+        }
+
+        // Slot allocation: the real scheduler arbitrates every grant;
+        // speculation only uses slots no job has demand for; starved
+        // tenants reclaim slots from speculative clones.
+        loop {
+            let views: Vec<JobView> = jobs
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| j.arrival <= t && j.done_at.is_none())
+                .map(|(id, j)| JobView {
+                    seq: id as u64,
+                    tenant: TENANTS[j.tenant].to_string(),
+                    demand: j.demand(),
+                    held: j.held,
+                    speculative: j.speculative,
+                })
+                .collect();
+            if free == 0 {
+                let starved = scheduler.starved(SlotKind::Map, total_slots, &views);
+                if !starved.is_empty() {
+                    // Preempt the youngest clone (least sunk work), exactly
+                    // the duplicate-work-first policy of the engine.
+                    if let Some(pos) = attempts
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, a)| a.speculative)
+                        .max_by_key(|(_, a)| a.started)
+                        .map(|(pos, _)| pos)
+                    {
+                        let a = attempts.remove(pos);
+                        free += 1;
+                        preempted += 1;
+                        wasted_ticks += t - a.started;
+                        let job = &mut jobs[a.job];
+                        job.held -= 1;
+                        job.speculative -= 1;
+                        job.tasks[a.task].has_clone = false;
+                        continue;
+                    }
+                }
+                break;
+            }
+            if let Some(v) = scheduler.pick(SlotKind::Map, total_slots, &views) {
+                let id = views[v].seq as usize;
+                let job = &mut jobs[id];
+                let task = job.next_task;
+                job.next_task += 1;
+                job.held += 1;
+                let dur = job.tasks[task].duration * job.tasks[task].slow;
+                attempts.push(Attempt {
+                    job: id,
+                    task,
+                    started: t,
+                    finish: t + dur,
+                    speculative: false,
+                });
+                free -= 1;
+                continue;
+            }
+            // No demand anywhere: offer idle slots to LATE speculation.
+            let candidate = attempts
+                .iter()
+                .filter(|a| {
+                    !a.speculative
+                        && !jobs[a.job].tasks[a.task].committed
+                        && !jobs[a.job].tasks[a.task].has_clone
+                })
+                .filter(|a| {
+                    let total = jobs[a.job].tasks[a.task].duration * jobs[a.job].tasks[a.task].slow;
+                    let view = AttemptView {
+                        runtime: Duration::from_secs(t - a.started),
+                        progress: ((t - a.started) as f64 / total as f64).min(0.99),
+                    };
+                    late.should_speculate(view, &jobs[a.job].history)
+                })
+                .max_by_key(|a| {
+                    let total = jobs[a.job].tasks[a.task].duration * jobs[a.job].tasks[a.task].slow;
+                    let view = AttemptView {
+                        runtime: Duration::from_secs(t - a.started),
+                        progress: ((t - a.started) as f64 / total as f64).min(0.99),
+                    };
+                    late.urgency(view)
+                })
+                .map(|a| (a.job, a.task));
+            if let Some((jid, task)) = candidate {
+                let job = &mut jobs[jid];
+                job.tasks[task].has_clone = true;
+                job.held += 1;
+                job.speculative += 1;
+                let dur = job.tasks[task].duration; // clone runs healthy
+                attempts.push(Attempt {
+                    job: jid,
+                    task,
+                    started: t,
+                    finish: t + dur,
+                    speculative: true,
+                });
+                clones_launched += 1;
+                free -= 1;
+                continue;
+            }
+            break;
+        }
+
+        // Fairness sample: while outstanding work exceeds the pool, how much
+        // of its entitled share does each tenant actually hold? Entitlement
+        // is an equal split among tenants that want slots, capped at what
+        // the tenant could use — so a light tenant fully served counts as
+        // 1.0 even though it holds few slots.
+        let mut want = [0usize; 3];
+        let mut held_by = [0usize; 3];
+        for j in jobs
+            .iter()
+            .filter(|j| j.arrival <= t && j.done_at.is_none())
+        {
+            want[j.tenant] += j.held + j.demand();
+            held_by[j.tenant] += j.held;
+        }
+        let wanting = want.iter().filter(|w| **w > 0).count();
+        if wanting > 0 && want.iter().sum::<usize>() > total_slots {
+            let equal_share = (total_slots / wanting).max(1);
+            for ti in 0..TENANTS.len() {
+                if want[ti] > 0 {
+                    let target = want[ti].min(equal_share);
+                    sat_sum[ti] += (held_by[ti] as f64 / target as f64).min(1.0);
+                    sat_ticks[ti] += 1;
+                }
+            }
+        }
+        t += 1;
+    }
+
+    let makespan = t;
+    let mut tenants = Vec::new();
+    for (ti, name) in TENANTS.iter().enumerate() {
+        let latencies: Vec<f64> = jobs
+            .iter()
+            .filter(|j| j.tenant == ti)
+            .map(|j| (j.done_at.expect("all jobs completed") - j.arrival) as f64)
+            .collect();
+        let slowdowns: Vec<f64> = jobs
+            .iter()
+            .filter(|j| j.tenant == ti)
+            .map(|j| (j.done_at.unwrap() - j.arrival) as f64 / (j.work() as f64).max(1.0))
+            .collect();
+        tenants.push(TenantStats {
+            tenant: name.to_string(),
+            jobs: latencies.len(),
+            p50_latency: percentile(&latencies, 50.0),
+            p99_latency: percentile(&latencies, 99.0),
+            mean_slowdown: slowdowns.iter().sum::<f64>() / slowdowns.len().max(1) as f64,
+            slot_share: if sat_ticks[ti] > 0 {
+                sat_sum[ti] / sat_ticks[ti] as f64
+            } else {
+                1.0 // never wanted a slot while the pool was contended
+            },
+        });
+    }
+    let jain = jain_fairness_index(&tenants.iter().map(|s| s.slot_share).collect::<Vec<_>>());
+    SchedulerStats {
+        scheduler: scheduler.name().to_string(),
+        makespan,
+        jobs_completed: jobs.len(),
+        jain_slot_shares: jain,
+        clones_launched,
+        clone_wins,
+        preempted,
+        wasted_ticks,
+        tenants,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine smoke: real concurrent submissions over one BSFS deployment
+// ---------------------------------------------------------------------------
+
+#[derive(serde::Serialize)]
+struct EngineSmoke {
+    scheduler: &'static str,
+    jobs_submitted: usize,
+    jobs_completed: u64,
+    tenants: Vec<String>,
+}
+
+fn engine_smoke(lines: usize) -> EngineSmoke {
+    let topo = bench::app_topology();
+    let (bsfs, _) = bench::app_backends(1 << 18);
+    let fs: Arc<dyn DistFs> = Arc::new(bsfs);
+    let mut generator = TextGenerator::new(2026);
+    fs.write_file("/in/text.txt", generator.sentences(lines).as_bytes())
+        .unwrap();
+    let jt = JobTracker::new(&topo)
+        .with_scheduler(Arc::new(FairScheduler::new().with_weight("adhoc", 2.0)))
+        .with_max_concurrent_jobs(4);
+    let specs = [
+        ("batch", 0usize),
+        ("batch", 0),
+        ("batch", 1),
+        ("adhoc", 1),
+        ("adhoc", 1),
+        ("svc", 0),
+    ];
+    let handles: Vec<_> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, (tenant, shape))| {
+            let out = format!("/out-{i}");
+            let mut job = match shape {
+                0 => word_count_job(vec!["/in/text.txt".into()], &out, 2, 4096),
+                _ => distributed_grep_job(vec!["/in/text.txt".into()], &out, "a", 4096),
+            };
+            job.config.tenant = tenant.to_string();
+            jt.submit(fs.clone(), job).unwrap()
+        })
+        .collect();
+    for h in handles {
+        let result = h.wait().expect("submitted job must complete");
+        assert!(!result.output_files.is_empty());
+    }
+    let tenants: Vec<String> = ["batch", "adhoc", "svc"]
+        .iter()
+        .map(|t| format!("{t}: {:?}", jt.tenant_usage(t)))
+        .collect();
+    let completed: u64 = ["batch", "adhoc", "svc"]
+        .iter()
+        .map(|t| jt.tenant_usage(t).jobs_completed)
+        .sum();
+    assert_eq!(
+        completed,
+        specs.len() as u64,
+        "no submitted job may be lost"
+    );
+    EngineSmoke {
+        scheduler: "fair",
+        jobs_submitted: specs.len(),
+        jobs_completed: completed,
+        tenants,
+    }
+}
+
+fn main() {
+    let smoke = bench::smoke_mode();
+    let (njobs, total_slots, horizon, lines) = if smoke {
+        (60, 12, 200, 300)
+    } else {
+        (300, 24, 1000, 2000)
+    };
+    let seed = 2026;
+
+    println!(
+        "== E12: multi-tenant scheduling ({njobs} jobs, {} tenants, {total_slots} slots, \
+         LATE speculation, deterministic ticks) ==",
+        TENANTS.len()
+    );
+    // The job mix all three schedulers compete over (same seed, same draw).
+    let mix: std::collections::BTreeMap<&'static str, usize> = {
+        let mut rng = SplitMix64(seed);
+        let jobs = generate_jobs(&mut rng, njobs, horizon);
+        let mut counts = std::collections::BTreeMap::new();
+        for j in &jobs {
+            *counts.entry(j.app).or_insert(0) += 1;
+        }
+        counts
+    };
+    println!("job mix: {mix:?}");
+
+    let schedulers: Vec<Box<dyn JobScheduler>> = vec![
+        Box::new(FifoScheduler),
+        Box::new(FairScheduler::new().with_weight("adhoc", 1.0)),
+        Box::new(CapacityScheduler::new().with_cap(
+            "batch",
+            SlotCaps {
+                map: total_slots * 2 / 3,
+                reduce: total_slots * 2 / 3,
+            },
+        )),
+    ];
+    let mut runs: Vec<SchedulerStats> = Vec::new();
+    for s in &schedulers {
+        let stats = simulate(&**s, total_slots, njobs, horizon, seed);
+        // Bit-determinism: the same seed must reproduce the same metrics.
+        let again = simulate(&**s, total_slots, njobs, horizon, seed);
+        assert!(
+            stats == again,
+            "{}: simulation must be deterministic",
+            stats.scheduler
+        );
+        println!(
+            "{:<9} makespan {:>6} | jain {:.3} | clones {:>4} (wins {:>3}) | \
+             preempted {:>3} | waste {:>6} ticks",
+            stats.scheduler,
+            stats.makespan,
+            stats.jain_slot_shares,
+            stats.clones_launched,
+            stats.clone_wins,
+            stats.preempted,
+            stats.wasted_ticks
+        );
+        for ts in &stats.tenants {
+            println!(
+                "  {:<6} {:>3} jobs | p50 {:>7.1} | p99 {:>7.1} | mean slowdown {:>6.2} | \
+                 slot share {:>4.2}",
+                ts.tenant, ts.jobs, ts.p50_latency, ts.p99_latency, ts.mean_slowdown, ts.slot_share
+            );
+        }
+        runs.push(stats);
+    }
+
+    let fifo = &runs[0];
+    let fair = &runs[1];
+    let light = |r: &SchedulerStats| {
+        r.tenants
+            .iter()
+            .find(|t| t.tenant == "adhoc")
+            .unwrap()
+            .clone()
+    };
+    assert_eq!(fifo.jobs_completed, njobs, "FIFO must not lose jobs");
+    assert!(
+        runs.iter().all(|r| r.jobs_completed == njobs),
+        "no scheduler may lose jobs"
+    );
+    assert!(
+        light(fair).p99_latency < light(fifo).p99_latency,
+        "fair share must cut the light tenant's p99 under the batch flood \
+         (fair {:.1} vs fifo {:.1})",
+        light(fair).p99_latency,
+        light(fifo).p99_latency
+    );
+    assert!(
+        fair.jain_slot_shares >= 0.8,
+        "fair share must keep Jain >= 0.8, got {:.3}",
+        fair.jain_slot_shares
+    );
+    assert!(
+        fair.jain_slot_shares >= fifo.jain_slot_shares,
+        "fair share must not be less fair than FIFO ({:.3} vs {:.3})",
+        fair.jain_slot_shares,
+        fifo.jain_slot_shares
+    );
+    println!(
+        "\nfair vs fifo: adhoc p99 {:.1} -> {:.1} ({:+.1}%), jain {:.3} -> {:.3}",
+        light(fifo).p99_latency,
+        light(fair).p99_latency,
+        100.0 * (light(fair).p99_latency / light(fifo).p99_latency - 1.0),
+        fifo.jain_slot_shares,
+        fair.jain_slot_shares
+    );
+
+    println!("\n-- engine smoke: concurrent submits over one BSFS deployment --");
+    let engine = engine_smoke(lines);
+    for t in &engine.tenants {
+        println!("  {t}");
+    }
+
+    #[derive(serde::Serialize)]
+    struct Snapshot {
+        experiment: &'static str,
+        smoke: bool,
+        jobs: usize,
+        slots: usize,
+        seed: u64,
+        mix: std::collections::BTreeMap<&'static str, usize>,
+        sim: Vec<SchedulerStats>,
+        engine: EngineSmoke,
+    }
+    bench::emit_bench_json(
+        "E12",
+        &Snapshot {
+            experiment: "E12",
+            smoke,
+            jobs: njobs,
+            slots: total_slots,
+            seed,
+            mix,
+            sim: runs,
+            engine,
+        },
+    );
+}

@@ -24,6 +24,9 @@ pub enum MrError {
     InputNotFound(String),
     /// The output directory already exists (Hadoop refuses to clobber output).
     OutputExists(String),
+    /// A submit was refused because the job's tenant is over one of its
+    /// admission quotas (queue depth, namespace or storage budget).
+    QuotaExceeded { tenant: String, reason: String },
 }
 
 impl fmt::Display for MrError {
@@ -43,6 +46,9 @@ impl fmt::Display for MrError {
             }
             MrError::InputNotFound(p) => write!(f, "input path not found: {p}"),
             MrError::OutputExists(p) => write!(f, "output path already exists: {p}"),
+            MrError::QuotaExceeded { tenant, reason } => {
+                write!(f, "tenant {tenant} over quota: {reason}")
+            }
         }
     }
 }
@@ -70,6 +76,12 @@ mod tests {
         assert!(MrError::OutputExists("/out".into())
             .to_string()
             .contains("/out"));
+        let e = MrError::QuotaExceeded {
+            tenant: "acme".into(),
+            reason: "queue full".into(),
+        };
+        assert!(e.to_string().contains("acme"));
+        assert!(e.to_string().contains("queue full"));
         let e = MrError::TaskFailed {
             task: "map-3".into(),
             attempts: 4,

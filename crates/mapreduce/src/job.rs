@@ -155,6 +155,10 @@ pub enum InputSpec {
 pub struct JobConfig {
     /// Human-readable job name (used in reports).
     pub name: String,
+    /// The tenant the job is accounted to: fair-share weights, capacity
+    /// caps, and admission quotas are all keyed by this string. Every job
+    /// belongs to `"default"` unless overridden.
+    pub tenant: String,
     /// Input description.
     pub input: InputSpec,
     /// Directory the output `part-*` files are written to. Must not exist.
@@ -188,6 +192,7 @@ impl fmt::Debug for JobConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("JobConfig")
             .field("name", &self.name)
+            .field("tenant", &self.tenant)
             .field("input", &self.input)
             .field("output_dir", &self.output_dir)
             .field("num_reducers", &self.num_reducers)
@@ -206,6 +211,7 @@ impl JobConfig {
     pub fn new(name: impl Into<String>, input: InputSpec, output_dir: impl Into<String>) -> Self {
         JobConfig {
             name: name.into(),
+            tenant: "default".into(),
             input,
             output_dir: output_dir.into(),
             num_reducers: 1,
@@ -215,6 +221,13 @@ impl JobConfig {
             speculation: None,
             compaction_threshold: None,
         }
+    }
+
+    /// Builder-style tenant assignment (multi-tenant scheduling and quotas
+    /// are keyed by tenant).
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = tenant.into();
+        self
     }
 
     /// Builder-style override of the reducer count.
@@ -371,6 +384,10 @@ mod tests {
             "attempts are clamped to at least one"
         );
         assert_eq!(c.name, "grep");
+        assert_eq!(c.tenant, "default", "jobs belong to 'default' by default");
+        let c = c.with_tenant("acme");
+        assert_eq!(c.tenant, "acme");
+        assert!(format!("{c:?}").contains("acme"));
     }
 
     #[test]

@@ -9,9 +9,31 @@
 //! but bounded by the pool width rather than by `trackers x slots` dedicated
 //! threads.
 //!
+//! ## Multi-tenant job scheduling
+//!
+//! The jobtracker runs many jobs at once. [`JobTracker::submit`] enqueues a
+//! job and returns a [`JobHandle`]; [`JobTracker::run`] is the
+//! submit-and-wait shim. Admission is controlled per tenant by
+//! [`TenantQuota`]s (queue depth, running jobs, namespace/storage budgets
+//! checked against the usage ledger at submit), and the order queued jobs
+//! activate in is the configured [`JobScheduler`]'s choice. Once running,
+//! every job's slot loops compete for one shared pool of per-node map and
+//! reduce *slot leases*: before claiming work, a loop publishes its job's
+//! current demand and asks the scheduler for a grant; after each work item
+//! the lease goes back to the pool. FIFO, weighted fair-share, and hard-cap
+//! capacity policies live in [`crate::jobsched`]. Speculative clones only
+//! ever run on leases no job has real demand for, and when the fair
+//! scheduler reports a tenant starved of its entitlement while the pool is
+//! exhausted, running clones are preempted (aborted mid-task via their
+//! progress callback) — duplicate work is sacrificed first, exactly like
+//! Hadoop's fair-scheduler preemption.
+//!
 //! Intermediate data flows through the storage layer ([`crate::shuffle`]):
-//! map tasks spill sorted, partition-bucketed files under
-//! `<output>/_shuffle/`, and reduce tasks pull their partition's segment from
+//! map tasks spill sorted, partition-bucketed files under a per-execution
+//! scratch namespace (`<output>/_shuffle-<tag>/`, see
+//! [`shuffle::JobScratch`] — scoped so concurrent jobs, or one tenant
+//! resubmitting the same config, can never clobber each other's
+//! intermediates), and reduce tasks pull their partition's segment from
 //! every committed map file with positioned reads — starting as soon as
 //! individual map outputs commit, not behind a global map barrier. All task
 //! output (spills and `part-*` files alike) goes through the
@@ -39,18 +61,23 @@
 use crate::error::{MrError, MrResult};
 use crate::fs::DistFs;
 use crate::job::Job;
+use crate::jobsched::{
+    FifoScheduler, JobScheduler, JobView, QueuedView, SlotKind, TenantQuota, TenantUsage,
+};
 use crate::scheduler::{classify, pick_map_task, Locality, LocalityCounters};
-use crate::shuffle;
+use crate::shuffle::{self, JobScratch};
 use crate::split::{compute_splits, InputSplit};
 use crate::tasktracker::{
-    group_by_key, run_map_task, run_reduce_task, write_output_file, FailureVerdict, MapTaskOutput,
-    SpeculationCounters, TaskAttemptId, TaskBook, TaskTracker,
+    group_by_key, run_map_task, run_map_task_with_progress, run_reduce_task, write_output_file,
+    FailureVerdict, MapTaskOutput, SpeculationCounters, TaskAttemptId, TaskBook, TaskTracker,
 };
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use simcluster::clock::{Clock, WallClock};
 use simcluster::topology::ClusterTopology;
 use simcluster::NodeId;
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 use wire::{Direction, Transport, MSG_OVERHEAD};
 
@@ -138,8 +165,9 @@ pub struct JobResult {
     /// over both phases. All zero when the job sets no speculation policy.
     pub speculation: SpeculationCounters,
     /// Duration of the job on the jobtracker's [`Clock`]: wall-clock time in
-    /// production, virtual time under a `SimClock`. Measured to the commit of
-    /// the last task, not to the exit of losing speculative attempts.
+    /// production, virtual time under a `SimClock`. Measured from activation
+    /// to the commit of the last task — queueing delay behind other jobs is
+    /// not included (measure it around [`JobTracker::submit`]).
     pub elapsed: Duration,
     /// Paths of the `part-*` output files.
     pub output_files: Vec<String>,
@@ -153,12 +181,17 @@ impl JobResult {
     }
 }
 
-/// The framework master.
+/// The framework master. Cheap to clone: clones share the tasktrackers, the
+/// clock, the control wire, and the whole multi-tenant engine (admission
+/// queue, slot pool, quotas, ledger), so a clone moved into a driver thread
+/// still schedules against the same cluster.
+#[derive(Clone)]
 pub struct JobTracker {
     topology: ClusterTopology,
     trackers: Vec<TaskTracker>,
     clock: Arc<dyn Clock>,
-    control: Option<ControlWire>,
+    control: Option<Arc<ControlWire>>,
+    engine: Arc<Engine>,
 }
 
 /// The jobtracker <-> tasktracker control channel. When a transport is
@@ -201,6 +234,396 @@ impl ControlWire {
     }
 }
 
+/// Per-job accounting the scheduler arbitrates over: how many slots of each
+/// kind the job wants right now, holds, and is burning on speculative
+/// clones. Updated lock-free by the job's slot loops; read under the pool
+/// lock when building [`JobView`]s.
+struct JobAccount {
+    seq: u64,
+    tenant: String,
+    map_demand: AtomicUsize,
+    reduce_demand: AtomicUsize,
+    map_held: AtomicUsize,
+    reduce_held: AtomicUsize,
+    map_spec: AtomicUsize,
+    reduce_spec: AtomicUsize,
+    /// Outstanding preemption requests against this job's speculative
+    /// clones; consumed by a clone at its next progress checkpoint.
+    preempt: AtomicUsize,
+}
+
+impl JobAccount {
+    fn new(seq: u64, tenant: &str) -> Self {
+        JobAccount {
+            seq,
+            tenant: tenant.to_string(),
+            map_demand: AtomicUsize::new(0),
+            reduce_demand: AtomicUsize::new(0),
+            map_held: AtomicUsize::new(0),
+            reduce_held: AtomicUsize::new(0),
+            map_spec: AtomicUsize::new(0),
+            reduce_spec: AtomicUsize::new(0),
+            preempt: AtomicUsize::new(0),
+        }
+    }
+
+    fn demand_atomic(&self, kind: SlotKind) -> &AtomicUsize {
+        match kind {
+            SlotKind::Map => &self.map_demand,
+            SlotKind::Reduce => &self.reduce_demand,
+        }
+    }
+
+    fn held_atomic(&self, kind: SlotKind) -> &AtomicUsize {
+        match kind {
+            SlotKind::Map => &self.map_held,
+            SlotKind::Reduce => &self.reduce_held,
+        }
+    }
+
+    fn spec_atomic(&self, kind: SlotKind) -> &AtomicUsize {
+        match kind {
+            SlotKind::Map => &self.map_spec,
+            SlotKind::Reduce => &self.reduce_spec,
+        }
+    }
+
+    fn spec_total(&self) -> usize {
+        self.map_spec.load(Ordering::Relaxed) + self.reduce_spec.load(Ordering::Relaxed)
+    }
+
+    /// Consume one pending preemption request, if any. Called by
+    /// speculative attempts at their progress checkpoints; returning `true`
+    /// means "abort now, your slot is owed to a starved tenant".
+    fn take_preempt(&self) -> bool {
+        self.preempt
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+            .is_ok()
+    }
+
+    fn view(&self, kind: SlotKind) -> JobView {
+        JobView {
+            seq: self.seq,
+            tenant: self.tenant.clone(),
+            demand: self.demand_atomic(kind).load(Ordering::Relaxed),
+            held: self.held_atomic(kind).load(Ordering::Relaxed),
+            speculative: self.spec_atomic(kind).load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The shared slot-lease pool: per-node free map/reduce slot counts (sized
+/// from the tasktrackers) plus the accounts of every running job.
+struct SlotPool {
+    map_free: HashMap<NodeId, usize>,
+    reduce_free: HashMap<NodeId, usize>,
+    map_total: usize,
+    reduce_total: usize,
+    jobs: Vec<Arc<JobAccount>>,
+}
+
+impl SlotPool {
+    fn new(trackers: &[TaskTracker]) -> Self {
+        let mut map_free: HashMap<NodeId, usize> = HashMap::new();
+        let mut reduce_free: HashMap<NodeId, usize> = HashMap::new();
+        for t in trackers {
+            *map_free.entry(t.node).or_insert(0) += t.map_slots;
+            *reduce_free.entry(t.node).or_insert(0) += t.reduce_slots;
+        }
+        let map_total = map_free.values().sum();
+        let reduce_total = reduce_free.values().sum();
+        SlotPool {
+            map_free,
+            reduce_free,
+            map_total,
+            reduce_total,
+            jobs: Vec::new(),
+        }
+    }
+
+    fn free_mut(&mut self, kind: SlotKind) -> &mut HashMap<NodeId, usize> {
+        match kind {
+            SlotKind::Map => &mut self.map_free,
+            SlotKind::Reduce => &mut self.reduce_free,
+        }
+    }
+
+    fn free(&self, kind: SlotKind) -> &HashMap<NodeId, usize> {
+        match kind {
+            SlotKind::Map => &self.map_free,
+            SlotKind::Reduce => &self.reduce_free,
+        }
+    }
+
+    fn total(&self, kind: SlotKind) -> usize {
+        match kind {
+            SlotKind::Map => self.map_total,
+            SlotKind::Reduce => self.reduce_total,
+        }
+    }
+
+    fn views(&self, kind: SlotKind) -> Vec<JobView> {
+        self.jobs.iter().map(|a| a.view(kind)).collect()
+    }
+}
+
+/// The admission queue: jobs waiting to be activated and jobs currently
+/// running, as `(seq, tenant)` pairs.
+#[derive(Default)]
+struct Admission {
+    queued: Vec<(u64, String)>,
+    running: Vec<(u64, String)>,
+}
+
+impl Admission {
+    fn running_of(&self, tenant: &str) -> usize {
+        self.running.iter().filter(|(_, t)| t == tenant).count()
+    }
+}
+
+/// Default bound on concurrently running jobs
+/// ([`JobTracker::with_max_concurrent_jobs`] overrides it).
+const DEFAULT_MAX_CONCURRENT_JOBS: usize = 4;
+
+/// The multi-tenant engine every [`JobTracker`] clone shares: the pluggable
+/// scheduler, per-tenant quotas and the usage ledger, the admission queue,
+/// and the slot-lease pool.
+struct Engine {
+    scheduler: Mutex<Arc<dyn JobScheduler>>,
+    quotas: Mutex<HashMap<String, TenantQuota>>,
+    ledger: Mutex<HashMap<String, TenantUsage>>,
+    admission: Mutex<Admission>,
+    admission_cv: Condvar,
+    pool: Mutex<SlotPool>,
+    max_active: AtomicUsize,
+    seq: AtomicU64,
+    /// Serializes the exists-then-mkdirs check of job preparation, so two
+    /// concurrent jobs with the same output directory race to exactly one
+    /// winner (the loser gets `OutputExists`), never to a shared directory.
+    prepare_lock: Mutex<()>,
+}
+
+impl Engine {
+    fn new(trackers: &[TaskTracker]) -> Self {
+        Engine {
+            scheduler: Mutex::new(Arc::new(FifoScheduler)),
+            quotas: Mutex::new(HashMap::new()),
+            ledger: Mutex::new(HashMap::new()),
+            admission: Mutex::new(Admission::default()),
+            admission_cv: Condvar::new(),
+            pool: Mutex::new(SlotPool::new(trackers)),
+            max_active: AtomicUsize::new(DEFAULT_MAX_CONCURRENT_JOBS),
+            seq: AtomicU64::new(0),
+            prepare_lock: Mutex::new(()),
+        }
+    }
+
+    fn quota_of(&self, tenant: &str) -> TenantQuota {
+        self.quotas.lock().get(tenant).copied().unwrap_or_default()
+    }
+
+    fn usage_of(&self, tenant: &str) -> TenantUsage {
+        self.ledger.lock().get(tenant).copied().unwrap_or_default()
+    }
+
+    /// Admission-quota check and queue insertion. Returns the job's
+    /// submission sequence number (also its scratch-namespace tag).
+    fn enqueue(&self, tenant: &str) -> MrResult<u64> {
+        let quota = self.quota_of(tenant);
+        let usage = self.usage_of(tenant);
+        if usage.namespace_entries >= quota.max_namespace_entries {
+            return Err(MrError::QuotaExceeded {
+                tenant: tenant.to_string(),
+                reason: format!(
+                    "namespace budget exhausted ({} of {} entries used)",
+                    usage.namespace_entries, quota.max_namespace_entries
+                ),
+            });
+        }
+        if usage.storage_bytes >= quota.max_storage_bytes {
+            return Err(MrError::QuotaExceeded {
+                tenant: tenant.to_string(),
+                reason: format!(
+                    "storage budget exhausted ({} of {} bytes used)",
+                    usage.storage_bytes, quota.max_storage_bytes
+                ),
+            });
+        }
+        let mut adm = self.admission.lock();
+        let queued = adm.queued.iter().filter(|(_, t)| t == tenant).count();
+        if queued >= quota.max_queued_jobs {
+            return Err(MrError::QuotaExceeded {
+                tenant: tenant.to_string(),
+                reason: format!(
+                    "admission queue full ({queued} jobs queued, limit {})",
+                    quota.max_queued_jobs
+                ),
+            });
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        adm.queued.push((seq, tenant.to_string()));
+        self.admission_cv.notify_all();
+        Ok(seq)
+    }
+
+    /// Remove a queued job that will never run (driver-thread spawn failed).
+    fn abandon(&self, seq: u64) {
+        let mut adm = self.admission.lock();
+        adm.queued.retain(|(s, _)| *s != seq);
+        self.admission_cv.notify_all();
+    }
+
+    /// Block until the scheduler activates this job: a running-jobs slot is
+    /// free and [`JobScheduler::pick_next`] chooses it among the queued jobs
+    /// whose tenant is under its running-jobs quota.
+    fn await_activation(&self, seq: u64, tenant: &str) {
+        let scheduler = self.scheduler.lock().clone();
+        let mut adm = self.admission.lock();
+        loop {
+            if adm.running.len() < self.max_active.load(Ordering::Relaxed) {
+                let quotas = self.quotas.lock();
+                let eligible: Vec<QueuedView> = adm
+                    .queued
+                    .iter()
+                    .filter_map(|(s, t)| {
+                        let quota = quotas.get(t).copied().unwrap_or_default();
+                        let running = adm.running_of(t);
+                        (running < quota.max_running_jobs).then(|| QueuedView {
+                            seq: *s,
+                            tenant: t.clone(),
+                            running_of_tenant: running,
+                        })
+                    })
+                    .collect();
+                drop(quotas);
+                if let Some(i) = scheduler.pick_next(&eligible) {
+                    if eligible[i].seq == seq {
+                        adm.queued.retain(|(s, _)| *s != seq);
+                        adm.running.push((seq, tenant.to_string()));
+                        // Wake the other waiters: more activation slots may
+                        // remain, and their eligibility just changed.
+                        self.admission_cv.notify_all();
+                        return;
+                    }
+                }
+            }
+            self.admission_cv.wait(&mut adm);
+        }
+    }
+
+    /// Register the activated job's account with the slot pool.
+    fn register(&self, seq: u64, tenant: &str) -> Arc<JobAccount> {
+        let account = Arc::new(JobAccount::new(seq, tenant));
+        self.pool.lock().jobs.push(account.clone());
+        account
+    }
+
+    /// Tear down a finished job: deregister its account, settle the
+    /// tenant's ledger with what the job actually produced, free its
+    /// running-jobs slot and wake the admission queue.
+    fn finish(&self, account: &JobAccount, result: Option<&JobResult>) {
+        self.pool.lock().jobs.retain(|j| j.seq != account.seq);
+        if let Some(r) = result {
+            let mut ledger = self.ledger.lock();
+            let usage = ledger.entry(account.tenant.clone()).or_default();
+            usage.namespace_entries += r.output_files.len() as u64;
+            usage.storage_bytes += r.output_bytes;
+            usage.jobs_completed += 1;
+        }
+        let mut adm = self.admission.lock();
+        adm.running.retain(|(s, _)| *s != account.seq);
+        self.admission_cv.notify_all();
+    }
+
+    /// Try to lease a slot of `kind` on `node` for regular (non-speculative)
+    /// work: the slot must be free and the scheduler must pick this job.
+    /// On a miss with the pool fully exhausted, a starved tenant files a
+    /// preemption request against some job's speculative clones.
+    fn try_acquire(&self, account: &JobAccount, node: NodeId, kind: SlotKind) -> bool {
+        let scheduler = self.scheduler.lock().clone();
+        let mut pool = self.pool.lock();
+        let views = pool.views(kind);
+        let total = pool.total(kind);
+        let node_free = pool.free(kind).get(&node).copied().unwrap_or(0);
+        let granted = node_free > 0
+            && scheduler
+                .pick(kind, total, &views)
+                .is_some_and(|i| pool.jobs[i].seq == account.seq);
+        if granted {
+            *pool.free_mut(kind).get_mut(&node).expect("node in pool") -= 1;
+            account.held_atomic(kind).fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        let total_free: usize = pool.free(kind).values().sum();
+        if total_free == 0 {
+            let starved = scheduler.starved(kind, total, &views);
+            if starved.contains(&account.tenant) {
+                // Preempt duplicate work first: ask any job running more
+                // speculative clones than it has pending preemptions to give
+                // one back at its next progress checkpoint.
+                if let Some(victim) = pool.jobs.iter().find(|j| {
+                    j.seq != account.seq && j.spec_total() > j.preempt.load(Ordering::Relaxed)
+                }) {
+                    victim.preempt.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        false
+    }
+
+    /// Try to lease a slot of `kind` on `node` for a speculative clone.
+    /// Granted only when *no* running job has real demand of that kind —
+    /// clones soak up genuinely idle capacity and never displace primary
+    /// attempts (which also means no tenant can be starved at grant time).
+    fn try_acquire_idle(&self, account: &JobAccount, node: NodeId, kind: SlotKind) -> bool {
+        let mut pool = self.pool.lock();
+        if pool.free(kind).get(&node).copied().unwrap_or(0) == 0 {
+            return false;
+        }
+        if pool
+            .jobs
+            .iter()
+            .any(|j| j.demand_atomic(kind).load(Ordering::Relaxed) > 0)
+        {
+            return false;
+        }
+        *pool.free_mut(kind).get_mut(&node).expect("node in pool") -= 1;
+        account.held_atomic(kind).fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Return a lease to the pool.
+    fn release(&self, account: &JobAccount, node: NodeId, kind: SlotKind) {
+        let mut pool = self.pool.lock();
+        *pool.free_mut(kind).get_mut(&node).expect("node in pool") += 1;
+        account.held_atomic(kind).fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Handle to a job submitted with [`JobTracker::submit`]: join it with
+/// [`JobHandle::wait`].
+pub struct JobHandle {
+    seq: u64,
+    rx: mpsc::Receiver<MrResult<JobResult>>,
+}
+
+impl JobHandle {
+    /// The job's submission sequence number (its position in FIFO order,
+    /// and the tag of its scratch namespace).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Block until the job finishes and return its report.
+    pub fn wait(self) -> MrResult<JobResult> {
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(MrError::Storage(
+                "job driver thread exited without reporting a result".into(),
+            ))
+        })
+    }
+}
+
 /// Where a reduce task pulls one merge source from: a single map's spill, or
 /// a merged run the compactor built from a contiguous map-id range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -231,10 +654,10 @@ impl FetchSource {
     }
 
     /// The committed file the source lives in.
-    fn path(&self, output_dir: &str) -> String {
+    fn path(&self, scratch: &JobScratch) -> String {
         match *self {
-            FetchSource::Spill { map_id } => shuffle::spill_path(output_dir, map_id),
-            FetchSource::Run { start, len } => shuffle::run_path(output_dir, start, len),
+            FetchSource::Spill { map_id } => scratch.spill_path(map_id),
+            FetchSource::Run { start, len } => scratch.run_path(start, len),
         }
     }
 }
@@ -333,23 +756,27 @@ impl JobTracker {
     /// Create a jobtracker over one tasktracker per node of the topology,
     /// with default slot counts and the production [`WallClock`].
     pub fn new(topology: &ClusterTopology) -> Self {
-        let trackers = topology.all_nodes().map(TaskTracker::new).collect();
+        let trackers: Vec<TaskTracker> = topology.all_nodes().map(TaskTracker::new).collect();
+        let engine = Arc::new(Engine::new(&trackers));
         JobTracker {
             topology: topology.clone(),
             trackers,
             clock: Arc::new(WallClock::new()),
             control: None,
+            engine,
         }
     }
 
     /// Create a jobtracker over an explicit set of tasktrackers.
     pub fn with_trackers(topology: &ClusterTopology, trackers: Vec<TaskTracker>) -> Self {
         assert!(!trackers.is_empty(), "at least one tasktracker is required");
+        let engine = Arc::new(Engine::new(&trackers));
         JobTracker {
             topology: topology.clone(),
             trackers,
             clock: Arc::new(WallClock::new()),
             control: None,
+            engine,
         }
     }
 
@@ -369,18 +796,49 @@ impl JobTracker {
     /// its latency shows up in job makespans; control traffic is metered in
     /// [`JobTracker::control_counters`].
     pub fn with_transport(mut self, transport: Arc<dyn Transport>, jt_node: NodeId) -> Self {
-        self.control = Some(ControlWire {
+        self.control = Some(Arc::new(ControlWire {
             transport,
             counters: wire::Counters::new(),
             jt_node,
-        });
+        }));
         self
+    }
+
+    /// Builder-style scheduler override (FIFO by default). Shared by every
+    /// clone of this jobtracker — set it before submitting jobs.
+    pub fn with_scheduler(self, scheduler: Arc<dyn JobScheduler>) -> Self {
+        *self.engine.scheduler.lock() = scheduler;
+        self
+    }
+
+    /// Builder-style bound on concurrently *running* jobs (default 4);
+    /// further admitted jobs wait in the queue. Clamped to at least 1.
+    pub fn with_max_concurrent_jobs(self, n: usize) -> Self {
+        self.engine.max_active.store(n.max(1), Ordering::Relaxed);
+        self
+    }
+
+    /// Builder-style per-tenant admission quota (unlimited by default).
+    pub fn with_tenant_quota(self, tenant: &str, quota: TenantQuota) -> Self {
+        self.engine.quotas.lock().insert(tenant.to_string(), quota);
+        self
+    }
+
+    /// The configured scheduler's name ("fifo" unless overridden).
+    pub fn scheduler_name(&self) -> &'static str {
+        self.engine.scheduler.lock().name()
+    }
+
+    /// What `tenant`'s completed jobs have consumed so far (the ledger the
+    /// namespace/storage quota budgets are checked against).
+    pub fn tenant_usage(&self, tenant: &str) -> TenantUsage {
+        self.engine.usage_of(tenant)
     }
 
     /// Control-plane wire counters: claims are read exchanges, outcome
     /// reports are writes. `None` until [`JobTracker::with_transport`].
     pub fn control_counters(&self) -> Option<&wire::Counters> {
-        self.control.as_ref().map(|c| &c.counters)
+        self.control.as_deref().map(|c| &c.counters)
     }
 
     /// The tasktrackers this jobtracker drives.
@@ -394,6 +852,9 @@ impl JobTracker {
     }
 
     /// Validate the job's output location and expand its input into splits.
+    /// The exists-then-create check runs under the engine's prepare lock, so
+    /// two concurrent jobs racing for one output directory get exactly one
+    /// winner.
     fn prepare(&self, fs: &dyn DistFs, job: &Job) -> MrResult<Vec<InputSplit>> {
         let config = &job.config;
         if config.output_dir.is_empty() {
@@ -401,19 +862,70 @@ impl JobTracker {
                 "output directory must not be empty".into(),
             ));
         }
-        if fs.exists(&config.output_dir) {
-            return Err(MrError::OutputExists(config.output_dir.clone()));
+        {
+            let _guard = self.engine.prepare_lock.lock();
+            if fs.exists(&config.output_dir) {
+                return Err(MrError::OutputExists(config.output_dir.clone()));
+            }
+            fs.mkdirs(&config.output_dir)?;
         }
-        fs.mkdirs(&config.output_dir)?;
         compute_splits(fs, &config.input, config.split_size)
     }
 
-    /// Run a job over the given storage backend and return its report.
+    /// Submit a job for asynchronous execution and return a [`JobHandle`].
+    ///
+    /// Admission quotas (queue depth, namespace/storage budgets) are checked
+    /// synchronously — a refused job fails here with
+    /// [`MrError::QuotaExceeded`], not at the handle. The job then waits in
+    /// the admission queue until the scheduler activates it, runs on the
+    /// shared slot pool alongside every other active job, and reports
+    /// through the handle.
+    pub fn submit(&self, fs: Arc<dyn DistFs>, job: Job) -> MrResult<JobHandle> {
+        let tenant = job.config.tenant.clone();
+        let seq = self.engine.enqueue(&tenant)?;
+        let (tx, rx) = mpsc::sync_channel(1);
+        let this = self.clone();
+        let spawned = std::thread::Builder::new()
+            .name(format!("mr-driver-{seq}"))
+            .spawn(move || {
+                this.engine.await_activation(seq, &tenant);
+                let account = this.engine.register(seq, &tenant);
+                let result = this.drive(&*fs, &job, &account);
+                this.engine.finish(&account, result.as_ref().ok());
+                let _ = tx.send(result);
+            });
+        if spawned.is_err() {
+            self.engine.abandon(seq);
+            return Err(MrError::Storage(
+                "failed to spawn the job driver thread".into(),
+            ));
+        }
+        Ok(JobHandle { seq, rx })
+    }
+
+    /// Run a job over the given storage backend and return its report: the
+    /// submit-and-wait shim over the multi-tenant engine. The calling thread
+    /// is the driver — it queues through admission like any submitted job,
+    /// then executes the job in place.
+    pub fn run(&self, fs: &dyn DistFs, job: &Job) -> MrResult<JobResult> {
+        let tenant = job.config.tenant.clone();
+        let seq = self.engine.enqueue(&tenant)?;
+        self.engine.await_activation(seq, &tenant);
+        let account = self.engine.register(seq, &tenant);
+        let result = self.drive(fs, job, &account);
+        self.engine.finish(&account, result.as_ref().ok());
+        result
+    }
+
+    /// Execute an activated job over the given storage backend.
     ///
     /// This is the storage-materialized data path: map outputs spill through
-    /// `fs`, reduce tasks pull segments with positioned reads as the spills
-    /// commit, and every task output is rename-committed.
-    pub fn run(&self, fs: &dyn DistFs, job: &Job) -> MrResult<JobResult> {
+    /// `fs` into the job's scoped scratch namespace, reduce tasks pull
+    /// segments with positioned reads as the spills commit, and every task
+    /// output is rename-committed. Slot loops lease slots from the shared
+    /// pool before claiming work, so concurrent jobs share the cluster under
+    /// the configured scheduler.
+    fn drive(&self, fs: &dyn DistFs, job: &Job, account: &Arc<JobAccount>) -> MrResult<JobResult> {
         let clock = &*self.clock;
         let start = clock.now();
         let config = &job.config;
@@ -421,9 +933,13 @@ impl JobTracker {
         let num_maps = splits.len();
         let map_only = config.num_reducers == 0;
         let partitions = if map_only { 1 } else { config.num_reducers };
-        fs.mkdirs(&shuffle::temporary_dir(&config.output_dir))?;
+        // Scratch dirs are tagged with the job's submission seq: concurrent
+        // jobs over one DistFs (even with identical configs) never share
+        // spill or attempt paths.
+        let scratch = JobScratch::scoped(&config.output_dir, account.seq);
+        fs.mkdirs(scratch.temporary_dir())?;
         if !map_only {
-            fs.mkdirs(&shuffle::shuffle_dir(&config.output_dir))?;
+            fs.mkdirs(scratch.shuffle_dir())?;
         }
         let compaction = !map_only && config.compaction_threshold.is_some_and(|t| num_maps > t);
 
@@ -456,7 +972,10 @@ impl JobTracker {
         // built once and handed to the configured dispatcher — scoped tasks on
         // the shared executor pool, or (legacy) one scoped OS thread each.
         let mut slots: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
-        let control = self.control.as_ref();
+        let control = self.control.as_deref();
+        let engine = &*self.engine;
+        let account = &**account;
+        let scratch = &scratch;
         for tracker in &self.trackers {
             for _slot in 0..tracker.map_slots {
                 let map_state = &map_state;
@@ -478,9 +997,12 @@ impl JobTracker {
                         partitions,
                         map_only,
                         &output_dir,
+                        scratch,
                         max_attempts,
                         clock,
                         control,
+                        engine,
+                        account,
                         map_state,
                     );
                 }));
@@ -499,11 +1021,14 @@ impl JobTracker {
                             job,
                             node,
                             &output_dir,
+                            scratch,
                             num_maps,
                             partitions,
                             max_attempts,
                             clock,
                             control,
+                            engine,
+                            account,
                             map_state,
                             reduce_state,
                         );
@@ -521,7 +1046,7 @@ impl JobTracker {
         if let Some(err) = map_state.failure.take() {
             // Failed jobs leave their committed part files for post-mortem
             // (as Hadoop does), but not the shuffle/scratch debris.
-            shuffle::cleanup_job_dirs(fs, &config.output_dir);
+            scratch.cleanup(fs);
             return Err(err);
         }
         let map_speculation = map_state.book.speculation();
@@ -542,7 +1067,7 @@ impl JobTracker {
         }
 
         if map_only {
-            let _ = fs.delete(&shuffle::temporary_dir(&config.output_dir), true);
+            scratch.cleanup(fs);
             let finish = map_state.finished_at.unwrap_or_else(|| clock.now());
             let mut output_files = map_state.output_files;
             output_files.sort();
@@ -566,7 +1091,7 @@ impl JobTracker {
 
         let mut reduce_state = reduce_state.into_inner();
         if let Some(err) = reduce_state.failure.take() {
-            shuffle::cleanup_job_dirs(fs, &config.output_dir);
+            scratch.cleanup(fs);
             return Err(err);
         }
         counters.segments_fetched = reduce_state.segments_fetched;
@@ -578,7 +1103,7 @@ impl JobTracker {
         counters.compaction_bytes = map_state.plan.bytes;
         let mut speculation = map_speculation;
         speculation.merge(&reduce_state.book.speculation());
-        shuffle::cleanup_job_dirs(fs, &config.output_dir);
+        scratch.cleanup(fs);
         let finish = reduce_state.finished_at.unwrap_or_else(|| clock.now());
         let mut output_files = reduce_state.output_files;
         output_files.sort();
@@ -711,6 +1236,37 @@ enum MapWork {
     },
 }
 
+/// Read-only probe: would [`claim_compaction`] make progress right now?
+/// Used to compute the job's slot demand without mutating the plan — demand
+/// must be exact, because a job that advertises demand it cannot claim
+/// hoards scheduler grants other jobs are waiting for.
+fn compaction_ready(s: &MapPhase) -> bool {
+    if !s.plan.enabled || s.plan.complete() {
+        return false;
+    }
+    let num_maps = s.plan.claimed.len();
+    if s.book.all_committed() {
+        // Every unclaimed spill is work: merged if it has a neighbour,
+        // published as-is otherwise.
+        return s.plan.claimed.iter().any(|claimed| !claimed);
+    }
+    let mut i = 0;
+    while i < num_maps {
+        if s.book.is_committed(i) && !s.plan.claimed[i] {
+            let start = i;
+            while i < num_maps && s.book.is_committed(i) && !s.plan.claimed[i] {
+                i += 1;
+            }
+            if i - start >= COMPACTION_MIN_BATCH {
+                return true;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    false
+}
+
 /// Claim the longest contiguous range of committed, unclaimed spills worth
 /// compacting. Called under the phase lock. While map tasks are still in
 /// flight the range must reach [`COMPACTION_MIN_BATCH`] (bigger batches are
@@ -775,7 +1331,7 @@ fn claim_compaction(s: &mut MapPhase) -> Option<(usize, usize, usize)> {
 /// spills themselves are untouched either way.
 fn run_compaction(
     fs: &dyn DistFs,
-    output_dir: &str,
+    scratch: &JobScratch,
     partitions: usize,
     start: usize,
     len: usize,
@@ -783,12 +1339,12 @@ fn run_compaction(
     state: &Mutex<MapPhase>,
 ) {
     let task = format!("compact-{start:05}");
-    let scratch = shuffle::attempt_path(output_dir, &task, seq);
+    let attempt_scratch = scratch.attempt_path(&task, seq);
     let outcome = (|| -> MrResult<u64> {
         let mut buckets: Vec<Vec<Vec<(String, String)>>> =
             (0..partitions).map(|_| Vec::with_capacity(len)).collect();
         for map_id in start..start + len {
-            let path = shuffle::spill_path(output_dir, map_id);
+            let path = scratch.spill_path(map_id);
             let spill = shuffle::read_spill_runs(fs, &path, partitions)?;
             for (p, bucket) in spill.partitions.into_iter().enumerate() {
                 buckets[p].push(bucket);
@@ -796,13 +1352,13 @@ fn run_compaction(
         }
         let merged: Vec<Vec<(String, String)>> =
             buckets.into_iter().map(shuffle::merge_runs).collect();
-        let (bytes, _) = shuffle::write_spill(fs, &scratch, &merged)?;
+        let (bytes, _) = shuffle::write_spill(fs, &attempt_scratch, &merged)?;
         Ok(bytes)
     })();
 
     let mut s = state.lock();
     let published = match outcome {
-        Ok(bytes) => match fs.rename(&scratch, &shuffle::run_path(output_dir, start, len)) {
+        Ok(bytes) => match fs.rename(&attempt_scratch, &scratch.run_path(start, len)) {
             Ok(()) => {
                 s.plan.sources.push(FetchSource::Run { start, len });
                 s.plan.covered += len;
@@ -821,16 +1377,17 @@ fn run_compaction(
         }
         s.plan.covered += len;
         drop(s);
-        shuffle::discard_attempt(fs, output_dir, &task, seq);
+        scratch.discard_attempt(fs, &task, seq);
     }
 }
 
-/// Worker loop executed by every map slot: claim a pending task (or a
-/// speculative clone of a straggler when the job allows it), execute it,
-/// write its output to the attempt's `_temporary` scratch, and rename-commit
-/// under the phase lock — first finished attempt wins, losers are discarded.
-/// With compaction enabled, idle slots also fold committed spills into
-/// merged runs before falling back to speculation.
+/// Worker loop executed by every map slot: publish the job's demand, lease a
+/// slot from the shared pool, claim a pending task (or a compaction batch,
+/// or — on an idle lease — a speculative clone of a straggler), execute it,
+/// write its output to the attempt's scoped `_temporary` scratch, and
+/// rename-commit under the phase lock — first finished attempt wins, losers
+/// are discarded. Speculative clones run their map with a progress callback
+/// that both feeds the LATE estimator and honours preemption requests.
 #[allow(clippy::too_many_arguments)]
 fn map_worker_loop(
     fs: &dyn DistFs,
@@ -841,19 +1398,50 @@ fn map_worker_loop(
     partitions: usize,
     map_only: bool,
     output_dir: &str,
+    scratch: &JobScratch,
     max_attempts: usize,
     clock: &dyn Clock,
     control: Option<&ControlWire>,
+    engine: &Engine,
+    account: &JobAccount,
     state: &Mutex<MapPhase>,
 ) {
     loop {
-        // Claim an attempt (or decide to wait / exit).
+        // Publish this job's claimable map work so the scheduler can
+        // arbitrate, and decide which tier of work this slot looks for.
+        // Demand counts pending tasks and ready compaction batches —
+        // speculation is not demand, it only uses leases nobody wants.
+        let (real_demand, spec_possible) = {
+            let s = state.lock();
+            if s.failure.is_some() || (s.book.all_committed() && s.plan.complete()) {
+                account.map_demand.store(0, Ordering::Relaxed);
+                return;
+            }
+            let demand = s.book.pending().len() + usize::from(compaction_ready(&s));
+            let spec = job.config.speculation.is_some() && !s.book.all_committed();
+            (demand, spec)
+        };
+        account.map_demand.store(real_demand, Ordering::Relaxed);
+
+        let leased = if real_demand > 0 {
+            engine.try_acquire(account, tracker.node, SlotKind::Map)
+        } else if spec_possible {
+            engine.try_acquire_idle(account, tracker.node, SlotKind::Map)
+        } else {
+            false
+        };
+        if !leased {
+            miniexec::poll_wait(Duration::from_millis(1));
+            continue;
+        }
+
+        // Claim an attempt under the phase lock (or give the lease back).
+        let mut speculative = false;
         let claimed: Option<MapWork> = {
             let mut s = state.lock();
             if s.failure.is_some() || (s.book.all_committed() && s.plan.complete()) {
-                return;
-            }
-            if let Some((pos, locality)) =
+                None
+            } else if let Some((pos, locality)) =
                 pick_map_task(topology, tracker.node, s.book.pending(), splits)
             {
                 Some(MapWork::Task(
@@ -864,12 +1452,17 @@ fn map_worker_loop(
                 // Nothing pending: fold committed spills into a merged run
                 // so reducers fetch O(runs) segments instead of O(maps).
                 Some(MapWork::Compact { start, len, seq })
-            } else if let Some(policy) = job.config.speculation.as_deref() {
-                // Still spare capacity — offer this slot a speculative clone
-                // of the slowest qualifying straggler.
-                s.book
-                    .claim_speculative(tracker.node, clock.now(), policy)
-                    .map(|id| MapWork::Task(id, classify(topology, tracker.node, &splits[id.task])))
+            } else if real_demand == 0 {
+                // Idle lease: offer this slot a speculative clone of the
+                // slowest qualifying straggler.
+                job.config.speculation.as_deref().and_then(|policy| {
+                    s.book
+                        .claim_speculative(tracker.node, clock.now(), policy)
+                        .map(|id| {
+                            speculative = true;
+                            MapWork::Task(id, classify(topology, tracker.node, &splits[id.task]))
+                        })
+                })
             } else {
                 None
             }
@@ -884,34 +1477,49 @@ fn map_worker_loop(
         let (id, locality) = match claimed {
             Some(MapWork::Task(id, locality)) => (id, locality),
             Some(MapWork::Compact { start, len, seq }) => {
-                run_compaction(fs, output_dir, partitions, start, len, seq, state);
+                run_compaction(fs, scratch, partitions, start, len, seq, state);
+                engine.release(account, tracker.node, SlotKind::Map);
                 continue;
             }
             None => {
                 // Tasks are running on other slots; one could fail (requeue)
                 // or turn into a straggler, so poll until the phase settles.
+                engine.release(account, tracker.node, SlotKind::Map);
                 miniexec::poll_wait(Duration::from_millis(1));
                 continue;
             }
         };
+        if speculative {
+            account.map_spec.fetch_add(1, Ordering::Relaxed);
+        }
         let task = format!("map-{:05}", id.task);
-        let scratch = shuffle::attempt_path(output_dir, &task, id.attempt);
+        let attempt_scratch = scratch.attempt_path(&task, id.attempt);
 
         // Execute the attempt outside the lock, writing all output to the
-        // scratch path. `part_written` carries (bytes, records) for map-only
-        // jobs, whose tasks commit straight to a part file.
-        let outcome = run_map_task(
+        // scratch path. Progress milestones feed the book (the LATE
+        // estimator reads them) and double as preemption checkpoints: a
+        // speculative clone whose job owes a starved tenant a slot aborts
+        // here, mid-task. `part_written` carries (bytes, records) for
+        // map-only jobs, whose tasks commit straight to a part file.
+        let outcome = run_map_task_with_progress(
             fs,
             &splits[id.task],
             &*job.mapper,
             &*job.partitioner,
             partitions,
+            &mut |frac| {
+                state.lock().book.report_progress(id, frac);
+                !(speculative && account.take_preempt())
+            },
         )
-        .and_then(|mut output| {
+        .and_then(|finished| {
+            let Some(mut output) = finished else {
+                return Ok(None); // preempted mid-task
+            };
             if map_only {
                 let records = std::mem::take(&mut output.partitions[0]);
-                let bytes = write_output_file(fs, &scratch, &records)?;
-                Ok((output, (bytes, records.len() as u64)))
+                let bytes = write_output_file(fs, &attempt_scratch, &records)?;
+                Ok(Some((output, (bytes, records.len() as u64))))
             } else {
                 // Sort each bucket, run the spill-time combiner, and write
                 // the spill image for the reducers to pull from.
@@ -926,11 +1534,12 @@ fn map_worker_loop(
                         *bucket = combined.records;
                     }
                 }
-                let (bytes, records) = shuffle::write_spill(fs, &scratch, &output.partitions)?;
+                let (bytes, records) =
+                    shuffle::write_spill(fs, &attempt_scratch, &output.partitions)?;
                 output.spilled_bytes = bytes;
                 output.spilled_records = records;
                 output.partitions.clear(); // the data now lives in the spill
-                Ok((output, (0, 0)))
+                Ok(Some((output, (0, 0))))
             }
         });
 
@@ -942,8 +1551,8 @@ fn map_worker_loop(
         // it is cheap because `DistFs::rename` is a metadata-only namespace
         // operation in every backend — the data bytes were already written
         // to scratch outside the lock.
-        // The attempt reports its outcome (success or failure) before the
-        // commit arbitration — charged outside the phase lock.
+        // The attempt reports its outcome (success, failure, or preemption)
+        // before the commit arbitration — charged outside the phase lock.
         if let Some(cw) = control {
             cw.charge_report(tracker.node);
         }
@@ -951,16 +1560,21 @@ fn map_worker_loop(
         {
             let mut s = state.lock();
             match outcome {
-                Ok((output, (part_bytes, part_records))) => {
+                Ok(None) => {
+                    // Preempted: the clone's partial work is pure waste by
+                    // construction; the incumbent attempt is untouched.
+                    s.book.record_preempted(id, clock.now());
+                }
+                Ok(Some((output, (part_bytes, part_records)))) => {
                     if s.book.is_committed(id.task) {
                         s.book.record_lost(id, clock.now());
                     } else {
                         let final_path = if map_only {
                             format!("{output_dir}/part-m-{:05}", id.task)
                         } else {
-                            shuffle::spill_path(output_dir, id.task)
+                            scratch.spill_path(id.task)
                         };
-                        match fs.rename(&scratch, &final_path) {
+                        match fs.rename(&attempt_scratch, &final_path) {
                             Ok(()) => {
                                 discard_scratch = false;
                                 s.book.record_success(id, clock.now());
@@ -1004,10 +1618,15 @@ fn map_worker_loop(
                 }
             }
         }
-        if discard_scratch {
-            // Clean the attempt's scratch (failed or lost) before retries.
-            shuffle::discard_attempt(fs, output_dir, &task, id.attempt);
+        if speculative {
+            account.map_spec.fetch_sub(1, Ordering::Relaxed);
         }
+        if discard_scratch {
+            // Clean the attempt's scratch (failed, lost, or preempted)
+            // before retries.
+            scratch.discard_attempt(fs, &task, id.attempt);
+        }
+        engine.release(account, tracker.node, SlotKind::Map);
     }
 }
 
@@ -1026,7 +1645,7 @@ struct FetchedPartition {
 /// phase failed (the job is going down; nothing to reduce).
 fn fetch_partition(
     fs: &dyn DistFs,
-    output_dir: &str,
+    scratch: &JobScratch,
     partition: usize,
     num_maps: usize,
     partitions: usize,
@@ -1034,7 +1653,7 @@ fn fetch_partition(
 ) -> MrResult<Option<FetchedPartition>> {
     if map_state.lock().plan.enabled {
         return fetch_partition_from_sources(
-            fs, output_dir, partition, num_maps, partitions, map_state,
+            fs, scratch, partition, num_maps, partitions, map_state,
         );
     }
     let mut runs: Vec<Option<Vec<(String, String)>>> = (0..num_maps).map(|_| None).collect();
@@ -1058,7 +1677,7 @@ fn fetch_partition(
             continue;
         }
         for map_id in available {
-            let path = shuffle::spill_path(output_dir, map_id);
+            let path = scratch.spill_path(map_id);
             let segment = shuffle::read_segment(fs, &path, partition, partitions)?;
             segments += 1;
             round_trips += segment.round_trips;
@@ -1084,7 +1703,7 @@ fn fetch_partition(
 /// consume it independently.
 fn fetch_partition_from_sources(
     fs: &dyn DistFs,
-    output_dir: &str,
+    scratch: &JobScratch,
     partition: usize,
     num_maps: usize,
     partitions: usize,
@@ -1110,8 +1729,7 @@ fn fetch_partition_from_sources(
         }
         taken += new_sources.len();
         for source in new_sources {
-            let segment =
-                shuffle::read_segment(fs, &source.path(output_dir), partition, partitions)?;
+            let segment = shuffle::read_segment(fs, &source.path(scratch), partition, partitions)?;
             segments += 1;
             round_trips += segment.round_trips;
             bytes += segment.bytes;
@@ -1131,39 +1749,93 @@ fn fetch_partition_from_sources(
     }))
 }
 
-/// Worker loop executed by every reduce slot: claim a partition (or a
-/// speculative clone of a straggling one), pull its segments as map spills
-/// commit, k-way-merge the sorted runs, reduce, and rename-commit the part
-/// file under the phase lock — first finished attempt wins.
+/// How one reduce attempt ended, before commit arbitration.
+enum ReduceOutcome {
+    /// The map phase failed while this attempt was fetching; abort quietly.
+    MapFailed,
+    /// A speculative clone consumed a preemption request at the
+    /// post-fetch checkpoint and gave its slot back.
+    Preempted,
+    /// The attempt produced output in its scratch path.
+    Done {
+        bytes: u64,
+        records: u64,
+        segments: u64,
+        merge_runs: u64,
+        round_trips: u64,
+        read_bytes: u64,
+    },
+}
+
+/// Worker loop executed by every reduce slot: publish demand, lease a slot,
+/// claim a partition (or — on an idle lease — a speculative clone of a
+/// straggling one), pull its segments as map spills commit, k-way-merge the
+/// sorted runs, reduce, and rename-commit the part file under the phase lock
+/// — first finished attempt wins.
 #[allow(clippy::too_many_arguments)]
 fn reduce_worker_loop(
     fs: &dyn DistFs,
     job: &Job,
     node: NodeId,
     output_dir: &str,
+    scratch: &JobScratch,
     num_maps: usize,
     partitions: usize,
     max_attempts: usize,
     clock: &dyn Clock,
     control: Option<&ControlWire>,
+    engine: &Engine,
+    account: &JobAccount,
     map_state: &Mutex<MapPhase>,
     state: &Mutex<ReducePhase>,
 ) {
     loop {
         // The job is failing once either phase records a permanent failure.
         if map_state.lock().failure.is_some() {
+            account.reduce_demand.store(0, Ordering::Relaxed);
             return;
         }
+        let (real_demand, spec_possible) = {
+            let s = state.lock();
+            if s.failure.is_some() || s.book.all_committed() {
+                account.reduce_demand.store(0, Ordering::Relaxed);
+                return;
+            }
+            (
+                s.book.pending().len(),
+                job.config.speculation.is_some() && !s.book.all_committed(),
+            )
+        };
+        account.reduce_demand.store(real_demand, Ordering::Relaxed);
+
+        let leased = if real_demand > 0 {
+            engine.try_acquire(account, node, SlotKind::Reduce)
+        } else if spec_possible {
+            engine.try_acquire_idle(account, node, SlotKind::Reduce)
+        } else {
+            false
+        };
+        if !leased {
+            miniexec::poll_wait(Duration::from_millis(1));
+            continue;
+        }
+
+        let mut speculative = false;
         let claimed = {
             let mut s = state.lock();
             if s.failure.is_some() || s.book.all_committed() {
-                return;
-            }
-            if !s.book.pending().is_empty() {
+                None
+            } else if !s.book.pending().is_empty() {
                 let pos = s.book.pending().len() - 1;
                 Some(s.book.claim_pending(pos, node, clock.now()))
-            } else if let Some(policy) = job.config.speculation.as_deref() {
-                s.book.claim_speculative(node, clock.now(), policy)
+            } else if real_demand == 0 {
+                job.config.speculation.as_deref().and_then(|policy| {
+                    s.book
+                        .claim_speculative(node, clock.now(), policy)
+                        .inspect(|_| {
+                            speculative = true;
+                        })
+                })
             } else {
                 None
             }
@@ -1179,30 +1851,40 @@ fn reduce_worker_loop(
             None => {
                 // Partitions are running on other slots; one could fail and
                 // requeue, so poll until the phase settles.
+                engine.release(account, node, SlotKind::Reduce);
                 miniexec::poll_wait(Duration::from_millis(1));
                 continue;
             }
         };
+        if speculative {
+            account.reduce_spec.fetch_add(1, Ordering::Relaxed);
+        }
         let task = format!("reduce-{:05}", id.task);
-        let scratch = shuffle::attempt_path(output_dir, &task, id.attempt);
+        let attempt_scratch = scratch.attempt_path(&task, id.attempt);
 
-        let outcome = fetch_partition(fs, output_dir, id.task, num_maps, partitions, map_state)
+        let outcome = fetch_partition(fs, scratch, id.task, num_maps, partitions, map_state)
             .and_then(|fetched| {
                 let Some(fetched) = fetched else {
-                    return Ok(None); // map phase failed; abort quietly
+                    return Ok(ReduceOutcome::MapFailed);
                 };
+                // Preemption checkpoint between the fetch and the expensive
+                // merge+reduce+write: a speculative clone whose job owes a
+                // starved tenant gives its slot back here.
+                if speculative && account.take_preempt() {
+                    return Ok(ReduceOutcome::Preempted);
+                }
                 let merge_runs = fetched.runs.iter().filter(|r| !r.is_empty()).count() as u64;
                 let merged = shuffle::merge_runs(fetched.runs);
                 let records = shuffle::reduce_merged(merged, &*job.reducer)?;
-                let bytes = write_output_file(fs, &scratch, &records)?;
-                Ok(Some((
+                let bytes = write_output_file(fs, &attempt_scratch, &records)?;
+                Ok(ReduceOutcome::Done {
                     bytes,
-                    records.len() as u64,
-                    fetched.segments,
+                    records: records.len() as u64,
+                    segments: fetched.segments,
                     merge_runs,
-                    fetched.round_trips,
-                    fetched.bytes,
-                )))
+                    round_trips: fetched.round_trips,
+                    read_bytes: fetched.bytes,
+                })
             });
 
         // Report the attempt outcome to the master before arbitration.
@@ -1210,21 +1892,32 @@ fn reduce_worker_loop(
             cw.charge_report(node);
         }
         let mut discard_scratch = true;
+        let mut exit = false;
         {
             let mut s = state.lock();
             match outcome {
-                Ok(None) => {
+                Ok(ReduceOutcome::MapFailed) => {
                     // Map phase failed; the job is going down. Close the
                     // attempt's bookkeeping so nothing stays `Running`.
                     s.book.record_abandoned(id);
-                    return;
+                    exit = true;
                 }
-                Ok(Some((bytes, records, segments, merge_runs, round_trips, read_bytes))) => {
+                Ok(ReduceOutcome::Preempted) => {
+                    s.book.record_preempted(id, clock.now());
+                }
+                Ok(ReduceOutcome::Done {
+                    bytes,
+                    records,
+                    segments,
+                    merge_runs,
+                    round_trips,
+                    read_bytes,
+                }) => {
                     if s.book.is_committed(id.task) {
                         s.book.record_lost(id, clock.now());
                     } else {
                         let final_path = format!("{output_dir}/part-r-{:05}", id.task);
-                        match fs.rename(&scratch, &final_path) {
+                        match fs.rename(&attempt_scratch, &final_path) {
                             Ok(()) => {
                                 discard_scratch = false;
                                 s.book.record_success(id, clock.now());
@@ -1268,8 +1961,154 @@ fn reduce_worker_loop(
                 }
             }
         }
-        if discard_scratch {
-            shuffle::discard_attempt(fs, output_dir, &task, id.attempt);
+        if speculative {
+            account.reduce_spec.fetch_sub(1, Ordering::Relaxed);
         }
+        if discard_scratch {
+            scratch.discard_attempt(fs, &task, id.attempt);
+        }
+        engine.release(account, node, SlotKind::Reduce);
+        if exit {
+            account.reduce_demand.store(0, Ordering::Relaxed);
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod engine_tests {
+    use super::*;
+    use crate::jobsched::FairScheduler;
+
+    fn engine(nodes: u32, map_slots: usize) -> Engine {
+        let trackers: Vec<TaskTracker> = (0..nodes)
+            .map(|i| TaskTracker::new(NodeId(i)).with_slots(map_slots, 1))
+            .collect();
+        Engine::new(&trackers)
+    }
+
+    #[test]
+    fn fifo_grants_the_oldest_demanding_job_and_denies_the_rest() {
+        let e = engine(1, 2);
+        let a = e.register(0, "acme");
+        let b = e.register(1, "blue");
+        a.map_demand.store(2, Ordering::Relaxed);
+        b.map_demand.store(2, Ordering::Relaxed);
+        let node = NodeId(0);
+        assert!(!e.try_acquire(&b, node, SlotKind::Map), "fifo owes A first");
+        assert!(e.try_acquire(&a, node, SlotKind::Map));
+        assert!(e.try_acquire(&a, node, SlotKind::Map));
+        assert_eq!(a.map_held.load(Ordering::Relaxed), 2);
+        // Pool exhausted: nobody gets a lease until A releases.
+        assert!(!e.try_acquire(&a, node, SlotKind::Map));
+        e.release(&a, node, SlotKind::Map);
+        a.map_demand.store(0, Ordering::Relaxed);
+        // With A's demand gone, the freed slot flows to B.
+        assert!(e.try_acquire(&b, node, SlotKind::Map));
+    }
+
+    #[test]
+    fn idle_leases_require_zero_demand_everywhere() {
+        let e = engine(1, 2);
+        let a = e.register(0, "acme");
+        let b = e.register(1, "blue");
+        b.map_demand.store(1, Ordering::Relaxed);
+        // B has real map demand, so no clone may take a map lease.
+        assert!(!e.try_acquire_idle(&a, NodeId(0), SlotKind::Map));
+        // Reduce demand is zero everywhere: idle reduce leases are fine.
+        assert!(e.try_acquire_idle(&a, NodeId(0), SlotKind::Reduce));
+        b.map_demand.store(0, Ordering::Relaxed);
+        assert!(e.try_acquire_idle(&a, NodeId(0), SlotKind::Map));
+    }
+
+    #[test]
+    fn starved_tenant_preempts_a_speculative_clone_and_inherits_the_slot() {
+        let e = Engine::new(&[TaskTracker::new(NodeId(0)).with_slots(2, 1)]);
+        *e.scheduler.lock() = Arc::new(FairScheduler::new());
+        let a = e.register(0, "acme");
+        let b = e.register(1, "blue");
+        let node = NodeId(0);
+        // A soaks up the whole pool with speculative clones (no demand
+        // anywhere, so idle leases are granted).
+        assert!(e.try_acquire_idle(&a, node, SlotKind::Map));
+        assert!(e.try_acquire_idle(&a, node, SlotKind::Map));
+        a.map_spec.store(2, Ordering::Relaxed);
+        // B shows up with real demand: pool exhausted, fair share says B is
+        // starved, so a preemption request lands on A's clones.
+        b.map_demand.store(2, Ordering::Relaxed);
+        assert!(!e.try_acquire(&b, node, SlotKind::Map));
+        assert_eq!(a.preempt.load(Ordering::Relaxed), 1);
+        // A clone consumes the request exactly once...
+        assert!(a.take_preempt());
+        assert!(!a.take_preempt());
+        // ...and gives its slot back; B now gets the lease.
+        a.map_spec.store(1, Ordering::Relaxed);
+        e.release(&a, node, SlotKind::Map);
+        assert!(e.try_acquire(&b, node, SlotKind::Map));
+    }
+
+    #[test]
+    fn enqueue_enforces_queue_and_budget_quotas() {
+        let e = engine(1, 1);
+        e.quotas
+            .lock()
+            .insert("acme".into(), TenantQuota::unlimited().with_max_queued(1));
+        assert!(e.enqueue("acme").is_ok());
+        assert!(matches!(
+            e.enqueue("acme"),
+            Err(MrError::QuotaExceeded { .. })
+        ));
+        // Other tenants are unaffected.
+        assert!(e.enqueue("blue").is_ok());
+
+        // Namespace and storage budgets are checked against the ledger.
+        e.quotas.lock().insert(
+            "carbon".into(),
+            TenantQuota::unlimited().with_max_namespace_entries(4),
+        );
+        e.ledger.lock().insert(
+            "carbon".into(),
+            TenantUsage {
+                namespace_entries: 4,
+                storage_bytes: 0,
+                jobs_completed: 2,
+            },
+        );
+        assert!(matches!(
+            e.enqueue("carbon"),
+            Err(MrError::QuotaExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn finish_settles_the_ledger_and_frees_the_account() {
+        let e = engine(1, 1);
+        let seq = e.enqueue("acme").unwrap();
+        e.await_activation(seq, "acme");
+        let account = e.register(seq, "acme");
+        assert_eq!(e.pool.lock().jobs.len(), 1);
+        let result = JobResult {
+            job_name: "j".into(),
+            fs_name: "BSFS".into(),
+            map_tasks: 1,
+            reduce_tasks: 1,
+            locality: LocalityCounters::default(),
+            task_retries: 0,
+            input_records: 0,
+            output_records: 5,
+            input_bytes: 0,
+            output_bytes: 123,
+            shuffle: ShuffleCounters::default(),
+            speculation: SpeculationCounters::default(),
+            elapsed: Duration::from_secs(1),
+            output_files: vec!["/out/part-r-00000".into(), "/out/part-r-00001".into()],
+        };
+        e.finish(&account, Some(&result));
+        assert!(e.pool.lock().jobs.is_empty());
+        assert!(e.admission.lock().running.is_empty());
+        let usage = e.usage_of("acme");
+        assert_eq!(usage.namespace_entries, 2);
+        assert_eq!(usage.storage_bytes, 123);
+        assert_eq!(usage.jobs_completed, 1);
     }
 }

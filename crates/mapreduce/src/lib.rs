@@ -60,6 +60,7 @@
 pub mod error;
 pub mod fs;
 pub mod job;
+pub mod jobsched;
 pub mod jobtracker;
 pub mod scheduler;
 pub mod shuffle;
@@ -72,8 +73,15 @@ pub use job::{
     HashPartitioner, IdentityReducer, InputSpec, Job, JobConfig, Mapper, Partitioner,
     RangePartitioner, Reducer,
 };
-pub use jobtracker::{JobResult, JobTracker, ShuffleCounters};
-pub use scheduler::{Locality, LocalityCounters, SlowestFactorPolicy, SpeculationPolicy};
+pub use jobsched::{
+    CapacityScheduler, FairScheduler, FifoScheduler, JobScheduler, SlotCaps, SlotKind, TenantQuota,
+    TenantUsage,
+};
+pub use jobtracker::{JobHandle, JobResult, JobTracker, ShuffleCounters};
+pub use scheduler::{
+    AttemptView, LatePolicy, Locality, LocalityCounters, RuntimeHistory, SlowestFactorPolicy,
+    SpeculationPolicy,
+};
 pub use split::{InputSplit, SplitSource};
 pub use tasktracker::{
     AttemptRecord, AttemptState, FailureVerdict, SpeculationCounters, TaskAttemptId, TaskBook,

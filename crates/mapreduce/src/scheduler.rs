@@ -10,12 +10,16 @@
 //!
 //! The second half of this module is Hadoop's other latency defense:
 //! **speculative execution**. A [`SpeculationPolicy`] decides, from a running
-//! attempt's elapsed time and the runtimes of its completed peer tasks,
+//! attempt's elapsed time and reported progress (an [`AttemptView`]) and the
+//! runtimes of its completed peer tasks (a [`RuntimeHistory`], kept
+//! incrementally sorted so the per-poll consult is O(1), not a fresh sort),
 //! whether an idle slot should launch a duplicate attempt of that task. The
 //! default [`SlowestFactorPolicy`] clones a task once it has run longer than
 //! `slowest_factor ×` the median of its completed peers (with an absolute
-//! floor, so short jobs don't speculate on noise). All times come from the
-//! jobtracker's injected [`simcluster::clock::Clock`], so the policy is
+//! floor, so short jobs don't speculate on noise); [`LatePolicy`] instead
+//! estimates each attempt's *remaining* time from its progress fraction and
+//! clones the task that will finish last. All times come from the
+//! jobtracker's injected [`simcluster::clock::Clock`], so the policies are
 //! deterministic under a [`simcluster::clock::SimClock`].
 
 use crate::split::InputSplit;
@@ -109,15 +113,92 @@ pub fn pick_map_task(
     best
 }
 
+/// What a speculation policy sees about one running attempt: how long it has
+/// been executing and how far through its input it claims to be. Attempts
+/// report progress fractions at record-count milestones; `0.0` means "no
+/// report yet" (the LATE estimator treats it as barely started).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttemptView {
+    /// Elapsed execution time of the attempt (clock now − claim time).
+    pub runtime: Duration,
+    /// Reported progress fraction in `[0, 1]`.
+    pub progress: f64,
+}
+
+/// Incrementally maintained runtime statistics of a phase's committed tasks.
+///
+/// The speculation policy is consulted from idle worker slots polling under
+/// the phase lock every millisecond; the old implementation cloned and
+/// re-sorted the full runtime vector on every consult, an O(n log n) tax per
+/// poll that a 500-task phase pays thousands of times. This keeps the history
+/// sorted as runtimes arrive (binary-search insert, O(n) worst-case memmove
+/// but amortised far below a full sort), making `median` O(1).
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeHistory {
+    sorted: Vec<Duration>,
+}
+
+impl RuntimeHistory {
+    /// An empty history.
+    pub fn new() -> Self {
+        RuntimeHistory::default()
+    }
+
+    /// Record one committed task's runtime, keeping the history sorted.
+    pub fn record(&mut self, runtime: Duration) {
+        let at = self.sorted.partition_point(|r| *r <= runtime);
+        self.sorted.insert(at, runtime);
+    }
+
+    /// Number of recorded runtimes.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Is the history empty?
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Median runtime in O(1) ([`Duration::ZERO`] when empty); even counts
+    /// average the two middle values, matching Hadoop's estimator.
+    pub fn median(&self) -> Duration {
+        let n = self.sorted.len();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        let mid = n / 2;
+        if n % 2 == 1 {
+            self.sorted[mid]
+        } else {
+            (self.sorted[mid - 1] + self.sorted[mid]) / 2
+        }
+    }
+
+    /// The runtimes, sorted ascending.
+    pub fn sorted(&self) -> &[Duration] {
+        &self.sorted
+    }
+}
+
 /// Decides whether a running task deserves a speculative duplicate attempt.
 ///
 /// The jobtracker consults the policy from *idle* worker slots (so "spare
-/// slots exist" holds by construction): `runtime` is how long the task's sole
-/// running attempt has been executing, `completed_runtimes` the runtimes of
-/// the tasks of the same phase that already committed.
+/// slots exist" holds by construction): `attempt` describes the task's sole
+/// running attempt, `history` the runtimes of the tasks of the same phase
+/// that already committed.
 pub trait SpeculationPolicy: Send + Sync {
     /// Should an idle slot clone this task now?
-    fn should_speculate(&self, runtime: Duration, completed_runtimes: &[Duration]) -> bool;
+    fn should_speculate(&self, attempt: AttemptView, history: &RuntimeHistory) -> bool;
+
+    /// Ranking score used to choose *which* structural candidate to clone
+    /// when several qualify: the candidate with the highest urgency is
+    /// offered first. The default ranks by elapsed runtime (Hadoop's
+    /// longest-running-first); LATE overrides it with the estimated
+    /// remaining time.
+    fn urgency(&self, attempt: AttemptView) -> Duration {
+        attempt.runtime
+    }
 }
 
 /// Median of a set of task runtimes ([`Duration::ZERO`] when empty); even
@@ -161,13 +242,73 @@ impl Default for SlowestFactorPolicy {
 }
 
 impl SpeculationPolicy for SlowestFactorPolicy {
-    fn should_speculate(&self, runtime: Duration, completed_runtimes: &[Duration]) -> bool {
-        if completed_runtimes.len() < self.min_completed {
+    fn should_speculate(&self, attempt: AttemptView, history: &RuntimeHistory) -> bool {
+        if history.len() < self.min_completed {
             return false;
         }
-        let median = median_runtime(completed_runtimes);
-        let threshold = median.mul_f64(self.slowest_factor).max(self.min_runtime);
-        runtime > threshold
+        let threshold = history
+            .median()
+            .mul_f64(self.slowest_factor)
+            .max(self.min_runtime);
+        attempt.runtime > threshold
+    }
+}
+
+/// Floor on the progress fraction LATE divides by: an attempt that has
+/// reported no progress at all still gets a finite (but very large) remaining
+/// time estimate instead of a division blow-up.
+const LATE_MIN_PROGRESS: f64 = 0.01;
+
+/// A LATE-style speculation policy (Zaharia et al., *Improving MapReduce
+/// Performance in Heterogeneous Environments*): instead of comparing elapsed
+/// runtime against the median peer runtime, estimate each attempt's
+/// **remaining** time from its reported progress fraction — assuming the
+/// observed progress rate holds, `remaining = runtime × (1 − p) / p` — and
+/// clone the task whose estimated remaining time is longest, once that
+/// estimate exceeds `late_factor ×` the median runtime of its committed
+/// peers. A half-done slow task and a barely-started medium task rank by how
+/// much longer they will *take*, not how long they have already run, which
+/// is what actually bounds job completion time.
+#[derive(Debug, Clone, Copy)]
+pub struct LatePolicy {
+    /// How many medians of estimated-remaining-time trigger a clone.
+    pub late_factor: f64,
+    /// Never speculate an attempt that has run for less than this (progress
+    /// rates measured over tiny runtimes are noise).
+    pub min_runtime: Duration,
+    /// Completed peer tasks required before any speculation.
+    pub min_completed: usize,
+}
+
+impl Default for LatePolicy {
+    fn default() -> Self {
+        LatePolicy {
+            late_factor: 1.0,
+            min_runtime: Duration::from_secs(1),
+            min_completed: 1,
+        }
+    }
+}
+
+impl LatePolicy {
+    /// Estimated time left for an attempt, from its progress rate so far.
+    pub fn remaining(attempt: AttemptView) -> Duration {
+        let p = attempt.progress.clamp(0.0, 1.0).max(LATE_MIN_PROGRESS);
+        attempt.runtime.mul_f64((1.0 - p) / p)
+    }
+}
+
+impl SpeculationPolicy for LatePolicy {
+    fn should_speculate(&self, attempt: AttemptView, history: &RuntimeHistory) -> bool {
+        if history.len() < self.min_completed || attempt.runtime < self.min_runtime {
+            return false;
+        }
+        let threshold = history.median().mul_f64(self.late_factor);
+        Self::remaining(attempt) > threshold
+    }
+
+    fn urgency(&self, attempt: AttemptView) -> Duration {
+        Self::remaining(attempt)
     }
 }
 
@@ -241,6 +382,23 @@ mod tests {
         assert!(pick_map_task(&t, NodeId(0), &[], &splits).is_none());
     }
 
+    /// An attempt view with no progress report (the pre-LATE policies only
+    /// look at the runtime).
+    fn ran(runtime: Duration) -> AttemptView {
+        AttemptView {
+            runtime,
+            progress: 0.0,
+        }
+    }
+
+    fn history(runtimes: &[Duration]) -> RuntimeHistory {
+        let mut h = RuntimeHistory::new();
+        for r in runtimes {
+            h.record(*r);
+        }
+        h
+    }
+
     #[test]
     fn median_runtime_handles_odd_even_and_empty() {
         let s = Duration::from_secs;
@@ -248,6 +406,24 @@ mod tests {
         assert_eq!(median_runtime(&[s(4)]), s(4));
         assert_eq!(median_runtime(&[s(9), s(1), s(5)]), s(5));
         assert_eq!(median_runtime(&[s(8), s(2), s(4), s(6)]), s(5));
+    }
+
+    #[test]
+    fn runtime_history_maintains_a_sorted_incremental_median() {
+        let s = Duration::from_secs;
+        let mut h = RuntimeHistory::new();
+        assert!(h.is_empty());
+        assert_eq!(h.median(), Duration::ZERO);
+        // Insert out of order; the history must agree with the full-sort
+        // reference at every step.
+        let mut seen = Vec::new();
+        for r in [s(9), s(1), s(5), s(5), s(2), s(40), s(3)] {
+            h.record(r);
+            seen.push(r);
+            assert_eq!(h.median(), median_runtime(&seen));
+            assert!(h.sorted().windows(2).all(|w| w[0] <= w[1]));
+        }
+        assert_eq!(h.len(), 7);
     }
 
     #[test]
@@ -259,21 +435,53 @@ mod tests {
             min_completed: 2,
         };
         // Not enough completed peers: never speculate, however slow.
-        assert!(!policy.should_speculate(s(1000), &[s(1)]));
+        assert!(!policy.should_speculate(ran(s(1000)), &history(&[s(1)])));
         // Enough history, but under the absolute floor.
-        assert!(!policy.should_speculate(s(3), &[s(1), s(1)]));
+        assert!(!policy.should_speculate(ran(s(3)), &history(&[s(1), s(1)])));
         // Over the floor and over factor x median.
-        assert!(policy.should_speculate(s(4), &[s(1), s(1)]));
+        assert!(policy.should_speculate(ran(s(4)), &history(&[s(1), s(1)])));
         // Factor dominates once the median is large: 2 x 10s = 20s.
-        assert!(!policy.should_speculate(s(20), &[s(10), s(10)]));
-        assert!(policy.should_speculate(s(21), &[s(10), s(10)]));
+        assert!(!policy.should_speculate(ran(s(20)), &history(&[s(10), s(10)])));
+        assert!(policy.should_speculate(ran(s(21)), &history(&[s(10), s(10)])));
+        // The default ranking is longest-elapsed-first.
+        assert!(policy.urgency(ran(s(21))) > policy.urgency(ran(s(20))));
     }
 
     #[test]
     fn default_policy_waits_for_one_peer_and_one_second() {
         let policy = SlowestFactorPolicy::default();
-        assert!(!policy.should_speculate(Duration::from_secs(900), &[]));
-        assert!(policy.should_speculate(Duration::from_secs(2), &[Duration::from_millis(10)]));
+        assert!(!policy.should_speculate(ran(Duration::from_secs(900)), &history(&[])));
+        assert!(policy.should_speculate(
+            ran(Duration::from_secs(2)),
+            &history(&[Duration::from_millis(10)])
+        ));
+    }
+
+    #[test]
+    fn late_policy_estimates_remaining_time_from_progress() {
+        let s = Duration::from_secs;
+        let at = |runtime: Duration, progress: f64| AttemptView { runtime, progress };
+        let policy = LatePolicy::default();
+        let h = history(&[s(10), s(10)]); // median 10s
+
+        // 90% done after 20s: ~2.2s left, far under the 10s median — a
+        // runtime-vs-median policy would have cloned this long ago.
+        assert!(!policy.should_speculate(at(s(20), 0.9), &h));
+        // 10% done after 5s: 45s left > 10s median — LATE clones it even
+        // though its elapsed runtime is *below* the median.
+        assert!(policy.should_speculate(at(s(5), 0.1), &h));
+        // No progress report at all: remaining is capped, not infinite, and
+        // still well past the threshold.
+        assert!(policy.should_speculate(at(s(2), 0.0), &h));
+        // Gates: runtime floor and history floor.
+        assert!(!policy.should_speculate(at(Duration::from_millis(100), 0.1), &h));
+        assert!(!policy.should_speculate(at(s(5), 0.1), &history(&[])));
+
+        // Urgency ranks by remaining time, not elapsed: the barely-started
+        // task outranks the nearly-done one that has run 4x longer.
+        assert!(policy.urgency(at(s(5), 0.1)) > policy.urgency(at(s(20), 0.9)));
+        // remaining() itself: 10s at half progress -> 10s left.
+        assert_eq!(LatePolicy::remaining(at(s(10), 0.5)), s(10));
     }
 
     #[test]

@@ -88,6 +88,98 @@ pub fn index_len(partitions: usize) -> u64 {
     SPILL_HEADER_LEN + partitions as u64 * SPILL_INDEX_ENTRY_LEN
 }
 
+/// The scratch namespace of one job execution: a uniquely-tagged pair of
+/// shuffle and temporary directories under the job's output directory.
+///
+/// Before multi-tenancy, every execution used the bare `_shuffle/` and
+/// `_temporary/` names — so two concurrent jobs writing into the same
+/// `DistFs` (or one tenant resubmitting an identical `JobConfig` while the
+/// first run was still in flight) would interleave spill files, compaction
+/// runs and attempt scratch, and each job's cleanup would delete the *other*
+/// job's live intermediates. Scoping every scratch path by a process-unique
+/// execution tag makes the collision structurally impossible: file *names*
+/// inside the directories are unchanged (delay/fault injection by filename
+/// suffix still works), only the directory component carries the tag, and
+/// cleanup deletes exactly this execution's directories.
+#[derive(Debug, Clone)]
+pub struct JobScratch {
+    shuffle_dir: String,
+    temporary_dir: String,
+}
+
+impl JobScratch {
+    /// The scratch namespace for execution `tag` of a job writing to
+    /// `output_dir`. Tags must be unique among executions that can share a
+    /// `DistFs` — the jobtracker draws them from a process-wide counter.
+    pub fn scoped(output_dir: &str, tag: u64) -> Self {
+        JobScratch {
+            shuffle_dir: format!("{output_dir}/_shuffle-{tag:06}"),
+            temporary_dir: format!("{output_dir}/_temporary-{tag:06}"),
+        }
+    }
+
+    /// This execution's shuffle directory (committed spills + merged runs).
+    pub fn shuffle_dir(&self) -> &str {
+        &self.shuffle_dir
+    }
+
+    /// This execution's scratch directory for uncommitted attempt output.
+    pub fn temporary_dir(&self) -> &str {
+        &self.temporary_dir
+    }
+
+    /// The committed spill file of one map task.
+    pub fn spill_path(&self, map_id: usize) -> String {
+        format!("{}/map-{map_id:05}", self.shuffle_dir)
+    }
+
+    /// The committed merged run compacted from the spills of map tasks
+    /// `start..start + len`.
+    pub fn run_path(&self, start: usize, len: usize) -> String {
+        format!("{}/run-{start:05}-{len:05}", self.shuffle_dir)
+    }
+
+    /// Where attempt `attempt` of `task` writes before its rename-commit.
+    pub fn attempt_path(&self, task: &str, attempt: usize) -> String {
+        format!("{}/attempt-{task}-{attempt}", self.temporary_dir)
+    }
+
+    /// Create both scratch directories.
+    pub fn mkdirs(&self, fs: &dyn DistFs) -> MrResult<()> {
+        fs.mkdirs(&self.temporary_dir)?;
+        fs.mkdirs(&self.shuffle_dir)
+    }
+
+    /// Write `records` to this execution's attempt scratch and rename into
+    /// `final_path` (see [`commit_records`]).
+    pub fn commit_records(
+        &self,
+        fs: &dyn DistFs,
+        task: &str,
+        attempt: usize,
+        final_path: &str,
+        records: &[(String, String)],
+    ) -> MrResult<u64> {
+        let scratch = self.attempt_path(task, attempt);
+        let bytes = crate::tasktracker::write_output_file(fs, &scratch, records)?;
+        fs.rename(&scratch, final_path)?;
+        Ok(bytes)
+    }
+
+    /// Best-effort removal of an attempt's scratch file after a failure.
+    pub fn discard_attempt(&self, fs: &dyn DistFs, task: &str, attempt: usize) {
+        let _ = fs.delete(&self.attempt_path(task, attempt), false);
+    }
+
+    /// Best-effort removal of this execution's scratch directories — and
+    /// only this execution's: a concurrent job's scratch under the same
+    /// output directory carries a different tag and is untouched.
+    pub fn cleanup(&self, fs: &dyn DistFs) {
+        let _ = fs.delete(&self.temporary_dir, true);
+        let _ = fs.delete(&self.shuffle_dir, true);
+    }
+}
+
 /// Stable key-sort of one partition bucket: equal keys keep their emit order,
 /// which the merge relies on to reproduce the in-memory shuffle's value
 /// order.
@@ -499,6 +591,36 @@ mod tests {
 
     fn pair(k: &str, v: &str) -> (String, String) {
         (k.to_string(), v.to_string())
+    }
+
+    #[test]
+    fn scoped_scratch_namespaces_are_disjoint_and_clean_up_only_themselves() {
+        let fs = fs();
+        let a = JobScratch::scoped("/out", 1);
+        let b = JobScratch::scoped("/out", 2);
+        // Same file names, different directories: no path of one execution
+        // is a path of the other.
+        assert_ne!(a.spill_path(0), b.spill_path(0));
+        assert_ne!(a.run_path(0, 4), b.run_path(0, 4));
+        assert_ne!(
+            a.attempt_path("map-00000", 0),
+            b.attempt_path("map-00000", 0)
+        );
+        assert!(a.spill_path(3).ends_with("/map-00003"));
+        assert!(a
+            .attempt_path("map-00000", 1)
+            .ends_with("/attempt-map-00000-1"));
+
+        a.mkdirs(&fs).unwrap();
+        b.mkdirs(&fs).unwrap();
+        fs.write_file(&a.spill_path(0), b"aa").unwrap();
+        fs.write_file(&b.spill_path(0), b"bb").unwrap();
+        // Job A finishing must not disturb job B's live scratch.
+        a.cleanup(&fs);
+        assert!(!fs.exists(a.shuffle_dir()) && !fs.exists(a.temporary_dir()));
+        assert_eq!(&fs.read_file(&b.spill_path(0)).unwrap()[..], b"bb");
+        b.cleanup(&fs);
+        assert_eq!(fs.list("/out").unwrap(), Vec::<String>::new());
     }
 
     #[test]

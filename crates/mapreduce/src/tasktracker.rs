@@ -36,7 +36,7 @@
 use crate::error::MrResult;
 use crate::fs::DistFs;
 use crate::job::{format_output_record, Mapper, Partitioner, Reducer};
-use crate::scheduler::SpeculationPolicy;
+use crate::scheduler::{AttemptView, RuntimeHistory, SpeculationPolicy};
 use crate::split::{read_records, InputSplit, SplitSource};
 use simcluster::NodeId;
 use std::collections::hash_map::DefaultHasher;
@@ -135,6 +135,9 @@ pub struct AttemptRecord {
     pub started_at: Duration,
     /// Current lifecycle state.
     pub state: AttemptState,
+    /// Latest progress fraction the attempt reported (`0.0` until the first
+    /// report). Feeds the LATE remaining-time estimator.
+    pub progress: f64,
 }
 
 /// Speculation outcome counters, reported on
@@ -151,6 +154,9 @@ pub struct SpeculationCounters {
     pub wasted_attempts: u64,
     /// Total runtime of those wasted attempts, in clock microseconds.
     pub wasted_micros: u64,
+    /// Speculative clones aborted mid-flight because the scheduler owed
+    /// their slot to a starved tenant (also counted in `wasted_attempts`).
+    pub preempted: u64,
 }
 
 impl SpeculationCounters {
@@ -160,6 +166,7 @@ impl SpeculationCounters {
         self.wins += other.wins;
         self.wasted_attempts += other.wasted_attempts;
         self.wasted_micros += other.wasted_micros;
+        self.preempted += other.preempted;
     }
 }
 
@@ -199,6 +206,7 @@ pub struct TaskBook {
     retries: usize,
     committed: usize,
     completed_runtimes: Vec<Duration>,
+    history: RuntimeHistory,
     speculation: SpeculationCounters,
 }
 
@@ -218,6 +226,7 @@ impl TaskBook {
             retries: 0,
             committed: 0,
             completed_runtimes: Vec::new(),
+            history: RuntimeHistory::new(),
             speculation: SpeculationCounters::default(),
         }
     }
@@ -260,9 +269,16 @@ impl TaskBook {
         &self.tasks[task].attempts
     }
 
-    /// Runtimes of the committed tasks (the speculation policy's baseline).
+    /// Runtimes of the committed tasks in commit order (for reporting; the
+    /// speculation policies consult [`TaskBook::history`] instead).
     pub fn completed_runtimes(&self) -> &[Duration] {
         &self.completed_runtimes
+    }
+
+    /// The committed runtimes as an incrementally sorted [`RuntimeHistory`]
+    /// — the speculation policy's baseline, median in O(1) per consult.
+    pub fn history(&self) -> &RuntimeHistory {
+        &self.history
     }
 
     /// Claim the pending entry at position `pos` (as chosen by the
@@ -286,11 +302,12 @@ impl TaskBook {
         now: Duration,
         policy: &dyn SpeculationPolicy,
     ) -> Option<TaskAttemptId> {
-        // Find the longest-running structural candidate first, then consult
-        // the policy once — idle slots poll this under the phase lock every
-        // millisecond, so the policy (which may sort the runtime history)
-        // must not run once per task.
-        let mut candidate: Option<(usize, Duration)> = None;
+        // Rank the structural candidates by the policy's urgency score
+        // (elapsed runtime by default, estimated remaining time for LATE),
+        // then consult `should_speculate` once for the most urgent — idle
+        // slots poll this under the phase lock every millisecond, so the
+        // history consult must stay O(1) per poll.
+        let mut candidate: Option<(usize, AttemptView, Duration)> = None;
         for (task, entry) in self.tasks.iter().enumerate() {
             if entry.committed || entry.attempts.iter().any(|a| a.speculative) {
                 continue;
@@ -305,17 +322,35 @@ impl TaskBook {
             if sole.node == node {
                 continue;
             }
-            let runtime = now.saturating_sub(sole.started_at);
-            if candidate.is_none_or(|(_, best)| runtime > best) {
-                candidate = Some((task, runtime));
+            let view = AttemptView {
+                runtime: now.saturating_sub(sole.started_at),
+                progress: sole.progress,
+            };
+            let urgency = policy.urgency(view);
+            if candidate.is_none_or(|(_, _, best)| urgency > best) {
+                candidate = Some((task, view, urgency));
             }
         }
-        let (task, runtime) = candidate?;
-        if !policy.should_speculate(runtime, &self.completed_runtimes) {
+        let (task, view, _) = candidate?;
+        if !policy.should_speculate(view, &self.history) {
             return None;
         }
         self.speculation.launched += 1;
         Some(self.start_attempt(task, node, now, true))
+    }
+
+    /// Record a progress report from a running attempt (fraction of its
+    /// input processed). Progress is clamped to `[0, 1]` and never moves
+    /// backwards. Reports for attempts that already finished are ignored —
+    /// a loser's late report must not touch the book.
+    pub fn report_progress(&mut self, id: TaskAttemptId, progress: f64) {
+        if let Some(record) = self.tasks[id.task]
+            .attempts
+            .iter_mut()
+            .find(|a| a.id == id && a.state == AttemptState::Running)
+        {
+            record.progress = record.progress.max(progress.clamp(0.0, 1.0));
+        }
     }
 
     fn start_attempt(
@@ -336,6 +371,7 @@ impl TaskBook {
             speculative,
             started_at: now,
             state: AttemptState::Running,
+            progress: 0.0,
         });
         self.outstanding += 1;
         id
@@ -362,8 +398,9 @@ impl TaskBook {
         let record = self.finish(id, AttemptState::Succeeded);
         self.tasks[id.task].committed = true;
         self.committed += 1;
-        self.completed_runtimes
-            .push(now.saturating_sub(record.started_at));
+        let runtime = now.saturating_sub(record.started_at);
+        self.completed_runtimes.push(runtime);
+        self.history.record(runtime);
         if record.speculative {
             self.speculation.wins += 1;
         }
@@ -383,6 +420,20 @@ impl TaskBook {
     /// so no attempt is left `Running` after the workers exit.
     pub fn record_abandoned(&mut self, id: TaskAttemptId) {
         self.finish(id, AttemptState::Failed);
+    }
+
+    /// A speculative clone was preempted mid-flight: the fair-share
+    /// scheduler owed its slot to a starved tenant, so the worker aborted
+    /// the clone before it committed. Only speculative attempts may be
+    /// preempted — the task's original attempt keeps running, so preemption
+    /// can never lose a task or force a retry. The clone's work is counted
+    /// as waste.
+    pub fn record_preempted(&mut self, id: TaskAttemptId, now: Duration) {
+        let record = self.finish(id, AttemptState::Lost);
+        debug_assert!(record.speculative, "only speculative clones are preempted");
+        self.speculation.preempted += 1;
+        self.speculation.wasted_attempts += 1;
+        self.speculation.wasted_micros += now.saturating_sub(record.started_at).as_micros() as u64;
     }
 
     /// The attempt failed with an error. Decides between retrying, waiting
@@ -447,6 +498,31 @@ pub fn run_map_task(
     partitioner: &dyn Partitioner,
     num_partitions: usize,
 ) -> MrResult<MapTaskOutput> {
+    let out =
+        run_map_task_with_progress(fs, split, mapper, partitioner, num_partitions, &mut |_| {
+            true
+        })?;
+    Ok(out.expect("an always-continue map task cannot be preempted"))
+}
+
+/// How many times per task the map loop reports progress (and offers the
+/// caller a preemption point).
+const MAP_PROGRESS_MILESTONES: u64 = 8;
+
+/// [`run_map_task`] with progress reporting: `progress` is called with the
+/// fraction of input records processed at ~[`MAP_PROGRESS_MILESTONES`]
+/// evenly-spaced milestones. The callback's return value is a
+/// continue/abort decision: returning `false` abandons the task immediately
+/// and the function returns `Ok(None)` — how the jobtracker preempts a
+/// speculative clone mid-flight without losing the original attempt.
+pub fn run_map_task_with_progress(
+    fs: &dyn DistFs,
+    split: &InputSplit,
+    mapper: &dyn Mapper,
+    partitioner: &dyn Partitioner,
+    num_partitions: usize,
+    progress: &mut dyn FnMut(f64) -> bool,
+) -> MrResult<Option<MapTaskOutput>> {
     let buckets = num_partitions.max(1);
     let mut out = MapTaskOutput {
         partitions: vec![Vec::new(); buckets],
@@ -465,6 +541,8 @@ pub fn run_map_task(
         }
     };
 
+    let total = records.len() as u64;
+    let stride = (total / MAP_PROGRESS_MILESTONES).max(1);
     for (offset, line) in &records {
         out.records_read += 1;
         let partitions = &mut out.partitions;
@@ -475,8 +553,13 @@ pub fn run_map_task(
             emitted += 1;
         })?;
         out.records_emitted += emitted;
+        if out.records_read.is_multiple_of(stride)
+            && !progress(out.records_read as f64 / total as f64)
+        {
+            return Ok(None);
+        }
     }
-    Ok(out)
+    Ok(Some(out))
 }
 
 /// Group one reduce partition's pairs by key, preserving the per-key value
@@ -887,6 +970,128 @@ mod tests {
         book.record_success(a2, clock.now());
         assert!(book.all_committed());
         assert_eq!(book.retries(), 2);
+    }
+
+    #[test]
+    fn progress_reports_are_clamped_monotonic_and_ignored_after_finish() {
+        let clock = SimClock::new();
+        let mut book = TaskBook::new(1);
+        let a = book.claim_pending(0, NodeId(0), clock.now());
+        book.report_progress(a, 0.5);
+        assert_eq!(book.attempts(0)[0].progress, 0.5);
+        // Backwards and out-of-range reports are ignored/clamped.
+        book.report_progress(a, 0.2);
+        assert_eq!(book.attempts(0)[0].progress, 0.5);
+        book.report_progress(a, 7.0);
+        assert_eq!(book.attempts(0)[0].progress, 1.0);
+        // After the attempt finishes, late reports must not resurrect it.
+        book.record_success(a, clock.now());
+        book.report_progress(a, 0.1);
+        assert_eq!(book.attempts(0)[0].progress, 1.0);
+    }
+
+    #[test]
+    fn preempted_clone_is_pure_waste_and_the_original_still_commits() {
+        let clock = SimClock::new();
+        let mut book = TaskBook::new(2);
+        let fast = book.claim_pending(0, NodeId(0), clock.now());
+        let slow = book.claim_pending(0, NodeId(1), clock.now());
+        clock.advance(Duration::from_secs(1));
+        book.record_success(fast, clock.now());
+        clock.advance(Duration::from_secs(4));
+        let clone = book
+            .claim_speculative(NodeId(2), clock.now(), &policy())
+            .unwrap();
+
+        // The scheduler owes the clone's slot to a starved tenant: preempt.
+        clock.advance(Duration::from_secs(2));
+        book.record_preempted(clone, clock.now());
+        let s = book.speculation();
+        assert_eq!((s.launched, s.preempted, s.wasted_attempts), (1, 1, 1));
+        assert_eq!(s.wasted_micros, 2_000_000, "the clone ran 5s..7s");
+
+        // Nothing is lost: the original attempt is still running, commits,
+        // and no retry was ever recorded.
+        assert!(!book.is_committed(1));
+        assert_eq!(book.outstanding(), 1);
+        book.record_success(slow, clock.now());
+        assert!(book.all_committed());
+        assert_eq!(book.retries(), 0);
+        assert_eq!(book.attempts(1)[1].state, AttemptState::Lost);
+    }
+
+    #[test]
+    fn late_urgency_ranks_candidates_by_remaining_time() {
+        use crate::scheduler::LatePolicy;
+        // Two stragglers: task 1 has run 10s at 90% progress (~1.1s left),
+        // task 2 has run 6s at 10% progress (54s left). LATE must clone
+        // task 2 even though task 1 has run longer.
+        let clock = SimClock::new();
+        let mut book = TaskBook::new(3);
+        let fast = book.claim_pending(0, NodeId(0), clock.now());
+        let near_done = book.claim_pending(0, NodeId(1), clock.now());
+        clock.advance(Duration::from_secs(4));
+        let barely_started = book.claim_pending(0, NodeId(2), clock.now());
+        clock.advance(Duration::from_secs(1));
+        book.record_success(fast, clock.now());
+        clock.advance(Duration::from_secs(5));
+        book.report_progress(near_done, 0.9);
+        book.report_progress(barely_started, 0.1);
+        let clone = book
+            .claim_speculative(NodeId(3), clock.now(), &LatePolicy::default())
+            .expect("the slow-progress task must be cloned");
+        assert_eq!(clone.task, barely_started.task);
+    }
+
+    #[test]
+    fn map_task_progress_callback_can_abort_the_task() {
+        let fs = fs();
+        let mut text = String::new();
+        for i in 0..40 {
+            text.push_str(&format!("line {i}\n"));
+        }
+        fs.write_file("/in", text.as_bytes()).unwrap();
+        let split = InputSplit {
+            id: 0,
+            source: SplitSource::File {
+                path: "/in".into(),
+                offset: 0,
+                len: text.len() as u64,
+            },
+            preferred_nodes: vec![],
+        };
+        // Continue-everywhere reports monotonically increasing fractions and
+        // completes.
+        let mut seen = Vec::new();
+        let out = run_map_task_with_progress(
+            &fs,
+            &split,
+            &WordCountMapper,
+            &HashPartitioner,
+            2,
+            &mut |f| {
+                seen.push(f);
+                true
+            },
+        )
+        .unwrap()
+        .expect("not preempted");
+        assert_eq!(out.records_read, 40);
+        assert!(seen.len() >= 2, "several milestones expected: {seen:?}");
+        assert!(seen.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*seen.last().unwrap(), 1.0);
+
+        // Aborting at the first milestone yields Ok(None), not an error.
+        let out = run_map_task_with_progress(
+            &fs,
+            &split,
+            &WordCountMapper,
+            &HashPartitioner,
+            2,
+            &mut |_| false,
+        )
+        .unwrap();
+        assert!(out.is_none(), "callback returning false preempts the task");
     }
 
     #[test]

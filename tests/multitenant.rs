@@ -1,0 +1,319 @@
+//! Multi-tenant scheduling integration tests: concurrent jobs submitted
+//! through [`JobTracker::submit`] share one cluster (and one `DistFs`)
+//! under FIFO, fair-share, and capacity schedulers, and every job's output
+//! stays byte-identical to the sequential in-memory oracle. Also the
+//! regression tests for the concurrency bugs the tentpole flushed out:
+//! two jobs racing for one output directory, and scratch-path collisions
+//! between concurrent jobs on a shared filesystem.
+
+use blobseer::{BlobSeer, BlobSeerConfig};
+use bsfs::{Bsfs, BsfsConfig};
+use mapreduce::fs::{BsfsFs, DistFs};
+use mapreduce::jobtracker::JobTracker;
+use mapreduce::{
+    CapacityScheduler, FairScheduler, Job, LatePolicy, MrError, SlotCaps, TenantQuota,
+};
+use simcluster::ClusterTopology;
+use std::sync::Arc;
+use std::time::Duration;
+use workloads::{distributed_grep_job, word_count_job, word_count_job_combining};
+
+fn cluster(nodes: u32) -> (ClusterTopology, Arc<dyn DistFs>) {
+    let topo = ClusterTopology::flat(nodes);
+    let node_ids: Vec<_> = topo.all_nodes().collect();
+    let storage = BlobSeer::with_topology(
+        BlobSeerConfig::for_tests()
+            .with_providers(node_ids.len())
+            .with_page_size(512),
+        &topo,
+        &node_ids,
+    );
+    let fs = BsfsFs::new(Bsfs::new(
+        storage,
+        BsfsConfig::for_tests().with_block_size(512),
+    ));
+    (topo, Arc::new(fs))
+}
+
+fn input_text() -> String {
+    let mut text = String::new();
+    for i in 0..60 {
+        text.push_str(&format!("alpha bravo{} charlie delta{}\n", i % 5, i % 3));
+    }
+    text
+}
+
+fn tenant_job(tenant: &str, shape: usize, out: &str) -> Job {
+    let input = vec!["/in/data.txt".to_string()];
+    let mut job = match shape {
+        0 => word_count_job(input, out, 2, 256),
+        1 => word_count_job_combining(input, out, 3, 256),
+        _ => distributed_grep_job(input, out, "alpha", 256),
+    };
+    job.config.tenant = tenant.to_string();
+    job
+}
+
+/// Assert `result`'s part files are byte-identical to the in-memory oracle
+/// run into `oracle_out`.
+fn assert_matches_oracle(
+    jt: &JobTracker,
+    fs: &dyn DistFs,
+    result: &mapreduce::JobResult,
+    job_out: &str,
+    oracle_job: &Job,
+    oracle_out: &str,
+) {
+    let oracle = jt.run_inmem(fs, oracle_job).unwrap();
+    assert_eq!(result.output_files.len(), oracle.output_files.len());
+    for (d, o) in result.output_files.iter().zip(&oracle.output_files) {
+        assert_eq!(d.strip_prefix(job_out), o.strip_prefix(oracle_out));
+        assert_eq!(
+            fs.read_file(d).unwrap(),
+            fs.read_file(o).unwrap(),
+            "{d} diverges from the oracle"
+        );
+    }
+    assert_eq!(result.output_records, oracle.output_records);
+    // The output dir holds exactly the part files: no foreign job's spills,
+    // no leftover scoped scratch.
+    let mut listed = fs.list(job_out).unwrap();
+    listed.sort();
+    assert_eq!(listed, result.output_files);
+}
+
+#[test]
+fn two_jobs_racing_for_one_output_dir_get_exactly_one_winner() {
+    // Regression: before output preparation was serialized, two concurrent
+    // jobs with identical configs could both pass the exists() check, share
+    // `/out` (and, worse, its scratch paths), and interleave spills. Now the
+    // exists-then-mkdirs window is atomic: one job wins, the other gets
+    // `OutputExists`, and the winner's bytes are exactly the oracle's.
+    let (topo, fs) = cluster(4);
+    fs.write_file("/in/data.txt", input_text().as_bytes())
+        .unwrap();
+    let jt = JobTracker::new(&topo);
+    let h1 = jt
+        .submit(fs.clone(), tenant_job("acme", 0, "/out"))
+        .unwrap();
+    let h2 = jt
+        .submit(fs.clone(), tenant_job("acme", 0, "/out"))
+        .unwrap();
+    let results = [h1.wait(), h2.wait()];
+    let winners: Vec<_> = results.iter().filter(|r| r.is_ok()).collect();
+    let losers: Vec<_> = results.iter().filter(|r| r.is_err()).collect();
+    assert_eq!(
+        winners.len(),
+        1,
+        "exactly one job may own /out: {results:?}"
+    );
+    assert!(
+        matches!(losers[0], Err(MrError::OutputExists(_))),
+        "the loser must see OutputExists, got {:?}",
+        losers[0]
+    );
+    let winner = winners[0].as_ref().unwrap();
+    assert_matches_oracle(
+        &jt,
+        &*fs,
+        winner,
+        "/out",
+        &tenant_job("acme", 0, "/out-oracle"),
+        "/out-oracle",
+    );
+}
+
+#[test]
+fn concurrent_jobs_on_one_fs_never_cross_contaminate() {
+    // Regression for the scratch-path collision: several jobs run at once
+    // over the same DistFs, with identical shapes (same map ids, same
+    // attempt names). Scoped `_shuffle-<seq>`/`_temporary-<seq>` namespaces
+    // keep their spills apart, so every output matches its own oracle.
+    for scheduler in 0..3 {
+        let (topo, fs) = cluster(4);
+        fs.write_file("/in/data.txt", input_text().as_bytes())
+            .unwrap();
+        let jt = match scheduler {
+            0 => JobTracker::new(&topo),
+            1 => JobTracker::new(&topo)
+                .with_scheduler(Arc::new(FairScheduler::new().with_weight("acme", 2.0))),
+            _ => JobTracker::new(&topo).with_scheduler(Arc::new(
+                CapacityScheduler::new().with_default_cap(SlotCaps { map: 3, reduce: 3 }),
+            )),
+        }
+        .with_max_concurrent_jobs(6);
+        let specs = [
+            ("acme", 0usize),
+            ("acme", 1),
+            ("blue", 0),
+            ("blue", 2),
+            ("carbon", 1),
+            ("carbon", 2),
+        ];
+        let handles: Vec<_> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, (tenant, shape))| {
+                let out = format!("/out-{i}");
+                jt.submit(fs.clone(), tenant_job(tenant, *shape, &out))
+                    .unwrap()
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
+        for (i, (tenant, shape)) in specs.iter().enumerate() {
+            let out = format!("/out-{i}");
+            let oracle_out = format!("/oracle-{i}");
+            assert_matches_oracle(
+                &jt,
+                &*fs,
+                &results[i],
+                &out,
+                &tenant_job(tenant, *shape, &oracle_out),
+                &oracle_out,
+            );
+        }
+        // The ledger saw every job.
+        let completed: u64 = ["acme", "blue", "carbon"]
+            .iter()
+            .map(|t| jt.tenant_usage(t).jobs_completed)
+            .sum();
+        assert_eq!(completed, specs.len() as u64);
+    }
+}
+
+#[test]
+fn speculating_jobs_stay_correct_while_sharing_the_cluster() {
+    // Two concurrent jobs with aggressive LATE speculation: clones may
+    // launch (on idle leases only) and may be preempted; output must still
+    // be byte-identical to the oracle and no task may be lost.
+    let (topo, fs) = cluster(4);
+    fs.write_file("/in/data.txt", input_text().as_bytes())
+        .unwrap();
+    let jt = JobTracker::new(&topo)
+        .with_scheduler(Arc::new(FairScheduler::new()))
+        .with_max_concurrent_jobs(4);
+    let policy = Arc::new(LatePolicy {
+        late_factor: 0.0,
+        min_runtime: Duration::ZERO,
+        min_completed: 1,
+    });
+    let mut job_a = tenant_job("acme", 0, "/out-a");
+    job_a.config.speculation = Some(policy.clone());
+    let mut job_b = tenant_job("blue", 1, "/out-b");
+    job_b.config.speculation = Some(policy);
+    let ha = jt.submit(fs.clone(), job_a).unwrap();
+    let hb = jt.submit(fs.clone(), job_b).unwrap();
+    let ra = ha.wait().unwrap();
+    let rb = hb.wait().unwrap();
+    assert_matches_oracle(
+        &jt,
+        &*fs,
+        &ra,
+        "/out-a",
+        &tenant_job("acme", 0, "/oracle-a"),
+        "/oracle-a",
+    );
+    assert_matches_oracle(
+        &jt,
+        &*fs,
+        &rb,
+        "/out-b",
+        &tenant_job("blue", 1, "/oracle-b"),
+        "/oracle-b",
+    );
+    // Winning-attempt counters never include clones' reads.
+    assert_eq!(ra.locality.total(), ra.map_tasks);
+    assert_eq!(rb.locality.total(), rb.map_tasks);
+}
+
+#[test]
+fn admission_quotas_refuse_over_budget_tenants() {
+    let (topo, fs) = cluster(2);
+    fs.write_file("/in/data.txt", input_text().as_bytes())
+        .unwrap();
+    // Queue-depth quota of zero: the tenant cannot submit at all.
+    let jt = JobTracker::new(&topo)
+        .with_tenant_quota("capped", TenantQuota::unlimited().with_max_queued(0));
+    match jt.submit(fs.clone(), tenant_job("capped", 0, "/out-q")) {
+        Err(MrError::QuotaExceeded { tenant, .. }) => assert_eq!(tenant, "capped"),
+        Err(other) => panic!("expected QuotaExceeded, got {other:?}"),
+        Ok(_) => panic!("expected QuotaExceeded, got an admitted job"),
+    }
+    // Other tenants are unaffected.
+    let r = jt
+        .submit(fs.clone(), tenant_job("free", 0, "/out-f"))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(!r.output_files.is_empty());
+
+    // Namespace budget: the first job's part files exhaust it, the next
+    // submit bounces. (Budgets are checked at admission against completed
+    // usage, like HDFS namespace quotas.)
+    let jt2 = JobTracker::new(&topo)
+        .with_tenant_quota("ns", TenantQuota::unlimited().with_max_namespace_entries(2));
+    let r = jt2.run(&*fs, &tenant_job("ns", 0, "/out-ns-1")).unwrap();
+    assert_eq!(r.output_files.len(), 2);
+    assert_eq!(jt2.tenant_usage("ns").namespace_entries, 2);
+    assert!(matches!(
+        jt2.submit(fs.clone(), tenant_job("ns", 0, "/out-ns-2")),
+        Err(MrError::QuotaExceeded { .. })
+    ));
+
+    // Storage-bytes budget behaves the same way.
+    let jt3 = JobTracker::new(&topo)
+        .with_tenant_quota("bytes", TenantQuota::unlimited().with_max_storage_bytes(1));
+    jt3.run(&*fs, &tenant_job("bytes", 0, "/out-b-1")).unwrap();
+    assert!(jt3.tenant_usage("bytes").storage_bytes >= 1);
+    assert!(matches!(
+        jt3.submit(fs.clone(), tenant_job("bytes", 0, "/out-b-2")),
+        Err(MrError::QuotaExceeded { .. })
+    ));
+}
+
+#[test]
+fn running_jobs_quota_serializes_a_tenant_without_deadlock() {
+    let (topo, fs) = cluster(3);
+    fs.write_file("/in/data.txt", input_text().as_bytes())
+        .unwrap();
+    let jt = JobTracker::new(&topo)
+        .with_tenant_quota("serial", TenantQuota::unlimited().with_max_running(1))
+        .with_max_concurrent_jobs(3);
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            let out = format!("/out-{i}");
+            jt.submit(fs.clone(), tenant_job("serial", i % 3, &out))
+                .unwrap()
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        let r = h.wait().unwrap();
+        assert!(
+            !r.output_files.is_empty(),
+            "job {i} must complete under the running-jobs quota"
+        );
+    }
+    assert_eq!(jt.tenant_usage("serial").jobs_completed, 3);
+}
+
+#[test]
+fn submit_and_run_agree_on_results() {
+    // `run` is a submit-and-wait shim: same admission, same engine, same
+    // bytes as a submitted job of the same shape.
+    let (topo, fs) = cluster(4);
+    fs.write_file("/in/data.txt", input_text().as_bytes())
+        .unwrap();
+    let jt = JobTracker::new(&topo);
+    let via_run = jt.run(&*fs, &tenant_job("acme", 0, "/out-run")).unwrap();
+    let via_submit = jt
+        .submit(fs.clone(), tenant_job("acme", 0, "/out-sub"))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(via_run.output_records, via_submit.output_records);
+    assert_eq!(via_run.output_files.len(), via_submit.output_files.len());
+    for (a, b) in via_run.output_files.iter().zip(&via_submit.output_files) {
+        assert_eq!(fs.read_file(a).unwrap(), fs.read_file(b).unwrap());
+    }
+    assert_eq!(jt.tenant_usage("acme").jobs_completed, 2);
+}

@@ -1,0 +1,211 @@
+//! Property tests of multi-tenant scheduling.
+//!
+//! 1. Whatever the scheduler (FIFO / fair-share / capacity), the backend
+//!    (BSFS / HDFS), and the mix of tenants and job shapes, N jobs running
+//!    *concurrently* over one shared `DistFs` produce part files
+//!    byte-identical to the sequential in-memory oracle — scheduling is
+//!    performance policy, never visible in job output.
+//! 2. Preempting a speculative clone is always safe at the attempt state
+//!    machine level: the preempted clone is accounted as waste, the task is
+//!    never lost (the incumbent still commits it) and never committed twice
+//!    (a clone that wins instead turns the incumbent into a recorded loss).
+
+use blobseer::{BlobSeer, BlobSeerConfig};
+use bsfs::{Bsfs, BsfsConfig};
+use hdfs_sim::{Hdfs, HdfsConfig};
+use mapreduce::fs::{BsfsFs, DistFs, HdfsFs};
+use mapreduce::jobtracker::JobTracker;
+use mapreduce::{
+    AttemptView, CapacityScheduler, FairScheduler, FifoScheduler, Job, JobScheduler,
+    RuntimeHistory, SpeculationPolicy, TaskBook,
+};
+use proptest::prelude::*;
+use simcluster::{ClusterTopology, NodeId};
+use std::sync::Arc;
+use std::time::Duration;
+use workloads::{distributed_grep_job, word_count_job, word_count_job_combining};
+
+fn make_fs(use_hdfs: bool, topo: &ClusterTopology) -> Box<dyn DistFs> {
+    let nodes: Vec<_> = topo.all_nodes().collect();
+    if use_hdfs {
+        Box::new(HdfsFs::new(Hdfs::with_topology(
+            HdfsConfig {
+                chunk_size: 512,
+                datanodes: nodes.len(),
+                replication: 1,
+                seed: 1,
+            },
+            topo,
+            &nodes,
+        )))
+    } else {
+        let storage = BlobSeer::with_topology(
+            BlobSeerConfig::default()
+                .with_providers(nodes.len())
+                .with_page_size(512),
+            topo,
+            &nodes,
+        );
+        Box::new(BsfsFs::new(Bsfs::new(
+            storage,
+            BsfsConfig::default().with_block_size(512),
+        )))
+    }
+}
+
+fn make_job(shape: usize, tenant: &str, out: &str) -> Job {
+    let input = vec!["/in/text.txt".to_string()];
+    let mut job = match shape {
+        0 => word_count_job(input, out, 2, 300),
+        1 => word_count_job_combining(input, out, 3, 300),
+        _ => distributed_grep_job(input, out, "a", 300),
+    };
+    job.config.tenant = tenant.to_string();
+    job
+}
+
+fn word_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::char::range('a', 'f'), 1..8).prop_map(|cs| cs.into_iter().collect())
+}
+
+/// A policy that clones any running attempt unconditionally, so the book
+/// test controls speculation purely through claim order.
+struct AlwaysClone;
+impl SpeculationPolicy for AlwaysClone {
+    fn should_speculate(&self, _attempt: AttemptView, _history: &RuntimeHistory) -> bool {
+        true
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn concurrent_jobs_match_the_sequential_oracle(
+        words in prop::collection::vec(word_strategy(), 10..120),
+        // scheduler (fifo / fair / capacity) x backend (bsfs / hdfs).
+        scheduler_and_backend in 0usize..6,
+        njobs in 2usize..5,
+        shapes in prop::collection::vec(0usize..3, 3..5),
+    ) {
+        let use_hdfs = scheduler_and_backend >= 3;
+        let scheduler: Arc<dyn JobScheduler> = match scheduler_and_backend % 3 {
+            0 => Arc::new(FifoScheduler),
+            1 => Arc::new(FairScheduler::new().with_weight("t0", 3.0)),
+            _ => Arc::new(CapacityScheduler::new()),
+        };
+        let mut text = String::new();
+        for line in words.chunks(5) {
+            text.push_str(&line.join(" "));
+            text.push('\n');
+        }
+        let topo = ClusterTopology::flat(4);
+        let fs: Arc<dyn DistFs> = Arc::from(make_fs(use_hdfs, &topo));
+        fs.write_file("/in/text.txt", text.as_bytes()).unwrap();
+        let jt = JobTracker::new(&topo)
+            .with_scheduler(scheduler)
+            .with_max_concurrent_jobs(njobs);
+
+        let handles: Vec<_> = (0..njobs)
+            .map(|i| {
+                let tenant = format!("t{}", i % 2);
+                let job = make_job(shapes[i % shapes.len()], &tenant, &format!("/out-{i}"));
+                jt.submit(fs.clone(), job).unwrap()
+            })
+            .collect();
+        let results: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.wait().unwrap())
+            .collect();
+
+        for (i, result) in results.iter().enumerate() {
+            let out = format!("/out-{i}");
+            let oracle_out = format!("/oracle-{i}");
+            let tenant = format!("t{}", i % 2);
+            let oracle = jt
+                .run_inmem(&*fs, &make_job(shapes[i % shapes.len()], &tenant, &oracle_out))
+                .unwrap();
+            prop_assert_eq!(result.output_files.len(), oracle.output_files.len());
+            for (d, o) in result.output_files.iter().zip(&oracle.output_files) {
+                prop_assert_eq!(d.strip_prefix(out.as_str()), o.strip_prefix(oracle_out.as_str()));
+                prop_assert!(
+                    fs.read_file(d).unwrap() == fs.read_file(o).unwrap(),
+                    "job {} diverges from its oracle (sched/backend={}, njobs={})",
+                    i, scheduler_and_backend, njobs
+                );
+            }
+            prop_assert_eq!(result.output_records, oracle.output_records);
+            // No cross-job contamination: the output dir holds exactly this
+            // job's part files, no other job's scoped scratch or spills.
+            let mut listed = fs.list(&out).unwrap();
+            listed.sort();
+            prop_assert_eq!(&listed, &result.output_files);
+        }
+    }
+
+    #[test]
+    fn preempting_clones_never_loses_a_task_or_double_commits(
+        // Per task: 0 = primary commits unchallenged, 1 = clone launched
+        // then preempted (primary commits), 2 = clone wins (primary loses).
+        modes in prop::collection::vec(0usize..3, 1..8),
+    ) {
+        let n = modes.len();
+        let mut book = TaskBook::new(n);
+        let policy = AlwaysClone;
+        let primary_node = NodeId(0);
+        let clone_node = NodeId(1);
+        let mut now = Duration::ZERO;
+        let mut preempted = 0u64;
+        let mut clone_wins = 0u64;
+
+        for mode in &modes {
+            // One task in flight at a time, so the clone target is
+            // unambiguous (claim_speculative picks the slowest *running*).
+            now += Duration::from_secs(1);
+            let primary = book.claim_pending(0, primary_node, now);
+            match mode {
+                0 => {
+                    now += Duration::from_secs(1);
+                    book.record_success(primary, now);
+                }
+                1 => {
+                    let clone = book
+                        .claim_speculative(clone_node, now, &policy)
+                        .expect("a sole running attempt must be clonable");
+                    prop_assert_eq!(clone.task, primary.task);
+                    // Preempt the clone mid-flight: the task must survive
+                    // through its incumbent.
+                    now += Duration::from_secs(1);
+                    book.record_preempted(clone, now);
+                    preempted += 1;
+                    prop_assert!(!book.is_committed(primary.task));
+                    book.record_success(primary, now);
+                }
+                _ => {
+                    let clone = book
+                        .claim_speculative(clone_node, now, &policy)
+                        .expect("a sole running attempt must be clonable");
+                    now += Duration::from_secs(1);
+                    // The clone commits first; the incumbent's late finish
+                    // must be recorded as a loss, never a second commit.
+                    book.record_success(clone, now);
+                    clone_wins += 1;
+                    prop_assert!(book.is_committed(primary.task));
+                    book.record_lost(primary, now);
+                }
+            }
+            prop_assert!(book.is_committed(primary.task), "task may never be lost");
+        }
+
+        prop_assert!(book.all_committed());
+        prop_assert!(book.pending().is_empty());
+        // Nothing left to clone once everything is committed.
+        prop_assert!(book.claim_speculative(clone_node, now, &policy).is_none());
+        let spec = book.speculation();
+        prop_assert_eq!(spec.preempted, preempted);
+        prop_assert_eq!(spec.launched, preempted + clone_wins);
+        prop_assert_eq!(spec.wins, clone_wins);
+        // Every preempted clone and every beaten incumbent is waste.
+        prop_assert_eq!(spec.wasted_attempts, preempted + clone_wins);
+    }
+}

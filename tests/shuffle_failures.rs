@@ -267,7 +267,7 @@ fn failed_segment_fetches_are_retried_until_the_reduce_succeeds() {
     // Two positioned reads against committed spill files fail (a flaky
     // storage node during the fetch): the affected reduce attempts requeue
     // and the job still produces the oracle's bytes.
-    let (files, bytes, retries) = run_faulted(FaultPlan::reads("_shuffle/map-", 2), 3);
+    let (files, bytes, retries) = run_faulted(FaultPlan::reads("/map-", 2), 3);
     assert!(retries >= 1, "failed fetches must surface as task retries");
     assert_eq!(files.len(), 3);
     assert_eq!(bytes, oracle_outputs(3));
